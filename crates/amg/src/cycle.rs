@@ -1,0 +1,498 @@
+//! V-cycle execution over a *compiled* hierarchy.
+//!
+//! Compiling a [`Hierarchy`] chooses, per operator (grid operators `A_l`
+//! and transfer operators `P_l`/`R_l`), either the plain CSR kernel or a
+//! SMAT-tuned format+kernel — this is exactly the paper's §7.4
+//! integration, where "SMAT chooses DIA format for A-operators at the
+//! first few levels, and ELL format for most P-operators" by replacing
+//! SpMV calls with the SMAT interface.
+
+use crate::hierarchy::Hierarchy;
+use crate::relax::{gauss_seidel, jacobi_update, residual, symmetric_gauss_seidel, Relaxation};
+use serde::{Deserialize, Serialize};
+use smat::{Smat, TunedSpmv};
+use smat_kernels::KernelLibrary;
+use smat_matrix::{Csr, Format, Scalar};
+
+/// Multigrid cycle shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CycleType {
+    /// One coarse-grid correction per level (Hypre's default).
+    V,
+    /// Two coarse-grid corrections per level — more work, stronger
+    /// per-cycle error reduction on hard problems.
+    W,
+}
+
+/// Parameters of the solve cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CycleConfig {
+    /// Pre-smoothing sweeps.
+    pub pre_sweeps: usize,
+    /// Post-smoothing sweeps.
+    pub post_sweeps: usize,
+    /// Smoother.
+    pub relax: Relaxation,
+    /// V- or W-cycle.
+    pub cycle_type: CycleType,
+}
+
+impl Default for CycleConfig {
+    fn default() -> Self {
+        Self {
+            pre_sweeps: 1,
+            post_sweeps: 1,
+            relax: Relaxation::default(),
+            cycle_type: CycleType::V,
+        }
+    }
+}
+
+/// An operator ready for application: plain CSR or SMAT-tuned.
+#[derive(Debug)]
+pub enum OpApply<T> {
+    /// Reference CSR SpMV.
+    Plain(Csr<T>),
+    /// SMAT-selected format and kernel.
+    Tuned(Box<TunedSpmv<T>>),
+}
+
+impl<T: Scalar> OpApply<T> {
+    /// Applies the operator: `y = Op * x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on vector length mismatch.
+    pub fn apply(&self, lib: &KernelLibrary<T>, x: &[T], y: &mut [T]) {
+        match self {
+            OpApply::Plain(m) => m.spmv(x, y).expect("validated dimensions"),
+            OpApply::Tuned(t) => lib.run(t.matrix(), t.kernel().variant, x, y),
+        }
+    }
+
+    /// The storage format in use.
+    pub fn format(&self) -> Format {
+        match self {
+            OpApply::Plain(_) => Format::Csr,
+            OpApply::Tuned(t) => t.format(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        match self {
+            OpApply::Plain(m) => m.rows(),
+            OpApply::Tuned(t) => t.matrix().rows(),
+        }
+    }
+}
+
+/// Dense LU factorization (partial pivoting) for the coarsest solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseLu<T> {
+    n: usize,
+    lu: Vec<T>,
+    piv: Vec<usize>,
+}
+
+impl<T: Scalar> DenseLu<T> {
+    /// Factors a (small) square CSR matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is singular to working precision or not
+    /// square.
+    pub fn factor(a: &Csr<T>) -> Self {
+        assert_eq!(a.rows(), a.cols(), "dense LU needs a square matrix");
+        let n = a.rows();
+        let mut lu = a.to_dense();
+        let mut piv: Vec<usize> = (0..n).collect();
+        for k in 0..n {
+            // Pivot.
+            let mut p = k;
+            let mut max = lu[k * n + k].abs();
+            for i in k + 1..n {
+                let v = lu[i * n + k].abs();
+                if v > max {
+                    max = v;
+                    p = i;
+                }
+            }
+            assert!(max.to_f64() > 1e-300, "singular coarse operator at column {k}");
+            if p != k {
+                for j in 0..n {
+                    lu.swap(k * n + j, p * n + j);
+                }
+                piv.swap(k, p);
+            }
+            let pivot = lu[k * n + k];
+            for i in k + 1..n {
+                let factor = lu[i * n + k] / pivot;
+                lu[i * n + k] = factor;
+                for j in k + 1..n {
+                    let sub = factor * lu[k * n + j];
+                    lu[i * n + j] -= sub;
+                }
+            }
+        }
+        Self { n, lu, piv }
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn solve(&self, b: &[T], x: &mut [T]) {
+        assert_eq!(b.len(), self.n, "b length");
+        assert_eq!(x.len(), self.n, "x length");
+        let n = self.n;
+        // Permute and forward substitute.
+        for i in 0..n {
+            x[i] = b[self.piv[i]];
+        }
+        for i in 0..n {
+            for j in 0..i {
+                let sub = self.lu[i * n + j] * x[j];
+                x[i] -= sub;
+            }
+        }
+        // Back substitute.
+        for i in (0..n).rev() {
+            for j in i + 1..n {
+                let sub = self.lu[i * n + j] * x[j];
+                x[i] -= sub;
+            }
+            x[i] /= self.lu[i * n + i];
+        }
+    }
+}
+
+/// One compiled level.
+#[derive(Debug)]
+pub struct CompiledLevel<T> {
+    /// The grid operator, possibly tuned.
+    pub a: OpApply<T>,
+    /// The operator kept in CSR for Gauss–Seidel and diagnostics.
+    pub a_csr: Csr<T>,
+    /// Diagonal of `A` (for Jacobi).
+    pub diag: Vec<T>,
+    /// Prolongation, possibly tuned (`None` on the coarsest level).
+    pub p: Option<OpApply<T>>,
+    /// Restriction, possibly tuned.
+    pub r: Option<OpApply<T>>,
+}
+
+/// A hierarchy compiled for execution: operators bound to kernels, the
+/// coarsest level factored densely.
+#[derive(Debug)]
+pub struct CompiledHierarchy<T: Scalar> {
+    /// Compiled levels, finest first.
+    pub levels: Vec<CompiledLevel<T>>,
+    /// Dense factorization of the coarsest operator.
+    pub coarse_lu: DenseLu<T>,
+    lib: KernelLibrary<T>,
+}
+
+impl<T: Scalar> CompiledHierarchy<T> {
+    /// Compiles a hierarchy with plain CSR operators everywhere — the
+    /// baseline "Hypre AMG" configuration of Table 4.
+    pub fn plain(h: &Hierarchy<T>) -> Self {
+        Self::compile(h, None)
+    }
+
+    /// Compiles a hierarchy with every operator tuned through SMAT — the
+    /// "SMAT AMG" configuration of Table 4. Operators keep CSR when the
+    /// tuner decides CSR is best.
+    pub fn with_smat(h: &Hierarchy<T>, engine: &Smat<T>) -> Self {
+        Self::compile(h, Some(engine))
+    }
+
+    fn compile(h: &Hierarchy<T>, engine: Option<&Smat<T>>) -> Self {
+        let tune = |m: &Csr<T>| -> OpApply<T> {
+            match engine {
+                Some(e) => OpApply::Tuned(Box::new(e.prepare(m))),
+                None => OpApply::Plain(m.clone()),
+            }
+        };
+        let levels: Vec<CompiledLevel<T>> = h
+            .levels
+            .iter()
+            .map(|l| CompiledLevel {
+                a: tune(&l.a),
+                a_csr: l.a.clone(),
+                diag: l.a.diagonal(),
+                p: l.p.as_ref().map(&tune),
+                r: l.r.as_ref().map(&tune),
+            })
+            .collect();
+        let coarse_lu = DenseLu::factor(&h.levels.last().expect("non-empty hierarchy").a);
+        Self {
+            levels,
+            coarse_lu,
+            lib: KernelLibrary::new(),
+        }
+    }
+
+    /// Number of levels.
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The formats chosen for each level's `A` operator (Figure 1's
+    /// per-level story).
+    pub fn a_formats(&self) -> Vec<Format> {
+        self.levels.iter().map(|l| l.a.format()).collect()
+    }
+
+    /// Runs one cycle (V or W per `cfg.cycle_type`) on the finest level:
+    /// improves `x` toward `A x = b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b`/`x` lengths do not match the finest operator.
+    pub fn v_cycle(&self, cfg: &CycleConfig, b: &[T], x: &mut [T], ws: &mut Workspace<T>) {
+        assert_eq!(b.len(), self.levels[0].a_csr.rows(), "b length");
+        assert_eq!(x.len(), b.len(), "x length");
+        ws.ensure(self);
+        ws.bs[0].copy_from_slice(b);
+        ws.xs[0].copy_from_slice(x);
+        self.cycle_level(0, cfg, ws);
+        x.copy_from_slice(&ws.xs[0]);
+    }
+
+    fn smooth(&self, level: usize, cfg: &CycleConfig, sweeps: usize, ws: &mut Workspace<T>) {
+        let l = &self.levels[level];
+        for _ in 0..sweeps {
+            match cfg.relax {
+                Relaxation::Jacobi { omega } => {
+                    // Route the product through the (possibly tuned) kernel.
+                    let (x, scratch) = (&mut ws.xs[level], &mut ws.scratch[level]);
+                    l.a.apply(&self.lib, x, scratch);
+                    jacobi_update(&l.diag, omega, scratch, &ws.bs[level], x);
+                }
+                Relaxation::GaussSeidel => {
+                    gauss_seidel(&l.a_csr, &ws.bs[level], &mut ws.xs[level]);
+                }
+                Relaxation::SymmetricGaussSeidel => {
+                    symmetric_gauss_seidel(&l.a_csr, &ws.bs[level], &mut ws.xs[level]);
+                }
+            }
+        }
+    }
+
+    fn cycle_level(&self, level: usize, cfg: &CycleConfig, ws: &mut Workspace<T>) {
+        let coarsest = level + 1 == self.levels.len();
+        if coarsest {
+            let b = ws.bs[level].clone();
+            self.coarse_lu.solve(&b, &mut ws.xs[level]);
+            return;
+        }
+        self.smooth(level, cfg, cfg.pre_sweeps, ws);
+        // Residual through the tuned kernel: r = b - A x.
+        {
+            let l = &self.levels[level];
+            l.a.apply(&self.lib, &ws.xs[level], &mut ws.scratch[level]);
+            for i in 0..ws.scratch[level].len() {
+                ws.rs[level][i] = ws.bs[level][i] - ws.scratch[level][i];
+            }
+        }
+        // Restrict to the next level's right-hand side.
+        {
+            let (head, tail) = ws.bs.split_at_mut(level + 1);
+            let _ = head;
+            let r_op = self.levels[level].r.as_ref().expect("non-coarsest level");
+            r_op.apply(&self.lib, &ws.rs[level], &mut tail[0]);
+        }
+        ws.xs[level + 1].fill(T::ZERO);
+        let gamma = match cfg.cycle_type {
+            CycleType::V => 1,
+            CycleType::W => 2,
+        };
+        for visit in 0..gamma {
+            if visit > 0 && level + 2 == self.levels.len() {
+                break; // W-cycle revisits collapse on the coarsest pair
+            }
+            self.cycle_level(level + 1, cfg, ws);
+        }
+        // Prolongate and correct.
+        {
+            let p_op = self.levels[level].p.as_ref().expect("non-coarsest level");
+            let (xs_head, xs_tail) = ws.xs.split_at_mut(level + 1);
+            p_op.apply(&self.lib, &xs_tail[0], &mut ws.scratch[level]);
+            let x = &mut xs_head[level];
+            for i in 0..x.len() {
+                x[i] += ws.scratch[level][i];
+            }
+        }
+        self.smooth(level, cfg, cfg.post_sweeps, ws);
+    }
+
+    /// Computes the finest-level residual norm `||b - A x||`.
+    pub fn residual_norm(&self, b: &[T], x: &[T]) -> f64 {
+        let mut r = vec![T::ZERO; b.len()];
+        residual(&self.levels[0].a_csr, x, b, &mut r);
+        smat_matrix::utils::norm2(&r).to_f64()
+    }
+}
+
+/// Reusable per-level vectors for cycling (avoids per-cycle allocation).
+#[derive(Debug, Default)]
+pub struct Workspace<T> {
+    xs: Vec<Vec<T>>,
+    bs: Vec<Vec<T>>,
+    rs: Vec<Vec<T>>,
+    scratch: Vec<Vec<T>>,
+}
+
+impl<T: Scalar> Workspace<T> {
+    /// Creates an empty workspace; it sizes itself on first use.
+    pub fn new() -> Self {
+        Self {
+            xs: Vec::new(),
+            bs: Vec::new(),
+            rs: Vec::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    fn ensure(&mut self, h: &CompiledHierarchy<T>) {
+        if self.xs.len() == h.levels.len()
+            && self
+                .xs
+                .iter()
+                .zip(&h.levels)
+                .all(|(v, l)| v.len() == l.a_csr.rows())
+        {
+            return;
+        }
+        let dims: Vec<usize> = h.levels.iter().map(|l| l.a_csr.rows()).collect();
+        self.xs = dims.iter().map(|&n| vec![T::ZERO; n]).collect();
+        self.bs = dims.iter().map(|&n| vec![T::ZERO; n]).collect();
+        self.rs = dims.iter().map(|&n| vec![T::ZERO; n]).collect();
+        self.scratch = dims.iter().map(|&n| vec![T::ZERO; n]).collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::{setup, AmgConfig};
+    use smat_matrix::gen::laplacian_2d_5pt;
+    use smat_matrix::utils::norm2;
+
+    #[test]
+    fn dense_lu_solves_small_systems() {
+        let a = Csr::<f64>::from_triplets(
+            3,
+            3,
+            &[
+                (0, 0, 4.0),
+                (0, 1, 1.0),
+                (1, 0, 1.0),
+                (1, 1, 3.0),
+                (1, 2, 1.0),
+                (2, 1, 1.0),
+                (2, 2, 2.0),
+            ],
+        )
+        .unwrap();
+        let lu = DenseLu::factor(&a);
+        let x_true = [1.0, -2.0, 3.0];
+        let mut b = [0.0; 3];
+        a.spmv(&x_true, &mut b).unwrap();
+        let mut x = [0.0; 3];
+        lu.solve(&b, &mut x);
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dense_lu_handles_pivoting() {
+        // Zero in the (0,0) position forces a row swap.
+        let a = Csr::<f64>::from_triplets(2, 2, &[(0, 1, 1.0), (1, 0, 2.0), (1, 1, 1.0)]).unwrap();
+        let lu = DenseLu::factor(&a);
+        let mut x = [0.0; 2];
+        lu.solve(&[3.0, 5.0], &mut x);
+        // x1 = 3; 2*x0 + x1 = 5 -> x0 = 1.
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn v_cycle_reduces_residual_fast() {
+        let a = laplacian_2d_5pt::<f64>(24, 24);
+        let n = a.rows();
+        let h = setup(a, &AmgConfig::default());
+        let c = CompiledHierarchy::plain(&h);
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let mut ws = Workspace::new();
+        let cfg = CycleConfig::default();
+        let r0 = c.residual_norm(&b, &x);
+        c.v_cycle(&cfg, &b, &mut x, &mut ws);
+        let r1 = c.residual_norm(&b, &x);
+        c.v_cycle(&cfg, &b, &mut x, &mut ws);
+        let r2 = c.residual_norm(&b, &x);
+        assert!(r1 < 0.5 * r0, "first cycle too weak: {r0} -> {r1}");
+        assert!(r2 < 0.5 * r1, "second cycle too weak: {r1} -> {r2}");
+    }
+
+    #[test]
+    fn gauss_seidel_cycles_also_converge() {
+        let a = laplacian_2d_5pt::<f64>(16, 16);
+        let n = a.rows();
+        let h = setup(a, &AmgConfig::default());
+        let c = CompiledHierarchy::plain(&h);
+        let cfg = CycleConfig {
+            relax: Relaxation::GaussSeidel,
+            ..CycleConfig::default()
+        };
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let mut ws = Workspace::new();
+        for _ in 0..8 {
+            c.v_cycle(&cfg, &b, &mut x, &mut ws);
+        }
+        assert!(c.residual_norm(&b, &x) < 1e-6 * norm2(&b));
+    }
+
+    #[test]
+    fn w_cycle_converges_at_least_as_fast_per_cycle() {
+        let a = laplacian_2d_5pt::<f64>(20, 20);
+        let n = a.rows();
+        let h = setup(a, &AmgConfig::default());
+        let c = CompiledHierarchy::plain(&h);
+        let b = vec![1.0; n];
+        let mut ws = Workspace::new();
+
+        let run = |cycle_type: CycleType, ws: &mut Workspace<f64>| {
+            let cfg = CycleConfig {
+                cycle_type,
+                ..CycleConfig::default()
+            };
+            let mut x = vec![0.0; n];
+            for _ in 0..4 {
+                c.v_cycle(&cfg, &b, &mut x, ws);
+            }
+            c.residual_norm(&b, &x)
+        };
+        let rv = run(CycleType::V, &mut ws);
+        let rw = run(CycleType::W, &mut ws);
+        assert!(rw <= rv * 1.01, "W-cycle weaker than V: {rw} vs {rv}");
+        // ||b|| = sqrt(n); require a 1e-3 relative reduction in 4 cycles.
+        assert!(
+            rw < 1e-3 * (n as f64).sqrt(),
+            "W-cycle failed to converge: {rw}"
+        );
+    }
+
+    #[test]
+    fn plain_formats_are_all_csr() {
+        let a = laplacian_2d_5pt::<f64>(12, 12);
+        let h = setup(a, &AmgConfig::default());
+        let c = CompiledHierarchy::plain(&h);
+        assert!(c.a_formats().iter().all(|&f| f == Format::Csr));
+    }
+}

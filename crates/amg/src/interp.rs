@@ -1,0 +1,236 @@
+//! Direct interpolation.
+//!
+//! Coarse points inject (`P(i, c(i)) = 1`); each fine point interpolates
+//! from its strong coarse neighbors with the classical direct formula,
+//! splitting positive and negative connections:
+//!
+//! ```text
+//! w_ic = -alpha * a_ic / a_ii   (a_ic < 0),   alpha = sum_neg(N_i) / sum_neg(C_i)
+//! w_ic = -beta  * a_ic / a_ii   (a_ic > 0),   beta  = sum_pos(N_i) / sum_pos(C_i)
+//! ```
+//!
+//! where `N_i` are all off-diagonal neighbors and `C_i` the strong
+//! coarse ones. This preserves row sums — constants are interpolated
+//! exactly, the key AMG invariant.
+
+use crate::coarsen::Splitting;
+use crate::strength::StrengthGraph;
+use smat_matrix::{Csr, Scalar};
+
+/// Builds the prolongation matrix `P` (`n_fine x n_coarse`) by direct
+/// interpolation.
+///
+/// # Panics
+///
+/// Panics if `a` is not square, or if a fine point has a zero diagonal
+/// (the operator is not AMG-suitable).
+pub fn direct_interpolation<T: Scalar>(
+    a: &Csr<T>,
+    graph: &StrengthGraph,
+    splitting: &Splitting,
+) -> Csr<T> {
+    assert_eq!(a.rows(), a.cols(), "interpolation needs a square matrix");
+    let n = a.rows();
+    let mut triplets: Vec<(usize, usize, T)> = Vec::new();
+
+    for i in 0..n {
+        if splitting.is_coarse(i) {
+            triplets.push((i, splitting.coarse_index[i], T::ONE));
+            continue;
+        }
+        let (cols, vals) = a.row(i);
+        let mut diag = T::ZERO;
+        let mut sum_neg_all = 0.0f64;
+        let mut sum_pos_all = 0.0f64;
+        for (&j, &v) in cols.iter().zip(vals) {
+            if j == i {
+                diag = v;
+            } else if v.to_f64() < 0.0 {
+                sum_neg_all += v.to_f64();
+            } else {
+                sum_pos_all += v.to_f64();
+            }
+        }
+        assert!(
+            diag != T::ZERO,
+            "fine point {i} has a zero diagonal; cannot interpolate"
+        );
+        // Strong coarse neighbors and their sums.
+        let strong_coarse: Vec<usize> = graph
+            .influencers(i)
+            .iter()
+            .copied()
+            .filter(|&j| splitting.is_coarse(j))
+            .collect();
+        if strong_coarse.is_empty() {
+            // The coarsening fix-up guarantees this cannot happen for
+            // points with strong connections; points with none at all
+            // were promoted to coarse. Defensive: interpolate zero.
+            continue;
+        }
+        let mut sum_neg_c = 0.0f64;
+        let mut sum_pos_c = 0.0f64;
+        for &j in &strong_coarse {
+            let v = a.get(i, j).unwrap_or(T::ZERO).to_f64();
+            if v < 0.0 {
+                sum_neg_c += v;
+            } else {
+                sum_pos_c += v;
+            }
+        }
+        let alpha = if sum_neg_c != 0.0 {
+            sum_neg_all / sum_neg_c
+        } else {
+            0.0
+        };
+        let beta = if sum_pos_c != 0.0 {
+            sum_pos_all / sum_pos_c
+        } else {
+            0.0
+        };
+        let diag_f = diag.to_f64();
+        for &j in &strong_coarse {
+            let v = a.get(i, j).unwrap_or(T::ZERO).to_f64();
+            let w = if v < 0.0 {
+                -alpha * v / diag_f
+            } else {
+                -beta * v / diag_f
+            };
+            if w != 0.0 {
+                triplets.push((i, splitting.coarse_index[j], T::from_f64(w)));
+            }
+        }
+    }
+    Csr::from_triplets(n, splitting.n_coarse, &triplets)
+        .expect("interpolation produces in-bounds triplets")
+}
+
+/// Truncates each interpolation row to its `max_elements` largest
+/// weights (by magnitude), rescaling the survivors so the row sum is
+/// preserved — Hypre's `P_max_elmts` interpolation truncation, which
+/// keeps Galerkin coarse operators from filling in.
+///
+/// `max_elements == 0` disables truncation. Row-sum preservation keeps
+/// constants interpolated exactly, the invariant AMG convergence rests
+/// on.
+///
+/// # Panics
+///
+/// Never panics; rows with at most `max_elements` entries are returned
+/// unchanged.
+pub fn truncate_interpolation<T: Scalar>(p: &Csr<T>, max_elements: usize) -> Csr<T> {
+    if max_elements == 0 {
+        return p.clone();
+    }
+    let mut triplets: Vec<(usize, usize, T)> = Vec::with_capacity(p.nnz());
+    for i in 0..p.rows() {
+        let (cols, vals) = p.row(i);
+        if cols.len() <= max_elements {
+            for (&c, &v) in cols.iter().zip(vals) {
+                triplets.push((i, c, v));
+            }
+            continue;
+        }
+        let row_sum: f64 = vals.iter().map(|v| v.to_f64()).sum();
+        let mut entries: Vec<(usize, T)> = cols.iter().copied().zip(vals.iter().copied()).collect();
+        entries.sort_by(|a, b| b.1.abs().to_f64().total_cmp(&a.1.abs().to_f64()));
+        entries.truncate(max_elements);
+        let kept_sum: f64 = entries.iter().map(|(_, v)| v.to_f64()).sum();
+        let scale = if kept_sum.abs() > 1e-300 {
+            row_sum / kept_sum
+        } else {
+            1.0
+        };
+        for (c, v) in entries {
+            triplets.push((i, c, T::from_f64(v.to_f64() * scale)));
+        }
+    }
+    Csr::from_triplets(p.rows(), p.cols(), &triplets).expect("truncation keeps indices in bounds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coarsen::{coarsen, Coarsening};
+    use crate::strength::{StrengthGraph, DEFAULT_THETA};
+    use smat_matrix::gen::{laplacian_2d_5pt, tridiagonal};
+
+    fn build(a: &Csr<f64>) -> (StrengthGraph, Splitting, Csr<f64>) {
+        let g = StrengthGraph::build(a, DEFAULT_THETA);
+        let s = coarsen(&g, Coarsening::RugeStuben, 0);
+        let p = direct_interpolation(a, &g, &s);
+        (g, s, p)
+    }
+
+    #[test]
+    fn coarse_rows_are_injection() {
+        let a = laplacian_2d_5pt::<f64>(8, 8);
+        let (_, s, p) = build(&a);
+        for i in 0..a.rows() {
+            if s.is_coarse(i) {
+                let (cols, vals) = p.row(i);
+                assert_eq!(cols, &[s.coarse_index[i]]);
+                assert_eq!(vals, &[1.0]);
+            }
+        }
+    }
+
+    #[test]
+    fn interpolation_reproduces_constants_in_interior() {
+        // For zero-row-sum rows (interior stencil points), the direct
+        // formula makes P's row sum exactly 1: constants interpolate
+        // exactly.
+        let a = laplacian_2d_5pt::<f64>(10, 10);
+        let (_, s, p) = build(&a);
+        for i in 0..a.rows() {
+            let (_, avals) = a.row(i);
+            let row_sum: f64 = avals.iter().sum();
+            if row_sum.abs() < 1e-12 && !s.is_coarse(i) {
+                let (_, pvals) = p.row(i);
+                let w: f64 = pvals.iter().sum();
+                assert!((w - 1.0).abs() < 1e-10, "row {i} weight sum {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn weights_are_nonnegative_for_m_matrices() {
+        let a = tridiagonal::<f64>(30);
+        let (_, _, p) = build(&a);
+        for &v in p.values() {
+            assert!(v >= 0.0, "negative interpolation weight {v}");
+            assert!(v <= 1.0 + 1e-12, "weight above 1: {v}");
+        }
+    }
+
+    #[test]
+    fn truncation_bounds_row_width_and_preserves_sums() {
+        let a = laplacian_2d_5pt::<f64>(12, 12);
+        let (_, _, p) = build(&a);
+        let t = truncate_interpolation(&p, 2);
+        for i in 0..t.rows() {
+            let (cols, vals) = t.row(i);
+            assert!(cols.len() <= 2, "row {i} kept {} entries", cols.len());
+            let (_, orig_vals) = p.row(i);
+            let orig_sum: f64 = orig_vals.iter().sum();
+            let new_sum: f64 = vals.iter().sum();
+            assert!(
+                (orig_sum - new_sum).abs() < 1e-10,
+                "row {i} sum changed: {orig_sum} -> {new_sum}"
+            );
+        }
+        // max_elements == 0 is identity.
+        assert_eq!(truncate_interpolation(&p, 0), p);
+        // Wide enough bound is also identity.
+        assert_eq!(truncate_interpolation(&p, 100), p);
+    }
+
+    #[test]
+    fn dimensions_match_splitting() {
+        let a = laplacian_2d_5pt::<f64>(9, 7);
+        let (_, s, p) = build(&a);
+        assert_eq!(p.rows(), a.rows());
+        assert_eq!(p.cols(), s.n_coarse);
+        p.validate().unwrap();
+    }
+}

@@ -1,0 +1,150 @@
+//! Sparse matrix-matrix products (CSR × CSR) and the Galerkin triple
+//! product `A_coarse = R · A · P` used by the AMG setup phase.
+//!
+//! The multiply is Gustavson's algorithm: one dense accumulator row,
+//! reset lazily via a versioned marker array.
+
+use smat_matrix::{Csr, Scalar};
+
+/// Computes `C = A · B` for CSR matrices.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+pub fn spgemm<T: Scalar>(a: &Csr<T>, b: &Csr<T>) -> Csr<T> {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "spgemm dimension mismatch: {}x{} times {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let rows = a.rows();
+    let cols = b.cols();
+    let mut acc = vec![T::ZERO; cols];
+    let mut marker = vec![usize::MAX; cols];
+    let mut row_cols: Vec<usize> = Vec::new();
+
+    let mut row_ptr = Vec::with_capacity(rows + 1);
+    let mut col_idx = Vec::new();
+    let mut values = Vec::new();
+    row_ptr.push(0);
+
+    for i in 0..rows {
+        row_cols.clear();
+        let (a_cols, a_vals) = a.row(i);
+        for (&k, &av) in a_cols.iter().zip(a_vals) {
+            let (b_cols, b_vals) = b.row(k);
+            for (&j, &bv) in b_cols.iter().zip(b_vals) {
+                if marker[j] != i {
+                    marker[j] = i;
+                    acc[j] = T::ZERO;
+                    row_cols.push(j);
+                }
+                acc[j] += av * bv;
+            }
+        }
+        row_cols.sort_unstable();
+        for &j in &row_cols {
+            col_idx.push(j);
+            values.push(acc[j]);
+        }
+        row_ptr.push(col_idx.len());
+    }
+    Csr::from_parts_unchecked(rows, cols, row_ptr, col_idx, values)
+}
+
+/// The Galerkin coarse operator `R · A · P` (with `R` usually `P^T`).
+///
+/// # Panics
+///
+/// Panics on dimension mismatches.
+pub fn rap<T: Scalar>(r: &Csr<T>, a: &Csr<T>, p: &Csr<T>) -> Csr<T> {
+    spgemm(&spgemm(r, a), p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smat_matrix::gen::{laplacian_2d_5pt, random_uniform};
+    use smat_matrix::utils::max_abs_diff;
+
+    fn dense_mul(a: &Csr<f64>, b: &Csr<f64>) -> Vec<f64> {
+        let (m, k, n) = (a.rows(), a.cols(), b.cols());
+        let da = a.to_dense();
+        let db = b.to_dense();
+        let mut out = vec![0.0; m * n];
+        for i in 0..m {
+            for l in 0..k {
+                let av = da[i * k + l];
+                if av == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    out[i * n + j] += av * db[l * n + j];
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matches_dense_multiply() {
+        let a = random_uniform::<f64>(40, 30, 4, 1);
+        let b = random_uniform::<f64>(30, 25, 3, 2);
+        let c = spgemm(&a, &b);
+        assert_eq!(c.rows(), 40);
+        assert_eq!(c.cols(), 25);
+        assert!(max_abs_diff(&c.to_dense(), &dense_mul(&a, &b)) < 1e-12);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = random_uniform::<f64>(20, 20, 5, 3);
+        let i = Csr::<f64>::identity(20);
+        assert_eq!(spgemm(&a, &i), a);
+        assert_eq!(spgemm(&i, &a), a);
+    }
+
+    #[test]
+    fn rap_preserves_symmetry() {
+        let a = laplacian_2d_5pt::<f64>(8, 8);
+        // Simple aggregation-like P: group pairs of points.
+        let n = a.rows();
+        let nc = n / 2;
+        let triplets: Vec<(usize, usize, f64)> =
+            (0..n).map(|i| (i, (i / 2).min(nc - 1), 1.0)).collect();
+        let p = Csr::from_triplets(n, nc, &triplets).unwrap();
+        let r = p.transpose();
+        let ac = rap(&r, &a, &p);
+        assert_eq!(ac.rows(), nc);
+        assert_eq!(ac.cols(), nc);
+        assert_eq!(ac.transpose(), ac, "Galerkin product of symmetric A");
+        // Row sums of A are >= 0 and P partitions unity -> Ac row sums >= 0.
+        for i in 0..nc {
+            let (_, vals) = ac.row(i);
+            assert!(vals.iter().sum::<f64>() >= -1e-9);
+        }
+    }
+
+    #[test]
+    fn cancellation_keeps_explicit_zero() {
+        // (1)(1) + (1)(-1) = 0: Gustavson keeps the structural entry.
+        let a = Csr::<f64>::from_triplets(1, 2, &[(0, 0, 1.0), (0, 1, 1.0)]).unwrap();
+        let b = Csr::<f64>::from_triplets(2, 1, &[(0, 0, 1.0), (1, 0, -1.0)]).unwrap();
+        let c = spgemm(&a, &b);
+        assert_eq!(c.nnz(), 1);
+        assert_eq!(c.get(0, 0), Some(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "spgemm dimension mismatch")]
+    fn mismatched_dims_panic() {
+        let a = Csr::<f64>::identity(3);
+        let b = Csr::<f64>::identity(4);
+        spgemm(&a, &b);
+    }
+}

@@ -1,0 +1,98 @@
+//! Ablations of SMAT's design choices (DESIGN.md §7):
+//!
+//! * scoreboard-selected kernel vs. basic kernel per format — the value
+//!   of the §5.2 kernel search;
+//! * tailored ruleset vs. full ruleset classification — the value of
+//!   rule tailoring;
+//! * always-execute-measure vs. model prediction — the value of the
+//!   learned model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smat::{SmatConfig, Trainer};
+use smat_bench::{harness_config, train_engine};
+use smat_features::extract_features;
+use smat_kernels::KernelLibrary;
+use smat_matrix::gen::{banded, fixed_degree, power_law, random_skewed, random_uniform};
+use smat_matrix::{AnyMatrix, Csr, Format};
+
+fn probe(format: Format) -> Csr<f64> {
+    let n = 20_000;
+    match format {
+        Format::Dia => banded(n, &[-64, -1, 0, 1, 64], 1.0, 1),
+        Format::Ell => fixed_degree(n, n, 12, 0, 2),
+        Format::Csr => random_uniform(n, n, 12, 3),
+        Format::Coo => power_law(n, 2_000, 2.0, 4),
+        Format::Hyb => random_skewed(n, n, 10, 0.05, 12, 5),
+    }
+}
+
+fn bench_kernel_search_value(c: &mut Criterion) {
+    let lib = KernelLibrary::<f64>::new();
+    let trainer = Trainer::new(harness_config());
+    let (choice, _) = trainer.search_kernels(&lib);
+    let mut group = c.benchmark_group("ablation_kernel_search");
+    group.sample_size(20);
+    for format in Format::ALL {
+        let csr = probe(format);
+        let any = AnyMatrix::convert_from_csr(&csr, format).expect("friendly probe");
+        let x = vec![1.0f64; csr.cols()];
+        let mut y = vec![0.0f64; csr.rows()];
+        group.bench_with_input(
+            BenchmarkId::new("basic_kernel", format.name()),
+            &any,
+            |b, any| b.iter(|| lib.run(any, 0, &x, &mut y)),
+        );
+        let v = choice.kernel(format).variant;
+        group.bench_with_input(
+            BenchmarkId::new("searched_kernel", format.name()),
+            &any,
+            |b, any| b.iter(|| lib.run(any, v, &x, &mut y)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_tailoring_value(c: &mut Criterion) {
+    let engine = train_engine::<f64>(300, 0xAB7);
+    let model = engine.model();
+    let feats = extract_features(&probe(Format::Csr));
+    let values = feats.as_array();
+    let mut group = c.benchmark_group("ablation_rule_tailoring");
+    group.bench_function(
+        format!("full_ruleset_{}_rules", model.ruleset.len()),
+        |b| b.iter(|| model.ruleset.classify(&values)),
+    );
+    group.bench_function(
+        format!("tailored_groups_{}_rules", model.groups.rule_count()),
+        |b| b.iter(|| model.groups.decide(&values)),
+    );
+    group.finish();
+}
+
+fn bench_model_vs_measure(c: &mut Criterion) {
+    // The paper's key overhead claim: a confident prediction costs a few
+    // CSR-SpMVs; benchmarking candidates costs ~15x.
+    let engine = train_engine::<f64>(300, 0xAB8);
+    let measure_all = smat::Smat::<f64>::with_config(
+        engine.model().clone(),
+        SmatConfig {
+            confidence_threshold: 1.1, // force fallback always
+            ..harness_config()
+        },
+    )
+    .expect("same precision");
+    let m = banded::<f64>(20_000, &[-64, -1, 0, 1, 64], 1.0, 9);
+    let mut group = c.benchmark_group("ablation_model_vs_measure");
+    group.sample_size(10);
+    group.bench_function("prepare_with_model", |b| b.iter(|| engine.prepare(&m)));
+    group.bench_function("prepare_measure_only", |b| b.iter(|| measure_all.prepare(&m)));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_kernel_search_value,
+    bench_tailoring_value,
+    bench_model_vs_measure
+);
+criterion_main!(benches);

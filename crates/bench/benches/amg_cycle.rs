@@ -1,0 +1,40 @@
+//! V-cycle throughput: plain-CSR hierarchy vs. SMAT-tuned hierarchy —
+//! the per-cycle version of Table 4.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smat_amg::{AmgConfig, AmgSolver, Coarsening, CycleConfig};
+use smat_bench::train_engine;
+use smat_matrix::gen::laplacian_2d_9pt;
+
+fn bench_amg(c: &mut Criterion) {
+    let engine = train_engine::<f64>(200, 0xA4C);
+    let a = laplacian_2d_9pt::<f64>(150, 150);
+    let n = a.rows();
+    let cfg = AmgConfig {
+        coarsening: Coarsening::RugeStuben,
+        ..AmgConfig::default()
+    };
+    let cycle = CycleConfig::default();
+    let plain = AmgSolver::new(a.clone(), &cfg, cycle);
+    let tuned = AmgSolver::with_smat(a, &cfg, cycle, &engine);
+
+    let b_vec = vec![1.0f64; n];
+    let mut group = c.benchmark_group("amg_solve_9pt_150x150");
+    group.sample_size(10);
+    group.bench_function("plain_csr", |bch| {
+        bch.iter(|| {
+            let mut x = vec![0.0f64; n];
+            plain.solve(&b_vec, &mut x, 1e-8, 60)
+        });
+    });
+    group.bench_function("smat_tuned", |bch| {
+        bch.iter(|| {
+            let mut x = vec![0.0f64; n];
+            tuned.solve(&b_vec, &mut x, 1e-8, 60)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_amg);
+criterion_main!(benches);

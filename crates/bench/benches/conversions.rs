@@ -1,0 +1,44 @@
+//! Format conversion cost — the dominant term of the paper's §7.3
+//! exhaustive-search overhead discussion (e.g. "the conversion from CSR
+//! to ELL consumes 39.6 times of CSR-SpMV").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smat_matrix::gen::{banded, fixed_degree, random_uniform};
+use smat_matrix::{Coo, Csr, Dia, Ell};
+
+fn bench_conversions(c: &mut Criterion) {
+    let n = 20_000;
+    let cases: Vec<(&str, Csr<f64>)> = vec![
+        ("banded", banded(n, &[-64, -1, 0, 1, 64], 1.0, 1)),
+        ("uniform_degree", fixed_degree(n, n, 10, 0, 2)),
+        ("random", random_uniform(n, n, 10, 3)),
+    ];
+    let mut group = c.benchmark_group("convert_from_csr");
+    for (name, m) in &cases {
+        group.bench_with_input(BenchmarkId::new("to_coo", name), m, |b, m| {
+            b.iter(|| Coo::from_csr(m));
+        });
+        group.bench_with_input(BenchmarkId::new("to_ell", name), m, |b, m| {
+            b.iter(|| Ell::from_csr(m).ok());
+        });
+        if Dia::from_csr(m).is_ok() {
+            group.bench_with_input(BenchmarkId::new("to_dia", name), m, |b, m| {
+                b.iter(|| Dia::from_csr(m).ok());
+            });
+        }
+        // The baseline everything is measured against: one CSR SpMV.
+        let x = vec![1.0f64; m.cols()];
+        let mut y = vec![0.0f64; m.rows()];
+        group.bench_with_input(BenchmarkId::new("one_csr_spmv", name), m, |b, m| {
+            b.iter(|| smat_kernels::csr::basic(m, &x, &mut y));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_conversions
+}
+criterion_main!(benches);

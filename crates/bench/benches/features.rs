@@ -1,0 +1,34 @@
+//! Feature extraction cost: the cheap structural pass vs. the full
+//! extraction including the power-law fit (the paper's two-step split,
+//! which motivates the optimistic early exit).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smat_features::{extract_features, extract_structure};
+use smat_matrix::gen::{banded, power_law, random_uniform};
+use smat_matrix::Csr;
+
+fn bench_features(c: &mut Criterion) {
+    let n = 30_000;
+    let cases: Vec<(&str, Csr<f64>)> = vec![
+        ("banded", banded(n, &[-64, -1, 0, 1, 64], 1.0, 1)),
+        ("random", random_uniform(n, n, 10, 2)),
+        ("power_law", power_law(n, 3_000, 2.0, 3)),
+    ];
+    let mut group = c.benchmark_group("feature_extraction");
+    for (name, m) in &cases {
+        group.bench_with_input(BenchmarkId::new("structure_only", name), m, |b, m| {
+            b.iter(|| extract_structure(m));
+        });
+        group.bench_with_input(BenchmarkId::new("with_power_law", name), m, |b, m| {
+            b.iter(|| extract_features(m));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_features
+}
+criterion_main!(benches);

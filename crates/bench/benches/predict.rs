@@ -1,0 +1,32 @@
+//! On-line decision cost: ruleset classification alone, the full
+//! `prepare` on a confidently-predicted matrix, and the full `prepare`
+//! on a fallback (execute-measure) matrix — the three regimes behind the
+//! paper's Table 3 overhead column.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smat_bench::train_engine;
+use smat_features::extract_features;
+use smat_matrix::gen::{banded, random_uniform};
+
+fn bench_predict(c: &mut Criterion) {
+    let engine = train_engine::<f64>(200, 0xBE4C);
+    let banded_m = banded::<f64>(20_000, &[-64, -1, 0, 1, 64], 1.0, 1);
+    let random_m = random_uniform::<f64>(20_000, 20_000, 10, 2);
+    let feats = extract_features(&banded_m);
+
+    let mut group = c.benchmark_group("online_decision");
+    group.sample_size(20);
+    group.bench_function("ruleset_classify_only", |b| {
+        b.iter(|| engine.model().predict(&feats));
+    });
+    group.bench_function("prepare_banded", |b| {
+        b.iter(|| engine.prepare(&banded_m));
+    });
+    group.bench_function("prepare_random", |b| {
+        b.iter(|| engine.prepare(&random_m));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_predict);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Figure 1: dynamic sparse matrix structures in the AMG solver and
+//! their per-format SpMV performance.
+//!
+//! Builds the AMG hierarchy of a 3-D Laplacian, then measures the
+//! basic-kernel SpMV throughput of every level's grid operator in all
+//! four formats. The paper's observation: the fine levels favor DIA (or
+//! COO), while coarser levels drift toward CSR as the operators fill in
+//! and lose diagonal structure.
+
+use smat_amg::{setup, AmgConfig, Coarsening};
+use smat_bench::{fmt_gflops, print_table};
+use smat_features::extract_features;
+use smat_kernels::timing::{gflops, reps_for_budget, time_median};
+use smat_kernels::KernelLibrary;
+use smat_matrix::gen::laplacian_3d_7pt;
+use smat_matrix::{AnyMatrix, Csr, Format};
+use std::time::Duration;
+
+fn measure(lib: &KernelLibrary<f64>, m: &Csr<f64>) -> [Option<f64>; Format::COUNT] {
+    let x = vec![1.0; m.cols()];
+    let mut y = vec![0.0; m.rows()];
+    let mut out = [None; Format::COUNT];
+    for f in Format::ALL {
+        let Ok(any) = AnyMatrix::convert_from_csr(m, f) else {
+            continue;
+        };
+        let t0 = std::time::Instant::now();
+        lib.run(&any, 0, &x, &mut y);
+        let one = t0.elapsed();
+        let reps = reps_for_budget(one, Duration::from_millis(3), 3, 16);
+        let med = time_median(|| lib.run(&any, 0, &x, &mut y), 0, reps);
+        out[f.index()] = Some(gflops(m.nnz(), med));
+    }
+    out
+}
+
+fn main() {
+    let n = std::env::var("SMAT_FIG1_DIM")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(40usize);
+    println!("== Figure 1: per-level format performance in the AMG hierarchy ==");
+    println!("(7-point Laplacian on a {n}^3 grid, CLJP coarsening)\n");
+
+    let a = laplacian_3d_7pt::<f64>(n, n, n);
+    let cfg = AmgConfig {
+        coarsening: Coarsening::Cljp,
+        ..AmgConfig::default()
+    };
+    let h = setup(a, &cfg);
+    let lib = KernelLibrary::<f64>::new();
+
+    let mut rows = Vec::new();
+    for (lvl, level) in h.levels.iter().enumerate() {
+        let perf = measure(&lib, &level.a);
+        let feats = extract_features(&level.a);
+        let best = Format::ALL
+            .into_iter()
+            .filter_map(|f| perf[f.index()].map(|g| (f, g)))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(f, _)| f.name())
+            .unwrap_or("n/a");
+        let cell = |f: Format| {
+            perf[f.index()]
+                .map(fmt_gflops)
+                .unwrap_or_else(|| "n/a".into())
+        };
+        rows.push(vec![
+            lvl.to_string(),
+            level.a.rows().to_string(),
+            level.a.nnz().to_string(),
+            format!("{:.0}", feats.ndiags),
+            format!("{:.2}", feats.er_dia),
+            cell(Format::Dia),
+            cell(Format::Ell),
+            cell(Format::Csr),
+            cell(Format::Coo),
+            cell(Format::Hyb),
+            best.to_string(),
+        ]);
+    }
+    print_table(
+        &[
+            "level", "rows", "nnz", "Ndiags", "ER_DIA", "DIA", "ELL", "CSR", "COO", "HYB", "best",
+        ],
+        &rows,
+    );
+    println!("\npaper's shape: DIA/COO win on the fine (structured) levels; as coarse");
+    println!("operators fill in (ER_DIA drops), CSR takes over — one static format");
+    println!("cannot be right for the whole hierarchy.");
+}

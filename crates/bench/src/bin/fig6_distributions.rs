@@ -1,0 +1,154 @@
+//! Figure 6(a-e): distribution of beneficial matrices over the feature
+//! parameter intervals.
+//!
+//! For each parameter the paper histograms, prints the share of
+//! format-beneficial matrices falling in each interval: small `Ndiags` /
+//! `max_RD` and large `ER_*` / `NTdiags_ratio` should concentrate the
+//! DIA/ELL winners; COO winners should concentrate at `R` in `[1, 4]`.
+
+use smat::{label_best_format, Trainer};
+use smat_bench::{corpus_size, harness_config, print_table};
+use smat_features::{extract_features, FeatureVector, R_NOT_SCALE_FREE};
+use smat_kernels::KernelLibrary;
+use smat_matrix::gen::{generate_corpus, CorpusSpec};
+use smat_matrix::Format;
+use std::time::Duration;
+
+struct Histogram {
+    title: &'static str,
+    bins: Vec<(&'static str, Box<dyn Fn(&FeatureVector) -> bool>)>,
+}
+
+fn percent_rows(hist: &Histogram, beneficial: &[FeatureVector]) -> Vec<Vec<String>> {
+    let total = beneficial.len().max(1);
+    hist.bins
+        .iter()
+        .map(|(label, pred)| {
+            let n = beneficial.iter().filter(|f| pred(f)).count();
+            vec![
+                label.to_string(),
+                n.to_string(),
+                format!("{:.0}%", 100.0 * n as f64 / total as f64),
+            ]
+        })
+        .collect()
+}
+
+fn main() {
+    let count = corpus_size();
+    println!("== Figure 6: beneficial-matrix distributions over parameter intervals ({count} matrices) ==\n");
+    let spec = CorpusSpec {
+        count,
+        seed: 0xF16_6,
+        min_dim: 512,
+        max_dim: 32_768,
+    };
+    let corpus = generate_corpus::<f64>(&spec);
+    let lib = KernelLibrary::<f64>::new();
+    let trainer = Trainer::new(harness_config());
+    let (choice, _) = trainer.search_kernels(&lib);
+
+    // Partition feature vectors by measured best format.
+    let mut per_format: [Vec<FeatureVector>; Format::COUNT] = Default::default();
+    for e in &corpus {
+        let f = extract_features(&e.matrix);
+        let (best, _) = label_best_format(&lib, &choice, &e.matrix, Duration::from_millis(1));
+        per_format[best.index()].push(f);
+    }
+
+    let dia = &per_format[Format::Dia.index()];
+    let ell = &per_format[Format::Ell.index()];
+    let coo = &per_format[Format::Coo.index()];
+    println!(
+        "beneficial matrices: DIA {}, ELL {}, CSR {}, COO {}\n",
+        dia.len(),
+        ell.len(),
+        per_format[Format::Csr.index()].len(),
+        coo.len()
+    );
+
+    let interval = |lo: f64, hi: f64, get: fn(&FeatureVector) -> f64| {
+        move |f: &FeatureVector| get(f) >= lo && get(f) < hi
+    };
+
+    // (a) Ndiags for DIA winners, max_RD for ELL winners.
+    let hist_a_dia = Histogram {
+        title: "(a) DIA winners vs Ndiags",
+        bins: vec![
+            ("Ndiags in [0,10)", Box::new(interval(0.0, 10.0, |f| f.ndiags))),
+            ("Ndiags in [10,40)", Box::new(interval(10.0, 40.0, |f| f.ndiags))),
+            ("Ndiags in [40,200)", Box::new(interval(40.0, 200.0, |f| f.ndiags))),
+            ("Ndiags >= 200", Box::new(|f: &FeatureVector| f.ndiags >= 200.0)),
+        ],
+    };
+    let hist_a_ell = Histogram {
+        title: "(a) ELL winners vs max_RD",
+        bins: vec![
+            ("max_RD in [0,8)", Box::new(interval(0.0, 8.0, |f| f.max_rd))),
+            ("max_RD in [8,32)", Box::new(interval(8.0, 32.0, |f| f.max_rd))),
+            ("max_RD in [32,128)", Box::new(interval(32.0, 128.0, |f| f.max_rd))),
+            ("max_RD >= 128", Box::new(|f: &FeatureVector| f.max_rd >= 128.0)),
+        ],
+    };
+    // (b) ER_DIA / ER_ELL.
+    let hist_b_dia = Histogram {
+        title: "(b) DIA winners vs ER_DIA",
+        bins: vec![
+            ("ER_DIA in [0,0.5)", Box::new(interval(0.0, 0.5, |f| f.er_dia))),
+            ("ER_DIA in [0.5,0.9)", Box::new(interval(0.5, 0.9, |f| f.er_dia))),
+            ("ER_DIA >= 0.9", Box::new(|f: &FeatureVector| f.er_dia >= 0.9)),
+        ],
+    };
+    let hist_b_ell = Histogram {
+        title: "(b) ELL winners vs ER_ELL",
+        bins: vec![
+            ("ER_ELL in [0,0.5)", Box::new(interval(0.0, 0.5, |f| f.er_ell))),
+            ("ER_ELL in [0.5,0.9)", Box::new(interval(0.5, 0.9, |f| f.er_ell))),
+            ("ER_ELL >= 0.9", Box::new(|f: &FeatureVector| f.er_ell >= 0.9)),
+        ],
+    };
+    // (c) NTdiags_ratio for DIA winners.
+    let hist_c = Histogram {
+        title: "(c) DIA winners vs NTdiags_ratio",
+        bins: vec![
+            ("ratio in [0,0.3)", Box::new(interval(0.0, 0.3, |f| f.ntdiags_ratio))),
+            ("ratio in [0.3,0.7)", Box::new(interval(0.3, 0.7, |f| f.ntdiags_ratio))),
+            ("ratio in [0.7,1.0]", Box::new(|f: &FeatureVector| f.ntdiags_ratio >= 0.7)),
+        ],
+    };
+    // (d) var_RD for ELL winners.
+    let hist_d = Histogram {
+        title: "(d) ELL winners vs var_RD",
+        bins: vec![
+            ("var_RD in [0,0.5)", Box::new(interval(0.0, 0.5, |f| f.var_rd))),
+            ("var_RD in [0.5,4)", Box::new(interval(0.5, 4.0, |f| f.var_rd))),
+            ("var_RD >= 4", Box::new(|f: &FeatureVector| f.var_rd >= 4.0)),
+        ],
+    };
+    // (e) R for COO winners.
+    let hist_e = Histogram {
+        title: "(e) COO winners vs power-law R",
+        bins: vec![
+            ("R in [0,1)", Box::new(interval(0.0, 1.0, |f| f.r))),
+            ("R in [1,4]", Box::new(|f: &FeatureVector| (1.0..=4.0).contains(&f.r))),
+            ("R in (4,inf)", Box::new(|f: &FeatureVector| f.r > 4.0 && f.r < R_NOT_SCALE_FREE)),
+            ("no power law", Box::new(|f: &FeatureVector| f.r >= R_NOT_SCALE_FREE)),
+        ],
+    };
+
+    for (hist, data) in [
+        (&hist_a_dia, dia),
+        (&hist_a_ell, ell),
+        (&hist_b_dia, dia),
+        (&hist_b_ell, ell),
+        (&hist_c, dia),
+        (&hist_d, ell),
+        (&hist_e, coo),
+    ] {
+        println!("{}", hist.title);
+        print_table(&["interval", "count", "share"], &percent_rows(hist, data));
+        println!();
+    }
+    println!("Paper's reading: small Ndiags/max_RD, large ER_*/NTdiags_ratio and");
+    println!("R in [1,4] are where DIA/ELL/COO matrices concentrate.");
+}

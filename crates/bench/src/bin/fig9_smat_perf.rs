@@ -1,0 +1,72 @@
+//! Figure 9: SMAT's tuned SpMV throughput on the 16 representative
+//! matrices, in single and double precision.
+//!
+//! Trains a model per precision (the paper's off-line stage), tunes each
+//! suite matrix, and prints the achieved GFLOPS together with the chosen
+//! format. The paper's shape: DIA/ELL/COO-affine matrices (rows 1-8,
+//! 13-16) reach higher throughput than the CSR-bound ones (rows 9-12),
+//! with up to ~5x spread.
+
+use smat::{tuned_gflops, Smat};
+use smat_bench::{
+    corpus_size, fmt_gflops, print_table, representative_suite, suite_scale, train_engine,
+};
+use smat_matrix::Scalar;
+use std::time::Duration;
+
+fn run<T: Scalar>(engine: &Smat<T>) -> Vec<(usize, &'static str, String, f64)> {
+    let suite = representative_suite::<T>(suite_scale());
+    suite
+        .iter()
+        .map(|e| {
+            let tuned = engine.prepare(&e.matrix);
+            let g = tuned_gflops(engine, &tuned, Duration::from_millis(5));
+            (e.id, e.name, tuned.format().to_string(), g)
+        })
+        .collect()
+}
+
+fn main() {
+    let corpus = corpus_size();
+    println!("== Figure 9: SMAT performance on the representative suite ==");
+    println!("(training corpus: {corpus} matrices per precision)\n");
+
+    eprintln!("training single-precision model...");
+    let engine_sp = train_engine::<f32>(corpus, 0xF19);
+    eprintln!("training double-precision model...");
+    let engine_dp = train_engine::<f64>(corpus, 0xF19);
+
+    let sp = run(&engine_sp);
+    let dp = run(&engine_dp);
+
+    let rows: Vec<Vec<String>> = sp
+        .iter()
+        .zip(&dp)
+        .map(|(s, d)| {
+            vec![
+                format!("{:>2}", s.0),
+                s.1.to_string(),
+                s.2.clone(),
+                fmt_gflops(s.3),
+                d.2.clone(),
+                fmt_gflops(d.3),
+            ]
+        })
+        .collect();
+    print_table(
+        &["#", "matrix", "SP fmt", "SP GFLOPS", "DP fmt", "DP GFLOPS"],
+        &rows,
+    );
+
+    let max_sp = sp.iter().map(|r| r.3).fold(0.0, f64::max);
+    let max_dp = dp.iter().map(|r| r.3).fold(0.0, f64::max);
+    let min_sp = sp.iter().map(|r| r.3).fold(f64::MAX, f64::min);
+    let min_dp = dp.iter().map(|r| r.3).fold(f64::MAX, f64::min);
+    println!("\npeak: {max_sp:.2} GFLOPS (SP), {max_dp:.2} GFLOPS (DP)");
+    println!(
+        "variation across matrices: {:.1}x (SP), {:.1}x (DP) — paper reports up to ~5x",
+        max_sp / min_sp,
+        max_dp / min_dp
+    );
+    println!("paper's peaks on Xeon X5680: 51 GFLOPS (SP), 37 GFLOPS (DP)");
+}

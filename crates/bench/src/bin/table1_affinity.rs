@@ -1,0 +1,69 @@
+//! Table 1: application domains and the distribution of format affinity.
+//!
+//! Generates the synthetic corpus (UF-collection stand-in), measures
+//! every matrix's best format exhaustively, and prints the domain ×
+//! format counts plus the percentage row — the paper reports CSR 63%,
+//! COO 21%, DIA 9%, ELL 7% over 2386 matrices.
+
+use smat::{label_best_format, Trainer};
+use smat_bench::{corpus_size, harness_config, print_table};
+use smat_kernels::KernelLibrary;
+use smat_matrix::gen::{generate_corpus, CorpusSpec};
+use smat_matrix::Format;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+fn main() {
+    let count = corpus_size();
+    println!("== Table 1: format affinity across application domains ({count} synthetic matrices) ==\n");
+    let spec = CorpusSpec {
+        count,
+        seed: 0x7AB1E1,
+        min_dim: 512,
+        max_dim: 32_768,
+    };
+    let corpus = generate_corpus::<f64>(&spec);
+
+    let lib = KernelLibrary::<f64>::new();
+    let trainer = Trainer::new(harness_config());
+    let (choice, _) = trainer.search_kernels(&lib);
+
+    // domain -> [dia, ell, csr, coo] counts.
+    let mut table: BTreeMap<&'static str, [usize; Format::COUNT]> = BTreeMap::new();
+    let mut totals = [0usize; Format::COUNT];
+    for entry in &corpus {
+        let (best, _) = label_best_format(&lib, &choice, &entry.matrix, Duration::from_millis(1));
+        table.entry(entry.domain).or_default()[best.index()] += 1;
+        totals[best.index()] += 1;
+    }
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut order: Vec<(&str, [usize; Format::COUNT])> = table.into_iter().collect();
+    order.sort_by_key(|(_, c)| std::cmp::Reverse(c.iter().sum::<usize>()));
+    for (domain, counts) in order {
+        rows.push(vec![
+            domain.to_string(),
+            counts[Format::Csr.index()].to_string(),
+            counts[Format::Coo.index()].to_string(),
+            counts[Format::Dia.index()].to_string(),
+            counts[Format::Ell.index()].to_string(),
+            counts[Format::Hyb.index()].to_string(),
+            counts.iter().sum::<usize>().to_string(),
+        ]);
+    }
+    let total: usize = totals.iter().sum();
+    rows.push(vec![
+        "Percentage".into(),
+        format!("{:.0}%", 100.0 * totals[Format::Csr.index()] as f64 / total as f64),
+        format!("{:.0}%", 100.0 * totals[Format::Coo.index()] as f64 / total as f64),
+        format!("{:.0}%", 100.0 * totals[Format::Dia.index()] as f64 / total as f64),
+        format!("{:.0}%", 100.0 * totals[Format::Ell.index()] as f64 / total as f64),
+        format!("{:.0}%", 100.0 * totals[Format::Hyb.index()] as f64 / total as f64),
+        total.to_string(),
+    ]);
+    print_table(
+        &["Application Domain", "CSR", "COO", "DIA", "ELL", "HYB", "Total"],
+        &rows,
+    );
+    println!("\nPaper's split over the UF collection: CSR 63%, COO 21%, DIA 9%, ELL 7%.");
+}

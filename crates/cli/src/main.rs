@@ -1,0 +1,397 @@
+//! `smat` — command-line interface for the SMAT auto-tuner.
+//!
+//! ```text
+//! smat train    --out MODEL.json [--corpus N] [--seed S] [--single]
+//!               [--min-dim D] [--max-dim D]
+//! smat predict  --model MODEL.json MATRIX.mtx
+//! smat tune     --model MODEL.json MATRIX.mtx
+//! smat bench    MATRIX.mtx
+//! smat features MATRIX.mtx
+//! smat rules    --model MODEL.json
+//! ```
+//!
+//! Matrices are Matrix Market files (the UF/SuiteSparse distribution
+//! format); models are the JSON artifacts produced by `smat train`.
+
+use smat::{
+    label_best_format, tuned_gflops, DecisionPath, Smat, SmatConfig, TrainedModel, Trainer,
+};
+use smat_features::extract_features;
+use smat_kernels::KernelLibrary;
+use smat_matrix::gen::{generate_corpus, CorpusSpec};
+use smat_matrix::io::read_matrix_market_file;
+use smat_matrix::{Csr, Format};
+use std::process::ExitCode;
+use std::time::Duration;
+
+const USAGE: &str = "\
+smat — input adaptive SpMV auto-tuner (SMAT, PLDI'13 reproduction)
+
+USAGE:
+  smat train    --out MODEL.json [--corpus N] [--seed S] [--single]
+                [--min-dim D] [--max-dim D]
+  smat predict  --model MODEL.json MATRIX.mtx
+  smat tune     --model MODEL.json MATRIX.mtx
+  smat bench    MATRIX.mtx
+  smat features MATRIX.mtx
+  smat rules    --model MODEL.json
+
+COMMANDS:
+  train     run the off-line stage on a synthetic corpus and save the model
+  predict   show the rule-based format decision for a matrix (no timing)
+  tune      run the full runtime path (predict or execute-measure) and report
+            the chosen format, kernel and measured GFLOPS
+  bench     measure all four formats exhaustively on a matrix
+  features  print the 11 structural feature parameters of a matrix
+  rules     print the trained IF-THEN ruleset
+";
+
+/// Minimal flag parser: `--key value` pairs plus positionals.
+struct Args {
+    flags: Vec<(String, String)>,
+    switches: Vec<String>,
+    positional: Vec<String>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Self {
+        let mut flags = Vec::new();
+        let mut switches = Vec::new();
+        let mut positional = Vec::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let a = &argv[i];
+            if let Some(name) = a.strip_prefix("--") {
+                if matches!(name, "single") {
+                    switches.push(name.to_string());
+                } else if i + 1 < argv.len() {
+                    flags.push((name.to_string(), argv[i + 1].clone()));
+                    i += 1;
+                } else {
+                    switches.push(name.to_string());
+                }
+            } else {
+                positional.push(a.clone());
+            }
+            i += 1;
+        }
+        Self {
+            flags,
+            switches,
+            positional,
+        }
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_usize(&self, name: &str, default: usize) -> Result<usize, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name} expects an integer, got {v:?}")),
+        }
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let Some(command) = argv.first() else {
+        print!("{USAGE}");
+        return Ok(());
+    };
+    let args = Args::parse(&argv[1..]);
+    match command.as_str() {
+        "train" => cmd_train(&args),
+        "predict" => cmd_predict(&args),
+        "tune" => cmd_tune(&args),
+        "bench" => cmd_bench(&args),
+        "features" => cmd_features(&args),
+        "rules" => cmd_rules(&args),
+        "-h" | "--help" | "help" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}; run `smat help`")),
+    }
+}
+
+fn load_matrix(args: &Args) -> Result<Csr<f64>, String> {
+    let path = args
+        .positional
+        .first()
+        .ok_or("a MATRIX.mtx path is required")?;
+    read_matrix_market_file::<f64>(path).map_err(|e| format!("reading {path}: {e}"))
+}
+
+fn load_model(args: &Args) -> Result<TrainedModel, String> {
+    let path = args.get("model").ok_or("--model MODEL.json is required")?;
+    TrainedModel::load(path).map_err(|e| format!("loading model {path}: {e}"))
+}
+
+fn engine_for(model: TrainedModel) -> Result<Smat<f64>, String> {
+    Smat::with_config(model, SmatConfig::default()).map_err(|e| e.to_string())
+}
+
+fn cmd_train(args: &Args) -> Result<(), String> {
+    let out = args.get("out").ok_or("--out MODEL.json is required")?;
+    let corpus = args.get_usize("corpus", 600)?;
+    let seed = args.get_usize("seed", 0x5AA7)? as u64;
+    let min_dim = args.get_usize("min-dim", 512)?;
+    let max_dim = args.get_usize("max-dim", 32_768)?;
+    let spec = CorpusSpec {
+        count: corpus,
+        seed,
+        min_dim,
+        max_dim,
+    };
+    eprintln!("generating {corpus}-matrix corpus (dims {min_dim}..{max_dim}, seed {seed})...");
+    if args.has("single") {
+        let entries = generate_corpus::<f32>(&spec);
+        let matrices: Vec<&Csr<f32>> = entries.iter().map(|e| &e.matrix).collect();
+        eprintln!("training single-precision model...");
+        let result = Trainer::default().train(&matrices).map_err(|e| e.to_string())?;
+        report_training(&result.model);
+        result.model.save(out).map_err(|e| e.to_string())?;
+    } else {
+        let entries = generate_corpus::<f64>(&spec);
+        let matrices: Vec<&Csr<f64>> = entries.iter().map(|e| &e.matrix).collect();
+        eprintln!("training double-precision model...");
+        let result = Trainer::default().train(&matrices).map_err(|e| e.to_string())?;
+        report_training(&result.model);
+        result.model.save(out).map_err(|e| e.to_string())?;
+    }
+    println!("model saved to {out}");
+    Ok(())
+}
+
+fn report_training(model: &TrainedModel) {
+    println!(
+        "trained on {} matrices: {} rules ({} kept after tailoring), training accuracy {:.1}%",
+        model.stats.train_size,
+        model.stats.rules_total,
+        model.stats.rules_kept,
+        model.stats.train_accuracy * 100.0
+    );
+    let counts = model.stats.label_counts;
+    println!(
+        "label distribution: DIA {} / ELL {} / CSR {} / COO {}",
+        counts[0], counts[1], counts[2], counts[3]
+    );
+}
+
+fn cmd_predict(args: &Args) -> Result<(), String> {
+    let model = load_model(args)?;
+    let m = load_matrix(args)?;
+    if model.precision != "double" {
+        return Err(format!(
+            "model is {}-precision; the CLI reads matrices as double",
+            model.precision
+        ));
+    }
+    let features = extract_features(&m);
+    println!("features: {features}");
+    let decision = model.predict(&features);
+    if decision.matched {
+        println!(
+            "rule prediction: {} (confidence {:.2})",
+            decision.format, decision.confidence
+        );
+    } else {
+        println!(
+            "no rule matched; default class {} (runtime would execute-measure)",
+            decision.format
+        );
+    }
+    Ok(())
+}
+
+fn cmd_tune(args: &Args) -> Result<(), String> {
+    let model = load_model(args)?;
+    let m = load_matrix(args)?;
+    let engine = engine_for(model)?;
+    let tuned = engine.prepare(&m);
+    match tuned.decision() {
+        DecisionPath::Predicted { confidence } => println!(
+            "decision: predicted {} with confidence {:.2}",
+            tuned.format(),
+            confidence
+        ),
+        DecisionPath::Measured { candidates } => {
+            println!("decision: execute-measure fallback");
+            for (f, g) in candidates {
+                println!("  measured {f}: {g:.2} GFLOPS");
+            }
+        }
+    }
+    let kernel = engine.library().info(tuned.kernel());
+    println!(
+        "kernel: {} ({}); tuning cost {:?}",
+        kernel.name,
+        kernel.strategies,
+        tuned.prepare_time()
+    );
+    let g = tuned_gflops(&engine, &tuned, Duration::from_millis(20));
+    println!("tuned SpMV throughput: {g:.2} GFLOPS");
+    Ok(())
+}
+
+fn cmd_bench(args: &Args) -> Result<(), String> {
+    let m = load_matrix(args)?;
+    let lib = KernelLibrary::<f64>::new();
+    let trainer = Trainer::default();
+    eprintln!("searching kernels...");
+    let (choice, _) = trainer.search_kernels(&lib);
+    let (best, perf) = label_best_format(&lib, &choice, &m, Duration::from_millis(20));
+    println!(
+        "{} x {}, {} nonzeros",
+        m.rows(),
+        m.cols(),
+        m.nnz()
+    );
+    for f in Format::ALL {
+        let g = perf[f.index()];
+        if g > 0.0 {
+            println!("  {f}: {g:.2} GFLOPS{}", if f == best { "  <= best" } else { "" });
+        } else {
+            println!("  {f}: conversion refused (fill limit)");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_features(args: &Args) -> Result<(), String> {
+    let m = load_matrix(args)?;
+    let f = extract_features(&m);
+    println!(
+        "{} x {}, {} nonzeros",
+        m.rows(),
+        m.cols(),
+        m.nnz()
+    );
+    for (name, value) in smat_features::ATTRIBUTE_NAMES.iter().zip(f.as_array()) {
+        if value >= smat_features::R_NOT_SCALE_FREE {
+            println!("  {name:>14} = inf (not scale-free)");
+        } else {
+            println!("  {name:>14} = {value:.6}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_rules(args: &Args) -> Result<(), String> {
+    let model = load_model(args)?;
+    println!(
+        "model precision: {}; trained on {} matrices",
+        model.precision, model.stats.train_size
+    );
+    print!("{}", model.ruleset);
+    println!();
+    for group in &model.groups.groups {
+        println!(
+            "group {} ({} rules, confidence {:.2})",
+            Format::from_index(group.class),
+            group.rules.len(),
+            group.confidence
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_parse_flags_switches_positionals() {
+        let argv: Vec<String> = ["--model", "m.json", "--single", "a.mtx", "--corpus", "5"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let a = Args::parse(&argv);
+        assert_eq!(a.get("model"), Some("m.json"));
+        assert!(a.has("single"));
+        assert_eq!(a.positional, vec!["a.mtx"]);
+        assert_eq!(a.get_usize("corpus", 1).unwrap(), 5);
+        assert_eq!(a.get_usize("seed", 7).unwrap(), 7);
+        assert!(a.get_usize("model", 0).is_err());
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        assert!(run(&["frobnicate".to_string()]).is_err());
+        assert!(run(&[]).is_ok()); // prints usage
+        assert!(run(&["help".to_string()]).is_ok());
+    }
+
+    #[test]
+    fn missing_required_flags_error_cleanly() {
+        assert!(cmd_train(&Args::parse(&[])).is_err());
+        assert!(cmd_predict(&Args::parse(&[])).is_err());
+        assert!(cmd_rules(&Args::parse(&[])).is_err());
+    }
+
+    #[test]
+    fn end_to_end_train_and_inspect() {
+        let dir = std::env::temp_dir().join("smat_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let model_path = dir.join("model.json");
+        let mtx_path = dir.join("m.mtx");
+
+        // Tiny training run.
+        let argv: Vec<String> = [
+            "--out",
+            model_path.to_str().unwrap(),
+            "--corpus",
+            "25",
+            "--min-dim",
+            "64",
+            "--max-dim",
+            "256",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        cmd_train(&Args::parse(&argv)).unwrap();
+        assert!(model_path.exists());
+
+        // Write a matrix and run predict/tune/features/bench on it.
+        let m = smat_matrix::gen::tridiagonal::<f64>(500);
+        smat_matrix::io::write_matrix_market_file(&m, &mtx_path).unwrap();
+        let argv: Vec<String> = [
+            "--model",
+            model_path.to_str().unwrap(),
+            mtx_path.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        cmd_predict(&Args::parse(&argv)).unwrap();
+        cmd_tune(&Args::parse(&argv)).unwrap();
+        cmd_rules(&Args::parse(&argv)).unwrap();
+        let argv: Vec<String> = vec![mtx_path.to_str().unwrap().to_string()];
+        cmd_features(&Args::parse(&argv)).unwrap();
+
+        std::fs::remove_file(&model_path).ok();
+        std::fs::remove_file(&mtx_path).ok();
+    }
+}

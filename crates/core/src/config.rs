@@ -1,0 +1,119 @@
+//! Configuration of the SMAT auto-tuner.
+
+use serde::{Deserialize, Serialize};
+use smat_learn::TreeParams;
+use smat_matrix::Format;
+use std::time::Duration;
+
+/// The format rule-group consultation order, extending the paper's §6
+/// order (DIA first for its win margin, ELL for its regular behavior,
+/// CSR because its parameters are already computed, COO last): the HYB
+/// extension slots after ELL, whose features it shares, and before the
+/// CSR catch-all.
+pub const GROUP_ORDER: [Format; Format::COUNT] = [
+    Format::Dia,
+    Format::Ell,
+    Format::Hyb,
+    Format::Csr,
+    Format::Coo,
+];
+
+/// Tuning knobs of the SMAT system. [`SmatConfig::default`] reproduces
+/// the paper's setup.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SmatConfig {
+    /// Rule-group confidence below which the runtime falls back to
+    /// execute-and-measure (the paper's "threshold").
+    pub confidence_threshold: f64,
+    /// Decision-tree induction parameters.
+    pub tree_params: TreeParams,
+    /// Accepted accuracy gap when tailoring the ruleset (the paper's 1%).
+    pub tailor_tolerance: f64,
+    /// Measurement budget per kernel variant during the offline search.
+    pub search_budget: Duration,
+    /// Measurement budget per candidate format in the execute-and-measure
+    /// fallback.
+    pub fallback_budget: Duration,
+    /// Formats benchmarked by the fallback. The paper's Table 3 runs
+    /// "CSR+COO" (the two formats with cheap conversions); the predicted
+    /// format, if any, is always added.
+    pub fallback_formats: Vec<Format>,
+    /// Cap on DIA conversion fill, as a multiple of `nnz`.
+    pub dia_fill_limit: usize,
+    /// Cap on ELL conversion fill, as a multiple of `nnz`.
+    pub ell_fill_limit: usize,
+    /// Fraction of the corpus held out for evaluation during training
+    /// (the paper trains on 2055 of 2386 matrices ≈ 86%).
+    pub test_fraction: f64,
+    /// Seed for the train/test shuffle.
+    pub split_seed: u64,
+    /// Dimension of the per-format probe matrices used by the offline
+    /// kernel search.
+    pub probe_dim: usize,
+    /// Feature attributes (by [`smat_features::ATTRIBUTE_NAMES`] index)
+    /// excluded from the learning model — the paper's §3 knob for
+    /// balancing "accuracy and training time" by removing parameters.
+    pub excluded_attributes: Vec<usize>,
+}
+
+impl Default for SmatConfig {
+    fn default() -> Self {
+        Self {
+            confidence_threshold: 0.85,
+            tree_params: TreeParams::default(),
+            tailor_tolerance: 0.01,
+            search_budget: Duration::from_millis(10),
+            fallback_budget: Duration::from_millis(5),
+            fallback_formats: vec![Format::Csr, Format::Coo],
+            dia_fill_limit: smat_matrix::DEFAULT_DIA_FILL_LIMIT,
+            ell_fill_limit: smat_matrix::DEFAULT_ELL_FILL_LIMIT,
+            test_fraction: 0.14,
+            split_seed: 0x5AA7,
+            probe_dim: 20_000,
+            excluded_attributes: Vec::new(),
+        }
+    }
+}
+
+impl SmatConfig {
+    /// A configuration with tiny measurement budgets, for tests and
+    /// quick demos.
+    pub fn fast() -> Self {
+        Self {
+            search_budget: Duration::from_micros(200),
+            fallback_budget: Duration::from_micros(200),
+            probe_dim: 1_500,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_reproduces_paper_choices() {
+        let c = SmatConfig::default();
+        assert_eq!(c.tailor_tolerance, 0.01);
+        assert_eq!(c.fallback_formats, vec![Format::Csr, Format::Coo]);
+        assert_eq!(GROUP_ORDER[0], Format::Dia);
+        assert_eq!(GROUP_ORDER[4], Format::Coo);
+        assert_eq!(GROUP_ORDER.len(), Format::COUNT);
+        assert!(c.confidence_threshold > 0.0 && c.confidence_threshold < 1.0);
+    }
+
+    #[test]
+    fn fast_config_shrinks_budgets() {
+        let c = SmatConfig::fast();
+        assert!(c.search_budget < SmatConfig::default().search_budget);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = SmatConfig::default();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: SmatConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}

@@ -1,0 +1,83 @@
+//! Error type of the SMAT auto-tuner.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by training, persistence and the runtime.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SmatError {
+    /// An underlying matrix operation failed.
+    Matrix(smat_matrix::MatrixError),
+    /// Saving or loading a model failed.
+    Persist(smat_learn::PersistError),
+    /// The training corpus was unusable (empty, or single-class).
+    Training(String),
+    /// A model was applied to data of the wrong precision.
+    PrecisionMismatch {
+        /// Precision the model was trained for.
+        model: String,
+        /// Precision of the data.
+        data: &'static str,
+    },
+}
+
+impl fmt::Display for SmatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SmatError::Matrix(e) => write!(f, "matrix error: {e}"),
+            SmatError::Persist(e) => write!(f, "persistence error: {e}"),
+            SmatError::Training(msg) => write!(f, "training failed: {msg}"),
+            SmatError::PrecisionMismatch { model, data } => write!(
+                f,
+                "model trained for {model} precision applied to {data} data"
+            ),
+        }
+    }
+}
+
+impl Error for SmatError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SmatError::Matrix(e) => Some(e),
+            SmatError::Persist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<smat_matrix::MatrixError> for SmatError {
+    fn from(e: smat_matrix::MatrixError) -> Self {
+        SmatError::Matrix(e)
+    }
+}
+
+impl From<smat_learn::PersistError> for SmatError {
+    fn from(e: smat_learn::PersistError) -> Self {
+        SmatError::Persist(e)
+    }
+}
+
+/// Result alias for the core crate.
+pub type Result<T> = std::result::Result<T, SmatError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SmatError::Training("empty corpus".into());
+        assert!(e.to_string().contains("empty corpus"));
+        assert!(e.source().is_none());
+
+        let e = SmatError::from(smat_matrix::MatrixError::InvalidStructure("x".into()));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<SmatError>();
+    }
+}

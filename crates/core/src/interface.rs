@@ -1,0 +1,96 @@
+//! The unified programming interface of the paper's Figure 5.
+//!
+//! Where MKL exposes six per-format entry points (`mkl_dcsrgemv`,
+//! `mkl_ddiagemv`, `mkl_dcoogemv`, ...), SMAT exposes exactly one per
+//! precision, always taking CSR input: `SMAT_dCSR_SpMV` /
+//! `SMAT_sCSR_SpMV`. These free functions mirror that surface over the
+//! idiomatic [`Smat`] engine API.
+
+use crate::error::Result;
+use crate::runtime::{Smat, TunedSpmv};
+use smat_matrix::Csr;
+
+/// `SMAT_dCSR_SpMV`: double-precision unified SpMV. Tunes the matrix and
+/// computes `y = A * x` in one call, returning the tuned handle so
+/// subsequent iterations can reuse it via [`Smat::spmv`].
+///
+/// # Errors
+///
+/// Returns [`crate::SmatError::Matrix`] on vector length mismatch.
+///
+/// # Examples
+///
+/// ```no_run
+/// use smat::{smat_dcsr_spmv, Smat, SmatConfig, Trainer};
+/// use smat_matrix::gen::tridiagonal;
+///
+/// let a = tridiagonal::<f64>(1000);
+/// let out = Trainer::new(SmatConfig::fast()).train(&[&a])?;
+/// let engine = Smat::new(out.model)?;
+///
+/// let x = vec![1.0; 1000];
+/// let mut y = vec![0.0; 1000];
+/// let tuned = smat_dcsr_spmv(&engine, &a, &x, &mut y)?;
+/// // Iterative solvers keep calling the tuned handle:
+/// engine.spmv(&tuned, &x, &mut y)?;
+/// # Ok::<(), smat::SmatError>(())
+/// ```
+pub fn smat_dcsr_spmv(
+    engine: &Smat<f64>,
+    a: &Csr<f64>,
+    x: &[f64],
+    y: &mut [f64],
+) -> Result<TunedSpmv<f64>> {
+    engine.csr_spmv(a, x, y)
+}
+
+/// `SMAT_sCSR_SpMV`: single-precision unified SpMV. See
+/// [`smat_dcsr_spmv`].
+///
+/// # Errors
+///
+/// Returns [`crate::SmatError::Matrix`] on vector length mismatch.
+pub fn smat_scsr_spmv(
+    engine: &Smat<f32>,
+    a: &Csr<f32>,
+    x: &[f32],
+    y: &mut [f32],
+) -> Result<TunedSpmv<f32>> {
+    engine.csr_spmv(a, x, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SmatConfig;
+    use crate::train::Trainer;
+    use smat_matrix::gen::{random_uniform, tridiagonal};
+
+    #[test]
+    fn both_precisions_expose_one_entry_point() {
+        let trainer = Trainer::new(SmatConfig::fast());
+
+        let a64 = tridiagonal::<f64>(300);
+        let b64 = random_uniform::<f64>(200, 200, 5, 1);
+        let out = trainer.train(&[&a64, &b64]).unwrap();
+        let engine = Smat::new(out.model).unwrap();
+        let x = vec![1.0; 300];
+        let mut y = vec![0.0; 300];
+        let tuned = smat_dcsr_spmv(&engine, &a64, &x, &mut y).unwrap();
+        let mut expect = vec![0.0; 300];
+        a64.spmv(&x, &mut expect).unwrap();
+        assert_eq!(y, expect);
+        assert_eq!(tuned.matrix().rows(), 300);
+
+        let a32 = tridiagonal::<f32>(300);
+        let b32 = random_uniform::<f32>(200, 200, 5, 1);
+        let out = trainer.train(&[&a32, &b32]).unwrap();
+        let engine = Smat::new(out.model).unwrap();
+        let x = vec![1.0f32; 300];
+        let mut y = vec![0.0f32; 300];
+        smat_scsr_spmv(&engine, &a32, &x, &mut y).unwrap();
+        let mut expect = vec![0.0f32; 300];
+        a32.spmv(&x, &mut expect).unwrap();
+        assert_eq!(y, expect);
+    }
+}

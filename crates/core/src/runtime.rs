@@ -1,0 +1,475 @@
+//! The on-line stage: the runtime procedure of the paper's Figure 7.
+//!
+//! Given a matrix in the unified CSR interface format, the engine
+//! extracts features (step 1 only), consults the rule groups in
+//! [`crate::GROUP_ORDER`] (the paper's DIA→ELL→CSR→COO with the HYB
+//! extension slotted after ELL) with the optimistic early exit —
+//! computing the expensive power-law parameter `R` lazily, only if a
+//! consulted group actually tests it — and either trusts a confident
+//! prediction or falls back to execute-and-measure over the candidate
+//! formats.
+
+use crate::config::SmatConfig;
+use crate::error::{Result, SmatError};
+use crate::model::TrainedModel;
+use smat_features::{extract_structure, FeatureVector};
+use smat_kernels::timing::{gflops, reps_for_budget, time_median};
+use smat_kernels::{KernelId, KernelLibrary};
+use smat_learn::ClassGroup;
+use smat_matrix::{AnyMatrix, Csr, Format, Scalar};
+use std::time::{Duration, Instant};
+
+/// Index of the power-law attribute `R` in the feature vector.
+const R_ATTR: usize = 10;
+
+/// How a tuning decision was reached — the "Model Prediction" vs
+/// "Execution" columns of the paper's Table 3.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DecisionPath {
+    /// A rule group matched with confidence at or above the threshold.
+    Predicted {
+        /// The group's confidence factor.
+        confidence: f64,
+    },
+    /// Execute-and-measure fallback ran; each candidate's measured
+    /// throughput is recorded.
+    Measured {
+        /// `(format, gflops)` per benchmarked candidate.
+        candidates: Vec<(Format, f64)>,
+    },
+}
+
+/// A matrix prepared for repeated SpMV: physically stored in the tuned
+/// format, with the architecture-searched kernel attached.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TunedSpmv<T> {
+    matrix: AnyMatrix<T>,
+    kernel: KernelId,
+    features: FeatureVector,
+    decision: DecisionPath,
+    prepare_time: Duration,
+}
+
+impl<T: Scalar> TunedSpmv<T> {
+    /// The storage format the tuner selected.
+    pub fn format(&self) -> Format {
+        self.matrix.format()
+    }
+
+    /// The kernel that will execute SpMV.
+    pub fn kernel(&self) -> KernelId {
+        self.kernel
+    }
+
+    /// The extracted feature vector (with `R` only if it was needed).
+    pub fn features(&self) -> &FeatureVector {
+        &self.features
+    }
+
+    /// How the decision was reached.
+    pub fn decision(&self) -> &DecisionPath {
+        &self.decision
+    }
+
+    /// Wall-clock cost of `prepare` (feature extraction + prediction +
+    /// conversion + any fallback measurement) — the numerator of the
+    /// paper's "SMAT overhead" column.
+    pub fn prepare_time(&self) -> Duration {
+        self.prepare_time
+    }
+
+    /// The tuned matrix.
+    pub fn matrix(&self) -> &AnyMatrix<T> {
+        &self.matrix
+    }
+}
+
+/// The SMAT runtime engine: a trained model bound to the kernel library.
+///
+/// # Examples
+///
+/// ```no_run
+/// use smat::{Smat, SmatConfig, Trainer};
+/// use smat_matrix::gen::{random_uniform, tridiagonal};
+///
+/// let trainer = Trainer::new(SmatConfig::fast());
+/// let train_a = tridiagonal::<f64>(500);
+/// let train_b = random_uniform::<f64>(500, 500, 8, 1);
+/// let out = trainer.train(&[&train_a, &train_b])?;
+///
+/// let engine = Smat::new(out.model)?;
+/// let a = tridiagonal::<f64>(1000);
+/// let tuned = engine.prepare(&a);
+/// let x = vec![1.0; 1000];
+/// let mut y = vec![0.0; 1000];
+/// engine.spmv(&tuned, &x, &mut y)?;
+/// # Ok::<(), smat::SmatError>(())
+/// ```
+#[derive(Debug)]
+pub struct Smat<T: Scalar> {
+    model: TrainedModel,
+    lib: KernelLibrary<T>,
+    config: SmatConfig,
+}
+
+impl<T: Scalar> Smat<T> {
+    /// Binds a trained model to this process's kernel library with the
+    /// default configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmatError::PrecisionMismatch`] if the model was trained
+    /// for the other floating-point precision.
+    pub fn new(model: TrainedModel) -> Result<Self> {
+        Self::with_config(model, SmatConfig::default())
+    }
+
+    /// Binds a trained model with an explicit configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmatError::PrecisionMismatch`] if the model was trained
+    /// for the other floating-point precision.
+    pub fn with_config(model: TrainedModel, config: SmatConfig) -> Result<Self> {
+        if model.precision != T::PRECISION_NAME {
+            return Err(SmatError::PrecisionMismatch {
+                model: model.precision.clone(),
+                data: T::PRECISION_NAME,
+            });
+        }
+        Ok(Self {
+            model,
+            lib: KernelLibrary::new(),
+            config,
+        })
+    }
+
+    /// The trained model.
+    pub fn model(&self) -> &TrainedModel {
+        &self.model
+    }
+
+    /// The runtime configuration.
+    pub fn config(&self) -> &SmatConfig {
+        &self.config
+    }
+
+    /// The kernel library.
+    pub fn library(&self) -> &KernelLibrary<T> {
+        &self.lib
+    }
+
+    /// Tunes a matrix: Figure 7's runtime procedure.
+    ///
+    /// Never fails — if every exotic conversion is refused the matrix
+    /// stays in CSR with the searched CSR kernel.
+    pub fn prepare(&self, csr: &Csr<T>) -> TunedSpmv<T> {
+        let t0 = Instant::now();
+        // Step 1 features; R is filled lazily below.
+        let structure = extract_structure(csr);
+        let mut features = structure.features;
+        let mut r_computed = false;
+
+        // Consult groups in order with the optimistic early exit.
+        let mut first_match: Option<(Format, f64)> = None;
+        for group in &self.model.groups.groups {
+            if group.rules.is_empty() {
+                continue;
+            }
+            if !r_computed && group_tests_r(group) {
+                features.r =
+                    smat_features::fit_power_law_of_degrees(structure.row_degrees.iter().copied());
+                r_computed = true;
+            }
+            let values = features.as_array();
+            if group.rules.iter().any(|r| r.matches(&values)) {
+                first_match = Some((Format::from_index(group.class), group.confidence));
+                break;
+            }
+        }
+
+        if let Some((format, confidence)) = first_match {
+            if confidence >= self.config.confidence_threshold {
+                if let Ok(matrix) = AnyMatrix::convert_from_csr(csr, format) {
+                    return TunedSpmv {
+                        kernel: self.model.kernel_choice.kernel(format),
+                        matrix,
+                        features,
+                        decision: DecisionPath::Predicted { confidence },
+                        prepare_time: t0.elapsed(),
+                    };
+                }
+                // Conversion refused (fill blow-up): distrust the rule and
+                // fall through to measurement.
+            }
+        }
+
+        // Execute-and-measure fallback over the candidate formats.
+        let mut candidates: Vec<Format> = self.config.fallback_formats.clone();
+        if let Some((f, _)) = first_match {
+            if !candidates.contains(&f) {
+                candidates.push(f);
+            }
+        }
+        if !candidates.contains(&Format::Csr) {
+            candidates.push(Format::Csr);
+        }
+        let x = vec![T::ONE; csr.cols()];
+        let mut y = vec![T::ZERO; csr.rows()];
+        let mut measured: Vec<(Format, f64)> = Vec::with_capacity(candidates.len());
+        let mut best: Option<(Format, f64, AnyMatrix<T>)> = None;
+        for format in candidates {
+            let Ok(any) = AnyMatrix::convert_from_csr(csr, format) else {
+                continue;
+            };
+            let variant = self.model.kernel_choice.kernel(format).variant;
+            let t = Instant::now();
+            self.lib.run(&any, variant, &x, &mut y);
+            let one = t.elapsed();
+            let reps = reps_for_budget(one, self.config.fallback_budget, 1, 16);
+            let med = time_median(|| self.lib.run(&any, variant, &x, &mut y), 0, reps);
+            let g = gflops(csr.nnz(), med);
+            measured.push((format, g));
+            if best.as_ref().map_or(true, |&(_, bg, _)| g > bg) {
+                best = Some((format, g, any));
+            }
+        }
+        let (format, _, matrix) = best.expect("CSR candidate always converts");
+        TunedSpmv {
+            kernel: self.model.kernel_choice.kernel(format),
+            matrix,
+            features,
+            decision: DecisionPath::Measured {
+                candidates: measured,
+            },
+            prepare_time: t0.elapsed(),
+        }
+    }
+
+    /// Runs the tuned SpMV: `y = A * x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmatError::Matrix`] on vector length mismatch.
+    pub fn spmv(&self, tuned: &TunedSpmv<T>, x: &[T], y: &mut [T]) -> Result<()> {
+        if x.len() != tuned.matrix.cols() {
+            return Err(SmatError::Matrix(smat_matrix::MatrixError::DimensionMismatch {
+                context: "smat spmv x",
+                expected: tuned.matrix.cols(),
+                found: x.len(),
+            }));
+        }
+        if y.len() != tuned.matrix.rows() {
+            return Err(SmatError::Matrix(smat_matrix::MatrixError::DimensionMismatch {
+                context: "smat spmv y",
+                expected: tuned.matrix.rows(),
+                found: y.len(),
+            }));
+        }
+        self.lib.run(&tuned.matrix, tuned.kernel.variant, x, y);
+        Ok(())
+    }
+
+    /// One-shot unified interface: tune and multiply in one call. For
+    /// repeated SpMV on the same matrix, [`Smat::prepare`] once and reuse
+    /// the [`TunedSpmv`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmatError::Matrix`] on vector length mismatch.
+    pub fn csr_spmv(&self, csr: &Csr<T>, x: &[T], y: &mut [T]) -> Result<TunedSpmv<T>> {
+        let tuned = self.prepare(csr);
+        self.spmv(&tuned, x, y)?;
+        Ok(tuned)
+    }
+}
+
+/// Whether any rule in the group tests the power-law attribute `R`.
+fn group_tests_r(group: &ClassGroup) -> bool {
+    group
+        .rules
+        .iter()
+        .any(|r| r.conditions.iter().any(|c| c.attr == R_ATTR))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{class_names, group_class_order, TrainStats};
+    use smat_features::ATTRIBUTE_NAMES;
+    use smat_kernels::KernelChoice;
+    use smat_learn::{Condition, Op, Rule, RuleGroups, RuleSet};
+    use smat_matrix::gen::{power_law, random_uniform, tridiagonal};
+
+    /// Hand-built model: Ndiags <= 10 & NTdiags_ratio > 0.8 -> DIA (conf
+    /// 0.95); R <= 4 -> COO (conf 0.9); default CSR.
+    fn model() -> TrainedModel {
+        let attrs: Vec<String> = ATTRIBUTE_NAMES.iter().map(|s| s.to_string()).collect();
+        let dia_rule = Rule {
+            conditions: vec![
+                Condition {
+                    attr: 6,
+                    op: Op::Le,
+                    threshold: 10.0,
+                },
+                Condition {
+                    attr: 7,
+                    op: Op::Gt,
+                    threshold: 0.8,
+                },
+            ],
+            class: Format::Dia.index(),
+            covered: 20,
+            correct: 19,
+        };
+        let coo_rule = Rule {
+            conditions: vec![Condition {
+                attr: 10,
+                op: Op::Le,
+                threshold: 4.0,
+            }],
+            class: Format::Coo.index(),
+            covered: 10,
+            correct: 9,
+        };
+        let ruleset = RuleSet {
+            rules: vec![dia_rule, coo_rule],
+            default_class: Format::Csr.index(),
+            attributes: attrs,
+            classes: class_names(),
+        };
+        let groups = RuleGroups::from_ruleset(&ruleset, &group_class_order());
+        TrainedModel {
+            precision: "double".into(),
+            ruleset,
+            groups,
+            kernel_choice: KernelChoice::basic(),
+            stats: TrainStats {
+                train_size: 30,
+                train_accuracy: 0.93,
+                tailored_accuracy: 0.93,
+                rules_total: 2,
+                rules_kept: 2,
+                label_counts: [20, 0, 0, 10, 0],
+            },
+        }
+    }
+
+    fn engine() -> Smat<f64> {
+        Smat::with_config(model(), SmatConfig::fast()).unwrap()
+    }
+
+    #[test]
+    fn precision_mismatch_is_rejected() {
+        let err = Smat::<f32>::new(model()).unwrap_err();
+        assert!(matches!(err, SmatError::PrecisionMismatch { .. }));
+    }
+
+    #[test]
+    fn confident_dia_prediction_converts() {
+        let e = engine();
+        let m = tridiagonal::<f64>(600);
+        let tuned = e.prepare(&m);
+        assert_eq!(tuned.format(), Format::Dia);
+        assert!(matches!(
+            tuned.decision(),
+            DecisionPath::Predicted { confidence } if *confidence >= 0.9
+        ));
+        // The result is correct.
+        let x: Vec<f64> = (0..600).map(|i| (i % 10) as f64).collect();
+        let mut y1 = vec![0.0; 600];
+        let mut y2 = vec![0.0; 600];
+        e.spmv(&tuned, &x, &mut y1).unwrap();
+        m.spmv(&x, &mut y2).unwrap();
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn coo_group_triggers_lazy_r_computation() {
+        let e = engine();
+        let m = power_law::<f64>(2000, 400, 2.0, 5);
+        let tuned = e.prepare(&m);
+        // The DIA group does not match (many diagonals), so the COO group
+        // is consulted, forcing R to be computed.
+        assert!(tuned.features().r < smat_features::R_NOT_SCALE_FREE);
+        assert_eq!(tuned.format(), Format::Coo);
+    }
+
+    #[test]
+    fn dia_prediction_skips_r_computation() {
+        let e = engine();
+        let m = tridiagonal::<f64>(500);
+        let tuned = e.prepare(&m);
+        // Early exit at the DIA group: R stays at the sentinel.
+        assert_eq!(tuned.features().r, smat_features::R_NOT_SCALE_FREE);
+    }
+
+    #[test]
+    fn unmatched_input_falls_back_to_measurement() {
+        let e = engine();
+        // Unstructured matrix: no DIA (too many diagonals), no COO (no
+        // power law) -> no rule matches -> execute-measure.
+        let m = random_uniform::<f64>(800, 800, 12, 9);
+        let tuned = e.prepare(&m);
+        match tuned.decision() {
+            DecisionPath::Measured { candidates } => {
+                assert!(!candidates.is_empty());
+                assert!(candidates.iter().any(|&(f, _)| f == Format::Csr));
+                for &(_, g) in candidates {
+                    assert!(g > 0.0);
+                }
+            }
+            other => panic!("expected fallback, got {other:?}"),
+        }
+        // The chosen format is the measured argmax.
+        if let DecisionPath::Measured { candidates } = tuned.decision() {
+            let best = candidates
+                .iter()
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+                .unwrap()
+                .0;
+            assert_eq!(tuned.format(), best);
+        }
+    }
+
+    #[test]
+    fn low_confidence_rule_falls_back() {
+        let mut m = model();
+        // Crank the threshold above every group's confidence.
+        let cfg = SmatConfig {
+            confidence_threshold: 0.99,
+            ..SmatConfig::fast()
+        };
+        m.precision = "double".into();
+        let e = Smat::<f64>::with_config(m, cfg).unwrap();
+        let tuned = e.prepare(&tridiagonal::<f64>(400));
+        assert!(matches!(tuned.decision(), DecisionPath::Measured { .. }));
+        // The predicted format (DIA) joins the fallback candidates.
+        if let DecisionPath::Measured { candidates } = tuned.decision() {
+            assert!(candidates.iter().any(|&(f, _)| f == Format::Dia));
+        }
+    }
+
+    #[test]
+    fn csr_spmv_one_shot_matches_reference() {
+        let e = engine();
+        let m = random_uniform::<f64>(300, 250, 6, 4);
+        let x: Vec<f64> = (0..250).map(|i| 1.0 + (i % 3) as f64).collect();
+        let mut y = vec![0.0; 300];
+        let tuned = e.csr_spmv(&m, &x, &mut y).unwrap();
+        let mut expect = vec![0.0; 300];
+        m.spmv(&x, &mut expect).unwrap();
+        assert_eq!(y, expect);
+        assert!(tuned.prepare_time() > Duration::ZERO);
+    }
+
+    #[test]
+    fn spmv_dimension_errors() {
+        let e = engine();
+        let m = tridiagonal::<f64>(50);
+        let tuned = e.prepare(&m);
+        let mut y = vec![0.0; 50];
+        assert!(e.spmv(&tuned, &[1.0; 49], &mut y).is_err());
+        assert!(e.spmv(&tuned, &[1.0; 50], &mut y[..10]).is_err());
+    }
+}

@@ -1,0 +1,231 @@
+//! COO SpMV kernel variants.
+//!
+//! The sequential loop follows the paper's Figure 2(b). The parallel
+//! variants exploit the sorted-by-row invariant of
+//! [`Coo`]: entry ranges are snapped to row boundaries
+//! so each rayon task owns a disjoint slice of `y` and no atomics are
+//! needed.
+
+use crate::partition::{default_parts, split_by_bounds};
+use crate::registry::{KernelEntry, KernelFn};
+use crate::strategy::{Strategy, StrategySet};
+use rayon::prelude::*;
+use smat_matrix::{Coo, Scalar};
+
+#[inline]
+fn check_dims<T: Scalar>(m: &Coo<T>, x: &[T], y: &[T]) {
+    assert_eq!(x.len(), m.cols(), "x length must equal matrix columns");
+    assert_eq!(y.len(), m.rows(), "y length must equal matrix rows");
+}
+
+/// Basic serial COO SpMV — the paper's Figure 2(b) loop.
+pub fn basic<T: Scalar>(m: &Coo<T>, x: &[T], y: &mut [T]) {
+    check_dims(m, x, y);
+    y.fill(T::ZERO);
+    let rows = m.row_idx();
+    let cols = m.col_idx();
+    let vals = m.values();
+    for i in 0..vals.len() {
+        y[rows[i]] += vals[i] * x[cols[i]];
+    }
+}
+
+/// Serial COO SpMV, 4-way unrolled over entries.
+///
+/// Unlike CSR, accumulators cannot be split across lanes (two lanes may
+/// target the same output row), so the unroll only restructures the loop
+/// to shorten the dependency chains of index arithmetic.
+pub fn unrolled<T: Scalar>(m: &Coo<T>, x: &[T], y: &mut [T]) {
+    check_dims(m, x, y);
+    y.fill(T::ZERO);
+    let rows = m.row_idx();
+    let cols = m.col_idx();
+    let vals = m.values();
+    let n = vals.len();
+    let chunks = n / 4;
+    for c in 0..chunks {
+        let k = 4 * c;
+        let p0 = vals[k] * x[cols[k]];
+        let p1 = vals[k + 1] * x[cols[k + 1]];
+        let p2 = vals[k + 2] * x[cols[k + 2]];
+        let p3 = vals[k + 3] * x[cols[k + 3]];
+        y[rows[k]] += p0;
+        y[rows[k + 1]] += p1;
+        y[rows[k + 2]] += p2;
+        y[rows[k + 3]] += p3;
+    }
+    for k in 4 * chunks..n {
+        y[rows[k]] += vals[k] * x[cols[k]];
+    }
+}
+
+/// Computes entry-range boundaries snapped to row starts, and the
+/// corresponding row boundaries, such that each entry chunk touches a
+/// disjoint row range.
+fn row_aligned_chunks<T: Scalar>(m: &Coo<T>, parts: usize) -> (Vec<usize>, Vec<usize>) {
+    let nnz = m.nnz();
+    let rows_arr = m.row_idx();
+    let mut entry_bounds = vec![0usize];
+    let mut row_bounds = vec![0usize];
+    let target = nnz.div_ceil(parts.max(1));
+    let mut k = target;
+    while k < nnz {
+        // Snap forward to the first entry of the next row.
+        let row_here = rows_arr[k];
+        let mut snapped = k;
+        while snapped < nnz && rows_arr[snapped] == row_here {
+            snapped += 1;
+        }
+        // Only create a boundary if it advances past the previous one.
+        if snapped < nnz && snapped > *entry_bounds.last().expect("non-empty") {
+            entry_bounds.push(snapped);
+            row_bounds.push(rows_arr[snapped]);
+        }
+        k = snapped.max(k) + target;
+    }
+    entry_bounds.push(nnz);
+    row_bounds.push(m.rows());
+    (entry_bounds, row_bounds)
+}
+
+#[inline]
+fn run_parallel<T: Scalar>(m: &Coo<T>, x: &[T], y: &mut [T], unroll: bool) {
+    y.fill(T::ZERO);
+    let (entry_bounds, row_bounds) = row_aligned_chunks(m, default_parts());
+    let rows = m.row_idx();
+    let cols = m.col_idx();
+    let vals = m.values();
+    let slices = split_by_bounds(y, &row_bounds);
+    slices
+        .into_par_iter()
+        .enumerate()
+        .for_each(|(ci, y_chunk)| {
+            let (s, e) = (entry_bounds[ci], entry_bounds[ci + 1]);
+            let r0 = row_bounds[ci];
+            if unroll {
+                let n = e - s;
+                let quads = n / 4;
+                for q in 0..quads {
+                    let k = s + 4 * q;
+                    let p0 = vals[k] * x[cols[k]];
+                    let p1 = vals[k + 1] * x[cols[k + 1]];
+                    let p2 = vals[k + 2] * x[cols[k + 2]];
+                    let p3 = vals[k + 3] * x[cols[k + 3]];
+                    y_chunk[rows[k] - r0] += p0;
+                    y_chunk[rows[k + 1] - r0] += p1;
+                    y_chunk[rows[k + 2] - r0] += p2;
+                    y_chunk[rows[k + 3] - r0] += p3;
+                }
+                for k in s + 4 * quads..e {
+                    y_chunk[rows[k] - r0] += vals[k] * x[cols[k]];
+                }
+            } else {
+                for k in s..e {
+                    y_chunk[rows[k] - r0] += vals[k] * x[cols[k]];
+                }
+            }
+        });
+}
+
+/// Parallel COO SpMV over row-aligned entry chunks (atomics-free).
+///
+/// Entry chunks have near-equal nonzero counts by construction, so this
+/// kernel carries both the `parallel` and `balance` strategies.
+pub fn parallel<T: Scalar>(m: &Coo<T>, x: &[T], y: &mut [T]) {
+    check_dims(m, x, y);
+    run_parallel(m, x, y, false);
+}
+
+/// Parallel + unrolled COO SpMV.
+pub fn parallel_unrolled<T: Scalar>(m: &Coo<T>, x: &[T], y: &mut [T]) {
+    check_dims(m, x, y);
+    run_parallel(m, x, y, true);
+}
+
+/// The COO kernel library.
+pub fn kernels<T: Scalar>() -> Vec<KernelEntry<T, Coo<T>>> {
+    use Strategy::*;
+    vec![
+        ("coo_basic", StrategySet::EMPTY, basic as KernelFn<T, Coo<T>>),
+        ("coo_unroll", [Unroll].into_iter().collect(), unrolled),
+        (
+            "coo_parallel",
+            [Parallel, Balance].into_iter().collect(),
+            parallel,
+        ),
+        (
+            "coo_parallel_unroll",
+            [Parallel, Balance, Unroll].into_iter().collect(),
+            parallel_unrolled,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smat_matrix::gen::{power_law, random_uniform};
+    use smat_matrix::utils::max_abs_diff;
+    use smat_matrix::Csr;
+
+    fn reference(m: &Csr<f64>, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; m.rows()];
+        m.spmv(x, &mut y).unwrap();
+        y
+    }
+
+    #[test]
+    fn all_variants_match_reference() {
+        let csr = random_uniform::<f64>(401, 350, 7, 23);
+        let coo = Coo::from_csr(&csr);
+        let x: Vec<f64> = (0..csr.cols()).map(|i| (i as f64 * 0.11).cos()).collect();
+        let expect = reference(&csr, &x);
+        for (name, _, k) in kernels::<f64>() {
+            let mut y = vec![f64::NAN; csr.rows()];
+            k(&coo, &x, &mut y);
+            assert!(max_abs_diff(&y, &expect) < 1e-12, "{name} diverges");
+        }
+    }
+
+    #[test]
+    fn parallel_handles_heavy_rows() {
+        // One row holds most entries: chunk snapping must not split it.
+        let csr = power_law::<f64>(600, 400, 1.4, 5);
+        let coo = Coo::from_csr(&csr);
+        let x: Vec<f64> = (0..csr.cols()).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        let expect = reference(&csr, &x);
+        let mut y = vec![0.0; csr.rows()];
+        parallel(&coo, &x, &mut y);
+        assert!(max_abs_diff(&y, &expect) < 1e-12);
+        parallel_unrolled(&coo, &x, &mut y);
+        assert!(max_abs_diff(&y, &expect) < 1e-12);
+    }
+
+    #[test]
+    fn row_aligned_chunks_are_disjoint() {
+        let csr = random_uniform::<f64>(100, 100, 5, 1);
+        let coo = Coo::from_csr(&csr);
+        let (eb, rb) = row_aligned_chunks(&coo, 7);
+        assert_eq!(eb.len(), rb.len());
+        assert_eq!(*eb.last().unwrap(), coo.nnz());
+        assert_eq!(*rb.last().unwrap(), coo.rows());
+        assert!(eb.windows(2).all(|w| w[0] < w[1]));
+        assert!(rb.windows(2).all(|w| w[0] < w[1]));
+        // Every chunk's entries fall inside its row range.
+        for c in 0..eb.len() - 1 {
+            for k in eb[c]..eb[c + 1] {
+                assert!(coo.row_idx()[k] >= rb[c] && coo.row_idx()[k] < rb[c + 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_matrix_zeroes_output() {
+        let coo = Coo::<f64>::new(3, 3, vec![], vec![], vec![]).unwrap();
+        for (name, _, k) in kernels::<f64>() {
+            let mut y = [1.0; 3];
+            k(&coo, &[1.0; 3], &mut y);
+            assert_eq!(y, [0.0; 3], "{name}");
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! CSR SpMV kernel variants.
+//!
+//! Six implementations spanning the strategy lattice `{}`, `{unroll}`,
+//! `{parallel}`, `{parallel, unroll}`, `{parallel, balance}` and
+//! `{parallel, balance, unroll}`. All compute `y = A * x` and assume the
+//! vector lengths were validated by the caller (they `assert!` in debug
+//! and release).
+
+use crate::partition::{default_parts, equal_row_bounds, nnz_balanced_bounds, split_by_bounds};
+use crate::registry::{KernelEntry, KernelFn};
+use crate::strategy::{Strategy, StrategySet};
+use rayon::prelude::*;
+use smat_matrix::{Csr, Scalar};
+
+#[inline]
+fn check_dims<T: Scalar>(m: &Csr<T>, x: &[T], y: &[T]) {
+    assert_eq!(x.len(), m.cols(), "x length must equal matrix columns");
+    assert_eq!(y.len(), m.rows(), "y length must equal matrix rows");
+}
+
+/// Basic serial CSR SpMV — the paper's Figure 2(a) loop, and the
+/// denominator of the "SMAT overhead" column in Table 3.
+pub fn basic<T: Scalar>(m: &Csr<T>, x: &[T], y: &mut [T]) {
+    check_dims(m, x, y);
+    let ptr = m.row_ptr();
+    let idx = m.col_idx();
+    let val = m.values();
+    for r in 0..m.rows() {
+        let mut acc = T::ZERO;
+        for k in ptr[r]..ptr[r + 1] {
+            acc += val[k] * x[idx[k]];
+        }
+        y[r] = acc;
+    }
+}
+
+/// One row's dot product with 4-way unrolled, split-accumulator inner
+/// loop (auto-vectorization friendly).
+#[inline]
+fn row_unrolled<T: Scalar>(idx: &[usize], val: &[T], x: &[T]) -> T {
+    let n = val.len();
+    let mut acc0 = T::ZERO;
+    let mut acc1 = T::ZERO;
+    let mut acc2 = T::ZERO;
+    let mut acc3 = T::ZERO;
+    let chunks = n / 4;
+    for c in 0..chunks {
+        let k = 4 * c;
+        acc0 += val[k] * x[idx[k]];
+        acc1 += val[k + 1] * x[idx[k + 1]];
+        acc2 += val[k + 2] * x[idx[k + 2]];
+        acc3 += val[k + 3] * x[idx[k + 3]];
+    }
+    for k in 4 * chunks..n {
+        acc0 += val[k] * x[idx[k]];
+    }
+    (acc0 + acc1) + (acc2 + acc3)
+}
+
+/// Serial CSR SpMV with 4-way unrolled rows.
+pub fn unrolled<T: Scalar>(m: &Csr<T>, x: &[T], y: &mut [T]) {
+    check_dims(m, x, y);
+    for (r, yr) in y.iter_mut().enumerate() {
+        let (idx, val) = m.row(r);
+        *yr = row_unrolled(idx, val, x);
+    }
+}
+
+#[inline]
+fn run_chunks<T: Scalar>(m: &Csr<T>, x: &[T], y: &mut [T], bounds: &[usize], unroll: bool) {
+    let chunks = split_by_bounds(y, bounds);
+    chunks
+        .into_par_iter()
+        .enumerate()
+        .for_each(|(ci, chunk)| {
+            let r0 = bounds[ci];
+            for (i, yr) in chunk.iter_mut().enumerate() {
+                let (idx, val) = m.row(r0 + i);
+                *yr = if unroll {
+                    row_unrolled(idx, val, x)
+                } else {
+                    let mut acc = T::ZERO;
+                    for (&c, &v) in idx.iter().zip(val) {
+                        acc += v * x[c];
+                    }
+                    acc
+                };
+            }
+        });
+}
+
+/// Row-parallel CSR SpMV with equal-row chunks.
+pub fn parallel<T: Scalar>(m: &Csr<T>, x: &[T], y: &mut [T]) {
+    check_dims(m, x, y);
+    let bounds = equal_row_bounds(m.rows(), default_parts());
+    run_chunks(m, x, y, &bounds, false);
+}
+
+/// Row-parallel CSR SpMV with equal-row chunks and unrolled rows.
+pub fn parallel_unrolled<T: Scalar>(m: &Csr<T>, x: &[T], y: &mut [T]) {
+    check_dims(m, x, y);
+    let bounds = equal_row_bounds(m.rows(), default_parts());
+    run_chunks(m, x, y, &bounds, true);
+}
+
+/// Row-parallel CSR SpMV with nonzero-balanced chunks — the winner on
+/// matrices with skewed row degrees (power-law graphs).
+pub fn parallel_balanced<T: Scalar>(m: &Csr<T>, x: &[T], y: &mut [T]) {
+    check_dims(m, x, y);
+    let bounds = nnz_balanced_bounds(m, default_parts());
+    run_chunks(m, x, y, &bounds, false);
+}
+
+/// Nonzero-balanced parallel CSR SpMV with unrolled rows.
+pub fn parallel_balanced_unrolled<T: Scalar>(m: &Csr<T>, x: &[T], y: &mut [T]) {
+    check_dims(m, x, y);
+    let bounds = nnz_balanced_bounds(m, default_parts());
+    run_chunks(m, x, y, &bounds, true);
+}
+
+/// Serial CSR SpMV with two-row register blocking: adjacent rows are
+/// computed with interleaved accumulators, doubling the independent
+/// dependency chains in flight.
+pub fn blocked2<T: Scalar>(m: &Csr<T>, x: &[T], y: &mut [T]) {
+    check_dims(m, x, y);
+    let rows = m.rows();
+    let pairs = rows / 2;
+    for p in 0..pairs {
+        let r = 2 * p;
+        let (ia, va) = m.row(r);
+        let (ib, vb) = m.row(r + 1);
+        let common = ia.len().min(ib.len());
+        let mut acc_a = T::ZERO;
+        let mut acc_b = T::ZERO;
+        for k in 0..common {
+            acc_a += va[k] * x[ia[k]];
+            acc_b += vb[k] * x[ib[k]];
+        }
+        for k in common..ia.len() {
+            acc_a += va[k] * x[ia[k]];
+        }
+        for k in common..ib.len() {
+            acc_b += vb[k] * x[ib[k]];
+        }
+        y[r] = acc_a;
+        y[r + 1] = acc_b;
+    }
+    if rows % 2 == 1 {
+        let r = rows - 1;
+        let (idx, val) = m.row(r);
+        let mut acc = T::ZERO;
+        for (&c, &v) in idx.iter().zip(val) {
+            acc += v * x[c];
+        }
+        y[r] = acc;
+    }
+}
+
+/// The CSR kernel library: every implementation variant with its
+/// strategy set, in a stable order.
+pub fn kernels<T: Scalar>() -> Vec<KernelEntry<T, Csr<T>>> {
+    use Strategy::*;
+    vec![
+        ("csr_basic", StrategySet::EMPTY, basic as KernelFn<T, Csr<T>>),
+        ("csr_unroll", [Unroll].into_iter().collect(), unrolled),
+        ("csr_block2", [Block].into_iter().collect(), blocked2),
+        ("csr_parallel", [Parallel].into_iter().collect(), parallel),
+        (
+            "csr_parallel_unroll",
+            [Parallel, Unroll].into_iter().collect(),
+            parallel_unrolled,
+        ),
+        (
+            "csr_parallel_balanced",
+            [Parallel, Balance].into_iter().collect(),
+            parallel_balanced,
+        ),
+        (
+            "csr_parallel_balanced_unroll",
+            [Parallel, Balance, Unroll].into_iter().collect(),
+            parallel_balanced_unrolled,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smat_matrix::gen::{power_law, random_uniform};
+    use smat_matrix::utils::max_abs_diff;
+
+    fn reference<T: Scalar>(m: &Csr<T>, x: &[T]) -> Vec<T> {
+        let mut y = vec![T::ZERO; m.rows()];
+        m.spmv(x, &mut y).unwrap();
+        y
+    }
+
+    #[test]
+    fn all_variants_match_reference() {
+        let m = random_uniform::<f64>(311, 277, 9, 17);
+        let x: Vec<f64> = (0..m.cols()).map(|i| (i as f64 * 0.37).sin()).collect();
+        let expect = reference(&m, &x);
+        for (name, _, k) in kernels::<f64>() {
+            let mut y = vec![f64::NAN; m.rows()];
+            k(&m, &x, &mut y);
+            assert!(
+                max_abs_diff(&y, &expect) < 1e-12,
+                "{name} diverges from reference"
+            );
+        }
+    }
+
+    #[test]
+    fn variants_match_on_power_law() {
+        let m = power_law::<f32>(500, 120, 2.0, 3);
+        let x: Vec<f32> = (0..m.cols()).map(|i| 1.0 + (i % 7) as f32).collect();
+        let expect = reference(&m, &x);
+        for (name, _, k) in kernels::<f32>() {
+            let mut y = vec![0.0f32; m.rows()];
+            k(&m, &x, &mut y);
+            assert!(max_abs_diff(&y, &expect) < 1e-2, "{name} diverges");
+        }
+    }
+
+    #[test]
+    fn kernel_set_has_unique_names_and_strategy_sets() {
+        let ks = kernels::<f64>();
+        let names: std::collections::HashSet<_> = ks.iter().map(|k| k.0).collect();
+        assert_eq!(names.len(), ks.len());
+        let sets: std::collections::HashSet<_> = ks.iter().map(|k| k.1).collect();
+        assert_eq!(sets.len(), ks.len());
+        assert!(ks[0].1.is_empty(), "first kernel must be the basic one");
+    }
+
+    #[test]
+    fn empty_rows_produce_zeros() {
+        let m = Csr::<f64>::from_triplets(4, 4, &[(1, 1, 2.0)]).unwrap();
+        let x = [1.0; 4];
+        for (name, _, k) in kernels::<f64>() {
+            let mut y = [9.0; 4];
+            k(&m, &x, &mut y);
+            assert_eq!(y, [0.0, 2.0, 0.0, 0.0], "{name}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "x length")]
+    fn dimension_mismatch_panics() {
+        let m = Csr::<f64>::identity(3);
+        let mut y = [0.0; 3];
+        basic(&m, &[1.0; 2], &mut y);
+    }
+}

@@ -1,0 +1,326 @@
+//! DIA SpMV kernel variants.
+//!
+//! The sequential loop follows the paper's Figure 2(c): diagonal-major
+//! traversal with contiguous reads of `x`. Parallel variants partition
+//! the *rows* so each task updates a disjoint slice of `y` while keeping
+//! the diagonal-major inner loop (and its streaming access pattern)
+//! inside each chunk.
+
+use crate::partition::{default_parts, equal_row_bounds, split_by_bounds};
+use crate::registry::{KernelEntry, KernelFn};
+use crate::strategy::{Strategy, StrategySet};
+use rayon::prelude::*;
+use smat_matrix::{Dia, Scalar};
+
+#[inline]
+fn check_dims<T: Scalar>(m: &Dia<T>, x: &[T], y: &[T]) {
+    assert_eq!(x.len(), m.cols(), "x length must equal matrix columns");
+    assert_eq!(y.len(), m.rows(), "y length must equal matrix rows");
+}
+
+/// Basic serial DIA SpMV — the paper's Figure 2(c) loop.
+pub fn basic<T: Scalar>(m: &Dia<T>, x: &[T], y: &mut [T]) {
+    check_dims(m, x, y);
+    y.fill(T::ZERO);
+    let stride = m.rows();
+    let data = m.data();
+    for (d, &k) in m.offsets().iter().enumerate() {
+        let i_start = 0.max(-k) as usize;
+        let j_start = 0.max(k) as usize;
+        let n = (m.rows() - i_start).min(m.cols() - j_start);
+        let diag = &data[d * stride + i_start..d * stride + i_start + n];
+        let xs = &x[j_start..j_start + n];
+        let ys = &mut y[i_start..i_start + n];
+        for i in 0..n {
+            ys[i] += diag[i] * xs[i];
+        }
+    }
+}
+
+/// Serial DIA SpMV with a 4-way unrolled segment loop.
+pub fn unrolled<T: Scalar>(m: &Dia<T>, x: &[T], y: &mut [T]) {
+    check_dims(m, x, y);
+    y.fill(T::ZERO);
+    let stride = m.rows();
+    let data = m.data();
+    for (d, &k) in m.offsets().iter().enumerate() {
+        let i_start = 0.max(-k) as usize;
+        let j_start = 0.max(k) as usize;
+        let n = (m.rows() - i_start).min(m.cols() - j_start);
+        let diag = &data[d * stride + i_start..d * stride + i_start + n];
+        let xs = &x[j_start..j_start + n];
+        let ys = &mut y[i_start..i_start + n];
+        let quads = n / 4;
+        for q in 0..quads {
+            let i = 4 * q;
+            ys[i] += diag[i] * xs[i];
+            ys[i + 1] += diag[i + 1] * xs[i + 1];
+            ys[i + 2] += diag[i + 2] * xs[i + 2];
+            ys[i + 3] += diag[i + 3] * xs[i + 3];
+        }
+        for i in 4 * quads..n {
+            ys[i] += diag[i] * xs[i];
+        }
+    }
+}
+
+/// Adds diagonal `d`'s contribution to rows `[r0, r1)` of `y_chunk`
+/// (whose index 0 corresponds to global row `r0`).
+#[inline]
+fn diag_segment<T: Scalar>(
+    m: &Dia<T>,
+    d: usize,
+    off: isize,
+    x: &[T],
+    y_chunk: &mut [T],
+    r0: usize,
+    r1: usize,
+    unroll: bool,
+) {
+    let stride = m.rows();
+    // Global row range covered by this diagonal.
+    let lo = (0.max(-off) as usize).max(r0);
+    let hi = ((m.rows()).min((m.cols() as isize - off).max(0) as usize)).min(r1);
+    if lo >= hi {
+        return;
+    }
+    let n = hi - lo;
+    let data = &m.data()[d * stride + lo..d * stride + lo + n];
+    let xs = &x[(lo as isize + off) as usize..(lo as isize + off) as usize + n];
+    let ys = &mut y_chunk[lo - r0..lo - r0 + n];
+    if unroll {
+        let quads = n / 4;
+        for q in 0..quads {
+            let i = 4 * q;
+            ys[i] += data[i] * xs[i];
+            ys[i + 1] += data[i + 1] * xs[i + 1];
+            ys[i + 2] += data[i + 2] * xs[i + 2];
+            ys[i + 3] += data[i + 3] * xs[i + 3];
+        }
+        for i in 4 * quads..n {
+            ys[i] += data[i] * xs[i];
+        }
+    } else {
+        for i in 0..n {
+            ys[i] += data[i] * xs[i];
+        }
+    }
+}
+
+#[inline]
+fn run_parallel<T: Scalar>(m: &Dia<T>, x: &[T], y: &mut [T], unroll: bool) {
+    let bounds = equal_row_bounds(m.rows(), default_parts());
+    let slices = split_by_bounds(y, &bounds);
+    slices
+        .into_par_iter()
+        .enumerate()
+        .for_each(|(ci, y_chunk)| {
+            y_chunk.fill(T::ZERO);
+            let (r0, r1) = (bounds[ci], bounds[ci + 1]);
+            for (d, &off) in m.offsets().iter().enumerate() {
+                diag_segment(m, d, off, x, y_chunk, r0, r1, unroll);
+            }
+        });
+}
+
+/// Row-parallel DIA SpMV.
+pub fn parallel<T: Scalar>(m: &Dia<T>, x: &[T], y: &mut [T]) {
+    check_dims(m, x, y);
+    run_parallel(m, x, y, false);
+}
+
+/// Row-parallel DIA SpMV with unrolled segments.
+pub fn parallel_unrolled<T: Scalar>(m: &Dia<T>, x: &[T], y: &mut [T]) {
+    check_dims(m, x, y);
+    run_parallel(m, x, y, true);
+}
+
+/// Adds one diagonal's contribution over the global row range
+/// `[from, to)`, optionally 4-way unrolled.
+#[inline]
+fn add_diag_range<T: Scalar>(
+    m: &Dia<T>,
+    d: usize,
+    off: isize,
+    x: &[T],
+    y: &mut [T],
+    from: usize,
+    to: usize,
+    unroll: bool,
+) {
+    if from >= to {
+        return;
+    }
+    let stride = m.rows();
+    let n = to - from;
+    let data = &m.data()[d * stride + from..d * stride + to];
+    let xs = &x[(from as isize + off) as usize..(from as isize + off) as usize + n];
+    let ys = &mut y[from..to];
+    if unroll {
+        let quads = n / 4;
+        for q in 0..quads {
+            let i = 4 * q;
+            ys[i] += data[i] * xs[i];
+            ys[i + 1] += data[i + 1] * xs[i + 1];
+            ys[i + 2] += data[i + 2] * xs[i + 2];
+            ys[i + 3] += data[i + 3] * xs[i + 3];
+        }
+        for i in 4 * quads..n {
+            ys[i] += data[i] * xs[i];
+        }
+    } else {
+        for i in 0..n {
+            ys[i] += data[i] * xs[i];
+        }
+    }
+}
+
+/// Valid global row range of a diagonal: `[max(0, -off), min(rows, cols - off))`.
+#[inline]
+fn diag_rows<T: Scalar>(m: &Dia<T>, off: isize) -> (usize, usize) {
+    let lo = 0.max(-off) as usize;
+    let hi = (m.rows()).min((m.cols() as isize - off).max(0) as usize);
+    (lo, hi.max(lo))
+}
+
+#[inline]
+fn run_blocked2<T: Scalar>(m: &Dia<T>, x: &[T], y: &mut [T], unroll: bool) {
+    y.fill(T::ZERO);
+    let offsets = m.offsets();
+    let stride = m.rows();
+    let pairs = offsets.len() / 2;
+    for q in 0..pairs {
+        let d0 = 2 * q;
+        let d1 = d0 + 1;
+        let (k0, k1) = (offsets[d0], offsets[d1]);
+        // Offsets are sorted ascending, so diag 0's range sits at or
+        // after diag 1's: lo1 <= lo0 and hi1 <= hi0.
+        let (lo0, hi0) = diag_rows(m, k0);
+        let (lo1, hi1) = diag_rows(m, k1);
+        debug_assert!(lo1 <= lo0 && hi1 <= hi0);
+        // Prefix: only diag 1 active.
+        add_diag_range(m, d1, k1, x, y, lo1, lo0.min(hi1), unroll);
+        // Fused middle: both diagonals active.
+        let (fl, fh) = (lo0, hi1.max(lo0));
+        if fl < fh {
+            let n = fh - fl;
+            let a0 = &m.data()[d0 * stride + fl..d0 * stride + fh];
+            let a1 = &m.data()[d1 * stride + fl..d1 * stride + fh];
+            let x0 = &x[(fl as isize + k0) as usize..(fl as isize + k0) as usize + n];
+            let x1 = &x[(fl as isize + k1) as usize..(fl as isize + k1) as usize + n];
+            let ys = &mut y[fl..fh];
+            for i in 0..n {
+                ys[i] += a0[i] * x0[i] + a1[i] * x1[i];
+            }
+        }
+        // Suffix: only diag 0 active.
+        add_diag_range(m, d0, k0, x, y, hi1.max(lo0), hi0, unroll);
+    }
+    if offsets.len() % 2 == 1 {
+        let d = offsets.len() - 1;
+        let off = offsets[d];
+        let (lo, hi) = diag_rows(m, off);
+        add_diag_range(m, d, off, x, y, lo, hi, unroll);
+    }
+}
+
+/// Serial DIA SpMV with diagonal-pair register blocking: adjacent
+/// diagonals are fused over their common row range, halving the sweeps
+/// over `y`.
+pub fn blocked2<T: Scalar>(m: &Dia<T>, x: &[T], y: &mut [T]) {
+    check_dims(m, x, y);
+    run_blocked2(m, x, y, false);
+}
+
+/// Diagonal-pair blocked DIA SpMV with unrolled prefix/suffix segments.
+pub fn blocked2_unrolled<T: Scalar>(m: &Dia<T>, x: &[T], y: &mut [T]) {
+    check_dims(m, x, y);
+    run_blocked2(m, x, y, true);
+}
+
+/// The DIA kernel library.
+pub fn kernels<T: Scalar>() -> Vec<KernelEntry<T, Dia<T>>> {
+    use Strategy::*;
+    vec![
+        ("dia_basic", StrategySet::EMPTY, basic as KernelFn<T, Dia<T>>),
+        ("dia_unroll", [Unroll].into_iter().collect(), unrolled),
+        ("dia_block2", [Block].into_iter().collect(), blocked2),
+        (
+            "dia_block2_unroll",
+            [Block, Unroll].into_iter().collect(),
+            blocked2_unrolled,
+        ),
+        ("dia_parallel", [Parallel].into_iter().collect(), parallel),
+        (
+            "dia_parallel_unroll",
+            [Parallel, Unroll].into_iter().collect(),
+            parallel_unrolled,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smat_matrix::gen::{banded, laplacian_2d_5pt};
+    use smat_matrix::utils::max_abs_diff;
+    use smat_matrix::Csr;
+
+    fn reference(m: &Csr<f64>, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; m.rows()];
+        m.spmv(x, &mut y).unwrap();
+        y
+    }
+
+    #[test]
+    fn all_variants_match_reference() {
+        let csr = laplacian_2d_5pt::<f64>(23, 19);
+        let dia = Dia::from_csr(&csr).unwrap();
+        let x: Vec<f64> = (0..csr.cols()).map(|i| (i as f64 * 0.05).sin()).collect();
+        let expect = reference(&csr, &x);
+        for (name, _, k) in kernels::<f64>() {
+            let mut y = vec![f64::NAN; csr.rows()];
+            k(&dia, &x, &mut y);
+            assert!(max_abs_diff(&y, &expect) < 1e-12, "{name} diverges");
+        }
+    }
+
+    #[test]
+    fn variants_match_on_scattered_bands() {
+        let csr = banded::<f64>(513, &[-37, -2, 0, 1, 53], 0.6, 7);
+        let dia = Dia::from_csr(&csr).unwrap();
+        let x: Vec<f64> = (0..csr.cols()).map(|i| 1.0 + (i % 5) as f64).collect();
+        let expect = reference(&csr, &x);
+        for (name, _, k) in kernels::<f64>() {
+            let mut y = vec![0.0; csr.rows()];
+            k(&dia, &x, &mut y);
+            assert!(max_abs_diff(&y, &expect) < 1e-12, "{name} diverges");
+        }
+    }
+
+    #[test]
+    fn rectangular_matrices() {
+        let csr =
+            Csr::<f64>::from_triplets(5, 8, &[(0, 0, 1.0), (1, 2, 2.0), (4, 7, 3.0), (2, 2, 4.0)])
+                .unwrap();
+        let dia = Dia::from_csr(&csr).unwrap();
+        let x: Vec<f64> = (0..8).map(|i| i as f64 + 1.0).collect();
+        let expect = reference(&csr, &x);
+        for (name, _, k) in kernels::<f64>() {
+            let mut y = vec![0.0; 5];
+            k(&dia, &x, &mut y);
+            assert!(max_abs_diff(&y, &expect) < 1e-12, "{name} diverges");
+        }
+    }
+
+    #[test]
+    fn empty_matrix_zeroes_output() {
+        let csr = Csr::<f64>::from_triplets(4, 4, &[]).unwrap();
+        let dia = Dia::from_csr(&csr).unwrap();
+        for (name, _, k) in kernels::<f64>() {
+            let mut y = [3.0; 4];
+            k(&dia, &[1.0; 4], &mut y);
+            assert_eq!(y, [0.0; 4], "{name}");
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! ELL SpMV kernel variants.
+//!
+//! The sequential loop follows the paper's Figure 2(d): column-major
+//! sweep over the packed slots, streaming through the dense `data` /
+//! `indices` arrays. Parallel variants chunk the rows and keep the
+//! column-major sweep inside each chunk.
+
+use crate::partition::{default_parts, equal_row_bounds, split_by_bounds};
+use crate::registry::{KernelEntry, KernelFn};
+use crate::strategy::{Strategy, StrategySet};
+use rayon::prelude::*;
+use smat_matrix::{Ell, Scalar};
+
+#[inline]
+fn check_dims<T: Scalar>(m: &Ell<T>, x: &[T], y: &[T]) {
+    assert_eq!(x.len(), m.cols(), "x length must equal matrix columns");
+    assert_eq!(y.len(), m.rows(), "y length must equal matrix rows");
+}
+
+/// Basic serial ELL SpMV — the paper's Figure 2(d) loop.
+pub fn basic<T: Scalar>(m: &Ell<T>, x: &[T], y: &mut [T]) {
+    check_dims(m, x, y);
+    y.fill(T::ZERO);
+    let rows = m.rows();
+    let data = m.data();
+    let idx = m.indices();
+    for p in 0..m.width() {
+        let dcol = &data[p * rows..(p + 1) * rows];
+        let icol = &idx[p * rows..(p + 1) * rows];
+        for r in 0..rows {
+            y[r] += dcol[r] * x[icol[r]];
+        }
+    }
+}
+
+/// Serial ELL SpMV with a 4-way unrolled row sweep per packed slot.
+pub fn unrolled<T: Scalar>(m: &Ell<T>, x: &[T], y: &mut [T]) {
+    check_dims(m, x, y);
+    y.fill(T::ZERO);
+    let rows = m.rows();
+    let data = m.data();
+    let idx = m.indices();
+    for p in 0..m.width() {
+        let dcol = &data[p * rows..(p + 1) * rows];
+        let icol = &idx[p * rows..(p + 1) * rows];
+        let quads = rows / 4;
+        for q in 0..quads {
+            let r = 4 * q;
+            y[r] += dcol[r] * x[icol[r]];
+            y[r + 1] += dcol[r + 1] * x[icol[r + 1]];
+            y[r + 2] += dcol[r + 2] * x[icol[r + 2]];
+            y[r + 3] += dcol[r + 3] * x[icol[r + 3]];
+        }
+        for r in 4 * quads..rows {
+            y[r] += dcol[r] * x[icol[r]];
+        }
+    }
+}
+
+#[inline]
+fn run_parallel<T: Scalar>(m: &Ell<T>, x: &[T], y: &mut [T], unroll: bool) {
+    let rows = m.rows();
+    let bounds = equal_row_bounds(rows, default_parts());
+    let data = m.data();
+    let idx = m.indices();
+    let slices = split_by_bounds(y, &bounds);
+    slices
+        .into_par_iter()
+        .enumerate()
+        .for_each(|(ci, y_chunk)| {
+            y_chunk.fill(T::ZERO);
+            let (r0, r1) = (bounds[ci], bounds[ci + 1]);
+            let n = r1 - r0;
+            for p in 0..m.width() {
+                let dcol = &data[p * rows + r0..p * rows + r1];
+                let icol = &idx[p * rows + r0..p * rows + r1];
+                if unroll {
+                    let quads = n / 4;
+                    for q in 0..quads {
+                        let r = 4 * q;
+                        y_chunk[r] += dcol[r] * x[icol[r]];
+                        y_chunk[r + 1] += dcol[r + 1] * x[icol[r + 1]];
+                        y_chunk[r + 2] += dcol[r + 2] * x[icol[r + 2]];
+                        y_chunk[r + 3] += dcol[r + 3] * x[icol[r + 3]];
+                    }
+                    for r in 4 * quads..n {
+                        y_chunk[r] += dcol[r] * x[icol[r]];
+                    }
+                } else {
+                    for r in 0..n {
+                        y_chunk[r] += dcol[r] * x[icol[r]];
+                    }
+                }
+            }
+        });
+}
+
+/// Row-parallel ELL SpMV.
+pub fn parallel<T: Scalar>(m: &Ell<T>, x: &[T], y: &mut [T]) {
+    check_dims(m, x, y);
+    run_parallel(m, x, y, false);
+}
+
+/// Row-parallel ELL SpMV with unrolled sweeps.
+pub fn parallel_unrolled<T: Scalar>(m: &Ell<T>, x: &[T], y: &mut [T]) {
+    check_dims(m, x, y);
+    run_parallel(m, x, y, true);
+}
+
+/// Serial ELL SpMV with slot-pair register blocking: two packed slots
+/// are fused into one sweep over the rows, halving the passes over `y`.
+pub fn blocked2<T: Scalar>(m: &Ell<T>, x: &[T], y: &mut [T]) {
+    check_dims(m, x, y);
+    y.fill(T::ZERO);
+    let rows = m.rows();
+    let data = m.data();
+    let idx = m.indices();
+    let width = m.width();
+    let pairs = width / 2;
+    for q in 0..pairs {
+        let p = 2 * q;
+        let d0 = &data[p * rows..(p + 1) * rows];
+        let i0 = &idx[p * rows..(p + 1) * rows];
+        let d1 = &data[(p + 1) * rows..(p + 2) * rows];
+        let i1 = &idx[(p + 1) * rows..(p + 2) * rows];
+        for r in 0..rows {
+            y[r] += d0[r] * x[i0[r]] + d1[r] * x[i1[r]];
+        }
+    }
+    if width % 2 == 1 {
+        let p = width - 1;
+        let dcol = &data[p * rows..(p + 1) * rows];
+        let icol = &idx[p * rows..(p + 1) * rows];
+        for r in 0..rows {
+            y[r] += dcol[r] * x[icol[r]];
+        }
+    }
+}
+
+/// Slot-pair blocked ELL SpMV with a 4-way unrolled row sweep.
+pub fn blocked2_unrolled<T: Scalar>(m: &Ell<T>, x: &[T], y: &mut [T]) {
+    check_dims(m, x, y);
+    y.fill(T::ZERO);
+    let rows = m.rows();
+    let data = m.data();
+    let idx = m.indices();
+    let width = m.width();
+    let pairs = width / 2;
+    for q in 0..pairs {
+        let p = 2 * q;
+        let d0 = &data[p * rows..(p + 1) * rows];
+        let i0 = &idx[p * rows..(p + 1) * rows];
+        let d1 = &data[(p + 1) * rows..(p + 2) * rows];
+        let i1 = &idx[(p + 1) * rows..(p + 2) * rows];
+        let quads = rows / 4;
+        for t in 0..quads {
+            let r = 4 * t;
+            y[r] += d0[r] * x[i0[r]] + d1[r] * x[i1[r]];
+            y[r + 1] += d0[r + 1] * x[i0[r + 1]] + d1[r + 1] * x[i1[r + 1]];
+            y[r + 2] += d0[r + 2] * x[i0[r + 2]] + d1[r + 2] * x[i1[r + 2]];
+            y[r + 3] += d0[r + 3] * x[i0[r + 3]] + d1[r + 3] * x[i1[r + 3]];
+        }
+        for r in 4 * quads..rows {
+            y[r] += d0[r] * x[i0[r]] + d1[r] * x[i1[r]];
+        }
+    }
+    if width % 2 == 1 {
+        let p = width - 1;
+        let dcol = &data[p * rows..(p + 1) * rows];
+        let icol = &idx[p * rows..(p + 1) * rows];
+        for r in 0..rows {
+            y[r] += dcol[r] * x[icol[r]];
+        }
+    }
+}
+
+/// Row-parallel ELL SpMV with slot-pair blocking inside each chunk.
+pub fn parallel_blocked2<T: Scalar>(m: &Ell<T>, x: &[T], y: &mut [T]) {
+    check_dims(m, x, y);
+    let rows = m.rows();
+    let bounds = equal_row_bounds(rows, default_parts());
+    let data = m.data();
+    let idx = m.indices();
+    let width = m.width();
+    let slices = split_by_bounds(y, &bounds);
+    slices
+        .into_par_iter()
+        .enumerate()
+        .for_each(|(ci, y_chunk)| {
+            y_chunk.fill(T::ZERO);
+            let (r0, r1) = (bounds[ci], bounds[ci + 1]);
+            let n = r1 - r0;
+            let pairs = width / 2;
+            for q in 0..pairs {
+                let p = 2 * q;
+                let d0 = &data[p * rows + r0..p * rows + r1];
+                let i0 = &idx[p * rows + r0..p * rows + r1];
+                let d1 = &data[(p + 1) * rows + r0..(p + 1) * rows + r1];
+                let i1 = &idx[(p + 1) * rows + r0..(p + 1) * rows + r1];
+                for r in 0..n {
+                    y_chunk[r] += d0[r] * x[i0[r]] + d1[r] * x[i1[r]];
+                }
+            }
+            if width % 2 == 1 {
+                let p = width - 1;
+                let dcol = &data[p * rows + r0..p * rows + r1];
+                let icol = &idx[p * rows + r0..p * rows + r1];
+                for r in 0..n {
+                    y_chunk[r] += dcol[r] * x[icol[r]];
+                }
+            }
+        });
+}
+
+/// The ELL kernel library.
+pub fn kernels<T: Scalar>() -> Vec<KernelEntry<T, Ell<T>>> {
+    use Strategy::*;
+    vec![
+        ("ell_basic", StrategySet::EMPTY, basic as KernelFn<T, Ell<T>>),
+        ("ell_unroll", [Unroll].into_iter().collect(), unrolled),
+        ("ell_block2", [Block].into_iter().collect(), blocked2),
+        (
+            "ell_block2_unroll",
+            [Block, Unroll].into_iter().collect(),
+            blocked2_unrolled,
+        ),
+        ("ell_parallel", [Parallel].into_iter().collect(), parallel),
+        (
+            "ell_parallel_unroll",
+            [Parallel, Unroll].into_iter().collect(),
+            parallel_unrolled,
+        ),
+        (
+            "ell_parallel_block2",
+            [Parallel, Block].into_iter().collect(),
+            parallel_blocked2,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smat_matrix::gen::fixed_degree;
+    use smat_matrix::utils::max_abs_diff;
+    use smat_matrix::Csr;
+
+    fn reference(m: &Csr<f64>, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; m.rows()];
+        m.spmv(x, &mut y).unwrap();
+        y
+    }
+
+    #[test]
+    fn all_variants_match_reference() {
+        let csr = fixed_degree::<f64>(307, 290, 11, 2, 19);
+        let ell = Ell::from_csr(&csr).unwrap();
+        let x: Vec<f64> = (0..csr.cols()).map(|i| (i as f64 * 0.21).cos()).collect();
+        let expect = reference(&csr, &x);
+        for (name, _, k) in kernels::<f64>() {
+            let mut y = vec![f64::NAN; csr.rows()];
+            k(&ell, &x, &mut y);
+            assert!(max_abs_diff(&y, &expect) < 1e-12, "{name} diverges");
+        }
+    }
+
+    #[test]
+    fn ragged_rows_with_padding() {
+        let csr = Csr::<f64>::from_triplets(
+            5,
+            5,
+            &[(0, 0, 1.0), (0, 4, 2.0), (0, 2, 5.0), (2, 1, 3.0), (4, 4, 4.0)],
+        )
+        .unwrap();
+        let ell = Ell::from_csr(&csr).unwrap();
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let expect = reference(&csr, &x);
+        for (name, _, k) in kernels::<f64>() {
+            let mut y = vec![0.0; 5];
+            k(&ell, &x, &mut y);
+            assert!(max_abs_diff(&y, &expect) < 1e-12, "{name} diverges");
+        }
+    }
+
+    #[test]
+    fn empty_matrix_zeroes_output() {
+        let csr = Csr::<f32>::from_triplets(3, 3, &[]).unwrap();
+        let ell = Ell::from_csr(&csr).unwrap();
+        for (name, _, k) in kernels::<f32>() {
+            let mut y = [2.0f32; 3];
+            k(&ell, &[1.0; 3], &mut y);
+            assert_eq!(y, [0.0; 3], "{name}");
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! HYB SpMV kernel variants (the extension format).
+//!
+//! The ELL part runs through the corresponding ELL kernel; the COO
+//! overflow is then scattered on top. By the width heuristic's
+//! construction the overflow is a small minority of the nonzeros, so the
+//! parallel variant parallelizes only the ELL sweep and applies the
+//! overflow serially — the simple composition cuSPARSE's HYB also uses
+//! on the host side.
+
+use crate::registry::{KernelEntry, KernelFn};
+use crate::strategy::{Strategy, StrategySet};
+use smat_matrix::{Hyb, Scalar};
+
+#[inline]
+fn check_dims<T: Scalar>(m: &Hyb<T>, x: &[T], y: &[T]) {
+    assert_eq!(x.len(), m.cols(), "x length must equal matrix columns");
+    assert_eq!(y.len(), m.rows(), "y length must equal matrix rows");
+}
+
+/// Adds the COO overflow part on top of `y` (which already holds the ELL
+/// part's product).
+#[inline]
+fn add_overflow<T: Scalar>(m: &Hyb<T>, x: &[T], y: &mut [T]) {
+    let coo = m.coo_part();
+    let rows = coo.row_idx();
+    let cols = coo.col_idx();
+    let vals = coo.values();
+    for i in 0..vals.len() {
+        y[rows[i]] += vals[i] * x[cols[i]];
+    }
+}
+
+/// Basic serial HYB SpMV: ELL sweep plus COO scatter.
+pub fn basic<T: Scalar>(m: &Hyb<T>, x: &[T], y: &mut [T]) {
+    check_dims(m, x, y);
+    crate::ell::basic(m.ell_part(), x, y);
+    add_overflow(m, x, y);
+}
+
+/// Serial HYB SpMV with the unrolled ELL sweep.
+pub fn unrolled<T: Scalar>(m: &Hyb<T>, x: &[T], y: &mut [T]) {
+    check_dims(m, x, y);
+    crate::ell::unrolled(m.ell_part(), x, y);
+    add_overflow(m, x, y);
+}
+
+/// HYB SpMV with the row-parallel ELL sweep (overflow applied serially —
+/// it is a small minority of entries by the width heuristic).
+pub fn parallel<T: Scalar>(m: &Hyb<T>, x: &[T], y: &mut [T]) {
+    check_dims(m, x, y);
+    crate::ell::parallel(m.ell_part(), x, y);
+    add_overflow(m, x, y);
+}
+
+/// The HYB kernel library.
+pub fn kernels<T: Scalar>() -> Vec<KernelEntry<T, Hyb<T>>> {
+    use Strategy::*;
+    vec![
+        ("hyb_basic", StrategySet::EMPTY, basic as KernelFn<T, Hyb<T>>),
+        ("hyb_unroll", [Unroll].into_iter().collect(), unrolled),
+        ("hyb_parallel", [Parallel].into_iter().collect(), parallel),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smat_matrix::gen::{power_law, random_skewed};
+    use smat_matrix::utils::max_abs_diff;
+    use smat_matrix::Csr;
+
+    fn reference(m: &Csr<f64>, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; m.rows()];
+        m.spmv(x, &mut y).unwrap();
+        y
+    }
+
+    #[test]
+    fn all_variants_match_reference() {
+        for csr in [
+            power_law::<f64>(500, 120, 1.9, 11),
+            random_skewed::<f64>(400, 380, 6, 0.05, 12, 4),
+        ] {
+            let hyb = Hyb::from_csr(&csr);
+            assert!(hyb.coo_part().nnz() > 0, "want a nonempty overflow part");
+            let x: Vec<f64> = (0..csr.cols()).map(|i| (i as f64 * 0.13).cos()).collect();
+            let expect = reference(&csr, &x);
+            for (name, _, k) in kernels::<f64>() {
+                let mut y = vec![f64::NAN; csr.rows()];
+                k(&hyb, &x, &mut y);
+                assert!(max_abs_diff(&y, &expect) < 1e-12, "{name} diverges");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_matrix_zeroes_output() {
+        let csr = Csr::<f64>::from_triplets(3, 3, &[]).unwrap();
+        let hyb = Hyb::from_csr(&csr);
+        for (name, _, k) in kernels::<f64>() {
+            let mut y = [7.0; 3];
+            k(&hyb, &[1.0; 3], &mut y);
+            assert_eq!(y, [0.0; 3], "{name}");
+        }
+    }
+}

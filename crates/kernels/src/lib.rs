@@ -1,0 +1,52 @@
+//! The SpMV kernel library of the SMAT (PLDI'13) reproduction.
+//!
+//! This crate holds the architecture-level half of SMAT's co-tuning:
+//!
+//! * per-format kernel variants ([`csr`], [`coo`], [`dia`], [`ell`])
+//!   composed from the optimization [`Strategy`] set (unrolling,
+//!   multithreading, load balancing);
+//! * the [`KernelLibrary`] registry addressing every variant by
+//!   `(format, index)`;
+//! * the offline kernel [`search`]: performance-record table plus the
+//!   paper's scoreboard algorithm (§5.2);
+//! * MKL-style [`mod@reference`] baselines used by the Figure 10 comparison;
+//! * [`timing`] helpers shared with the runtime's execute-and-measure
+//!   fallback.
+//!
+//! # Examples
+//!
+//! Search for the best kernels on this machine, then run the chosen CSR
+//! kernel:
+//!
+//! ```
+//! use smat_kernels::{search_kernels, KernelLibrary};
+//! use smat_matrix::{gen::random_uniform, Format};
+//! use std::time::Duration;
+//!
+//! let lib = KernelLibrary::<f64>::new();
+//! let probe = random_uniform::<f64>(500, 500, 8, 42);
+//! let (choice, _tables) = search_kernels(&lib, &probe, Duration::from_millis(1));
+//!
+//! let x = vec![1.0; 500];
+//! let mut y = vec![0.0; 500];
+//! lib.run_csr(&probe, choice.kernel(Format::Csr).variant, &x, &mut y);
+//! assert!(y.iter().any(|&v| v != 0.0));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod coo;
+pub mod csr;
+pub mod dia;
+pub mod ell;
+pub mod hyb;
+pub mod partition;
+pub mod reference;
+pub mod registry;
+pub mod search;
+pub mod strategy;
+pub mod timing;
+
+pub use registry::{KernelEntry, KernelFn, KernelId, KernelInfo, KernelLibrary};
+pub use search::{measure_format, search_kernels, KernelChoice, PerfRecord, PerfTable, Scoreboard};
+pub use strategy::{Strategy, StrategySet};

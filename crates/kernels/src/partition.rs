@@ -1,0 +1,140 @@
+//! Work partitioning helpers for the parallel kernels.
+
+use smat_matrix::{Csr, Scalar};
+
+/// Splits `0..rows` into at most `parts` equal-size contiguous chunks,
+/// returned as a boundary list `[0, b1, ..., rows]`.
+///
+/// # Panics
+///
+/// Panics if `parts == 0`.
+pub fn equal_row_bounds(rows: usize, parts: usize) -> Vec<usize> {
+    assert!(parts > 0, "at least one partition required");
+    let parts = parts.min(rows.max(1));
+    let chunk = rows.div_ceil(parts);
+    let mut bounds = Vec::with_capacity(parts + 1);
+    let mut b = 0;
+    while b < rows {
+        bounds.push(b);
+        b += chunk;
+    }
+    bounds.push(rows);
+    if bounds.len() == 1 {
+        bounds.push(0); // rows == 0: keep the [0, 0] shape
+    }
+    bounds
+}
+
+/// Splits rows into contiguous chunks of approximately equal *nonzero
+/// count* — the paper's load-balanced "threading policy" for matrices
+/// with skewed row degrees.
+///
+/// # Panics
+///
+/// Panics if `parts == 0`.
+pub fn nnz_balanced_bounds<T: Scalar>(m: &Csr<T>, parts: usize) -> Vec<usize> {
+    assert!(parts > 0, "at least one partition required");
+    let rows = m.rows();
+    let nnz = m.nnz();
+    let target = nnz.div_ceil(parts.min(rows.max(1)));
+    let ptr = m.row_ptr();
+    let mut bounds = vec![0usize];
+    let mut next_target = target;
+    for r in 1..rows {
+        if ptr[r] >= next_target && *bounds.last().expect("non-empty") < r {
+            bounds.push(r);
+            next_target = ptr[r] + target;
+        }
+    }
+    bounds.push(rows);
+    bounds
+}
+
+/// Splits a mutable slice into the sub-slices delimited by `bounds`
+/// (which must start at 0, end at `y.len()` and be non-decreasing).
+///
+/// Parallel kernels hand each chunk to one rayon task; disjointness is
+/// what makes the unsynchronized writes sound.
+///
+/// # Panics
+///
+/// Panics if the bounds are malformed.
+pub fn split_by_bounds<'a, T>(y: &'a mut [T], bounds: &[usize]) -> Vec<&'a mut [T]> {
+    assert!(bounds.len() >= 2, "bounds must have at least two entries");
+    assert_eq!(bounds[0], 0, "bounds must start at 0");
+    assert_eq!(
+        *bounds.last().expect("non-empty"),
+        y.len(),
+        "bounds must end at the slice length"
+    );
+    let mut out = Vec::with_capacity(bounds.len() - 1);
+    let mut rest = y;
+    let mut prev = 0;
+    for &b in &bounds[1..] {
+        assert!(b >= prev, "bounds must be non-decreasing");
+        let (head, tail) = rest.split_at_mut(b - prev);
+        out.push(head);
+        rest = tail;
+        prev = b;
+    }
+    out
+}
+
+/// Number of parallel chunks to use: a small multiple of the thread count
+/// so rayon can balance tail effects.
+pub fn default_parts() -> usize {
+    rayon::current_num_threads().max(1) * 4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_bounds_cover_range() {
+        let b = equal_row_bounds(10, 3);
+        assert_eq!(b.first(), Some(&0));
+        assert_eq!(b.last(), Some(&10));
+        assert!(b.windows(2).all(|w| w[0] < w[1]));
+        // More parts than rows collapses gracefully.
+        let b = equal_row_bounds(2, 8);
+        assert_eq!(b, vec![0, 1, 2]);
+        // Zero rows.
+        assert_eq!(equal_row_bounds(0, 4), vec![0, 0]);
+    }
+
+    #[test]
+    fn nnz_bounds_balance_skewed_rows() {
+        // Row 0 has 100 entries, rows 1..101 one each.
+        let mut triplets: Vec<(usize, usize, f64)> = (0..100).map(|c| (0, c, 1.0)).collect();
+        triplets.extend((1..101).map(|r| (r, 0, 1.0)));
+        let m = Csr::from_triplets(101, 100, &triplets).unwrap();
+        let b = nnz_balanced_bounds(&m, 2);
+        assert_eq!(b.first(), Some(&0));
+        assert_eq!(b.last(), Some(&101));
+        // The heavy row should sit alone (or nearly) in its chunk.
+        assert!(b[1] <= 2, "boundary after heavy row, got {:?}", b);
+    }
+
+    #[test]
+    fn split_matches_bounds() {
+        let mut data = [0u32, 1, 2, 3, 4, 5];
+        let parts = split_by_bounds(&mut data, &[0, 2, 2, 6]);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0], &[0, 1]);
+        assert!(parts[1].is_empty());
+        assert_eq!(parts[2], &[2, 3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "end at the slice length")]
+    fn split_bad_bounds_panics() {
+        let mut data = [0u32; 4];
+        split_by_bounds(&mut data, &[0, 2]);
+    }
+
+    #[test]
+    fn default_parts_positive() {
+        assert!(default_parts() >= 4);
+    }
+}

@@ -1,0 +1,240 @@
+//! The kernel library: every SpMV implementation variant for every
+//! format, addressable by `(Format, variant index)`.
+//!
+//! This is the "large kernel library" of the paper's Figure 4. The
+//! offline kernel search ([`crate::search`]) picks one variant per format
+//! for the host architecture; the runtime then dispatches through
+//! [`KernelLibrary::run`].
+
+use crate::strategy::StrategySet;
+use crate::{coo, csr, dia, ell, hyb};
+use serde::{Deserialize, Serialize};
+use smat_matrix::{AnyMatrix, Coo, Csr, Dia, Ell, Format, Hyb, Scalar};
+
+/// Signature of every SpMV kernel: `run(matrix, x, y)` computing
+/// `y = A * x`.
+pub type KernelFn<T, M> = fn(&M, &[T], &mut [T]);
+
+/// One registered kernel: name, strategy set and entry point.
+pub type KernelEntry<T, M> = (&'static str, StrategySet, KernelFn<T, M>);
+
+/// Identifies one kernel implementation: a format plus the index of a
+/// variant within that format's library.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct KernelId {
+    /// Storage format the kernel operates on.
+    pub format: Format,
+    /// Index into [`KernelLibrary::variants`] for that format.
+    pub variant: usize,
+}
+
+impl KernelId {
+    /// The basic (unoptimized) kernel of a format — always variant 0.
+    pub fn basic(format: Format) -> Self {
+        KernelId { format, variant: 0 }
+    }
+}
+
+/// Metadata describing one kernel variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelInfo {
+    /// Stable human-readable name (e.g. `"csr_parallel_balanced"`).
+    pub name: &'static str,
+    /// Optimization strategies the variant applies.
+    pub strategies: StrategySet,
+}
+
+/// The complete kernel library for scalar type `T`.
+///
+/// # Examples
+///
+/// ```
+/// use smat_kernels::KernelLibrary;
+/// use smat_matrix::{AnyMatrix, Csr, Format};
+///
+/// let lib = KernelLibrary::<f64>::new();
+/// assert!(lib.variant_count(Format::Csr) >= 4);
+///
+/// let a = Csr::from_triplets(2, 2, &[(0, 0, 3.0), (1, 1, 4.0)])?;
+/// let any = AnyMatrix::Csr(a);
+/// let mut y = [0.0; 2];
+/// lib.run(&any, 0, &[1.0, 1.0], &mut y);
+/// assert_eq!(y, [3.0, 4.0]);
+/// # Ok::<(), smat_matrix::MatrixError>(())
+/// ```
+pub struct KernelLibrary<T: Scalar> {
+    csr: Vec<KernelEntry<T, Csr<T>>>,
+    coo: Vec<KernelEntry<T, Coo<T>>>,
+    dia: Vec<KernelEntry<T, Dia<T>>>,
+    ell: Vec<KernelEntry<T, Ell<T>>>,
+    hyb: Vec<KernelEntry<T, Hyb<T>>>,
+}
+
+impl<T: Scalar> std::fmt::Debug for KernelLibrary<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KernelLibrary")
+            .field("csr_variants", &self.csr.len())
+            .field("coo_variants", &self.coo.len())
+            .field("dia_variants", &self.dia.len())
+            .field("ell_variants", &self.ell.len())
+            .field("hyb_variants", &self.hyb.len())
+            .finish()
+    }
+}
+
+impl<T: Scalar> Default for KernelLibrary<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Scalar> KernelLibrary<T> {
+    /// Builds the library with every registered variant.
+    pub fn new() -> Self {
+        Self {
+            csr: csr::kernels(),
+            coo: coo::kernels(),
+            dia: dia::kernels(),
+            ell: ell::kernels(),
+            hyb: hyb::kernels(),
+        }
+    }
+
+    /// Number of implementation variants for `format`.
+    pub fn variant_count(&self, format: Format) -> usize {
+        match format {
+            Format::Csr => self.csr.len(),
+            Format::Coo => self.coo.len(),
+            Format::Dia => self.dia.len(),
+            Format::Ell => self.ell.len(),
+            Format::Hyb => self.hyb.len(),
+        }
+    }
+
+    /// Total number of implementations across all formats (the paper
+    /// reports "up to 24 in current SMAT system").
+    pub fn total_variants(&self) -> usize {
+        Format::ALL
+            .into_iter()
+            .map(|f| self.variant_count(f))
+            .sum()
+    }
+
+    /// Metadata for every variant of `format`, indexed by variant id.
+    pub fn variants(&self, format: Format) -> Vec<KernelInfo> {
+        macro_rules! infos {
+            ($v:expr) => {
+                $v.iter()
+                    .map(|&(name, strategies, _)| KernelInfo { name, strategies })
+                    .collect()
+            };
+        }
+        match format {
+            Format::Csr => infos!(self.csr),
+            Format::Coo => infos!(self.coo),
+            Format::Dia => infos!(self.dia),
+            Format::Ell => infos!(self.ell),
+            Format::Hyb => infos!(self.hyb),
+        }
+    }
+
+    /// Metadata for a specific kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variant index is out of range.
+    pub fn info(&self, id: KernelId) -> KernelInfo {
+        self.variants(id.format)[id.variant]
+    }
+
+    /// Runs variant `variant` of the matrix's own format: `y = A * x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `variant` is out of range for the matrix's format or if
+    /// the vector lengths do not match the matrix dimensions.
+    pub fn run(&self, m: &AnyMatrix<T>, variant: usize, x: &[T], y: &mut [T]) {
+        match m {
+            AnyMatrix::Csr(m) => (self.csr[variant].2)(m, x, y),
+            AnyMatrix::Coo(m) => (self.coo[variant].2)(m, x, y),
+            AnyMatrix::Dia(m) => (self.dia[variant].2)(m, x, y),
+            AnyMatrix::Ell(m) => (self.ell[variant].2)(m, x, y),
+            AnyMatrix::Hyb(m) => (self.hyb[variant].2)(m, x, y),
+        }
+    }
+
+    /// Runs a CSR kernel directly (avoids wrapping in [`AnyMatrix`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range variant or mismatched vector lengths.
+    pub fn run_csr(&self, m: &Csr<T>, variant: usize, x: &[T], y: &mut [T]) {
+        (self.csr[variant].2)(m, x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smat_matrix::gen::random_uniform;
+    use smat_matrix::utils::max_abs_diff;
+
+    #[test]
+    fn library_is_well_formed() {
+        let lib = KernelLibrary::<f64>::new();
+        // The paper: "up to 24 in current SMAT system" for the four
+        // basic formats; the HYB extension adds three more.
+        let basic_four: usize = Format::BASIC
+            .into_iter()
+            .map(|f| lib.variant_count(f))
+            .sum();
+        assert_eq!(basic_four, 24);
+        assert_eq!(lib.total_variants(), 27);
+        for f in Format::ALL {
+            let infos = lib.variants(f);
+            assert!(!infos.is_empty());
+            assert!(
+                infos[0].strategies.is_empty(),
+                "variant 0 of {f} must be basic"
+            );
+            // Names unique per format.
+            let names: std::collections::HashSet<_> = infos.iter().map(|i| i.name).collect();
+            assert_eq!(names.len(), infos.len());
+        }
+    }
+
+    #[test]
+    fn run_dispatches_every_format_and_variant() {
+        let lib = KernelLibrary::<f64>::new();
+        let csr = random_uniform::<f64>(120, 100, 6, 3);
+        let x: Vec<f64> = (0..100).map(|i| (i as f64).sqrt()).collect();
+        let mut expect = vec![0.0; 120];
+        csr.spmv(&x, &mut expect).unwrap();
+        for f in Format::ALL {
+            let any = AnyMatrix::convert_from_csr(&csr, f).unwrap();
+            for v in 0..lib.variant_count(f) {
+                let mut y = vec![f64::NAN; 120];
+                lib.run(&any, v, &x, &mut y);
+                assert!(
+                    max_abs_diff(&y, &expect) < 1e-12,
+                    "{} variant {v}",
+                    f.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_id_basic() {
+        let id = KernelId::basic(Format::Ell);
+        assert_eq!(id.variant, 0);
+        let lib = KernelLibrary::<f32>::new();
+        assert_eq!(lib.info(id).name, "ell_basic");
+    }
+
+    #[test]
+    fn debug_impl_is_nonempty() {
+        let lib = KernelLibrary::<f32>::new();
+        assert!(format!("{lib:?}").contains("csr_variants"));
+    }
+}

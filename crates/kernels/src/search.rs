@@ -1,0 +1,322 @@
+//! Offline kernel search: the performance-record table and scoreboard
+//! algorithm of the paper's §5.2.
+//!
+//! For each format, every implementation variant is executed on a probe
+//! matrix and its throughput recorded. The scoreboard then scores each
+//! *optimization strategy* by comparing implementation pairs that differ
+//! in exactly that strategy (+1 if it helped, -1 if it hurt, neglected
+//! when the gap is below [`NO_EFFECT_GAP`] GFLOPS), scores each
+//! *implementation* as the sum of its strategies' scores, and selects the
+//! highest-scoring implementation per format.
+
+use crate::registry::{KernelId, KernelLibrary};
+use crate::strategy::{Strategy, StrategySet};
+use crate::timing::{gflops, reps_for_budget, time_median};
+use serde::{Deserialize, Serialize};
+use smat_matrix::{AnyMatrix, Csr, Format, Scalar};
+use std::time::Duration;
+
+/// Performance gap (GFLOPS) below which a strategy is considered to have
+/// no effect — the paper's 0.01 threshold.
+pub const NO_EFFECT_GAP: f64 = 0.01;
+
+/// One row of the performance record table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfRecord {
+    /// Kernel variant name.
+    pub name: String,
+    /// Strategies the variant applies.
+    pub strategies: StrategySet,
+    /// Measured throughput on the probe matrix.
+    pub gflops: f64,
+}
+
+/// The performance record table for one format on one probe matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfTable {
+    /// The format whose variants were measured.
+    pub format: Format,
+    /// One record per variant, indexed like the kernel library.
+    pub records: Vec<PerfRecord>,
+}
+
+impl PerfTable {
+    /// The scoreboard algorithm: returns each strategy's score and the
+    /// winning variant index.
+    ///
+    /// For every pair of implementations whose strategy sets differ by
+    /// exactly one strategy, that strategy is credited +1 when the larger
+    /// set is faster, -1 when slower, 0 when within [`NO_EFFECT_GAP`].
+    /// Implementation score = sum of scores of its strategies; ties break
+    /// toward measured throughput.
+    pub fn scoreboard(&self) -> Scoreboard {
+        let mut scores: Vec<(Strategy, i32)> =
+            Strategy::ALL.into_iter().map(|s| (s, 0)).collect();
+        for (i, a) in self.records.iter().enumerate() {
+            for b in &self.records[i..] {
+                let (less, more) = if a.strategies.is_one_less_than(b.strategies) {
+                    (a, b)
+                } else if b.strategies.is_one_less_than(a.strategies) {
+                    (b, a)
+                } else {
+                    continue;
+                };
+                let added = less
+                    .strategies
+                    .added_strategy(more.strategies)
+                    .expect("one-less pair has an added strategy");
+                let gap = more.gflops - less.gflops;
+                let delta = if gap.abs() < NO_EFFECT_GAP {
+                    0
+                } else if gap > 0.0 {
+                    1
+                } else {
+                    -1
+                };
+                if let Some(e) = scores.iter_mut().find(|e| e.0 == added) {
+                    e.1 += delta;
+                }
+            }
+        }
+        // Score each implementation.
+        let strategy_score = |set: StrategySet| -> i32 {
+            set.iter()
+                .map(|s| scores.iter().find(|e| e.0 == s).map_or(0, |e| e.1))
+                .sum()
+        };
+        let mut best = 0usize;
+        let mut best_key = (i32::MIN, f64::MIN);
+        let mut impl_scores = Vec::with_capacity(self.records.len());
+        for (v, rec) in self.records.iter().enumerate() {
+            let s = strategy_score(rec.strategies);
+            impl_scores.push(s);
+            if (s, rec.gflops) > best_key {
+                best_key = (s, rec.gflops);
+                best = v;
+            }
+        }
+        Scoreboard {
+            strategy_scores: scores,
+            impl_scores,
+            best_variant: best,
+        }
+    }
+
+    /// The variant with the highest measured throughput (exhaustive
+    /// search's answer, used in tests to sanity-check the scoreboard).
+    pub fn fastest_variant(&self) -> usize {
+        self.records
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.gflops.total_cmp(&b.1.gflops))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+/// Result of [`PerfTable::scoreboard`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scoreboard {
+    /// Score accumulated by each optimization strategy.
+    pub strategy_scores: Vec<(Strategy, i32)>,
+    /// Score of each implementation (same indexing as the perf table).
+    pub impl_scores: Vec<i32>,
+    /// Index of the selected implementation.
+    pub best_variant: usize,
+}
+
+/// Per-format kernel selection produced by [`search_kernels`]: the
+/// "optimal kernel" box of the paper's Figure 4.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelChoice {
+    /// Chosen variant index per format, indexed by [`Format::index`].
+    pub variant: [usize; Format::COUNT],
+}
+
+impl KernelChoice {
+    /// The basic implementation for every format (no tuning).
+    pub fn basic() -> Self {
+        KernelChoice {
+            variant: [0; Format::COUNT],
+        }
+    }
+
+    /// The chosen kernel for `format`.
+    pub fn kernel(&self, format: Format) -> KernelId {
+        KernelId {
+            format,
+            variant: self.variant[format.index()],
+        }
+    }
+
+    /// Sets the chosen variant for `format`.
+    pub fn set(&mut self, format: Format, variant: usize) {
+        self.variant[format.index()] = variant;
+    }
+}
+
+/// Measures every variant of `format` on the probe matrix and returns the
+/// performance record table.
+///
+/// `budget` bounds the total measurement time per variant.
+///
+/// # Panics
+///
+/// Panics if the probe's vector lengths are inconsistent (cannot happen
+/// when called with vectors sized from the matrix).
+pub fn measure_format<T: Scalar>(
+    lib: &KernelLibrary<T>,
+    probe: &AnyMatrix<T>,
+    budget: Duration,
+) -> PerfTable {
+    let format = probe.format();
+    let x = vec![T::ONE; probe.cols()];
+    let mut y = vec![T::ZERO; probe.rows()];
+    let nnz = probe.nnz();
+    let mut records = Vec::with_capacity(lib.variant_count(format));
+    for (v, info) in lib.variants(format).into_iter().enumerate() {
+        // One untimed run to estimate cost, then budget-driven reps.
+        let t0 = std::time::Instant::now();
+        lib.run(probe, v, &x, &mut y);
+        let one = t0.elapsed();
+        let reps = reps_for_budget(one, budget, 3, 64);
+        let med = time_median(|| lib.run(probe, v, &x, &mut y), 1, reps);
+        records.push(PerfRecord {
+            name: info.name.to_string(),
+            strategies: info.strategies,
+            gflops: gflops(nnz, med),
+        });
+    }
+    PerfTable { format, records }
+}
+
+/// Runs the full offline kernel search on a probe matrix (given in the
+/// unified CSR format): measures every variant of every format and picks
+/// the scoreboard winner per format.
+///
+/// Formats whose conversion fails on the probe (e.g. DIA on a scattered
+/// matrix) keep their basic variant and get an empty perf table.
+pub fn search_kernels<T: Scalar>(
+    lib: &KernelLibrary<T>,
+    probe: &Csr<T>,
+    budget_per_variant: Duration,
+) -> (KernelChoice, Vec<PerfTable>) {
+    let mut choice = KernelChoice::basic();
+    let mut tables = Vec::with_capacity(Format::COUNT);
+    for format in Format::ALL {
+        match AnyMatrix::convert_from_csr(probe, format) {
+            Ok(any) => {
+                let table = measure_format(lib, &any, budget_per_variant);
+                choice.set(format, table.scoreboard().best_variant);
+                tables.push(table);
+            }
+            Err(_) => {
+                tables.push(PerfTable {
+                    format,
+                    records: Vec::new(),
+                });
+            }
+        }
+    }
+    (choice, tables)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smat_matrix::gen::random_uniform;
+
+    fn table(recs: &[(&str, &[Strategy], f64)]) -> PerfTable {
+        PerfTable {
+            format: Format::Csr,
+            records: recs
+                .iter()
+                .map(|&(name, strats, g)| PerfRecord {
+                    name: name.to_string(),
+                    strategies: strats.iter().copied().collect(),
+                    gflops: g,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn scoreboard_rewards_helpful_strategy() {
+        use Strategy::*;
+        let t = table(&[
+            ("basic", &[], 1.0),
+            ("unroll", &[Unroll], 1.5),
+            ("parallel", &[Parallel], 4.0),
+            ("both", &[Parallel, Unroll], 5.0),
+        ]);
+        let sb = t.scoreboard();
+        let score = |s: Strategy| sb.strategy_scores.iter().find(|e| e.0 == s).unwrap().1;
+        assert_eq!(score(Unroll), 2); // helped twice
+        assert_eq!(score(Parallel), 2);
+        assert_eq!(sb.best_variant, 3);
+    }
+
+    #[test]
+    fn scoreboard_penalizes_harmful_strategy() {
+        use Strategy::*;
+        let t = table(&[
+            ("basic", &[], 4.0),
+            ("unroll", &[Unroll], 1.0), // unrolling hurts on this machine
+            ("parallel", &[Parallel], 8.0),
+            ("both", &[Parallel, Unroll], 5.0),
+        ]);
+        let sb = t.scoreboard();
+        let score = |s: Strategy| sb.strategy_scores.iter().find(|e| e.0 == s).unwrap().1;
+        assert_eq!(score(Unroll), -2);
+        assert_eq!(sb.best_variant, 2, "parallel-only must win");
+    }
+
+    #[test]
+    fn scoreboard_neglects_tiny_gaps() {
+        use Strategy::*;
+        let t = table(&[
+            ("basic", &[], 1.0),
+            ("unroll", &[Unroll], 1.0 + NO_EFFECT_GAP / 2.0),
+        ]);
+        let sb = t.scoreboard();
+        assert_eq!(sb.strategy_scores[0].1, 0);
+        // Tie on score; faster implementation wins.
+        assert_eq!(sb.best_variant, 1);
+    }
+
+    #[test]
+    fn measured_search_picks_sane_kernels() {
+        let lib = KernelLibrary::<f64>::new();
+        let probe = random_uniform::<f64>(2000, 2000, 16, 99);
+        let (choice, tables) = search_kernels(&lib, &probe, Duration::from_millis(5));
+        assert_eq!(tables.len(), Format::COUNT);
+        for f in Format::ALL {
+            let v = choice.kernel(f).variant;
+            assert!(v < lib.variant_count(f), "{f} variant {v} out of range");
+        }
+        // Every measured table has positive throughputs.
+        for t in &tables {
+            for r in &t.records {
+                assert!(r.gflops > 0.0, "{} measured 0", r.name);
+            }
+        }
+    }
+
+    #[test]
+    fn fastest_variant_is_argmax() {
+        use Strategy::*;
+        let t = table(&[("a", &[], 1.0), ("b", &[Unroll], 3.0), ("c", &[Parallel], 2.0)]);
+        assert_eq!(t.fastest_variant(), 1);
+    }
+
+    #[test]
+    fn kernel_choice_round_trip() {
+        let mut c = KernelChoice::basic();
+        c.set(Format::Dia, 3);
+        assert_eq!(c.kernel(Format::Dia).variant, 3);
+        assert_eq!(c.kernel(Format::Csr).variant, 0);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: KernelChoice = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}

@@ -1,0 +1,96 @@
+//! Timing utilities shared by the kernel search, the execute-and-measure
+//! fallback and the benchmark harness.
+
+use std::time::{Duration, Instant};
+
+/// Measures the median wall-clock time of `f` over `reps` runs after
+/// `warmup` untimed runs.
+///
+/// The median (rather than minimum or mean) follows common auto-tuning
+/// practice: robust to one-off stalls without being optimistic.
+///
+/// # Panics
+///
+/// Panics if `reps == 0`.
+pub fn time_median<F: FnMut()>(mut f: F, warmup: usize, reps: usize) -> Duration {
+    assert!(reps > 0, "at least one timed repetition required");
+    for _ in 0..warmup {
+        f();
+    }
+    let mut samples: Vec<Duration> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// SpMV throughput in GFLOPS: `2 * nnz` floating-point operations (one
+/// multiply, one add per stored element) over the elapsed time — the
+/// metric of the paper's §7.2.
+pub fn gflops(nnz: usize, elapsed: Duration) -> f64 {
+    let secs = elapsed.as_secs_f64();
+    if secs <= 0.0 {
+        return 0.0;
+    }
+    (2.0 * nnz as f64) / secs / 1e9
+}
+
+/// Picks a repetition count so a kernel taking `one_run` is measured for
+/// roughly `budget` total, clamped to `[min_reps, max_reps]`.
+pub fn reps_for_budget(
+    one_run: Duration,
+    budget: Duration,
+    min_reps: usize,
+    max_reps: usize,
+) -> usize {
+    if one_run.is_zero() {
+        return max_reps;
+    }
+    let n = (budget.as_secs_f64() / one_run.as_secs_f64()).ceil() as usize;
+    n.clamp(min_reps.max(1), max_reps.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_is_positive_and_ordered() {
+        let d = time_median(
+            || {
+                std::hint::black_box((0..1000).sum::<u64>());
+            },
+            1,
+            5,
+        );
+        assert!(d > Duration::ZERO);
+    }
+
+    #[test]
+    fn gflops_math() {
+        let g = gflops(1_000_000, Duration::from_millis(1));
+        // 2e6 flops / 1e-3 s = 2e9 flop/s = 2 GFLOPS.
+        assert!((g - 2.0).abs() < 1e-9);
+        assert_eq!(gflops(10, Duration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn reps_budgeting() {
+        assert_eq!(
+            reps_for_budget(Duration::from_millis(10), Duration::from_millis(100), 3, 50),
+            10
+        );
+        assert_eq!(
+            reps_for_budget(Duration::from_millis(10), Duration::from_millis(1), 3, 50),
+            3
+        );
+        assert_eq!(
+            reps_for_budget(Duration::ZERO, Duration::from_millis(1), 3, 50),
+            50
+        );
+    }
+}

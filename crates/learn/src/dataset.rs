@@ -1,0 +1,454 @@
+//! Tabular datasets for the decision-tree learner.
+//!
+//! A dataset is the "matrix feature database" of the paper's Figure 4:
+//! one record per training matrix, continuous attribute columns (the
+//! Table 2 parameters) and a categorical target (`Best_Format`).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error produced by dataset construction and manipulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatasetError {
+    /// A record had the wrong number of attribute values.
+    WrongArity {
+        /// Expected number of values.
+        expected: usize,
+        /// Number of values supplied.
+        found: usize,
+    },
+    /// A record's label index exceeded the number of classes.
+    BadLabel {
+        /// The offending label.
+        label: usize,
+        /// Number of classes in the dataset.
+        classes: usize,
+    },
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::WrongArity { expected, found } => {
+                write!(f, "record has {found} values, expected {expected}")
+            }
+            DatasetError::BadLabel { label, classes } => {
+                write!(f, "label {label} out of range for {classes} classes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+/// One labeled record: attribute values plus a class index.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Record {
+    /// Attribute values, in dataset column order.
+    pub values: Vec<f64>,
+    /// Index into the dataset's class list.
+    pub label: usize,
+}
+
+/// A labeled dataset with named continuous attributes and a categorical
+/// target.
+///
+/// # Examples
+///
+/// ```
+/// use smat_learn::Dataset;
+///
+/// let mut ds = Dataset::new(
+///     vec!["x".into(), "y".into()],
+///     vec!["A".into(), "B".into()],
+/// );
+/// ds.push(vec![1.0, 2.0], 0)?;
+/// ds.push(vec![5.0, 1.0], 1)?;
+/// assert_eq!(ds.len(), 2);
+/// assert_eq!(ds.class_counts(), vec![1, 1]);
+/// # Ok::<(), smat_learn::DatasetError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    attributes: Vec<String>,
+    classes: Vec<String>,
+    records: Vec<Record>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset with the given attribute and class names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attributes` or `classes` is empty.
+    pub fn new(attributes: Vec<String>, classes: Vec<String>) -> Self {
+        assert!(!attributes.is_empty(), "at least one attribute required");
+        assert!(!classes.is_empty(), "at least one class required");
+        Self {
+            attributes,
+            classes,
+            records: Vec::new(),
+        }
+    }
+
+    /// Appends a record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::WrongArity`] or [`DatasetError::BadLabel`]
+    /// when the record does not match the schema.
+    pub fn push(&mut self, values: Vec<f64>, label: usize) -> Result<(), DatasetError> {
+        if values.len() != self.attributes.len() {
+            return Err(DatasetError::WrongArity {
+                expected: self.attributes.len(),
+                found: values.len(),
+            });
+        }
+        if label >= self.classes.len() {
+            return Err(DatasetError::BadLabel {
+                label,
+                classes: self.classes.len(),
+            });
+        }
+        self.records.push(Record { values, label });
+        Ok(())
+    }
+
+    /// Attribute (column) names.
+    pub fn attributes(&self) -> &[String] {
+        &self.attributes
+    }
+
+    /// Class names.
+    pub fn classes(&self) -> &[String] {
+        &self.classes
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the dataset has no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The records.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Iterates over records.
+    pub fn iter(&self) -> std::slice::Iter<'_, Record> {
+        self.records.iter()
+    }
+
+    /// Records per class, indexed by class id.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.classes.len()];
+        for r in &self.records {
+            counts[r.label] += 1;
+        }
+        counts
+    }
+
+    /// The most frequent class (smallest index wins ties); `0` when
+    /// empty.
+    pub fn majority_class(&self) -> usize {
+        let counts = self.class_counts();
+        counts
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Creates an empty dataset with the same schema.
+    pub fn like(&self) -> Self {
+        Self {
+            attributes: self.attributes.clone(),
+            classes: self.classes.clone(),
+            records: Vec::new(),
+        }
+    }
+
+    /// Builds a dataset with the same schema from a subset of record
+    /// indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn subset(&self, indices: &[usize]) -> Self {
+        let mut out = self.like();
+        out.records = indices.iter().map(|&i| self.records[i].clone()).collect();
+        out
+    }
+
+    /// Projects the dataset onto a subset of attribute columns (given by
+    /// index), preserving labels — the paper's §3 claim that "it is also
+    /// convenient to add or remove parameters from the learning model".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep` is empty or contains an out-of-range index.
+    pub fn project(&self, keep: &[usize]) -> Self {
+        assert!(!keep.is_empty(), "at least one attribute must be kept");
+        for &k in keep {
+            assert!(
+                k < self.attributes.len(),
+                "attribute index {k} out of range"
+            );
+        }
+        Self {
+            attributes: keep.iter().map(|&k| self.attributes[k].clone()).collect(),
+            classes: self.classes.clone(),
+            records: self
+                .records
+                .iter()
+                .map(|r| Record {
+                    values: keep.iter().map(|&k| r.values[k]).collect(),
+                    label: r.label,
+                })
+                .collect(),
+        }
+    }
+
+    /// Returns a copy with the given attribute columns set to a constant
+    /// (0.0), so no split can use them, while keeping attribute indices
+    /// stable. This is how a feature is "removed from the learning
+    /// model" without invalidating rule indices at prediction time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn neutralize(&self, attrs: &[usize]) -> Self {
+        for &a in attrs {
+            assert!(a < self.attributes.len(), "attribute index {a} out of range");
+        }
+        let mut out = self.clone();
+        for r in &mut out.records {
+            for &a in attrs {
+                r.values[a] = 0.0;
+            }
+        }
+        out
+    }
+
+    /// Appends every record of `other` (which must have the same schema)
+    /// — the paper's §3 claim that the database is "open to add new
+    /// matrices and corresponding records ... to improve the prediction
+    /// accuracy".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::WrongArity`] if the schemas differ in
+    /// attribute count (attribute *names* are trusted to match).
+    pub fn merge(&mut self, other: &Dataset) -> Result<(), DatasetError> {
+        if other.attributes.len() != self.attributes.len() {
+            return Err(DatasetError::WrongArity {
+                expected: self.attributes.len(),
+                found: other.attributes.len(),
+            });
+        }
+        for r in &other.records {
+            self.push(r.values.clone(), r.label)?;
+        }
+        Ok(())
+    }
+
+    /// Splits records into train/test partitions with a deterministic
+    /// shuffle: `test_fraction` of records (rounded down) go to the test
+    /// set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `test_fraction` is outside `[0, 1)`.
+    pub fn split(&self, test_fraction: f64, seed: u64) -> (Self, Self) {
+        assert!(
+            (0.0..1.0).contains(&test_fraction),
+            "test_fraction must be in [0, 1)"
+        );
+        let mut order: Vec<usize> = (0..self.records.len()).collect();
+        shuffle(&mut order, seed);
+        let n_test = (self.records.len() as f64 * test_fraction) as usize;
+        let test = self.subset(&order[..n_test]);
+        let train = self.subset(&order[n_test..]);
+        (train, test)
+    }
+
+    /// Splits into `k` folds for cross-validation (deterministic
+    /// shuffle); fold `i` is the i-th (test, train) pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2` or `k > len()`.
+    pub fn folds(&self, k: usize, seed: u64) -> Vec<(Self, Self)> {
+        assert!(k >= 2, "at least two folds required");
+        assert!(k <= self.len(), "more folds than records");
+        let mut order: Vec<usize> = (0..self.records.len()).collect();
+        shuffle(&mut order, seed);
+        let mut out = Vec::with_capacity(k);
+        for f in 0..k {
+            let test_idx: Vec<usize> = order
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % k == f)
+                .map(|(_, &r)| r)
+                .collect();
+            let train_idx: Vec<usize> = order
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % k != f)
+                .map(|(_, &r)| r)
+                .collect();
+            out.push((self.subset(&test_idx), self.subset(&train_idx)));
+        }
+        out
+    }
+}
+
+/// Deterministic Fisher–Yates shuffle driven by a splitmix64 stream (no
+/// dependency on `rand` for the learner crate's core path).
+fn shuffle(v: &mut [usize], seed: u64) {
+    let mut state = seed.wrapping_add(0x9E3779B97F4A7C15);
+    let mut next = || {
+        state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    };
+    for i in (1..v.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        v.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let mut ds = Dataset::new(
+            vec!["a".into(), "b".into()],
+            vec!["X".into(), "Y".into(), "Z".into()],
+        );
+        for i in 0..12 {
+            ds.push(vec![i as f64, (i * i) as f64], i % 3).unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn push_validates_schema() {
+        let mut ds = toy();
+        assert!(matches!(
+            ds.push(vec![1.0], 0),
+            Err(DatasetError::WrongArity { .. })
+        ));
+        assert!(matches!(
+            ds.push(vec![1.0, 2.0], 3),
+            Err(DatasetError::BadLabel { .. })
+        ));
+        assert_eq!(ds.len(), 12);
+    }
+
+    #[test]
+    fn class_counts_and_majority() {
+        let ds = toy();
+        assert_eq!(ds.class_counts(), vec![4, 4, 4]);
+        assert_eq!(ds.majority_class(), 0); // tie broken toward index 0
+
+        let mut skew = ds.like();
+        skew.push(vec![0.0, 0.0], 2).unwrap();
+        skew.push(vec![0.0, 0.0], 2).unwrap();
+        skew.push(vec![0.0, 0.0], 1).unwrap();
+        assert_eq!(skew.majority_class(), 2);
+    }
+
+    #[test]
+    fn split_is_deterministic_and_partitions() {
+        let ds = toy();
+        let (tr1, te1) = ds.split(0.25, 7);
+        let (tr2, te2) = ds.split(0.25, 7);
+        assert_eq!(tr1, tr2);
+        assert_eq!(te1, te2);
+        assert_eq!(tr1.len() + te1.len(), ds.len());
+        assert_eq!(te1.len(), 3);
+        let (_, te3) = ds.split(0.25, 8);
+        assert!(te1 != te3 || ds.len() < 4, "different seed, same split");
+    }
+
+    #[test]
+    fn folds_partition_exactly() {
+        let ds = toy();
+        let folds = ds.folds(4, 3);
+        assert_eq!(folds.len(), 4);
+        let total: usize = folds.iter().map(|(te, _)| te.len()).sum();
+        assert_eq!(total, ds.len());
+        for (te, tr) in &folds {
+            assert_eq!(te.len() + tr.len(), ds.len());
+        }
+    }
+
+    #[test]
+    fn subset_preserves_schema() {
+        let ds = toy();
+        let s = ds.subset(&[0, 5]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.attributes(), ds.attributes());
+        assert_eq!(s.records()[1], ds.records()[5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one attribute")]
+    fn empty_schema_panics() {
+        Dataset::new(vec![], vec!["X".into()]);
+    }
+
+    #[test]
+    fn project_keeps_selected_columns() {
+        let ds = toy();
+        let p = ds.project(&[1]);
+        assert_eq!(p.attributes(), &["b".to_string()]);
+        assert_eq!(p.len(), ds.len());
+        assert_eq!(p.records()[3].values, vec![9.0]);
+        assert_eq!(p.records()[3].label, ds.records()[3].label);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn project_rejects_bad_index() {
+        toy().project(&[5]);
+    }
+
+    #[test]
+    fn merge_appends_matching_schema() {
+        let mut a = toy();
+        let b = toy();
+        let n = a.len();
+        a.merge(&b).unwrap();
+        assert_eq!(a.len(), 2 * n);
+        assert_eq!(a.records()[n], b.records()[0]);
+
+        let mut narrow = Dataset::new(vec!["x".into()], vec!["X".into(), "Y".into(), "Z".into()]);
+        assert!(matches!(
+            narrow.merge(&b),
+            Err(DatasetError::WrongArity { .. })
+        ));
+        let _ = narrow;
+    }
+
+    #[test]
+    fn neutralize_flattens_columns() {
+        let ds = toy();
+        let n = ds.neutralize(&[1]);
+        assert!(n.records().iter().all(|r| r.values[1] == 0.0));
+        // Column 0 untouched, labels untouched.
+        assert_eq!(n.records()[5].values[0], ds.records()[5].values[0]);
+        assert_eq!(n.records()[5].label, ds.records()[5].label);
+        assert_eq!(n.attributes(), ds.attributes());
+    }
+}

@@ -1,0 +1,169 @@
+//! Classifier evaluation: confusion matrices and cross-validation.
+
+use crate::dataset::Dataset;
+use crate::rules::RuleSet;
+use crate::tree::{DecisionTree, TreeParams};
+use std::fmt;
+
+/// A confusion matrix: `counts[actual][predicted]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    /// Class names, indexing both axes.
+    pub classes: Vec<String>,
+    /// `counts[actual][predicted]`.
+    pub counts: Vec<Vec<usize>>,
+}
+
+impl ConfusionMatrix {
+    /// Builds a confusion matrix from a classifier closure.
+    pub fn from_fn(ds: &Dataset, mut classify: impl FnMut(&[f64]) -> usize) -> Self {
+        let k = ds.classes().len();
+        let mut counts = vec![vec![0usize; k]; k];
+        for r in ds.iter() {
+            counts[r.label][classify(&r.values)] += 1;
+        }
+        Self {
+            classes: ds.classes().to_vec(),
+            counts,
+        }
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let total: usize = self.counts.iter().flatten().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let correct: usize = (0..self.classes.len()).map(|i| self.counts[i][i]).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Recall of class `i` (diagonal over row sum).
+    pub fn recall(&self, i: usize) -> f64 {
+        let row: usize = self.counts[i].iter().sum();
+        if row == 0 {
+            return 1.0;
+        }
+        self.counts[i][i] as f64 / row as f64
+    }
+
+    /// Precision of class `i` (diagonal over column sum).
+    pub fn precision(&self, i: usize) -> f64 {
+        let col: usize = self.counts.iter().map(|r| r[i]).sum();
+        if col == 0 {
+            return 1.0;
+        }
+        self.counts[i][i] as f64 / col as f64
+    }
+}
+
+impl fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:>14}", "actual\\pred")?;
+        for c in &self.classes {
+            write!(f, "{c:>8}")?;
+        }
+        writeln!(f)?;
+        for (i, row) in self.counts.iter().enumerate() {
+            write!(f, "{:>14}", self.classes[i])?;
+            for &v in row {
+                write!(f, "{v:>8}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Result of one cross-validation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrossValidation {
+    /// Per-fold test accuracy of the tree classifier.
+    pub tree_accuracy: Vec<f64>,
+    /// Per-fold test accuracy of the extracted ruleset.
+    pub ruleset_accuracy: Vec<f64>,
+}
+
+impl CrossValidation {
+    /// Mean tree accuracy across folds.
+    pub fn mean_tree(&self) -> f64 {
+        mean(&self.tree_accuracy)
+    }
+
+    /// Mean ruleset accuracy across folds.
+    pub fn mean_ruleset(&self) -> f64 {
+        mean(&self.ruleset_accuracy)
+    }
+}
+
+fn mean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+/// Runs `k`-fold cross-validation: fits a tree + ruleset on each train
+/// fold and evaluates both on the held-out fold.
+///
+/// # Panics
+///
+/// Panics if `k < 2` or `k > ds.len()`.
+pub fn cross_validate(ds: &Dataset, params: TreeParams, k: usize, seed: u64) -> CrossValidation {
+    let mut tree_accuracy = Vec::with_capacity(k);
+    let mut ruleset_accuracy = Vec::with_capacity(k);
+    for (test, train) in ds.folds(k, seed) {
+        let tree = DecisionTree::fit(&train, params);
+        let rules = RuleSet::from_tree(&tree, &train);
+        tree_accuracy.push(tree.accuracy(&test));
+        ruleset_accuracy.push(rules.accuracy(&test));
+    }
+    CrossValidation {
+        tree_accuracy,
+        ruleset_accuracy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn separable() -> Dataset {
+        let mut ds = Dataset::new(vec!["x".into()], vec!["a".into(), "b".into()]);
+        for i in 0..60 {
+            let x = (i % 12) as f64;
+            ds.push(vec![x], usize::from(x >= 6.0)).unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn confusion_matrix_on_perfect_classifier() {
+        let ds = separable();
+        let cm = ConfusionMatrix::from_fn(&ds, |v| usize::from(v[0] >= 6.0));
+        assert_eq!(cm.accuracy(), 1.0);
+        assert_eq!(cm.recall(0), 1.0);
+        assert_eq!(cm.precision(1), 1.0);
+        assert_eq!(cm.counts[0][1], 0);
+    }
+
+    #[test]
+    fn confusion_matrix_counts_errors() {
+        let ds = separable();
+        let cm = ConfusionMatrix::from_fn(&ds, |_| 0); // constant classifier
+        assert!((cm.accuracy() - 0.5).abs() < 1e-12);
+        assert_eq!(cm.recall(1), 0.0);
+        // Column 1 is empty: precision defined as 1.
+        assert_eq!(cm.precision(1), 1.0);
+        assert!(cm.to_string().contains("actual"));
+    }
+
+    #[test]
+    fn cross_validation_on_separable_data_is_high() {
+        let cv = cross_validate(&separable(), TreeParams::default(), 5, 42);
+        assert_eq!(cv.tree_accuracy.len(), 5);
+        assert!(cv.mean_tree() > 0.9, "tree cv = {}", cv.mean_tree());
+        assert!(cv.mean_ruleset() > 0.9, "rules cv = {}", cv.mean_ruleset());
+    }
+}

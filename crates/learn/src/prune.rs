@@ -1,0 +1,161 @@
+//! Pessimistic (error-based) pruning, C4.5 style.
+//!
+//! Each subtree's training error is inflated to the upper confidence
+//! bound of the binomial error rate at confidence factor `cf`; a subtree
+//! is collapsed to a leaf when the leaf's pessimistic error does not
+//! exceed the subtree's.
+//!
+//! The bound is the same one C4.5 computes: the error probability `p`
+//! such that the binomial CDF `P(X <= e | n, p)` equals `cf`. For `e = 0`
+//! it has the closed form `1 - cf^(1/n)` (C4.5's well-known
+//! `U25(0, 1) = 0.75`); otherwise it is found by bisection.
+
+use crate::tree::{Node, NodeKind};
+
+/// Binomial CDF `P(X <= e)` for `X ~ Bin(n, p)`, computed in log space
+/// for stability.
+fn binomial_cdf(e: usize, n: usize, p: f64) -> f64 {
+    if p <= 0.0 {
+        return 1.0;
+    }
+    if p >= 1.0 {
+        return if e >= n { 1.0 } else { 0.0 };
+    }
+    let lp = p.ln();
+    let lq = (1.0 - p).ln();
+    let mut log_coef = 0.0f64; // ln C(n, 0)
+    let mut acc = 0.0f64;
+    for i in 0..=e.min(n) {
+        if i > 0 {
+            log_coef += ((n - i + 1) as f64).ln() - (i as f64).ln();
+        }
+        acc += (log_coef + i as f64 * lp + (n - i) as f64 * lq).exp();
+    }
+    acc.min(1.0)
+}
+
+/// C4.5's pessimistic error count: `n` times the upper confidence bound
+/// of the error rate given `e` observed errors in `n` cases.
+pub fn pessimistic_errors(n: f64, e: f64, cf: f64) -> f64 {
+    if n <= 0.0 {
+        return 0.0;
+    }
+    let cf = cf.clamp(1e-6, 0.999_999);
+    let n_int = n.round().max(1.0) as usize;
+    let e_int = (e.round().max(0.0) as usize).min(n_int);
+    if e_int >= n_int {
+        return n;
+    }
+    // Closed form for zero observed errors.
+    if e_int == 0 {
+        return n * (1.0 - cf.powf(1.0 / n));
+    }
+    // Bisection: binomial_cdf(e, n, p) is decreasing in p; find p with
+    // cdf = cf, starting from the observed rate.
+    let (mut lo, mut hi) = (e_int as f64 / n, 1.0f64);
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if binomial_cdf(e_int, n_int, mid) > cf {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    n * 0.5 * (lo + hi)
+}
+
+/// Prunes `node` in place, returning its pessimistic error estimate.
+pub fn prune(node: &mut Node, cf: f64) -> f64 {
+    let n = node.n() as f64;
+    let leaf_est = pessimistic_errors(n, node.errors_as_leaf() as f64, cf);
+    let subtree_est = match &mut node.kind {
+        NodeKind::Leaf { .. } => return leaf_est,
+        NodeKind::Split { left, right, .. } => prune(left, cf) + prune(right, cf),
+    };
+    if leaf_est <= subtree_est + 0.1 {
+        // Collapsing cannot do (noticeably) worse: replace with a leaf.
+        node.kind = NodeKind::Leaf {
+            class: node.majority(),
+        };
+        leaf_est
+    } else {
+        subtree_est
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+    use crate::tree::{DecisionTree, TreeParams};
+
+    #[test]
+    fn matches_known_c45_values() {
+        // U25(0, 1) = 0.75 and U25(0, 6) ≈ 0.206 are the textbook values.
+        assert!((pessimistic_errors(1.0, 0.0, 0.25) - 0.75).abs() < 1e-9);
+        let u06 = pessimistic_errors(6.0, 0.0, 0.25) / 6.0;
+        assert!((u06 - 0.206).abs() < 0.005, "U25(0,6) = {u06}");
+    }
+
+    #[test]
+    fn binomial_cdf_sanity() {
+        assert!((binomial_cdf(1, 2, 0.5) - 0.75).abs() < 1e-12);
+        assert_eq!(binomial_cdf(2, 2, 0.5), 1.0);
+        assert_eq!(binomial_cdf(0, 5, 0.0), 1.0);
+        assert_eq!(binomial_cdf(0, 5, 1.0), 0.0);
+    }
+
+    #[test]
+    fn pessimistic_errors_monotone_in_confidence() {
+        // Lower cf (more pessimistic) inflates the estimate more.
+        let loose = pessimistic_errors(100.0, 5.0, 0.5);
+        let tight = pessimistic_errors(100.0, 5.0, 0.05);
+        assert!(tight > loose);
+        assert!(loose >= 5.0, "upper bound below observed errors");
+        assert_eq!(pessimistic_errors(0.0, 0.0, 0.25), 0.0);
+        assert_eq!(pessimistic_errors(10.0, 10.0, 0.25), 10.0);
+    }
+
+    #[test]
+    fn pruning_removes_noise_splits() {
+        // Scattered label noise: isolating each mislabeled record costs
+        // many fragmented leaves whose pessimistic bounds together exceed
+        // the single-leaf bound, so pruning must collapse the tree. (A
+        // single separable outlier at the boundary would legitimately
+        // survive C4.5 pruning — its two pure leaves bound cheaper.)
+        let mut ds = Dataset::new(vec!["x".into()], vec!["a".into(), "b".into()]);
+        for i in 0..30 {
+            let label = usize::from(i == 5 || i == 15 || i == 25);
+            ds.push(vec![i as f64], label).unwrap();
+        }
+        let unpruned = DecisionTree::fit(
+            &ds,
+            TreeParams {
+                min_leaf: 1,
+                prune_confidence: 1.0,
+                ..TreeParams::default()
+            },
+        );
+        let pruned = DecisionTree::fit(
+            &ds,
+            TreeParams {
+                min_leaf: 1,
+                prune_confidence: 0.25,
+                ..TreeParams::default()
+            },
+        );
+        assert!(unpruned.node_count() > 1, "unpruned tree should split");
+        assert_eq!(pruned.node_count(), 1, "pruning should collapse noise");
+    }
+
+    #[test]
+    fn pruning_keeps_real_structure() {
+        let mut ds = Dataset::new(vec!["x".into()], vec!["lo".into(), "hi".into()]);
+        for i in 0..50 {
+            ds.push(vec![i as f64], usize::from(i >= 25)).unwrap();
+        }
+        let tree = DecisionTree::fit(&ds, TreeParams::default());
+        assert!(tree.node_count() >= 3, "genuine split must survive pruning");
+        assert_eq!(tree.accuracy(&ds), 1.0);
+    }
+}

@@ -1,0 +1,442 @@
+//! Ruleset extraction from a decision tree, with per-rule confidence
+//! factors.
+//!
+//! The paper chooses C5.0's *ruleset* output over the raw tree (§5.1):
+//! rules are more accurate, convert naturally to IF-THEN sentences, and
+//! carry a confidence factor — "the ratio of the number of correctly
+//! classified matrices to the number of matrices falling in this rule".
+
+use crate::dataset::Dataset;
+use crate::tree::{DecisionTree, Node, NodeKind};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Comparison operator of a rule condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Op {
+    /// `attribute <= threshold`.
+    Le,
+    /// `attribute > threshold`.
+    Gt,
+}
+
+/// One conjunct of a rule: `attribute op threshold`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Condition {
+    /// Attribute (column) index.
+    pub attr: usize,
+    /// Comparison operator.
+    pub op: Op,
+    /// Threshold value.
+    pub threshold: f64,
+}
+
+impl Condition {
+    /// Whether an attribute vector satisfies this condition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() <= self.attr`.
+    pub fn matches(&self, values: &[f64]) -> bool {
+        match self.op {
+            Op::Le => values[self.attr] <= self.threshold,
+            Op::Gt => values[self.attr] > self.threshold,
+        }
+    }
+}
+
+/// An IF-THEN rule with training statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Rule {
+    /// Conjunction of conditions (empty = always matches).
+    pub conditions: Vec<Condition>,
+    /// Predicted class.
+    pub class: usize,
+    /// Training records matching the conditions.
+    pub covered: usize,
+    /// Matching records whose label equals `class`.
+    pub correct: usize,
+}
+
+impl Rule {
+    /// Whether an attribute vector satisfies every condition.
+    pub fn matches(&self, values: &[f64]) -> bool {
+        self.conditions.iter().all(|c| c.matches(values))
+    }
+
+    /// The paper's confidence factor: `correct / covered` in `[0, 1]`
+    /// (`0` for a rule that covers nothing).
+    pub fn confidence(&self) -> f64 {
+        if self.covered == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.covered as f64
+        }
+    }
+
+    /// Laplace-corrected accuracy `(correct + 1) / (covered + 2)`, used
+    /// internally for simplification decisions (robust on tiny covers).
+    pub fn laplace(&self) -> f64 {
+        (self.correct as f64 + 1.0) / (self.covered as f64 + 2.0)
+    }
+
+    /// Recomputes `covered`/`correct` against a dataset.
+    pub fn recount(&mut self, ds: &Dataset) {
+        self.covered = 0;
+        self.correct = 0;
+        for r in ds.iter() {
+            if self.matches(&r.values) {
+                self.covered += 1;
+                if r.label == self.class {
+                    self.correct += 1;
+                }
+            }
+        }
+    }
+}
+
+/// An ordered ruleset with a default class.
+///
+/// Classification is first-match-wins in rule order; the default class
+/// answers when no rule matches.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RuleSet {
+    /// Ordered rules.
+    pub rules: Vec<Rule>,
+    /// Class predicted when no rule matches.
+    pub default_class: usize,
+    /// Attribute names (for display).
+    pub attributes: Vec<String>,
+    /// Class names (for display).
+    pub classes: Vec<String>,
+}
+
+impl RuleSet {
+    /// Extracts one rule per root-to-leaf path of `tree`, simplifies each
+    /// rule greedily against `ds`, drops duplicates and dead rules, and
+    /// recounts statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ds`'s schema does not match the tree's.
+    pub fn from_tree(tree: &DecisionTree, ds: &Dataset) -> Self {
+        assert_eq!(
+            tree.attributes,
+            ds.attributes(),
+            "dataset schema must match the tree"
+        );
+        let mut rules = Vec::new();
+        let mut path = Vec::new();
+        extract(&tree.root, &mut path, &mut rules);
+        for rule in &mut rules {
+            normalize(rule);
+            rule.recount(ds);
+            simplify(rule, ds);
+        }
+        // Deduplicate (simplification can make paths collide) and drop
+        // rules that no longer cover anything.
+        let mut seen: Vec<Rule> = Vec::new();
+        for r in rules {
+            if r.covered > 0 && !seen.iter().any(|s| s.conditions == r.conditions && s.class == r.class) {
+                seen.push(r);
+            }
+        }
+        Self {
+            rules: seen,
+            default_class: ds.majority_class(),
+            attributes: tree.attributes.clone(),
+            classes: tree.classes.clone(),
+        }
+    }
+
+    /// Classifies an attribute vector: returns the class and the index of
+    /// the matching rule (`None` = default class used).
+    pub fn classify(&self, values: &[f64]) -> (usize, Option<usize>) {
+        for (i, r) in self.rules.iter().enumerate() {
+            if r.matches(values) {
+                return (r.class, Some(i));
+            }
+        }
+        (self.default_class, None)
+    }
+
+    /// Fraction of `ds` classified correctly.
+    pub fn accuracy(&self, ds: &Dataset) -> f64 {
+        if ds.is_empty() {
+            return 1.0;
+        }
+        let correct = ds
+            .iter()
+            .filter(|r| self.classify(&r.values).0 == r.label)
+            .count();
+        correct as f64 / ds.len() as f64
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the ruleset is empty (classification falls through to the
+    /// default class).
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+}
+
+impl fmt::Display for RuleSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, r) in self.rules.iter().enumerate() {
+            write!(f, "Rule {:>2}: IF ", i + 1)?;
+            if r.conditions.is_empty() {
+                write!(f, "true")?;
+            }
+            for (k, c) in r.conditions.iter().enumerate() {
+                if k > 0 {
+                    write!(f, " AND ")?;
+                }
+                let op = match c.op {
+                    Op::Le => "<=",
+                    Op::Gt => ">",
+                };
+                write!(f, "{} {} {:.4}", self.attributes[c.attr], op, c.threshold)?;
+            }
+            writeln!(
+                f,
+                " THEN {}  (conf {:.2}, {}/{})",
+                self.classes[r.class],
+                r.confidence(),
+                r.correct,
+                r.covered
+            )?;
+        }
+        writeln!(f, "Default: {}", self.classes[self.default_class])
+    }
+}
+
+/// Collects root-to-leaf paths as rules (statistics filled later).
+fn extract(node: &Node, path: &mut Vec<Condition>, out: &mut Vec<Rule>) {
+    match &node.kind {
+        NodeKind::Leaf { class } => out.push(Rule {
+            conditions: path.clone(),
+            class: *class,
+            covered: 0,
+            correct: 0,
+        }),
+        NodeKind::Split {
+            attr,
+            threshold,
+            left,
+            right,
+        } => {
+            path.push(Condition {
+                attr: *attr,
+                op: Op::Le,
+                threshold: *threshold,
+            });
+            extract(left, path, out);
+            path.pop();
+            path.push(Condition {
+                attr: *attr,
+                op: Op::Gt,
+                threshold: *threshold,
+            });
+            extract(right, path, out);
+            path.pop();
+        }
+    }
+}
+
+/// Merges redundant conditions on the same attribute and operator,
+/// keeping the tightest bound.
+fn normalize(rule: &mut Rule) {
+    let mut kept: Vec<Condition> = Vec::with_capacity(rule.conditions.len());
+    for &c in &rule.conditions {
+        if let Some(prev) = kept.iter_mut().find(|p| p.attr == c.attr && p.op == c.op) {
+            prev.threshold = match c.op {
+                Op::Le => prev.threshold.min(c.threshold),
+                Op::Gt => prev.threshold.max(c.threshold),
+            };
+        } else {
+            kept.push(c);
+        }
+    }
+    rule.conditions = kept;
+}
+
+/// Greedy condition dropping: removes any condition whose removal does
+/// not lower the rule's Laplace accuracy on the training data (C4.5rules'
+/// simplification, with Laplace instead of the pessimistic test).
+fn simplify(rule: &mut Rule, ds: &Dataset) {
+    loop {
+        let base = rule.laplace();
+        let mut best: Option<(usize, f64, usize, usize)> = None;
+        for i in 0..rule.conditions.len() {
+            let mut candidate = rule.clone();
+            candidate.conditions.remove(i);
+            candidate.recount(ds);
+            let l = candidate.laplace();
+            if l >= base && best.map_or(true, |(_, bl, _, _)| l > bl) {
+                best = Some((i, l, candidate.covered, candidate.correct));
+            }
+        }
+        match best {
+            Some((i, _, covered, correct)) => {
+                rule.conditions.remove(i);
+                rule.covered = covered;
+                rule.correct = correct;
+            }
+            None => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::TreeParams;
+
+    fn two_band_dataset() -> Dataset {
+        // class 0 iff x <= 10; y is noise.
+        let mut ds = Dataset::new(vec!["x".into(), "y".into()], vec!["A".into(), "B".into()]);
+        for i in 0..60 {
+            let x = (i % 20) as f64;
+            ds.push(vec![x, (i % 7) as f64], usize::from(x > 10.0))
+                .unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn rules_reproduce_tree_predictions() {
+        let ds = two_band_dataset();
+        let tree = DecisionTree::fit(&ds, TreeParams::default());
+        let rs = RuleSet::from_tree(&tree, &ds);
+        assert!(rs.accuracy(&ds) >= tree.accuracy(&ds) - 1e-12);
+        for r in ds.iter() {
+            assert_eq!(rs.classify(&r.values).0, r.label);
+        }
+    }
+
+    #[test]
+    fn confidence_is_ratio_of_correct_to_covered() {
+        let mut rule = Rule {
+            conditions: vec![Condition {
+                attr: 0,
+                op: Op::Le,
+                threshold: 10.0,
+            }],
+            class: 0,
+            covered: 0,
+            correct: 0,
+        };
+        let ds = two_band_dataset();
+        rule.recount(&ds);
+        assert!(rule.covered > 0);
+        assert_eq!(rule.confidence(), 1.0);
+        assert!(rule.laplace() < 1.0);
+
+        let empty = Rule {
+            conditions: vec![Condition {
+                attr: 0,
+                op: Op::Gt,
+                threshold: 1e9,
+            }],
+            class: 0,
+            covered: 0,
+            correct: 0,
+        };
+        assert_eq!(empty.confidence(), 0.0);
+    }
+
+    #[test]
+    fn normalize_merges_same_attr_conditions() {
+        let mut rule = Rule {
+            conditions: vec![
+                Condition {
+                    attr: 0,
+                    op: Op::Le,
+                    threshold: 10.0,
+                },
+                Condition {
+                    attr: 0,
+                    op: Op::Le,
+                    threshold: 5.0,
+                },
+                Condition {
+                    attr: 0,
+                    op: Op::Gt,
+                    threshold: 1.0,
+                },
+            ],
+            class: 0,
+            covered: 0,
+            correct: 0,
+        };
+        normalize(&mut rule);
+        assert_eq!(rule.conditions.len(), 2);
+        assert_eq!(rule.conditions[0].threshold, 5.0);
+        assert_eq!(rule.conditions[1].threshold, 1.0);
+    }
+
+    #[test]
+    fn simplification_drops_noise_conditions() {
+        // Build a rule with an irrelevant extra condition on y.
+        let ds = two_band_dataset();
+        let mut rule = Rule {
+            conditions: vec![
+                Condition {
+                    attr: 0,
+                    op: Op::Le,
+                    threshold: 10.0,
+                },
+                Condition {
+                    attr: 1,
+                    op: Op::Le,
+                    threshold: 6.5, // matches all y anyway
+                },
+            ],
+            class: 0,
+            covered: 0,
+            correct: 0,
+        };
+        rule.recount(&ds);
+        simplify(&mut rule, &ds);
+        assert_eq!(rule.conditions.len(), 1, "noise condition must go");
+        assert_eq!(rule.conditions[0].attr, 0);
+    }
+
+    #[test]
+    fn default_class_answers_unmatched_inputs() {
+        let ds = two_band_dataset();
+        let rs = RuleSet {
+            rules: vec![Rule {
+                conditions: vec![Condition {
+                    attr: 0,
+                    op: Op::Gt,
+                    threshold: 100.0,
+                }],
+                class: 1,
+                covered: 1,
+                correct: 1,
+            }],
+            default_class: 0,
+            attributes: ds.attributes().to_vec(),
+            classes: ds.classes().to_vec(),
+        };
+        let (class, rule) = rs.classify(&[5.0, 0.0]);
+        assert_eq!(class, 0);
+        assert!(rule.is_none());
+    }
+
+    #[test]
+    fn display_renders_if_then() {
+        let ds = two_band_dataset();
+        let tree = DecisionTree::fit(&ds, TreeParams::default());
+        let rs = RuleSet::from_tree(&tree, &ds);
+        let text = rs.to_string();
+        assert!(text.contains("IF"));
+        assert!(text.contains("THEN"));
+        assert!(text.contains("Default:"));
+    }
+}

@@ -1,0 +1,428 @@
+//! C4.5-style decision tree induction with gain-ratio splits.
+//!
+//! This is the core of the C5.0 stand-in (see `DESIGN.md` §5): binary
+//! splits `attr <= threshold` on continuous attributes, chosen to
+//! maximize the gain ratio, grown to purity and then simplified by
+//! pessimistic pruning ([`crate::prune`]).
+
+use crate::dataset::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of tree induction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TreeParams {
+    /// Minimum number of records a split may leave on each side (C4.5's
+    /// `-m`).
+    pub min_leaf: usize,
+    /// Hard depth cap (safety bound; generous by default).
+    pub max_depth: usize,
+    /// Confidence factor for pessimistic pruning (C4.5's `-c`, default
+    /// 0.25). `1.0` disables pruning.
+    pub prune_confidence: f64,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        Self {
+            min_leaf: 2,
+            max_depth: 40,
+            prune_confidence: 0.25,
+        }
+    }
+}
+
+/// A node of the decision tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// Training-class histogram at this node (indexed by class id).
+    pub counts: Vec<usize>,
+    /// Leaf or internal split.
+    pub kind: NodeKind,
+}
+
+/// The two node shapes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// Terminal node predicting `class`.
+    Leaf {
+        /// Predicted class id.
+        class: usize,
+    },
+    /// Binary test `values[attr] <= threshold`.
+    Split {
+        /// Attribute (column) index tested.
+        attr: usize,
+        /// Split threshold; `<=` goes left.
+        threshold: f64,
+        /// Subtree for `values[attr] <= threshold`.
+        left: Box<Node>,
+        /// Subtree for `values[attr] > threshold`.
+        right: Box<Node>,
+    },
+}
+
+impl Node {
+    /// Records that reached this node during training.
+    pub fn n(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Majority class at this node.
+    pub fn majority(&self) -> usize {
+        self.counts
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Training errors if this node were a leaf predicting its majority.
+    pub fn errors_as_leaf(&self) -> usize {
+        self.n() - self.counts.iter().max().copied().unwrap_or(0)
+    }
+}
+
+/// A trained decision tree.
+///
+/// # Examples
+///
+/// ```
+/// use smat_learn::{Dataset, DecisionTree, TreeParams};
+///
+/// let mut ds = Dataset::new(vec!["x".into()], vec!["neg".into(), "pos".into()]);
+/// for i in 0..20 {
+///     let x = i as f64 - 10.0;
+///     ds.push(vec![x], usize::from(x > 0.0))?;
+/// }
+/// let tree = DecisionTree::fit(&ds, TreeParams::default());
+/// assert_eq!(tree.predict(&[5.0]), 1);
+/// assert_eq!(tree.predict(&[-5.0]), 0);
+/// # Ok::<(), smat_learn::DatasetError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionTree {
+    /// Root node.
+    pub root: Node,
+    /// Attribute names, mirroring the training dataset's columns.
+    pub attributes: Vec<String>,
+    /// Class names, mirroring the training dataset.
+    pub classes: Vec<String>,
+}
+
+impl DecisionTree {
+    /// Induces a tree from `ds` and applies pessimistic pruning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ds` is empty.
+    pub fn fit(ds: &Dataset, params: TreeParams) -> Self {
+        assert!(!ds.is_empty(), "cannot fit a tree on an empty dataset");
+        let indices: Vec<usize> = (0..ds.len()).collect();
+        let mut root = grow(ds, &indices, &params, 0);
+        if params.prune_confidence < 1.0 {
+            crate::prune::prune(&mut root, params.prune_confidence);
+        }
+        Self {
+            root,
+            attributes: ds.attributes().to_vec(),
+            classes: ds.classes().to_vec(),
+        }
+    }
+
+    /// Predicts the class index for an attribute vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is shorter than an attribute index used by the
+    /// tree.
+    pub fn predict(&self, values: &[f64]) -> usize {
+        let mut node = &self.root;
+        loop {
+            match &node.kind {
+                NodeKind::Leaf { class } => return *class,
+                NodeKind::Split {
+                    attr,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if values[*attr] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Fraction of `ds` records the tree classifies correctly.
+    pub fn accuracy(&self, ds: &Dataset) -> f64 {
+        if ds.is_empty() {
+            return 1.0;
+        }
+        let correct = ds
+            .iter()
+            .filter(|r| self.predict(&r.values) == r.label)
+            .count();
+        correct as f64 / ds.len() as f64
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        fn count(n: &Node) -> usize {
+            match &n.kind {
+                NodeKind::Leaf { .. } => 1,
+                NodeKind::Split { left, right, .. } => 1 + count(left) + count(right),
+            }
+        }
+        count(&self.root)
+    }
+
+    /// Number of leaves (= extracted rules before simplification).
+    pub fn leaf_count(&self) -> usize {
+        fn count(n: &Node) -> usize {
+            match &n.kind {
+                NodeKind::Leaf { .. } => 1,
+                NodeKind::Split { left, right, .. } => count(left) + count(right),
+            }
+        }
+        count(&self.root)
+    }
+
+    /// Maximum depth (root = 0).
+    pub fn depth(&self) -> usize {
+        fn depth(n: &Node) -> usize {
+            match &n.kind {
+                NodeKind::Leaf { .. } => 0,
+                NodeKind::Split { left, right, .. } => 1 + depth(left).max(depth(right)),
+            }
+        }
+        depth(&self.root)
+    }
+}
+
+fn class_histogram(ds: &Dataset, indices: &[usize]) -> Vec<usize> {
+    let mut counts = vec![0usize; ds.classes().len()];
+    for &i in indices {
+        counts[ds.records()[i].label] += 1;
+    }
+    counts
+}
+
+fn entropy(counts: &[usize], total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let total_f = total as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / total_f;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Best split over all attributes: `(attr, threshold, gain_ratio)`.
+fn best_split(ds: &Dataset, indices: &[usize], min_leaf: usize) -> Option<(usize, f64)> {
+    let total = indices.len();
+    let base_counts = class_histogram(ds, indices);
+    let base_entropy = entropy(&base_counts, total);
+    let n_classes = ds.classes().len();
+    let mut best: Option<(usize, f64, f64)> = None; // (attr, threshold, gain_ratio)
+
+    for attr in 0..ds.attributes().len() {
+        // Sort record indices by this attribute's value.
+        let mut order: Vec<usize> = indices.to_vec();
+        order.sort_by(|&a, &b| {
+            ds.records()[a].values[attr].total_cmp(&ds.records()[b].values[attr])
+        });
+        let mut left_counts = vec![0usize; n_classes];
+        for k in 0..total.saturating_sub(1) {
+            let rec = &ds.records()[order[k]];
+            left_counts[rec.label] += 1;
+            let v = rec.values[attr];
+            let v_next = ds.records()[order[k + 1]].values[attr];
+            if v == v_next {
+                continue; // threshold must separate distinct values
+            }
+            let n_left = k + 1;
+            let n_right = total - n_left;
+            if n_left < min_leaf || n_right < min_leaf {
+                continue;
+            }
+            let right_counts: Vec<usize> = base_counts
+                .iter()
+                .zip(&left_counts)
+                .map(|(&b, &l)| b - l)
+                .collect();
+            let cond = (n_left as f64 / total as f64) * entropy(&left_counts, n_left)
+                + (n_right as f64 / total as f64) * entropy(&right_counts, n_right);
+            let gain = base_entropy - cond;
+            if gain <= 1e-9 {
+                continue;
+            }
+            // Split information (entropy of the partition sizes).
+            let pl = n_left as f64 / total as f64;
+            let pr = n_right as f64 / total as f64;
+            let split_info = -(pl * pl.log2() + pr * pr.log2());
+            if split_info <= 1e-12 {
+                continue;
+            }
+            let ratio = gain / split_info;
+            let threshold = 0.5 * (v + v_next);
+            if best.map_or(true, |(_, _, r)| ratio > r) {
+                best = Some((attr, threshold, ratio));
+            }
+        }
+    }
+    best.map(|(a, t, _)| (a, t))
+}
+
+fn grow(ds: &Dataset, indices: &[usize], params: &TreeParams, depth: usize) -> Node {
+    let counts = class_histogram(ds, indices);
+    let majority = counts
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    let pure = counts.iter().filter(|&&c| c > 0).count() <= 1;
+    if pure || depth >= params.max_depth || indices.len() < 2 * params.min_leaf {
+        return Node {
+            counts,
+            kind: NodeKind::Leaf { class: majority },
+        };
+    }
+    match best_split(ds, indices, params.min_leaf) {
+        None => Node {
+            counts,
+            kind: NodeKind::Leaf { class: majority },
+        },
+        Some((attr, threshold)) => {
+            let (li, ri): (Vec<usize>, Vec<usize>) = indices
+                .iter()
+                .partition(|&&i| ds.records()[i].values[attr] <= threshold);
+            let left = grow(ds, &li, params, depth + 1);
+            let right = grow(ds, &ri, params, depth + 1);
+            Node {
+                counts,
+                kind: NodeKind::Split {
+                    attr,
+                    threshold,
+                    left: Box::new(left),
+                    right: Box::new(right),
+                },
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn threshold_dataset() -> Dataset {
+        // Perfectly separable on x at 3.5.
+        let mut ds = Dataset::new(vec!["x".into(), "noise".into()], vec!["lo".into(), "hi".into()]);
+        for i in 0..40 {
+            let x = (i % 8) as f64;
+            let label = usize::from(x > 3.5);
+            ds.push(vec![x, (i * 7 % 5) as f64], label).unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn learns_a_threshold() {
+        let tree = DecisionTree::fit(&threshold_dataset(), TreeParams::default());
+        assert_eq!(tree.predict(&[0.0, 0.0]), 0);
+        assert_eq!(tree.predict(&[7.0, 0.0]), 1);
+        assert_eq!(tree.accuracy(&threshold_dataset()), 1.0);
+        // One split suffices.
+        assert_eq!(tree.leaf_count(), 2);
+        if let NodeKind::Split { attr, threshold, .. } = &tree.root.kind {
+            assert_eq!(*attr, 0, "must split on x, not noise");
+            assert!(*threshold > 3.0 && *threshold < 4.0);
+        } else {
+            panic!("expected a split at the root");
+        }
+    }
+
+    #[test]
+    fn learns_conjunction_with_two_levels() {
+        // label = (a > 0.5) AND (b > 0.5): needs a two-level tree. (XOR is
+        // deliberately not tested — greedy entropy splitting cannot see
+        // past its zero first-level gain, a limitation shared with C4.5.)
+        let mut ds = Dataset::new(vec!["a".into(), "b".into()], vec!["0".into(), "1".into()]);
+        for i in 0..80 {
+            let a = (i % 2) as f64;
+            let b = ((i / 2) % 2) as f64;
+            let label = usize::from(a > 0.5 && b > 0.5);
+            ds.push(vec![a, b], label).unwrap();
+        }
+        let tree = DecisionTree::fit(&ds, TreeParams::default());
+        assert_eq!(tree.accuracy(&ds), 1.0);
+        assert!(tree.depth() >= 2);
+    }
+
+    #[test]
+    fn pure_dataset_yields_single_leaf() {
+        let mut ds = Dataset::new(vec!["x".into()], vec!["only".into(), "other".into()]);
+        for i in 0..10 {
+            ds.push(vec![i as f64], 0).unwrap();
+        }
+        let tree = DecisionTree::fit(&ds, TreeParams::default());
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.predict(&[100.0]), 0);
+    }
+
+    #[test]
+    fn min_leaf_blocks_tiny_splits() {
+        let mut ds = Dataset::new(vec!["x".into()], vec!["a".into(), "b".into()]);
+        // 9 of class a, 1 of class b: a min_leaf of 3 forbids isolating it.
+        for i in 0..9 {
+            ds.push(vec![i as f64], 0).unwrap();
+        }
+        ds.push(vec![100.0], 1).unwrap();
+        let params = TreeParams {
+            min_leaf: 3,
+            ..TreeParams::default()
+        };
+        let tree = DecisionTree::fit(&ds, params);
+        assert_eq!(tree.node_count(), 1);
+    }
+
+    #[test]
+    fn majority_and_errors_helpers() {
+        let n = Node {
+            counts: vec![3, 5, 2],
+            kind: NodeKind::Leaf { class: 1 },
+        };
+        assert_eq!(n.n(), 10);
+        assert_eq!(n.majority(), 1);
+        assert_eq!(n.errors_as_leaf(), 5);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let tree = DecisionTree::fit(&threshold_dataset(), TreeParams::default());
+        let json = serde_json::to_string(&tree).unwrap();
+        let back: DecisionTree = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, tree);
+    }
+
+    #[test]
+    fn tied_values_are_never_split_between() {
+        // All records share one attribute value; no split possible there.
+        let mut ds = Dataset::new(vec!["c".into()], vec!["a".into(), "b".into()]);
+        for i in 0..10 {
+            ds.push(vec![1.0], i % 2).unwrap();
+        }
+        let tree = DecisionTree::fit(&ds, TreeParams::default());
+        assert_eq!(tree.node_count(), 1);
+    }
+}

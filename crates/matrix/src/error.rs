@@ -1,0 +1,147 @@
+//! Error types for sparse matrix construction, conversion and I/O.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by matrix constructors, format conversions and the
+/// Matrix Market reader/writer.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum MatrixError {
+    /// Dimensions of two operands (or a matrix and a vector) disagree.
+    DimensionMismatch {
+        /// What was being attempted, e.g. `"spmv"`.
+        context: &'static str,
+        /// Expected extent.
+        expected: usize,
+        /// Extent actually supplied.
+        found: usize,
+    },
+    /// A structural invariant of a storage format was violated
+    /// (non-monotone row pointers, column index out of range, ...).
+    InvalidStructure(String),
+    /// An index exceeded the matrix dimensions.
+    IndexOutOfBounds {
+        /// Row index requested.
+        row: usize,
+        /// Column index requested.
+        col: usize,
+        /// Number of rows in the matrix.
+        rows: usize,
+        /// Number of columns in the matrix.
+        cols: usize,
+    },
+    /// Converting to the requested format would exceed the configured
+    /// memory budget (e.g. a DIA conversion of a matrix with too many
+    /// occupied diagonals, which the paper notes causes "high zero-filling
+    /// ratio").
+    ConversionTooExpensive {
+        /// Target format name.
+        format: &'static str,
+        /// Number of explicitly stored entries the conversion would allocate.
+        would_store: usize,
+        /// The configured cap.
+        limit: usize,
+    },
+    /// Failure parsing a Matrix Market stream.
+    Parse {
+        /// 1-based line number where parsing failed.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixError::DimensionMismatch {
+                context,
+                expected,
+                found,
+            } => write!(
+                f,
+                "dimension mismatch in {context}: expected {expected}, found {found}"
+            ),
+            MatrixError::InvalidStructure(msg) => write!(f, "invalid sparse structure: {msg}"),
+            MatrixError::IndexOutOfBounds {
+                row,
+                col,
+                rows,
+                cols,
+            } => write!(
+                f,
+                "index ({row}, {col}) out of bounds for {rows}x{cols} matrix"
+            ),
+            MatrixError::ConversionTooExpensive {
+                format,
+                would_store,
+                limit,
+            } => write!(
+                f,
+                "conversion to {format} would store {would_store} entries, above the limit of {limit}"
+            ),
+            MatrixError::Parse { line, message } => {
+                write!(f, "matrix market parse error at line {line}: {message}")
+            }
+            MatrixError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl Error for MatrixError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MatrixError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for MatrixError {
+    fn from(e: std::io::Error) -> Self {
+        MatrixError::Io(e)
+    }
+}
+
+/// Convenient result alias used throughout the matrix crate.
+pub type Result<T> = std::result::Result<T, MatrixError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = MatrixError::DimensionMismatch {
+            context: "spmv",
+            expected: 4,
+            found: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains("spmv"));
+        assert!(s.contains('4') && s.contains('3'));
+
+        let e = MatrixError::ConversionTooExpensive {
+            format: "DIA",
+            would_store: 100,
+            limit: 10,
+        };
+        assert!(e.to_string().contains("DIA"));
+    }
+
+    #[test]
+    fn io_error_source_is_preserved() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e = MatrixError::from(io);
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MatrixError>();
+    }
+}

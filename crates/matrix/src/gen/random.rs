@@ -1,0 +1,225 @@
+//! Unstructured random sparse matrices.
+
+use crate::{Csr, Scalar};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a random sparse matrix where each row's degree is drawn
+/// uniformly from `[1, 2 * avg_degree]` and column positions are uniform.
+///
+/// This is the "general unstructured" archetype: high `var_RD`, no
+/// diagonal structure — the territory where CSR wins in the paper's
+/// Table 1 (linear programming, optimization, economics, ...).
+///
+/// # Panics
+///
+/// Panics if `rows == 0`, `cols == 0`, or `avg_degree == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use smat_matrix::gen::random_uniform;
+///
+/// let m = random_uniform::<f64>(100, 100, 8, 42);
+/// assert_eq!(m.rows(), 100);
+/// assert!(m.nnz() > 0);
+/// // Deterministic for a fixed seed.
+/// assert_eq!(m, random_uniform::<f64>(100, 100, 8, 42));
+/// ```
+pub fn random_uniform<T: Scalar>(rows: usize, cols: usize, avg_degree: usize, seed: u64) -> Csr<T> {
+    assert!(rows > 0 && cols > 0, "empty matrix requested");
+    assert!(avg_degree > 0, "avg_degree must be positive");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut triplets = Vec::with_capacity(rows * avg_degree);
+    for r in 0..rows {
+        let deg = rng.gen_range(1..=(2 * avg_degree).min(cols));
+        push_row(&mut triplets, &mut rng, r, cols, deg);
+    }
+    Csr::from_triplets(rows, cols, &triplets).expect("generator produces in-bounds triplets")
+}
+
+/// Generates a random sparse matrix with (near-)fixed row degree
+/// `degree ± jitter`.
+///
+/// Low `var_RD` and `ER_ELL` near 1: the ELL-friendly archetype
+/// (combinatorial problems, least squares in the paper's Table 1).
+///
+/// # Panics
+///
+/// Panics if `rows == 0`, `cols == 0`, `degree == 0`, or
+/// `degree + jitter > cols`.
+pub fn fixed_degree<T: Scalar>(
+    rows: usize,
+    cols: usize,
+    degree: usize,
+    jitter: usize,
+    seed: u64,
+) -> Csr<T> {
+    assert!(rows > 0 && cols > 0, "empty matrix requested");
+    assert!(degree > 0, "degree must be positive");
+    assert!(
+        degree + jitter <= cols,
+        "degree + jitter exceeds column count"
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut triplets = Vec::with_capacity(rows * degree);
+    for r in 0..rows {
+        let deg = if jitter == 0 {
+            degree
+        } else {
+            rng.gen_range(degree.saturating_sub(jitter).max(1)..=degree + jitter)
+        };
+        push_row(&mut triplets, &mut rng, r, cols, deg);
+    }
+    Csr::from_triplets(rows, cols, &triplets).expect("generator produces in-bounds triplets")
+}
+
+/// Generates a random sparse matrix with skewed row degrees: most rows
+/// draw uniformly from `[1, 2 * avg_degree]`, but a `heavy_fraction` of
+/// rows are "heavy" with degree up to `heavy_factor * avg_degree`.
+///
+/// Real unstructured matrices (linear programming, optimization,
+/// economics in the paper's Table 1) have a few dense rows among many
+/// light ones — exactly the profile that makes ELL's `max_RD` padding
+/// and DIA's diagonal census explode, leaving CSR the winner.
+///
+/// # Panics
+///
+/// Panics if `rows == 0`, `cols == 0`, `avg_degree == 0`,
+/// `heavy_factor == 0`, or `heavy_fraction` is outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use smat_matrix::gen::random_skewed;
+///
+/// let m = random_skewed::<f64>(500, 500, 8, 0.05, 16, 42);
+/// let max_deg = (0..m.rows()).map(|r| m.row_degree(r)).max().unwrap();
+/// assert!(max_deg > 16, "heavy rows exist: {max_deg}");
+/// ```
+pub fn random_skewed<T: Scalar>(
+    rows: usize,
+    cols: usize,
+    avg_degree: usize,
+    heavy_fraction: f64,
+    heavy_factor: usize,
+    seed: u64,
+) -> Csr<T> {
+    assert!(rows > 0 && cols > 0, "empty matrix requested");
+    assert!(avg_degree > 0, "avg_degree must be positive");
+    assert!(heavy_factor > 0, "heavy_factor must be positive");
+    assert!(
+        (0.0..=1.0).contains(&heavy_fraction),
+        "heavy_fraction must be in [0, 1]"
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut triplets = Vec::with_capacity(rows * avg_degree);
+    for r in 0..rows {
+        let deg = if rng.gen::<f64>() < heavy_fraction {
+            rng.gen_range(avg_degree..=(heavy_factor * avg_degree).min(cols).max(avg_degree))
+        } else {
+            rng.gen_range(1..=(2 * avg_degree).min(cols))
+        };
+        push_row(&mut triplets, &mut rng, r, cols, deg);
+    }
+    Csr::from_triplets(rows, cols, &triplets).expect("generator produces in-bounds triplets")
+}
+
+/// Appends `deg` distinct random entries for row `r`.
+fn push_row<T: Scalar>(
+    triplets: &mut Vec<(usize, usize, T)>,
+    rng: &mut SmallRng,
+    r: usize,
+    cols: usize,
+    deg: usize,
+) {
+    let deg = deg.min(cols);
+    if deg * 4 >= cols {
+        // Dense-ish row: reservoir-style selection avoids rejection loops.
+        let mut picked: Vec<usize> = (0..cols).collect();
+        for i in 0..deg {
+            let j = rng.gen_range(i..cols);
+            picked.swap(i, j);
+        }
+        for &c in &picked[..deg] {
+            triplets.push((r, c, random_value(rng)));
+        }
+    } else {
+        let mut seen = std::collections::HashSet::with_capacity(deg);
+        while seen.len() < deg {
+            let c = rng.gen_range(0..cols);
+            if seen.insert(c) {
+                triplets.push((r, c, random_value(rng)));
+            }
+        }
+    }
+}
+
+/// A nonzero value in `[-1, -0.1] ∪ [0.1, 1]` — bounded away from zero so
+/// structural nonzeros never vanish numerically.
+pub(crate) fn random_value<T: Scalar>(rng: &mut SmallRng) -> T {
+    let mag = 0.1 + 0.9 * rng.gen::<f64>();
+    let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+    T::from_f64(sign * mag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = random_uniform::<f64>(50, 60, 5, 7);
+        let b = random_uniform::<f64>(50, 60, 5, 7);
+        let c = random_uniform::<f64>(50, 60, 5, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn degrees_in_expected_range() {
+        let m = random_uniform::<f64>(200, 200, 6, 1);
+        for r in 0..m.rows() {
+            let d = m.row_degree(r);
+            assert!((1..=12).contains(&d), "row {r} degree {d}");
+        }
+    }
+
+    #[test]
+    fn fixed_degree_is_fixed() {
+        let m = fixed_degree::<f64>(100, 100, 7, 0, 3);
+        assert!((0..m.rows()).all(|r| m.row_degree(r) == 7));
+        assert_eq!(m.nnz(), 700);
+    }
+
+    #[test]
+    fn fixed_degree_jitter_bounds() {
+        let m = fixed_degree::<f64>(100, 100, 7, 2, 3);
+        for r in 0..m.rows() {
+            let d = m.row_degree(r);
+            assert!((5..=9).contains(&d));
+        }
+    }
+
+    #[test]
+    fn values_bounded_away_from_zero() {
+        let m = random_uniform::<f64>(30, 30, 4, 11);
+        for &v in m.values() {
+            assert!(v.abs() >= 0.1 && v.abs() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn dense_rows_have_distinct_columns() {
+        // deg*4 >= cols path
+        let m = fixed_degree::<f64>(10, 8, 6, 0, 5);
+        m.validate().unwrap();
+        assert_eq!(m.nnz(), 60);
+    }
+
+    #[test]
+    #[should_panic(expected = "degree + jitter exceeds")]
+    fn jitter_overflow_panics() {
+        fixed_degree::<f64>(10, 5, 5, 1, 0);
+    }
+}

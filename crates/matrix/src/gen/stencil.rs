@@ -1,0 +1,189 @@
+//! PDE stencil matrices (discrete Laplacians).
+//!
+//! These are the inputs of the paper's AMG experiments: Table 4 uses
+//! 7-point (3-D) and 9-point (2-D) Laplacians, and Figure 1's fine-grid
+//! operators are exactly such stencils — strongly diagonal matrices that
+//! favor DIA.
+
+use crate::{Csr, Scalar};
+
+/// 1-D Laplacian (tridiagonal `[-1, 2, -1]`) on `n` points.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn laplacian_1d<T: Scalar>(n: usize) -> Csr<T> {
+    super::banded::tridiagonal(n)
+}
+
+/// 2-D 5-point Laplacian on an `nx x ny` grid (dimension `nx * ny`).
+///
+/// Stencil: center `4`, the four axis neighbors `-1`.
+///
+/// # Panics
+///
+/// Panics if `nx == 0 || ny == 0`.
+pub fn laplacian_2d_5pt<T: Scalar>(nx: usize, ny: usize) -> Csr<T> {
+    assert!(nx > 0 && ny > 0, "empty grid requested");
+    let n = nx * ny;
+    let idx = |i: usize, j: usize| i * ny + j;
+    let mut triplets = Vec::with_capacity(5 * n);
+    for i in 0..nx {
+        for j in 0..ny {
+            let row = idx(i, j);
+            triplets.push((row, row, T::from_f64(4.0)));
+            if i > 0 {
+                triplets.push((row, idx(i - 1, j), T::from_f64(-1.0)));
+            }
+            if i + 1 < nx {
+                triplets.push((row, idx(i + 1, j), T::from_f64(-1.0)));
+            }
+            if j > 0 {
+                triplets.push((row, idx(i, j - 1), T::from_f64(-1.0)));
+            }
+            if j + 1 < ny {
+                triplets.push((row, idx(i, j + 1), T::from_f64(-1.0)));
+            }
+        }
+    }
+    Csr::from_triplets(n, n, &triplets).expect("generator produces in-bounds triplets")
+}
+
+/// 2-D 9-point Laplacian on an `nx x ny` grid: center `8`, all eight
+/// neighbors `-1` (the paper's "rugeL 9pt" input).
+///
+/// # Panics
+///
+/// Panics if `nx == 0 || ny == 0`.
+pub fn laplacian_2d_9pt<T: Scalar>(nx: usize, ny: usize) -> Csr<T> {
+    assert!(nx > 0 && ny > 0, "empty grid requested");
+    let n = nx * ny;
+    let idx = |i: usize, j: usize| i * ny + j;
+    let mut triplets = Vec::with_capacity(9 * n);
+    for i in 0..nx {
+        for j in 0..ny {
+            let row = idx(i, j);
+            triplets.push((row, row, T::from_f64(8.0)));
+            for di in -1isize..=1 {
+                for dj in -1isize..=1 {
+                    if di == 0 && dj == 0 {
+                        continue;
+                    }
+                    let (ni, nj) = (i as isize + di, j as isize + dj);
+                    if ni < 0 || nj < 0 || ni >= nx as isize || nj >= ny as isize {
+                        continue;
+                    }
+                    triplets.push((row, idx(ni as usize, nj as usize), T::from_f64(-1.0)));
+                }
+            }
+        }
+    }
+    Csr::from_triplets(n, n, &triplets).expect("generator produces in-bounds triplets")
+}
+
+/// 3-D 7-point Laplacian on an `nx x ny x nz` grid: center `6`, the six
+/// axis neighbors `-1` (the paper's "cljp 7pt" input).
+///
+/// # Panics
+///
+/// Panics if any grid dimension is zero.
+pub fn laplacian_3d_7pt<T: Scalar>(nx: usize, ny: usize, nz: usize) -> Csr<T> {
+    assert!(nx > 0 && ny > 0 && nz > 0, "empty grid requested");
+    let n = nx * ny * nz;
+    let idx = |i: usize, j: usize, k: usize| (i * ny + j) * nz + k;
+    let mut triplets = Vec::with_capacity(7 * n);
+    for i in 0..nx {
+        for j in 0..ny {
+            for k in 0..nz {
+                let row = idx(i, j, k);
+                triplets.push((row, row, T::from_f64(6.0)));
+                if i > 0 {
+                    triplets.push((row, idx(i - 1, j, k), T::from_f64(-1.0)));
+                }
+                if i + 1 < nx {
+                    triplets.push((row, idx(i + 1, j, k), T::from_f64(-1.0)));
+                }
+                if j > 0 {
+                    triplets.push((row, idx(i, j - 1, k), T::from_f64(-1.0)));
+                }
+                if j + 1 < ny {
+                    triplets.push((row, idx(i, j + 1, k), T::from_f64(-1.0)));
+                }
+                if k > 0 {
+                    triplets.push((row, idx(i, j, k - 1), T::from_f64(-1.0)));
+                }
+                if k + 1 < nz {
+                    triplets.push((row, idx(i, j, k + 1), T::from_f64(-1.0)));
+                }
+            }
+        }
+    }
+    Csr::from_triplets(n, n, &triplets).expect("generator produces in-bounds triplets")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Dia;
+
+    #[test]
+    fn laplacian_2d_5pt_structure() {
+        let m = laplacian_2d_5pt::<f64>(3, 3);
+        assert_eq!(m.rows(), 9);
+        // Interior point (1,1) = row 4 has full 5-point stencil.
+        assert_eq!(m.row_degree(4), 5);
+        assert_eq!(m.get(4, 4), Some(4.0));
+        assert_eq!(m.get(4, 1), Some(-1.0));
+        // Corner has 3 entries.
+        assert_eq!(m.row_degree(0), 3);
+    }
+
+    #[test]
+    fn laplacian_2d_5pt_has_five_diagonals() {
+        let m = laplacian_2d_5pt::<f64>(8, 8);
+        let dia = Dia::from_csr(&m).unwrap();
+        assert_eq!(dia.ndiags(), 5);
+        assert_eq!(dia.offsets(), &[-8, -1, 0, 1, 8]);
+    }
+
+    #[test]
+    fn laplacian_9pt_interior_degree() {
+        let m = laplacian_2d_9pt::<f64>(4, 4);
+        let interior = 1 * 4 + 1;
+        assert_eq!(m.row_degree(interior), 9);
+        assert_eq!(m.get(interior, interior), Some(8.0));
+    }
+
+    #[test]
+    fn laplacian_3d_7pt_structure() {
+        let m = laplacian_3d_7pt::<f64>(3, 3, 3);
+        assert_eq!(m.rows(), 27);
+        let center = (1 * 3 + 1) * 3 + 1;
+        assert_eq!(m.row_degree(center), 7);
+        assert_eq!(m.get(center, center), Some(6.0));
+        let dia = Dia::from_csr(&m).unwrap();
+        assert_eq!(dia.ndiags(), 7);
+    }
+
+    #[test]
+    fn laplacians_are_symmetric() {
+        for m in [
+            laplacian_2d_5pt::<f64>(5, 7),
+            laplacian_2d_9pt::<f64>(6, 4),
+            laplacian_3d_7pt::<f64>(3, 4, 2),
+        ] {
+            assert_eq!(m.transpose(), m);
+        }
+    }
+
+    #[test]
+    fn row_sums_are_nonnegative() {
+        // Diagonal dominance: boundary rows have positive sum, interior zero.
+        let m = laplacian_2d_5pt::<f64>(10, 10);
+        for r in 0..m.rows() {
+            let (_, vals) = m.row(r);
+            let s: f64 = vals.iter().sum();
+            assert!(s >= -1e-12);
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! The [`Scalar`] abstraction over the numeric element types supported by
+//! the SMAT reproduction.
+//!
+//! The paper evaluates every kernel in both single precision (`float`) and
+//! double precision (`double`); all formats, kernels and solvers in this
+//! workspace are generic over [`Scalar`] so the same code paths serve both.
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Floating-point element type for sparse matrices and vectors.
+///
+/// Implemented for [`f32`] and [`f64`]. The trait is sealed: the kernel
+/// library makes precision-specific decisions (e.g. the paper reports
+/// separate single/double rulesets), so downstream implementations are not
+/// supported.
+///
+/// # Examples
+///
+/// ```
+/// use smat_matrix::Scalar;
+///
+/// fn dot<T: Scalar>(a: &[T], b: &[T]) -> T {
+///     a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+/// }
+///
+/// assert_eq!(dot(&[1.0f64, 2.0], &[3.0, 4.0]), 11.0);
+/// ```
+pub trait Scalar:
+    Copy
+    + Debug
+    + Display
+    + Default
+    + PartialEq
+    + PartialOrd
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum
+    + Send
+    + Sync
+    + 'static
+    + private::Sealed
+{
+    /// The additive identity.
+    const ZERO: Self;
+    /// The multiplicative identity.
+    const ONE: Self;
+    /// Human-readable precision name used in reports ("single" / "double").
+    const PRECISION_NAME: &'static str;
+    /// Bytes per element (4 for `f32`, 8 for `f64`).
+    const BYTES: usize;
+
+    /// Lossy conversion from `f64` (used by generators and test fixtures).
+    fn from_f64(v: f64) -> Self;
+    /// Widening conversion to `f64` (used by feature extraction and stats).
+    fn to_f64(self) -> f64;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Fused (or at least fused-looking) multiply-add: `self * a + b`.
+    fn mul_add(self, a: Self, b: Self) -> Self;
+    /// `true` when the value is finite (not NaN or infinite).
+    fn is_finite(self) -> bool;
+    /// Machine epsilon for the type.
+    fn epsilon() -> Self;
+}
+
+mod private {
+    pub trait Sealed {}
+    impl Sealed for f32 {}
+    impl Sealed for f64 {}
+}
+
+macro_rules! impl_scalar {
+    ($t:ty, $name:literal) => {
+        impl Scalar for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+            const PRECISION_NAME: &'static str = $name;
+            const BYTES: usize = std::mem::size_of::<$t>();
+
+            #[inline(always)]
+            fn from_f64(v: f64) -> Self {
+                v as $t
+            }
+            #[inline(always)]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline(always)]
+            fn abs(self) -> Self {
+                <$t>::abs(self)
+            }
+            #[inline(always)]
+            fn sqrt(self) -> Self {
+                <$t>::sqrt(self)
+            }
+            #[inline(always)]
+            fn mul_add(self, a: Self, b: Self) -> Self {
+                self * a + b
+            }
+            #[inline(always)]
+            fn is_finite(self) -> bool {
+                <$t>::is_finite(self)
+            }
+            #[inline(always)]
+            fn epsilon() -> Self {
+                <$t>::EPSILON
+            }
+        }
+    };
+}
+
+impl_scalar!(f32, "single");
+impl_scalar!(f64, "double");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants() {
+        assert_eq!(f32::ZERO, 0.0f32);
+        assert_eq!(f64::ONE, 1.0f64);
+        assert_eq!(f32::BYTES, 4);
+        assert_eq!(f64::BYTES, 8);
+        assert_eq!(f32::PRECISION_NAME, "single");
+        assert_eq!(f64::PRECISION_NAME, "double");
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let v = 3.25f64;
+        assert_eq!(f64::from_f64(v).to_f64(), v);
+        assert_eq!(f32::from_f64(v).to_f64(), 3.25f64);
+    }
+
+    #[test]
+    fn arithmetic_helpers() {
+        assert_eq!((-2.0f64).abs(), 2.0);
+        assert_eq!(4.0f32.sqrt(), 2.0);
+        assert_eq!(2.0f64.mul_add(3.0, 1.0), 7.0);
+        assert!(1.0f32.is_finite());
+        assert!(!(f64::INFINITY).is_finite());
+    }
+
+    #[test]
+    fn generic_sum_works() {
+        fn total<T: Scalar>(v: &[T]) -> T {
+            v.iter().copied().sum()
+        }
+        assert_eq!(total(&[1.0f32, 2.0, 3.0]), 6.0);
+        assert_eq!(total(&[1.5f64, 2.5]), 4.0);
+    }
+}

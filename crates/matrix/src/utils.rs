@@ -1,0 +1,111 @@
+//! Dense vector helpers shared by kernels, solvers and benchmarks.
+
+use crate::Scalar;
+
+/// Dot product of two equal-length vectors.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn dot<T: Scalar>(a: &[T], b: &[T]) -> T {
+    assert_eq!(a.len(), b.len(), "dot of different lengths");
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+/// Euclidean norm.
+pub fn norm2<T: Scalar>(a: &[T]) -> T {
+    dot(a, a).sqrt()
+}
+
+/// `y += alpha * x`.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn axpy<T: Scalar>(alpha: T, x: &[T], y: &mut [T]) {
+    assert_eq!(x.len(), y.len(), "axpy of different lengths");
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `y = x + beta * y` (the "xpay" update used by CG).
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn xpay<T: Scalar>(x: &[T], beta: T, y: &mut [T]) {
+    assert_eq!(x.len(), y.len(), "xpay of different lengths");
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi = xi + beta * *yi;
+    }
+}
+
+/// Maximum absolute difference between two vectors — the comparison metric
+/// used to validate optimized kernels against reference SpMV.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn max_abs_diff<T: Scalar>(a: &[T], b: &[T]) -> f64 {
+    assert_eq!(a.len(), b.len(), "comparing different lengths");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x - y).abs().to_f64())
+        .fold(0.0, f64::max)
+}
+
+/// Relative L2 error `||a - b|| / max(||b||, eps)`.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn rel_error<T: Scalar>(a: &[T], b: &[T]) -> f64 {
+    assert_eq!(a.len(), b.len(), "comparing different lengths");
+    let mut num = 0.0f64;
+    let mut den = 0.0f64;
+    for (&x, &y) in a.iter().zip(b) {
+        let d = (x - y).to_f64();
+        num += d * d;
+        den += y.to_f64() * y.to_f64();
+    }
+    (num.sqrt()) / den.sqrt().max(f64::MIN_POSITIVE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0f64, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(norm2(&[3.0f64, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn axpy_updates_in_place() {
+        let mut y = [1.0f64, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, [7.0, 9.0]);
+    }
+
+    #[test]
+    fn xpay_updates_in_place() {
+        let mut y = [1.0f64, 2.0];
+        xpay(&[10.0, 20.0], 0.5, &mut y);
+        assert_eq!(y, [10.5, 21.0]);
+    }
+
+    #[test]
+    fn error_metrics() {
+        assert_eq!(max_abs_diff(&[1.0f64, 2.0], &[1.0, 2.5]), 0.5);
+        assert!(rel_error(&[1.0f64, 0.0], &[1.0, 0.0]) < 1e-15);
+        assert!(rel_error(&[2.0f64], &[1.0]) > 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "dot of different lengths")]
+    fn dot_length_mismatch_panics() {
+        dot(&[1.0f64], &[1.0, 2.0]);
+    }
+}

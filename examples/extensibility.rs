@@ -1,0 +1,83 @@
+//! The paper's §3 extensibility claims, demonstrated:
+//!
+//! 1. the HYB extension format participating in tuning like the four
+//!    basic formats;
+//! 2. incremental training — extending the feature database with new
+//!    matrices and refitting (`Trainer::extend_and_refit`);
+//! 3. removing a feature parameter from the learning model
+//!    (`SmatConfig::excluded_attributes`) to trade accuracy for
+//!    training/prediction cost.
+//!
+//! Run with: `cargo run --release --example extensibility`
+
+use smat::{Smat, SmatConfig, Trainer};
+use smat_matrix::gen::{generate_corpus, random_skewed, CorpusSpec};
+use smat_matrix::{Csr, Format};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1. HYB as a first-class tuning citizen -------------------------
+    let corpus = generate_corpus::<f64>(&CorpusSpec::small(150, 5));
+    let matrices: Vec<&Csr<f64>> = corpus.iter().map(|e| &e.matrix).collect();
+    let trainer = Trainer::new(SmatConfig::fast());
+    let mut out = trainer.train(&matrices)?;
+    println!(
+        "label distribution over {} formats: {:?}",
+        Format::COUNT,
+        out.model.stats.label_counts
+    );
+
+    let engine = Smat::with_config(out.model.clone(), SmatConfig::fast())?;
+    // A skewed matrix: a few heavy rows poison ELL's padding; HYB's
+    // width heuristic shrugs them off into its COO part.
+    let skewed = random_skewed::<f64>(6_000, 6_000, 5, 0.04, 20, 9);
+    let (best, perf) = smat::label_best_format(
+        engine.library(),
+        &engine.model().kernel_choice,
+        &skewed,
+        std::time::Duration::from_millis(3),
+    );
+    println!("\nskewed-degree matrix, measured GFLOPS per format:");
+    for f in Format::ALL {
+        println!("  {f}: {:.2}", perf[f.index()]);
+    }
+    println!("exhaustive best: {best}");
+    let tuned = engine.prepare(&skewed);
+    println!("SMAT chose: {}\n", tuned.format());
+
+    // --- 2. Incremental training ---------------------------------------
+    let before = out.model.stats.train_size;
+    let extra: Vec<Csr<f64>> = (0..10)
+        .map(|i| random_skewed::<f64>(2_000, 2_000, 6, 0.05, 16, 100 + i))
+        .collect();
+    let extra_refs: Vec<&Csr<f64>> = extra.iter().collect();
+    let refit = trainer.extend_and_refit(
+        &mut out.database,
+        out.model.kernel_choice.clone(),
+        &extra_refs,
+    )?;
+    println!(
+        "incremental training: database {before} -> {} records, {} rules",
+        refit.stats.train_size, refit.stats.rules_total
+    );
+
+    // --- 3. Removing a parameter from the model ------------------------
+    // Exclude the power-law exponent R (attribute 10): training gets
+    // cheaper (no power-law fits needed for prediction paths) at some
+    // accuracy cost — the paper's "balance accuracy and training time".
+    let mut cfg = SmatConfig::fast();
+    cfg.excluded_attributes = vec![10];
+    let no_r = Trainer::new(cfg).fit::<f64>(&out.database, refit.kernel_choice.clone())?;
+    println!(
+        "without R: training accuracy {:.1}% (with R: {:.1}%)",
+        no_r.stats.train_accuracy * 100.0,
+        refit.stats.train_accuracy * 100.0
+    );
+    let tests_r = no_r
+        .ruleset
+        .rules
+        .iter()
+        .any(|rule| rule.conditions.iter().any(|c| c.attr == 10));
+    println!("any rule tests R after exclusion? {tests_r}");
+    assert!(!tests_r);
+    Ok(())
+}

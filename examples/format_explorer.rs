@@ -1,0 +1,79 @@
+//! Format explorer: inspect any matrix the way SMAT sees it — its
+//! Table 2 feature vector, the measured throughput of all four formats,
+//! and what a trained model would decide.
+//!
+//! Run with:
+//!   `cargo run --release --example format_explorer [path/to/matrix.mtx]`
+//!
+//! Without an argument, a built-in gallery of archetypes is explored.
+
+use smat::{label_best_format, DecisionPath, Smat, SmatConfig, Trainer};
+use smat_features::extract_features;
+use smat_matrix::gen::{banded, fixed_degree, generate_corpus, power_law, CorpusSpec};
+use smat_matrix::io::read_matrix_market_file;
+use smat_matrix::{Csr, Format};
+use std::time::Duration;
+
+fn explore(engine: &Smat<f64>, name: &str, m: &Csr<f64>) {
+    println!("=== {name}: {}x{}, {} nnz ===", m.rows(), m.cols(), m.nnz());
+    let f = extract_features(m);
+    println!("features: {f}");
+    let (best, perf) = label_best_format(
+        engine.library(),
+        &engine.model().kernel_choice,
+        m,
+        Duration::from_millis(2),
+    );
+    print!("measured:");
+    for fmt in Format::ALL {
+        if perf[fmt.index()] > 0.0 {
+            print!(" {}={:.2}GF", fmt.name(), perf[fmt.index()]);
+        } else {
+            print!(" {}=n/a", fmt.name());
+        }
+    }
+    println!("  -> exhaustive best: {best}");
+    let tuned = engine.prepare(m);
+    let how = match tuned.decision() {
+        DecisionPath::Predicted { confidence } => format!("predicted (conf {confidence:.2})"),
+        DecisionPath::Measured { .. } => "execute-measure fallback".to_string(),
+    };
+    println!("SMAT decision: {} via {how}\n", tuned.format());
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    eprintln!("training tuner...");
+    let corpus = generate_corpus::<f64>(&CorpusSpec::small(200, 11));
+    let matrices: Vec<&Csr<f64>> = corpus.iter().map(|e| &e.matrix).collect();
+    let out = Trainer::new(SmatConfig::fast()).train(&matrices)?;
+    let engine = Smat::new(out.model)?;
+
+    if let Some(path) = std::env::args().nth(1) {
+        let m = read_matrix_market_file::<f64>(&path)?;
+        explore(&engine, &path, &m);
+        return Ok(());
+    }
+
+    let gallery: Vec<(&str, Csr<f64>)> = vec![
+        ("true-diagonal banded", banded(8_000, &[-32, -1, 0, 1, 32], 1.0, 1)),
+        ("scattered banded", banded(8_000, &[-32, -1, 0, 1, 32], 0.35, 1)),
+        ("uniform degree 8", fixed_degree(8_000, 8_000, 8, 0, 2)),
+        ("power-law graph", power_law(8_000, 800, 2.0, 3)),
+        (
+            "single dense row",
+            Csr::from_triplets(
+                8_000,
+                8_000,
+                &(0..4_000)
+                    .map(|c| (0usize, c * 2, 1.0))
+                    .chain((1..8_000).map(|r| (r, r, 2.0)))
+                    .collect::<Vec<_>>(),
+            )?,
+        ),
+    ];
+    for (name, m) in &gallery {
+        explore(&engine, name, m);
+    }
+    println!("tip: pass a Matrix Market file path to explore your own matrix.");
+    Ok(())
+}

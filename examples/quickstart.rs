@@ -1,0 +1,62 @@
+//! Quickstart: train a SMAT model on a small corpus, then tune a few
+//! matrices through the unified CSR interface and see what the tuner
+//! decided.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use smat::{smat_dcsr_spmv, DecisionPath, Smat, SmatConfig, Trainer};
+use smat_matrix::gen::{generate_corpus, power_law, tridiagonal, CorpusSpec};
+use smat_matrix::Csr;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Off-line stage (once per machine): train on a corpus. ---------
+    println!("training on a 150-matrix synthetic corpus...");
+    let corpus = generate_corpus::<f64>(&CorpusSpec::small(150, 42));
+    let matrices: Vec<&Csr<f64>> = corpus.iter().map(|e| &e.matrix).collect();
+    let out = Trainer::new(SmatConfig::fast()).train(&matrices)?;
+    println!(
+        "  {} rules learned, {} kept after tailoring; training accuracy {:.0}%",
+        out.model.stats.rules_total,
+        out.model.stats.rules_kept,
+        out.model.stats.train_accuracy * 100.0
+    );
+
+    // Models persist; the off-line stage is reusable.
+    let path = std::env::temp_dir().join("smat-quickstart-model.json");
+    out.model.save(&path)?;
+    let model = smat::TrainedModel::load(&path)?;
+    println!("  model saved to and reloaded from {}\n", path.display());
+
+    // --- On-line stage: the single SMAT_dCSR_SpMV entry point. ---------
+    let engine = Smat::new(model)?;
+
+    for (name, a) in [
+        ("tridiagonal 10k", tridiagonal::<f64>(10_000)),
+        ("power-law graph 10k", power_law::<f64>(10_000, 1_000, 2.0, 7)),
+    ] {
+        let x = vec![1.0; a.cols()];
+        let mut y = vec![0.0; a.rows()];
+        let tuned = smat_dcsr_spmv(&engine, &a, &x, &mut y)?;
+        let how = match tuned.decision() {
+            DecisionPath::Predicted { confidence } => {
+                format!("rule prediction (confidence {confidence:.2})")
+            }
+            DecisionPath::Measured { candidates } => format!(
+                "execute-measure over {:?}",
+                candidates.iter().map(|(f, _)| f.name()).collect::<Vec<_>>()
+            ),
+        };
+        println!(
+            "{name}: SMAT chose {} via {how}; tuning cost {:?}",
+            tuned.format(),
+            tuned.prepare_time()
+        );
+        // The tuned handle is reusable for the iterative part:
+        for _ in 0..10 {
+            engine.spmv(&tuned, &x, &mut y)?;
+        }
+        println!("  y[0..4] = {:?}", &y[..4]);
+    }
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

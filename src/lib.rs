@@ -1,0 +1,21 @@
+//! Workspace facade for the SMAT (PLDI 2013) reproduction.
+//!
+//! This crate re-exports the public surface of every workspace crate so
+//! the examples and cross-crate integration tests live at the repository
+//! root, as laid out in `DESIGN.md`. Library users should depend on the
+//! individual crates:
+//!
+//! * [`smat`] — the auto-tuner (train + runtime, unified CSR interface);
+//! * [`smat_matrix`] — sparse formats, Matrix Market I/O, generators;
+//! * [`smat_kernels`] — SpMV kernel library, scoreboard search, MKL-style
+//!   reference baselines;
+//! * [`smat_features`] — the 11 structural feature parameters;
+//! * [`smat_learn`] — the C5.0-style decision tree / ruleset learner;
+//! * [`smat_amg`] — the algebraic multigrid substrate.
+
+pub use smat;
+pub use smat_amg;
+pub use smat_features;
+pub use smat_kernels;
+pub use smat_learn;
+pub use smat_matrix;

@@ -1,0 +1,165 @@
+//! End-to-end integration: the full off-line + on-line pipeline across
+//! crates, as a downstream user would drive it.
+
+use smat::{DecisionPath, Smat, SmatConfig, Trainer};
+use smat_matrix::gen::{
+    banded, fixed_degree, generate_corpus, power_law, random_uniform, CorpusSpec,
+};
+use smat_matrix::utils::max_abs_diff;
+use smat_matrix::{Csr, Format};
+
+fn train_engine(seed: u64) -> Smat<f64> {
+    let corpus = generate_corpus::<f64>(&CorpusSpec::small(160, seed));
+    let matrices: Vec<&Csr<f64>> = corpus.iter().map(|e| &e.matrix).collect();
+    let out = Trainer::new(SmatConfig::fast())
+        .train(&matrices)
+        .expect("training succeeds");
+    Smat::with_config(out.model, SmatConfig::fast()).expect("precision matches")
+}
+
+#[test]
+fn trained_engine_is_correct_on_every_archetype() {
+    let engine = train_engine(1);
+    let cases: Vec<(&str, Csr<f64>)> = vec![
+        ("banded", banded(3_000, &[-16, -1, 0, 1, 16], 1.0, 2)),
+        ("uniform", fixed_degree(2_500, 2_500, 7, 0, 3)),
+        ("random", random_uniform(2_500, 2_000, 9, 4)),
+        ("powerlaw", power_law(3_000, 400, 2.0, 5)),
+    ];
+    for (name, m) in &cases {
+        let tuned = engine.prepare(m);
+        let x: Vec<f64> = (0..m.cols()).map(|i| ((i % 13) as f64) * 0.5 - 3.0).collect();
+        let mut y = vec![0.0; m.rows()];
+        engine.spmv(&tuned, &x, &mut y).unwrap();
+        let mut expect = vec![0.0; m.rows()];
+        m.spmv(&x, &mut expect).unwrap();
+        assert!(
+            max_abs_diff(&y, &expect) < 1e-9,
+            "{name}: tuned result diverges (format {})",
+            tuned.format()
+        );
+    }
+}
+
+#[test]
+fn tuner_tracks_structure() {
+    // The model is data-dependent, but gross structure must be
+    // respected: a dense multiband matrix should never be stored as ELL
+    // with huge padding, and a power-law graph should never end up DIA.
+    let engine = train_engine(2);
+
+    let diag_friendly = banded::<f64>(4_000, &[-2, -1, 0, 1, 2], 1.0, 7);
+    let tuned = engine.prepare(&diag_friendly);
+    assert_ne!(
+        tuned.format(),
+        Format::Coo,
+        "banded matrix stored as COO would be pathological"
+    );
+
+    let graph = power_law::<f64>(4_000, 1_000, 1.8, 8);
+    let tuned = engine.prepare(&graph);
+    assert_ne!(
+        tuned.format(),
+        Format::Dia,
+        "power-law graph as DIA is impossible (fill explosion)"
+    );
+    assert_ne!(
+        tuned.format(),
+        Format::Ell,
+        "power-law graph as ELL would pad catastrophically"
+    );
+}
+
+#[test]
+fn decision_paths_report_what_happened() {
+    let engine = train_engine(3);
+    let suite = [
+        banded::<f64>(2_000, &[-8, 0, 8], 1.0, 1),
+        random_uniform::<f64>(2_000, 2_000, 6, 2),
+    ];
+    for m in &suite {
+        let tuned = engine.prepare(m);
+        match tuned.decision() {
+            DecisionPath::Predicted { confidence } => {
+                assert!(*confidence >= engine.config().confidence_threshold);
+            }
+            DecisionPath::Measured { candidates } => {
+                assert!(!candidates.is_empty());
+                // The chosen format must be among the measured ones.
+                assert!(candidates.iter().any(|&(f, _)| f == tuned.format()));
+            }
+        }
+    }
+}
+
+#[test]
+fn single_and_double_precision_models_coexist() {
+    let corpus32 = generate_corpus::<f32>(&CorpusSpec::small(80, 4));
+    let m32: Vec<&Csr<f32>> = corpus32.iter().map(|e| &e.matrix).collect();
+    let out32 = Trainer::new(SmatConfig::fast()).train(&m32).unwrap();
+    assert_eq!(out32.model.precision, "single");
+    let engine32 = Smat::<f32>::with_config(out32.model.clone(), SmatConfig::fast()).unwrap();
+
+    // A single-precision model must not bind to a double engine.
+    assert!(Smat::<f64>::new(out32.model).is_err());
+
+    let m = fixed_degree::<f32>(1_000, 1_000, 5, 0, 9);
+    let tuned = engine32.prepare(&m);
+    let x = vec![1.0f32; 1_000];
+    let mut y = vec![0.0f32; 1_000];
+    engine32.spmv(&tuned, &x, &mut y).unwrap();
+    assert!(y.iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn hyb_extension_participates_end_to_end() {
+    use smat_matrix::gen::random_skewed;
+    use smat_matrix::{AnyMatrix, Hyb};
+
+    // The extension format is a first-class citizen: conversion,
+    // kernels, exhaustive labeling and engine execution all include it.
+    let engine = train_engine(6);
+    let m = random_skewed::<f64>(3_000, 3_000, 6, 0.05, 14, 11);
+
+    // Exhaustive measurement covers HYB.
+    let (_, perf) = smat::label_best_format(
+        engine.library(),
+        &engine.model().kernel_choice,
+        &m,
+        std::time::Duration::from_micros(300),
+    );
+    assert!(perf[Format::Hyb.index()] > 0.0, "HYB must be measurable");
+
+    // The engine can execute a HYB-stored matrix correctly through every
+    // registered variant.
+    let any = AnyMatrix::Hyb(Hyb::from_csr(&m));
+    let x: Vec<f64> = (0..m.cols()).map(|i| 1.0 + (i % 5) as f64).collect();
+    let mut expect = vec![0.0; m.rows()];
+    m.spmv(&x, &mut expect).unwrap();
+    for v in 0..engine.library().variant_count(Format::Hyb) {
+        let mut y = vec![f64::NAN; m.rows()];
+        engine.library().run(&any, v, &x, &mut y);
+        assert!(
+            max_abs_diff(&y, &expect) < 1e-9,
+            "HYB variant {v} diverges"
+        );
+    }
+
+    // Whatever the tuner picks on a skewed matrix, the product is right.
+    let tuned = engine.prepare(&m);
+    let mut y = vec![0.0; m.rows()];
+    engine.spmv(&tuned, &x, &mut y).unwrap();
+    assert!(max_abs_diff(&y, &expect) < 1e-9);
+}
+
+#[test]
+fn kernel_choice_survives_training() {
+    let engine = train_engine(5);
+    let lib = engine.library();
+    for f in Format::ALL {
+        let v = engine.model().kernel_choice.kernel(f).variant;
+        assert!(v < lib.variant_count(f), "{f} kernel out of range");
+    }
+    // The library advertises the paper-scale variant count.
+    assert!(lib.total_variants() >= 16);
+}

@@ -1,0 +1,116 @@
+//! Property-based tests over the storage formats and kernels: for
+//! arbitrary sparse matrices, every conversion round-trips and every
+//! kernel variant computes the same product as the reference CSR SpMV.
+
+use proptest::prelude::*;
+use smat_features::extract_features;
+use smat_kernels::KernelLibrary;
+use smat_matrix::utils::max_abs_diff;
+use smat_matrix::{AnyMatrix, Coo, Csr, Format};
+
+/// Strategy: an arbitrary small sparse matrix as (rows, cols, triplets).
+fn arb_matrix() -> impl Strategy<Value = Csr<f64>> {
+    (1usize..40, 1usize..40).prop_flat_map(|(rows, cols)| {
+        let entry = (0..rows, 0..cols, -100i32..100).prop_map(|(r, c, v)| (r, c, v as f64 / 7.0));
+        proptest::collection::vec(entry, 0..120).prop_map(move |triplets| {
+            Csr::from_triplets(rows, cols, &triplets).expect("in-bounds triplets")
+        })
+    })
+}
+
+/// Strategy: a dense-ish vector matching a width.
+fn arb_x(cols: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-50i32..50, cols).prop_map(|v| {
+        v.into_iter().map(|i| i as f64 / 3.0).collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn conversions_round_trip(m in arb_matrix()) {
+        // COO always converts and preserves explicit zeros exactly.
+        prop_assert_eq!(Coo::from_csr(&m).to_csr(), m.clone());
+        // DIA/ELL may refuse on fill blow-up (nothing to check then) and
+        // documentedly drop explicit stored zeros on the way back, so
+        // compare against the zero-pruned matrix.
+        let expected = m.prune(0.0);
+        for format in [Format::Dia, Format::Ell, Format::Hyb] {
+            if let Ok(any) = AnyMatrix::convert_from_csr(&m, format) {
+                prop_assert_eq!(any.to_csr(), expected.clone(), "{} round trip", format);
+            }
+        }
+    }
+
+    #[test]
+    fn every_kernel_matches_reference(m in arb_matrix(), seed in 0u64..1000) {
+        let lib = KernelLibrary::<f64>::new();
+        // Deterministic pseudo-random x from the seed.
+        let x: Vec<f64> = (0..m.cols())
+            .map(|i| (((i as u64 + 1) * (seed + 3)) % 17) as f64 - 8.0)
+            .collect();
+        let mut expect = vec![0.0; m.rows()];
+        m.spmv(&x, &mut expect).unwrap();
+        for format in Format::ALL {
+            let Ok(any) = AnyMatrix::convert_from_csr(&m, format) else { continue };
+            for v in 0..lib.variant_count(format) {
+                let mut y = vec![f64::NAN; m.rows()];
+                lib.run(&any, v, &x, &mut y);
+                prop_assert!(
+                    max_abs_diff(&y, &expect) < 1e-9,
+                    "{} variant {} diverges", format, v
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_is_involutive(m in arb_matrix()) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn transpose_spmv_is_adjoint(m in arb_matrix()) {
+        // <A x, y> == <x, A^T y> for arbitrary x, y.
+        let x: Vec<f64> = (0..m.cols()).map(|i| (i % 5) as f64 - 2.0).collect();
+        let yv: Vec<f64> = (0..m.rows()).map(|i| (i % 7) as f64 - 3.0).collect();
+        let mut ax = vec![0.0; m.rows()];
+        m.spmv(&x, &mut ax).unwrap();
+        let at = m.transpose();
+        let mut aty = vec![0.0; m.cols()];
+        at.spmv(&yv, &mut aty).unwrap();
+        let lhs: f64 = ax.iter().zip(&yv).map(|(a, b)| a * b).sum();
+        let rhs: f64 = x.iter().zip(&aty).map(|(a, b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-6 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn features_are_well_defined(m in arb_matrix()) {
+        let f = extract_features(&m);
+        prop_assert_eq!(f.m as usize, m.rows());
+        prop_assert_eq!(f.n as usize, m.cols());
+        prop_assert_eq!(f.nnz as usize, m.nnz());
+        prop_assert!(f.ntdiags_ratio >= 0.0 && f.ntdiags_ratio <= 1.0);
+        prop_assert!(f.er_dia >= 0.0 && f.er_dia <= 1.0 + 1e-12);
+        prop_assert!(f.er_ell >= 0.0 && f.er_ell <= 1.0 + 1e-12);
+        prop_assert!(f.max_rd >= f.aver_rd - 1e-12);
+        prop_assert!(f.var_rd >= 0.0);
+        prop_assert!(f.r > 0.0);
+    }
+
+    #[test]
+    fn spmv_is_linear((m, x) in arb_matrix().prop_flat_map(|m| {
+        let cols = m.cols();
+        (Just(m), arb_x(cols))
+    })) {
+        let mut y1 = vec![0.0; m.rows()];
+        m.spmv(&x, &mut y1).unwrap();
+        let x2: Vec<f64> = x.iter().map(|v| v * 2.0).collect();
+        let mut y2 = vec![0.0; m.rows()];
+        m.spmv(&x2, &mut y2).unwrap();
+        for (a, b) in y1.iter().zip(&y2) {
+            prop_assert!((2.0 * a - b).abs() < 1e-9 * (1.0 + b.abs()));
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests over the learner: invariants that must hold for
+//! any dataset, and robustness of the Matrix Market parser on arbitrary
+//! input.
+
+use proptest::prelude::*;
+use smat_learn::{Dataset, DecisionTree, RuleSet, TreeParams};
+use smat_matrix::io::read_matrix_market;
+
+/// Strategy: a random dataset with 2 attributes and 2-3 classes.
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    (2usize..4, proptest::collection::vec((0i32..50, 0i32..50, 0usize..3), 5..80)).prop_map(
+        |(n_classes, rows)| {
+            let mut ds = Dataset::new(
+                vec!["a".into(), "b".into()],
+                (0..n_classes).map(|c| format!("c{c}")).collect(),
+            );
+            for (a, b, label) in rows {
+                ds.push(vec![a as f64, b as f64], label % n_classes).unwrap();
+            }
+            ds
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn tree_beats_or_ties_majority_class(ds in arb_dataset()) {
+        let tree = DecisionTree::fit(&ds, TreeParams::default());
+        let majority = ds.majority_class();
+        let baseline = ds
+            .iter()
+            .filter(|r| r.label == majority)
+            .count() as f64 / ds.len() as f64;
+        // On training data a fitted tree can never do worse than always
+        // answering the majority class (the root starts there and splits
+        // only improve training fit; pruning collapses back to majority).
+        prop_assert!(tree.accuracy(&ds) + 1e-12 >= baseline);
+    }
+
+    #[test]
+    fn unpruned_tree_is_at_least_as_large(ds in arb_dataset()) {
+        let pruned = DecisionTree::fit(&ds, TreeParams::default());
+        let unpruned = DecisionTree::fit(
+            &ds,
+            TreeParams { prune_confidence: 1.0, ..TreeParams::default() },
+        );
+        prop_assert!(pruned.node_count() <= unpruned.node_count());
+        prop_assert!(pruned.leaf_count() >= 1);
+        prop_assert!(pruned.depth() <= TreeParams::default().max_depth);
+    }
+
+    #[test]
+    fn predictions_are_deterministic_and_in_range(ds in arb_dataset()) {
+        let tree = DecisionTree::fit(&ds, TreeParams::default());
+        let rules = RuleSet::from_tree(&tree, &ds);
+        for r in ds.iter() {
+            let c1 = tree.predict(&r.values);
+            let c2 = tree.predict(&r.values);
+            prop_assert_eq!(c1, c2);
+            prop_assert!(c1 < ds.classes().len());
+            let (rc, _) = rules.classify(&r.values);
+            prop_assert!(rc < ds.classes().len());
+        }
+    }
+
+    #[test]
+    fn rule_statistics_match_their_definition(ds in arb_dataset()) {
+        let tree = DecisionTree::fit(&ds, TreeParams::default());
+        let rules = RuleSet::from_tree(&tree, &ds);
+        for rule in &rules.rules {
+            let covered = ds.iter().filter(|r| rule.matches(&r.values)).count();
+            let correct = ds
+                .iter()
+                .filter(|r| rule.matches(&r.values) && r.label == rule.class)
+                .count();
+            prop_assert_eq!(rule.covered, covered);
+            prop_assert_eq!(rule.correct, correct);
+            prop_assert!(rule.confidence() >= 0.0 && rule.confidence() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn matrix_market_parser_never_panics(input in "\\PC*") {
+        // Any garbage must produce Ok or Err, never a panic.
+        let _ = read_matrix_market::<f64, _>(input.as_bytes());
+    }
+
+    #[test]
+    fn matrix_market_parser_handles_binaryish_input(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
+        let _ = read_matrix_market::<f32, _>(&bytes[..]);
+    }
+}
