@@ -34,9 +34,9 @@ pub fn split(graph: &StrengthGraph, seed: u64) -> Vec<PointType> {
 
     // Points with no strong connections at all are immediately fine;
     // the caller's fix-up promotes isolated ones to coarse.
-    for i in 0..n {
+    for (i, s) in state.iter_mut().enumerate() {
         if graph.influencers(i).is_empty() && graph.influences(i).is_empty() {
-            state[i] = State::Fine;
+            *s = State::Fine;
         }
     }
 
@@ -61,9 +61,9 @@ pub fn split(graph: &StrengthGraph, seed: u64) -> Vec<PointType> {
             // All remaining unassigned points are in weight cycles only
             // possible with ties; random weights make this effectively
             // unreachable, but stay safe:
-            for i in 0..n {
-                if state[i] == State::Unassigned {
-                    state[i] = State::Fine;
+            for s in &mut state {
+                if *s == State::Unassigned {
+                    *s = State::Fine;
                 }
             }
             break;

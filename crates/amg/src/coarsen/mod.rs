@@ -109,11 +109,7 @@ mod tests {
 
     #[test]
     fn splitting_bookkeeping() {
-        let s = Splitting::from_types(vec![
-            PointType::Coarse,
-            PointType::Fine,
-            PointType::Coarse,
-        ]);
+        let s = Splitting::from_types(vec![PointType::Coarse, PointType::Fine, PointType::Coarse]);
         assert_eq!(s.n_coarse, 2);
         assert_eq!(s.coarse_index, vec![0, usize::MAX, 1]);
         assert!(s.is_coarse(0));
@@ -128,10 +124,7 @@ mod tests {
         for method in [Coarsening::RugeStuben, Coarsening::Cljp] {
             let s = coarsen(&g, method, 42);
             assert!(s.n_coarse > 0, "{method:?} produced no coarse points");
-            assert!(
-                s.n_coarse < s.len(),
-                "{method:?} failed to coarsen at all"
-            );
+            assert!(s.n_coarse < s.len(), "{method:?} failed to coarsen at all");
             // Every fine point has a strong coarse influencer.
             for i in 0..s.len() {
                 if !s.is_coarse(i) {

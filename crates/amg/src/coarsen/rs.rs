@@ -26,8 +26,7 @@ pub fn split(graph: &StrengthGraph) -> Vec<PointType> {
     let mut measure: Vec<usize> = (0..n).map(|i| graph.influence_count(i)).collect();
 
     // Lazy-update max-heap of (measure, point).
-    let mut heap: BinaryHeap<(usize, usize)> =
-        (0..n).map(|i| (measure[i], i)).collect();
+    let mut heap: BinaryHeap<(usize, usize)> = (0..n).map(|i| (measure[i], i)).collect();
 
     while let Some((m, i)) = heap.pop() {
         if state[i] != State::Unassigned || m != measure[i] {
@@ -93,10 +92,7 @@ mod tests {
         let coarse = types.iter().filter(|&&t| t == PointType::Coarse).count();
         let ratio = coarse as f64 / types.len() as f64;
         // Classical RS on a 5-point stencil gives ~25-50% coarse points.
-        assert!(
-            (0.15..=0.6).contains(&ratio),
-            "coarsening ratio {ratio:.2}"
-        );
+        assert!((0.15..=0.6).contains(&ratio), "coarsening ratio {ratio:.2}");
     }
 
     #[test]

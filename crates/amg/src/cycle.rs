@@ -118,7 +118,10 @@ impl<T: Scalar> DenseLu<T> {
                     p = i;
                 }
             }
-            assert!(max.to_f64() > 1e-300, "singular coarse operator at column {k}");
+            assert!(
+                max.to_f64() > 1e-300,
+                "singular coarse operator at column {k}"
+            );
             if p != k {
                 for j in 0..n {
                     lu.swap(k * n + j, p * n + j);
@@ -192,6 +195,7 @@ pub struct CompiledHierarchy<T: Scalar> {
     /// Dense factorization of the coarsest operator.
     pub coarse_lu: DenseLu<T>,
     lib: KernelLibrary<T>,
+    tuning: Option<smat::CacheStats>,
 }
 
 impl<T: Scalar> CompiledHierarchy<T> {
@@ -209,6 +213,7 @@ impl<T: Scalar> CompiledHierarchy<T> {
     }
 
     fn compile(h: &Hierarchy<T>, engine: Option<&Smat<T>>) -> Self {
+        let before = engine.map(|e| e.cache_stats());
         let tune = |m: &Csr<T>| -> OpApply<T> {
             match engine {
                 Some(e) => OpApply::Tuned(Box::new(e.prepare(m))),
@@ -227,10 +232,14 @@ impl<T: Scalar> CompiledHierarchy<T> {
             })
             .collect();
         let coarse_lu = DenseLu::factor(&h.levels.last().expect("non-empty hierarchy").a);
+        let tuning = engine
+            .zip(before)
+            .map(|(e, before)| e.cache_stats().since(&before));
         Self {
             levels,
             coarse_lu,
             lib: KernelLibrary::new(),
+            tuning,
         }
     }
 
@@ -243,6 +252,13 @@ impl<T: Scalar> CompiledHierarchy<T> {
     /// per-level story).
     pub fn a_formats(&self) -> Vec<Format> {
         self.levels.iter().map(|l| l.a.format()).collect()
+    }
+
+    /// Tuning-cache traffic of this compile (hits/misses/latency across
+    /// every `prepare` call on grid and transfer operators). `None` for
+    /// a plain (untuned) hierarchy.
+    pub fn tuning_stats(&self) -> Option<&smat::CacheStats> {
+        self.tuning.as_ref()
     }
 
     /// Runs one cycle (V or W per `cfg.cycle_type`) on the finest level:
@@ -321,8 +337,8 @@ impl<T: Scalar> CompiledHierarchy<T> {
             let (xs_head, xs_tail) = ws.xs.split_at_mut(level + 1);
             p_op.apply(&self.lib, &xs_tail[0], &mut ws.scratch[level]);
             let x = &mut xs_head[level];
-            for i in 0..x.len() {
-                x[i] += ws.scratch[level][i];
+            for (xi, &si) in x.iter_mut().zip(ws.scratch[level].iter()) {
+                *xi += si;
             }
         }
         self.smooth(level, cfg, cfg.post_sweeps, ws);

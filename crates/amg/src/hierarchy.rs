@@ -107,7 +107,11 @@ pub fn setup<T: Scalar>(a: Csr<T>, config: &AmgConfig) -> Hierarchy<T> {
             return Hierarchy { levels };
         }
         let graph = StrengthGraph::build(&current, config.theta);
-        let splitting = coarsen(&graph, config.coarsening, config.seed.wrapping_add(lvl as u64));
+        let splitting = coarsen(
+            &graph,
+            config.coarsening,
+            config.seed.wrapping_add(lvl as u64),
+        );
         // Coarsening stagnated: everything coarse (e.g. diagonal matrix)
         // or nothing coarse. Finish with this level as the coarsest.
         if splitting.n_coarse == 0 || splitting.n_coarse >= n {
@@ -153,7 +157,10 @@ mod tests {
         let h = setup(a, &AmgConfig::default());
         assert!(h.num_levels() >= 3, "only {} levels", h.num_levels());
         let dims = h.level_dims();
-        assert!(dims.windows(2).all(|w| w[1] < w[0]), "dims must shrink: {dims:?}");
+        assert!(
+            dims.windows(2).all(|w| w[1] < w[0]),
+            "dims must shrink: {dims:?}"
+        );
         assert!(*dims.last().unwrap() <= 64);
         assert!(
             h.operator_complexity() < 5.0,

@@ -37,11 +37,15 @@ mod spgemm;
 mod strength;
 
 pub use coarsen::{Coarsening, PointType, Splitting};
-pub use cycle::{CompiledHierarchy, CompiledLevel, CycleConfig, CycleType, DenseLu, OpApply, Workspace};
+pub use cycle::{
+    CompiledHierarchy, CompiledLevel, CycleConfig, CycleType, DenseLu, OpApply, Workspace,
+};
 pub use hierarchy::{setup, AmgConfig, Hierarchy, Level};
 pub use interp::{direct_interpolation, truncate_interpolation};
-pub use relax::{gauss_seidel, gauss_seidel_backward, jacobi, jacobi_update, residual,
-    symmetric_gauss_seidel, Relaxation};
+pub use relax::{
+    gauss_seidel, gauss_seidel_backward, jacobi, jacobi_update, residual, symmetric_gauss_seidel,
+    Relaxation,
+};
 pub use solver::{cg, AmgSolver, SolveStats};
 pub use spgemm::{rap, spgemm};
 pub use strength::{StrengthGraph, DEFAULT_THETA};
@@ -49,5 +53,7 @@ pub use strength::{StrengthGraph, DEFAULT_THETA};
 /// Stencil generators re-exported for convenience (the paper's AMG
 /// inputs: 7-point and 9-point Laplacians).
 pub mod laplacian {
-    pub use smat_matrix::gen::{laplacian_1d, laplacian_2d_5pt, laplacian_2d_9pt, laplacian_3d_7pt};
+    pub use smat_matrix::gen::{
+        laplacian_1d, laplacian_2d_5pt, laplacian_2d_9pt, laplacian_3d_7pt,
+    };
 }

@@ -70,7 +70,14 @@ pub fn jacobi_update<T: Scalar>(diag: &[T], omega: f64, ax: &[T], b: &[T], x: &m
 /// # Panics
 ///
 /// Panics on vector length mismatches or a zero diagonal entry.
-pub fn jacobi<T: Scalar>(a: &Csr<T>, diag: &[T], omega: f64, b: &[T], x: &mut [T], scratch: &mut [T]) {
+pub fn jacobi<T: Scalar>(
+    a: &Csr<T>,
+    diag: &[T],
+    omega: f64,
+    b: &[T],
+    x: &mut [T],
+    scratch: &mut [T],
+) {
     a.spmv(x, scratch).expect("validated dimensions");
     jacobi_update(diag, omega, scratch, b, x);
 }

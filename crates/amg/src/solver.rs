@@ -84,6 +84,14 @@ impl<T: Scalar> AmgSolver<T> {
         &self.compiled
     }
 
+    /// Tuning-cache traffic of the setup phase (`None` when built
+    /// without SMAT): how many per-operator tuning decisions were
+    /// replayed from the engine's structural-fingerprint cache versus
+    /// computed fresh.
+    pub fn setup_tuning_stats(&self) -> Option<&smat::CacheStats> {
+        self.compiled.tuning_stats()
+    }
+
     /// Solves `A x = b` by repeated V-cycles until
     /// `||r|| <= rel_tol * ||b||` or `max_cycles`.
     ///
@@ -239,7 +247,9 @@ mod tests {
     use smat_matrix::gen::{laplacian_2d_5pt, laplacian_2d_9pt, laplacian_3d_7pt};
 
     fn rhs(n: usize) -> Vec<f64> {
-        (0..n).map(|i| ((i * 37) % 17) as f64 / 17.0 + 0.1).collect()
+        (0..n)
+            .map(|i| ((i * 37) % 17) as f64 / 17.0 + 0.1)
+            .collect()
     }
 
     #[test]
@@ -260,7 +270,10 @@ mod tests {
 
     #[test]
     fn amg_converges_on_9pt_and_3d() {
-        for a in [laplacian_2d_9pt::<f64>(24, 24), laplacian_3d_7pt::<f64>(9, 9, 9)] {
+        for a in [
+            laplacian_2d_9pt::<f64>(24, 24),
+            laplacian_3d_7pt::<f64>(9, 9, 9),
+        ] {
             let n = a.rows();
             let solver = AmgSolver::new(a, &AmgConfig::default(), CycleConfig::default());
             let b = rhs(n);

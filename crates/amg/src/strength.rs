@@ -68,8 +68,7 @@ impl StrengthGraph {
         let mut t_influences = vec![0usize; influencers.len()];
         let mut next = t_ptr.clone();
         for i in 0..n {
-            for k in ptr[i]..ptr[i + 1] {
-                let j = influencers[k];
+            for &j in &influencers[ptr[i]..ptr[i + 1]] {
                 t_influences[next[j]] = i;
                 next[j] += 1;
             }

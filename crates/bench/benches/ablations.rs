@@ -58,10 +58,9 @@ fn bench_tailoring_value(c: &mut Criterion) {
     let feats = extract_features(&probe(Format::Csr));
     let values = feats.as_array();
     let mut group = c.benchmark_group("ablation_rule_tailoring");
-    group.bench_function(
-        format!("full_ruleset_{}_rules", model.ruleset.len()),
-        |b| b.iter(|| model.ruleset.classify(&values)),
-    );
+    group.bench_function(format!("full_ruleset_{}_rules", model.ruleset.len()), |b| {
+        b.iter(|| model.ruleset.classify(&values))
+    });
     group.bench_function(
         format!("tailored_groups_{}_rules", model.groups.rule_count()),
         |b| b.iter(|| model.groups.decide(&values)),
@@ -85,7 +84,9 @@ fn bench_model_vs_measure(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_model_vs_measure");
     group.sample_size(10);
     group.bench_function("prepare_with_model", |b| b.iter(|| engine.prepare(&m)));
-    group.bench_function("prepare_measure_only", |b| b.iter(|| measure_all.prepare(&m)));
+    group.bench_function("prepare_measure_only", |b| {
+        b.iter(|| measure_all.prepare(&m))
+    });
     group.finish();
 }
 

@@ -1,0 +1,57 @@
+//! Tuning-cache payoff: `prepare` on a cold engine (full Figure 7
+//! pipeline — feature extraction, rule groups, execute-and-measure
+//! fallback) versus the structural-fingerprint replay on a warm one.
+//! The cached path should be well over an order of magnitude faster on
+//! any matrix whose cold tuning takes the measured fallback.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smat_bench::train_engine;
+use smat_matrix::gen::{banded, random_uniform};
+
+fn bench_prepare_cache(c: &mut Criterion) {
+    let engine = train_engine::<f64>(200, 0xCAC4E);
+    // A matrix no rule matches confidently: the cold path pays for the
+    // execute-and-measure fallback, the paper's worst-case overhead.
+    let fallback_m = random_uniform::<f64>(8_000, 8_000, 10, 3);
+    // A matrix the ruleset predicts confidently: the cold path is only
+    // feature extraction + rules + conversion.
+    let predicted_m = banded::<f64>(8_000, &[-64, -1, 0, 1, 64], 1.0, 4);
+
+    let mut group = c.benchmark_group("prepare_cache");
+    group.sample_size(15);
+    let mut reports = Vec::new();
+    for (name, m) in [("fallback", &fallback_m), ("predicted", &predicted_m)] {
+        let before = engine.cache_stats();
+        group.bench_function(format!("cold_prepare_{name}"), |b| {
+            b.iter(|| {
+                // Empty the cache so every iteration runs the full
+                // pipeline (the clear is nanoseconds, the tune is not).
+                engine.clear_cache();
+                engine.prepare(m)
+            });
+        });
+        engine.clear_cache();
+        engine.prepare(m); // prime
+        group.bench_function(format!("cached_prepare_{name}"), |b| {
+            b.iter(|| engine.prepare(m));
+        });
+        let d = engine.cache_stats().since(&before);
+        let cold = d.miss_time.as_secs_f64() / d.misses.max(1) as f64;
+        let warm = d.hit_time.as_secs_f64() / d.hits.max(1) as f64;
+        reports.push(format!(
+            "{name}: cold {:.3} ms, cached {:.4} ms  ({:.0}x speedup; {} misses / {} hits)",
+            cold * 1e3,
+            warm * 1e3,
+            cold / warm.max(1e-12),
+            d.misses,
+            d.hits
+        ));
+    }
+    group.finish();
+    for line in reports {
+        println!("mean prepare, {line}");
+    }
+}
+
+criterion_group!(benches, bench_prepare_cache);
+criterion_main!(benches);

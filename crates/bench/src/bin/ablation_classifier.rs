@@ -7,9 +7,7 @@
 use smat::{class_names, Trainer};
 use smat_bench::{corpus_size, harness_config, print_table};
 use smat_kernels::KernelLibrary;
-use smat_learn::{
-    BoostParams, BoostedTrees, DecisionTree, RuleSet, TreeParams,
-};
+use smat_learn::{BoostParams, BoostedTrees, DecisionTree, RuleSet, TreeParams};
 use smat_matrix::gen::{generate_corpus, CorpusSpec};
 use smat_matrix::Csr;
 
@@ -28,7 +26,10 @@ fn main() {
 
     let lib = KernelLibrary::<f64>::new();
     let trainer = Trainer::new(harness_config());
-    eprintln!("searching kernels and labeling {} training matrices...", train_entries.len());
+    eprintln!(
+        "searching kernels and labeling {} training matrices...",
+        train_entries.len()
+    );
     let (choice, _) = trainer.search_kernels(&lib);
     let train_mats: Vec<&Csr<f64>> = train_entries.iter().map(|e| &e.matrix).collect();
     let train_db = trainer.build_database(&lib, &choice, &train_mats);

@@ -28,10 +28,7 @@ fn evaluate<T: Scalar>(count: usize, seed: u64) -> (f64, Vec<Vec<String>>) {
     let out = trainer.train(&matrices).expect("non-empty corpus");
     let engine = Smat::with_config(out.model, harness_config()).expect("precision matches");
 
-    let named: Vec<(String, &Csr<T>)> = test
-        .iter()
-        .map(|e| (e.name.clone(), &e.matrix))
-        .collect();
+    let named: Vec<(String, &Csr<T>)> = test.iter().map(|e| (e.name.clone(), &e.matrix)).collect();
     let (acc, rows) = accuracy(&engine, &named, Duration::from_millis(1));
 
     // Confusion matrix over the held-out set.

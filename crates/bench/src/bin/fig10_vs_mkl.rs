@@ -58,7 +58,14 @@ fn report(rows: &[Row], precision: &str) {
         })
         .collect();
     print_table(
-        &["#", "matrix", "SMAT", "reference", "best routine", "speedup"],
+        &[
+            "#",
+            "matrix",
+            "SMAT",
+            "reference",
+            "best routine",
+            "speedup",
+        ],
         &table,
     );
     let geo: f64 = rows

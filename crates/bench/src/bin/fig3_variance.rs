@@ -63,7 +63,17 @@ fn main() {
         ]);
     }
     print_table(
-        &["#", "matrix", "stands for", "DIA", "ELL", "CSR", "COO", "HYB", "max/min"],
+        &[
+            "#",
+            "matrix",
+            "stands for",
+            "DIA",
+            "ELL",
+            "CSR",
+            "COO",
+            "HYB",
+            "max/min",
+        ],
         &rows,
     );
     println!("\nPaper's observation: the largest gap between formats is about 6x,");

@@ -14,9 +14,11 @@ use smat_matrix::gen::{generate_corpus, CorpusSpec};
 use smat_matrix::Format;
 use std::time::Duration;
 
+type Bin = (&'static str, Box<dyn Fn(&FeatureVector) -> bool>);
+
 struct Histogram {
     title: &'static str,
-    bins: Vec<(&'static str, Box<dyn Fn(&FeatureVector) -> bool>)>,
+    bins: Vec<Bin>,
 }
 
 fn percent_rows(hist: &Histogram, beneficial: &[FeatureVector]) -> Vec<Vec<String>> {
@@ -39,7 +41,7 @@ fn main() {
     println!("== Figure 6: beneficial-matrix distributions over parameter intervals ({count} matrices) ==\n");
     let spec = CorpusSpec {
         count,
-        seed: 0xF16_6,
+        seed: 0xF166,
         min_dim: 512,
         max_dim: 32_768,
     };
@@ -75,53 +77,110 @@ fn main() {
     let hist_a_dia = Histogram {
         title: "(a) DIA winners vs Ndiags",
         bins: vec![
-            ("Ndiags in [0,10)", Box::new(interval(0.0, 10.0, |f| f.ndiags))),
-            ("Ndiags in [10,40)", Box::new(interval(10.0, 40.0, |f| f.ndiags))),
-            ("Ndiags in [40,200)", Box::new(interval(40.0, 200.0, |f| f.ndiags))),
-            ("Ndiags >= 200", Box::new(|f: &FeatureVector| f.ndiags >= 200.0)),
+            (
+                "Ndiags in [0,10)",
+                Box::new(interval(0.0, 10.0, |f| f.ndiags)),
+            ),
+            (
+                "Ndiags in [10,40)",
+                Box::new(interval(10.0, 40.0, |f| f.ndiags)),
+            ),
+            (
+                "Ndiags in [40,200)",
+                Box::new(interval(40.0, 200.0, |f| f.ndiags)),
+            ),
+            (
+                "Ndiags >= 200",
+                Box::new(|f: &FeatureVector| f.ndiags >= 200.0),
+            ),
         ],
     };
     let hist_a_ell = Histogram {
         title: "(a) ELL winners vs max_RD",
         bins: vec![
-            ("max_RD in [0,8)", Box::new(interval(0.0, 8.0, |f| f.max_rd))),
-            ("max_RD in [8,32)", Box::new(interval(8.0, 32.0, |f| f.max_rd))),
-            ("max_RD in [32,128)", Box::new(interval(32.0, 128.0, |f| f.max_rd))),
-            ("max_RD >= 128", Box::new(|f: &FeatureVector| f.max_rd >= 128.0)),
+            (
+                "max_RD in [0,8)",
+                Box::new(interval(0.0, 8.0, |f| f.max_rd)),
+            ),
+            (
+                "max_RD in [8,32)",
+                Box::new(interval(8.0, 32.0, |f| f.max_rd)),
+            ),
+            (
+                "max_RD in [32,128)",
+                Box::new(interval(32.0, 128.0, |f| f.max_rd)),
+            ),
+            (
+                "max_RD >= 128",
+                Box::new(|f: &FeatureVector| f.max_rd >= 128.0),
+            ),
         ],
     };
     // (b) ER_DIA / ER_ELL.
     let hist_b_dia = Histogram {
         title: "(b) DIA winners vs ER_DIA",
         bins: vec![
-            ("ER_DIA in [0,0.5)", Box::new(interval(0.0, 0.5, |f| f.er_dia))),
-            ("ER_DIA in [0.5,0.9)", Box::new(interval(0.5, 0.9, |f| f.er_dia))),
-            ("ER_DIA >= 0.9", Box::new(|f: &FeatureVector| f.er_dia >= 0.9)),
+            (
+                "ER_DIA in [0,0.5)",
+                Box::new(interval(0.0, 0.5, |f| f.er_dia)),
+            ),
+            (
+                "ER_DIA in [0.5,0.9)",
+                Box::new(interval(0.5, 0.9, |f| f.er_dia)),
+            ),
+            (
+                "ER_DIA >= 0.9",
+                Box::new(|f: &FeatureVector| f.er_dia >= 0.9),
+            ),
         ],
     };
     let hist_b_ell = Histogram {
         title: "(b) ELL winners vs ER_ELL",
         bins: vec![
-            ("ER_ELL in [0,0.5)", Box::new(interval(0.0, 0.5, |f| f.er_ell))),
-            ("ER_ELL in [0.5,0.9)", Box::new(interval(0.5, 0.9, |f| f.er_ell))),
-            ("ER_ELL >= 0.9", Box::new(|f: &FeatureVector| f.er_ell >= 0.9)),
+            (
+                "ER_ELL in [0,0.5)",
+                Box::new(interval(0.0, 0.5, |f| f.er_ell)),
+            ),
+            (
+                "ER_ELL in [0.5,0.9)",
+                Box::new(interval(0.5, 0.9, |f| f.er_ell)),
+            ),
+            (
+                "ER_ELL >= 0.9",
+                Box::new(|f: &FeatureVector| f.er_ell >= 0.9),
+            ),
         ],
     };
     // (c) NTdiags_ratio for DIA winners.
     let hist_c = Histogram {
         title: "(c) DIA winners vs NTdiags_ratio",
         bins: vec![
-            ("ratio in [0,0.3)", Box::new(interval(0.0, 0.3, |f| f.ntdiags_ratio))),
-            ("ratio in [0.3,0.7)", Box::new(interval(0.3, 0.7, |f| f.ntdiags_ratio))),
-            ("ratio in [0.7,1.0]", Box::new(|f: &FeatureVector| f.ntdiags_ratio >= 0.7)),
+            (
+                "ratio in [0,0.3)",
+                Box::new(interval(0.0, 0.3, |f| f.ntdiags_ratio)),
+            ),
+            (
+                "ratio in [0.3,0.7)",
+                Box::new(interval(0.3, 0.7, |f| f.ntdiags_ratio)),
+            ),
+            (
+                "ratio in [0.7,1.0]",
+                Box::new(|f: &FeatureVector| f.ntdiags_ratio >= 0.7),
+            ),
         ],
     };
     // (d) var_RD for ELL winners.
     let hist_d = Histogram {
         title: "(d) ELL winners vs var_RD",
         bins: vec![
-            ("var_RD in [0,0.5)", Box::new(interval(0.0, 0.5, |f| f.var_rd))),
-            ("var_RD in [0.5,4)", Box::new(interval(0.5, 4.0, |f| f.var_rd))),
+            (
+                "var_RD in [0,0.5)",
+                Box::new(interval(0.0, 0.5, |f| f.var_rd)),
+            ),
+            (
+                "var_RD in [0.5,4)",
+                Box::new(interval(0.5, 4.0, |f| f.var_rd)),
+            ),
             ("var_RD >= 4", Box::new(|f: &FeatureVector| f.var_rd >= 4.0)),
         ],
     };
@@ -130,9 +189,18 @@ fn main() {
         title: "(e) COO winners vs power-law R",
         bins: vec![
             ("R in [0,1)", Box::new(interval(0.0, 1.0, |f| f.r))),
-            ("R in [1,4]", Box::new(|f: &FeatureVector| (1.0..=4.0).contains(&f.r))),
-            ("R in (4,inf)", Box::new(|f: &FeatureVector| f.r > 4.0 && f.r < R_NOT_SCALE_FREE)),
-            ("no power law", Box::new(|f: &FeatureVector| f.r >= R_NOT_SCALE_FREE)),
+            (
+                "R in [1,4]",
+                Box::new(|f: &FeatureVector| (1.0..=4.0).contains(&f.r)),
+            ),
+            (
+                "R in (4,inf)",
+                Box::new(|f: &FeatureVector| f.r > 4.0 && f.r < R_NOT_SCALE_FREE),
+            ),
+            (
+                "no power law",
+                Box::new(|f: &FeatureVector| f.r >= R_NOT_SCALE_FREE),
+            ),
         ],
     };
 

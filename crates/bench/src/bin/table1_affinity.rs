@@ -15,7 +15,9 @@ use std::time::Duration;
 
 fn main() {
     let count = corpus_size();
-    println!("== Table 1: format affinity across application domains ({count} synthetic matrices) ==\n");
+    println!(
+        "== Table 1: format affinity across application domains ({count} synthetic matrices) ==\n"
+    );
     let spec = CorpusSpec {
         count,
         seed: 0x7AB1E1,
@@ -54,15 +56,38 @@ fn main() {
     let total: usize = totals.iter().sum();
     rows.push(vec![
         "Percentage".into(),
-        format!("{:.0}%", 100.0 * totals[Format::Csr.index()] as f64 / total as f64),
-        format!("{:.0}%", 100.0 * totals[Format::Coo.index()] as f64 / total as f64),
-        format!("{:.0}%", 100.0 * totals[Format::Dia.index()] as f64 / total as f64),
-        format!("{:.0}%", 100.0 * totals[Format::Ell.index()] as f64 / total as f64),
-        format!("{:.0}%", 100.0 * totals[Format::Hyb.index()] as f64 / total as f64),
+        format!(
+            "{:.0}%",
+            100.0 * totals[Format::Csr.index()] as f64 / total as f64
+        ),
+        format!(
+            "{:.0}%",
+            100.0 * totals[Format::Coo.index()] as f64 / total as f64
+        ),
+        format!(
+            "{:.0}%",
+            100.0 * totals[Format::Dia.index()] as f64 / total as f64
+        ),
+        format!(
+            "{:.0}%",
+            100.0 * totals[Format::Ell.index()] as f64 / total as f64
+        ),
+        format!(
+            "{:.0}%",
+            100.0 * totals[Format::Hyb.index()] as f64 / total as f64
+        ),
         total.to_string(),
     ]);
     print_table(
-        &["Application Domain", "CSR", "COO", "DIA", "ELL", "HYB", "Total"],
+        &[
+            "Application Domain",
+            "CSR",
+            "COO",
+            "DIA",
+            "ELL",
+            "HYB",
+            "Total",
+        ],
         &rows,
     );
     println!("\nPaper's split over the UF collection: CSR 63%, COO 21%, DIA 9%, ELL 7%.");

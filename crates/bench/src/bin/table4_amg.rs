@@ -51,7 +51,10 @@ fn bench_case(
     let (t_plain, it_plain, conv_plain) = solve_time(&plain, n);
     let (t_smat, it_smat, conv_smat) = solve_time(&smart, n);
     assert!(conv_plain && conv_smat, "both solvers must converge");
-    assert_eq!(it_plain, it_smat, "identical hierarchies must iterate alike");
+    assert_eq!(
+        it_plain, it_smat,
+        "identical hierarchies must iterate alike"
+    );
 
     vec![
         label.to_string(),

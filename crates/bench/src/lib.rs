@@ -47,8 +47,10 @@ pub fn representative_suite<T: Scalar>(scale: usize) -> Vec<SuiteEntry<T>> {
             paper_format: Format::Dia,
             matrix: banded(
                 k(14_000),
-                &[-402, -400, -200, -199, -13, -12, -11, -10, -9, -8, -7, -6, -5, -4, -3, -2,
-                  -1, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 199, 200, 400, 402],
+                &[
+                    -402, -400, -200, -199, -13, -12, -11, -10, -9, -8, -7, -6, -5, -4, -3, -2, -1,
+                    0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 199, 200, 400, 402,
+                ],
                 1.0,
                 0xF1601,
             ),
@@ -281,7 +283,12 @@ mod tests {
         assert_eq!(suite.len(), 16);
         let count = |f: Format| suite.iter().filter(|e| e.paper_format == f).count();
         assert_eq!(
-            (count(Format::Dia), count(Format::Ell), count(Format::Csr), count(Format::Coo)),
+            (
+                count(Format::Dia),
+                count(Format::Ell),
+                count(Format::Csr),
+                count(Format::Coo)
+            ),
             (4, 4, 4, 4)
         );
         for e in &suite {

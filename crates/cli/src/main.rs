@@ -3,8 +3,9 @@
 //! ```text
 //! smat train    --out MODEL.json [--corpus N] [--seed S] [--single]
 //!               [--min-dim D] [--max-dim D]
+//! smat install  --out INSTALL.json [--probe-dim D]
 //! smat predict  --model MODEL.json MATRIX.mtx
-//! smat tune     --model MODEL.json MATRIX.mtx
+//! smat tune     --model MODEL.json [--install INSTALL.json] [--repeat N] MATRIX.mtx
 //! smat bench    MATRIX.mtx
 //! smat features MATRIX.mtx
 //! smat rules    --model MODEL.json
@@ -14,7 +15,8 @@
 //! format); models are the JSON artifacts produced by `smat train`.
 
 use smat::{
-    label_best_format, tuned_gflops, DecisionPath, Smat, SmatConfig, TrainedModel, Trainer,
+    label_best_format, tuned_gflops, DecisionPath, Installation, Smat, SmatConfig, TrainedModel,
+    Trainer,
 };
 use smat_features::extract_features;
 use smat_kernels::KernelLibrary;
@@ -30,17 +32,21 @@ smat — input adaptive SpMV auto-tuner (SMAT, PLDI'13 reproduction)
 USAGE:
   smat train    --out MODEL.json [--corpus N] [--seed S] [--single]
                 [--min-dim D] [--max-dim D]
+  smat install  --out INSTALL.json [--probe-dim D]
   smat predict  --model MODEL.json MATRIX.mtx
-  smat tune     --model MODEL.json MATRIX.mtx
+  smat tune     --model MODEL.json [--install INSTALL.json] [--repeat N] MATRIX.mtx
   smat bench    MATRIX.mtx
   smat features MATRIX.mtx
   smat rules    --model MODEL.json
 
 COMMANDS:
   train     run the off-line stage on a synthetic corpus and save the model
+  install   run (or reload) the per-machine kernel search and persist its
+            tables; `tune --install` then skips the search at startup
   predict   show the rule-based format decision for a matrix (no timing)
   tune      run the full runtime path (predict or execute-measure) and report
-            the chosen format, kernel and measured GFLOPS
+            the chosen format, kernel, measured GFLOPS and tuning-cache stats;
+            --repeat N prepares the matrix N times to exercise the cache
   bench     measure all four formats exhaustively on a matrix
   features  print the 11 structural feature parameters of a matrix
   rules     print the trained IF-THEN ruleset
@@ -122,6 +128,7 @@ fn run(argv: &[String]) -> Result<(), String> {
     let args = Args::parse(&argv[1..]);
     match command.as_str() {
         "train" => cmd_train(&args),
+        "install" => cmd_install(&args),
         "predict" => cmd_predict(&args),
         "tune" => cmd_tune(&args),
         "bench" => cmd_bench(&args),
@@ -148,8 +155,42 @@ fn load_model(args: &Args) -> Result<TrainedModel, String> {
     TrainedModel::load(path).map_err(|e| format!("loading model {path}: {e}"))
 }
 
-fn engine_for(model: TrainedModel) -> Result<Smat<f64>, String> {
-    Smat::with_config(model, SmatConfig::default()).map_err(|e| e.to_string())
+fn engine_for(model: TrainedModel, args: &Args) -> Result<Smat<f64>, String> {
+    let mut config = SmatConfig::default();
+    if let Some(path) = args.get("install") {
+        config.install_path = Some(path.into());
+    }
+    Smat::with_config(model, config).map_err(|e| e.to_string())
+}
+
+fn cmd_install(args: &Args) -> Result<(), String> {
+    let out = args.get("out").ok_or("--out INSTALL.json is required")?;
+    let mut config = SmatConfig::default();
+    config.probe_dim = args.get_usize("probe-dim", config.probe_dim)?;
+    eprintln!(
+        "running per-machine kernel search (probe dim {})...",
+        config.probe_dim
+    );
+    let (install, from_disk) =
+        Installation::load_or_run::<f64>(out, &config).map_err(|e| e.to_string())?;
+    if from_disk {
+        println!("reloaded existing installation from {out}");
+    } else {
+        println!("installation saved to {out}");
+    }
+    let lib = KernelLibrary::<f64>::new();
+    for table in &install.tables {
+        let chosen = install.kernel_choice.kernel(table.format);
+        let info = lib.info(chosen);
+        println!(
+            "  {}: kernel {} ({})",
+            table.format, info.name, info.strategies
+        );
+        for rec in &table.records {
+            println!("    {}: {:.2} GFLOPS", rec.name, rec.gflops);
+        }
+    }
+    Ok(())
 }
 
 fn cmd_train(args: &Args) -> Result<(), String> {
@@ -169,14 +210,18 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         let entries = generate_corpus::<f32>(&spec);
         let matrices: Vec<&Csr<f32>> = entries.iter().map(|e| &e.matrix).collect();
         eprintln!("training single-precision model...");
-        let result = Trainer::default().train(&matrices).map_err(|e| e.to_string())?;
+        let result = Trainer::default()
+            .train(&matrices)
+            .map_err(|e| e.to_string())?;
         report_training(&result.model);
         result.model.save(out).map_err(|e| e.to_string())?;
     } else {
         let entries = generate_corpus::<f64>(&spec);
         let matrices: Vec<&Csr<f64>> = entries.iter().map(|e| &e.matrix).collect();
         eprintln!("training double-precision model...");
-        let result = Trainer::default().train(&matrices).map_err(|e| e.to_string())?;
+        let result = Trainer::default()
+            .train(&matrices)
+            .map_err(|e| e.to_string())?;
         report_training(&result.model);
         result.model.save(out).map_err(|e| e.to_string())?;
     }
@@ -225,12 +270,11 @@ fn cmd_predict(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_tune(args: &Args) -> Result<(), String> {
-    let model = load_model(args)?;
-    let m = load_matrix(args)?;
-    let engine = engine_for(model)?;
-    let tuned = engine.prepare(&m);
-    match tuned.decision() {
+fn report_decision(tuned: &smat::TunedSpmv<f64>) {
+    if tuned.decision().is_cached() {
+        println!("decision: replayed from the tuning cache");
+    }
+    match tuned.decision().source() {
         DecisionPath::Predicted { confidence } => println!(
             "decision: predicted {} with confidence {:.2}",
             tuned.format(),
@@ -242,7 +286,37 @@ fn cmd_tune(args: &Args) -> Result<(), String> {
                 println!("  measured {f}: {g:.2} GFLOPS");
             }
         }
+        DecisionPath::Cached { .. } => unreachable!("source() unwraps Cached"),
     }
+}
+
+fn cmd_tune(args: &Args) -> Result<(), String> {
+    let model = load_model(args)?;
+    let m = load_matrix(args)?;
+    let engine = engine_for(model, args)?;
+    if let Some(install) = engine.installation() {
+        println!(
+            "installation: {} (probe dim {}, {})",
+            if engine.installation_from_disk() {
+                "reloaded from disk"
+            } else {
+                "searched and saved"
+            },
+            install.probe_dim,
+            install.precision
+        );
+    }
+    let repeat = args.get_usize("repeat", 1)?.max(1);
+    let mut tuned = engine.prepare(&m);
+    for _ in 1..repeat {
+        tuned = engine.prepare(&m);
+    }
+    report_decision(&tuned);
+    let stats = engine.cache_stats();
+    println!(
+        "tuning cache: {} hits / {} misses ({} entries); hit {:?}, miss {:?}",
+        stats.hits, stats.misses, stats.entries, stats.hit_time, stats.miss_time
+    );
     let kernel = engine.library().info(tuned.kernel());
     println!(
         "kernel: {} ({}); tuning cost {:?}",
@@ -262,16 +336,14 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
     eprintln!("searching kernels...");
     let (choice, _) = trainer.search_kernels(&lib);
     let (best, perf) = label_best_format(&lib, &choice, &m, Duration::from_millis(20));
-    println!(
-        "{} x {}, {} nonzeros",
-        m.rows(),
-        m.cols(),
-        m.nnz()
-    );
+    println!("{} x {}, {} nonzeros", m.rows(), m.cols(), m.nnz());
     for f in Format::ALL {
         let g = perf[f.index()];
         if g > 0.0 {
-            println!("  {f}: {g:.2} GFLOPS{}", if f == best { "  <= best" } else { "" });
+            println!(
+                "  {f}: {g:.2} GFLOPS{}",
+                if f == best { "  <= best" } else { "" }
+            );
         } else {
             println!("  {f}: conversion refused (fill limit)");
         }
@@ -282,12 +354,7 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
 fn cmd_features(args: &Args) -> Result<(), String> {
     let m = load_matrix(args)?;
     let f = extract_features(&m);
-    println!(
-        "{} x {}, {} nonzeros",
-        m.rows(),
-        m.cols(),
-        m.nnz()
-    );
+    println!("{} x {}, {} nonzeros", m.rows(), m.cols(), m.nnz());
     for (name, value) in smat_features::ATTRIBUTE_NAMES.iter().zip(f.as_array()) {
         if value >= smat_features::R_NOT_SCALE_FREE {
             println!("  {name:>14} = inf (not scale-free)");

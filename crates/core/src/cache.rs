@@ -1,0 +1,252 @@
+//! The structural-fingerprint tuning cache.
+//!
+//! The paper's AMG application (§7.4, Table 4) re-tunes dynamically
+//! generated operators whose sparsity structure recurs across setup
+//! phases while values change. Every tuning input — the Table 2
+//! features, the rule groups, even the execute-and-measure candidate
+//! set — is a function of structure alone, so a decision computed once
+//! per [`StructuralFingerprint`] can be replayed for any matrix with
+//! the same pattern. A hit skips feature extraction, rule-group
+//! evaluation and fallback measurement; only the (unavoidable) physical
+//! conversion of the new values into the chosen format remains.
+//!
+//! The cache is bounded LRU with interior mutability (a [`Mutex`] map
+//! plus atomic counters), which is what keeps the surrounding
+//! [`crate::Smat`] engine `Send + Sync` behind a shared reference.
+
+use crate::runtime::DecisionPath;
+use smat_features::FeatureVector;
+use smat_kernels::KernelId;
+use smat_matrix::{Format, StructuralFingerprint};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// A replayable tuning decision, everything from a [`crate::TunedSpmv`]
+/// except the matrix payload itself.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct CachedDecision {
+    /// The chosen storage format.
+    pub format: Format,
+    /// The searched kernel for that format.
+    pub kernel: KernelId,
+    /// Features extracted on the original miss (structure-only, so
+    /// valid for every matrix sharing the fingerprint).
+    pub features: FeatureVector,
+    /// How the original decision was reached.
+    pub source: DecisionPath,
+}
+
+/// Hit/miss/latency counters for the tuning cache, as surfaced by
+/// [`crate::Smat::cache_stats`] and the CLI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// `prepare` calls answered from the cache.
+    pub hits: u64,
+    /// `prepare` calls that ran the full tuning pipeline.
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Maximum resident entries (0 = caching disabled).
+    pub capacity: usize,
+    /// Total wall-clock spent in cache-hit `prepare` calls.
+    pub hit_time: Duration,
+    /// Total wall-clock spent in cache-miss `prepare` calls.
+    pub miss_time: Duration,
+}
+
+impl CacheStats {
+    /// Hit fraction over all lookups, or 0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Counter difference `self - earlier`, for reporting the cache
+    /// traffic of one phase (e.g. a single AMG setup).
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            entries: self.entries,
+            capacity: self.capacity,
+            hit_time: self.hit_time.saturating_sub(earlier.hit_time),
+            miss_time: self.miss_time.saturating_sub(earlier.miss_time),
+        }
+    }
+}
+
+/// Bounded LRU map from structural fingerprints to tuning decisions.
+#[derive(Debug)]
+pub(crate) struct TuningCache {
+    /// fingerprint → (last-touch stamp, decision). The stamp-scan
+    /// eviction is O(len), fine at the small capacities tuning uses.
+    map: Mutex<HashMap<StructuralFingerprint, (u64, CachedDecision)>>,
+    capacity: usize,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    hit_nanos: AtomicU64,
+    miss_nanos: AtomicU64,
+}
+
+impl TuningCache {
+    /// An empty cache holding at most `capacity` decisions; 0 disables
+    /// caching (every lookup misses, nothing is stored).
+    pub fn new(capacity: usize) -> Self {
+        TuningCache {
+            map: Mutex::new(HashMap::new()),
+            capacity,
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            hit_nanos: AtomicU64::new(0),
+            miss_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up a fingerprint, refreshing its LRU stamp on hit. Does
+    /// not touch the hit/miss counters — the runtime records those
+    /// together with the elapsed prepare time via [`Self::record`].
+    pub fn get(&self, key: &StructuralFingerprint) -> Option<CachedDecision> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.map.lock().expect("tuning cache poisoned");
+        map.get_mut(key).map(|slot| {
+            slot.0 = stamp;
+            slot.1.clone()
+        })
+    }
+
+    /// Inserts a decision, evicting the least-recently-used entry when
+    /// full.
+    pub fn insert(&self, key: StructuralFingerprint, decision: CachedDecision) {
+        if self.capacity == 0 {
+            return;
+        }
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.map.lock().expect("tuning cache poisoned");
+        if map.len() >= self.capacity && !map.contains_key(&key) {
+            if let Some(oldest) = map
+                .iter()
+                .min_by_key(|(_, (stamp, _))| *stamp)
+                .map(|(k, _)| *k)
+            {
+                map.remove(&oldest);
+            }
+        }
+        map.insert(key, (stamp, decision));
+    }
+
+    /// Records the outcome and latency of one `prepare` call.
+    pub fn record(&self, hit: bool, elapsed: Duration) {
+        let nanos = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hit_nanos.fetch_add(nanos, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.miss_nanos.fetch_add(nanos, Ordering::Relaxed);
+        }
+    }
+
+    /// A consistent snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        let entries = self.map.lock().expect("tuning cache poisoned").len();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries,
+            capacity: self.capacity,
+            hit_time: Duration::from_nanos(self.hit_nanos.load(Ordering::Relaxed)),
+            miss_time: Duration::from_nanos(self.miss_nanos.load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Drops every entry; counters are preserved.
+    pub fn clear(&self) {
+        self.map.lock().expect("tuning cache poisoned").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smat_matrix::gen::{random_uniform, tridiagonal};
+
+    fn decision(format: Format) -> CachedDecision {
+        CachedDecision {
+            format,
+            kernel: KernelId { format, variant: 0 },
+            features: FeatureVector::from_array([1.0; 11]),
+            source: DecisionPath::Predicted { confidence: 0.9 },
+        }
+    }
+
+    #[test]
+    fn insert_then_get_round_trips() {
+        let cache = TuningCache::new(4);
+        let key = tridiagonal::<f64>(50).fingerprint();
+        assert!(cache.get(&key).is_none());
+        cache.insert(key, decision(Format::Dia));
+        assert_eq!(cache.get(&key).unwrap().format, Format::Dia);
+    }
+
+    #[test]
+    fn zero_capacity_disables_storage() {
+        let cache = TuningCache::new(0);
+        let key = tridiagonal::<f64>(50).fingerprint();
+        cache.insert(key, decision(Format::Dia));
+        assert!(cache.get(&key).is_none());
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn lru_evicts_the_stalest_entry() {
+        let cache = TuningCache::new(2);
+        let k1 = tridiagonal::<f64>(10).fingerprint();
+        let k2 = tridiagonal::<f64>(11).fingerprint();
+        let k3 = tridiagonal::<f64>(12).fingerprint();
+        cache.insert(k1, decision(Format::Dia));
+        cache.insert(k2, decision(Format::Ell));
+        // Touch k1 so k2 is now least recent.
+        assert!(cache.get(&k1).is_some());
+        cache.insert(k3, decision(Format::Csr));
+        assert!(cache.get(&k1).is_some(), "recently used entry survives");
+        assert!(cache.get(&k2).is_none(), "LRU entry evicted");
+        assert!(cache.get(&k3).is_some());
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn counters_accumulate_and_diff() {
+        let cache = TuningCache::new(4);
+        cache.record(false, Duration::from_micros(500));
+        cache.record(true, Duration::from_micros(5));
+        cache.record(true, Duration::from_micros(7));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (2, 1));
+        assert_eq!(s.hit_time, Duration::from_micros(12));
+        assert!((s.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        cache.record(true, Duration::from_micros(1));
+        let delta = cache.stats().since(&s);
+        assert_eq!((delta.hits, delta.misses), (1, 0));
+        assert_eq!(delta.hit_time, Duration::from_micros(1));
+    }
+
+    #[test]
+    fn distinct_structures_do_not_collide() {
+        let cache = TuningCache::new(16);
+        let a = random_uniform::<f64>(40, 40, 3, 1);
+        let b = random_uniform::<f64>(40, 40, 3, 2);
+        cache.insert(a.fingerprint(), decision(Format::Csr));
+        assert!(cache.get(&b.fingerprint()).is_none());
+    }
+}

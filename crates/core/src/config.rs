@@ -54,6 +54,15 @@ pub struct SmatConfig {
     /// excluded from the learning model — the paper's §3 knob for
     /// balancing "accuracy and training time" by removing parameters.
     pub excluded_attributes: Vec<usize>,
+    /// Maximum number of tuning decisions retained in the
+    /// structural-fingerprint cache (LRU). 0 disables caching, making
+    /// every [`crate::Smat::prepare`] run the full Figure 7 pipeline.
+    pub cache_capacity: usize,
+    /// When set, [`crate::Smat`] loads the persisted installation
+    /// (per-machine kernel-search tables) from this file — running and
+    /// saving the search on first use — and adopts its
+    /// [`smat_kernels::KernelChoice`] over the model's.
+    pub install_path: Option<std::path::PathBuf>,
 }
 
 impl Default for SmatConfig {
@@ -71,6 +80,8 @@ impl Default for SmatConfig {
             split_seed: 0x5AA7,
             probe_dim: 20_000,
             excluded_attributes: Vec::new(),
+            cache_capacity: 64,
+            install_path: None,
         }
     }
 }

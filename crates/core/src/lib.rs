@@ -43,20 +43,22 @@
 
 #![warn(missing_docs)]
 
+mod cache;
 mod config;
 mod error;
+mod install;
 mod interface;
 mod model;
 mod runtime;
 mod stats;
 mod train;
 
+pub use cache::CacheStats;
 pub use config::{SmatConfig, GROUP_ORDER};
 pub use error::{Result, SmatError};
+pub use install::Installation;
 pub use interface::{smat_dcsr_spmv, smat_scsr_spmv};
 pub use model::{class_names, group_class_order, FormatDecision, TrainStats, TrainedModel};
 pub use runtime::{DecisionPath, Smat, TunedSpmv};
 pub use stats::{accuracy, analyze, basic_csr_time, tuned_gflops, AnalysisRow};
-pub use train::{
-    consultation_order, label_best_format, measure_formats, Trainer, TrainingOutput,
-};
+pub use train::{consultation_order, label_best_format, measure_formats, Trainer, TrainingOutput};

@@ -9,8 +9,10 @@
 //! prediction or falls back to execute-and-measure over the candidate
 //! formats.
 
+use crate::cache::{CacheStats, CachedDecision, TuningCache};
 use crate::config::SmatConfig;
 use crate::error::{Result, SmatError};
+use crate::install::Installation;
 use crate::model::TrainedModel;
 use smat_features::{extract_structure, FeatureVector};
 use smat_kernels::timing::{gflops, reps_for_budget, time_median};
@@ -37,6 +39,30 @@ pub enum DecisionPath {
         /// `(format, gflops)` per benchmarked candidate.
         candidates: Vec<(Format, f64)>,
     },
+    /// Replayed from the structural-fingerprint tuning cache: feature
+    /// extraction, rule evaluation and any fallback measurement were
+    /// skipped; only the physical format conversion ran.
+    Cached {
+        /// How the decision was originally reached, on the cache miss
+        /// that populated the entry.
+        source: Box<DecisionPath>,
+    },
+}
+
+impl DecisionPath {
+    /// The underlying decision, unwrapping any [`DecisionPath::Cached`]
+    /// layers.
+    pub fn source(&self) -> &DecisionPath {
+        match self {
+            DecisionPath::Cached { source } => source.source(),
+            other => other,
+        }
+    }
+
+    /// Whether this decision was served from the tuning cache.
+    pub fn is_cached(&self) -> bool {
+        matches!(self, DecisionPath::Cached { .. })
+    }
 }
 
 /// A matrix prepared for repeated SpMV: physically stored in the tuned
@@ -105,11 +131,18 @@ impl<T: Scalar> TunedSpmv<T> {
 /// engine.spmv(&tuned, &x, &mut y)?;
 /// # Ok::<(), smat::SmatError>(())
 /// ```
+/// The engine is `Send + Sync` — the model and kernel tables are
+/// immutable after construction and the tuning cache synchronizes
+/// internally — so one instance behind an [`std::sync::Arc`] can serve
+/// every thread of an application.
 #[derive(Debug)]
 pub struct Smat<T: Scalar> {
     model: TrainedModel,
     lib: KernelLibrary<T>,
     config: SmatConfig,
+    cache: TuningCache,
+    installation: Option<Installation>,
+    installation_from_disk: bool,
 }
 
 impl<T: Scalar> Smat<T> {
@@ -126,22 +159,66 @@ impl<T: Scalar> Smat<T> {
 
     /// Binds a trained model with an explicit configuration.
     ///
+    /// When [`SmatConfig::install_path`] is set, the persisted
+    /// installation is loaded from that file (or generated and saved on
+    /// first use) and its kernel choice replaces the model's — the
+    /// kernel search encodes the *machine*, not the training corpus.
+    ///
     /// # Errors
     ///
     /// Returns [`SmatError::PrecisionMismatch`] if the model was trained
-    /// for the other floating-point precision.
-    pub fn with_config(model: TrainedModel, config: SmatConfig) -> Result<Self> {
+    /// for the other floating-point precision, or
+    /// [`SmatError::Persist`] if a fresh installation cannot be written
+    /// to `install_path`.
+    pub fn with_config(mut model: TrainedModel, config: SmatConfig) -> Result<Self> {
         if model.precision != T::PRECISION_NAME {
             return Err(SmatError::PrecisionMismatch {
                 model: model.precision.clone(),
                 data: T::PRECISION_NAME,
             });
         }
+        let mut installation = None;
+        let mut installation_from_disk = false;
+        if let Some(path) = &config.install_path {
+            let (installed, from_disk) = Installation::load_or_run::<T>(path, &config)?;
+            model.kernel_choice = installed.kernel_choice.clone();
+            installation = Some(installed);
+            installation_from_disk = from_disk;
+        }
         Ok(Self {
             model,
             lib: KernelLibrary::new(),
+            cache: TuningCache::new(config.cache_capacity),
             config,
+            installation,
+            installation_from_disk,
         })
+    }
+
+    /// Binds a trained model, adopting an explicit (e.g. preloaded)
+    /// installation's kernel choice instead of touching disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmatError::PrecisionMismatch`] if the model or the
+    /// installation disagree with `T`'s precision.
+    pub fn with_installation(
+        mut model: TrainedModel,
+        config: SmatConfig,
+        installation: Installation,
+    ) -> Result<Self> {
+        if installation.precision != T::PRECISION_NAME {
+            return Err(SmatError::PrecisionMismatch {
+                model: installation.precision.clone(),
+                data: T::PRECISION_NAME,
+            });
+        }
+        model.kernel_choice = installation.kernel_choice.clone();
+        let mut config = config;
+        config.install_path = None;
+        let mut engine = Self::with_config(model, config)?;
+        engine.installation = Some(installation);
+        Ok(engine)
     }
 
     /// The trained model.
@@ -159,11 +236,82 @@ impl<T: Scalar> Smat<T> {
         &self.lib
     }
 
-    /// Tunes a matrix: Figure 7's runtime procedure.
+    /// The installation whose kernel choice this engine adopted, if
+    /// one was loaded or generated.
+    pub fn installation(&self) -> Option<&Installation> {
+        self.installation.as_ref()
+    }
+
+    /// Whether the adopted installation was reloaded from disk (as
+    /// opposed to searched in this process).
+    pub fn installation_from_disk(&self) -> bool {
+        self.installation_from_disk
+    }
+
+    /// A snapshot of the tuning cache's hit/miss/latency counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Drops every cached tuning decision (counters are preserved).
+    /// Call after anything that invalidates past measurements, e.g.
+    /// migrating the process to different hardware.
+    pub fn clear_cache(&self) {
+        self.cache.clear();
+    }
+
+    /// Tunes a matrix: Figure 7's runtime procedure, fronted by the
+    /// structural-fingerprint cache.
+    ///
+    /// A repeated sparsity structure (same dimensions and nonzero
+    /// positions; values are free to differ) skips feature extraction,
+    /// rule-group evaluation and the execute-and-measure fallback,
+    /// replaying the cached decision — only the physical conversion of
+    /// the new values runs. The returned decision path is then
+    /// [`DecisionPath::Cached`].
     ///
     /// Never fails — if every exotic conversion is refused the matrix
     /// stays in CSR with the searched CSR kernel.
     pub fn prepare(&self, csr: &Csr<T>) -> TunedSpmv<T> {
+        if self.config.cache_capacity == 0 {
+            return self.tune(csr);
+        }
+        let t0 = Instant::now();
+        let key = csr.fingerprint();
+        if let Some(hit) = self.cache.get(&key) {
+            // Same structure ⇒ the conversion that succeeded on the
+            // miss succeeds again (fill limits are structural); fall
+            // through defensively if it somehow does not.
+            if let Ok(matrix) = AnyMatrix::convert_from_csr(csr, hit.format) {
+                let elapsed = t0.elapsed();
+                self.cache.record(true, elapsed);
+                return TunedSpmv {
+                    matrix,
+                    kernel: hit.kernel,
+                    features: hit.features,
+                    decision: DecisionPath::Cached {
+                        source: Box::new(hit.source),
+                    },
+                    prepare_time: elapsed,
+                };
+            }
+        }
+        let tuned = self.tune(csr);
+        self.cache.insert(
+            key,
+            CachedDecision {
+                format: tuned.format(),
+                kernel: tuned.kernel,
+                features: tuned.features,
+                source: tuned.decision.clone(),
+            },
+        );
+        self.cache.record(false, t0.elapsed());
+        tuned
+    }
+
+    /// The uncached Figure 7 pipeline.
+    fn tune(&self, csr: &Csr<T>) -> TunedSpmv<T> {
         let t0 = Instant::now();
         // Step 1 features; R is filled lazily below.
         let structure = extract_structure(csr);
@@ -230,7 +378,7 @@ impl<T: Scalar> Smat<T> {
             let med = time_median(|| self.lib.run(&any, variant, &x, &mut y), 0, reps);
             let g = gflops(csr.nnz(), med);
             measured.push((format, g));
-            if best.as_ref().map_or(true, |&(_, bg, _)| g > bg) {
+            if best.as_ref().is_none_or(|&(_, bg, _)| g > bg) {
                 best = Some((format, g, any));
             }
         }
@@ -253,18 +401,22 @@ impl<T: Scalar> Smat<T> {
     /// Returns [`SmatError::Matrix`] on vector length mismatch.
     pub fn spmv(&self, tuned: &TunedSpmv<T>, x: &[T], y: &mut [T]) -> Result<()> {
         if x.len() != tuned.matrix.cols() {
-            return Err(SmatError::Matrix(smat_matrix::MatrixError::DimensionMismatch {
-                context: "smat spmv x",
-                expected: tuned.matrix.cols(),
-                found: x.len(),
-            }));
+            return Err(SmatError::Matrix(
+                smat_matrix::MatrixError::DimensionMismatch {
+                    context: "smat spmv x",
+                    expected: tuned.matrix.cols(),
+                    found: x.len(),
+                },
+            ));
         }
         if y.len() != tuned.matrix.rows() {
-            return Err(SmatError::Matrix(smat_matrix::MatrixError::DimensionMismatch {
-                context: "smat spmv y",
-                expected: tuned.matrix.rows(),
-                found: y.len(),
-            }));
+            return Err(SmatError::Matrix(
+                smat_matrix::MatrixError::DimensionMismatch {
+                    context: "smat spmv y",
+                    expected: tuned.matrix.rows(),
+                    found: y.len(),
+                },
+            ));
         }
         self.lib.run(&tuned.matrix, tuned.kernel.variant, x, y);
         Ok(())

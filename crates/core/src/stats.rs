@@ -74,11 +74,15 @@ pub fn analyze<T: Scalar>(
     budget: Duration,
 ) -> AnalysisRow {
     let tuned = engine.prepare(m);
-    let (model_prediction, executed) = match tuned.decision() {
+    // Unwrap a cache replay to the decision that populated the entry,
+    // so a Table 3 row describes how the choice was made, not how it
+    // was served.
+    let (model_prediction, executed) = match tuned.decision().source() {
         DecisionPath::Predicted { .. } => (Some(tuned.format()), Vec::new()),
         DecisionPath::Measured { candidates } => {
             (None, candidates.iter().map(|&(f, _)| f).collect())
         }
+        DecisionPath::Cached { .. } => unreachable!("source() unwraps Cached"),
     };
     let (best_format, format_gflops) =
         label_best_format(engine.library(), &engine.model().kernel_choice, m, budget);

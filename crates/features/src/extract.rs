@@ -80,7 +80,11 @@ pub fn extract_structure<T: Scalar>(m: &Csr<T>) -> StructureFeatures {
     }
 
     let max_rd = row_degrees.iter().copied().max().unwrap_or(0);
-    let aver_rd = if rows > 0 { nnz as f64 / rows as f64 } else { 0.0 };
+    let aver_rd = if rows > 0 {
+        nnz as f64 / rows as f64
+    } else {
+        0.0
+    };
     let var_rd = if rows > 0 {
         row_degrees
             .iter()

@@ -105,10 +105,7 @@ mod tests {
         for target in [1.5f64, 2.0, 2.8] {
             let m = power_law::<f64>(8000, 1000, target, 13);
             let r = fit_power_law(&m);
-            assert!(
-                (r - target).abs() < 0.8,
-                "target {target}, fitted {r}"
-            );
+            assert!((r - target).abs() < 0.8, "target {target}, fitted {r}");
         }
     }
 
@@ -143,7 +140,10 @@ mod tests {
 
     #[test]
     fn empty_and_tiny_inputs() {
-        assert_eq!(fit_power_law_of_degrees(std::iter::empty()), R_NOT_SCALE_FREE);
+        assert_eq!(
+            fit_power_law_of_degrees(std::iter::empty()),
+            R_NOT_SCALE_FREE
+        );
         assert_eq!(
             fit_power_law_of_degrees([3usize, 3, 3].into_iter()),
             R_NOT_SCALE_FREE

@@ -146,7 +146,11 @@ pub fn parallel_unrolled<T: Scalar>(m: &Coo<T>, x: &[T], y: &mut [T]) {
 pub fn kernels<T: Scalar>() -> Vec<KernelEntry<T, Coo<T>>> {
     use Strategy::*;
     vec![
-        ("coo_basic", StrategySet::EMPTY, basic as KernelFn<T, Coo<T>>),
+        (
+            "coo_basic",
+            StrategySet::EMPTY,
+            basic as KernelFn<T, Coo<T>>,
+        ),
         ("coo_unroll", [Unroll].into_iter().collect(), unrolled),
         (
             "coo_parallel",

@@ -69,24 +69,21 @@ pub fn unrolled<T: Scalar>(m: &Csr<T>, x: &[T], y: &mut [T]) {
 #[inline]
 fn run_chunks<T: Scalar>(m: &Csr<T>, x: &[T], y: &mut [T], bounds: &[usize], unroll: bool) {
     let chunks = split_by_bounds(y, bounds);
-    chunks
-        .into_par_iter()
-        .enumerate()
-        .for_each(|(ci, chunk)| {
-            let r0 = bounds[ci];
-            for (i, yr) in chunk.iter_mut().enumerate() {
-                let (idx, val) = m.row(r0 + i);
-                *yr = if unroll {
-                    row_unrolled(idx, val, x)
-                } else {
-                    let mut acc = T::ZERO;
-                    for (&c, &v) in idx.iter().zip(val) {
-                        acc += v * x[c];
-                    }
-                    acc
-                };
-            }
-        });
+    chunks.into_par_iter().enumerate().for_each(|(ci, chunk)| {
+        let r0 = bounds[ci];
+        for (i, yr) in chunk.iter_mut().enumerate() {
+            let (idx, val) = m.row(r0 + i);
+            *yr = if unroll {
+                row_unrolled(idx, val, x)
+            } else {
+                let mut acc = T::ZERO;
+                for (&c, &v) in idx.iter().zip(val) {
+                    acc += v * x[c];
+                }
+                acc
+            };
+        }
+    });
 }
 
 /// Row-parallel CSR SpMV with equal-row chunks.
@@ -161,7 +158,11 @@ pub fn blocked2<T: Scalar>(m: &Csr<T>, x: &[T], y: &mut [T]) {
 pub fn kernels<T: Scalar>() -> Vec<KernelEntry<T, Csr<T>>> {
     use Strategy::*;
     vec![
-        ("csr_basic", StrategySet::EMPTY, basic as KernelFn<T, Csr<T>>),
+        (
+            "csr_basic",
+            StrategySet::EMPTY,
+            basic as KernelFn<T, Csr<T>>,
+        ),
         ("csr_unroll", [Unroll].into_iter().collect(), unrolled),
         ("csr_block2", [Block].into_iter().collect(), blocked2),
         ("csr_parallel", [Parallel].into_iter().collect(), parallel),

@@ -67,6 +67,7 @@ pub fn unrolled<T: Scalar>(m: &Dia<T>, x: &[T], y: &mut [T]) {
 /// Adds diagonal `d`'s contribution to rows `[r0, r1)` of `y_chunk`
 /// (whose index 0 corresponds to global row `r0`).
 #[inline]
+#[allow(clippy::too_many_arguments)]
 fn diag_segment<T: Scalar>(
     m: &Dia<T>,
     d: usize,
@@ -138,6 +139,7 @@ pub fn parallel_unrolled<T: Scalar>(m: &Dia<T>, x: &[T], y: &mut [T]) {
 /// Adds one diagonal's contribution over the global row range
 /// `[from, to)`, optionally 4-way unrolled.
 #[inline]
+#[allow(clippy::too_many_arguments)]
 fn add_diag_range<T: Scalar>(
     m: &Dia<T>,
     d: usize,
@@ -242,7 +244,11 @@ pub fn blocked2_unrolled<T: Scalar>(m: &Dia<T>, x: &[T], y: &mut [T]) {
 pub fn kernels<T: Scalar>() -> Vec<KernelEntry<T, Dia<T>>> {
     use Strategy::*;
     vec![
-        ("dia_basic", StrategySet::EMPTY, basic as KernelFn<T, Dia<T>>),
+        (
+            "dia_basic",
+            StrategySet::EMPTY,
+            basic as KernelFn<T, Dia<T>>,
+        ),
         ("dia_unroll", [Unroll].into_iter().collect(), unrolled),
         ("dia_block2", [Block].into_iter().collect(), blocked2),
         (

@@ -216,7 +216,11 @@ pub fn parallel_blocked2<T: Scalar>(m: &Ell<T>, x: &[T], y: &mut [T]) {
 pub fn kernels<T: Scalar>() -> Vec<KernelEntry<T, Ell<T>>> {
     use Strategy::*;
     vec![
-        ("ell_basic", StrategySet::EMPTY, basic as KernelFn<T, Ell<T>>),
+        (
+            "ell_basic",
+            StrategySet::EMPTY,
+            basic as KernelFn<T, Ell<T>>,
+        ),
         ("ell_unroll", [Unroll].into_iter().collect(), unrolled),
         ("ell_block2", [Block].into_iter().collect(), blocked2),
         (
@@ -269,7 +273,13 @@ mod tests {
         let csr = Csr::<f64>::from_triplets(
             5,
             5,
-            &[(0, 0, 1.0), (0, 4, 2.0), (0, 2, 5.0), (2, 1, 3.0), (4, 4, 4.0)],
+            &[
+                (0, 0, 1.0),
+                (0, 4, 2.0),
+                (0, 2, 5.0),
+                (2, 1, 3.0),
+                (4, 4, 4.0),
+            ],
         )
         .unwrap();
         let ell = Ell::from_csr(&csr).unwrap();

@@ -56,7 +56,11 @@ pub fn parallel<T: Scalar>(m: &Hyb<T>, x: &[T], y: &mut [T]) {
 pub fn kernels<T: Scalar>() -> Vec<KernelEntry<T, Hyb<T>>> {
     use Strategy::*;
     vec![
-        ("hyb_basic", StrategySet::EMPTY, basic as KernelFn<T, Hyb<T>>),
+        (
+            "hyb_basic",
+            StrategySet::EMPTY,
+            basic as KernelFn<T, Hyb<T>>,
+        ),
         ("hyb_unroll", [Unroll].into_iter().collect(), unrolled),
         ("hyb_parallel", [Parallel].into_iter().collect(), parallel),
     ]

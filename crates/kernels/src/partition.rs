@@ -40,10 +40,10 @@ pub fn nnz_balanced_bounds<T: Scalar>(m: &Csr<T>, parts: usize) -> Vec<usize> {
     let ptr = m.row_ptr();
     let mut bounds = vec![0usize];
     let mut next_target = target;
-    for r in 1..rows {
-        if ptr[r] >= next_target && *bounds.last().expect("non-empty") < r {
+    for (r, &p) in ptr.iter().enumerate().take(rows).skip(1) {
+        if p >= next_target && *bounds.last().expect("non-empty") < r {
             bounds.push(r);
-            next_target = ptr[r] + target;
+            next_target = p + target;
         }
     }
     bounds.push(rows);

@@ -17,6 +17,9 @@ use crate::timing::{gflops, reps_for_budget, time_median};
 use smat_matrix::{Coo, Csr, Dia, Scalar};
 use std::time::Duration;
 
+/// A boxed SpMV routine `(x, y)` closed over its matrix.
+type SpmvClosure<'a, T> = Box<dyn FnMut(&[T], &mut [T]) + 'a>;
+
 /// Reference CSR SpMV (`mkl_xcsrgemv` stand-in): row-parallel basic
 /// kernel.
 ///
@@ -67,7 +70,7 @@ pub fn best_of_reference<T: Scalar>(m: &Csr<T>, budget: Duration) -> (f64, &'sta
     let nnz = m.nnz();
     let mut best = (0.0f64, "none");
 
-    let mut consider = |name: &'static str, mut run: Box<dyn FnMut(&[T], &mut [T]) + '_>| {
+    let mut consider = |name: &'static str, mut run: SpmvClosure<'_, T>| {
         let t0 = std::time::Instant::now();
         run(&x, &mut y);
         let one = t0.elapsed();

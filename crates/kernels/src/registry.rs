@@ -114,10 +114,7 @@ impl<T: Scalar> KernelLibrary<T> {
     /// Total number of implementations across all formats (the paper
     /// reports "up to 24 in current SMAT system").
     pub fn total_variants(&self) -> usize {
-        Format::ALL
-            .into_iter()
-            .map(|f| self.variant_count(f))
-            .sum()
+        Format::ALL.into_iter().map(|f| self.variant_count(f)).sum()
     }
 
     /// Metadata for every variant of `format`, indexed by variant id.

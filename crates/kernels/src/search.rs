@@ -50,8 +50,7 @@ impl PerfTable {
     /// Implementation score = sum of scores of its strategies; ties break
     /// toward measured throughput.
     pub fn scoreboard(&self) -> Scoreboard {
-        let mut scores: Vec<(Strategy, i32)> =
-            Strategy::ALL.into_iter().map(|s| (s, 0)).collect();
+        let mut scores: Vec<(Strategy, i32)> = Strategy::ALL.into_iter().map(|s| (s, 0)).collect();
         for (i, a) in self.records.iter().enumerate() {
             for b in &self.records[i..] {
                 let (less, more) = if a.strategies.is_one_less_than(b.strategies) {
@@ -305,7 +304,11 @@ mod tests {
     #[test]
     fn fastest_variant_is_argmax() {
         use Strategy::*;
-        let t = table(&[("a", &[], 1.0), ("b", &[Unroll], 3.0), ("c", &[Parallel], 2.0)]);
+        let t = table(&[
+            ("a", &[], 1.0),
+            ("b", &[Unroll], 3.0),
+            ("c", &[Parallel], 2.0),
+        ]);
         assert_eq!(t.fastest_variant(), 1);
     }
 

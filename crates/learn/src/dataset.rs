@@ -225,7 +225,10 @@ impl Dataset {
     /// Panics if an index is out of range.
     pub fn neutralize(&self, attrs: &[usize]) -> Self {
         for &a in attrs {
-            assert!(a < self.attributes.len(), "attribute index {a} out of range");
+            assert!(
+                a < self.attributes.len(),
+                "attribute index {a} out of range"
+            );
         }
         let mut out = self.clone();
         for r in &mut out.records {

@@ -43,8 +43,7 @@ pub use boost::{BoostParams, BoostedTrees};
 pub use dataset::{Dataset, DatasetError, Record};
 pub use eval::{cross_validate, ConfusionMatrix, CrossValidation};
 pub use order::{
-    order_by_contribution, tailor, ClassGroup, GroupDecision, RuleGroups,
-    DEFAULT_TAILOR_TOLERANCE,
+    order_by_contribution, tailor, ClassGroup, GroupDecision, RuleGroups, DEFAULT_TAILOR_TOLERANCE,
 };
 pub use prune::pessimistic_errors;
 pub use rules::{Condition, Op, Rule, RuleSet};

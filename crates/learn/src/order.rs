@@ -41,7 +41,7 @@ pub fn order_by_contribution(rs: &RuleSet, ds: &Dataset) -> RuleSet {
             let correct = count_correct(&current, ds);
             current.rules.pop();
             let key = (correct, cand.confidence());
-            if best.map_or(true, |(_, bc, bconf)| key > (bc, bconf)) {
+            if best.is_none_or(|(_, bc, bconf)| key > (bc, bconf)) {
                 best = Some((i, correct, cand.confidence()));
             }
         }
@@ -134,10 +134,7 @@ impl RuleGroups {
                     .filter(|r| r.class == class)
                     .cloned()
                     .collect();
-                let confidence = rules
-                    .iter()
-                    .map(|r| r.confidence())
-                    .fold(0.0f64, f64::max);
+                let confidence = rules.iter().map(|r| r.confidence()).fold(0.0f64, f64::max);
                 ClassGroup {
                     class,
                     rules,

@@ -137,7 +137,11 @@ impl RuleSet {
         // rules that no longer cover anything.
         let mut seen: Vec<Rule> = Vec::new();
         for r in rules {
-            if r.covered > 0 && !seen.iter().any(|s| s.conditions == r.conditions && s.class == r.class) {
+            if r.covered > 0
+                && !seen
+                    .iter()
+                    .any(|s| s.conditions == r.conditions && s.class == r.class)
+            {
                 seen.push(r);
             }
         }
@@ -276,7 +280,7 @@ fn simplify(rule: &mut Rule, ds: &Dataset) {
             candidate.conditions.remove(i);
             candidate.recount(ds);
             let l = candidate.laplace();
-            if l >= base && best.map_or(true, |(_, bl, _, _)| l > bl) {
+            if l >= base && best.is_none_or(|(_, bl, _, _)| l > bl) {
                 best = Some((i, l, candidate.covered, candidate.correct));
             }
         }

@@ -274,7 +274,7 @@ fn best_split(ds: &Dataset, indices: &[usize], min_leaf: usize) -> Option<(usize
             }
             let ratio = gain / split_info;
             let threshold = 0.5 * (v + v_next);
-            if best.map_or(true, |(_, _, r)| ratio > r) {
+            if best.is_none_or(|(_, _, r)| ratio > r) {
                 best = Some((attr, threshold, ratio));
             }
         }
@@ -327,7 +327,10 @@ mod tests {
 
     fn threshold_dataset() -> Dataset {
         // Perfectly separable on x at 3.5.
-        let mut ds = Dataset::new(vec!["x".into(), "noise".into()], vec!["lo".into(), "hi".into()]);
+        let mut ds = Dataset::new(
+            vec!["x".into(), "noise".into()],
+            vec!["lo".into(), "hi".into()],
+        );
         for i in 0..40 {
             let x = (i % 8) as f64;
             let label = usize::from(x > 3.5);
@@ -344,7 +347,10 @@ mod tests {
         assert_eq!(tree.accuracy(&threshold_dataset()), 1.0);
         // One split suffices.
         assert_eq!(tree.leaf_count(), 2);
-        if let NodeKind::Split { attr, threshold, .. } = &tree.root.kind {
+        if let NodeKind::Split {
+            attr, threshold, ..
+        } = &tree.root.kind
+        {
             assert_eq!(*attr, 0, "must split on x, not noise");
             assert!(*threshold > 3.0 && *threshold < 4.0);
         } else {

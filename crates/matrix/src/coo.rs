@@ -104,7 +104,7 @@ impl<T: Scalar> Coo<T> {
         let mut row_idx = Vec::with_capacity(csr.nnz());
         for r in 0..csr.rows() {
             let deg = csr.row_degree(r);
-            row_idx.extend(std::iter::repeat(r).take(deg));
+            row_idx.extend(std::iter::repeat_n(r, deg));
         }
         Self {
             rows: csr.rows(),
@@ -236,10 +236,7 @@ mod tests {
         let coo = Coo::from_csr(&example_csr());
         assert_eq!(coo.row_idx(), &[0, 0, 1, 1, 2, 2, 2, 3, 3]);
         assert_eq!(coo.col_idx(), &[0, 1, 1, 2, 0, 2, 3, 1, 3]);
-        assert_eq!(
-            coo.values(),
-            &[1.0, 5.0, 2.0, 6.0, 8.0, 3.0, 7.0, 9.0, 4.0]
-        );
+        assert_eq!(coo.values(), &[1.0, 5.0, 2.0, 6.0, 8.0, 3.0, 7.0, 9.0, 4.0]);
     }
 
     #[test]
@@ -250,14 +247,7 @@ mod tests {
 
     #[test]
     fn new_sorts_and_merges() {
-        let coo = Coo::new(
-            2,
-            2,
-            vec![1, 0, 1],
-            vec![0, 1, 0],
-            vec![1.0, 2.0, 3.0],
-        )
-        .unwrap();
+        let coo = Coo::new(2, 2, vec![1, 0, 1], vec![0, 1, 0], vec![1.0, 2.0, 3.0]).unwrap();
         assert_eq!(coo.nnz(), 2);
         assert_eq!(coo.row_idx(), &[0, 1]);
         assert_eq!(coo.values(), &[2.0, 4.0]);

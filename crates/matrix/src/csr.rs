@@ -415,12 +415,12 @@ impl<T: Scalar> Csr<T> {
                 found: y.len(),
             });
         }
-        for r in 0..self.rows {
+        for (r, out) in y.iter_mut().enumerate() {
             let mut acc = T::ZERO;
             for k in self.row_ptr[r]..self.row_ptr[r + 1] {
                 acc += self.values[k] * x[self.col_idx[k]];
             }
-            y[r] = acc;
+            *out = acc;
         }
         Ok(())
     }
@@ -534,20 +534,14 @@ mod tests {
         let m = example();
         assert_eq!(m.row_ptr(), &[0, 2, 4, 7, 9]);
         assert_eq!(m.col_idx(), &[0, 1, 1, 2, 0, 2, 3, 1, 3]);
-        assert_eq!(
-            m.values(),
-            &[1.0, 5.0, 2.0, 6.0, 8.0, 3.0, 7.0, 9.0, 4.0]
-        );
+        assert_eq!(m.values(), &[1.0, 5.0, 2.0, 6.0, 8.0, 3.0, 7.0, 9.0, 4.0]);
     }
 
     #[test]
     fn from_triplets_unsorted_and_duplicates() {
-        let m = Csr::<f64>::from_triplets(
-            2,
-            2,
-            &[(1, 1, 1.0), (0, 0, 2.0), (1, 1, 3.0), (0, 1, -1.0)],
-        )
-        .unwrap();
+        let m =
+            Csr::<f64>::from_triplets(2, 2, &[(1, 1, 1.0), (0, 0, 2.0), (1, 1, 3.0), (0, 1, -1.0)])
+                .unwrap();
         assert_eq!(m.get(1, 1), Some(4.0));
         assert_eq!(m.get(0, 0), Some(2.0));
         assert_eq!(m.nnz(), 3);
@@ -622,7 +616,7 @@ mod tests {
         let d = m.to_dense();
         assert_eq!(d[0], 1.0);
         assert_eq!(d[2 * 4 + 3], 7.0);
-        assert_eq!(d[1 * 4 + 0], 0.0);
+        assert_eq!(d[4], 0.0);
     }
 
     #[test]

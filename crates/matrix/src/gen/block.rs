@@ -37,7 +37,7 @@ pub fn block_sparse<T: Scalar>(
 ) -> Csr<T> {
     assert!(n > 0 && block_size > 0, "empty matrix requested");
     assert!(
-        n % block_size == 0,
+        n.is_multiple_of(block_size),
         "dimension {n} not a multiple of block size {block_size}"
     );
     let nb = n / block_size;
@@ -86,7 +86,7 @@ pub fn block_sparse_varied<T: Scalar>(
 ) -> Csr<T> {
     assert!(n > 0 && block_size > 0, "empty matrix requested");
     assert!(
-        n % block_size == 0,
+        n.is_multiple_of(block_size),
         "dimension {n} not a multiple of block size {block_size}"
     );
     let nb = n / block_size;

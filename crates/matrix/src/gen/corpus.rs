@@ -10,8 +10,9 @@
 
 use super::block::block_sparse_varied;
 use super::random::random_skewed;
-use super::{banded, fixed_degree, laplacian_2d_5pt, laplacian_2d_9pt, laplacian_3d_7pt,
-            power_law};
+use super::{
+    banded, fixed_degree, laplacian_2d_5pt, laplacian_2d_9pt, laplacian_3d_7pt, power_law,
+};
 use crate::{Csr, Scalar};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -362,12 +363,7 @@ mod tests {
             .count();
         let diag = corpus
             .iter()
-            .filter(|e| {
-                matches!(
-                    e.archetype,
-                    Archetype::TrueDiagonal | Archetype::Stencil
-                )
-            })
+            .filter(|e| matches!(e.archetype, Archetype::TrueDiagonal | Archetype::Stencil))
             .count();
         assert!(unstructured > diag, "{unstructured} vs {diag}");
     }

@@ -149,7 +149,7 @@ mod tests {
     #[test]
     fn laplacian_9pt_interior_degree() {
         let m = laplacian_2d_9pt::<f64>(4, 4);
-        let interior = 1 * 4 + 1;
+        let interior = 4 + 1;
         assert_eq!(m.row_degree(interior), 9);
         assert_eq!(m.get(interior, interior), Some(8.0));
     }
@@ -158,7 +158,7 @@ mod tests {
     fn laplacian_3d_7pt_structure() {
         let m = laplacian_3d_7pt::<f64>(3, 3, 3);
         assert_eq!(m.rows(), 27);
-        let center = (1 * 3 + 1) * 3 + 1;
+        let center = (3 + 1) * 3 + 1;
         assert_eq!(m.row_degree(center), 7);
         assert_eq!(m.get(center, center), Some(6.0));
         let dia = Dia::from_csr(&m).unwrap();

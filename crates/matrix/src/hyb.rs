@@ -86,8 +86,7 @@ impl<T: Scalar> Hyb<T> {
             .expect("triplets from a valid csr are in bounds");
         let ell = Ell::from_csr_with_limit(&ell_csr, usize::MAX)
             .expect("width-capped part never exceeds an unlimited budget");
-        let coo =
-            Coo::new(rows, cols, coo_r, coo_c, coo_v).expect("entries from a valid csr");
+        let coo = Coo::new(rows, cols, coo_r, coo_c, coo_v).expect("entries from a valid csr");
         Self {
             rows,
             cols,

@@ -83,7 +83,10 @@ pub fn read_matrix_market<T: Scalar, R: Read>(reader: R) -> Result<Csr<T>> {
     if toks[2] != "coordinate" {
         return Err(MatrixError::Parse {
             line: lno,
-            message: format!("unsupported format {:?}, only coordinate is supported", toks[2]),
+            message: format!(
+                "unsupported format {:?}, only coordinate is supported",
+                toks[2]
+            ),
         });
     }
     let field = match toks[3].as_str() {
@@ -282,12 +285,8 @@ mod tests {
 
     #[test]
     fn write_read_round_trip() {
-        let m = Csr::<f64>::from_triplets(
-            3,
-            4,
-            &[(0, 3, 1.25), (1, 0, -2.0), (2, 2, 0.5)],
-        )
-        .unwrap();
+        let m =
+            Csr::<f64>::from_triplets(3, 4, &[(0, 3, 1.25), (1, 0, -2.0), (2, 2, 0.5)]).unwrap();
         let mut buf = Vec::new();
         write_matrix_market(&m, &mut buf).unwrap();
         let back = read_matrix_market::<f64, _>(&buf[..]).unwrap();

@@ -36,6 +36,7 @@ mod csr;
 mod dia;
 mod ell;
 mod error;
+mod fingerprint;
 mod hyb;
 mod scalar;
 
@@ -49,5 +50,6 @@ pub use csr::{Csr, Iter as CsrIter};
 pub use dia::{Dia, DEFAULT_DIA_FILL_LIMIT};
 pub use ell::{Ell, DEFAULT_ELL_FILL_LIMIT};
 pub use error::{MatrixError, Result};
+pub use fingerprint::StructuralFingerprint;
 pub use hyb::{Hyb, HYB_WIDTH_ROW_FRACTION};
 pub use scalar::Scalar;

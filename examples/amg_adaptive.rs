@@ -31,7 +31,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let plain = AmgSolver::new(a.clone(), &amg_cfg, cycle);
     let tuned = AmgSolver::with_smat(a, &amg_cfg, cycle, &engine);
 
-    println!("hierarchy: {} levels, dims {:?}", plain.hierarchy().num_levels(), plain.hierarchy().level_dims());
+    println!(
+        "hierarchy: {} levels, dims {:?}",
+        plain.hierarchy().num_levels(),
+        plain.hierarchy().level_dims()
+    );
     println!(
         "SMAT per-level A formats: {}",
         tuned
@@ -42,6 +46,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .collect::<Vec<_>>()
             .join(" -> ")
     );
+    if let Some(cache) = tuned.setup_tuning_stats() {
+        println!(
+            "setup tuning cache: {} hits / {} misses (hit {:?}, miss {:?})",
+            cache.hits, cache.misses, cache.hit_time, cache.miss_time
+        );
+    }
+
+    // Re-running setup on the same operator replays every decision from
+    // the engine's structural-fingerprint cache.
+    let retuned = AmgSolver::with_smat(laplacian_2d_9pt::<f64>(n, n), &amg_cfg, cycle, &engine);
+    if let Some(cache) = retuned.setup_tuning_stats() {
+        println!(
+            "re-setup tuning cache: {} hits / {} misses",
+            cache.hits, cache.misses
+        );
+    }
 
     let b = vec![1.0; dim];
     for (label, solver) in [("CSR-only AMG", &plain), ("SMAT AMG   ", &tuned)] {

@@ -34,11 +34,17 @@ fn explore(engine: &Smat<f64>, name: &str, m: &Csr<f64>) {
     }
     println!("  -> exhaustive best: {best}");
     let tuned = engine.prepare(m);
-    let how = match tuned.decision() {
+    let how = match tuned.decision().source() {
         DecisionPath::Predicted { confidence } => format!("predicted (conf {confidence:.2})"),
         DecisionPath::Measured { .. } => "execute-measure fallback".to_string(),
+        DecisionPath::Cached { .. } => unreachable!("source() unwraps Cached"),
     };
-    println!("SMAT decision: {} via {how}\n", tuned.format());
+    let cached = if tuned.decision().is_cached() {
+        " [cache replay]"
+    } else {
+        ""
+    };
+    println!("SMAT decision: {} via {how}{cached}\n", tuned.format());
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -55,8 +61,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let gallery: Vec<(&str, Csr<f64>)> = vec![
-        ("true-diagonal banded", banded(8_000, &[-32, -1, 0, 1, 32], 1.0, 1)),
-        ("scattered banded", banded(8_000, &[-32, -1, 0, 1, 32], 0.35, 1)),
+        (
+            "true-diagonal banded",
+            banded(8_000, &[-32, -1, 0, 1, 32], 1.0, 1),
+        ),
+        (
+            "scattered banded",
+            banded(8_000, &[-32, -1, 0, 1, 32], 0.35, 1),
+        ),
         ("uniform degree 8", fixed_degree(8_000, 8_000, 8, 0, 2)),
         ("power-law graph", power_law(8_000, 800, 2.0, 3)),
         (

@@ -32,12 +32,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for (name, a) in [
         ("tridiagonal 10k", tridiagonal::<f64>(10_000)),
-        ("power-law graph 10k", power_law::<f64>(10_000, 1_000, 2.0, 7)),
+        (
+            "power-law graph 10k",
+            power_law::<f64>(10_000, 1_000, 2.0, 7),
+        ),
     ] {
         let x = vec![1.0; a.cols()];
         let mut y = vec![0.0; a.rows()];
         let tuned = smat_dcsr_spmv(&engine, &a, &x, &mut y)?;
-        let how = match tuned.decision() {
+        let how = match tuned.decision().source() {
             DecisionPath::Predicted { confidence } => {
                 format!("rule prediction (confidence {confidence:.2})")
             }
@@ -45,6 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 "execute-measure over {:?}",
                 candidates.iter().map(|(f, _)| f.name()).collect::<Vec<_>>()
             ),
+            DecisionPath::Cached { .. } => unreachable!("source() unwraps Cached"),
         };
         println!(
             "{name}: SMAT chose {} via {how}; tuning cost {:?}",

@@ -103,6 +103,43 @@ fn gauss_seidel_hierarchy_with_smat_transfer_operators() {
 }
 
 #[test]
+fn amg_setup_reports_cache_traffic_and_resetup_hits() {
+    let e = engine();
+    let a = laplacian_2d_9pt::<f64>(32, 32);
+    let n = a.rows();
+    let cfg = AmgConfig::default();
+    let cycle = CycleConfig::default();
+
+    let plain = AmgSolver::new(a.clone(), &cfg, cycle);
+    assert!(
+        plain.setup_tuning_stats().is_none(),
+        "plain setup never tunes"
+    );
+
+    let first = AmgSolver::with_smat(a.clone(), &cfg, cycle, &e);
+    let stats = first
+        .setup_tuning_stats()
+        .expect("tuned setup reports stats");
+    let prepares = stats.hits + stats.misses;
+    assert!(prepares >= 3, "every grid/transfer operator is tuned");
+    assert_eq!(stats.hits, 0, "a cold engine cannot hit");
+
+    // Same operator again: identical hierarchy structure, so every
+    // per-operator decision replays from the fingerprint cache.
+    let second = AmgSolver::with_smat(a, &cfg, cycle, &e);
+    let stats = second
+        .setup_tuning_stats()
+        .expect("tuned setup reports stats");
+    assert_eq!(stats.hits + stats.misses, prepares);
+    assert_eq!(stats.misses, 0, "warm re-setup must be all hits");
+
+    // And the warm solver still converges like the cold one.
+    let b = rhs(n);
+    let mut x = vec![0.0; n];
+    assert!(second.solve(&b, &mut x, 1e-9, 100).converged);
+}
+
+#[test]
 fn per_level_formats_are_structurally_sane() {
     // Figure 1's qualitative claim: the hierarchy's operators differ
     // enough that per-level decisions vary, and the finest operator (a

@@ -28,7 +28,9 @@ fn trained_engine_is_correct_on_every_archetype() {
     ];
     for (name, m) in &cases {
         let tuned = engine.prepare(m);
-        let x: Vec<f64> = (0..m.cols()).map(|i| ((i % 13) as f64) * 0.5 - 3.0).collect();
+        let x: Vec<f64> = (0..m.cols())
+            .map(|i| ((i % 13) as f64) * 0.5 - 3.0)
+            .collect();
         let mut y = vec![0.0; m.rows()];
         engine.spmv(&tuned, &x, &mut y).unwrap();
         let mut expect = vec![0.0; m.rows()];
@@ -79,7 +81,9 @@ fn decision_paths_report_what_happened() {
     ];
     for m in &suite {
         let tuned = engine.prepare(m);
-        match tuned.decision() {
+        // First sight of each structure: never a cache replay.
+        assert!(!tuned.decision().is_cached());
+        match tuned.decision().source() {
             DecisionPath::Predicted { confidence } => {
                 assert!(*confidence >= engine.config().confidence_threshold);
             }
@@ -88,8 +92,83 @@ fn decision_paths_report_what_happened() {
                 // The chosen format must be among the measured ones.
                 assert!(candidates.iter().any(|&(f, _)| f == tuned.format()));
             }
+            DecisionPath::Cached { .. } => unreachable!("source() unwraps Cached"),
         }
     }
+}
+
+#[test]
+fn repeated_structure_is_served_from_the_cache() {
+    let engine = train_engine(7);
+    let a = banded::<f64>(2_000, &[-4, 0, 4], 1.0, 1);
+    // Same sparsity pattern, different values.
+    let mut b = a.clone();
+    for v in b.values_mut() {
+        *v *= -2.5;
+    }
+
+    let cold = engine.prepare(&a);
+    assert!(!cold.decision().is_cached());
+    let warm = engine.prepare(&b);
+    assert!(
+        warm.decision().is_cached(),
+        "second prepare on the same structure must replay the cache"
+    );
+    // The replay reproduces the original decision and kernel...
+    assert_eq!(warm.format(), cold.format());
+    assert_eq!(warm.kernel(), cold.kernel());
+    assert_eq!(warm.decision().source(), cold.decision().source());
+    // ...but converts the *new* values.
+    let x: Vec<f64> = (0..b.cols()).map(|i| 1.0 + (i % 7) as f64).collect();
+    let mut y = vec![0.0; b.rows()];
+    engine.spmv(&warm, &x, &mut y).unwrap();
+    let mut expect = vec![0.0; b.rows()];
+    b.spmv(&x, &mut expect).unwrap();
+    assert!(max_abs_diff(&y, &expect) < 1e-9);
+
+    let stats = engine.cache_stats();
+    assert_eq!((stats.hits, stats.misses), (1, 1));
+    assert_eq!(stats.entries, 1);
+
+    // Clearing the cache forces a fresh tuning pass.
+    engine.clear_cache();
+    assert!(!engine.prepare(&a).decision().is_cached());
+}
+
+#[test]
+fn engine_is_shareable_across_threads() {
+    // Compile-time Send + Sync assertion plus a live concurrent run.
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Smat<f64>>();
+    assert_send_sync::<Smat<f32>>();
+
+    let engine = std::sync::Arc::new(train_engine(8));
+    let m = std::sync::Arc::new(random_uniform::<f64>(1_500, 1_500, 6, 3));
+    let mut expect = vec![0.0; m.rows()];
+    let x: Vec<f64> = (0..m.cols()).map(|i| (i % 5) as f64).collect();
+    m.spmv(&x, &mut expect).unwrap();
+
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let engine = engine.clone();
+            let m = m.clone();
+            let x = x.clone();
+            let expect = expect.clone();
+            std::thread::spawn(move || {
+                let tuned = engine.prepare(&m);
+                let mut y = vec![0.0; m.rows()];
+                engine.spmv(&tuned, &x, &mut y).unwrap();
+                assert!(max_abs_diff(&y, &expect) < 1e-9);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let stats = engine.cache_stats();
+    assert_eq!(stats.hits + stats.misses, 4);
+    assert!(stats.misses >= 1);
+    assert_eq!(stats.entries, 1, "all threads share one structure");
 }
 
 #[test]
@@ -139,10 +218,7 @@ fn hyb_extension_participates_end_to_end() {
     for v in 0..engine.library().variant_count(Format::Hyb) {
         let mut y = vec![f64::NAN; m.rows()];
         engine.library().run(&any, v, &x, &mut y);
-        assert!(
-            max_abs_diff(&y, &expect) < 1e-9,
-            "HYB variant {v} diverges"
-        );
+        assert!(max_abs_diff(&y, &expect) < 1e-9, "HYB variant {v} diverges");
     }
 
     // Whatever the tuner picks on a skewed matrix, the product is right.

@@ -20,9 +20,78 @@ fn arb_matrix() -> impl Strategy<Value = Csr<f64>> {
 
 /// Strategy: a dense-ish vector matching a width.
 fn arb_x(cols: usize) -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(-50i32..50, cols).prop_map(|v| {
-        v.into_iter().map(|i| i as f64 / 3.0).collect()
-    })
+    proptest::collection::vec(-50i32..50, cols)
+        .prop_map(|v| v.into_iter().map(|i| i as f64 / 3.0).collect())
+}
+
+/// The shrunk counterexample persisted in `format_props.proptest-regressions`
+/// (seed `cc 74b4b98c…`), pinned as an explicit case: a short-and-wide
+/// matrix with an explicitly stored zero. The zero must round-trip
+/// through COO verbatim, be pruned by DIA/ELL/HYB, and never perturb a
+/// kernel's product.
+fn regression_case_74b4b98c() -> Csr<f64> {
+    let cols: [usize; 35] = [
+        4, 6, 8, 16, 17, 18, 21, 22, 23, 27, 29, 30, 31, // row 0
+        4, 5, 7, 19, 25, 26, 27, 31, // row 1
+        2, 5, 6, 8, 9, 11, 12, 17, 20, 21, 24, 25, 27, 31, // row 2
+    ];
+    let sevenths: [f64; 35] = [
+        -2.0, -20.0, -62.0, 89.0, -123.0, -77.0, 79.0, 77.0, 2.0, -59.0, -98.0, 18.0, 38.0, //
+        38.0, 123.0, 84.0, -74.0, -74.0, 67.0, 61.0, 84.0, //
+        -43.0, -58.0, 97.0, -43.0, 146.0, -144.0, 32.0, 79.0, 66.0, 93.0, 47.0, 0.0, -21.0, -12.0,
+    ];
+    let row_of = |k: usize| {
+        if k < 13 {
+            0
+        } else if k < 21 {
+            1
+        } else {
+            2
+        }
+    };
+    let triplets: Vec<(usize, usize, f64)> = (0..35)
+        .map(|k| (row_of(k), cols[k], sevenths[k] / 7.0))
+        .collect();
+    Csr::from_triplets(3, 33, &triplets).unwrap()
+}
+
+#[test]
+fn regression_shrunk_case_74b4b98c_round_trips_and_multiplies() {
+    let m = regression_case_74b4b98c();
+    assert_eq!(m.nnz(), 35);
+    assert_eq!(m.get(2, 25), Some(0.0), "the explicit zero is stored");
+
+    // Conversion contract, exactly as conversions_round_trip asserts it.
+    assert_eq!(Coo::from_csr(&m).to_csr(), m);
+    let expected = m.prune(0.0);
+    for format in [Format::Dia, Format::Ell, Format::Hyb] {
+        if let Ok(any) = AnyMatrix::convert_from_csr(&m, format) {
+            assert_eq!(any.to_csr(), expected, "{format} round trip");
+        }
+    }
+
+    // Kernel contract, over the seeds the shrink search ran with.
+    let lib = KernelLibrary::<f64>::new();
+    for seed in [0u64, 1, 7, 999] {
+        let x: Vec<f64> = (0..m.cols())
+            .map(|i| (((i as u64 + 1) * (seed + 3)) % 17) as f64 - 8.0)
+            .collect();
+        let mut expect = vec![0.0; m.rows()];
+        m.spmv(&x, &mut expect).unwrap();
+        for format in Format::ALL {
+            let Ok(any) = AnyMatrix::convert_from_csr(&m, format) else {
+                continue;
+            };
+            for v in 0..lib.variant_count(format) {
+                let mut y = vec![f64::NAN; m.rows()];
+                lib.run(&any, v, &x, &mut y);
+                assert!(
+                    max_abs_diff(&y, &expect) < 1e-9,
+                    "{format} variant {v} diverges on seed {seed}"
+                );
+            }
+        }
+    }
 }
 
 proptest! {

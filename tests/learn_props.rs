@@ -8,18 +8,21 @@ use smat_matrix::io::read_matrix_market;
 
 /// Strategy: a random dataset with 2 attributes and 2-3 classes.
 fn arb_dataset() -> impl Strategy<Value = Dataset> {
-    (2usize..4, proptest::collection::vec((0i32..50, 0i32..50, 0usize..3), 5..80)).prop_map(
-        |(n_classes, rows)| {
+    (
+        2usize..4,
+        proptest::collection::vec((0i32..50, 0i32..50, 0usize..3), 5..80),
+    )
+        .prop_map(|(n_classes, rows)| {
             let mut ds = Dataset::new(
                 vec!["a".into(), "b".into()],
                 (0..n_classes).map(|c| format!("c{c}")).collect(),
             );
             for (a, b, label) in rows {
-                ds.push(vec![a as f64, b as f64], label % n_classes).unwrap();
+                ds.push(vec![a as f64, b as f64], label % n_classes)
+                    .unwrap();
             }
             ds
-        },
-    )
+        })
 }
 
 proptest! {

@@ -51,6 +51,49 @@ fn reloaded_model_makes_identical_decisions() {
 }
 
 #[test]
+fn installation_round_trips_through_the_engine() {
+    let corpus = generate_corpus::<f64>(&CorpusSpec::small(100, 35));
+    let matrices: Vec<&Csr<f64>> = corpus.iter().map(|e| &e.matrix).collect();
+    let out = Trainer::new(SmatConfig::fast()).train(&matrices).unwrap();
+
+    let path = temp_path("installation_roundtrip.json");
+    std::fs::remove_file(&path).ok();
+    let cfg = SmatConfig {
+        install_path: Some(path.clone()),
+        ..SmatConfig::fast()
+    };
+
+    // First engine: no file yet, so it runs the kernel search and
+    // persists the table.
+    let e1 = Smat::<f64>::with_config(out.model.clone(), cfg.clone()).unwrap();
+    assert!(!e1.installation_from_disk());
+    assert!(path.exists(), "installation must be persisted");
+    let searched = e1.installation().unwrap().clone();
+
+    // Second engine (a fresh "process"): reloads the identical choice
+    // instead of re-searching.
+    let e2 = Smat::<f64>::with_config(out.model.clone(), cfg).unwrap();
+    assert!(e2.installation_from_disk());
+    assert_eq!(e2.installation().unwrap(), &searched);
+    assert_eq!(
+        e2.model().kernel_choice,
+        searched.kernel_choice,
+        "the engine adopts the installed kernel choice"
+    );
+    assert_eq!(e1.model().kernel_choice, e2.model().kernel_choice);
+
+    // The standalone loader agrees too.
+    let direct = smat::Installation::load(&path).unwrap();
+    assert_eq!(direct.kernel_choice, searched.kernel_choice);
+    assert_eq!(direct.precision, "double");
+
+    // An explicit preloaded installation takes the no-disk path.
+    let e3 = Smat::<f64>::with_installation(out.model, SmatConfig::fast(), direct).unwrap();
+    assert_eq!(e3.model().kernel_choice, searched.kernel_choice);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn model_json_is_human_inspectable() {
     let corpus = generate_corpus::<f64>(&CorpusSpec::small(80, 33));
     let matrices: Vec<&Csr<f64>> = corpus.iter().map(|e| &e.matrix).collect();

@@ -1,0 +1,304 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the macro and builder surface this workspace's benches
+//! use — `criterion_group!`/`criterion_main!`, `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Throughput`, `black_box`, `Bencher::iter` — backed
+//! by a simple median-of-samples wall-clock harness instead of the
+//! real crate's statistical machinery. Results print as
+//! `group/bench  time: [median]  (min .. max)` lines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// An opaque identity function preventing the optimizer from deleting
+/// the benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Measured throughput basis for a benchmark.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Number of elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Types usable as a benchmark name.
+pub trait IntoBenchmarkId {
+    /// The rendered id string.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    sample_count: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, collecting per-iteration samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and per-iteration estimate.
+        let mut est = Duration::ZERO;
+        let mut warmups = 0u64;
+        let warm_start = Instant::now();
+        while warmups < 3 || (warm_start.elapsed() < Duration::from_millis(20) && warmups < 1000) {
+            let t = Instant::now();
+            black_box(routine());
+            est += t.elapsed();
+            warmups += 1;
+        }
+        let per_iter = est / warmups.max(1) as u32;
+        // Size samples to ~1ms, and cap the total run near two seconds.
+        self.iters_per_sample = if per_iter.is_zero() {
+            1000
+        } else {
+            (Duration::from_millis(1).as_nanos() / per_iter.as_nanos().max(1)).max(1) as u64
+        };
+        let budget = Duration::from_secs(2);
+        let sample_cost = per_iter * self.iters_per_sample as u32;
+        let affordable = if sample_cost.is_zero() {
+            self.sample_count
+        } else {
+            (budget.as_nanos() / sample_cost.as_nanos().max(1)).max(5) as usize
+        };
+        let samples = self.sample_count.min(affordable).max(5);
+        self.samples.clear();
+        for _ in 0..samples {
+            let t = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples
+                .push(t.elapsed() / self.iters_per_sample as u32);
+        }
+    }
+
+    fn report(&self) -> Option<(Duration, Duration, Duration)> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
+        Some((median, sorted[0], *sorted.last().unwrap()))
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.3} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// The benchmark manager.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size;
+        run_one(&id.into_id(), sample_size, None, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark in the group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Records the work performed per iteration, for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        run_one(&full, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(&full, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group. (No-op beyond matching the real API.)
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        iters_per_sample: 1,
+        samples: Vec::new(),
+        sample_count: sample_size,
+    };
+    f(&mut b);
+    match b.report() {
+        Some((median, min, max)) => {
+            let rate = throughput.map(|t| match t {
+                Throughput::Elements(n) => {
+                    format!("  {:.1} Melem/s", n as f64 / median.as_secs_f64() / 1.0e6)
+                }
+                Throughput::Bytes(n) => format!(
+                    "  {:.1} MiB/s",
+                    n as f64 / median.as_secs_f64() / (1024.0 * 1024.0)
+                ),
+            });
+            println!(
+                "{name:<48} time: [{}]  ({} .. {}){}",
+                fmt_duration(median),
+                fmt_duration(min),
+                fmt_duration(max),
+                rate.unwrap_or_default()
+            );
+        }
+        None => println!("{name:<48} (no samples collected)"),
+    }
+}
+
+/// Declares a benchmark group function, optionally with a custom
+/// [`Criterion`] configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes flags like `--bench`; accept and
+            // ignore them, but honor a filter substring if given.
+            let args: Vec<String> = std::env::args().skip(1).collect();
+            let _ = args;
+            $($group();)+
+        }
+    };
+}

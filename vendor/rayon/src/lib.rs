@@ -1,0 +1,158 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Covers the iterator shapes this workspace uses:
+//! `vec.into_par_iter().enumerate().for_each(f)` and
+//! [`current_num_threads`]. Work items are distributed over scoped OS
+//! threads (one per available core); on a single-core host everything
+//! runs inline, which keeps overhead near zero where parallelism can't
+//! help anyway.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads the pool would use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Conversion into a parallel iterator, mirroring rayon's trait.
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// The resulting parallel iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// A parallel iterator over owned items.
+pub trait ParallelIterator: Sized {
+    /// The element type.
+    type Item: Send;
+
+    /// Consumes the iterator, yielding every item exactly once.
+    fn drain(self) -> Vec<Self::Item>;
+
+    /// Pairs each item with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { inner: self }
+    }
+
+    /// Applies `f` to every item, potentially across threads.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Send + Sync,
+    {
+        par_for_each(self.drain(), f);
+    }
+}
+
+/// Parallel iterator over a `Vec`.
+pub struct VecParIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecParIter<T>;
+
+    fn into_par_iter(self) -> VecParIter<T> {
+        VecParIter { items: self }
+    }
+}
+
+impl<T: Send> ParallelIterator for VecParIter<T> {
+    type Item = T;
+
+    fn drain(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// Index-pairing adapter returned by [`ParallelIterator::enumerate`].
+pub struct Enumerate<I> {
+    inner: I,
+}
+
+impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+
+    fn drain(self) -> Vec<(usize, I::Item)> {
+        self.inner.drain().into_iter().enumerate().collect()
+    }
+}
+
+/// Runs `f` over every item using scoped worker threads pulling from a
+/// shared queue. Falls back to an inline loop when only one thread is
+/// available or there is at most one item.
+fn par_for_each<T, F>(items: Vec<T>, f: F)
+where
+    T: Send,
+    F: Fn(T) + Send + Sync,
+{
+    let workers = current_num_threads().min(items.len());
+    if workers <= 1 {
+        for item in items {
+            f(item);
+        }
+        return;
+    }
+    let queue: Mutex<Vec<Option<T>>> = Mutex::new(items.into_iter().map(Some).collect());
+    let cursor = AtomicUsize::new(0);
+    let len = queue.lock().map(|q| q.len()).unwrap_or(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                if idx >= len {
+                    break;
+                }
+                let item = {
+                    let mut q = queue.lock().expect("worker panicked holding the queue");
+                    q[idx].take()
+                };
+                if let Some(item) = item {
+                    f(item);
+                }
+            });
+        }
+    });
+}
+
+/// Mirror of `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn enumerate_for_each_visits_all_disjoint_chunks() {
+        let mut data = vec![0u64; 64];
+        let chunks: Vec<&mut [u64]> = data.chunks_mut(8).collect();
+        chunks.into_par_iter().enumerate().for_each(|(ci, chunk)| {
+            for (i, slot) in chunk.iter_mut().enumerate() {
+                *slot = (ci * 8 + i) as u64;
+            }
+        });
+        let expect: Vec<u64> = (0..64).collect();
+        assert_eq!(data, expect);
+    }
+
+    #[test]
+    fn every_item_visited_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..1000).collect();
+        items.into_par_iter().enumerate().for_each(|(i, v)| {
+            assert_eq!(i, v);
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+    }
+}

@@ -1,0 +1,490 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real crates.io registry is unreachable in this build environment,
+//! so the workspace vendors a simplified serde data model (see the
+//! sibling `serde` stub crate): `Serialize` lowers a value to a
+//! `serde::Value` tree and `Deserialize` rebuilds it. This proc-macro
+//! crate derives both traits for the shapes the workspace actually uses:
+//!
+//! * structs with named fields (optionally generic over one or more type
+//!   parameters),
+//! * tuple structs (newtype structs serialize transparently, wider
+//!   tuples as arrays),
+//! * enums with unit, newtype, tuple and struct variants (serde's
+//!   externally-tagged representation).
+//!
+//! `#[serde(...)]` attributes are not supported — the workspace does not
+//! use them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Item {
+    name: String,
+    /// Verbatim tokens between `<` and `>` of the item's generics
+    /// (bounds included), or empty.
+    generic_decl: String,
+    /// Type-parameter idents, in declaration order.
+    params: Vec<String>,
+    kind: Kind,
+}
+
+enum Kind {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+/// Derives the simplified `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated Serialize impl must parse")
+}
+
+/// Derives the simplified `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+fn parse_item(ts: TokenStream) -> Item {
+    let mut it = ts.into_iter().peekable();
+
+    // Outer attributes (doc comments arrive as `#[doc = "..."]`).
+    skip_attributes(&mut it);
+
+    // Visibility.
+    if let Some(TokenTree::Ident(id)) = it.peek() {
+        if id.to_string() == "pub" {
+            it.next();
+            if let Some(TokenTree::Group(g)) = it.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    it.next();
+                }
+            }
+        }
+    }
+
+    let kw = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, got {other:?}"),
+    };
+
+    // Generics.
+    let mut generic_decl = String::new();
+    let mut params = Vec::new();
+    if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        it.next();
+        let mut depth = 1usize;
+        let mut expect_param = true;
+        let mut tokens: Vec<String> = Vec::new();
+        loop {
+            let t = it.next().expect("serde_derive: unterminated generics");
+            if let TokenTree::Punct(p) = &t {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    ',' if depth == 1 => expect_param = true,
+                    _ => {}
+                }
+            }
+            if expect_param && depth == 1 {
+                if let TokenTree::Ident(id) = &t {
+                    let s = id.to_string();
+                    if s != "const" {
+                        params.push(s);
+                    }
+                    expect_param = false;
+                }
+            }
+            tokens.push(t.to_string());
+        }
+        generic_decl = tokens.join(" ");
+    }
+
+    // Body (skipping any `where` clause tokens before it).
+    let kind = loop {
+        match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                if kw == "enum" {
+                    break Kind::Enum(parse_variants(&g));
+                }
+                break Kind::Named(parse_named_fields(&g));
+            }
+            Some(TokenTree::Group(g))
+                if g.delimiter() == Delimiter::Parenthesis && kw == "struct" =>
+            {
+                break Kind::Tuple(count_tuple_fields(&g));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => break Kind::Unit,
+            Some(_) => {} // where-clause tokens
+            None => panic!("serde_derive: item `{name}` has no body"),
+        }
+    };
+
+    Item {
+        name,
+        generic_decl,
+        params,
+        kind,
+    }
+}
+
+fn skip_attributes(it: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    while matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        it.next(); // '#'
+        if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '!') {
+            it.next();
+        }
+        it.next(); // bracket group
+    }
+}
+
+fn parse_named_fields(g: &proc_macro::Group) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut it = g.stream().into_iter().peekable();
+    loop {
+        skip_attributes(&mut it);
+        if matches!(it.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            it.next();
+            if matches!(it.peek(), Some(TokenTree::Group(g2)) if g2.delimiter() == Delimiter::Parenthesis)
+            {
+                it.next();
+            }
+        }
+        match it.next() {
+            Some(TokenTree::Ident(id)) => {
+                names.push(id.to_string());
+                // ':'
+                it.next();
+                // Skip the type up to a top-level comma.
+                let mut depth = 0i64;
+                while let Some(t) = it.peek() {
+                    if let TokenTree::Punct(p) = t {
+                        match p.as_char() {
+                            '<' => depth += 1,
+                            '>' => depth -= 1,
+                            ',' if depth == 0 => {
+                                it.next();
+                                break;
+                            }
+                            _ => {}
+                        }
+                    }
+                    it.next();
+                }
+            }
+            None => break,
+            Some(t) => panic!("serde_derive: unexpected token among fields: {t}"),
+        }
+    }
+    names
+}
+
+fn count_tuple_fields(g: &proc_macro::Group) -> usize {
+    let mut depth = 0i64;
+    let mut fields = 0usize;
+    let mut saw_token = false;
+    for t in g.stream() {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    if saw_token {
+                        fields += 1;
+                    }
+                    saw_token = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        saw_token = true;
+    }
+    if saw_token {
+        fields += 1;
+    }
+    fields
+}
+
+fn parse_variants(g: &proc_macro::Group) -> Vec<Variant> {
+    let mut vs = Vec::new();
+    let mut it = g.stream().into_iter().peekable();
+    loop {
+        skip_attributes(&mut it);
+        match it.next() {
+            Some(TokenTree::Ident(id)) => {
+                let name = id.to_string();
+                let mut fields = VariantFields::Unit;
+                if let Some(TokenTree::Group(bg)) = it.peek() {
+                    match bg.delimiter() {
+                        Delimiter::Brace => {
+                            fields = VariantFields::Named(parse_named_fields(bg));
+                            it.next();
+                        }
+                        Delimiter::Parenthesis => {
+                            fields = VariantFields::Tuple(count_tuple_fields(bg));
+                            it.next();
+                        }
+                        _ => {}
+                    }
+                }
+                // Skip to the separating comma (covers `= discr`).
+                while let Some(t) = it.peek() {
+                    if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                        it.next();
+                        break;
+                    }
+                    it.next();
+                }
+                vs.push(Variant { name, fields });
+            }
+            None => break,
+            Some(t) => panic!("serde_derive: unexpected token among variants: {t}"),
+        }
+    }
+    vs
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+/// `impl<DECL> Trait for Name<P, ...> where P: Trait, ...` header pieces.
+fn impl_header(item: &Item, trait_path: &str) -> (String, String, String) {
+    if item.generic_decl.is_empty() {
+        (String::new(), item.name.clone(), String::new())
+    } else {
+        let ty = format!("{}<{}>", item.name, item.params.join(", "));
+        let bounds: Vec<String> = item
+            .params
+            .iter()
+            .map(|p| format!("{p}: {trait_path}"))
+            .collect();
+        let where_clause = if bounds.is_empty() {
+            String::new()
+        } else {
+            format!("where {}", bounds.join(", "))
+        };
+        (format!("<{}>", item.generic_decl), ty, where_clause)
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (generics, ty, where_clause) = impl_header(item, "::serde::Serialize");
+    let body = match &item.kind {
+        Kind::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::Value::Object(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        Kind::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::Tuple(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", entries.join(", "))
+        }
+        Kind::Unit => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    let name = &item.name;
+                    match &v.fields {
+                        VariantFields::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(::std::string::String::from({vn:?}))"
+                        ),
+                        VariantFields::Named(fields) => {
+                            let pat: Vec<String> = fields.to_vec();
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {} }} => ::serde::Value::Object(::std::vec![(::std::string::String::from({vn:?}), ::serde::Value::Object(::std::vec![{}]))])",
+                                pat.join(", "),
+                                entries.join(", ")
+                            )
+                        }
+                        VariantFields::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => ::serde::Value::Object(::std::vec![(::std::string::String::from({vn:?}), ::serde::Serialize::to_value(__f0))])"
+                        ),
+                        VariantFields::Tuple(n) => {
+                            let pat: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let entries: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Object(::std::vec![(::std::string::String::from({vn:?}), ::serde::Value::Array(::std::vec![{}]))])",
+                                pat.join(", "),
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all, unused_variables)]\n\
+         impl{generics} ::serde::Serialize for {ty} {where_clause} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (generics, ty, where_clause) = impl_header(item, "::serde::Deserialize");
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::expect_field(__obj, {f:?}, {name:?})?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let __obj = ::serde::expect_object(__v, {name:?})?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Kind::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Kind::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                .collect();
+            format!(
+                "let __arr = ::serde::expect_array(__v, {n}, {name:?})?;\n\
+                 ::std::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Kind::Unit => format!("::std::result::Result::Ok({name})"),
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, VariantFields::Unit))
+                .map(|v| {
+                    let vn = &v.name;
+                    format!("{vn:?} => ::std::result::Result::Ok({name}::{vn}),")
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => None,
+                        VariantFields::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(::serde::expect_field(__inner_obj, {f:?}, {name:?})?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => {{ let __inner_obj = ::serde::expect_object(__inner, {name:?})?; ::std::result::Result::Ok({name}::{vn} {{ {} }}) }}",
+                                inits.join(", ")
+                            ))
+                        }
+                        VariantFields::Tuple(1) => Some(format!(
+                            "{vn:?} => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(__inner)?)),"
+                        )),
+                        VariantFields::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(&__inner_arr[{i}])?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => {{ let __inner_arr = ::serde::expect_array(__inner, {n}, {name:?})?; ::std::result::Result::Ok({name}::{vn}({})) }}",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __v {{\n\
+                     ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {unit}\n\
+                         __other => ::std::result::Result::Err(::serde::DeError::unknown_variant(__other, {name:?})),\n\
+                     }},\n\
+                     ::serde::Value::Object(__fields) if __fields.len() == 1 => {{\n\
+                         let (__tag, __inner) = &__fields[0];\n\
+                         match __tag.as_str() {{\n\
+                             {data}\n\
+                             __other => ::std::result::Result::Err(::serde::DeError::unknown_variant(__other, {name:?})),\n\
+                         }}\n\
+                     }}\n\
+                     _ => ::std::result::Result::Err(::serde::DeError::expected(\"enum\", {name:?})),\n\
+                 }}",
+                unit = unit_arms.join("\n"),
+                data = data_arms.join("\n"),
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all, unused_variables, unreachable_patterns)]\n\
+         impl{generics} ::serde::Deserialize for {ty} {where_clause} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+}
