@@ -78,6 +78,15 @@ impl<T: Scalar> OpApply<T> {
         }
     }
 
+    /// Whether the tuner abandoned this operator to the degraded
+    /// reference path (always `false` for plain operators).
+    pub fn is_degraded(&self) -> bool {
+        match self {
+            OpApply::Plain(_) => false,
+            OpApply::Tuned(t) => t.decision().is_degraded(),
+        }
+    }
+
     /// Number of rows.
     pub fn rows(&self) -> usize {
         match self {
@@ -259,6 +268,28 @@ impl<T: Scalar> CompiledHierarchy<T> {
     /// a plain (untuned) hierarchy.
     pub fn tuning_stats(&self) -> Option<&smat::CacheStats> {
         self.tuning.as_ref()
+    }
+
+    /// Per-level count of operators (`A`, `P`, `R`) the tuner degraded
+    /// to the reference CSR path during this setup — the V-cycle keeps
+    /// running on such operators, just untuned, so a nonzero count here
+    /// is the observable trace of a fault-tolerant (rather than failed)
+    /// setup.
+    pub fn degraded_ops_per_level(&self) -> Vec<usize> {
+        self.levels
+            .iter()
+            .map(|l| {
+                usize::from(l.a.is_degraded())
+                    + l.p.as_ref().map_or(0, |op| usize::from(op.is_degraded()))
+                    + l.r.as_ref().map_or(0, |op| usize::from(op.is_degraded()))
+            })
+            .collect()
+    }
+
+    /// Total operators degraded across every level (see
+    /// [`Self::degraded_ops_per_level`]).
+    pub fn degraded_ops(&self) -> usize {
+        self.degraded_ops_per_level().iter().sum()
     }
 
     /// Runs one cycle (V or W per `cfg.cycle_type`) on the finest level:
@@ -510,5 +541,64 @@ mod tests {
         let h = setup(a, &AmgConfig::default());
         let c = CompiledHierarchy::plain(&h);
         assert!(c.a_formats().iter().all(|&f| f == Format::Csr));
+        assert_eq!(c.degraded_ops(), 0, "plain compiles never degrade");
+    }
+
+    #[test]
+    fn degraded_operators_are_counted_and_cycles_still_converge() {
+        use smat::{SmatConfig, Trainer};
+        use smat_matrix::gen::{random_uniform, tridiagonal};
+
+        let t1 = tridiagonal::<f64>(300);
+        let t2 = random_uniform::<f64>(250, 250, 6, 1);
+        let out = Trainer::new(SmatConfig::fast()).train(&[&t1, &t2]).unwrap();
+
+        // Healthy engine: no operator degrades.
+        let healthy =
+            smat::Smat::<f64>::with_config(out.model.clone(), SmatConfig::fast()).unwrap();
+        let a = laplacian_2d_5pt::<f64>(16, 16);
+        let h = setup(a.clone(), &AmgConfig::default());
+        let c = CompiledHierarchy::with_smat(&h, &healthy);
+        assert_eq!(c.degraded_ops(), 0);
+        assert_eq!(c.degraded_ops_per_level().len(), c.num_levels());
+
+        // Sabotaged engine: its only fallback candidate (CSR) runs a
+        // panicking kernel, so every prepare degrades — but setup
+        // completes and the V-cycle still reduces the residual through
+        // the reference path.
+        fn bad_csr(_: &Csr<f64>, _: &[f64], _: &mut [f64]) {
+            panic!("sabotaged kernel");
+        }
+        let bad_variant = KernelLibrary::<f64>::new().variant_count(Format::Csr);
+        let mut model = out.model;
+        model.kernel_choice.set(Format::Csr, bad_variant);
+        let cfg = SmatConfig {
+            confidence_threshold: 1.1, // no prediction is ever trusted
+            fallback_formats: vec![Format::Csr],
+            ..SmatConfig::fast()
+        };
+        let mut sabotaged = smat::Smat::<f64>::with_config(model, cfg).unwrap();
+        sabotaged.library_mut().register_csr(
+            "csr_sabotaged",
+            smat_kernels::StrategySet::default(),
+            bad_csr,
+        );
+        let c = CompiledHierarchy::with_smat(&h, &sabotaged);
+        let total_ops: usize = c
+            .levels
+            .iter()
+            .map(|l| 1 + usize::from(l.p.is_some()) + usize::from(l.r.is_some()))
+            .sum();
+        assert_eq!(c.degraded_ops(), total_ops, "every operator degrades");
+        assert!(c.degraded_ops_per_level().iter().all(|&n| n >= 1));
+        let n = a.rows();
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let mut ws = Workspace::new();
+        let cfg = CycleConfig::default();
+        let r0 = c.residual_norm(&b, &x);
+        c.v_cycle(&cfg, &b, &mut x, &mut ws);
+        let r1 = c.residual_norm(&b, &x);
+        assert!(r1 < 0.5 * r0, "degraded cycle too weak: {r0} -> {r1}");
     }
 }

@@ -92,6 +92,14 @@ impl<T: Scalar> AmgSolver<T> {
         self.compiled.tuning_stats()
     }
 
+    /// How many operators the tuner degraded to the reference CSR path
+    /// during setup (see
+    /// [`CompiledHierarchy::degraded_ops_per_level`]). Always 0 for a
+    /// plain (untuned) solver.
+    pub fn setup_degraded_ops(&self) -> usize {
+        self.compiled.degraded_ops()
+    }
+
     /// Solves `A x = b` by repeated V-cycles until
     /// `||r|| <= rel_tol * ||b||` or `max_cycles`.
     ///

@@ -280,11 +280,21 @@ fn report_decision(tuned: &smat::TunedSpmv<f64>) {
             tuned.format(),
             confidence
         ),
-        DecisionPath::Measured { candidates } => {
+        DecisionPath::Measured {
+            candidates,
+            failures,
+        } => {
             println!("decision: execute-measure fallback");
             for (f, g) in candidates {
                 println!("  measured {f}: {g:.2} GFLOPS");
             }
+            for (f, reason) in failures {
+                println!("  failed {f}: {reason}");
+            }
+        }
+        DecisionPath::Degraded { reason } => {
+            println!("decision: DEGRADED — tuning abandoned, reference CSR kernel in use");
+            println!("  reason: {reason}");
         }
         DecisionPath::Cached { .. } => unreachable!("source() unwraps Cached"),
     }
@@ -317,6 +327,12 @@ fn cmd_tune(args: &Args) -> Result<(), String> {
         "tuning cache: {} hits / {} misses ({} entries); hit {:?}, miss {:?}",
         stats.hits, stats.misses, stats.entries, stats.hit_time, stats.miss_time
     );
+    if stats.corrupt_evictions > 0 {
+        println!(
+            "tuning cache: {} corrupt entries evicted and re-tuned",
+            stats.corrupt_evictions
+        );
+    }
     let kernel = engine.library().info(tuned.kernel());
     println!(
         "kernel: {} ({}); tuning cost {:?}",
@@ -345,7 +361,7 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
                 if f == best { "  <= best" } else { "" }
             );
         } else {
-            println!("  {f}: conversion refused (fill limit)");
+            println!("  {f}: skipped (conversion refused or measurement failed)");
         }
     }
     Ok(())

@@ -14,6 +14,7 @@
 //! plus atomic counters), which is what keeps the surrounding
 //! [`crate::Smat`] engine `Send + Sync` behind a shared reference.
 
+use crate::integrity::fnv1a64_of_debug;
 use crate::runtime::DecisionPath;
 use smat_features::FeatureVector;
 use smat_kernels::KernelId;
@@ -54,6 +55,10 @@ pub struct CacheStats {
     pub hit_time: Duration,
     /// Total wall-clock spent in cache-miss `prepare` calls.
     pub miss_time: Duration,
+    /// Entries evicted because their checksum no longer matched their
+    /// contents (memory corruption / poisoning); each such lookup is
+    /// answered as a miss and the matrix re-tuned.
+    pub corrupt_evictions: u64,
 }
 
 impl CacheStats {
@@ -77,22 +82,33 @@ impl CacheStats {
             capacity: self.capacity,
             hit_time: self.hit_time.saturating_sub(earlier.hit_time),
             miss_time: self.miss_time.saturating_sub(earlier.miss_time),
+            corrupt_evictions: self.corrupt_evictions - earlier.corrupt_evictions,
         }
     }
+}
+
+/// One resident cache entry: the decision plus the checksum taken at
+/// insertion, verified on every hit.
+#[derive(Debug)]
+struct Slot {
+    stamp: u64,
+    checksum: u64,
+    decision: CachedDecision,
 }
 
 /// Bounded LRU map from structural fingerprints to tuning decisions.
 #[derive(Debug)]
 pub(crate) struct TuningCache {
-    /// fingerprint → (last-touch stamp, decision). The stamp-scan
-    /// eviction is O(len), fine at the small capacities tuning uses.
-    map: Mutex<HashMap<StructuralFingerprint, (u64, CachedDecision)>>,
+    /// fingerprint → checksummed slot. The stamp-scan eviction is
+    /// O(len), fine at the small capacities tuning uses.
+    map: Mutex<HashMap<StructuralFingerprint, Slot>>,
     capacity: usize,
     clock: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     hit_nanos: AtomicU64,
     miss_nanos: AtomicU64,
+    corrupt_evictions: AtomicU64,
 }
 
 impl TuningCache {
@@ -107,22 +123,32 @@ impl TuningCache {
             misses: AtomicU64::new(0),
             hit_nanos: AtomicU64::new(0),
             miss_nanos: AtomicU64::new(0),
+            corrupt_evictions: AtomicU64::new(0),
         }
     }
 
     /// Looks up a fingerprint, refreshing its LRU stamp on hit. Does
     /// not touch the hit/miss counters — the runtime records those
     /// together with the elapsed prepare time via [`Self::record`].
+    ///
+    /// Every hit re-verifies the entry's checksum; an entry whose
+    /// contents no longer match is evicted and the lookup answered as
+    /// a miss, forcing a re-tune instead of replaying a poisoned
+    /// decision.
     pub fn get(&self, key: &StructuralFingerprint) -> Option<CachedDecision> {
         if self.capacity == 0 {
             return None;
         }
         let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
         let mut map = self.map.lock().expect("tuning cache poisoned");
-        map.get_mut(key).map(|slot| {
-            slot.0 = stamp;
-            slot.1.clone()
-        })
+        let slot = map.get_mut(key)?;
+        if fnv1a64_of_debug(&slot.decision) != slot.checksum {
+            map.remove(key);
+            self.corrupt_evictions.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        slot.stamp = stamp;
+        Some(slot.decision.clone())
     }
 
     /// Inserts a decision, evicting the least-recently-used entry when
@@ -136,13 +162,21 @@ impl TuningCache {
         if map.len() >= self.capacity && !map.contains_key(&key) {
             if let Some(oldest) = map
                 .iter()
-                .min_by_key(|(_, (stamp, _))| *stamp)
+                .min_by_key(|(_, slot)| slot.stamp)
                 .map(|(k, _)| *k)
             {
                 map.remove(&oldest);
             }
         }
-        map.insert(key, (stamp, decision));
+        let checksum = fnv1a64_of_debug(&decision);
+        map.insert(
+            key,
+            Slot {
+                stamp,
+                checksum,
+                decision,
+            },
+        );
     }
 
     /// Records the outcome and latency of one `prepare` call.
@@ -167,6 +201,7 @@ impl TuningCache {
             capacity: self.capacity,
             hit_time: Duration::from_nanos(self.hit_nanos.load(Ordering::Relaxed)),
             miss_time: Duration::from_nanos(self.miss_nanos.load(Ordering::Relaxed)),
+            corrupt_evictions: self.corrupt_evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -239,6 +274,27 @@ mod tests {
         let delta = cache.stats().since(&s);
         assert_eq!((delta.hits, delta.misses), (1, 0));
         assert_eq!(delta.hit_time, Duration::from_micros(1));
+    }
+
+    #[test]
+    fn corrupt_entry_is_evicted_and_counted() {
+        let cache = TuningCache::new(4);
+        let key = tridiagonal::<f64>(60).fingerprint();
+        cache.insert(key, decision(Format::Ell));
+        assert!(cache.get(&key).is_some());
+        // Simulate in-memory corruption: flip the stored decision
+        // without refreshing its checksum.
+        {
+            let mut map = cache.map.lock().unwrap();
+            let slot = map.get_mut(&key).unwrap();
+            slot.decision.kernel.variant = 999;
+        }
+        assert!(cache.get(&key).is_none(), "corrupt entry must not replay");
+        assert_eq!(cache.stats().corrupt_evictions, 1);
+        assert_eq!(cache.stats().entries, 0, "corrupt entry is evicted");
+        // The slot is reusable: a fresh insert round-trips again.
+        cache.insert(key, decision(Format::Dia));
+        assert_eq!(cache.get(&key).unwrap().format, Format::Dia);
     }
 
     #[test]

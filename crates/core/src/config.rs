@@ -38,10 +38,25 @@ pub struct SmatConfig {
     /// "CSR+COO" (the two formats with cheap conversions); the predicted
     /// format, if any, is always added.
     pub fallback_formats: Vec<Format>,
+    /// Hard wall-clock deadline per measured candidate (probe plus all
+    /// timed repetitions). A candidate that exceeds it is abandoned and
+    /// recorded as failed instead of stalling the tuning pipeline. The
+    /// deadline is cooperative: it is checked between repetitions.
+    pub candidate_deadline: Duration,
     /// Cap on DIA conversion fill, as a multiple of `nnz`.
     pub dia_fill_limit: usize,
     /// Cap on ELL conversion fill, as a multiple of `nnz`.
     pub ell_fill_limit: usize,
+    /// Upper bound, in bytes, on the estimated allocation of any single
+    /// format conversion (DIA/ELL dense slabs, HYB split). Conversions
+    /// whose up-front estimate exceeds it are refused before allocating
+    /// and the candidate format is pruned. `None` means unlimited.
+    pub conversion_budget_bytes: Option<usize>,
+    /// When `true` (the default), [`crate::Smat::prepare`] screens the
+    /// input for non-finite values before feature extraction and routes
+    /// poisoned matrices to the degraded reference path instead of
+    /// letting NaN/Inf flow through tuning measurements.
+    pub screen_inputs: bool,
     /// Fraction of the corpus held out for evaluation during training
     /// (the paper trains on 2055 of 2386 matrices ≈ 86%).
     pub test_fraction: f64,
@@ -74,8 +89,11 @@ impl Default for SmatConfig {
             search_budget: Duration::from_millis(10),
             fallback_budget: Duration::from_millis(5),
             fallback_formats: vec![Format::Csr, Format::Coo],
+            candidate_deadline: smat_kernels::DEFAULT_CANDIDATE_DEADLINE,
             dia_fill_limit: smat_matrix::DEFAULT_DIA_FILL_LIMIT,
             ell_fill_limit: smat_matrix::DEFAULT_ELL_FILL_LIMIT,
+            conversion_budget_bytes: None,
+            screen_inputs: true,
             test_fraction: 0.14,
             split_seed: 0x5AA7,
             probe_dim: 20_000,
@@ -93,8 +111,19 @@ impl SmatConfig {
         Self {
             search_budget: Duration::from_micros(200),
             fallback_budget: Duration::from_micros(200),
+            candidate_deadline: Duration::from_millis(250),
             probe_dim: 1_500,
             ..Self::default()
+        }
+    }
+
+    /// The per-format conversion limits implied by this configuration,
+    /// ready for [`smat_matrix::AnyMatrix::convert_from_csr_with`].
+    pub fn conversion_limits(&self) -> smat_matrix::ConversionLimits {
+        smat_matrix::ConversionLimits {
+            dia_fill_limit: self.dia_fill_limit,
+            ell_fill_limit: self.ell_fill_limit,
+            budget_bytes: self.conversion_budget_bytes,
         }
     }
 }
@@ -118,6 +147,20 @@ mod tests {
     fn fast_config_shrinks_budgets() {
         let c = SmatConfig::fast();
         assert!(c.search_budget < SmatConfig::default().search_budget);
+        assert!(c.candidate_deadline < SmatConfig::default().candidate_deadline);
+    }
+
+    #[test]
+    fn conversion_limits_mirror_config() {
+        let c = SmatConfig {
+            conversion_budget_bytes: Some(1 << 20),
+            ..SmatConfig::default()
+        };
+        let limits = c.conversion_limits();
+        assert_eq!(limits.dia_fill_limit, c.dia_fill_limit);
+        assert_eq!(limits.ell_fill_limit, c.ell_fill_limit);
+        assert_eq!(limits.budget_bytes, Some(1 << 20));
+        assert!(c.screen_inputs);
     }
 
     #[test]

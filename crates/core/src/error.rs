@@ -20,6 +20,39 @@ pub enum SmatError {
         /// Precision of the data.
         data: &'static str,
     },
+    /// A format conversion was refused because it would exceed a
+    /// resource budget (see
+    /// [`SmatConfig::conversion_budget_bytes`](crate::SmatConfig::conversion_budget_bytes)).
+    Budget {
+        /// Target format of the refused conversion.
+        format: &'static str,
+        /// Estimated allocation the conversion would have made.
+        required_bytes: usize,
+        /// The configured budget.
+        budget_bytes: usize,
+    },
+    /// A measurement exceeded its per-candidate deadline.
+    Deadline {
+        /// What was being measured.
+        what: String,
+        /// The configured deadline.
+        deadline: std::time::Duration,
+    },
+    /// A candidate kernel panicked during measurement.
+    KernelPanic {
+        /// What was being measured.
+        what: String,
+        /// Stringified panic payload.
+        message: String,
+    },
+    /// A persisted artifact failed validation (checksum mismatch,
+    /// truncation, or structurally impossible contents).
+    Corrupt {
+        /// What artifact was found corrupt.
+        what: String,
+        /// Why it was rejected.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SmatError {
@@ -32,6 +65,24 @@ impl fmt::Display for SmatError {
                 f,
                 "model trained for {model} precision applied to {data} data"
             ),
+            SmatError::Budget {
+                format,
+                required_bytes,
+                budget_bytes,
+            } => write!(
+                f,
+                "conversion to {format} would allocate {required_bytes} bytes, \
+                 above the budget of {budget_bytes}"
+            ),
+            SmatError::Deadline { what, deadline } => {
+                write!(f, "{what} exceeded its {deadline:?} deadline")
+            }
+            SmatError::KernelPanic { what, message } => {
+                write!(f, "{what} panicked: {message}")
+            }
+            SmatError::Corrupt { what, detail } => {
+                write!(f, "corrupt {what}: {detail}")
+            }
         }
     }
 }
@@ -48,7 +99,18 @@ impl Error for SmatError {
 
 impl From<smat_matrix::MatrixError> for SmatError {
     fn from(e: smat_matrix::MatrixError) -> Self {
-        SmatError::Matrix(e)
+        match e {
+            smat_matrix::MatrixError::BudgetExceeded {
+                format,
+                required_bytes,
+                budget_bytes,
+            } => SmatError::Budget {
+                format,
+                required_bytes,
+                budget_bytes,
+            },
+            other => SmatError::Matrix(other),
+        }
     }
 }
 
@@ -73,6 +135,47 @@ mod tests {
 
         let e = SmatError::from(smat_matrix::MatrixError::InvalidStructure("x".into()));
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn budget_exceeded_maps_to_budget_variant() {
+        let e = SmatError::from(smat_matrix::MatrixError::BudgetExceeded {
+            format: "ELL",
+            required_bytes: 4096,
+            budget_bytes: 1024,
+        });
+        match &e {
+            SmatError::Budget {
+                format,
+                required_bytes,
+                budget_bytes,
+            } => {
+                assert_eq!(*format, "ELL");
+                assert_eq!(*required_bytes, 4096);
+                assert_eq!(*budget_bytes, 1024);
+            }
+            other => panic!("expected Budget, got {other:?}"),
+        }
+        assert!(e.to_string().contains("above the budget"));
+    }
+
+    #[test]
+    fn taxonomy_displays() {
+        let e = SmatError::Deadline {
+            what: "DIA candidate".into(),
+            deadline: std::time::Duration::from_secs(2),
+        };
+        assert!(e.to_string().contains("deadline"));
+        let e = SmatError::KernelPanic {
+            what: "ELL candidate".into(),
+            message: "index out of bounds".into(),
+        };
+        assert!(e.to_string().contains("panicked"));
+        let e = SmatError::Corrupt {
+            what: "installation artifact".into(),
+            detail: "checksum mismatch".into(),
+        };
+        assert!(e.to_string().contains("corrupt"));
     }
 
     #[test]

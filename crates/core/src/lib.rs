@@ -47,6 +47,7 @@ mod cache;
 mod config;
 mod error;
 mod install;
+mod integrity;
 mod interface;
 mod model;
 mod runtime;

@@ -15,7 +15,7 @@ use crate::error::{Result, SmatError};
 use crate::install::Installation;
 use crate::model::TrainedModel;
 use smat_features::{extract_structure, FeatureVector};
-use smat_kernels::timing::{gflops, reps_for_budget, time_median};
+use smat_kernels::timing::{gflops, measure_guarded};
 use smat_kernels::{KernelId, KernelLibrary};
 use smat_learn::ClassGroup;
 use smat_matrix::{AnyMatrix, Csr, Format, Scalar};
@@ -36,8 +36,12 @@ pub enum DecisionPath {
     /// Execute-and-measure fallback ran; each candidate's measured
     /// throughput is recorded.
     Measured {
-        /// `(format, gflops)` per benchmarked candidate.
+        /// `(format, gflops)` per successfully benchmarked candidate.
         candidates: Vec<(Format, f64)>,
+        /// `(format, reason)` per candidate that was pruned (conversion
+        /// refused by a resource budget) or failed measurement (panic,
+        /// deadline). Failed candidates can never be selected.
+        failures: Vec<(Format, String)>,
     },
     /// Replayed from the structural-fingerprint tuning cache: feature
     /// extraction, rule evaluation and any fallback measurement were
@@ -46,6 +50,16 @@ pub enum DecisionPath {
         /// How the decision was originally reached, on the cache miss
         /// that populated the entry.
         source: Box<DecisionPath>,
+    },
+    /// The tuning pipeline could not produce a measured decision — the
+    /// input was quarantined by screening, or every candidate failed —
+    /// and the engine degraded to the reference CSR kernel. The result
+    /// is still a usable [`TunedSpmv`]; only its performance is
+    /// untuned. Degraded decisions are never cached, so a later call
+    /// with a healthy matrix of the same structure re-tunes.
+    Degraded {
+        /// Why tuning was abandoned.
+        reason: String,
     },
 }
 
@@ -62,6 +76,12 @@ impl DecisionPath {
     /// Whether this decision was served from the tuning cache.
     pub fn is_cached(&self) -> bool {
         matches!(self, DecisionPath::Cached { .. })
+    }
+
+    /// Whether the engine abandoned tuning and fell back to the
+    /// reference CSR path (unwrapping any cache layers).
+    pub fn is_degraded(&self) -> bool {
+        matches!(self.source(), DecisionPath::Degraded { .. })
     }
 }
 
@@ -236,6 +256,15 @@ impl<T: Scalar> Smat<T> {
         &self.lib
     }
 
+    /// Mutable access to the kernel library, for registering extra
+    /// variants (see [`KernelLibrary`]'s `register_*` methods). Fault
+    /// isolation guarantees a registered kernel that panics or stalls
+    /// during the execute-and-measure fallback is recorded as a failed
+    /// candidate rather than aborting tuning.
+    pub fn library_mut(&mut self) -> &mut KernelLibrary<T> {
+        &mut self.lib
+    }
+
     /// The installation whose kernel choice this engine adopted, if
     /// one was loaded or generated.
     pub fn installation(&self) -> Option<&Installation> {
@@ -278,11 +307,13 @@ impl<T: Scalar> Smat<T> {
         }
         let t0 = Instant::now();
         let key = csr.fingerprint();
+        let limits = self.config.conversion_limits();
         if let Some(hit) = self.cache.get(&key) {
             // Same structure ⇒ the conversion that succeeded on the
-            // miss succeeds again (fill limits are structural); fall
-            // through defensively if it somehow does not.
-            if let Ok(matrix) = AnyMatrix::convert_from_csr(csr, hit.format) {
+            // miss succeeds again (fill limits and byte budgets are
+            // structural); fall through defensively if it somehow does
+            // not.
+            if let Ok(matrix) = AnyMatrix::convert_from_csr_with(csr, hit.format, &limits) {
                 let elapsed = t0.elapsed();
                 self.cache.record(true, elapsed);
                 return TunedSpmv {
@@ -297,22 +328,62 @@ impl<T: Scalar> Smat<T> {
             }
         }
         let tuned = self.tune(csr);
-        self.cache.insert(
-            key,
-            CachedDecision {
-                format: tuned.format(),
-                kernel: tuned.kernel,
-                features: tuned.features,
-                source: tuned.decision.clone(),
-            },
-        );
+        // A degraded decision reflects a transient or input-specific
+        // failure (poisoned values, every candidate failing): never
+        // cache it, so a healthy matrix of the same structure re-tunes.
+        if !tuned.decision.is_degraded() {
+            self.cache.insert(
+                key,
+                CachedDecision {
+                    format: tuned.format(),
+                    kernel: tuned.kernel,
+                    features: tuned.features,
+                    source: tuned.decision.clone(),
+                },
+            );
+        }
         self.cache.record(false, t0.elapsed());
         tuned
+    }
+
+    /// Builds the degraded-mode result: the matrix stays in CSR and the
+    /// reference (variant 0) CSR kernel runs it.
+    fn degrade(
+        &self,
+        csr: &Csr<T>,
+        features: FeatureVector,
+        reason: String,
+        t0: Instant,
+    ) -> TunedSpmv<T> {
+        TunedSpmv {
+            matrix: AnyMatrix::Csr(csr.clone()),
+            kernel: KernelId::basic(Format::Csr),
+            features,
+            decision: DecisionPath::Degraded { reason },
+            prepare_time: t0.elapsed(),
+        }
     }
 
     /// The uncached Figure 7 pipeline.
     fn tune(&self, csr: &Csr<T>) -> TunedSpmv<T> {
         let t0 = Instant::now();
+        // Input screening: a poisoned matrix (NaN/Inf values) would
+        // corrupt every fallback measurement and the tuned result
+        // alike, so it is quarantined to the reference path up front.
+        // Feature extraction is value-blind, so it stays safe to run
+        // for observability.
+        let limits = self.config.conversion_limits();
+        if self.config.screen_inputs {
+            if let Some((row, col)) = csr.first_non_finite() {
+                let features = extract_structure(csr).features;
+                return self.degrade(
+                    csr,
+                    features,
+                    format!("non-finite value at ({row}, {col}); input quarantined"),
+                    t0,
+                );
+            }
+        }
         // Step 1 features; R is filled lazily below.
         let structure = extract_structure(csr);
         let mut features = structure.features;
@@ -338,7 +409,7 @@ impl<T: Scalar> Smat<T> {
 
         if let Some((format, confidence)) = first_match {
             if confidence >= self.config.confidence_threshold {
-                if let Ok(matrix) = AnyMatrix::convert_from_csr(csr, format) {
+                if let Ok(matrix) = AnyMatrix::convert_from_csr_with(csr, format, &limits) {
                     return TunedSpmv {
                         kernel: self.model.kernel_choice.kernel(format),
                         matrix,
@@ -347,8 +418,8 @@ impl<T: Scalar> Smat<T> {
                         prepare_time: t0.elapsed(),
                     };
                 }
-                // Conversion refused (fill blow-up): distrust the rule and
-                // fall through to measurement.
+                // Conversion refused (fill blow-up or byte budget):
+                // distrust the rule and fall through to measurement.
             }
         }
 
@@ -365,32 +436,67 @@ impl<T: Scalar> Smat<T> {
         let x = vec![T::ONE; csr.cols()];
         let mut y = vec![T::ZERO; csr.rows()];
         let mut measured: Vec<(Format, f64)> = Vec::with_capacity(candidates.len());
+        let mut failures: Vec<(Format, String)> = Vec::new();
         let mut best: Option<(Format, f64, AnyMatrix<T>)> = None;
         for format in candidates {
-            let Ok(any) = AnyMatrix::convert_from_csr(csr, format) else {
-                continue;
+            // A conversion refused by a limit is a pruned candidate,
+            // not an error: tuning continues with the survivors.
+            let any = match AnyMatrix::convert_from_csr_with(csr, format, &limits) {
+                Ok(any) => any,
+                Err(e) => {
+                    failures.push((format, format!("conversion refused: {e}")));
+                    continue;
+                }
             };
             let variant = self.model.kernel_choice.kernel(format).variant;
-            let t = Instant::now();
-            self.lib.run(&any, variant, &x, &mut y);
-            let one = t.elapsed();
-            let reps = reps_for_budget(one, self.config.fallback_budget, 1, 16);
-            let med = time_median(|| self.lib.run(&any, variant, &x, &mut y), 0, reps);
-            let g = gflops(csr.nnz(), med);
-            measured.push((format, g));
-            if best.as_ref().is_none_or(|&(_, bg, _)| g > bg) {
-                best = Some((format, g, any));
+            let outcome = measure_guarded(
+                || self.lib.run(&any, variant, &x, &mut y),
+                self.config.fallback_budget,
+                self.config.candidate_deadline,
+                1,
+                16,
+            );
+            match outcome.ok() {
+                Some(med) => {
+                    let g = gflops(csr.nnz(), med);
+                    measured.push((format, g));
+                    if best.as_ref().is_none_or(|&(_, bg, _)| g > bg) {
+                        best = Some((format, g, any));
+                    }
+                }
+                None => {
+                    let reason = outcome
+                        .failure()
+                        .unwrap_or_else(|| "measurement failed".to_string());
+                    failures.push((format, reason));
+                }
             }
         }
-        let (format, _, matrix) = best.expect("CSR candidate always converts");
-        TunedSpmv {
-            kernel: self.model.kernel_choice.kernel(format),
-            matrix,
-            features,
-            decision: DecisionPath::Measured {
-                candidates: measured,
+        match best {
+            Some((format, _, matrix)) => TunedSpmv {
+                kernel: self.model.kernel_choice.kernel(format),
+                matrix,
+                features,
+                decision: DecisionPath::Measured {
+                    candidates: measured,
+                    failures,
+                },
+                prepare_time: t0.elapsed(),
             },
-            prepare_time: t0.elapsed(),
+            None => {
+                // Every candidate was pruned or failed measurement:
+                // degrade to the reference CSR kernel rather than fail.
+                let detail: Vec<String> = failures
+                    .iter()
+                    .map(|(f, why)| format!("{f:?}: {why}"))
+                    .collect();
+                self.degrade(
+                    csr,
+                    features,
+                    format!("all fallback candidates failed [{}]", detail.join("; ")),
+                    t0,
+                )
+            }
         }
     }
 
@@ -564,7 +670,7 @@ mod tests {
         let m = random_uniform::<f64>(800, 800, 12, 9);
         let tuned = e.prepare(&m);
         match tuned.decision() {
-            DecisionPath::Measured { candidates } => {
+            DecisionPath::Measured { candidates, .. } => {
                 assert!(!candidates.is_empty());
                 assert!(candidates.iter().any(|&(f, _)| f == Format::Csr));
                 for &(_, g) in candidates {
@@ -574,7 +680,7 @@ mod tests {
             other => panic!("expected fallback, got {other:?}"),
         }
         // The chosen format is the measured argmax.
-        if let DecisionPath::Measured { candidates } = tuned.decision() {
+        if let DecisionPath::Measured { candidates, .. } = tuned.decision() {
             let best = candidates
                 .iter()
                 .max_by(|a, b| a.1.total_cmp(&b.1))
@@ -597,7 +703,7 @@ mod tests {
         let tuned = e.prepare(&tridiagonal::<f64>(400));
         assert!(matches!(tuned.decision(), DecisionPath::Measured { .. }));
         // The predicted format (DIA) joins the fallback candidates.
-        if let DecisionPath::Measured { candidates } = tuned.decision() {
+        if let DecisionPath::Measured { candidates, .. } = tuned.decision() {
             assert!(candidates.iter().any(|&(f, _)| f == Format::Dia));
         }
     }
@@ -613,6 +719,113 @@ mod tests {
         m.spmv(&x, &mut expect).unwrap();
         assert_eq!(y, expect);
         assert!(tuned.prepare_time() > Duration::ZERO);
+    }
+
+    #[test]
+    fn poisoned_input_degrades_and_is_not_cached() {
+        let e = engine();
+        let mut m = tridiagonal::<f64>(300);
+        m.values_mut()[7] = f64::NAN;
+        let tuned = e.prepare(&m);
+        assert!(tuned.decision().is_degraded());
+        assert_eq!(tuned.format(), Format::Csr);
+        assert_eq!(tuned.kernel(), KernelId::basic(Format::Csr));
+        match tuned.decision() {
+            DecisionPath::Degraded { reason } => assert!(reason.contains("non-finite")),
+            other => panic!("expected Degraded, got {other:?}"),
+        }
+        // Degraded SpMV still runs (NaN propagates, but no panic).
+        let x = vec![1.0; 300];
+        let mut y = vec![0.0; 300];
+        e.spmv(&tuned, &x, &mut y).unwrap();
+        // The decision was not cached: a healthy matrix with the same
+        // structure gets a real (non-degraded, non-cached) decision.
+        let healthy = tridiagonal::<f64>(300);
+        let tuned2 = e.prepare(&healthy);
+        assert!(!tuned2.decision().is_degraded());
+        assert!(!tuned2.decision().is_cached());
+    }
+
+    #[test]
+    fn screening_can_be_disabled() {
+        let cfg = SmatConfig {
+            screen_inputs: false,
+            ..SmatConfig::fast()
+        };
+        let e = Smat::<f64>::with_config(model(), cfg).unwrap();
+        let mut m = tridiagonal::<f64>(200);
+        m.values_mut()[3] = f64::INFINITY;
+        let tuned = e.prepare(&m);
+        assert!(!tuned.decision().is_degraded());
+    }
+
+    #[test]
+    fn conversion_budget_prunes_fallback_candidates() {
+        // A budget too small for any format's conversion leaves only
+        // the formats that never allocate a converted copy... but CSR's
+        // "conversion" is a clone, which is not budget-gated, so the
+        // fallback still succeeds with CSR.
+        let cfg = SmatConfig {
+            confidence_threshold: 1.1, // force fallback
+            conversion_budget_bytes: Some(0),
+            fallback_formats: vec![Format::Csr, Format::Coo, Format::Ell],
+            ..SmatConfig::fast()
+        };
+        let e = Smat::<f64>::with_config(model(), cfg).unwrap();
+        let m = random_uniform::<f64>(300, 300, 8, 11);
+        let tuned = e.prepare(&m);
+        match tuned.decision() {
+            DecisionPath::Measured {
+                candidates,
+                failures,
+            } => {
+                assert!(candidates.iter().all(|&(f, _)| f != Format::Ell));
+                assert!(failures
+                    .iter()
+                    .any(|(f, why)| *f == Format::Ell && why.contains("budget")));
+            }
+            other => panic!("expected Measured with pruned ELL, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn panicking_registered_kernel_is_recorded_not_fatal() {
+        use smat_kernels::StrategySet;
+        fn bad_csr(_: &Csr<f64>, _: &[f64], _: &mut [f64]) {
+            panic!("registered kernel exploded");
+        }
+        // Predict the variant index the registration below will get, so
+        // the kernel choice can point at it before the engine is built.
+        let bad_variant = KernelLibrary::<f64>::new().variant_count(Format::Csr);
+        let mut model = model();
+        model.kernel_choice.set(Format::Csr, bad_variant);
+        let cfg = SmatConfig {
+            confidence_threshold: 1.1, // force fallback
+            fallback_formats: vec![Format::Csr],
+            ..SmatConfig::fast()
+        };
+        let mut e = Smat::<f64>::with_config(model, cfg).unwrap();
+        let id = e
+            .library_mut()
+            .register_csr("csr_bad", StrategySet::default(), bad_csr);
+        assert_eq!(id.variant, bad_variant);
+        let m = random_uniform::<f64>(200, 200, 6, 3);
+        let tuned = e.prepare(&m);
+        // The only candidate panicked -> degraded, but still usable:
+        // the degraded path pins the reference (variant 0) CSR kernel.
+        assert!(tuned.decision().is_degraded());
+        match tuned.decision() {
+            DecisionPath::Degraded { reason } => {
+                assert!(reason.contains("panicked"), "reason: {reason}");
+            }
+            other => panic!("expected Degraded, got {other:?}"),
+        }
+        let x = vec![1.0; 200];
+        let mut y = vec![0.0; 200];
+        e.spmv(&tuned, &x, &mut y).unwrap();
+        let mut expect = vec![0.0; 200];
+        m.spmv(&x, &mut expect).unwrap();
+        assert_eq!(y, expect);
     }
 
     #[test]

@@ -79,9 +79,12 @@ pub fn analyze<T: Scalar>(
     // was served.
     let (model_prediction, executed) = match tuned.decision().source() {
         DecisionPath::Predicted { .. } => (Some(tuned.format()), Vec::new()),
-        DecisionPath::Measured { candidates } => {
+        DecisionPath::Measured { candidates, .. } => {
             (None, candidates.iter().map(|&(f, _)| f).collect())
         }
+        // Degraded: nothing was predicted and nothing was successfully
+        // measured; the row reports CSR with no executed candidates.
+        DecisionPath::Degraded { .. } => (None, Vec::new()),
         DecisionPath::Cached { .. } => unreachable!("source() unwraps Cached"),
     };
     let (best_format, format_gflops) =

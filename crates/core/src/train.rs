@@ -6,7 +6,7 @@ use crate::config::{SmatConfig, GROUP_ORDER};
 use crate::error::{Result, SmatError};
 use crate::model::{class_names, group_class_order, TrainStats, TrainedModel};
 use smat_features::{extract_features, ATTRIBUTE_NAMES};
-use smat_kernels::timing::{gflops, reps_for_budget, time_median};
+use smat_kernels::timing::{gflops, measure_guarded};
 use smat_kernels::{measure_format, KernelChoice, KernelLibrary, PerfTable};
 use smat_learn::{order_by_contribution, tailor, Dataset, DecisionTree, RuleGroups, RuleSet};
 use smat_matrix::gen::{banded, fixed_degree, power_law, random_skewed, random_uniform};
@@ -14,10 +14,14 @@ use smat_matrix::{AnyMatrix, Csr, Format, Scalar};
 use std::time::Duration;
 
 /// Measures the chosen kernel of every format on `m` and returns the
-/// per-format throughputs (0 for formats whose conversion was refused).
+/// per-format throughputs (0 for formats whose conversion was refused
+/// or whose kernel panicked or overran
+/// [`smat_kernels::DEFAULT_CANDIDATE_DEADLINE`]).
 ///
 /// This is the ground-truth labeling step: the paper's "Best_Format"
 /// target attribute comes from exactly this exhaustive measurement.
+/// Every kernel execution is panic-isolated and deadlined, so a single
+/// misbehaving candidate cannot abort corpus labeling.
 pub fn measure_formats<T: Scalar>(
     lib: &KernelLibrary<T>,
     choice: &KernelChoice,
@@ -32,12 +36,16 @@ pub fn measure_formats<T: Scalar>(
             continue;
         };
         let variant = choice.kernel(format).variant;
-        let t0 = std::time::Instant::now();
-        lib.run(&any, variant, &x, &mut y);
-        let one = t0.elapsed();
-        let reps = reps_for_budget(one, budget, 3, 32);
-        let med = time_median(|| lib.run(&any, variant, &x, &mut y), 0, reps);
-        out[format.index()] = gflops(m.nnz(), med);
+        let outcome = measure_guarded(
+            || lib.run(&any, variant, &x, &mut y),
+            budget,
+            smat_kernels::DEFAULT_CANDIDATE_DEADLINE,
+            3,
+            32,
+        );
+        if let Some(med) = outcome.ok() {
+            out[format.index()] = gflops(m.nnz(), med);
+        }
     }
     out
 }
@@ -107,7 +115,12 @@ impl Trainer {
             };
             let any = AnyMatrix::convert_from_csr(&probe, format)
                 .expect("probe matrices convert to their own format");
-            let table = measure_format(lib, &any, self.config.search_budget);
+            let table = measure_format(
+                lib,
+                &any,
+                self.config.search_budget,
+                self.config.candidate_deadline,
+            );
             choice.set(format, table.scoreboard().best_variant);
             tables.push(table);
         }

@@ -34,6 +34,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod coo;
 pub mod csr;
@@ -48,5 +49,9 @@ pub mod strategy;
 pub mod timing;
 
 pub use registry::{KernelEntry, KernelFn, KernelId, KernelInfo, KernelLibrary};
-pub use search::{measure_format, search_kernels, KernelChoice, PerfRecord, PerfTable, Scoreboard};
+pub use search::{
+    measure_format, search_kernels, KernelChoice, PerfRecord, PerfTable, RecordStatus, Scoreboard,
+    DEFAULT_CANDIDATE_DEADLINE,
+};
 pub use strategy::{Strategy, StrategySet};
+pub use timing::{measure_guarded, panic_message, MeasureOutcome};

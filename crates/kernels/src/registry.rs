@@ -144,6 +144,80 @@ impl<T: Scalar> KernelLibrary<T> {
         self.variants(id.format)[id.variant]
     }
 
+    /// Registers an additional CSR kernel variant, returning its id.
+    ///
+    /// Extension point for the paper's "add new kernels" claim and for
+    /// fault-injection tests; the new variant participates in the
+    /// guarded search like any built-in one.
+    pub fn register_csr(
+        &mut self,
+        name: &'static str,
+        strategies: StrategySet,
+        f: KernelFn<T, Csr<T>>,
+    ) -> KernelId {
+        self.csr.push((name, strategies, f));
+        KernelId {
+            format: Format::Csr,
+            variant: self.csr.len() - 1,
+        }
+    }
+
+    /// Registers an additional COO kernel variant, returning its id.
+    pub fn register_coo(
+        &mut self,
+        name: &'static str,
+        strategies: StrategySet,
+        f: KernelFn<T, Coo<T>>,
+    ) -> KernelId {
+        self.coo.push((name, strategies, f));
+        KernelId {
+            format: Format::Coo,
+            variant: self.coo.len() - 1,
+        }
+    }
+
+    /// Registers an additional DIA kernel variant, returning its id.
+    pub fn register_dia(
+        &mut self,
+        name: &'static str,
+        strategies: StrategySet,
+        f: KernelFn<T, Dia<T>>,
+    ) -> KernelId {
+        self.dia.push((name, strategies, f));
+        KernelId {
+            format: Format::Dia,
+            variant: self.dia.len() - 1,
+        }
+    }
+
+    /// Registers an additional ELL kernel variant, returning its id.
+    pub fn register_ell(
+        &mut self,
+        name: &'static str,
+        strategies: StrategySet,
+        f: KernelFn<T, Ell<T>>,
+    ) -> KernelId {
+        self.ell.push((name, strategies, f));
+        KernelId {
+            format: Format::Ell,
+            variant: self.ell.len() - 1,
+        }
+    }
+
+    /// Registers an additional HYB kernel variant, returning its id.
+    pub fn register_hyb(
+        &mut self,
+        name: &'static str,
+        strategies: StrategySet,
+        f: KernelFn<T, Hyb<T>>,
+    ) -> KernelId {
+        self.hyb.push((name, strategies, f));
+        KernelId {
+            format: Format::Hyb,
+            variant: self.hyb.len() - 1,
+        }
+    }
+
     /// Runs variant `variant` of the matrix's own format: `y = A * x`.
     ///
     /// # Panics
@@ -227,6 +301,48 @@ mod tests {
         assert_eq!(id.variant, 0);
         let lib = KernelLibrary::<f32>::new();
         assert_eq!(lib.info(id).name, "ell_basic");
+    }
+
+    #[test]
+    fn registered_variants_dispatch_like_builtins() {
+        let mut lib = KernelLibrary::<f64>::new();
+        let before = lib.variant_count(Format::Csr);
+        let id = lib.register_csr("csr_double", StrategySet::default(), |m, x, y| {
+            m.spmv(x, y).expect("sized vectors");
+            for v in y.iter_mut() {
+                *v *= 2.0;
+            }
+        });
+        assert_eq!(id.format, Format::Csr);
+        assert_eq!(id.variant, before);
+        assert_eq!(lib.variant_count(Format::Csr), before + 1);
+        assert_eq!(lib.info(id).name, "csr_double");
+        let csr = random_uniform::<f64>(30, 30, 3, 5);
+        let x = vec![1.0; 30];
+        let mut expect = vec![0.0; 30];
+        csr.spmv(&x, &mut expect).unwrap();
+        let mut y = vec![0.0; 30];
+        lib.run(&AnyMatrix::Csr(csr), id.variant, &x, &mut y);
+        for (a, b) in y.iter().zip(&expect) {
+            assert!((a - 2.0 * b).abs() < 1e-12);
+        }
+        // The other formats register too.
+        let id = lib.register_coo("coo_x", StrategySet::default(), |m, x, y| {
+            m.spmv(x, y).expect("sized vectors");
+        });
+        assert_eq!(id.variant, lib.variant_count(Format::Coo) - 1);
+        let id = lib.register_dia("dia_x", StrategySet::default(), |m, x, y| {
+            m.spmv(x, y).expect("sized vectors");
+        });
+        assert_eq!(id.variant, lib.variant_count(Format::Dia) - 1);
+        let id = lib.register_ell("ell_x", StrategySet::default(), |m, x, y| {
+            m.spmv(x, y).expect("sized vectors");
+        });
+        assert_eq!(id.variant, lib.variant_count(Format::Ell) - 1);
+        let id = lib.register_hyb("hyb_x", StrategySet::default(), |m, x, y| {
+            m.spmv(x, y).expect("sized vectors");
+        });
+        assert_eq!(id.variant, lib.variant_count(Format::Hyb) - 1);
     }
 
     #[test]

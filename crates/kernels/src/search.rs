@@ -11,7 +11,7 @@
 
 use crate::registry::{KernelId, KernelLibrary};
 use crate::strategy::{Strategy, StrategySet};
-use crate::timing::{gflops, reps_for_budget, time_median};
+use crate::timing::{gflops, measure_guarded, MeasureOutcome};
 use serde::{Deserialize, Serialize};
 use smat_matrix::{AnyMatrix, Csr, Format, Scalar};
 use std::time::Duration;
@@ -20,6 +20,21 @@ use std::time::Duration;
 /// no effect — the paper's 0.01 threshold.
 pub const NO_EFFECT_GAP: f64 = 0.01;
 
+/// Whether a perf-table row holds a real measurement or records a
+/// candidate that failed inside the guarded harness.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RecordStatus {
+    /// The variant ran to completion and `gflops` is meaningful.
+    #[default]
+    Measured,
+    /// The variant panicked or blew its deadline; it is excluded from
+    /// the scoreboard and can never be selected.
+    CandidateFailed {
+        /// Human-readable failure description from the harness.
+        reason: String,
+    },
+}
+
 /// One row of the performance record table.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PerfRecord {
@@ -27,8 +42,17 @@ pub struct PerfRecord {
     pub name: String,
     /// Strategies the variant applies.
     pub strategies: StrategySet,
-    /// Measured throughput on the probe matrix.
+    /// Measured throughput on the probe matrix (0 for failed variants).
     pub gflops: f64,
+    /// Measurement vs. failure marker.
+    pub status: RecordStatus,
+}
+
+impl PerfRecord {
+    /// Whether this row holds a real measurement.
+    pub fn is_measured(&self) -> bool {
+        self.status == RecordStatus::Measured
+    }
 }
 
 /// The performance record table for one format on one probe matrix.
@@ -52,7 +76,13 @@ impl PerfTable {
     pub fn scoreboard(&self) -> Scoreboard {
         let mut scores: Vec<(Strategy, i32)> = Strategy::ALL.into_iter().map(|s| (s, 0)).collect();
         for (i, a) in self.records.iter().enumerate() {
+            if !a.is_measured() {
+                continue;
+            }
             for b in &self.records[i..] {
+                if !b.is_measured() {
+                    continue;
+                }
                 let (less, more) = if a.strategies.is_one_less_than(b.strategies) {
                     (a, b)
                 } else if b.strategies.is_one_less_than(a.strategies) {
@@ -89,7 +119,9 @@ impl PerfTable {
         for (v, rec) in self.records.iter().enumerate() {
             let s = strategy_score(rec.strategies);
             impl_scores.push(s);
-            if (s, rec.gflops) > best_key {
+            // A failed variant keeps its slot in impl_scores (indices
+            // stay aligned with the library) but can never be selected.
+            if rec.is_measured() && (s, rec.gflops) > best_key {
                 best_key = (s, rec.gflops);
                 best = v;
             }
@@ -107,9 +139,25 @@ impl PerfTable {
         self.records
             .iter()
             .enumerate()
+            .filter(|(_, r)| r.is_measured())
             .max_by(|a, b| a.1.gflops.total_cmp(&b.1.gflops))
             .map(|(i, _)| i)
             .unwrap_or(0)
+    }
+
+    /// Rows that failed inside the guarded harness, as
+    /// `(variant index, name, reason)`.
+    pub fn failures(&self) -> Vec<(usize, &str, &str)> {
+        self.records
+            .iter()
+            .enumerate()
+            .filter_map(|(v, r)| match &r.status {
+                RecordStatus::Measured => None,
+                RecordStatus::CandidateFailed { reason } => {
+                    Some((v, r.name.as_str(), reason.as_str()))
+                }
+            })
+            .collect()
     }
 }
 
@@ -154,19 +202,23 @@ impl KernelChoice {
     }
 }
 
+/// Default per-candidate deadline used by [`search_kernels`] and any
+/// caller that has no configured deadline of its own.
+pub const DEFAULT_CANDIDATE_DEADLINE: Duration = Duration::from_secs(2);
+
 /// Measures every variant of `format` on the probe matrix and returns the
 /// performance record table.
 ///
-/// `budget` bounds the total measurement time per variant.
-///
-/// # Panics
-///
-/// Panics if the probe's vector lengths are inconsistent (cannot happen
-/// when called with vectors sized from the matrix).
+/// `budget` bounds the total measurement time per variant; `deadline` is
+/// the hard per-variant cap enforced by the guarded harness. Every
+/// kernel invocation runs inside [`measure_guarded`]'s `catch_unwind`,
+/// so a panicking or over-deadline variant is recorded as
+/// [`RecordStatus::CandidateFailed`] rather than aborting the search.
 pub fn measure_format<T: Scalar>(
     lib: &KernelLibrary<T>,
     probe: &AnyMatrix<T>,
     budget: Duration,
+    deadline: Duration,
 ) -> PerfTable {
     let format = probe.format();
     let x = vec![T::ONE; probe.cols()];
@@ -174,17 +226,24 @@ pub fn measure_format<T: Scalar>(
     let nnz = probe.nnz();
     let mut records = Vec::with_capacity(lib.variant_count(format));
     for (v, info) in lib.variants(format).into_iter().enumerate() {
-        // One untimed run to estimate cost, then budget-driven reps.
-        let t0 = std::time::Instant::now();
-        lib.run(probe, v, &x, &mut y);
-        let one = t0.elapsed();
-        let reps = reps_for_budget(one, budget, 3, 64);
-        let med = time_median(|| lib.run(probe, v, &x, &mut y), 1, reps);
-        records.push(PerfRecord {
-            name: info.name.to_string(),
-            strategies: info.strategies,
-            gflops: gflops(nnz, med),
-        });
+        let outcome = measure_guarded(|| lib.run(probe, v, &x, &mut y), budget, deadline, 3, 64);
+        let record = match outcome {
+            MeasureOutcome::Ok(med) => PerfRecord {
+                name: info.name.to_string(),
+                strategies: info.strategies,
+                gflops: gflops(nnz, med),
+                status: RecordStatus::Measured,
+            },
+            failed => PerfRecord {
+                name: info.name.to_string(),
+                strategies: info.strategies,
+                gflops: 0.0,
+                status: RecordStatus::CandidateFailed {
+                    reason: failed.failure().unwrap_or_else(|| "unknown failure".into()),
+                },
+            },
+        };
+        records.push(record);
     }
     PerfTable { format, records }
 }
@@ -194,7 +253,9 @@ pub fn measure_format<T: Scalar>(
 /// the scoreboard winner per format.
 ///
 /// Formats whose conversion fails on the probe (e.g. DIA on a scattered
-/// matrix) keep their basic variant and get an empty perf table.
+/// matrix) keep their basic variant and get an empty perf table; a
+/// format whose every variant fails in the harness likewise keeps its
+/// basic variant (the scoreboard never selects a failed row).
 pub fn search_kernels<T: Scalar>(
     lib: &KernelLibrary<T>,
     probe: &Csr<T>,
@@ -205,7 +266,8 @@ pub fn search_kernels<T: Scalar>(
     for format in Format::ALL {
         match AnyMatrix::convert_from_csr(probe, format) {
             Ok(any) => {
-                let table = measure_format(lib, &any, budget_per_variant);
+                let table =
+                    measure_format(lib, &any, budget_per_variant, DEFAULT_CANDIDATE_DEADLINE);
                 choice.set(format, table.scoreboard().best_variant);
                 tables.push(table);
             }
@@ -234,6 +296,7 @@ mod tests {
                     name: name.to_string(),
                     strategies: strats.iter().copied().collect(),
                     gflops: g,
+                    status: RecordStatus::Measured,
                 })
                 .collect(),
         }
@@ -310,6 +373,73 @@ mod tests {
             ("c", &[Parallel], 2.0),
         ]);
         assert_eq!(t.fastest_variant(), 1);
+    }
+
+    #[test]
+    fn failed_records_are_excluded_from_selection() {
+        use Strategy::*;
+        let mut t = table(&[
+            ("basic", &[], 1.0),
+            ("unroll", &[Unroll], 9.0),
+            ("parallel", &[Parallel], 2.0),
+        ]);
+        // Mark the fastest variant as failed: it must vanish from both
+        // the scoreboard pairing and the final selection.
+        t.records[1].status = RecordStatus::CandidateFailed {
+            reason: "kernel panicked: test".into(),
+        };
+        t.records[1].gflops = 0.0;
+        let sb = t.scoreboard();
+        assert_ne!(sb.best_variant, 1, "failed variant must not win");
+        assert_ne!(t.fastest_variant(), 1);
+        let score = |s: Strategy| sb.strategy_scores.iter().find(|e| e.0 == s).unwrap().1;
+        assert_eq!(score(Unroll), 0, "failed row contributes no evidence");
+        assert_eq!(t.failures().len(), 1);
+        assert_eq!(t.failures()[0].0, 1);
+        // JSON round trip preserves the failure marker.
+        let json = serde_json::to_string(&t).unwrap();
+        let back: PerfTable = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn all_failed_table_selects_basic() {
+        use Strategy::*;
+        let mut t = table(&[("basic", &[], 0.0), ("unroll", &[Unroll], 0.0)]);
+        for r in &mut t.records {
+            r.status = RecordStatus::CandidateFailed {
+                reason: "deadline exceeded".into(),
+            };
+        }
+        assert_eq!(t.scoreboard().best_variant, 0);
+        assert_eq!(t.fastest_variant(), 0);
+    }
+
+    #[test]
+    fn measure_format_records_panicking_variant_as_failed() {
+        let mut lib = KernelLibrary::<f64>::new();
+        let healthy = lib.variant_count(Format::Csr);
+        lib.register_csr("csr_poison", StrategySet::default(), |_, _, _| {
+            panic!("injected fault")
+        });
+        let probe = random_uniform::<f64>(200, 200, 4, 7);
+        let any = AnyMatrix::Csr(probe);
+        let table = measure_format(
+            &lib,
+            &any,
+            Duration::from_micros(100),
+            DEFAULT_CANDIDATE_DEADLINE,
+        );
+        assert_eq!(table.records.len(), healthy + 1);
+        let poisoned = &table.records[healthy];
+        assert!(!poisoned.is_measured());
+        assert!(matches!(
+            &poisoned.status,
+            RecordStatus::CandidateFailed { reason } if reason.contains("injected fault")
+        ));
+        // Every healthy variant still measured, and the winner is sane.
+        assert!(table.records[..healthy].iter().all(PerfRecord::is_measured));
+        assert_ne!(table.scoreboard().best_variant, healthy);
     }
 
     #[test]

@@ -1,7 +1,118 @@
 //! Timing utilities shared by the kernel search, the execute-and-measure
 //! fallback and the benchmark harness.
+//!
+//! The *guarded* harness ([`measure_guarded`]) is the fault-isolation
+//! boundary of the whole tuning pipeline: every candidate-kernel
+//! execution in the scoreboard search and in the runtime fallback goes
+//! through it, so a panicking or pathologically slow kernel is reported
+//! as a [`MeasureOutcome`] instead of aborting tuning.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
+
+/// Outcome of one guarded candidate measurement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MeasureOutcome {
+    /// The candidate ran to completion; median duration of the timed
+    /// repetitions.
+    Ok(Duration),
+    /// The candidate panicked; the stringified panic payload.
+    Panicked(String),
+    /// The per-candidate deadline elapsed before measurement finished.
+    ///
+    /// The deadline is *cooperative*: a running repetition cannot be
+    /// interrupted from safe Rust, so it is checked between repetitions
+    /// and the candidate is abandoned at the first opportunity.
+    TimedOut {
+        /// Wall-clock spent when the deadline check fired.
+        elapsed: Duration,
+        /// The configured deadline.
+        deadline: Duration,
+    },
+}
+
+impl MeasureOutcome {
+    /// The measured duration, if the candidate completed.
+    pub fn ok(&self) -> Option<Duration> {
+        match self {
+            MeasureOutcome::Ok(d) => Some(*d),
+            _ => None,
+        }
+    }
+
+    /// A short human-readable failure description, or `None` on success.
+    pub fn failure(&self) -> Option<String> {
+        match self {
+            MeasureOutcome::Ok(_) => None,
+            MeasureOutcome::Panicked(msg) => Some(format!("kernel panicked: {msg}")),
+            MeasureOutcome::TimedOut { elapsed, deadline } => Some(format!(
+                "deadline exceeded: {elapsed:?} spent against a {deadline:?} budget"
+            )),
+        }
+    }
+}
+
+/// Renders a panic payload (from [`catch_unwind`]) as a string: `&str`
+/// and `String` payloads verbatim, anything else a placeholder.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Measures the median wall-clock time of `f` with panic isolation and a
+/// cooperative per-candidate deadline.
+///
+/// One untimed probe run estimates cost, then [`reps_for_budget`] picks
+/// a repetition count for `budget` total measurement time, clamped to
+/// `[min_reps, max_reps]`. Every run — probe included — executes inside
+/// [`catch_unwind`], and the deadline is checked after each run, so a
+/// misbehaving kernel yields [`MeasureOutcome::Panicked`] or
+/// [`MeasureOutcome::TimedOut`] instead of taking the caller down.
+pub fn measure_guarded<F: FnMut()>(
+    mut f: F,
+    budget: Duration,
+    deadline: Duration,
+    min_reps: usize,
+    max_reps: usize,
+) -> MeasureOutcome {
+    let start = Instant::now();
+    // Untimed probe run: catches panics early and estimates cost.
+    let t0 = Instant::now();
+    if let Err(payload) = catch_unwind(AssertUnwindSafe(&mut f)) {
+        return MeasureOutcome::Panicked(panic_message(payload.as_ref()));
+    }
+    let one = t0.elapsed();
+    if start.elapsed() > deadline {
+        return MeasureOutcome::TimedOut {
+            elapsed: start.elapsed(),
+            deadline,
+        };
+    }
+    let reps = reps_for_budget(one, budget, min_reps, max_reps);
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        if start.elapsed() > deadline {
+            // Deadline hit mid-measurement: abandon the candidate rather
+            // than trust a truncated sample set.
+            return MeasureOutcome::TimedOut {
+                elapsed: start.elapsed(),
+                deadline,
+            };
+        }
+        let t0 = Instant::now();
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(&mut f)) {
+            return MeasureOutcome::Panicked(panic_message(payload.as_ref()));
+        }
+        samples.push(t0.elapsed());
+    }
+    samples.sort_unstable();
+    MeasureOutcome::Ok(samples[samples.len() / 2])
+}
 
 /// Measures the median wall-clock time of `f` over `reps` runs after
 /// `warmup` untimed runs.
@@ -76,6 +187,67 @@ mod tests {
         // 2e6 flops / 1e-3 s = 2e9 flop/s = 2 GFLOPS.
         assert!((g - 2.0).abs() < 1e-9);
         assert_eq!(gflops(10, Duration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn guarded_measurement_succeeds_on_healthy_kernel() {
+        let out = measure_guarded(
+            || {
+                std::hint::black_box((0..1000).sum::<u64>());
+            },
+            Duration::from_micros(200),
+            Duration::from_secs(5),
+            1,
+            8,
+        );
+        let d = out.ok().expect("healthy kernel must measure");
+        assert!(d > Duration::ZERO);
+        assert!(out.failure().is_none());
+    }
+
+    #[test]
+    fn guarded_measurement_catches_panic() {
+        let out = measure_guarded(
+            || panic!("kernel exploded"),
+            Duration::from_micros(100),
+            Duration::from_secs(1),
+            1,
+            4,
+        );
+        match &out {
+            MeasureOutcome::Panicked(msg) => assert!(msg.contains("kernel exploded")),
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        assert!(out.failure().expect("failed").contains("panicked"));
+    }
+
+    #[test]
+    fn guarded_measurement_enforces_deadline() {
+        let out = measure_guarded(
+            || std::thread::sleep(Duration::from_millis(4)),
+            Duration::from_secs(10),
+            Duration::from_millis(1),
+            3,
+            64,
+        );
+        match out {
+            MeasureOutcome::TimedOut { elapsed, deadline } => {
+                assert!(elapsed >= deadline);
+                assert_eq!(deadline, Duration::from_millis(1));
+            }
+            other => panic!("expected TimedOut, got {other:?}"),
+        }
+        assert!(out.failure().expect("failed").contains("deadline"));
+    }
+
+    #[test]
+    fn panic_payload_stringification() {
+        let err = std::panic::catch_unwind(|| panic!("literal")).unwrap_err();
+        assert_eq!(panic_message(err.as_ref()), "literal");
+        let err = std::panic::catch_unwind(|| panic!("formatted {}", 7)).unwrap_err();
+        assert_eq!(panic_message(err.as_ref()), "formatted 7");
+        let err = std::panic::catch_unwind(|| std::panic::panic_any(42i32)).unwrap_err();
+        assert_eq!(panic_message(err.as_ref()), "non-string panic payload");
     }
 
     #[test]

@@ -55,12 +55,24 @@ impl From<serde_json::Error> for PersistError {
 
 /// Saves any serializable artifact as pretty JSON.
 ///
+/// The write is atomic: the JSON goes to a `<path>.tmp` sibling first
+/// and is renamed into place, so a crash mid-write can never leave a
+/// half-written file that a later loader would trust.
+///
 /// # Errors
 ///
 /// Returns [`PersistError`] on I/O or serialization failure.
 pub fn save_json<T: Serialize>(value: &T, path: impl AsRef<Path>) -> Result<(), PersistError> {
+    let path = path.as_ref();
     let text = serde_json::to_string_pretty(value)?;
-    std::fs::write(path, text)?;
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    if let Err(e) = std::fs::write(&tmp, text).and_then(|()| std::fs::rename(&tmp, path)) {
+        // Best-effort cleanup so a failed save does not litter.
+        std::fs::remove_file(&tmp).ok();
+        return Err(e.into());
+    }
     Ok(())
 }
 

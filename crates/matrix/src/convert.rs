@@ -5,11 +5,76 @@
 //! value that decision produces: the same logical matrix, physically stored
 //! in whichever format the tuner picked.
 
+use crate::dia::DEFAULT_DIA_FILL_LIMIT;
+use crate::ell::DEFAULT_ELL_FILL_LIMIT;
 use crate::error::Result;
 use crate::{Coo, Csr, Dia, Ell, Hyb, Scalar};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
+
+/// Caps applied to format conversions: the classic fill-ratio limits for
+/// DIA/ELL plus an optional hard byte budget estimated *before* any
+/// storage is allocated (from `Ndiags * rows` for DIA, `max_RD * rows`
+/// for ELL, and the ELL/COO split sizes for HYB).
+///
+/// The byte budget is the resource-exhaustion guard: a pathological input
+/// (one dense row, a near-random diagonal scatter) is refused with
+/// [`crate::MatrixError::BudgetExceeded`] instead of being allowed to
+/// exhaust memory mid-conversion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConversionLimits {
+    /// Cap on DIA fill as a multiple of `nnz` (see
+    /// [`DEFAULT_DIA_FILL_LIMIT`]).
+    pub dia_fill_limit: usize,
+    /// Cap on ELL fill as a multiple of `nnz` (see
+    /// [`DEFAULT_ELL_FILL_LIMIT`]).
+    pub ell_fill_limit: usize,
+    /// Hard cap on the bytes a single conversion may allocate; `None`
+    /// disables the check.
+    pub budget_bytes: Option<usize>,
+}
+
+impl Default for ConversionLimits {
+    fn default() -> Self {
+        Self {
+            dia_fill_limit: DEFAULT_DIA_FILL_LIMIT,
+            ell_fill_limit: DEFAULT_ELL_FILL_LIMIT,
+            budget_bytes: None,
+        }
+    }
+}
+
+impl ConversionLimits {
+    /// Limits with no byte budget and effectively no fill caps — every
+    /// conversion that fits in memory is allowed.
+    pub fn unlimited() -> Self {
+        Self {
+            dia_fill_limit: usize::MAX,
+            ell_fill_limit: usize::MAX,
+            budget_bytes: None,
+        }
+    }
+
+    /// Checks an up-front allocation estimate against the byte budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::MatrixError::BudgetExceeded`] when a budget is
+    /// configured and `required_bytes` exceeds it.
+    pub fn check_bytes(&self, format: &'static str, required_bytes: usize) -> Result<()> {
+        if let Some(budget) = self.budget_bytes {
+            if required_bytes > budget {
+                return Err(crate::MatrixError::BudgetExceeded {
+                    format,
+                    required_bytes,
+                    budget_bytes: budget,
+                });
+            }
+        }
+        Ok(())
+    }
+}
 
 /// A storage format SMAT tunes over: the paper's four basic formats
 /// plus the [`Hyb`] extension (see that type's docs).
@@ -149,12 +214,29 @@ impl<T: Scalar> AnyMatrix<T> {
     /// Propagates [`crate::MatrixError::ConversionTooExpensive`] from the
     /// DIA/ELL converters when zero fill would blow up.
     pub fn convert_from_csr(csr: &Csr<T>, format: Format) -> Result<Self> {
+        Self::convert_from_csr_with(csr, format, &ConversionLimits::default())
+    }
+
+    /// Converts a CSR matrix into the requested physical format under
+    /// explicit [`ConversionLimits`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::MatrixError::ConversionTooExpensive`] when a
+    /// DIA/ELL fill limit is exceeded, or
+    /// [`crate::MatrixError::BudgetExceeded`] when the estimated
+    /// allocation exceeds the byte budget.
+    pub fn convert_from_csr_with(
+        csr: &Csr<T>,
+        format: Format,
+        limits: &ConversionLimits,
+    ) -> Result<Self> {
         Ok(match format {
-            Format::Dia => AnyMatrix::Dia(Dia::from_csr(csr)?),
-            Format::Ell => AnyMatrix::Ell(Ell::from_csr(csr)?),
+            Format::Dia => AnyMatrix::Dia(Dia::from_csr_with(csr, limits)?),
+            Format::Ell => AnyMatrix::Ell(Ell::from_csr_with(csr, limits)?),
             Format::Csr => AnyMatrix::Csr(csr.clone()),
             Format::Coo => AnyMatrix::Coo(Coo::from_csr(csr)),
-            Format::Hyb => AnyMatrix::Hyb(Hyb::from_csr(csr)),
+            Format::Hyb => AnyMatrix::Hyb(Hyb::from_csr_with(csr, limits)?),
         })
     }
 
@@ -325,6 +407,33 @@ mod tests {
             any.spmv(&x, &mut y).unwrap();
             assert_eq!(y, expect, "spmv via {f}");
         }
+    }
+
+    #[test]
+    fn limits_gate_conversions_per_format() {
+        let csr = example();
+        let tight = ConversionLimits {
+            budget_bytes: Some(8),
+            ..ConversionLimits::unlimited()
+        };
+        // CSR and COO are never converted through the budget estimator:
+        // CSR is a clone of the input, COO is the same size as the input.
+        assert!(AnyMatrix::convert_from_csr_with(&csr, Format::Csr, &tight).is_ok());
+        assert!(AnyMatrix::convert_from_csr_with(&csr, Format::Coo, &tight).is_ok());
+        for f in [Format::Dia, Format::Ell, Format::Hyb] {
+            assert!(
+                matches!(
+                    AnyMatrix::convert_from_csr_with(&csr, f, &tight),
+                    Err(crate::MatrixError::BudgetExceeded { .. })
+                ),
+                "{f} must refuse an 8-byte budget"
+            );
+        }
+        assert_eq!(
+            AnyMatrix::convert_from_csr_with(&csr, Format::Dia, &ConversionLimits::default())
+                .unwrap(),
+            AnyMatrix::convert_from_csr(&csr, Format::Dia).unwrap()
+        );
     }
 
     #[test]

@@ -85,11 +85,11 @@ impl<T: Scalar> Csr<T> {
                 "row_ptr must start at 0".into(),
             ));
         }
-        if *row_ptr.last().expect("non-empty") != col_idx.len() {
+        if row_ptr[rows] != col_idx.len() {
             return Err(MatrixError::InvalidStructure(format!(
                 "row_ptr must end at nnz = {}, ends at {}",
                 col_idx.len(),
-                row_ptr.last().unwrap()
+                row_ptr[rows]
             )));
         }
         if col_idx.len() != values.len() {
@@ -457,6 +457,25 @@ impl<T: Scalar> Csr<T> {
         }
     }
 
+    /// The position of the first non-finite stored value (NaN or
+    /// infinity), or `None` when every value is finite.
+    ///
+    /// The SMAT runtime screens inputs with this before tuning: a
+    /// poisoned value would propagate through every candidate
+    /// measurement and into the product, so such matrices are served in
+    /// degraded mode instead of being tuned and cached.
+    pub fn first_non_finite(&self) -> Option<(usize, usize)> {
+        for r in 0..self.rows {
+            let span = self.row_ptr[r]..self.row_ptr[r + 1];
+            for k in span {
+                if !self.values[k].is_finite() {
+                    return Some((r, self.col_idx[k]));
+                }
+            }
+        }
+        None
+    }
+
     /// Verifies all structural invariants, returning a description of the
     /// first violation. Useful in tests and after unchecked construction.
     pub fn validate(&self) -> Result<()> {
@@ -656,6 +675,17 @@ mod tests {
         let d = m.to_dense();
         let back = Csr::from_dense(4, 4, &d, 0.0);
         assert_eq!(back, m);
+    }
+
+    #[test]
+    fn first_non_finite_locates_poison() {
+        let mut m = example();
+        assert_eq!(m.first_non_finite(), None);
+        m.values_mut()[5] = f64::NAN; // entry (2, 2)
+        assert_eq!(m.first_non_finite(), Some((2, 2)));
+        m.values_mut()[5] = 3.0;
+        m.values_mut()[8] = f64::INFINITY; // entry (3, 3)
+        assert_eq!(m.first_non_finite(), Some((3, 3)));
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! trade-off.
 
 use crate::error::{MatrixError, Result};
-use crate::{Csr, Scalar};
+use crate::{ConversionLimits, Csr, Scalar};
 use serde::{Deserialize, Serialize};
 
 /// Default cap on `Ndiags * rows` (the dense storage a DIA conversion
@@ -72,6 +72,26 @@ impl<T: Scalar> Dia<T> {
     /// Returns [`MatrixError::ConversionTooExpensive`] when the bound is
     /// exceeded.
     pub fn from_csr_with_limit(csr: &Csr<T>, fill_limit: usize) -> Result<Self> {
+        Self::from_csr_with(
+            csr,
+            &ConversionLimits {
+                dia_fill_limit: fill_limit,
+                ..ConversionLimits::unlimited()
+            },
+        )
+    }
+
+    /// Converts a CSR matrix to DIA under explicit [`ConversionLimits`]:
+    /// the fill-ratio cap plus an optional hard byte budget, both checked
+    /// from `Ndiags` *before* the dense storage is allocated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::ConversionTooExpensive`] when the fill
+    /// limit is exceeded, or [`MatrixError::BudgetExceeded`] when the
+    /// estimated allocation exceeds the byte budget.
+    pub fn from_csr_with(csr: &Csr<T>, limits: &ConversionLimits) -> Result<Self> {
+        let fill_limit = limits.dia_fill_limit;
         let rows = csr.rows();
         let cols = csr.cols();
         // First pass: which diagonals are occupied?
@@ -95,6 +115,13 @@ impl<T: Scalar> Dia<T> {
                 limit: budget,
             });
         }
+        // Allocation estimate: the dense value array plus the offsets.
+        limits.check_bytes(
+            "DIA",
+            dense
+                .saturating_mul(T::BYTES)
+                .saturating_add(offsets.len().saturating_mul(std::mem::size_of::<isize>())),
+        )?;
         // Map offset -> slot for the fill pass.
         let mut slot = vec![usize::MAX; diag_span.max(1)];
         for (d, &off) in offsets.iter().enumerate() {
@@ -296,6 +323,25 @@ mod tests {
             res,
             Err(MatrixError::ConversionTooExpensive { format: "DIA", .. })
         ));
+    }
+
+    #[test]
+    fn byte_budget_refuses_before_allocating() {
+        let csr = example_csr();
+        // 3 diagonals * 4 rows * 8 bytes + 3 offsets * 8 bytes = 120.
+        let tight = ConversionLimits {
+            budget_bytes: Some(64),
+            ..ConversionLimits::unlimited()
+        };
+        assert!(matches!(
+            Dia::from_csr_with(&csr, &tight),
+            Err(MatrixError::BudgetExceeded { format: "DIA", .. })
+        ));
+        let ample = ConversionLimits {
+            budget_bytes: Some(1024),
+            ..ConversionLimits::unlimited()
+        };
+        assert!(Dia::from_csr_with(&csr, &ample).is_ok());
     }
 
     #[test]

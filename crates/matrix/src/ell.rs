@@ -7,7 +7,7 @@
 //! padding — the behavior SMAT's `max_RD`/`var_RD` features capture.
 
 use crate::error::{MatrixError, Result};
-use crate::{Csr, Scalar};
+use crate::{ConversionLimits, Csr, Scalar};
 use serde::{Deserialize, Serialize};
 
 /// Default cap on `max_RD * rows` (the dense ELL storage) as a multiple of
@@ -62,6 +62,26 @@ impl<T: Scalar> Ell<T> {
     /// Returns [`MatrixError::ConversionTooExpensive`] when the bound is
     /// exceeded.
     pub fn from_csr_with_limit(csr: &Csr<T>, fill_limit: usize) -> Result<Self> {
+        Self::from_csr_with(
+            csr,
+            &ConversionLimits {
+                ell_fill_limit: fill_limit,
+                ..ConversionLimits::unlimited()
+            },
+        )
+    }
+
+    /// Converts a CSR matrix to ELL under explicit [`ConversionLimits`]:
+    /// the fill-ratio cap plus an optional hard byte budget, both checked
+    /// from `max_RD` *before* the dense storage is allocated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::ConversionTooExpensive`] when the fill
+    /// limit is exceeded, or [`MatrixError::BudgetExceeded`] when the
+    /// estimated allocation exceeds the byte budget.
+    pub fn from_csr_with(csr: &Csr<T>, limits: &ConversionLimits) -> Result<Self> {
+        let fill_limit = limits.ell_fill_limit;
         let rows = csr.rows();
         let width = (0..rows).map(|r| csr.row_degree(r)).max().unwrap_or(0);
         let dense = width.saturating_mul(rows);
@@ -73,6 +93,12 @@ impl<T: Scalar> Ell<T> {
                 limit: budget,
             });
         }
+        // Allocation estimate: dense value slots plus the parallel
+        // column-index array.
+        limits.check_bytes(
+            "ELL",
+            dense.saturating_mul(T::BYTES.saturating_add(std::mem::size_of::<usize>())),
+        )?;
         let mut data = vec![T::ZERO; dense];
         let mut indices = vec![0usize; dense];
         for r in 0..rows {
@@ -254,6 +280,24 @@ mod tests {
         assert!(matches!(
             res,
             Err(MatrixError::ConversionTooExpensive { format: "ELL", .. })
+        ));
+    }
+
+    #[test]
+    fn byte_budget_refuses_one_dense_row() {
+        // One dense row forces max_RD = n: the estimated allocation is
+        // n * n slots even though nnz is tiny.
+        let n = 256;
+        let mut triplets: Vec<(usize, usize, f64)> = (0..n).map(|c| (0, c, 1.0)).collect();
+        triplets.push((n - 1, 0, 1.0));
+        let csr = Csr::from_triplets(n, n, &triplets).unwrap();
+        let limits = ConversionLimits {
+            budget_bytes: Some(64 * 1024),
+            ..ConversionLimits::unlimited()
+        };
+        assert!(matches!(
+            Ell::from_csr_with(&csr, &limits),
+            Err(MatrixError::BudgetExceeded { format: "ELL", .. })
         ));
     }
 

@@ -43,6 +43,19 @@ pub enum MatrixError {
         /// The configured cap.
         limit: usize,
     },
+    /// Converting to the requested format would allocate more bytes than
+    /// the caller's memory budget allows. Unlike
+    /// [`MatrixError::ConversionTooExpensive`] (a fill-ratio heuristic),
+    /// this is a hard cap on estimated allocation, checked *before* any
+    /// storage is reserved.
+    BudgetExceeded {
+        /// Target format name.
+        format: &'static str,
+        /// Bytes the conversion would need to allocate.
+        required_bytes: usize,
+        /// The configured budget.
+        budget_bytes: usize,
+    },
     /// Failure parsing a Matrix Market stream.
     Parse {
         /// 1-based line number where parsing failed.
@@ -82,6 +95,14 @@ impl fmt::Display for MatrixError {
             } => write!(
                 f,
                 "conversion to {format} would store {would_store} entries, above the limit of {limit}"
+            ),
+            MatrixError::BudgetExceeded {
+                format,
+                required_bytes,
+                budget_bytes,
+            } => write!(
+                f,
+                "conversion to {format} would allocate {required_bytes} bytes, above the budget of {budget_bytes}"
             ),
             MatrixError::Parse { line, message } => {
                 write!(f, "matrix market parse error at line {line}: {message}")
@@ -130,6 +151,14 @@ mod tests {
             limit: 10,
         };
         assert!(e.to_string().contains("DIA"));
+
+        let e = MatrixError::BudgetExceeded {
+            format: "ELL",
+            required_bytes: 1 << 30,
+            budget_bytes: 1 << 20,
+        };
+        let s = e.to_string();
+        assert!(s.contains("ELL") && s.contains("budget"));
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! the rule groups exactly like the four basic formats.
 
 use crate::error::{MatrixError, Result};
-use crate::{Coo, Csr, Ell, Scalar};
+use crate::{ConversionLimits, Coo, Csr, Ell, Scalar};
 use serde::{Deserialize, Serialize};
 
 /// A sparse matrix in hybrid ELL+COO format.
@@ -59,6 +59,34 @@ impl<T: Scalar> Hyb<T> {
     /// Converts from CSR with the automatic width heuristic.
     pub fn from_csr(csr: &Csr<T>) -> Self {
         Self::from_csr_with_width(csr, auto_width(csr))
+    }
+
+    /// Converts from CSR under explicit [`ConversionLimits`]: the
+    /// automatic-width ELL/COO split sizes are estimated up front and
+    /// checked against the byte budget before any storage is allocated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::BudgetExceeded`] when the estimated
+    /// allocation exceeds the configured budget.
+    pub fn from_csr_with(csr: &Csr<T>, limits: &ConversionLimits) -> Result<Self> {
+        let width = auto_width(csr);
+        let rows = csr.rows();
+        // ELL part: width * rows slots of (value + column index); COO
+        // part: one (row, col, value) triple per spilled entry.
+        let ell_slots = width.saturating_mul(rows);
+        let coo_entries: usize = (0..rows)
+            .map(|r| csr.row_degree(r).saturating_sub(width))
+            .sum();
+        let slot = T::BYTES.saturating_add(std::mem::size_of::<usize>());
+        let triple = T::BYTES.saturating_add(2 * std::mem::size_of::<usize>());
+        limits.check_bytes(
+            "HYB",
+            ell_slots
+                .saturating_mul(slot)
+                .saturating_add(coo_entries.saturating_mul(triple)),
+        )?;
+        Ok(Self::from_csr_with_width(csr, width))
     }
 
     /// Converts from CSR, packing the first `width` entries of each row
@@ -284,6 +312,25 @@ mod tests {
         let mut y = [1.0; 3];
         h.spmv(&[1.0; 3], &mut y).unwrap();
         assert_eq!(y, [0.0; 3]);
+    }
+
+    #[test]
+    fn byte_budget_checks_the_split_estimate() {
+        let m = skewed();
+        let tight = ConversionLimits {
+            budget_bytes: Some(16),
+            ..ConversionLimits::unlimited()
+        };
+        assert!(matches!(
+            Hyb::from_csr_with(&m, &tight),
+            Err(MatrixError::BudgetExceeded { format: "HYB", .. })
+        ));
+        let ample = ConversionLimits {
+            budget_bytes: Some(1 << 20),
+            ..ConversionLimits::unlimited()
+        };
+        let h = Hyb::from_csr_with(&m, &ample).unwrap();
+        assert_eq!(h, Hyb::from_csr(&m), "budgeted path matches unbudgeted");
     }
 
     #[test]

@@ -115,9 +115,13 @@ pub fn read_matrix_market<T: Scalar, R: Read>(reader: R) -> Result<Csr<T>> {
     // Size line (skipping comments / blanks).
     let (mut rows, mut cols) = (0usize, 0usize);
     let mut size_seen = false;
+    let mut nnz_declared = 0usize;
+    let mut entries_read = 0usize;
+    let mut last_lno = lno;
     let mut triplets: Vec<(usize, usize, T)> = Vec::new();
     for (i, line) in lines {
         let lno = i + 1;
+        last_lno = lno;
         let line = line?;
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('%') {
@@ -127,11 +131,12 @@ pub fn read_matrix_market<T: Scalar, R: Read>(reader: R) -> Result<Csr<T>> {
             let mut it = trimmed.split_whitespace();
             rows = parse_usize(it.next(), lno)?;
             cols = parse_usize(it.next(), lno)?;
-            let nnz_declared = parse_usize(it.next(), lno)?;
+            nnz_declared = parse_usize(it.next(), lno)?;
             size_seen = true;
             triplets.reserve(nnz_declared);
             continue;
         }
+        entries_read += 1;
         let mut it = trimmed.split_whitespace();
         let r = parse_usize(it.next(), lno)?;
         let c = parse_usize(it.next(), lno)?;
@@ -175,6 +180,14 @@ pub fn read_matrix_market<T: Scalar, R: Read>(reader: R) -> Result<Csr<T>> {
         return Err(MatrixError::Parse {
             line: lno + 1,
             message: "missing size line".into(),
+        });
+    }
+    if entries_read != nnz_declared {
+        return Err(MatrixError::Parse {
+            line: last_lno,
+            message: format!(
+                "truncated or padded file: header declares {nnz_declared} entries, found {entries_read}"
+            ),
         });
     }
     Csr::from_triplets(rows, cols, &triplets)

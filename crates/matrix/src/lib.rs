@@ -29,6 +29,7 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 mod convert;
 mod coo;
@@ -44,7 +45,7 @@ pub mod gen;
 pub mod io;
 pub mod utils;
 
-pub use convert::{AnyMatrix, Format, ParseFormatError};
+pub use convert::{AnyMatrix, ConversionLimits, Format, ParseFormatError};
 pub use coo::Coo;
 pub use csr::{Csr, Iter as CsrIter};
 pub use dia::{Dia, DEFAULT_DIA_FILL_LIMIT};

@@ -37,6 +37,7 @@ fn explore(engine: &Smat<f64>, name: &str, m: &Csr<f64>) {
     let how = match tuned.decision().source() {
         DecisionPath::Predicted { confidence } => format!("predicted (conf {confidence:.2})"),
         DecisionPath::Measured { .. } => "execute-measure fallback".to_string(),
+        DecisionPath::Degraded { reason } => format!("degraded ({reason})"),
         DecisionPath::Cached { .. } => unreachable!("source() unwraps Cached"),
     };
     let cached = if tuned.decision().is_cached() {

@@ -44,10 +44,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             DecisionPath::Predicted { confidence } => {
                 format!("rule prediction (confidence {confidence:.2})")
             }
-            DecisionPath::Measured { candidates } => format!(
+            DecisionPath::Measured { candidates, .. } => format!(
                 "execute-measure over {:?}",
                 candidates.iter().map(|(f, _)| f.name()).collect::<Vec<_>>()
             ),
+            DecisionPath::Degraded { reason } => format!("degraded fallback ({reason})"),
             DecisionPath::Cached { .. } => unreachable!("source() unwraps Cached"),
         };
         println!(
