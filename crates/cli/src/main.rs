@@ -5,7 +5,8 @@
 //!               [--min-dim D] [--max-dim D]
 //! smat install  --out INSTALL.json [--probe-dim D]
 //! smat predict  --model MODEL.json MATRIX.mtx
-//! smat tune     --model MODEL.json [--install INSTALL.json] [--repeat N] MATRIX.mtx
+//! smat tune     --model MODEL.json [--install INSTALL.json] [--cache CACHE.json]
+//!               [--repeat N] MATRIX.mtx
 //! smat bench    MATRIX.mtx
 //! smat features MATRIX.mtx
 //! smat rules    --model MODEL.json
@@ -34,7 +35,8 @@ USAGE:
                 [--min-dim D] [--max-dim D]
   smat install  --out INSTALL.json [--probe-dim D]
   smat predict  --model MODEL.json MATRIX.mtx
-  smat tune     --model MODEL.json [--install INSTALL.json] [--repeat N] MATRIX.mtx
+  smat tune     --model MODEL.json [--install INSTALL.json] [--cache CACHE.json]
+                [--repeat N] MATRIX.mtx
   smat bench    MATRIX.mtx
   smat features MATRIX.mtx
   smat rules    --model MODEL.json
@@ -46,7 +48,9 @@ COMMANDS:
   predict   show the rule-based format decision for a matrix (no timing)
   tune      run the full runtime path (predict or execute-measure) and report
             the chosen format, kernel, measured GFLOPS and tuning-cache stats;
-            --repeat N prepares the matrix N times to exercise the cache
+            --repeat N prepares the matrix N times to exercise the cache;
+            --cache CACHE.json warm-starts the tuning cache from a snapshot
+            (created on first use) and saves it back on exit
   bench     measure all four formats exhaustively on a matrix
   features  print the 11 structural feature parameters of a matrix
   rules     print the trained IF-THEN ruleset
@@ -155,12 +159,19 @@ fn load_model(args: &Args) -> Result<TrainedModel, String> {
     TrainedModel::load(path).map_err(|e| format!("loading model {path}: {e}"))
 }
 
+/// Renders a [`smat::SmatError`] with its taxonomy name leading, so
+/// failed commands exit non-zero with a classifiable error class
+/// (`error: [persist] ...`) that scripts can branch on.
+fn taxonomy_msg(e: &smat::SmatError) -> String {
+    format!("[{}] {e}", e.taxonomy())
+}
+
 fn engine_for(model: TrainedModel, args: &Args) -> Result<Smat<f64>, String> {
     let mut config = SmatConfig::default();
     if let Some(path) = args.get("install") {
         config.install_path = Some(path.into());
     }
-    Smat::with_config(model, config).map_err(|e| e.to_string())
+    Smat::with_config(model, config).map_err(|e| taxonomy_msg(&e))
 }
 
 fn cmd_install(args: &Args) -> Result<(), String> {
@@ -172,7 +183,7 @@ fn cmd_install(args: &Args) -> Result<(), String> {
         config.probe_dim
     );
     let (install, from_disk) =
-        Installation::load_or_run::<f64>(out, &config).map_err(|e| e.to_string())?;
+        Installation::load_or_run::<f64>(out, &config).map_err(|e| taxonomy_msg(&e))?;
     if from_disk {
         println!("reloaded existing installation from {out}");
     } else {
@@ -316,6 +327,13 @@ fn cmd_tune(args: &Args) -> Result<(), String> {
             install.precision
         );
     }
+    let cache_path = args.get("cache");
+    if let Some(path) = cache_path {
+        if std::path::Path::new(path).exists() {
+            let absorbed = engine.load_cache(path).map_err(|e| taxonomy_msg(&e))?;
+            println!("tuning cache: warm-started with {absorbed} entries from {path}");
+        }
+    }
     let repeat = args.get_usize("repeat", 1)?.max(1);
     let mut tuned = engine.prepare(&m);
     for _ in 1..repeat {
@@ -332,6 +350,16 @@ fn cmd_tune(args: &Args) -> Result<(), String> {
             "tuning cache: {} corrupt entries evicted and re-tuned",
             stats.corrupt_evictions
         );
+    }
+    if stats.poison_recoveries > 0 {
+        println!(
+            "tuning cache: {} poisoned-lock recoveries (entries dropped, process kept alive)",
+            stats.poison_recoveries
+        );
+    }
+    if let Some(path) = cache_path {
+        let written = engine.save_cache(path).map_err(|e| taxonomy_msg(&e))?;
+        println!("tuning cache: snapshot of {written} entries saved to {path}");
     }
     let kernel = engine.library().info(tuned.kernel());
     println!(
@@ -474,7 +502,26 @@ mod tests {
         let argv: Vec<String> = vec![mtx_path.to_str().unwrap().to_string()];
         cmd_features(&Args::parse(&argv)).unwrap();
 
+        // tune --cache: the first run creates the snapshot, the second
+        // warm-starts from it.
+        let cache_path = dir.join("cache.json");
+        std::fs::remove_file(&cache_path).ok();
+        let argv: Vec<String> = [
+            "--model",
+            model_path.to_str().unwrap(),
+            "--cache",
+            cache_path.to_str().unwrap(),
+            mtx_path.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        cmd_tune(&Args::parse(&argv)).unwrap();
+        assert!(cache_path.exists(), "first run must write the snapshot");
+        cmd_tune(&Args::parse(&argv)).unwrap();
+
         std::fs::remove_file(&model_path).ok();
         std::fs::remove_file(&mtx_path).ok();
+        std::fs::remove_file(&cache_path).ok();
     }
 }

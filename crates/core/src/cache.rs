@@ -16,17 +16,18 @@
 
 use crate::integrity::fnv1a64_of_debug;
 use crate::runtime::DecisionPath;
+use serde::{Deserialize, Serialize};
 use smat_features::FeatureVector;
 use smat_kernels::KernelId;
 use smat_matrix::{Format, StructuralFingerprint};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 use std::time::Duration;
 
 /// A replayable tuning decision, everything from a [`crate::TunedSpmv`]
 /// except the matrix payload itself.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub(crate) struct CachedDecision {
     /// The chosen storage format.
     pub format: Format,
@@ -59,6 +60,14 @@ pub struct CacheStats {
     /// contents (memory corruption / poisoning); each such lookup is
     /// answered as a miss and the matrix re-tuned.
     pub corrupt_evictions: u64,
+    /// Times a poisoned cache mutex was recovered by discarding the
+    /// resident entries instead of aborting the process. Non-zero means
+    /// a panic unwound through a cache critical section.
+    pub poison_recoveries: u64,
+    /// `prepare` calls that joined an in-flight tuning run for the same
+    /// fingerprint (single-flight deduplication) instead of tuning
+    /// redundantly.
+    pub coalesced_waits: u64,
 }
 
 impl CacheStats {
@@ -83,6 +92,8 @@ impl CacheStats {
             hit_time: self.hit_time.saturating_sub(earlier.hit_time),
             miss_time: self.miss_time.saturating_sub(earlier.miss_time),
             corrupt_evictions: self.corrupt_evictions - earlier.corrupt_evictions,
+            poison_recoveries: self.poison_recoveries - earlier.poison_recoveries,
+            coalesced_waits: self.coalesced_waits - earlier.coalesced_waits,
         }
     }
 }
@@ -109,6 +120,8 @@ pub(crate) struct TuningCache {
     hit_nanos: AtomicU64,
     miss_nanos: AtomicU64,
     corrupt_evictions: AtomicU64,
+    poison_recoveries: AtomicU64,
+    coalesced_waits: AtomicU64,
 }
 
 impl TuningCache {
@@ -124,6 +137,30 @@ impl TuningCache {
             hit_nanos: AtomicU64::new(0),
             miss_nanos: AtomicU64::new(0),
             corrupt_evictions: AtomicU64::new(0),
+            poison_recoveries: AtomicU64::new(0),
+            coalesced_waits: AtomicU64::new(0),
+        }
+    }
+
+    /// Locks the entry map, recovering from poisoning instead of
+    /// propagating it.
+    ///
+    /// A poisoned lock means a panic unwound through a critical
+    /// section, so a slot may be half-updated. Every cached decision is
+    /// recomputable by re-tuning, so the safe recovery is cheap: drop
+    /// all resident entries, clear the poison flag (later locks are
+    /// clean again) and count the event so operators can see it in
+    /// [`CacheStats::poison_recoveries`].
+    fn lock_map(&self) -> MutexGuard<'_, HashMap<StructuralFingerprint, Slot>> {
+        match self.map.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                let mut guard = poisoned.into_inner();
+                guard.clear();
+                self.map.clear_poison();
+                self.poison_recoveries.fetch_add(1, Ordering::Relaxed);
+                guard
+            }
         }
     }
 
@@ -140,7 +177,7 @@ impl TuningCache {
             return None;
         }
         let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
-        let mut map = self.map.lock().expect("tuning cache poisoned");
+        let mut map = self.lock_map();
         let slot = map.get_mut(key)?;
         if fnv1a64_of_debug(&slot.decision) != slot.checksum {
             map.remove(key);
@@ -158,7 +195,15 @@ impl TuningCache {
             return;
         }
         let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
-        let mut map = self.map.lock().expect("tuning cache poisoned");
+        let mut map = self.lock_map();
+        // Failpoint `cache.insert` runs while the lock is held: a
+        // scripted `panic` unwinds through this critical section and
+        // poisons the mutex — exactly the condition `lock_map` must
+        // recover from — while a scripted `fail` models an insertion
+        // refusal (the decision is simply not cached).
+        if let Some(_fault) = smat_failpoints::check("cache.insert") {
+            return;
+        }
         if map.len() >= self.capacity && !map.contains_key(&key) {
             if let Some(oldest) = map
                 .iter()
@@ -191,9 +236,15 @@ impl TuningCache {
         }
     }
 
+    /// Counts one `prepare` call that joined an in-flight tuning run
+    /// instead of tuning redundantly.
+    pub fn record_coalesced_wait(&self) {
+        self.coalesced_waits.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A consistent snapshot of the counters.
     pub fn stats(&self) -> CacheStats {
-        let entries = self.map.lock().expect("tuning cache poisoned").len();
+        let entries = self.lock_map().len();
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
@@ -202,12 +253,45 @@ impl TuningCache {
             hit_time: Duration::from_nanos(self.hit_nanos.load(Ordering::Relaxed)),
             miss_time: Duration::from_nanos(self.miss_nanos.load(Ordering::Relaxed)),
             corrupt_evictions: self.corrupt_evictions.load(Ordering::Relaxed),
+            poison_recoveries: self.poison_recoveries.load(Ordering::Relaxed),
+            coalesced_waits: self.coalesced_waits.load(Ordering::Relaxed),
         }
     }
 
     /// Drops every entry; counters are preserved.
     pub fn clear(&self) {
-        self.map.lock().expect("tuning cache poisoned").clear();
+        self.lock_map().clear();
+    }
+
+    /// Copies out every resident entry, for persistence. Checksums are
+    /// re-verified so a corrupt entry is dropped (and counted) rather
+    /// than written to disk.
+    pub fn snapshot(&self) -> Vec<(StructuralFingerprint, CachedDecision)> {
+        let mut map = self.lock_map();
+        let mut corrupt: Vec<StructuralFingerprint> = Vec::new();
+        let mut out: Vec<(StructuralFingerprint, CachedDecision)> = Vec::new();
+        for (key, slot) in map.iter() {
+            if fnv1a64_of_debug(&slot.decision) == slot.checksum {
+                out.push((*key, slot.decision.clone()));
+            } else {
+                corrupt.push(*key);
+            }
+        }
+        for key in corrupt {
+            map.remove(&key);
+            self.corrupt_evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        // Deterministic order for stable on-disk artifacts.
+        out.sort_by_key(|(key, _)| fnv1a64_of_debug(key));
+        out
+    }
+
+    /// Replays previously snapshotted entries into the cache (normal
+    /// LRU insertion: capacity still applies).
+    pub fn absorb(&self, entries: Vec<(StructuralFingerprint, CachedDecision)>) {
+        for (key, decision) in entries {
+            self.insert(key, decision);
+        }
     }
 }
 
@@ -295,6 +379,66 @@ mod tests {
         // The slot is reusable: a fresh insert round-trips again.
         cache.insert(key, decision(Format::Dia));
         assert_eq!(cache.get(&key).unwrap().format, Format::Dia);
+    }
+
+    #[test]
+    fn poisoned_lock_recovers_instead_of_aborting() {
+        let cache = std::sync::Arc::new(TuningCache::new(4));
+        let key = tridiagonal::<f64>(30).fingerprint();
+        cache.insert(key, decision(Format::Dia));
+        // Poison the mutex: a thread panics while holding the lock.
+        let poisoner = std::sync::Arc::clone(&cache);
+        let joined = std::thread::spawn(move || {
+            let _guard = poisoner.map.lock().unwrap();
+            panic!("poisoning the tuning cache");
+        })
+        .join();
+        assert!(joined.is_err(), "the poisoning thread must have panicked");
+        // The next access recovers: entries are dropped, the event is
+        // counted, and the process does not abort.
+        assert!(cache.get(&key).is_none(), "recovery drops resident entries");
+        assert_eq!(cache.stats().poison_recoveries, 1);
+        // The cache stays fully usable afterwards.
+        cache.insert(key, decision(Format::Ell));
+        assert_eq!(cache.get(&key).unwrap().format, Format::Ell);
+        assert_eq!(
+            cache.stats().poison_recoveries,
+            1,
+            "poison flag was cleared, so recovery fires once"
+        );
+    }
+
+    #[test]
+    fn snapshot_absorb_round_trips() {
+        let cache = TuningCache::new(8);
+        let k1 = tridiagonal::<f64>(20).fingerprint();
+        let k2 = tridiagonal::<f64>(21).fingerprint();
+        cache.insert(k1, decision(Format::Dia));
+        cache.insert(k2, decision(Format::Csr));
+        let snap = cache.snapshot();
+        assert_eq!(snap.len(), 2);
+
+        let restored = TuningCache::new(8);
+        restored.absorb(snap);
+        assert_eq!(restored.get(&k1).unwrap().format, Format::Dia);
+        assert_eq!(restored.get(&k2).unwrap().format, Format::Csr);
+    }
+
+    #[test]
+    fn snapshot_drops_corrupt_entries() {
+        let cache = TuningCache::new(8);
+        let good = tridiagonal::<f64>(40).fingerprint();
+        let bad = tridiagonal::<f64>(41).fingerprint();
+        cache.insert(good, decision(Format::Dia));
+        cache.insert(bad, decision(Format::Ell));
+        {
+            let mut map = cache.map.lock().unwrap();
+            map.get_mut(&bad).unwrap().decision.kernel.variant = 999;
+        }
+        let snap = cache.snapshot();
+        assert_eq!(snap.len(), 1, "corrupt entry must not be persisted");
+        assert_eq!(snap[0].0, good);
+        assert_eq!(cache.stats().corrupt_evictions, 1);
     }
 
     #[test]

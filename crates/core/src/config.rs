@@ -78,6 +78,23 @@ pub struct SmatConfig {
     /// saving the search on first use — and adopts its
     /// [`smat_kernels::KernelChoice`] over the model's.
     pub install_path: Option<std::path::PathBuf>,
+    /// Extra attempts after the first failure when persisting or
+    /// loading tuning artifacts (installation files, cache snapshots)
+    /// hits a *transient* error (see
+    /// [`crate::SmatError::is_transient`]). 0 disables retrying;
+    /// permanent errors are never retried.
+    pub persist_retries: u32,
+    /// Base delay of the exponential backoff between persistence
+    /// retries. Attempt `k` sleeps `persist_backoff * 2^k` plus up to
+    /// 50% deterministic jitter, so retry storms from concurrent
+    /// processes decorrelate.
+    pub persist_backoff: Duration,
+    /// How long a [`crate::Smat::prepare`] call waits on another
+    /// thread's in-flight tuning run for the same fingerprint before
+    /// giving up and degrading to the reference kernel. Bounds the
+    /// worst-case latency a waiter can ever see; it never blocks
+    /// forever.
+    pub single_flight_wait: Duration,
 }
 
 impl Default for SmatConfig {
@@ -100,6 +117,9 @@ impl Default for SmatConfig {
             excluded_attributes: Vec::new(),
             cache_capacity: 64,
             install_path: None,
+            persist_retries: 2,
+            persist_backoff: Duration::from_millis(20),
+            single_flight_wait: Duration::from_secs(30),
         }
     }
 }
@@ -113,6 +133,7 @@ impl SmatConfig {
             fallback_budget: Duration::from_micros(200),
             candidate_deadline: Duration::from_millis(250),
             probe_dim: 1_500,
+            persist_backoff: Duration::from_millis(1),
             ..Self::default()
         }
     }

@@ -55,6 +55,39 @@ pub enum SmatError {
     },
 }
 
+impl SmatError {
+    /// The stable taxonomy name of this error class, as reported by
+    /// the CLI exit path and operational tooling. Deliberately coarse:
+    /// one name per variant, never message text.
+    pub fn taxonomy(&self) -> &'static str {
+        match self {
+            SmatError::Matrix(_) => "matrix",
+            SmatError::Persist(_) => "persist",
+            SmatError::Training(_) => "training",
+            SmatError::PrecisionMismatch { .. } => "precision-mismatch",
+            SmatError::Budget { .. } => "budget",
+            SmatError::Deadline { .. } => "deadline",
+            SmatError::KernelPanic { .. } => "kernel-panic",
+            SmatError::Corrupt { .. } => "corrupt",
+        }
+    }
+
+    /// Whether retrying the failed operation could plausibly succeed.
+    ///
+    /// Only persistence I/O qualifies: a full disk, a flaky mount or a
+    /// scripted failpoint may clear between attempts. Everything else —
+    /// malformed artifacts, budget refusals, panicking kernels, bad
+    /// inputs — is a property of the input or the configuration and
+    /// will fail identically on every attempt.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            SmatError::Persist(smat_learn::PersistError::Io(_))
+                | SmatError::Matrix(smat_matrix::MatrixError::Io(_))
+        )
+    }
+}
+
 impl fmt::Display for SmatError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -176,6 +209,79 @@ mod tests {
             detail: "checksum mismatch".into(),
         };
         assert!(e.to_string().contains("corrupt"));
+    }
+
+    #[test]
+    fn taxonomy_names_are_stable_and_exhaustive() {
+        let cases: Vec<(SmatError, &str)> = vec![
+            (
+                SmatError::Matrix(smat_matrix::MatrixError::InvalidStructure("x".into())),
+                "matrix",
+            ),
+            (
+                SmatError::Persist(smat_learn::PersistError::Io(std::io::Error::other("d"))),
+                "persist",
+            ),
+            (SmatError::Training("t".into()), "training"),
+            (
+                SmatError::PrecisionMismatch {
+                    model: "f64".into(),
+                    data: "f32",
+                },
+                "precision-mismatch",
+            ),
+            (
+                SmatError::Budget {
+                    format: "DIA",
+                    required_bytes: 2,
+                    budget_bytes: 1,
+                },
+                "budget",
+            ),
+            (
+                SmatError::Deadline {
+                    what: "w".into(),
+                    deadline: std::time::Duration::from_secs(1),
+                },
+                "deadline",
+            ),
+            (
+                SmatError::KernelPanic {
+                    what: "w".into(),
+                    message: "m".into(),
+                },
+                "kernel-panic",
+            ),
+            (
+                SmatError::Corrupt {
+                    what: "w".into(),
+                    detail: "d".into(),
+                },
+                "corrupt",
+            ),
+        ];
+        for (err, name) in cases {
+            assert_eq!(err.taxonomy(), name, "taxonomy of {err:?}");
+        }
+    }
+
+    #[test]
+    fn transient_classification() {
+        let io = SmatError::Persist(smat_learn::PersistError::Io(std::io::Error::other("disk")));
+        assert!(io.is_transient());
+        let matrix_io =
+            SmatError::Matrix(smat_matrix::MatrixError::Io(std::io::Error::other("mount")));
+        assert!(matrix_io.is_transient());
+        // Malformed JSON will be malformed on every retry.
+        let json_err = serde_json::from_str::<u32>("not json").unwrap_err();
+        let json = SmatError::Persist(smat_learn::PersistError::Json(json_err));
+        assert!(!json.is_transient());
+        assert!(!SmatError::Training("empty".into()).is_transient());
+        assert!(!SmatError::Corrupt {
+            what: "artifact".into(),
+            detail: "checksum".into()
+        }
+        .is_transient());
     }
 
     #[test]

@@ -50,6 +50,7 @@ mod install;
 mod integrity;
 mod interface;
 mod model;
+mod retry;
 mod runtime;
 mod stats;
 mod train;

@@ -13,12 +13,18 @@ use crate::cache::{CacheStats, CachedDecision, TuningCache};
 use crate::config::SmatConfig;
 use crate::error::{Result, SmatError};
 use crate::install::Installation;
+use crate::integrity::fnv1a64;
 use crate::model::TrainedModel;
+use crate::retry::{retry_transient, RetryPolicy};
+use serde::{Deserialize, Serialize};
 use smat_features::{extract_structure, FeatureVector};
 use smat_kernels::timing::{gflops, measure_guarded};
 use smat_kernels::{KernelId, KernelLibrary};
 use smat_learn::ClassGroup;
-use smat_matrix::{AnyMatrix, Csr, Format, Scalar};
+use smat_matrix::{AnyMatrix, Csr, Format, Scalar, StructuralFingerprint};
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Index of the power-law attribute `R` in the feature vector.
@@ -26,7 +32,7 @@ const R_ATTR: usize = 10;
 
 /// How a tuning decision was reached — the "Model Prediction" vs
 /// "Execution" columns of the paper's Table 3.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum DecisionPath {
     /// A rule group matched with confidence at or above the threshold.
     Predicted {
@@ -82,6 +88,63 @@ impl DecisionPath {
     /// reference CSR path (unwrapping any cache layers).
     pub fn is_degraded(&self) -> bool {
         matches!(self.source(), DecisionPath::Degraded { .. })
+    }
+}
+
+/// Marker for one in-flight tuning run, shared between the leader
+/// thread (which tunes) and any followers (which wait on the condvar
+/// instead of stampeding the same measurement).
+#[derive(Debug, Default)]
+struct Inflight {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Inflight {
+    /// Marks the run complete and wakes every waiting follower.
+    fn finish(&self) {
+        let mut done = self.done.lock().unwrap_or_else(PoisonError::into_inner);
+        *done = true;
+        self.cv.notify_all();
+    }
+
+    /// Blocks until the run completes or `deadline` passes; `true`
+    /// means the run completed.
+    fn wait_until(&self, deadline: Instant) -> bool {
+        let mut done = self.done.lock().unwrap_or_else(PoisonError::into_inner);
+        while !*done {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _timeout) = self
+                .cv
+                .wait_timeout(done, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            done = guard;
+        }
+        true
+    }
+}
+
+/// Removes the in-flight marker and wakes followers when the leader's
+/// `prepare` returns — including by panic, so a dying leader can never
+/// leave followers waiting on a marker nobody will clear.
+struct InflightGuard<'a> {
+    inflight: &'a Mutex<HashMap<StructuralFingerprint, Arc<Inflight>>>,
+    key: StructuralFingerprint,
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        let marker = self
+            .inflight
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(&self.key);
+        if let Some(marker) = marker {
+            marker.finish();
+        }
     }
 }
 
@@ -161,6 +224,11 @@ pub struct Smat<T: Scalar> {
     lib: KernelLibrary<T>,
     config: SmatConfig,
     cache: TuningCache,
+    /// Single-flight markers: fingerprints whose tuning run is
+    /// currently executing on some thread. Concurrent `prepare` calls
+    /// for the same fingerprint wait on the marker instead of tuning
+    /// redundantly.
+    inflight: Mutex<HashMap<StructuralFingerprint, Arc<Inflight>>>,
     installation: Option<Installation>,
     installation_from_disk: bool,
 }
@@ -209,6 +277,7 @@ impl<T: Scalar> Smat<T> {
             model,
             lib: KernelLibrary::new(),
             cache: TuningCache::new(config.cache_capacity),
+            inflight: Mutex::new(HashMap::new()),
             config,
             installation,
             installation_from_disk,
@@ -289,6 +358,96 @@ impl<T: Scalar> Smat<T> {
         self.cache.clear();
     }
 
+    /// Persists the resident tuning-cache entries to `path` as a
+    /// sealed, checksummed JSON snapshot (atomic `<path>.tmp` +
+    /// rename), so a later process can warm-start with
+    /// [`Smat::load_cache`] instead of re-tuning every structure.
+    /// Returns the number of entries written. Corrupt entries are
+    /// evicted, not persisted.
+    ///
+    /// Transient I/O failures are retried per
+    /// [`SmatConfig::persist_retries`] with exponential backoff.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmatError::Persist`] when writing fails after
+    /// exhausting the retries.
+    pub fn save_cache(&self, path: impl AsRef<Path>) -> Result<usize> {
+        let path = path.as_ref();
+        let entries = self.cache.snapshot();
+        let count = entries.len();
+        let sealed = SealedCacheSnapshot {
+            checksum: snapshot_checksum(&entries)?,
+            precision: T::PRECISION_NAME.to_string(),
+            entries,
+        };
+        retry_transient(
+            RetryPolicy::from_config(&self.config),
+            "cache.persist",
+            || {
+                // Failpoint `cache.persist`: scripted transient write
+                // failure for the whole snapshot save.
+                if let Some(fault) = smat_failpoints::check("cache.persist") {
+                    return Err(SmatError::Persist(smat_learn::PersistError::Io(
+                        fault.into(),
+                    )));
+                }
+                smat_learn::save_json(&sealed, path)?;
+                Ok(())
+            },
+        )?;
+        Ok(count)
+    }
+
+    /// Warm-starts the tuning cache from a snapshot written by
+    /// [`Smat::save_cache`], verifying its checksum and precision.
+    /// Entries are absorbed through normal LRU insertion (capacity
+    /// still applies). Returns the number of entries absorbed.
+    ///
+    /// Transient I/O failures are retried per
+    /// [`SmatConfig::persist_retries`] with exponential backoff.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmatError::Persist`] when reading fails after
+    /// exhausting the retries, [`SmatError::Corrupt`] when the file
+    /// parses but fails checksum verification, and
+    /// [`SmatError::PrecisionMismatch`] when the snapshot was taken by
+    /// an engine of the other precision.
+    pub fn load_cache(&self, path: impl AsRef<Path>) -> Result<usize> {
+        let path = path.as_ref();
+        let sealed: SealedCacheSnapshot =
+            retry_transient(RetryPolicy::from_config(&self.config), "cache.load", || {
+                // Failpoint `cache.load`: scripted transient read
+                // failure for the whole snapshot load.
+                if let Some(fault) = smat_failpoints::check("cache.load") {
+                    return Err(SmatError::Persist(smat_learn::PersistError::Io(
+                        fault.into(),
+                    )));
+                }
+                Ok(smat_learn::load_json(path)?)
+            })?;
+        let actual = snapshot_checksum(&sealed.entries)?;
+        if actual != sealed.checksum {
+            return Err(SmatError::Corrupt {
+                what: format!("tuning cache snapshot {}", path.display()),
+                detail: format!(
+                    "checksum mismatch: recorded {:#018x}, contents hash to {actual:#018x}",
+                    sealed.checksum
+                ),
+            });
+        }
+        if sealed.precision != T::PRECISION_NAME {
+            return Err(SmatError::PrecisionMismatch {
+                model: sealed.precision,
+                data: T::PRECISION_NAME,
+            });
+        }
+        let count = sealed.entries.len();
+        self.cache.absorb(sealed.entries);
+        Ok(count)
+    }
+
     /// Tunes a matrix: Figure 7's runtime procedure, fronted by the
     /// structural-fingerprint cache.
     ///
@@ -300,7 +459,22 @@ impl<T: Scalar> Smat<T> {
     /// [`DecisionPath::Cached`].
     ///
     /// Never fails — if every exotic conversion is refused the matrix
-    /// stays in CSR with the searched CSR kernel.
+    /// stays in CSR with the searched CSR kernel, and a thread that
+    /// waits out [`SmatConfig::single_flight_wait`] on another thread's
+    /// tuning run degrades to the reference kernel instead of blocking
+    /// forever.
+    ///
+    /// # Concurrency: single-flight tuning
+    ///
+    /// When several threads `prepare` matrices with the same structural
+    /// fingerprint concurrently, exactly one (the *leader*) runs the
+    /// tuning pipeline; the others (*followers*) block on the in-flight
+    /// marker and replay the leader's cached decision when it lands —
+    /// counted in [`CacheStats::coalesced_waits`]. A leader that
+    /// degrades publishes nothing, so one woken follower simply becomes
+    /// the next leader. Follower waiting is bounded by
+    /// [`SmatConfig::single_flight_wait`] from call entry; on timeout
+    /// the call returns a [`DecisionPath::Degraded`] result.
     pub fn prepare(&self, csr: &Csr<T>) -> TunedSpmv<T> {
         if self.config.cache_capacity == 0 {
             return self.tune(csr);
@@ -308,42 +482,89 @@ impl<T: Scalar> Smat<T> {
         let t0 = Instant::now();
         let key = csr.fingerprint();
         let limits = self.config.conversion_limits();
-        if let Some(hit) = self.cache.get(&key) {
-            // Same structure ⇒ the conversion that succeeded on the
-            // miss succeeds again (fill limits and byte budgets are
-            // structural); fall through defensively if it somehow does
-            // not.
-            if let Ok(matrix) = AnyMatrix::convert_from_csr_with(csr, hit.format, &limits) {
-                let elapsed = t0.elapsed();
-                self.cache.record(true, elapsed);
-                return TunedSpmv {
-                    matrix,
-                    kernel: hit.kernel,
-                    features: hit.features,
-                    decision: DecisionPath::Cached {
-                        source: Box::new(hit.source),
-                    },
-                    prepare_time: elapsed,
+        let wait_deadline = t0 + self.config.single_flight_wait;
+        loop {
+            if let Some(hit) = self.cache.get(&key) {
+                // Same structure ⇒ the conversion that succeeded on the
+                // miss succeeds again (fill limits and byte budgets are
+                // structural); fall through defensively if it somehow
+                // does not.
+                if let Ok(matrix) = AnyMatrix::convert_from_csr_with(csr, hit.format, &limits) {
+                    let elapsed = t0.elapsed();
+                    self.cache.record(true, elapsed);
+                    return TunedSpmv {
+                        matrix,
+                        kernel: hit.kernel,
+                        features: hit.features,
+                        decision: DecisionPath::Cached {
+                            source: Box::new(hit.source),
+                        },
+                        prepare_time: elapsed,
+                    };
+                }
+            }
+            // Claim leadership or find the active leader. The cache is
+            // re-checked under the in-flight lock: a leader publishes
+            // its decision *before* releasing its marker, so a marker
+            // gap with a resident entry means the work is already done.
+            let follower = {
+                let mut inflight = self.inflight.lock().unwrap_or_else(PoisonError::into_inner);
+                match inflight.get(&key) {
+                    Some(marker) => Some(Arc::clone(marker)),
+                    None => {
+                        if self.cache.get(&key).is_some() {
+                            continue; // published since our last check
+                        }
+                        inflight.insert(key, Arc::new(Inflight::default()));
+                        None
+                    }
+                }
+            };
+            let Some(marker) = follower else {
+                // Leader: tune, publish, then release the marker (the
+                // guard runs even if tuning panics).
+                let _guard = InflightGuard {
+                    inflight: &self.inflight,
+                    key,
                 };
+                let tuned = self.tune(csr);
+                // A degraded decision reflects a transient or
+                // input-specific failure (poisoned values, every
+                // candidate failing): never cache it, so a healthy
+                // matrix of the same structure re-tunes.
+                if !tuned.decision.is_degraded() {
+                    self.cache.insert(
+                        key,
+                        CachedDecision {
+                            format: tuned.format(),
+                            kernel: tuned.kernel,
+                            features: tuned.features,
+                            source: tuned.decision.clone(),
+                        },
+                    );
+                }
+                self.cache.record(false, t0.elapsed());
+                return tuned;
+            };
+            // Follower: wait for the leader, bounded by the configured
+            // deadline, then loop to replay its published decision (or
+            // take over leadership if it degraded).
+            self.cache.record_coalesced_wait();
+            if !marker.wait_until(wait_deadline) {
+                let features = extract_structure(csr).features;
+                let tuned = self.degrade(
+                    csr,
+                    features,
+                    format!(
+                        "single-flight wait exceeded {:?}; serving the reference kernel",
+                        self.config.single_flight_wait
+                    ),
+                    t0,
+                );
+                self.cache.record(false, t0.elapsed());
+                return tuned;
             }
         }
-        let tuned = self.tune(csr);
-        // A degraded decision reflects a transient or input-specific
-        // failure (poisoned values, every candidate failing): never
-        // cache it, so a healthy matrix of the same structure re-tunes.
-        if !tuned.decision.is_degraded() {
-            self.cache.insert(
-                key,
-                CachedDecision {
-                    format: tuned.format(),
-                    kernel: tuned.kernel,
-                    features: tuned.features,
-                    source: tuned.decision.clone(),
-                },
-            );
-        }
-        self.cache.record(false, t0.elapsed());
-        tuned
     }
 
     /// Builds the degraded-mode result: the matrix stays in CSR and the
@@ -540,6 +761,29 @@ impl<T: Scalar> Smat<T> {
         self.spmv(&tuned, x, y)?;
         Ok(tuned)
     }
+}
+
+/// The on-disk envelope of a tuning-cache snapshot: entries plus an
+/// FNV-1a checksum of their canonical (compact JSON) serialization and
+/// the precision they were tuned under — the same sealing scheme as
+/// [`crate::Installation`] artifacts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct SealedCacheSnapshot {
+    /// FNV-1a over the compact-JSON serialization of `entries`.
+    checksum: u64,
+    /// Precision of the engine that wrote the snapshot.
+    precision: String,
+    /// The snapshotted cache entries.
+    entries: Vec<(StructuralFingerprint, CachedDecision)>,
+}
+
+/// The checksum input: the entries' compact JSON rendering (struct
+/// serialization order is fixed, so this is deterministic across a
+/// save/load round trip).
+fn snapshot_checksum(entries: &[(StructuralFingerprint, CachedDecision)]) -> Result<u64> {
+    let canonical =
+        serde_json::to_string(&entries.to_vec()).map_err(smat_learn::PersistError::from)?;
+    Ok(fnv1a64(canonical.as_bytes()))
 }
 
 /// Whether any rule in the group tests the power-law attribute `R`.
@@ -836,5 +1080,82 @@ mod tests {
         let mut y = vec![0.0; 50];
         assert!(e.spmv(&tuned, &[1.0; 49], &mut y).is_err());
         assert!(e.spmv(&tuned, &[1.0; 50], &mut y[..10]).is_err());
+    }
+
+    fn cache_tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("smat_cache_snapshot_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn cache_snapshot_round_trips_and_warm_starts() {
+        let e = engine();
+        let m1 = tridiagonal::<f64>(300);
+        let m2 = random_uniform::<f64>(400, 400, 10, 7);
+        e.prepare(&m1);
+        e.prepare(&m2);
+        let path = cache_tmp("roundtrip.json");
+        let written = e.save_cache(&path).unwrap();
+        assert_eq!(written, 2);
+
+        // A fresh engine warm-started from the snapshot serves both
+        // structures as cache hits.
+        let warm = engine();
+        assert_eq!(warm.load_cache(&path).unwrap(), 2);
+        let tuned = warm.prepare(&m1);
+        assert!(tuned.decision().is_cached(), "got {:?}", tuned.decision());
+        let tuned = warm.prepare(&m2);
+        assert!(tuned.decision().is_cached(), "got {:?}", tuned.decision());
+        // Replayed decisions still compute correct products.
+        let x = vec![1.0; 400];
+        let mut y = vec![0.0; 400];
+        warm.spmv(&tuned, &x, &mut y).unwrap();
+        let mut expect = vec![0.0; 400];
+        m2.spmv(&x, &mut expect).unwrap();
+        assert_eq!(y, expect);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tampered_cache_snapshot_is_rejected_as_corrupt() {
+        let e = engine();
+        e.prepare(&tridiagonal::<f64>(200));
+        let path = cache_tmp("tampered.json");
+        e.save_cache(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        // Flip the kernel variant without refreshing the checksum.
+        let tampered = text.replacen("\"variant\": 0", "\"variant\": 7", 1);
+        assert_ne!(text, tampered, "tamper target must exist");
+        std::fs::write(&path, tampered).unwrap();
+        let err = engine().load_cache(&path).unwrap_err();
+        assert!(matches!(err, SmatError::Corrupt { .. }), "got {err:?}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn cache_snapshot_precision_is_checked() {
+        let e = engine();
+        e.prepare(&tridiagonal::<f64>(150));
+        let path = cache_tmp("precision.json");
+        e.save_cache(&path).unwrap();
+        let mut single_model = model();
+        single_model.precision = "single".into();
+        let single = Smat::<f32>::with_config(single_model, SmatConfig::fast()).unwrap();
+        let err = single.load_cache(&path).unwrap_err();
+        assert!(
+            matches!(err, SmatError::PrecisionMismatch { .. }),
+            "got {err:?}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_cache_snapshot_is_a_persist_error() {
+        let err = engine()
+            .load_cache("/nonexistent/dir/cache.json")
+            .unwrap_err();
+        assert_eq!(err.taxonomy(), "persist");
+        assert!(err.is_transient());
     }
 }

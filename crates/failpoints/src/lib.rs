@@ -1,0 +1,442 @@
+//! Deterministic fault injection for the SMAT reproduction.
+//!
+//! Production code marks *failpoint sites* — named places where the
+//! outside world can fail (artifact I/O, format conversion allocation,
+//! kernel measurement, lock-held critical sections) — by calling
+//! [`check`] with a site name such as `"cache.persist"` or
+//! `"io.read"`. Tests script those sites with [`configure`] (or the
+//! RAII [`scoped`]) to return errors, panic, or inject delays in a
+//! fully deterministic order, which is what lets the chaos suite drive
+//! multi-threaded soak runs through every failure path on demand.
+//!
+//! # Zero cost when disabled
+//!
+//! The registry only exists under the `enabled` cargo feature. Without
+//! it (the default, and what production builds use) every function in
+//! this crate is an `#[inline(always)]` no-op returning a constant, so
+//! a site compiles down to nothing: no string comparison, no lock, no
+//! branch that survives optimization. The public API is identical in
+//! both builds, so call sites never need `cfg` attributes.
+//!
+//! # Schedule grammar
+//!
+//! A site is scripted with a `->`-separated sequence of steps, each an
+//! action with an optional repeat count:
+//!
+//! ```text
+//! spec    := step ("->" step)*
+//! step    := [count "*"] action
+//! action  := "fail" ["(" message ")"]
+//!          | "panic" ["(" message ")"]
+//!          | "delay" "(" millis ")"
+//!          | "off"
+//! ```
+//!
+//! Examples: `fail` (fail forever), `2*fail(disk full)->off` (fail the
+//! first two hits, then behave normally), `delay(50)->panic(boom)`
+//! (sleep 50 ms on the first hit, panic on the second). A step with no
+//! count repeats forever, so it should be last. `off` makes remaining
+//! hits proceed normally and is the implicit tail of any exhausted
+//! schedule.
+//!
+//! # Example
+//!
+//! ```
+//! // Only effective with the `enabled` feature; a no-op otherwise.
+//! let _guard = smat_failpoints::scoped("io.read", "1*fail(torn cable)->off").unwrap();
+//! if let Some(fault) = smat_failpoints::check("io.read") {
+//!     // Map the injected failure onto the local error type.
+//!     eprintln!("injected: {fault}");
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// An injected failure returned by [`check`] for a `fail` step.
+///
+/// Call sites map this onto their local error type; the message is the
+/// one scripted in the schedule (default `"injected failure"`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectedFailure {
+    /// The failpoint site that fired.
+    pub site: String,
+    /// The scripted failure message.
+    pub message: String,
+}
+
+impl fmt::Display for InjectedFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "failpoint {}: {}", self.site, self.message)
+    }
+}
+
+impl std::error::Error for InjectedFailure {}
+
+/// Converts an injected failure into an `std::io::Error` (kind
+/// `Other`), the shape most persistence sites need.
+impl From<InjectedFailure> for std::io::Error {
+    fn from(fault: InjectedFailure) -> Self {
+        std::io::Error::other(fault.to_string())
+    }
+}
+
+/// RAII guard returned by [`scoped`]: clears its site's schedule on
+/// drop so a test cannot leak injection state into its neighbours.
+#[derive(Debug)]
+pub struct FailGuard {
+    #[cfg_attr(not(feature = "enabled"), allow(dead_code))]
+    site: String,
+}
+
+impl Drop for FailGuard {
+    fn drop(&mut self) {
+        #[cfg(feature = "enabled")]
+        enabled::clear(&self.site);
+    }
+}
+
+#[cfg(feature = "enabled")]
+mod enabled {
+    use super::InjectedFailure;
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+    use std::time::Duration;
+
+    /// One scripted action.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub(super) enum Action {
+        /// Return an [`InjectedFailure`] to the call site.
+        Fail(String),
+        /// Panic inside [`super::check`] with the given message.
+        Panic(String),
+        /// Sleep for the given duration, then proceed normally.
+        Delay(Duration),
+        /// Proceed normally.
+        Off,
+    }
+
+    /// One step of a schedule: an action plus how many hits it covers
+    /// (`None` = forever).
+    #[derive(Debug, Clone)]
+    struct Step {
+        action: Action,
+        remaining: Option<u64>,
+    }
+
+    #[derive(Debug, Default)]
+    struct Site {
+        steps: Vec<Step>,
+        /// Index of the step the next hit consumes.
+        cursor: usize,
+        hits: u64,
+    }
+
+    fn registry() -> &'static Mutex<HashMap<String, Site>> {
+        static REGISTRY: OnceLock<Mutex<HashMap<String, Site>>> = OnceLock::new();
+        REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+    }
+
+    /// The registry lock must stay usable even if a `panic` action
+    /// unwinds through a caller that held it indirectly; recover from
+    /// poisoning by taking the inner map (schedules stay intact — a
+    /// panic action never leaves a step half-updated).
+    fn lock() -> std::sync::MutexGuard<'static, HashMap<String, Site>> {
+        registry()
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn parse_step(step: &str) -> Result<Step, String> {
+        let step = step.trim();
+        let (count, action) = match step.split_once('*') {
+            Some((n, rest)) => {
+                let n: u64 = n
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad repeat count in step {step:?}"))?;
+                (Some(n), rest.trim())
+            }
+            None => (None, step),
+        };
+        let (kind, arg) = match action.split_once('(') {
+            Some((kind, rest)) => {
+                let arg = rest
+                    .strip_suffix(')')
+                    .ok_or_else(|| format!("unterminated argument in step {step:?}"))?;
+                (kind.trim(), Some(arg.trim()))
+            }
+            None => (action, None),
+        };
+        let action = match kind {
+            "fail" | "return" => Action::Fail(arg.unwrap_or("injected failure").to_string()),
+            "panic" => Action::Panic(arg.unwrap_or("injected panic").to_string()),
+            "delay" | "sleep" => {
+                let ms: u64 = arg
+                    .ok_or_else(|| format!("delay needs a millisecond argument in {step:?}"))?
+                    .parse()
+                    .map_err(|_| format!("bad delay milliseconds in step {step:?}"))?;
+                Action::Delay(Duration::from_millis(ms))
+            }
+            "off" => Action::Off,
+            other => return Err(format!("unknown failpoint action {other:?}")),
+        };
+        Ok(Step {
+            action,
+            remaining: count,
+        })
+    }
+
+    pub(super) fn parse_spec(spec: &str) -> Result<Vec<(Action, Option<u64>)>, String> {
+        if spec.trim().is_empty() {
+            return Err("empty failpoint spec".to_string());
+        }
+        spec.split("->")
+            .map(|s| parse_step(s).map(|st| (st.action, st.remaining)))
+            .collect()
+    }
+
+    pub(super) fn configure(site: &str, spec: &str) -> Result<(), String> {
+        let steps = parse_spec(spec)?
+            .into_iter()
+            .map(|(action, remaining)| Step { action, remaining })
+            .collect();
+        let mut map = lock();
+        let entry = map.entry(site.to_string()).or_default();
+        entry.steps = steps;
+        entry.cursor = 0;
+        Ok(())
+    }
+
+    pub(super) fn clear(site: &str) {
+        lock().remove(site);
+    }
+
+    pub(super) fn reset() {
+        lock().clear();
+    }
+
+    pub(super) fn hits(site: &str) -> u64 {
+        lock().get(site).map_or(0, |s| s.hits)
+    }
+
+    pub(super) fn check(site: &str) -> Option<InjectedFailure> {
+        // Consume one step under the lock, act on it after releasing it
+        // (a delay or panic must not hold the registry hostage).
+        let action = {
+            let mut map = lock();
+            let state = map.get_mut(site)?;
+            state.hits += 1;
+            loop {
+                let Some(step) = state.steps.get_mut(state.cursor) else {
+                    break Action::Off; // schedule exhausted
+                };
+                match &mut step.remaining {
+                    None => break step.action.clone(),
+                    Some(0) => {
+                        state.cursor += 1;
+                        continue;
+                    }
+                    Some(n) => {
+                        *n -= 1;
+                        break step.action.clone();
+                    }
+                }
+            }
+        };
+        match action {
+            Action::Off => None,
+            Action::Fail(message) => Some(InjectedFailure {
+                site: site.to_string(),
+                message,
+            }),
+            Action::Panic(message) => panic!("failpoint {site}: {message}"),
+            Action::Delay(d) => {
+                std::thread::sleep(d);
+                None
+            }
+        }
+    }
+}
+
+/// Evaluates the failpoint at `site`.
+///
+/// Returns `Some` when a `fail` step is scheduled (the caller maps it
+/// onto its local error type), panics for a `panic` step, sleeps for a
+/// `delay` step, and returns `None` otherwise. With the `enabled`
+/// feature off this is a constant `None` that inlines to nothing.
+#[inline(always)]
+pub fn check(site: &str) -> Option<InjectedFailure> {
+    #[cfg(feature = "enabled")]
+    {
+        enabled::check(site)
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        let _ = site;
+        None
+    }
+}
+
+/// Scripts `site` with `spec` (see the crate docs for the grammar),
+/// replacing any previous schedule and rewinding its cursor.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed step. With the
+/// `enabled` feature off the spec is not even parsed and the call
+/// always succeeds.
+#[inline(always)]
+pub fn configure(site: &str, spec: &str) -> Result<(), String> {
+    #[cfg(feature = "enabled")]
+    {
+        enabled::configure(site, spec)
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        let _ = (site, spec);
+        Ok(())
+    }
+}
+
+/// Scripts `site` with `spec` and returns a guard that clears the
+/// schedule when dropped — the recommended way to inject in tests.
+///
+/// # Errors
+///
+/// See [`configure`].
+pub fn scoped(site: &str, spec: &str) -> Result<FailGuard, String> {
+    configure(site, spec)?;
+    Ok(FailGuard {
+        site: site.to_string(),
+    })
+}
+
+/// Removes `site`'s schedule; later [`check`] calls proceed normally.
+#[inline(always)]
+pub fn clear(site: &str) {
+    #[cfg(feature = "enabled")]
+    enabled::clear(site);
+    #[cfg(not(feature = "enabled"))]
+    let _ = site;
+}
+
+/// Removes every schedule and hit counter (a global test-harness reset).
+#[inline(always)]
+pub fn reset() {
+    #[cfg(feature = "enabled")]
+    enabled::reset();
+}
+
+/// How many times `site` has been evaluated since it was configured
+/// (0 when unconfigured, and always 0 with the feature off). Sites are
+/// only counted while a schedule is installed, which keeps the
+/// disabled and unconfigured cases indistinguishable.
+#[inline(always)]
+pub fn hits(site: &str) -> u64 {
+    #[cfg(feature = "enabled")]
+    {
+        enabled::hits(site)
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        let _ = site;
+        0
+    }
+}
+
+#[cfg(all(test, feature = "enabled"))]
+mod tests {
+    use super::*;
+    use std::time::{Duration, Instant};
+
+    /// Each test uses its own site names, so the process-global
+    /// registry never aliases across concurrently running tests.
+    #[test]
+    fn unconfigured_site_proceeds() {
+        assert_eq!(check("t.unconfigured"), None);
+        assert_eq!(hits("t.unconfigured"), 0);
+    }
+
+    #[test]
+    fn fail_steps_consume_in_order() {
+        let _g = scoped("t.order", "2*fail(first)->fail(forever)").unwrap();
+        for _ in 0..2 {
+            assert_eq!(check("t.order").unwrap().message, "first");
+        }
+        for _ in 0..3 {
+            assert_eq!(check("t.order").unwrap().message, "forever");
+        }
+        assert_eq!(hits("t.order"), 5);
+    }
+
+    #[test]
+    fn exhausted_schedule_turns_off() {
+        let _g = scoped("t.exhaust", "1*fail->1*off->1*fail").unwrap();
+        assert!(check("t.exhaust").is_some());
+        assert!(check("t.exhaust").is_none());
+        assert!(check("t.exhaust").is_some());
+        assert!(check("t.exhaust").is_none(), "past the end means off");
+    }
+
+    #[test]
+    fn panic_action_panics_with_site_name() {
+        let _g = scoped("t.panic", "1*panic(boom)->off").unwrap();
+        let err = std::panic::catch_unwind(|| check("t.panic")).unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("t.panic") && msg.contains("boom"));
+        assert!(check("t.panic").is_none(), "panic step was consumed");
+    }
+
+    #[test]
+    fn delay_action_sleeps() {
+        let _g = scoped("t.delay", "1*delay(30)->off").unwrap();
+        let t0 = Instant::now();
+        assert!(check("t.delay").is_none());
+        assert!(t0.elapsed() >= Duration::from_millis(30));
+        let t0 = Instant::now();
+        assert!(check("t.delay").is_none());
+        assert!(t0.elapsed() < Duration::from_millis(30));
+    }
+
+    #[test]
+    fn guard_clears_on_drop() {
+        {
+            let _g = scoped("t.guard", "fail").unwrap();
+            assert!(check("t.guard").is_some());
+        }
+        assert!(check("t.guard").is_none());
+        assert_eq!(hits("t.guard"), 0, "drop removed the site entirely");
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        assert!(configure("t.bad", "").is_err());
+        assert!(configure("t.bad", "explode").is_err());
+        assert!(configure("t.bad", "x*fail").is_err());
+        assert!(configure("t.bad", "delay").is_err());
+        assert!(configure("t.bad", "delay(abc)").is_err());
+        assert!(configure("t.bad", "fail(unterminated").is_err());
+    }
+
+    #[test]
+    fn injected_failure_maps_to_io_error() {
+        let fault = InjectedFailure {
+            site: "cache.persist".into(),
+            message: "disk full".into(),
+        };
+        let io: std::io::Error = fault.into();
+        let text = io.to_string();
+        assert!(text.contains("cache.persist") && text.contains("disk full"));
+    }
+
+    #[test]
+    fn reconfigure_rewinds_the_cursor() {
+        let _g = scoped("t.rewind", "1*fail->off").unwrap();
+        assert!(check("t.rewind").is_some());
+        assert!(check("t.rewind").is_none());
+        configure("t.rewind", "1*fail->off").unwrap();
+        assert!(check("t.rewind").is_some(), "fresh schedule starts over");
+    }
+}

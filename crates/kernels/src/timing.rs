@@ -80,10 +80,20 @@ pub fn measure_guarded<F: FnMut()>(
     min_reps: usize,
     max_reps: usize,
 ) -> MeasureOutcome {
+    // Failpoint `search.measure` runs *inside* the guarded closure, so
+    // scripted faults exercise exactly the production failure channels:
+    // `panic`/`fail` unwind into `Panicked`, `delay` burns wall-clock
+    // against the cooperative deadline into `TimedOut`.
+    let mut run = move || {
+        if let Some(fault) = smat_failpoints::check("search.measure") {
+            panic!("{fault}");
+        }
+        f();
+    };
     let start = Instant::now();
     // Untimed probe run: catches panics early and estimates cost.
     let t0 = Instant::now();
-    if let Err(payload) = catch_unwind(AssertUnwindSafe(&mut f)) {
+    if let Err(payload) = catch_unwind(AssertUnwindSafe(&mut run)) {
         return MeasureOutcome::Panicked(panic_message(payload.as_ref()));
     }
     let one = t0.elapsed();
@@ -105,7 +115,7 @@ pub fn measure_guarded<F: FnMut()>(
             };
         }
         let t0 = Instant::now();
-        if let Err(payload) = catch_unwind(AssertUnwindSafe(&mut f)) {
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(&mut run)) {
             return MeasureOutcome::Panicked(panic_message(payload.as_ref()));
         }
         samples.push(t0.elapsed());

@@ -68,7 +68,20 @@ pub fn save_json<T: Serialize>(value: &T, path: impl AsRef<Path>) -> Result<(), 
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(".tmp");
     let tmp = std::path::PathBuf::from(tmp);
-    if let Err(e) = std::fs::write(&tmp, text).and_then(|()| std::fs::rename(&tmp, path)) {
+    // Failpoints `persist.write` / `persist.rename`: scripted failures
+    // before the tmp write and between write and rename, the two spots
+    // where a crash tests the atomicity claim above.
+    let write_then_rename = || -> std::io::Result<()> {
+        if let Some(fault) = smat_failpoints::check("persist.write") {
+            return Err(fault.into());
+        }
+        std::fs::write(&tmp, &text)?;
+        if let Some(fault) = smat_failpoints::check("persist.rename") {
+            return Err(fault.into());
+        }
+        std::fs::rename(&tmp, path)
+    };
+    if let Err(e) = write_then_rename() {
         // Best-effort cleanup so a failed save does not litter.
         std::fs::remove_file(&tmp).ok();
         return Err(e.into());
@@ -82,6 +95,9 @@ pub fn save_json<T: Serialize>(value: &T, path: impl AsRef<Path>) -> Result<(), 
 ///
 /// Returns [`PersistError`] on I/O or deserialization failure.
 pub fn load_json<T: DeserializeOwned>(path: impl AsRef<Path>) -> Result<T, PersistError> {
+    if let Some(fault) = smat_failpoints::check("persist.read") {
+        return Err(PersistError::Io(fault.into()));
+    }
     let text = std::fs::read_to_string(path)?;
     Ok(serde_json::from_str(&text)?)
 }

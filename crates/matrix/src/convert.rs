@@ -231,6 +231,12 @@ impl<T: Scalar> AnyMatrix<T> {
         format: Format,
         limits: &ConversionLimits,
     ) -> Result<Self> {
+        // Failpoint `convert.alloc`: scripted allocation refusal ahead
+        // of the format match, so every target (including the CSR
+        // clone) can be made to fail like an exhausted allocator.
+        if let Some(fault) = smat_failpoints::check("convert.alloc") {
+            return Err(crate::MatrixError::InvalidStructure(fault.to_string()));
+        }
         Ok(match format {
             Format::Dia => AnyMatrix::Dia(Dia::from_csr_with(csr, limits)?),
             Format::Ell => AnyMatrix::Ell(Ell::from_csr_with(csr, limits)?),

@@ -58,6 +58,11 @@ enum MmSymmetry {
 /// # Ok::<(), smat_matrix::MatrixError>(())
 /// ```
 pub fn read_matrix_market<T: Scalar, R: Read>(reader: R) -> Result<Csr<T>> {
+    // Failpoint `io.read`: lets tests script read failures (torn
+    // streams, flaky mounts) without a faulty reader implementation.
+    if let Some(fault) = smat_failpoints::check("io.read") {
+        return Err(MatrixError::Io(fault.into()));
+    }
     let mut lines = BufReader::new(reader).lines().enumerate();
 
     // Header line.
@@ -221,6 +226,9 @@ pub fn read_matrix_market_file<T: Scalar>(path: impl AsRef<Path>) -> Result<Csr<
 ///
 /// Returns [`MatrixError::Io`] on write failures.
 pub fn write_matrix_market<T: Scalar, W: Write>(m: &Csr<T>, mut writer: W) -> Result<()> {
+    if let Some(fault) = smat_failpoints::check("io.write") {
+        return Err(MatrixError::Io(fault.into()));
+    }
     writeln!(writer, "%%MatrixMarket matrix coordinate real general")?;
     writeln!(writer, "{} {} {}", m.rows(), m.cols(), m.nnz())?;
     for (r, c, v) in m.iter() {

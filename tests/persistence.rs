@@ -2,7 +2,7 @@
 //! reused across processes (the paper's "reusability" property).
 
 use smat::{Smat, SmatConfig, TrainedModel, Trainer};
-use smat_matrix::gen::{generate_corpus, tridiagonal, CorpusSpec};
+use smat_matrix::gen::{generate_corpus, random_uniform, tridiagonal, CorpusSpec};
 use smat_matrix::Csr;
 
 fn temp_path(name: &str) -> std::path::PathBuf {
@@ -107,6 +107,173 @@ fn model_json_is_human_inspectable() {
     assert!(text.contains("DIA"));
     assert!(text.contains("kernel_choice"));
     std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn cache_snapshot_round_trips_between_engines() {
+    let corpus = generate_corpus::<f64>(&CorpusSpec::small(100, 36));
+    let matrices: Vec<&Csr<f64>> = corpus.iter().map(|e| &e.matrix).collect();
+    let out = Trainer::new(SmatConfig::fast()).train(&matrices).unwrap();
+
+    let m1 = tridiagonal::<f64>(320);
+    let m2 = random_uniform::<f64>(280, 280, 7, 19);
+    let e1 = Smat::<f64>::with_config(out.model.clone(), SmatConfig::fast()).unwrap();
+    e1.prepare(&m1);
+    e1.prepare(&m2);
+
+    let path = temp_path("cache_snapshot_roundtrip.json");
+    assert_eq!(e1.save_cache(&path).unwrap(), 2);
+
+    // A fresh engine (a new "process" with the same model) warm-starts
+    // from the snapshot: both structures replay as cache hits and the
+    // replayed decisions still compute correct products.
+    let e2 = Smat::<f64>::with_config(out.model, SmatConfig::fast()).unwrap();
+    assert_eq!(e2.load_cache(&path).unwrap(), 2);
+    for m in [&m1, &m2] {
+        let tuned = e2.prepare(m);
+        assert!(tuned.decision().is_cached(), "got {:?}", tuned.decision());
+        let x = vec![1.0; m.cols()];
+        let mut y = vec![0.0; m.rows()];
+        e2.spmv(&tuned, &x, &mut y).unwrap();
+        let mut expect = vec![0.0; m.rows()];
+        m.spmv(&x, &mut expect).unwrap();
+        assert!(
+            smat_matrix::utils::max_abs_diff(&y, &expect) < 1e-10,
+            "warm-started decision computes a wrong product"
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+/// Failpoint schedules over every persistence site must never leave a
+/// *torn* artifact: after any scripted sequence of write/rename/save
+/// failures, the file on disk is either absent or loads (checksum and
+/// all), and no `.tmp` sibling survives a failed save. Requires
+/// `--features failpoints`.
+#[cfg(feature = "failpoints")]
+mod failpoint_schedules {
+    use super::*;
+    use proptest::prelude::*;
+    use smat::Installation;
+    use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+    /// The failpoint registry is process-global; the two property tests
+    /// below serialize through this lock and reset it up front.
+    static FAILPOINTS: Mutex<()> = Mutex::new(());
+
+    fn exclusive_failpoints() -> MutexGuard<'static, ()> {
+        let guard = FAILPOINTS.lock().unwrap_or_else(PoisonError::into_inner);
+        smat_failpoints::reset();
+        guard
+    }
+
+    /// One kernel search shared across every proptest case.
+    fn installation() -> &'static Installation {
+        static INSTALL: OnceLock<Installation> = OnceLock::new();
+        INSTALL.get_or_init(|| Installation::run::<f64>(&SmatConfig::fast()))
+    }
+
+    /// One trained engine with two resident cache entries, shared
+    /// across every proptest case.
+    fn engine() -> &'static Smat<f64> {
+        static ENGINE: OnceLock<Smat<f64>> = OnceLock::new();
+        ENGINE.get_or_init(|| {
+            let corpus = generate_corpus::<f64>(&CorpusSpec::small(100, 37));
+            let matrices: Vec<&Csr<f64>> = corpus.iter().map(|e| &e.matrix).collect();
+            let out = Trainer::new(SmatConfig::fast()).train(&matrices).unwrap();
+            let e = Smat::<f64>::with_config(out.model, SmatConfig::fast()).unwrap();
+            e.prepare(&tridiagonal::<f64>(180));
+            e.prepare(&random_uniform::<f64>(220, 220, 6, 23));
+            e
+        })
+    }
+
+    /// A random finite schedule: 1–3 steps of `fail`/`off`/`delay(1)`
+    /// with small repeat counts, e.g. `2*fail->1*off->1*delay(1)`.
+    /// Finite schedules exhaust to `off`, so every case also exercises
+    /// the recovery path.
+    fn arb_spec() -> impl Strategy<Value = String> {
+        proptest::collection::vec((1u64..3, 0usize..3), 1..4).prop_map(|steps| {
+            steps
+                .into_iter()
+                .map(|(n, action)| {
+                    let action = ["fail", "off", "delay(1)"][action];
+                    format!("{n}*{action}")
+                })
+                .collect::<Vec<_>>()
+                .join("->")
+        })
+    }
+
+    fn tmp_sibling(path: &std::path::Path) -> std::path::PathBuf {
+        let mut s = path.as_os_str().to_owned();
+        s.push(".tmp");
+        std::path::PathBuf::from(s)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        #[test]
+        fn install_artifacts_are_absent_or_valid_never_torn(
+            (w1, r1, s1) in (arb_spec(), arb_spec(), arb_spec()),
+            (w2, r2, s2) in (arb_spec(), arb_spec(), arb_spec()),
+        ) {
+            let _serial = exclusive_failpoints();
+            let path = temp_path("fp_install_prop.json");
+            std::fs::remove_file(&path).ok();
+            let install = installation();
+
+            // Fresh path: a chaos-scripted save either lands a fully
+            // valid artifact or leaves nothing.
+            {
+                let _g1 = smat_failpoints::scoped("persist.write", &w1).unwrap();
+                let _g2 = smat_failpoints::scoped("persist.rename", &r1).unwrap();
+                let _g3 = smat_failpoints::scoped("install.save", &s1).unwrap();
+                let _ = install.save(&path);
+            }
+            if path.exists() {
+                prop_assert!(Installation::load(&path).is_ok(), "torn artifact");
+            }
+            prop_assert!(!tmp_sibling(&path).exists(), "leaked tmp file");
+
+            // Overwrite path: with a valid artifact on disk, a failed
+            // re-save must never destroy it (the rename is atomic).
+            install.save(&path).unwrap();
+            {
+                let _g1 = smat_failpoints::scoped("persist.write", &w2).unwrap();
+                let _g2 = smat_failpoints::scoped("persist.rename", &r2).unwrap();
+                let _g3 = smat_failpoints::scoped("install.save", &s2).unwrap();
+                let _ = install.save(&path);
+            }
+            prop_assert!(Installation::load(&path).is_ok(), "existing artifact destroyed");
+            prop_assert!(!tmp_sibling(&path).exists(), "leaked tmp file");
+            std::fs::remove_file(&path).ok();
+        }
+
+        #[test]
+        fn cache_snapshots_are_absent_or_valid_never_torn(
+            (w, r, c) in (arb_spec(), arb_spec(), arb_spec()),
+        ) {
+            let _serial = exclusive_failpoints();
+            let path = temp_path("fp_cache_prop.json");
+            std::fs::remove_file(&path).ok();
+            let e = engine();
+            {
+                let _g1 = smat_failpoints::scoped("persist.write", &w).unwrap();
+                let _g2 = smat_failpoints::scoped("persist.rename", &r).unwrap();
+                let _g3 = smat_failpoints::scoped("cache.persist", &c).unwrap();
+                let _ = e.save_cache(&path);
+            }
+            if path.exists() {
+                // Checksum and precision verification both pass: the
+                // snapshot is whole.
+                prop_assert!(e.load_cache(&path).is_ok(), "torn snapshot");
+            }
+            prop_assert!(!tmp_sibling(&path).exists(), "leaked tmp file");
+            std::fs::remove_file(&path).ok();
+        }
+    }
 }
 
 #[test]

@@ -1,0 +1,197 @@
+//! Single-flight tuning under concurrent stampedes: when many threads
+//! `prepare` the same structure at once, exactly one runs the tuning
+//! pipeline (the leader) and the rest replay its published decision —
+//! never a redundant measurement, never a wrong result, never a panic.
+
+use smat::{DecisionPath, Smat, SmatConfig, Trainer};
+use smat_kernels::KernelId;
+use smat_matrix::gen::{generate_corpus, random_uniform, tridiagonal, CorpusSpec};
+use smat_matrix::utils::max_abs_diff;
+use smat_matrix::{Csr, Format};
+use std::sync::{Arc, Barrier};
+use std::thread;
+
+const THREADS: usize = 16;
+
+fn train_engine_with(seed: u64, config: SmatConfig) -> Smat<f64> {
+    let corpus = generate_corpus::<f64>(&CorpusSpec::small(120, seed));
+    let matrices: Vec<&Csr<f64>> = corpus.iter().map(|e| &e.matrix).collect();
+    let out = Trainer::new(SmatConfig::fast())
+        .train(&matrices)
+        .expect("training succeeds");
+    Smat::with_config(out.model, config).expect("precision matches")
+}
+
+/// One thread's observation of a stampeded `prepare`.
+struct Observed {
+    decision: DecisionPath,
+    format: Format,
+    kernel: KernelId,
+    y: Vec<f64>,
+}
+
+/// Releases `THREADS` threads through a barrier into `prepare` on the
+/// same matrix and returns what each saw.
+fn stampede(engine: &Arc<Smat<f64>>, m: &Arc<Csr<f64>>) -> Vec<Observed> {
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let engine = Arc::clone(engine);
+            let m = Arc::clone(m);
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                let x: Vec<f64> = (0..m.cols()).map(|i| 0.5 + (i % 7) as f64).collect();
+                let mut y = vec![0.0; m.rows()];
+                barrier.wait();
+                let tuned = engine.prepare(&m);
+                engine.spmv(&tuned, &x, &mut y).expect("tuned SpMV runs");
+                Observed {
+                    decision: tuned.decision().clone(),
+                    format: tuned.format(),
+                    kernel: tuned.kernel(),
+                    y,
+                }
+            })
+        })
+        .collect();
+    handles
+        .into_iter()
+        .map(|h| h.join().expect("no stampeding thread may panic"))
+        .collect()
+}
+
+#[test]
+fn stampede_tunes_once_and_serves_the_rest_from_cache() {
+    let engine = Arc::new(train_engine_with(41, SmatConfig::fast()));
+    // Unstructured enough that no rule matches: the leader must run the
+    // execute-and-measure fallback, the expensive path worth coalescing.
+    let m = Arc::new(random_uniform::<f64>(500, 500, 10, 21));
+    let results = stampede(&engine, &m);
+
+    // Exactly one thread ran the tuning pipeline; the other fifteen
+    // replayed its decision from the cache.
+    let fresh: Vec<&Observed> = results.iter().filter(|o| !o.decision.is_cached()).collect();
+    assert_eq!(
+        fresh.len(),
+        1,
+        "exactly one leader may tune; decisions: {:?}",
+        results.iter().map(|o| &o.decision).collect::<Vec<_>>()
+    );
+    assert_eq!(
+        results.iter().filter(|o| o.decision.is_cached()).count(),
+        THREADS - 1
+    );
+    assert!(results.iter().all(|o| !o.decision.is_degraded()));
+    let leader = fresh[0];
+    assert!(
+        matches!(
+            leader.decision,
+            DecisionPath::Measured { .. } | DecisionPath::Predicted { .. }
+        ),
+        "leader's path must be a real tuning outcome, got {:?}",
+        leader.decision
+    );
+
+    // Every thread landed on the leader's choice, and every cached path
+    // wraps exactly the leader's underlying decision.
+    for o in &results {
+        assert_eq!(o.format, leader.format);
+        assert_eq!(o.kernel, leader.kernel);
+        assert_eq!(o.decision.source(), leader.decision.source());
+    }
+
+    // Identical products, all agreeing with the reference CSR kernel.
+    let x: Vec<f64> = (0..m.cols()).map(|i| 0.5 + (i % 7) as f64).collect();
+    let mut expect = vec![0.0; m.rows()];
+    m.spmv(&x, &mut expect).expect("reference SpMV runs");
+    for o in &results {
+        assert_eq!(
+            o.y, results[0].y,
+            "threads must compute the identical product"
+        );
+        assert!(
+            max_abs_diff(&o.y, &expect) < 1e-10,
+            "tuned result diverges from reference"
+        );
+    }
+
+    // The counters agree: one miss (the leader), fifteen hits, and no
+    // thread saw more waiters than there were followers.
+    let stats = engine.cache_stats();
+    assert_eq!(stats.misses, 1, "a follower must never re-tune");
+    assert_eq!(stats.hits, (THREADS - 1) as u64);
+    assert!(stats.coalesced_waits <= (THREADS - 1) as u64);
+    assert_eq!(stats.poison_recoveries, 0);
+}
+
+#[test]
+fn stampede_on_a_warm_cache_serves_everyone_cached() {
+    let engine = Arc::new(train_engine_with(42, SmatConfig::fast()));
+    let m = Arc::new(tridiagonal::<f64>(600));
+    // Warm the entry on a single thread first.
+    let warmup = engine.prepare(&m);
+    assert!(!warmup.decision().is_cached());
+    let before = engine.cache_stats();
+
+    let results = stampede(&engine, &m);
+    assert!(
+        results.iter().all(|o| o.decision.is_cached()),
+        "a resident entry must serve every stampeder"
+    );
+    let delta = engine.cache_stats().since(&before);
+    assert_eq!(delta.hits, THREADS as u64);
+    assert_eq!(delta.misses, 0);
+    assert_eq!(delta.coalesced_waits, 0, "nobody waits on a warm cache");
+}
+
+#[test]
+fn concurrent_distinct_structures_each_tune_exactly_once() {
+    let engine = Arc::new(train_engine_with(43, SmatConfig::fast()));
+    // Four distinct structures, four threads stampeding each.
+    let matrices: Vec<Arc<Csr<f64>>> = (0..4)
+        .map(|i| {
+            Arc::new(random_uniform::<f64>(
+                300 + 40 * i,
+                300 + 40 * i,
+                8,
+                77 + i as u64,
+            ))
+        })
+        .collect();
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let engine = Arc::clone(&engine);
+            let m = Arc::clone(&matrices[t % matrices.len()]);
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                barrier.wait();
+                let tuned = engine.prepare(&m);
+                let x = vec![1.0; m.cols()];
+                let mut y = vec![0.0; m.rows()];
+                engine.spmv(&tuned, &x, &mut y).expect("tuned SpMV runs");
+                let mut expect = vec![0.0; m.rows()];
+                m.spmv(&x, &mut expect).expect("reference SpMV runs");
+                assert!(max_abs_diff(&y, &expect) < 1e-10);
+                (m.fingerprint(), tuned.decision().is_cached())
+            })
+        })
+        .collect();
+    let results: Vec<_> = handles
+        .into_iter()
+        .map(|h| h.join().expect("no thread may panic"))
+        .collect();
+
+    // Per structure: one tune, three cache replays.
+    for m in &matrices {
+        let key = m.fingerprint();
+        let fresh = results
+            .iter()
+            .filter(|(k, cached)| *k == key && !cached)
+            .count();
+        assert_eq!(fresh, 1, "structure {key:?} must tune exactly once");
+    }
+    let stats = engine.cache_stats();
+    assert_eq!(stats.misses, matrices.len() as u64);
+    assert_eq!(stats.hits, (THREADS - matrices.len()) as u64);
+}
