@@ -66,7 +66,11 @@ impl<T: Scalar> OpApply<T> {
     pub fn apply(&self, lib: &KernelLibrary<T>, x: &[T], y: &mut [T]) {
         match self {
             OpApply::Plain(m) => m.spmv(x, y).expect("validated dimensions"),
-            OpApply::Tuned(t) => lib.run(t.matrix(), t.kernel().variant, x, y),
+            // Each compiled operator carries the plan built at prepare
+            // time, so every smoothing sweep and transfer application in
+            // every V-cycle replays frozen chunk bounds instead of
+            // re-partitioning.
+            OpApply::Tuned(t) => lib.run_planned(t.matrix(), t.kernel().variant, t.plan(), x, y),
         }
     }
 

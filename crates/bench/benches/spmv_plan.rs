@@ -1,0 +1,156 @@
+//! Steady-state SpMV dispatch comparison: the cost of *getting to* the
+//! kernel, measured three ways on the same matrix and variant.
+//!
+//! * `legacy_spawn` — the pre-pool dispatch replicated verbatim:
+//!   re-partition per call, allocate the chunk list, fan out over the
+//!   vendored rayon stub's per-call scoped threads.
+//! * `cold` — `KernelLibrary::run`: partitions per call but fans out
+//!   over the persistent worker pool.
+//! * `prepared` — `KernelLibrary::run_planned` with a frozen
+//!   [`ExecPlan`]: the zero-allocation steady-state path a prepared
+//!   `Smat` handle replays.
+//!
+//! Uses a manual timing loop (not `criterion_group!`) because the
+//! results are also written to `BENCH_spmv.json` at the workspace root,
+//! alongside the machine facts needed to read them honestly: on a
+//! 1-core container every fan-out runs inline, so the series isolate
+//! dispatch overhead (partitioning + allocation + spawn), not
+//! parallel speedup. `SMAT_BENCH_QUICK=1` shrinks the matrix and the
+//! sample counts for CI smoke runs.
+
+use criterion::black_box;
+use rayon::prelude::*;
+use smat_kernels::partition::{default_parts, equal_row_bounds, split_by_bounds};
+use smat_kernels::{ExecPlan, KernelId, KernelLibrary};
+use smat_matrix::gen::random_uniform;
+use smat_matrix::{AnyMatrix, Csr, Format};
+use std::time::Instant;
+
+/// The dispatch path this workspace shipped before the worker pool:
+/// partition, materialize the chunk list, scoped threads per call.
+fn legacy_spawn_spmv(m: &Csr<f64>, x: &[f64], y: &mut [f64]) {
+    let bounds = equal_row_bounds(m.rows(), default_parts());
+    let chunks: Vec<(usize, &mut [f64])> = split_by_bounds(y, &bounds)
+        .into_iter()
+        .enumerate()
+        .collect();
+    chunks.into_par_iter().for_each(|(ci, chunk)| {
+        let r0 = bounds[ci];
+        for (i, yr) in chunk.iter_mut().enumerate() {
+            let (idx, val) = m.row(r0 + i);
+            let mut acc = 0.0;
+            for (&c, &v) in idx.iter().zip(val) {
+                acc += v * x[c];
+            }
+            *yr = acc;
+        }
+    });
+}
+
+struct Series {
+    name: &'static str,
+    median_ns: u128,
+    min_ns: u128,
+    max_ns: u128,
+}
+
+/// Times `f` as `samples` samples of `iters` calls each; reports the
+/// per-call median/min/max in nanoseconds.
+fn time_series(name: &'static str, samples: usize, iters: u32, mut f: impl FnMut()) -> Series {
+    // Warm-up: pool start, lazy statics, branch predictors.
+    for _ in 0..iters {
+        f();
+    }
+    let mut per_call: Vec<u128> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t.elapsed().as_nanos() / u128::from(iters)
+        })
+        .collect();
+    per_call.sort_unstable();
+    Series {
+        name,
+        median_ns: per_call[per_call.len() / 2],
+        min_ns: per_call[0],
+        max_ns: *per_call.last().expect("samples >= 1"),
+    }
+}
+
+fn main() {
+    let quick = std::env::var_os("SMAT_BENCH_QUICK").is_some();
+    let n = if quick { 2_000 } else { 20_000 };
+    let (samples, iters) = if quick { (7, 3) } else { (15, 10) };
+
+    let m = random_uniform::<f64>(n, n, 12, 3);
+    let lib = KernelLibrary::<f64>::new();
+    let variant = lib
+        .variants(Format::Csr)
+        .iter()
+        .position(|i| i.name == "csr_parallel")
+        .expect("csr_parallel is builtin");
+    let any = AnyMatrix::Csr(m.clone());
+    let plan: ExecPlan = lib.plan_for(
+        &any,
+        KernelId {
+            format: Format::Csr,
+            variant,
+        },
+    );
+    let x = vec![1.0f64; m.cols()];
+    let mut y = vec![0.0f64; m.rows()];
+
+    let series = [
+        time_series("legacy_spawn", samples, iters, || {
+            legacy_spawn_spmv(black_box(&m), black_box(&x), black_box(&mut y))
+        }),
+        time_series("cold", samples, iters, || {
+            lib.run(black_box(&any), variant, black_box(&x), black_box(&mut y))
+        }),
+        time_series("prepared", samples, iters, || {
+            lib.run_planned(
+                black_box(&any),
+                variant,
+                black_box(&plan),
+                black_box(&x),
+                black_box(&mut y),
+            )
+        }),
+    ];
+
+    let threads = smat_kernels::exec::num_threads();
+    let spawns = smat_kernels::exec::spawn_count();
+    println!(
+        "spmv_plan: csr_parallel on {n}x{n} nnz={} | threads={threads} pool_spawns={spawns} quick={quick}",
+        m.nnz()
+    );
+    if threads == 1 {
+        println!("  (1 hardware thread: fan-outs run inline; the series compare dispatch overhead, not parallel speedup)");
+    }
+    for s in &series {
+        println!(
+            "  {:<13} median {:>10} ns/call  (min {}, max {})",
+            s.name, s.median_ns, s.min_ns, s.max_ns
+        );
+    }
+
+    let rows: Vec<String> = series
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"name\": \"{}\", \"median_ns\": {}, \"min_ns\": {}, \"max_ns\": {}}}",
+                s.name, s.median_ns, s.min_ns, s.max_ns
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"spmv_plan\",\n  \"kernel\": \"csr_parallel\",\n  \"unit\": \"ns_per_call_median\",\n  \"threads\": {threads},\n  \"pool_spawns\": {spawns},\n  \"quick\": {quick},\n  \"matrix\": {{\"rows\": {n}, \"cols\": {n}, \"nnz\": {}}},\n  \"series\": [\n{}\n  ]\n}}\n",
+        m.nnz(),
+        rows.join(",\n")
+    );
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_spmv.json");
+    std::fs::write(&out, json).expect("write BENCH_spmv.json");
+    println!("wrote {}", out.display());
+}

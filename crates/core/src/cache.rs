@@ -18,7 +18,7 @@ use crate::integrity::fnv1a64_of_debug;
 use crate::runtime::DecisionPath;
 use serde::{Deserialize, Serialize};
 use smat_features::FeatureVector;
-use smat_kernels::KernelId;
+use smat_kernels::{ExecPlan, KernelId};
 use smat_matrix::{Format, StructuralFingerprint};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -38,6 +38,10 @@ pub(crate) struct CachedDecision {
     pub features: FeatureVector,
     /// How the original decision was reached.
     pub source: DecisionPath,
+    /// Precomputed chunk bounds for the chosen kernel. Structure-only
+    /// like the features, so replayable across value changes; rebuilt
+    /// on hit when stale (built for a different thread count).
+    pub plan: ExecPlan,
 }
 
 /// Hit/miss/latency counters for the tuning cache, as surfaced by
@@ -306,6 +310,7 @@ mod tests {
             kernel: KernelId { format, variant: 0 },
             features: FeatureVector::from_array([1.0; 11]),
             source: DecisionPath::Predicted { confidence: 0.9 },
+            plan: ExecPlan::serial(50),
         }
     }
 

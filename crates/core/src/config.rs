@@ -95,6 +95,13 @@ pub struct SmatConfig {
     /// worst-case latency a waiter can ever see; it never blocks
     /// forever.
     pub single_flight_wait: Duration,
+    /// Requested size of the persistent worker pool the parallel
+    /// kernels dispatch on. `None` (the default) sizes the pool to the
+    /// machine's core count. The pool is process-global and built
+    /// lazily on first parallel dispatch, so only the first engine (or
+    /// an earlier direct kernel call) can influence it — a later,
+    /// different request is ignored.
+    pub pool_threads: Option<usize>,
 }
 
 impl Default for SmatConfig {
@@ -120,6 +127,7 @@ impl Default for SmatConfig {
             persist_retries: 2,
             persist_backoff: Duration::from_millis(20),
             single_flight_wait: Duration::from_secs(30),
+            pool_threads: None,
         }
     }
 }

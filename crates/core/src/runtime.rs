@@ -19,7 +19,7 @@ use crate::retry::{retry_transient, RetryPolicy};
 use serde::{Deserialize, Serialize};
 use smat_features::{extract_structure, FeatureVector};
 use smat_kernels::timing::{gflops, measure_guarded};
-use smat_kernels::{KernelId, KernelLibrary};
+use smat_kernels::{ExecPlan, KernelId, KernelLibrary};
 use smat_learn::ClassGroup;
 use smat_matrix::{AnyMatrix, Csr, Format, Scalar, StructuralFingerprint};
 use std::collections::HashMap;
@@ -154,6 +154,7 @@ impl Drop for InflightGuard<'_> {
 pub struct TunedSpmv<T> {
     matrix: AnyMatrix<T>,
     kernel: KernelId,
+    plan: ExecPlan,
     features: FeatureVector,
     decision: DecisionPath,
     prepare_time: Duration,
@@ -168,6 +169,12 @@ impl<T: Scalar> TunedSpmv<T> {
     /// The kernel that will execute SpMV.
     pub fn kernel(&self) -> KernelId {
         self.kernel
+    }
+
+    /// The precomputed execution plan the kernel replays on every
+    /// [`Smat::spmv`] call (chunk bounds frozen at prepare time).
+    pub fn plan(&self) -> &ExecPlan {
+        &self.plan
     }
 
     /// The extracted feature vector (with `R` only if it was needed).
@@ -264,6 +271,9 @@ impl<T: Scalar> Smat<T> {
                 model: model.precision.clone(),
                 data: T::PRECISION_NAME,
             });
+        }
+        if let Some(n) = config.pool_threads {
+            smat_kernels::exec::set_thread_target(n);
         }
         let mut installation = None;
         let mut installation_from_disk = false;
@@ -490,11 +500,28 @@ impl<T: Scalar> Smat<T> {
                 // structural); fall through defensively if it somehow
                 // does not.
                 if let Ok(matrix) = AnyMatrix::convert_from_csr_with(csr, hit.format, &limits) {
+                    // A plan sized for a different thread count (e.g. a
+                    // snapshot written on another machine) is rebuilt
+                    // for this backend and the entry refreshed in place.
+                    let plan = if hit.plan.is_stale() {
+                        let rebuilt = self.lib.plan_for(&matrix, hit.kernel);
+                        self.cache.insert(
+                            key,
+                            CachedDecision {
+                                plan: rebuilt.clone(),
+                                ..hit.clone()
+                            },
+                        );
+                        rebuilt
+                    } else {
+                        hit.plan
+                    };
                     let elapsed = t0.elapsed();
                     self.cache.record(true, elapsed);
                     return TunedSpmv {
                         matrix,
                         kernel: hit.kernel,
+                        plan,
                         features: hit.features,
                         decision: DecisionPath::Cached {
                             source: Box::new(hit.source),
@@ -540,6 +567,7 @@ impl<T: Scalar> Smat<T> {
                             kernel: tuned.kernel,
                             features: tuned.features,
                             source: tuned.decision.clone(),
+                            plan: tuned.plan.clone(),
                         },
                     );
                 }
@@ -579,6 +607,7 @@ impl<T: Scalar> Smat<T> {
         TunedSpmv {
             matrix: AnyMatrix::Csr(csr.clone()),
             kernel: KernelId::basic(Format::Csr),
+            plan: ExecPlan::serial(csr.rows()),
             features,
             decision: DecisionPath::Degraded { reason },
             prepare_time: t0.elapsed(),
@@ -631,8 +660,10 @@ impl<T: Scalar> Smat<T> {
         if let Some((format, confidence)) = first_match {
             if confidence >= self.config.confidence_threshold {
                 if let Ok(matrix) = AnyMatrix::convert_from_csr_with(csr, format, &limits) {
+                    let kernel = self.model.kernel_choice.kernel(format);
                     return TunedSpmv {
-                        kernel: self.model.kernel_choice.kernel(format),
+                        plan: self.lib.plan_for(&matrix, kernel),
+                        kernel,
                         matrix,
                         features,
                         decision: DecisionPath::Predicted { confidence },
@@ -694,16 +725,20 @@ impl<T: Scalar> Smat<T> {
             }
         }
         match best {
-            Some((format, _, matrix)) => TunedSpmv {
-                kernel: self.model.kernel_choice.kernel(format),
-                matrix,
-                features,
-                decision: DecisionPath::Measured {
-                    candidates: measured,
-                    failures,
-                },
-                prepare_time: t0.elapsed(),
-            },
+            Some((format, _, matrix)) => {
+                let kernel = self.model.kernel_choice.kernel(format);
+                TunedSpmv {
+                    plan: self.lib.plan_for(&matrix, kernel),
+                    kernel,
+                    matrix,
+                    features,
+                    decision: DecisionPath::Measured {
+                        candidates: measured,
+                        failures,
+                    },
+                    prepare_time: t0.elapsed(),
+                }
+            }
             None => {
                 // Every candidate was pruned or failed measurement:
                 // degrade to the reference CSR kernel rather than fail.
@@ -745,7 +780,8 @@ impl<T: Scalar> Smat<T> {
                 },
             ));
         }
-        self.lib.run(&tuned.matrix, tuned.kernel.variant, x, y);
+        self.lib
+            .run_planned(&tuned.matrix, tuned.kernel.variant, &tuned.plan, x, y);
         Ok(())
     }
 

@@ -6,10 +6,11 @@
 //! so each rayon task owns a disjoint slice of `y` and no atomics are
 //! needed.
 
-use crate::partition::{default_parts, split_by_bounds};
+use crate::exec;
+use crate::partition::default_parts;
+use crate::plan::ExecPlan;
 use crate::registry::{KernelEntry, KernelFn};
 use crate::strategy::{Strategy, StrategySet};
-use rayon::prelude::*;
 use smat_matrix::{Coo, Scalar};
 
 #[inline]
@@ -62,7 +63,7 @@ pub fn unrolled<T: Scalar>(m: &Coo<T>, x: &[T], y: &mut [T]) {
 /// Computes entry-range boundaries snapped to row starts, and the
 /// corresponding row boundaries, such that each entry chunk touches a
 /// disjoint row range.
-fn row_aligned_chunks<T: Scalar>(m: &Coo<T>, parts: usize) -> (Vec<usize>, Vec<usize>) {
+pub(crate) fn row_aligned_chunks<T: Scalar>(m: &Coo<T>, parts: usize) -> (Vec<usize>, Vec<usize>) {
     let nnz = m.nnz();
     let rows_arr = m.row_idx();
     let mut entry_bounds = vec![0usize];
@@ -89,42 +90,70 @@ fn row_aligned_chunks<T: Scalar>(m: &Coo<T>, parts: usize) -> (Vec<usize>, Vec<u
 }
 
 #[inline]
-fn run_parallel<T: Scalar>(m: &Coo<T>, x: &[T], y: &mut [T], unroll: bool) {
+fn run_chunks<T: Scalar>(
+    m: &Coo<T>,
+    x: &[T],
+    y: &mut [T],
+    entry_bounds: &[usize],
+    row_bounds: &[usize],
+    unroll: bool,
+) {
     y.fill(T::ZERO);
-    let (entry_bounds, row_bounds) = row_aligned_chunks(m, default_parts());
     let rows = m.row_idx();
     let cols = m.col_idx();
     let vals = m.values();
-    let slices = split_by_bounds(y, &row_bounds);
-    slices
-        .into_par_iter()
-        .enumerate()
-        .for_each(|(ci, y_chunk)| {
-            let (s, e) = (entry_bounds[ci], entry_bounds[ci + 1]);
-            let r0 = row_bounds[ci];
-            if unroll {
-                let n = e - s;
-                let quads = n / 4;
-                for q in 0..quads {
-                    let k = s + 4 * q;
-                    let p0 = vals[k] * x[cols[k]];
-                    let p1 = vals[k + 1] * x[cols[k + 1]];
-                    let p2 = vals[k + 2] * x[cols[k + 2]];
-                    let p3 = vals[k + 3] * x[cols[k + 3]];
-                    y_chunk[rows[k] - r0] += p0;
-                    y_chunk[rows[k + 1] - r0] += p1;
-                    y_chunk[rows[k + 2] - r0] += p2;
-                    y_chunk[rows[k + 3] - r0] += p3;
-                }
-                for k in s + 4 * quads..e {
-                    y_chunk[rows[k] - r0] += vals[k] * x[cols[k]];
-                }
-            } else {
-                for k in s..e {
-                    y_chunk[rows[k] - r0] += vals[k] * x[cols[k]];
-                }
+    exec::for_each_row_chunk(y, row_bounds, |ci, y_chunk| {
+        let (s, e) = (entry_bounds[ci], entry_bounds[ci + 1]);
+        let r0 = row_bounds[ci];
+        if unroll {
+            let n = e - s;
+            let quads = n / 4;
+            for q in 0..quads {
+                let k = s + 4 * q;
+                let p0 = vals[k] * x[cols[k]];
+                let p1 = vals[k + 1] * x[cols[k + 1]];
+                let p2 = vals[k + 2] * x[cols[k + 2]];
+                let p3 = vals[k + 3] * x[cols[k + 3]];
+                y_chunk[rows[k] - r0] += p0;
+                y_chunk[rows[k + 1] - r0] += p1;
+                y_chunk[rows[k + 2] - r0] += p2;
+                y_chunk[rows[k + 3] - r0] += p3;
             }
-        });
+            for k in s + 4 * quads..e {
+                y_chunk[rows[k] - r0] += vals[k] * x[cols[k]];
+            }
+        } else {
+            for k in s..e {
+                y_chunk[rows[k] - r0] += vals[k] * x[cols[k]];
+            }
+        }
+    });
+}
+
+#[inline]
+fn run_parallel<T: Scalar>(m: &Coo<T>, x: &[T], y: &mut [T], unroll: bool) {
+    let (entry_bounds, row_bounds) = row_aligned_chunks(m, default_parts());
+    run_chunks(m, x, y, &entry_bounds, &row_bounds, unroll);
+}
+
+/// Runs a parallel COO variant with precomputed row/entry chunk bounds.
+/// A plan whose entry bounds don't match this matrix (e.g. built for a
+/// different nnz count) falls back to recomputing the partition rather
+/// than indexing out of range.
+pub(crate) fn run_planned<T: Scalar>(
+    m: &Coo<T>,
+    x: &[T],
+    y: &mut [T],
+    plan: &ExecPlan,
+    unroll: bool,
+) {
+    check_dims(m, x, y);
+    match &plan.entry_bounds {
+        Some(eb) if eb.last() == Some(&m.nnz()) && eb.len() == plan.bounds.len() => {
+            run_chunks(m, x, y, eb, &plan.bounds, unroll);
+        }
+        _ => run_parallel(m, x, y, unroll),
+    }
 }
 
 /// Parallel COO SpMV over row-aligned entry chunks (atomics-free).

@@ -6,10 +6,11 @@
 //! vector lengths were validated by the caller (they `assert!` in debug
 //! and release).
 
-use crate::partition::{default_parts, equal_row_bounds, nnz_balanced_bounds, split_by_bounds};
+use crate::exec;
+use crate::partition::{default_parts, equal_row_bounds, nnz_balanced_bounds};
+use crate::plan::ExecPlan;
 use crate::registry::{KernelEntry, KernelFn};
 use crate::strategy::{Strategy, StrategySet};
-use rayon::prelude::*;
 use smat_matrix::{Csr, Scalar};
 
 #[inline]
@@ -68,8 +69,7 @@ pub fn unrolled<T: Scalar>(m: &Csr<T>, x: &[T], y: &mut [T]) {
 
 #[inline]
 fn run_chunks<T: Scalar>(m: &Csr<T>, x: &[T], y: &mut [T], bounds: &[usize], unroll: bool) {
-    let chunks = split_by_bounds(y, bounds);
-    chunks.into_par_iter().enumerate().for_each(|(ci, chunk)| {
+    exec::for_each_row_chunk(y, bounds, |ci, chunk| {
         let r0 = bounds[ci];
         for (i, yr) in chunk.iter_mut().enumerate() {
             let (idx, val) = m.row(r0 + i);
@@ -84,6 +84,19 @@ fn run_chunks<T: Scalar>(m: &Csr<T>, x: &[T], y: &mut [T], bounds: &[usize], unr
             };
         }
     });
+}
+
+/// Runs a parallel CSR variant with precomputed chunk bounds instead of
+/// re-partitioning per call — the zero-allocation steady-state path.
+pub(crate) fn run_planned<T: Scalar>(
+    m: &Csr<T>,
+    x: &[T],
+    y: &mut [T],
+    plan: &ExecPlan,
+    unroll: bool,
+) {
+    check_dims(m, x, y);
+    run_chunks(m, x, y, &plan.bounds, unroll);
 }
 
 /// Row-parallel CSR SpMV with equal-row chunks.

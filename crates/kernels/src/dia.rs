@@ -6,10 +6,11 @@
 //! the diagonal-major inner loop (and its streaming access pattern)
 //! inside each chunk.
 
-use crate::partition::{default_parts, equal_row_bounds, split_by_bounds};
+use crate::exec;
+use crate::partition::{default_parts, equal_row_bounds};
+use crate::plan::ExecPlan;
 use crate::registry::{KernelEntry, KernelFn};
 use crate::strategy::{Strategy, StrategySet};
-use rayon::prelude::*;
 use smat_matrix::{Dia, Scalar};
 
 #[inline]
@@ -109,19 +110,32 @@ fn diag_segment<T: Scalar>(
 }
 
 #[inline]
+fn run_chunks<T: Scalar>(m: &Dia<T>, x: &[T], y: &mut [T], bounds: &[usize], unroll: bool) {
+    exec::for_each_row_chunk(y, bounds, |ci, y_chunk| {
+        y_chunk.fill(T::ZERO);
+        let (r0, r1) = (bounds[ci], bounds[ci + 1]);
+        for (d, &off) in m.offsets().iter().enumerate() {
+            diag_segment(m, d, off, x, y_chunk, r0, r1, unroll);
+        }
+    });
+}
+
+#[inline]
 fn run_parallel<T: Scalar>(m: &Dia<T>, x: &[T], y: &mut [T], unroll: bool) {
     let bounds = equal_row_bounds(m.rows(), default_parts());
-    let slices = split_by_bounds(y, &bounds);
-    slices
-        .into_par_iter()
-        .enumerate()
-        .for_each(|(ci, y_chunk)| {
-            y_chunk.fill(T::ZERO);
-            let (r0, r1) = (bounds[ci], bounds[ci + 1]);
-            for (d, &off) in m.offsets().iter().enumerate() {
-                diag_segment(m, d, off, x, y_chunk, r0, r1, unroll);
-            }
-        });
+    run_chunks(m, x, y, &bounds, unroll);
+}
+
+/// Runs a parallel DIA variant with precomputed row chunk bounds.
+pub(crate) fn run_planned<T: Scalar>(
+    m: &Dia<T>,
+    x: &[T],
+    y: &mut [T],
+    plan: &ExecPlan,
+    unroll: bool,
+) {
+    check_dims(m, x, y);
+    run_chunks(m, x, y, &plan.bounds, unroll);
 }
 
 /// Row-parallel DIA SpMV.

@@ -5,10 +5,11 @@
 //! `indices` arrays. Parallel variants chunk the rows and keep the
 //! column-major sweep inside each chunk.
 
-use crate::partition::{default_parts, equal_row_bounds, split_by_bounds};
+use crate::exec;
+use crate::partition::{default_parts, equal_row_bounds};
+use crate::plan::ExecPlan;
 use crate::registry::{KernelEntry, KernelFn};
 use crate::strategy::{Strategy, StrategySet};
-use rayon::prelude::*;
 use smat_matrix::{Ell, Scalar};
 
 #[inline]
@@ -58,41 +59,42 @@ pub fn unrolled<T: Scalar>(m: &Ell<T>, x: &[T], y: &mut [T]) {
 }
 
 #[inline]
-fn run_parallel<T: Scalar>(m: &Ell<T>, x: &[T], y: &mut [T], unroll: bool) {
+fn run_chunks<T: Scalar>(m: &Ell<T>, x: &[T], y: &mut [T], bounds: &[usize], unroll: bool) {
     let rows = m.rows();
-    let bounds = equal_row_bounds(rows, default_parts());
     let data = m.data();
     let idx = m.indices();
-    let slices = split_by_bounds(y, &bounds);
-    slices
-        .into_par_iter()
-        .enumerate()
-        .for_each(|(ci, y_chunk)| {
-            y_chunk.fill(T::ZERO);
-            let (r0, r1) = (bounds[ci], bounds[ci + 1]);
-            let n = r1 - r0;
-            for p in 0..m.width() {
-                let dcol = &data[p * rows + r0..p * rows + r1];
-                let icol = &idx[p * rows + r0..p * rows + r1];
-                if unroll {
-                    let quads = n / 4;
-                    for q in 0..quads {
-                        let r = 4 * q;
-                        y_chunk[r] += dcol[r] * x[icol[r]];
-                        y_chunk[r + 1] += dcol[r + 1] * x[icol[r + 1]];
-                        y_chunk[r + 2] += dcol[r + 2] * x[icol[r + 2]];
-                        y_chunk[r + 3] += dcol[r + 3] * x[icol[r + 3]];
-                    }
-                    for r in 4 * quads..n {
-                        y_chunk[r] += dcol[r] * x[icol[r]];
-                    }
-                } else {
-                    for r in 0..n {
-                        y_chunk[r] += dcol[r] * x[icol[r]];
-                    }
+    exec::for_each_row_chunk(y, bounds, |ci, y_chunk| {
+        y_chunk.fill(T::ZERO);
+        let (r0, r1) = (bounds[ci], bounds[ci + 1]);
+        let n = r1 - r0;
+        for p in 0..m.width() {
+            let dcol = &data[p * rows + r0..p * rows + r1];
+            let icol = &idx[p * rows + r0..p * rows + r1];
+            if unroll {
+                let quads = n / 4;
+                for q in 0..quads {
+                    let r = 4 * q;
+                    y_chunk[r] += dcol[r] * x[icol[r]];
+                    y_chunk[r + 1] += dcol[r + 1] * x[icol[r + 1]];
+                    y_chunk[r + 2] += dcol[r + 2] * x[icol[r + 2]];
+                    y_chunk[r + 3] += dcol[r + 3] * x[icol[r + 3]];
+                }
+                for r in 4 * quads..n {
+                    y_chunk[r] += dcol[r] * x[icol[r]];
+                }
+            } else {
+                for r in 0..n {
+                    y_chunk[r] += dcol[r] * x[icol[r]];
                 }
             }
-        });
+        }
+    });
+}
+
+#[inline]
+fn run_parallel<T: Scalar>(m: &Ell<T>, x: &[T], y: &mut [T], unroll: bool) {
+    let bounds = equal_row_bounds(m.rows(), default_parts());
+    run_chunks(m, x, y, &bounds, unroll);
 }
 
 /// Row-parallel ELL SpMV.
@@ -174,42 +176,61 @@ pub fn blocked2_unrolled<T: Scalar>(m: &Ell<T>, x: &[T], y: &mut [T]) {
     }
 }
 
-/// Row-parallel ELL SpMV with slot-pair blocking inside each chunk.
-pub fn parallel_blocked2<T: Scalar>(m: &Ell<T>, x: &[T], y: &mut [T]) {
-    check_dims(m, x, y);
+#[inline]
+fn run_chunks_blocked2<T: Scalar>(m: &Ell<T>, x: &[T], y: &mut [T], bounds: &[usize]) {
     let rows = m.rows();
-    let bounds = equal_row_bounds(rows, default_parts());
     let data = m.data();
     let idx = m.indices();
     let width = m.width();
-    let slices = split_by_bounds(y, &bounds);
-    slices
-        .into_par_iter()
-        .enumerate()
-        .for_each(|(ci, y_chunk)| {
-            y_chunk.fill(T::ZERO);
-            let (r0, r1) = (bounds[ci], bounds[ci + 1]);
-            let n = r1 - r0;
-            let pairs = width / 2;
-            for q in 0..pairs {
-                let p = 2 * q;
-                let d0 = &data[p * rows + r0..p * rows + r1];
-                let i0 = &idx[p * rows + r0..p * rows + r1];
-                let d1 = &data[(p + 1) * rows + r0..(p + 1) * rows + r1];
-                let i1 = &idx[(p + 1) * rows + r0..(p + 1) * rows + r1];
-                for r in 0..n {
-                    y_chunk[r] += d0[r] * x[i0[r]] + d1[r] * x[i1[r]];
-                }
+    exec::for_each_row_chunk(y, bounds, |ci, y_chunk| {
+        y_chunk.fill(T::ZERO);
+        let (r0, r1) = (bounds[ci], bounds[ci + 1]);
+        let n = r1 - r0;
+        let pairs = width / 2;
+        for q in 0..pairs {
+            let p = 2 * q;
+            let d0 = &data[p * rows + r0..p * rows + r1];
+            let i0 = &idx[p * rows + r0..p * rows + r1];
+            let d1 = &data[(p + 1) * rows + r0..(p + 1) * rows + r1];
+            let i1 = &idx[(p + 1) * rows + r0..(p + 1) * rows + r1];
+            for r in 0..n {
+                y_chunk[r] += d0[r] * x[i0[r]] + d1[r] * x[i1[r]];
             }
-            if width % 2 == 1 {
-                let p = width - 1;
-                let dcol = &data[p * rows + r0..p * rows + r1];
-                let icol = &idx[p * rows + r0..p * rows + r1];
-                for r in 0..n {
-                    y_chunk[r] += dcol[r] * x[icol[r]];
-                }
+        }
+        if width % 2 == 1 {
+            let p = width - 1;
+            let dcol = &data[p * rows + r0..p * rows + r1];
+            let icol = &idx[p * rows + r0..p * rows + r1];
+            for r in 0..n {
+                y_chunk[r] += dcol[r] * x[icol[r]];
             }
-        });
+        }
+    });
+}
+
+/// Row-parallel ELL SpMV with slot-pair blocking inside each chunk.
+pub fn parallel_blocked2<T: Scalar>(m: &Ell<T>, x: &[T], y: &mut [T]) {
+    check_dims(m, x, y);
+    let bounds = equal_row_bounds(m.rows(), default_parts());
+    run_chunks_blocked2(m, x, y, &bounds);
+}
+
+/// Runs a parallel ELL variant with precomputed row chunk bounds. The
+/// strategy set picks the chunk body: `Block` selects the slot-pair
+/// fused sweep, otherwise `Unroll` selects the 4-way unrolled one.
+pub(crate) fn run_planned<T: Scalar>(
+    m: &Ell<T>,
+    x: &[T],
+    y: &mut [T],
+    plan: &ExecPlan,
+    strategies: StrategySet,
+) {
+    check_dims(m, x, y);
+    if strategies.contains(Strategy::Block) {
+        run_chunks_blocked2(m, x, y, &plan.bounds);
+    } else {
+        run_chunks(m, x, y, &plan.bounds, strategies.contains(Strategy::Unroll));
+    }
 }
 
 /// The ELL kernel library.

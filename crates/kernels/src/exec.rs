@@ -1,0 +1,183 @@
+//! Execution backend of the parallel kernels.
+//!
+//! One cfg site selects how chunked work is fanned out:
+//!
+//! * With the default `pool` feature, chunks run on the persistent
+//!   parking worker pool (`smat-pool`): workers started once, woken by
+//!   a condvar latch, claiming chunk indices through an atomic cursor —
+//!   no per-call thread spawn, no per-item mutex, no heap allocation in
+//!   steady state.
+//! * Without it (`--no-default-features`), chunks run through the
+//!   vendored rayon stub's scoped threads — the dependency-free
+//!   fallback build.
+//!
+//! Every parallel kernel goes through [`for_each_row_chunk`], the one
+//! place that turns a validated boundary list into disjoint `&mut`
+//! sub-slices of the output vector.
+
+#[cfg(feature = "pool")]
+mod backend {
+    /// Threads cooperating on one fan-out (pool workers + caller).
+    pub fn num_threads() -> usize {
+        smat_pool::current_num_threads()
+    }
+
+    /// Dispatches `body(0..chunks)` over the persistent pool.
+    pub fn for_each_chunk(chunks: usize, body: &(dyn Fn(usize) + Sync)) {
+        smat_pool::parallel_for(chunks, body);
+    }
+
+    /// Requests the pool size; only effective before the pool's first
+    /// use (see [`smat_pool::set_thread_target`]).
+    pub fn set_thread_target(n: usize) {
+        smat_pool::set_thread_target(n);
+    }
+
+    /// OS threads ever spawned by the execution backend. Flat in steady
+    /// state — the zero-spawn guarantee the tests assert.
+    pub fn spawn_count() -> u64 {
+        smat_pool::spawn_count()
+    }
+}
+
+#[cfg(not(feature = "pool"))]
+mod backend {
+    use rayon::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::OnceLock;
+
+    static TARGET: AtomicUsize = AtomicUsize::new(0);
+
+    /// Threads the rayon-stub fallback would use, resolved once (the
+    /// pre-pool code re-issued the `available_parallelism` syscall on
+    /// every SpMV dispatch).
+    pub fn num_threads() -> usize {
+        static N: OnceLock<usize> = OnceLock::new();
+        *N.get_or_init(|| {
+            let target = TARGET.load(Ordering::Relaxed);
+            if target > 0 {
+                target
+            } else {
+                rayon::current_num_threads().max(1)
+            }
+        })
+    }
+
+    /// Dispatches chunk indices over the rayon stub's scoped threads.
+    pub fn for_each_chunk(chunks: usize, body: &(dyn Fn(usize) + Sync)) {
+        (0..chunks)
+            .collect::<Vec<usize>>()
+            .into_par_iter()
+            .for_each(|ci| body(ci));
+    }
+
+    /// Requests the thread count; only effective before the first
+    /// [`num_threads`] call freezes it.
+    pub fn set_thread_target(n: usize) {
+        TARGET.store(n.max(1), Ordering::Relaxed);
+    }
+
+    /// The fallback backend spawns scoped threads per call and does not
+    /// track them; reported as 0.
+    pub fn spawn_count() -> u64 {
+        0
+    }
+}
+
+pub use backend::{for_each_chunk, num_threads, set_thread_target, spawn_count};
+
+/// Validates a chunk boundary list against an output slice: starts at
+/// 0, ends at `len`, non-decreasing.
+///
+/// # Panics
+///
+/// Panics when the bounds are malformed.
+#[inline]
+pub(crate) fn validate_bounds(bounds: &[usize], len: usize) {
+    assert!(bounds.len() >= 2, "bounds must have at least two entries");
+    assert_eq!(bounds[0], 0, "bounds must start at 0");
+    assert_eq!(
+        *bounds.last().expect("non-empty"),
+        len,
+        "bounds must end at the slice length"
+    );
+    assert!(
+        bounds.windows(2).all(|w| w[0] <= w[1]),
+        "bounds must be non-decreasing"
+    );
+}
+
+/// Runs `f(chunk_index, &mut y[bounds[i]..bounds[i + 1]])` for every
+/// chunk, in parallel over the execution backend.
+///
+/// This replaces the old `split_by_bounds` + parallel-iterator pattern
+/// without allocating the intermediate `Vec` of sub-slices: chunks are
+/// carved from the raw output pointer inside this one audited helper.
+/// Disjointness holds because the bounds are validated non-decreasing
+/// and the backend hands out each chunk index exactly once.
+///
+/// # Panics
+///
+/// Panics when the bounds are malformed, and re-throws any panic from
+/// `f` on the calling thread.
+pub fn for_each_row_chunk<T, F>(y: &mut [T], bounds: &[usize], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    validate_bounds(bounds, y.len());
+    let base = y.as_mut_ptr() as usize;
+    for_each_chunk(bounds.len() - 1, &|ci| {
+        let (b0, b1) = (bounds[ci], bounds[ci + 1]);
+        // SAFETY: bounds are validated non-decreasing within
+        // `0..=y.len()`, and the backend claims each chunk index
+        // exactly once, so these sub-slices are in-bounds and disjoint.
+        let chunk = unsafe { std::slice::from_raw_parts_mut((base as *mut T).add(b0), b1 - b0) };
+        f(ci, chunk);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn num_threads_is_positive_and_stable() {
+        let n = num_threads();
+        assert!(n >= 1);
+        assert_eq!(num_threads(), n, "cached value must not drift");
+    }
+
+    #[test]
+    fn row_chunks_cover_the_slice_disjointly() {
+        let mut y = vec![0usize; 103];
+        let bounds = [0, 17, 17, 60, 103];
+        for_each_row_chunk(&mut y, &bounds, |ci, chunk| {
+            for (i, slot) in chunk.iter_mut().enumerate() {
+                *slot = 1000 * (ci + 1) + i;
+            }
+        });
+        for (r, &v) in y.iter().enumerate() {
+            let ci = match r {
+                0..=16 => 0,
+                17..=59 => 2,
+                _ => 3,
+            };
+            assert_eq!(v, 1000 * (ci + 1) + (r - bounds[ci]), "row {r}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "end at the slice length")]
+    fn short_bounds_are_rejected() {
+        let mut y = [0u8; 4];
+        for_each_row_chunk(&mut y, &[0, 2], |_, _| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn decreasing_bounds_are_rejected() {
+        let mut y = [0u8; 4];
+        for_each_row_chunk(&mut y, &[0, 3, 1, 4], |_, _| {});
+    }
+}

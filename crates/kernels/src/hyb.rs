@@ -52,6 +52,19 @@ pub fn parallel<T: Scalar>(m: &Hyb<T>, x: &[T], y: &mut [T]) {
     add_overflow(m, x, y);
 }
 
+/// Runs the parallel HYB variant with precomputed row chunk bounds for
+/// the ELL sweep; the COO overflow stays serial.
+pub(crate) fn run_planned<T: Scalar>(
+    m: &Hyb<T>,
+    x: &[T],
+    y: &mut [T],
+    plan: &crate::plan::ExecPlan,
+) {
+    check_dims(m, x, y);
+    crate::ell::run_planned(m.ell_part(), x, y, plan, StrategySet::EMPTY);
+    add_overflow(m, x, y);
+}
+
 /// The HYB kernel library.
 pub fn kernels<T: Scalar>() -> Vec<KernelEntry<T, Hyb<T>>> {
     use Strategy::*;

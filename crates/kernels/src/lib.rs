@@ -40,14 +40,17 @@ pub mod coo;
 pub mod csr;
 pub mod dia;
 pub mod ell;
+pub mod exec;
 pub mod hyb;
 pub mod partition;
+pub mod plan;
 pub mod reference;
 pub mod registry;
 pub mod search;
 pub mod strategy;
 pub mod timing;
 
+pub use plan::ExecPlan;
 pub use registry::{KernelEntry, KernelFn, KernelId, KernelInfo, KernelLibrary};
 pub use search::{
     measure_format, search_kernels, KernelChoice, PerfRecord, PerfTable, RecordStatus, Scoreboard,

@@ -80,10 +80,12 @@ pub fn split_by_bounds<'a, T>(y: &'a mut [T], bounds: &[usize]) -> Vec<&'a mut [
     out
 }
 
-/// Number of parallel chunks to use: a small multiple of the thread count
-/// so rayon can balance tail effects.
+/// Number of parallel chunks to use: a small multiple of the thread
+/// count so the execution backend can balance tail effects. The thread
+/// count comes from [`crate::exec::num_threads`], which resolves it
+/// once instead of re-querying the OS per dispatch.
 pub fn default_parts() -> usize {
-    rayon::current_num_threads().max(1) * 4
+    crate::exec::num_threads().max(1) * 4
 }
 
 #[cfg(test)]

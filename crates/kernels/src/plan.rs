@@ -1,0 +1,104 @@
+//! Precomputed execution plans.
+//!
+//! An [`ExecPlan`] freezes every decision a parallel kernel would
+//! otherwise re-derive per call — how many threads to target, where the
+//! row-chunk boundaries fall, and (for COO) the matching entry-range
+//! boundaries. The planner in the registry builds one per tuned kernel
+//! during `prepare()`; steady-state SpMV then replays it with zero heap
+//! allocations and zero partitioning work.
+//!
+//! Plans are persisted inside the tuning-cache entry, so they carry the
+//! thread count they were built for. [`ExecPlan::is_stale`] detects a
+//! mismatch with the current execution backend (e.g. a cache file moved
+//! between machines), in which case the runtime rebuilds the plan.
+
+use serde::{Deserialize, Serialize};
+
+/// Frozen partitioning decisions for one (matrix, kernel) pairing.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecPlan {
+    /// Row-chunk boundaries: `bounds[i]..bounds[i + 1]` is chunk `i`'s
+    /// row range. Always `len >= 2`, starts at 0, ends at `rows`.
+    pub bounds: Vec<usize>,
+    /// COO only: entry-range boundaries aligned with `bounds` (chunk
+    /// `i` scans entries `entry_bounds[i]..entry_bounds[i + 1]`).
+    /// `None` for formats that derive entry ranges from row pointers.
+    pub entry_bounds: Option<Vec<usize>>,
+    /// Thread count the boundaries were sized for; compared against the
+    /// live backend by [`is_stale`](Self::is_stale).
+    pub threads: usize,
+}
+
+impl ExecPlan {
+    /// A single-chunk plan that runs the kernel serially — used for
+    /// serial variants, degraded mode, and user-registered kernels the
+    /// planner knows nothing about.
+    pub fn serial(rows: usize) -> Self {
+        ExecPlan {
+            bounds: vec![0, rows],
+            entry_bounds: None,
+            threads: 1,
+        }
+    }
+
+    /// Number of chunks the plan fans out to.
+    pub fn chunks(&self) -> usize {
+        self.bounds.len().saturating_sub(1)
+    }
+
+    /// Whether the plan collapses to one chunk (no fan-out).
+    pub fn is_serial(&self) -> bool {
+        self.chunks() <= 1
+    }
+
+    /// True when the plan was sized for a different thread count than
+    /// the execution backend currently reports — e.g. it came from a
+    /// cache file written on another machine. Stale plans stay correct
+    /// (chunks still cover every row) but mis-sized, so the runtime
+    /// rebuilds and re-caches them.
+    pub fn is_stale(&self) -> bool {
+        !self.is_serial() && self.threads != crate::exec::num_threads()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_plan_is_one_chunk_and_never_stale() {
+        let p = ExecPlan::serial(42);
+        assert_eq!(p.bounds, vec![0, 42]);
+        assert_eq!(p.chunks(), 1);
+        assert!(p.is_serial());
+        assert!(!p.is_stale());
+    }
+
+    #[test]
+    fn staleness_tracks_thread_count() {
+        let live = crate::exec::num_threads();
+        let fresh = ExecPlan {
+            bounds: vec![0, 10, 20],
+            entry_bounds: None,
+            threads: live,
+        };
+        assert!(!fresh.is_stale());
+        let moved = ExecPlan {
+            threads: live + 7,
+            ..fresh.clone()
+        };
+        assert!(moved.is_stale());
+    }
+
+    #[test]
+    fn plan_round_trips_through_serde() {
+        let p = ExecPlan {
+            bounds: vec![0, 5, 9],
+            entry_bounds: Some(vec![0, 11, 30]),
+            threads: 4,
+        };
+        let v = serde_json::to_string(&p).expect("serialize");
+        let back: ExecPlan = serde_json::from_str(&v).expect("deserialize");
+        assert_eq!(back, p);
+    }
+}

@@ -6,8 +6,10 @@
 //! for the host architecture; the runtime then dispatches through
 //! [`KernelLibrary::run`].
 
-use crate::strategy::StrategySet;
-use crate::{coo, csr, dia, ell, hyb};
+use crate::partition::{default_parts, equal_row_bounds, nnz_balanced_bounds};
+use crate::plan::ExecPlan;
+use crate::strategy::{Strategy, StrategySet};
+use crate::{coo, csr, dia, ell, exec, hyb};
 use serde::{Deserialize, Serialize};
 use smat_matrix::{AnyMatrix, Coo, Csr, Dia, Ell, Format, Hyb, Scalar};
 
@@ -68,6 +70,10 @@ pub struct KernelLibrary<T: Scalar> {
     dia: Vec<KernelEntry<T, Dia<T>>>,
     ell: Vec<KernelEntry<T, Ell<T>>>,
     hyb: Vec<KernelEntry<T, Hyb<T>>>,
+    /// Variant counts at construction. Only builtin variants have
+    /// planned execution paths; user-registered ones (appended past
+    /// these counts) always dispatch through their raw fn pointer.
+    builtin: [usize; 5],
 }
 
 impl<T: Scalar> std::fmt::Debug for KernelLibrary<T> {
@@ -91,12 +97,51 @@ impl<T: Scalar> Default for KernelLibrary<T> {
 impl<T: Scalar> KernelLibrary<T> {
     /// Builds the library with every registered variant.
     pub fn new() -> Self {
+        let (csr, coo, dia, ell, hyb) = (
+            csr::kernels(),
+            coo::kernels(),
+            dia::kernels(),
+            ell::kernels(),
+            hyb::kernels(),
+        );
+        let builtin = [csr.len(), coo.len(), dia.len(), ell.len(), hyb.len()];
         Self {
-            csr: csr::kernels(),
-            coo: coo::kernels(),
-            dia: dia::kernels(),
-            ell: ell::kernels(),
-            hyb: hyb::kernels(),
+            csr,
+            coo,
+            dia,
+            ell,
+            hyb,
+            builtin,
+        }
+    }
+
+    /// Whether `id` names a builtin variant (one with a planned
+    /// execution path), as opposed to a user-registered extension.
+    fn is_builtin(&self, id: KernelId) -> bool {
+        let slot = match id.format {
+            Format::Csr => 0,
+            Format::Coo => 1,
+            Format::Dia => 2,
+            Format::Ell => 3,
+            Format::Hyb => 4,
+        };
+        id.variant < self.builtin[slot]
+    }
+
+    /// Strategy set of one variant without materializing the
+    /// [`variants`](Self::variants) metadata `Vec` — the dispatch path
+    /// reads this per call, and steady-state dispatch must not allocate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id.variant` is out of range for `id.format`.
+    fn strategies_of(&self, id: KernelId) -> StrategySet {
+        match id.format {
+            Format::Csr => self.csr[id.variant].1,
+            Format::Coo => self.coo[id.variant].1,
+            Format::Dia => self.dia[id.variant].1,
+            Format::Ell => self.ell[id.variant].1,
+            Format::Hyb => self.hyb[id.variant].1,
         }
     }
 
@@ -241,6 +286,96 @@ impl<T: Scalar> KernelLibrary<T> {
     /// Panics on out-of-range variant or mismatched vector lengths.
     pub fn run_csr(&self, m: &Csr<T>, variant: usize, x: &[T], y: &mut [T]) {
         (self.csr[variant].2)(m, x, y)
+    }
+
+    /// Builds the execution plan for running kernel `id` on `m`: the
+    /// chunk boundaries the parallel variants would otherwise recompute
+    /// on every call, frozen once.
+    ///
+    /// Serial variants, user-registered variants and mismatched
+    /// format/matrix pairings get the trivial single-chunk plan — the
+    /// planned dispatch then behaves exactly like [`run`](Self::run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id.variant` is out of range for `id.format`.
+    pub fn plan_for(&self, m: &AnyMatrix<T>, id: KernelId) -> ExecPlan {
+        let rows = m.rows();
+        if !self.is_builtin(id)
+            || !self.strategies_of(id).contains(Strategy::Parallel)
+            || id.format != m.format()
+        {
+            return ExecPlan::serial(rows);
+        }
+        let threads = exec::num_threads();
+        let parts = default_parts();
+        match m {
+            AnyMatrix::Csr(m) => {
+                let bounds = if self.strategies_of(id).contains(Strategy::Balance) {
+                    nnz_balanced_bounds(m, parts)
+                } else {
+                    equal_row_bounds(rows, parts)
+                };
+                ExecPlan {
+                    bounds,
+                    entry_bounds: None,
+                    threads,
+                }
+            }
+            AnyMatrix::Coo(m) => {
+                let (entry_bounds, bounds) = coo::row_aligned_chunks(m, parts);
+                ExecPlan {
+                    bounds,
+                    entry_bounds: Some(entry_bounds),
+                    threads,
+                }
+            }
+            AnyMatrix::Dia(_) | AnyMatrix::Ell(_) | AnyMatrix::Hyb(_) => ExecPlan {
+                bounds: equal_row_bounds(rows, parts),
+                entry_bounds: None,
+                threads,
+            },
+        }
+    }
+
+    /// Runs variant `variant` with a precomputed [`ExecPlan`] — the
+    /// zero-allocation steady-state dispatch.
+    ///
+    /// Builtin parallel variants replay the plan's frozen chunk bounds
+    /// instead of re-partitioning; every other variant falls through to
+    /// its plain fn pointer (identical to [`run`](Self::run)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `variant` is out of range, the vector lengths mismatch
+    /// the matrix, or the plan's row bounds don't cover `y`.
+    pub fn run_planned(
+        &self,
+        m: &AnyMatrix<T>,
+        variant: usize,
+        plan: &ExecPlan,
+        x: &[T],
+        y: &mut [T],
+    ) {
+        let id = KernelId {
+            format: m.format(),
+            variant,
+        };
+        if !self.is_builtin(id) {
+            return self.run(m, variant, x, y);
+        }
+        let strategies = self.strategies_of(id);
+        if !strategies.contains(Strategy::Parallel) {
+            return self.run(m, variant, x, y);
+        }
+        let unroll = strategies.contains(Strategy::Unroll);
+        match m {
+            AnyMatrix::Csr(m) => csr::run_planned(m, x, y, plan, unroll),
+            AnyMatrix::Coo(m) => coo::run_planned(m, x, y, plan, unroll),
+            AnyMatrix::Dia(m) => dia::run_planned(m, x, y, plan, unroll),
+            AnyMatrix::Ell(m) => ell::run_planned(m, x, y, plan, strategies),
+            AnyMatrix::Hyb(m) => hyb::run_planned(m, x, y, plan),
+        }
     }
 }
 

@@ -1,0 +1,53 @@
+//! Exercises the *pooled* (non-inline) dispatch path regardless of the
+//! host's core count: `set_thread_target` runs in its own process here
+//! (integration tests are separate binaries), so it wins the
+//! first-touch race and the pool really parks workers.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+#[test]
+fn forced_pool_parks_workers_and_dispatches_without_spawning() {
+    smat_pool::set_thread_target(3);
+    assert_eq!(smat_pool::current_num_threads(), 3);
+    // Building the 3-thread pool spawned exactly its 2 workers.
+    assert_eq!(smat_pool::spawn_count(), 2);
+
+    let hits: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+    for _ in 0..200 {
+        smat_pool::parallel_for(hits.len(), &|ci| {
+            hits[ci].fetch_add(1, Ordering::Relaxed);
+        });
+    }
+    for (ci, h) in hits.iter().enumerate() {
+        assert_eq!(h.load(Ordering::Relaxed), 200, "chunk {ci}");
+    }
+    // Steady state: the 200 dispatches fanned out (counted) but never
+    // spawned another thread.
+    assert_eq!(smat_pool::spawn_count(), 2);
+    assert!(smat_pool::dispatch_count() >= 200);
+
+    // A panic inside a pooled chunk lands on the dispatcher, all other
+    // chunks still run, and the pool keeps serving afterwards.
+    let ran = AtomicUsize::new(0);
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        smat_pool::parallel_for(16, &|ci| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            if ci == 5 {
+                panic!("pooled chunk exploded");
+            }
+        });
+    }))
+    .expect_err("panic must reach the dispatcher");
+    let msg = err
+        .downcast_ref::<&str>()
+        .copied()
+        .unwrap_or("<non-str payload>");
+    assert!(msg.contains("pooled chunk exploded"), "payload: {msg}");
+    assert_eq!(ran.load(Ordering::Relaxed), 16, "all chunks still ran");
+    let after = AtomicUsize::new(0);
+    smat_pool::parallel_for(8, &|_| {
+        after.fetch_add(1, Ordering::Relaxed);
+    });
+    assert_eq!(after.load(Ordering::Relaxed), 8);
+    assert_eq!(smat_pool::spawn_count(), 2);
+}

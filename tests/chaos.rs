@@ -11,10 +11,11 @@
 #![cfg(feature = "failpoints")]
 
 use smat::{DecisionPath, Installation, Smat, SmatConfig, Trainer};
+use smat_kernels::{KernelId, KernelLibrary, Strategy};
 use smat_matrix::gen::{generate_corpus, power_law, random_uniform, tridiagonal, CorpusSpec};
 use smat_matrix::io::read_matrix_market;
 use smat_matrix::utils::max_abs_diff;
-use smat_matrix::{Csr, MatrixError};
+use smat_matrix::{AnyMatrix, Csr, Format, MatrixError};
 use std::sync::{Arc, Barrier, Mutex, MutexGuard, PoisonError};
 use std::thread;
 use std::time::Duration;
@@ -323,6 +324,95 @@ fn install_artifacts_survive_scripted_io_faults() {
         assert!(!path.exists(), "no torn artifact may be left behind");
     }
     std::fs::remove_file(&path).ok();
+}
+
+/// The worker pool's `pool.dispatch` site sits at fan-out entry: a
+/// scripted `fail` forces the inline-serial fallback, a `delay` stalls
+/// the dispatcher. Sixteen threads stampede one shared plan through
+/// both phases and the exhausted-to-healthy transition; no product may
+/// change and no thread may panic. A second phase runs the full engine
+/// pipeline (`prepare` + `spmv`) under a fresh schedule.
+#[test]
+fn pool_dispatch_faults_fall_back_inline_without_corrupting_results() {
+    let _serial = exclusive_failpoints();
+    let lib = Arc::new(KernelLibrary::<f64>::new());
+    let m = random_uniform::<f64>(400, 400, 8, 99);
+    let v = lib
+        .variants(Format::Csr)
+        .iter()
+        .position(|i| i.strategies.contains(Strategy::Parallel))
+        .expect("a parallel CSR variant exists");
+    let any = Arc::new(AnyMatrix::Csr(m.clone()));
+    let plan = Arc::new(lib.plan_for(
+        &any,
+        KernelId {
+            format: Format::Csr,
+            variant: v,
+        },
+    ));
+    assert!(plan.chunks() >= 2, "the plan must actually fan out");
+    let x: Vec<f64> = (0..m.cols())
+        .map(|i| 0.5 - (i % 9) as f64 * 0.125)
+        .collect();
+    let mut expect = vec![0.0; m.rows()];
+    m.spmv(&x, &mut expect).expect("reference SpMV runs");
+    let (x, expect) = (Arc::new(x), Arc::new(expect));
+
+    const ITERS: usize = 6;
+    {
+        let _g = smat_failpoints::scoped("pool.dispatch", "8*fail(pool offline)->8*delay(1)->off")
+            .unwrap();
+        let barrier = Arc::new(Barrier::new(THREADS));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let (lib, any, plan) = (Arc::clone(&lib), Arc::clone(&any), Arc::clone(&plan));
+                let (x, expect) = (Arc::clone(&x), Arc::clone(&expect));
+                let barrier = Arc::clone(&barrier);
+                thread::spawn(move || {
+                    barrier.wait();
+                    for _ in 0..ITERS {
+                        let mut y = vec![f64::NAN; expect.len()];
+                        lib.run_planned(&any, v, &plan, &x, &mut y);
+                        assert!(
+                            max_abs_diff(&y, &expect) < 1e-12,
+                            "dispatch fault corrupted the product"
+                        );
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("no stampede thread may panic");
+        }
+        // Every fan-out crossed the site exactly once (fail, delay and
+        // the exhausted `off` state all count as hits).
+        assert_eq!(
+            smat_failpoints::hits("pool.dispatch"),
+            (THREADS * ITERS) as u64,
+            "every dispatch must cross the failpoint"
+        );
+    }
+
+    // Engine phase: the whole tuning pipeline over a faulty dispatcher.
+    let engine = Arc::new(train_engine_with(55, SmatConfig::fast()));
+    let _g = smat_failpoints::scoped("pool.dispatch", "4*fail(pool offline)->off").unwrap();
+    let matrices = [
+        Arc::new(tridiagonal::<f64>(300)),
+        Arc::new(random_uniform::<f64>(280, 280, 7, 17)),
+    ];
+    let handles: Vec<_> = (0..8)
+        .map(|t| {
+            let engine = Arc::clone(&engine);
+            let m = Arc::clone(&matrices[t % matrices.len()]);
+            thread::spawn(move || {
+                let tuned = engine.prepare(&m);
+                assert_usable(&engine, &tuned, &m);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("no pipeline thread may panic");
+    }
 }
 
 /// The `io.read` site injects at the matrix-market reader: one scripted

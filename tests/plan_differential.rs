@@ -1,0 +1,226 @@
+//! Differential suite for precomputed execution plans: replaying a
+//! frozen [`ExecPlan`] must be *bitwise* indistinguishable from the
+//! legacy partition-per-call dispatch, for every builtin variant of
+//! every format — otherwise caching the plan inside a tuning-cache
+//! entry would silently change results between a cold and a warm run.
+//!
+//! Also pinned here: which variants are bit-identical to the serial
+//! basic kernel (all parallel ones except the unrolled/blocked
+//! accumulator shapes), stale plans staying correct, and user-registered
+//! kernels ignoring plans entirely.
+
+use proptest::prelude::*;
+// `smat_kernels::Strategy` (the optimization lattice) shadows the
+// glob-imported proptest trait of the same name; re-import the trait
+// under an alias so its methods stay resolvable.
+use proptest::strategy::Strategy as PropStrategy;
+use smat_kernels::{ExecPlan, KernelId, KernelLibrary, Strategy, StrategySet};
+use smat_matrix::gen::{
+    banded, block_sparse, fixed_degree, laplacian_2d_9pt, power_law, random_skewed, random_uniform,
+    tridiagonal,
+};
+use smat_matrix::{AnyMatrix, Csr, Format, Scalar};
+
+/// A corpus spanning the generator archetypes, small enough to sweep
+/// every (format, variant) pair in both precisions.
+fn corpus<T: Scalar>() -> Vec<(&'static str, Csr<T>)> {
+    vec![
+        ("tridiagonal", tridiagonal(193)),
+        ("banded", banded(240, &[-9, -1, 0, 1, 9], 0.8, 21)),
+        ("fixed_degree", fixed_degree(150, 140, 5, 1, 22)),
+        ("random_square", random_uniform(200, 200, 7, 23)),
+        ("random_wide", random_uniform(90, 400, 4, 24)),
+        ("power_law", power_law(300, 60, 2.0, 25)),
+        ("skewed", random_skewed(250, 250, 4, 0.04, 30, 26)),
+        ("block", block_sparse(192, 16, 3, 27)),
+        ("stencil", laplacian_2d_9pt(13, 11)),
+    ]
+}
+
+fn test_vector<T: Scalar>(cols: usize) -> Vec<T> {
+    (0..cols)
+        .map(|i| T::from_f64(((i % 13) as f64 - 6.0) * 0.4375))
+        .collect()
+}
+
+/// `run_planned` with a fresh plan must produce bit-for-bit the same
+/// output as `run` — same partition geometry, same accumulation order.
+fn sweep_planned_equals_unplanned<T: Scalar>() {
+    let lib = KernelLibrary::<T>::new();
+    for (name, m) in corpus::<T>() {
+        let x = test_vector::<T>(m.cols());
+        for format in Format::ALL {
+            let Ok(any) = AnyMatrix::convert_from_csr(&m, format) else {
+                continue; // conversion refused (fill limits)
+            };
+            for v in 0..lib.variant_count(format) {
+                let plan = lib.plan_for(&any, KernelId { format, variant: v });
+                let mut unplanned = vec![T::from_f64(f64::NAN); m.rows()];
+                lib.run(&any, v, &x, &mut unplanned);
+                let mut planned = vec![T::from_f64(f64::NAN); m.rows()];
+                lib.run_planned(&any, v, &plan, &x, &mut planned);
+                assert!(
+                    planned == unplanned,
+                    "{name}: {format} variant {v} ({}) planned != unplanned",
+                    lib.variants(format)[v].name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn planned_equals_unplanned_bitwise_f64() {
+    sweep_planned_equals_unplanned::<f64>();
+}
+
+#[test]
+fn planned_equals_unplanned_bitwise_f32() {
+    sweep_planned_equals_unplanned::<f32>();
+}
+
+/// Row-chunking never reorders a row's accumulation, so every parallel
+/// variant that keeps the plain accumulator shape (no 4-way unroll, no
+/// register blocking) is bit-identical to its format's serial basic
+/// kernel — the property that makes plan caching safe to mix with
+/// serial fallbacks (degraded mode) on the same matrix.
+#[test]
+fn plain_parallel_variants_are_bit_identical_to_serial_basic() {
+    let lib = KernelLibrary::<f64>::new();
+    let mut checked = 0usize;
+    for (name, m) in corpus::<f64>() {
+        let x = test_vector::<f64>(m.cols());
+        for format in Format::ALL {
+            let Ok(any) = AnyMatrix::convert_from_csr(&m, format) else {
+                continue;
+            };
+            let mut basic = vec![f64::NAN; m.rows()];
+            lib.run(&any, 0, &x, &mut basic);
+            for (v, info) in lib.variants(format).into_iter().enumerate() {
+                if !info.strategies.contains(Strategy::Parallel)
+                    || info.strategies.contains(Strategy::Unroll)
+                    || info.strategies.contains(Strategy::Block)
+                {
+                    continue;
+                }
+                let plan = lib.plan_for(&any, KernelId { format, variant: v });
+                let mut planned = vec![f64::NAN; m.rows()];
+                lib.run_planned(&any, v, &plan, &x, &mut planned);
+                assert!(
+                    planned == basic,
+                    "{name}: {} not bit-identical to {} basic",
+                    info.name,
+                    format
+                );
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked >= 20, "the sweep must actually cover variants");
+}
+
+/// A stale plan (sized for a different thread count) stays *correct* —
+/// its chunks still cover every row exactly once — it is merely
+/// mis-sized. The runtime rebuilds stale plans opportunistically, but
+/// correctness must never depend on that happening.
+#[test]
+fn stale_plans_stay_correct() {
+    let lib = KernelLibrary::<f64>::new();
+    let m = random_uniform::<f64>(300, 300, 8, 77);
+    let any = AnyMatrix::Csr(m.clone());
+    let x = test_vector::<f64>(m.cols());
+    for v in 0..lib.variant_count(Format::Csr) {
+        let id = KernelId {
+            format: Format::Csr,
+            variant: v,
+        };
+        let mut plan = lib.plan_for(&any, id);
+        let fresh_serial = plan.is_serial();
+        plan.threads += 3; // as if the cache file came from another host
+        assert_eq!(plan.is_stale(), !fresh_serial);
+        let mut expect = vec![f64::NAN; m.rows()];
+        lib.run(&any, v, &x, &mut expect);
+        let mut y = vec![f64::NAN; m.rows()];
+        lib.run_planned(&any, v, &plan, &x, &mut y);
+        assert!(y == expect, "variant {v} wrong under a stale plan");
+    }
+}
+
+/// User-registered kernels have no planned path: `run_planned` must
+/// dispatch their raw fn pointer and ignore the plan entirely, even a
+/// nonsensical one — the registry cannot know how a foreign kernel
+/// partitions its work.
+#[test]
+fn registered_kernels_ignore_the_plan() {
+    let mut lib = KernelLibrary::<f64>::new();
+    fn doubled(m: &Csr<f64>, x: &[f64], y: &mut [f64]) {
+        let mut tmp = vec![0.0; y.len()];
+        m.spmv(x, &mut tmp).expect("dims checked by caller");
+        for (o, t) in y.iter_mut().zip(&tmp) {
+            *o = 2.0 * t;
+        }
+    }
+    let id = lib.register_csr(
+        "csr_doubled",
+        [Strategy::Parallel].into_iter().collect::<StrategySet>(),
+        doubled,
+    );
+    let m = random_uniform::<f64>(120, 120, 6, 5);
+    let any = AnyMatrix::Csr(m.clone());
+    let x = test_vector::<f64>(m.cols());
+    let mut expect = vec![0.0; m.rows()];
+    m.spmv(&x, &mut expect).unwrap();
+    for v in expect.iter_mut() {
+        *v *= 2.0;
+    }
+    // plan_for refuses to build a fan-out plan for a foreign kernel...
+    let plan = lib.plan_for(&any, id);
+    assert!(plan.is_serial());
+    // ...and run_planned ignores even a malformed plan for it.
+    let garbage = ExecPlan {
+        bounds: vec![0, 7, 3],
+        entry_bounds: None,
+        threads: 99,
+    };
+    let mut y = vec![f64::NAN; m.rows()];
+    lib.run_planned(&any, id.variant, &garbage, &x, &mut y);
+    assert!(y == expect, "registered kernel must run its raw fn pointer");
+}
+
+/// Strategy: an arbitrary small sparse matrix.
+fn arb_matrix() -> impl PropStrategy<Value = Csr<f64>> {
+    (1usize..36, 1usize..36).prop_flat_map(|(rows, cols)| {
+        let entry = (0..rows, 0..cols, -90i32..90).prop_map(|(r, c, v)| (r, c, v as f64 / 11.0));
+        proptest::collection::vec(entry, 0..100).prop_map(move |triplets| {
+            Csr::from_triplets(rows, cols, &triplets).expect("in-bounds triplets")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For arbitrary matrices — including empty, single-row, wide and
+    /// tall shapes the deterministic corpus misses — planned dispatch
+    /// is bitwise identical to unplanned, for every format and variant.
+    #[test]
+    fn planned_equals_unplanned_on_arbitrary_matrices(m in arb_matrix()) {
+        let lib = KernelLibrary::<f64>::new();
+        let x: Vec<f64> = (0..m.cols()).map(|i| (i as f64).sin()).collect();
+        for format in Format::ALL {
+            let Ok(any) = AnyMatrix::convert_from_csr(&m, format) else { continue };
+            for v in 0..lib.variant_count(format) {
+                let plan = lib.plan_for(&any, KernelId { format, variant: v });
+                let mut unplanned = vec![f64::NAN; m.rows()];
+                lib.run(&any, v, &x, &mut unplanned);
+                let mut planned = vec![f64::NAN; m.rows()];
+                lib.run_planned(&any, v, &plan, &x, &mut planned);
+                prop_assert!(
+                    planned == unplanned,
+                    "{format} variant {v} diverges on {}x{} nnz={}",
+                    m.rows(), m.cols(), m.nnz()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Steady-state allocation audit: once a kernel plan (or a prepared
+//! engine handle) is warm, repeated SpMV calls must perform **zero**
+//! heap allocations and spawn **zero** threads — the contract of the
+//! persistent-pool + precomputed-plan redesign.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator; the
+//! whole audit lives in a single `#[test]` so no sibling test thread
+//! can allocate inside the measurement window.
+
+use smat::{Smat, SmatConfig, Trainer};
+use smat_kernels::{KernelId, KernelLibrary, Strategy};
+use smat_matrix::gen::{generate_corpus, random_uniform, CorpusSpec};
+use smat_matrix::{AnyMatrix, Csr, Format};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every allocation entry point; frees are not interesting here.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Runs `calls` SpMV invocations of `f` after `warmup` warm-up calls,
+/// returning (allocation delta, spawn delta) over the measured window.
+fn audit(warmup: usize, calls: usize, mut f: impl FnMut()) -> (u64, u64) {
+    for _ in 0..warmup {
+        f();
+    }
+    let (a0, s0) = (allocations(), smat_kernels::exec::spawn_count());
+    for _ in 0..calls {
+        f();
+    }
+    (allocations() - a0, smat_kernels::exec::spawn_count() - s0)
+}
+
+#[test]
+fn warm_planned_spmv_allocates_nothing_and_spawns_nothing() {
+    // --- Kernel level: every builtin parallel variant through its plan.
+    let lib = KernelLibrary::<f64>::new();
+    let m = random_uniform::<f64>(500, 500, 9, 41);
+    let x: Vec<f64> = (0..m.cols()).map(|i| (i as f64 * 0.21).cos()).collect();
+    let mut y = vec![0.0f64; m.rows()];
+    for format in Format::ALL {
+        let Ok(any) = AnyMatrix::convert_from_csr(&m, format) else {
+            continue;
+        };
+        for (v, info) in lib.variants(format).into_iter().enumerate() {
+            if !info.strategies.contains(Strategy::Parallel) {
+                continue;
+            }
+            let plan = lib.plan_for(&any, KernelId { format, variant: v });
+            assert!(
+                !plan.is_stale(),
+                "a freshly built plan must match the live backend"
+            );
+            // Warm-up initializes the pool, the cached thread count and
+            // any lazy statics; the measured window must then be silent.
+            let (allocs, spawns) = audit(5, 100, || lib.run_planned(&any, v, &plan, &x, &mut y));
+            assert_eq!(
+                allocs, 0,
+                "{}: heap allocations in warm planned dispatch",
+                info.name
+            );
+            assert_eq!(spawns, 0, "{}: thread spawns in warm dispatch", info.name);
+        }
+    }
+
+    // --- Engine level: a prepared handle replayed through `Smat::spmv`.
+    let corpus = generate_corpus::<f64>(&CorpusSpec::small(100, 31));
+    let matrices: Vec<&Csr<f64>> = corpus.iter().map(|e| &e.matrix).collect();
+    let out = Trainer::new(SmatConfig::fast())
+        .train(&matrices)
+        .expect("training succeeds");
+    let engine = Smat::<f64>::with_config(out.model, SmatConfig::fast()).expect("precision ok");
+    let m = random_uniform::<f64>(400, 400, 8, 42);
+    let tuned = engine.prepare(&m);
+    let x: Vec<f64> = (0..m.cols())
+        .map(|i| 0.5 - (i % 5) as f64 * 0.125)
+        .collect();
+    let mut y = vec![0.0f64; m.rows()];
+    let (allocs, spawns) = audit(5, 100, || {
+        engine.spmv(&tuned, &x, &mut y).expect("prepared SpMV runs");
+    });
+    assert_eq!(allocs, 0, "heap allocations in warm prepared-engine SpMV");
+    assert_eq!(spawns, 0, "thread spawns in warm prepared-engine SpMV");
+
+    // The audit is honest about its environment: record what actually
+    // executed so a 1-core CI box (inline fallback, no fan-out) is
+    // distinguishable from a real parallel run in the test log.
+    eprintln!(
+        "zero-alloc audit: backend threads = {}, total spawns = {}",
+        smat_kernels::exec::num_threads(),
+        smat_kernels::exec::spawn_count()
+    );
+}

@@ -7,14 +7,20 @@
 //! runs inline, which keeps overhead near zero where parallelism can't
 //! help anyway.
 
+use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::OnceLock;
 
-/// Number of worker threads the pool would use.
+/// Number of worker threads the pool would use. Resolved once — the
+/// `available_parallelism` syscall is not worth repeating on every
+/// parallel dispatch.
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
 }
 
 /// Conversion into a parallel iterator, mirroring rayon's trait.
@@ -85,9 +91,16 @@ impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
     }
 }
 
-/// Runs `f` over every item using scoped worker threads pulling from a
-/// shared queue. Falls back to an inline loop when only one thread is
-/// available or there is at most one item.
+/// Fixed slot array shared by the workers. `Sync` is sound because the
+/// atomic cursor hands each index to exactly one worker, so no slot is
+/// ever touched by two threads.
+struct Slots<T>(Vec<UnsafeCell<Option<T>>>);
+
+unsafe impl<T: Send> Sync for Slots<T> {}
+
+/// Runs `f` over every item using scoped worker threads claiming slots
+/// through an atomic cursor — no per-item lock. Falls back to an inline
+/// loop when only one thread is available or there is at most one item.
 fn par_for_each<T, F>(items: Vec<T>, f: F)
 where
     T: Send,
@@ -100,20 +113,28 @@ where
         }
         return;
     }
-    let queue: Mutex<Vec<Option<T>>> = Mutex::new(items.into_iter().map(Some).collect());
+    let len = items.len();
+    let slots = Slots(
+        items
+            .into_iter()
+            .map(|it| UnsafeCell::new(Some(it)))
+            .collect(),
+    );
+    // Capture the wrapper by reference (not the inner Vec field) so its
+    // `Sync` impl is what crosses the thread boundary.
+    let slots = &slots;
     let cursor = AtomicUsize::new(0);
-    let len = queue.lock().map(|q| q.len()).unwrap_or(0);
+    let (cursor, f) = (&cursor, &f);
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
+            scope.spawn(move || loop {
                 let idx = cursor.fetch_add(1, Ordering::Relaxed);
                 if idx >= len {
                     break;
                 }
-                let item = {
-                    let mut q = queue.lock().expect("worker panicked holding the queue");
-                    q[idx].take()
-                };
+                // SAFETY: `idx` came from fetch_add, so this thread is
+                // the only one ever dereferencing slot `idx`.
+                let item = unsafe { (*slots.0[idx].get()).take() };
                 if let Some(item) = item {
                     f(item);
                 }
