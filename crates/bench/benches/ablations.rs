@@ -12,7 +12,9 @@ use smat::{SmatConfig, Trainer};
 use smat_bench::{harness_config, train_engine};
 use smat_features::extract_features;
 use smat_kernels::KernelLibrary;
-use smat_matrix::gen::{banded, fixed_degree, power_law, random_skewed, random_uniform};
+use smat_matrix::gen::{
+    banded, block_sparse, fixed_degree, power_law, random_skewed, random_uniform,
+};
 use smat_matrix::{AnyMatrix, Csr, Format};
 
 fn probe(format: Format) -> Csr<f64> {
@@ -23,6 +25,8 @@ fn probe(format: Format) -> Csr<f64> {
         Format::Csr => random_uniform(n, n, 12, 3),
         Format::Coo => power_law(n, 2_000, 2.0, 4),
         Format::Hyb => random_skewed(n, n, 10, 0.05, 12, 5),
+        Format::Bcsr2 => block_sparse(n, 2, 8, 6),
+        Format::Bcsr4 => block_sparse(n, 4, 4, 7),
     }
 }
 

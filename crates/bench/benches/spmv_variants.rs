@@ -1,0 +1,175 @@
+//! Per-variant scoreboard bench for the implementation-variant tier:
+//! every kernel of every format, timed on a matrix whose structure the
+//! format is built for (the same probe archetypes the offline search
+//! uses), with the results written to `BENCH_kernels.json` at the
+//! workspace root.
+//!
+//! Reading the numbers honestly:
+//!
+//! * Variants are timed through `run_planned` with a fresh plan — the
+//!   steady-state dispatch a prepared engine replays — so parallel
+//!   variants include the pool fan-out but not per-call partitioning.
+//! * Each *format* uses its own probe matrix; medians are comparable
+//!   within a format family, not across families.
+//! * On a 1-thread box the parallel variants degenerate to serial
+//!   dispatch plus handshake overhead; the `threads` field records this.
+//! * `simd_backend` records whether the `*_simd` variants actually ran
+//!   AVX2 or the portable fallback on this machine.
+//!
+//! `SMAT_BENCH_QUICK=1` shrinks the matrices and sample counts for CI
+//! smoke runs.
+
+use criterion::black_box;
+use smat_kernels::{simd, ExecPlan, KernelId, KernelLibrary};
+use smat_matrix::gen::{
+    banded, block_sparse, fixed_degree, power_law, random_skewed, random_uniform,
+};
+use smat_matrix::{AnyMatrix, ConversionLimits, Csr, Format};
+use std::time::Instant;
+
+struct Timing {
+    median_ns: u128,
+    min_ns: u128,
+    max_ns: u128,
+}
+
+/// Times `f` as `samples` samples of `iters` calls each.
+fn time_calls(samples: usize, iters: u32, mut f: impl FnMut()) -> Timing {
+    for _ in 0..iters {
+        f(); // warm-up: pool start, lazy statics, branch predictors
+    }
+    let mut per_call: Vec<u128> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t.elapsed().as_nanos() / u128::from(iters)
+        })
+        .collect();
+    per_call.sort_unstable();
+    Timing {
+        median_ns: per_call[per_call.len() / 2],
+        min_ns: per_call[0],
+        max_ns: *per_call.last().expect("samples >= 1"),
+    }
+}
+
+/// The probe matrix each format is measured on (mirrors the offline
+/// search's archetypes: measure a format where it plausibly wins).
+fn probe_for(format: Format, n: usize) -> Csr<f64> {
+    match format {
+        Format::Dia => banded(n, &[-4, -2, -1, 0, 1, 2, 3, 5, 8], 1.0, 0xD1A),
+        Format::Ell => fixed_degree(n, n, 16.min(n / 4).max(1), 0, 0xE11),
+        Format::Csr => random_uniform(n, n, 12, 3),
+        Format::Coo => power_law(n, (n / 8).clamp(8, 4096), 2.0, 0xC00),
+        Format::Hyb => random_skewed(n, n, 12.min(n / 8).max(1), 0.04, 16, 0x44B),
+        Format::Bcsr2 => block_sparse(n - n % 2, 2, 8, 0xBC52),
+        Format::Bcsr4 => block_sparse(n - n % 4, 4, 4, 0xBC54),
+    }
+}
+
+fn main() {
+    let quick = std::env::var_os("SMAT_BENCH_QUICK").is_some();
+    let n = if quick { 2_000 } else { 20_000 };
+    let (samples, iters) = if quick { (5, 2) } else { (11, 5) };
+
+    let lib = KernelLibrary::<f64>::new();
+    let threads = smat_kernels::exec::num_threads();
+    println!(
+        "spmv_variants: {} variants over {} formats | n={n} threads={threads} simd={} quick={quick}",
+        lib.total_variants(),
+        Format::COUNT,
+        simd::active_backend()
+    );
+
+    let mut format_blocks: Vec<String> = Vec::new();
+    let mut winners: Vec<(String, u128, u128)> = Vec::new();
+
+    for format in Format::ALL {
+        let m = probe_for(format, n);
+        let any = AnyMatrix::convert_from_csr_with(&m, format, &ConversionLimits::default())
+            .expect("probe matrices convert to their own format under default limits");
+        let x = vec![1.0f64; m.cols()];
+        let mut y = vec![0.0f64; m.rows()];
+        let nnz = m.nnz();
+
+        // Family baseline: the serial reference CSR kernel on the *same*
+        // matrix, so "beats csr_basic" is a one-matrix comparison.
+        let baseline = time_calls(samples, iters, || {
+            lib.run_csr(black_box(&m), 0, black_box(&x), black_box(&mut y))
+        });
+        let csr_basic_ns = baseline.median_ns;
+        println!(
+            "  {} probe: {}x{} nnz={nnz} | csr_basic baseline {} ns/call",
+            format.name(),
+            m.rows(),
+            m.cols(),
+            csr_basic_ns
+        );
+
+        let mut rows: Vec<String> = Vec::new();
+        for (v, info) in lib.variants(format).into_iter().enumerate() {
+            let plan: ExecPlan = lib.plan_for(&any, KernelId { format, variant: v });
+            let t = time_calls(samples, iters, || {
+                lib.run_planned(
+                    black_box(&any),
+                    v,
+                    black_box(&plan),
+                    black_box(&x),
+                    black_box(&mut y),
+                )
+            });
+            let gflops = 2.0 * nnz as f64 / t.median_ns as f64; // 2 flops/nnz, ns → GFLOP/s
+            println!(
+                "    {:<28} median {:>10} ns/call  {:>7.3} GFLOP/s  (min {}, max {})",
+                info.name, t.median_ns, gflops, t.min_ns, t.max_ns
+            );
+            let strategies: Vec<String> = info
+                .strategies
+                .iter()
+                .map(|s| format!("\"{}\"", s.name()))
+                .collect();
+            rows.push(format!(
+                "        {{\"name\": \"{}\", \"strategies\": [{}], \"median_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"gflops\": {gflops:.4}}}",
+                info.name,
+                strategies.join(", "),
+                t.median_ns,
+                t.min_ns,
+                t.max_ns
+            ));
+            if info.name != "csr_basic" && t.median_ns < csr_basic_ns {
+                winners.push((info.name.to_string(), t.median_ns, csr_basic_ns));
+            }
+        }
+        format_blocks.push(format!(
+            "    {{\n      \"format\": \"{}\",\n      \"matrix\": {{\"rows\": {}, \"cols\": {}, \"nnz\": {nnz}}},\n      \"csr_basic_median_ns\": {csr_basic_ns},\n      \"variants\": [\n{}\n      ]\n    }}",
+            format.name(),
+            m.rows(),
+            m.cols(),
+            rows.join(",\n")
+        ));
+    }
+
+    println!(
+        "  variants beating csr_basic on their own probe matrix: {}",
+        if winners.is_empty() {
+            "none".to_string()
+        } else {
+            winners
+                .iter()
+                .map(|(name, ns, base)| format!("{name} ({ns} vs {base} ns)"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        }
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"spmv_variants\",\n  \"unit\": \"ns_per_call_median\",\n  \"threads\": {threads},\n  \"simd_backend\": \"{}\",\n  \"quick\": {quick},\n  \"formats\": [\n{}\n  ]\n}}\n",
+        simd::active_backend(),
+        format_blocks.join(",\n")
+    );
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_kernels.json");
+    std::fs::write(&out, json).expect("write BENCH_kernels.json");
+    println!("wrote {}", out.display());
+}

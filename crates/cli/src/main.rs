@@ -7,7 +7,7 @@
 //! smat predict  --model MODEL.json MATRIX.mtx
 //! smat tune     --model MODEL.json [--install INSTALL.json] [--cache CACHE.json]
 //!               [--repeat N] MATRIX.mtx
-//! smat bench    MATRIX.mtx
+//! smat bench    [--variants] MATRIX.mtx
 //! smat features MATRIX.mtx
 //! smat rules    --model MODEL.json
 //! ```
@@ -37,7 +37,7 @@ USAGE:
   smat predict  --model MODEL.json MATRIX.mtx
   smat tune     --model MODEL.json [--install INSTALL.json] [--cache CACHE.json]
                 [--repeat N] MATRIX.mtx
-  smat bench    MATRIX.mtx
+  smat bench    [--variants] MATRIX.mtx
   smat features MATRIX.mtx
   smat rules    --model MODEL.json
 
@@ -51,7 +51,9 @@ COMMANDS:
             --repeat N prepares the matrix N times to exercise the cache;
             --cache CACHE.json warm-starts the tuning cache from a snapshot
             (created on first use) and saves it back on exit
-  bench     measure all four formats exhaustively on a matrix
+  bench     measure all formats exhaustively on a matrix; --variants measures
+            every kernel variant of every convertible format and marks each
+            format's scoreboard pick
   features  print the 11 structural feature parameters of a matrix
   rules     print the trained IF-THEN ruleset
 ";
@@ -72,7 +74,7 @@ impl Args {
         while i < argv.len() {
             let a = &argv[i];
             if let Some(name) = a.strip_prefix("--") {
-                if matches!(name, "single") {
+                if matches!(name, "single" | "variants") {
                     switches.push(name.to_string());
                 } else if i + 1 < argv.len() {
                     flags.push((name.to_string(), argv[i + 1].clone()));
@@ -249,10 +251,11 @@ fn report_training(model: &TrainedModel) {
         model.stats.train_accuracy * 100.0
     );
     let counts = model.stats.label_counts;
-    println!(
-        "label distribution: DIA {} / ELL {} / CSR {} / COO {}",
-        counts[0], counts[1], counts[2], counts[3]
-    );
+    let dist: Vec<String> = Format::ALL
+        .iter()
+        .map(|f| format!("{} {}", f.name(), counts[f.index()]))
+        .collect();
+    println!("label distribution: {}", dist.join(" / "));
 }
 
 fn cmd_predict(args: &Args) -> Result<(), String> {
@@ -373,8 +376,60 @@ fn cmd_tune(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// The `bench --variants` scoreboard: every kernel variant of every
+/// format the matrix converts to under default limits, measured like
+/// the offline search, with each format's scoreboard pick marked.
+/// Refused conversions report their `[taxonomy]`-classified reason
+/// instead of aborting the sweep.
+fn bench_variants(m: &Csr<f64>) -> Result<(), String> {
+    let lib = KernelLibrary::<f64>::new();
+    let config = SmatConfig::default();
+    let limits = config.conversion_limits();
+    println!("{} x {}, {} nonzeros", m.rows(), m.cols(), m.nnz());
+    for format in Format::ALL {
+        match smat_matrix::AnyMatrix::convert_from_csr_with(m, format, &limits) {
+            Ok(any) => {
+                let table = smat_kernels::measure_format(
+                    &lib,
+                    &any,
+                    Duration::from_millis(5),
+                    config.candidate_deadline,
+                );
+                let best = table.scoreboard().best_variant;
+                println!("{format}:");
+                for (v, rec) in table.records.iter().enumerate() {
+                    match &rec.status {
+                        smat_kernels::RecordStatus::Measured => println!(
+                            "  {:<28} {:>8.2} GFLOPS  [{}]{}",
+                            rec.name,
+                            rec.gflops,
+                            rec.strategies,
+                            if v == best {
+                                "  <= scoreboard pick"
+                            } else {
+                                ""
+                            }
+                        ),
+                        smat_kernels::RecordStatus::CandidateFailed { reason } => {
+                            println!("  {:<28} failed: {reason}", rec.name)
+                        }
+                    }
+                }
+            }
+            Err(e) => println!(
+                "{format}: skipped — {}",
+                taxonomy_msg(&smat::SmatError::from(e))
+            ),
+        }
+    }
+    Ok(())
+}
+
 fn cmd_bench(args: &Args) -> Result<(), String> {
     let m = load_matrix(args)?;
+    if args.has("variants") {
+        return bench_variants(&m);
+    }
     let lib = KernelLibrary::<f64>::new();
     let trainer = Trainer::default();
     eprintln!("searching kernels...");
@@ -501,6 +556,15 @@ mod tests {
         cmd_rules(&Args::parse(&argv)).unwrap();
         let argv: Vec<String> = vec![mtx_path.to_str().unwrap().to_string()];
         cmd_features(&Args::parse(&argv)).unwrap();
+
+        // bench --variants: the per-variant scoreboard sweep.
+        let argv: Vec<String> = vec![
+            "--variants".to_string(),
+            mtx_path.to_str().unwrap().to_string(),
+        ];
+        let parsed = Args::parse(&argv);
+        assert!(parsed.has("variants"));
+        cmd_bench(&parsed).unwrap();
 
         // tune --cache: the first run creates the snapshot, the second
         // warm-starts from it.

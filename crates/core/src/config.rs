@@ -8,12 +8,17 @@ use std::time::Duration;
 /// The format rule-group consultation order, extending the paper's §6
 /// order (DIA first for its win margin, ELL for its regular behavior,
 /// CSR because its parameters are already computed, COO last): the HYB
-/// extension slots after ELL, whose features it shares, and before the
+/// extension slots after ELL, whose features it shares; the BCSR
+/// register-blocked formats come next (4x4 before 2x2 — the larger
+/// block wins bigger when the structure supports it, and its stricter
+/// fill guard makes a wrong match cheap to reject), both before the
 /// CSR catch-all.
 pub const GROUP_ORDER: [Format; Format::COUNT] = [
     Format::Dia,
     Format::Ell,
     Format::Hyb,
+    Format::Bcsr4,
+    Format::Bcsr2,
     Format::Csr,
     Format::Coo,
 ];
@@ -47,6 +52,14 @@ pub struct SmatConfig {
     pub dia_fill_limit: usize,
     /// Cap on ELL conversion fill, as a multiple of `nnz`.
     pub ell_fill_limit: usize,
+    /// Cap on BCSR conversion fill (stored block entries), as a
+    /// multiple of `nnz`.
+    pub bcsr_fill_limit: usize,
+    /// Vector backend for the `Simd`-tagged kernel variants.
+    /// [`smat_kernels::SimdBackend::Auto`] (the default) uses AVX2 when
+    /// the CPU reports it; `Portable` pins the bit-identical unrolled
+    /// scalar loop. Applied process-globally when the engine is built.
+    pub simd_backend: smat_kernels::SimdBackend,
     /// Upper bound, in bytes, on the estimated allocation of any single
     /// format conversion (DIA/ELL dense slabs, HYB split). Conversions
     /// whose up-front estimate exceeds it are refused before allocating
@@ -116,6 +129,8 @@ impl Default for SmatConfig {
             candidate_deadline: smat_kernels::DEFAULT_CANDIDATE_DEADLINE,
             dia_fill_limit: smat_matrix::DEFAULT_DIA_FILL_LIMIT,
             ell_fill_limit: smat_matrix::DEFAULT_ELL_FILL_LIMIT,
+            bcsr_fill_limit: smat_matrix::DEFAULT_BCSR_FILL_LIMIT,
+            simd_backend: smat_kernels::SimdBackend::Auto,
             conversion_budget_bytes: None,
             screen_inputs: true,
             test_fraction: 0.14,
@@ -152,6 +167,7 @@ impl SmatConfig {
         smat_matrix::ConversionLimits {
             dia_fill_limit: self.dia_fill_limit,
             ell_fill_limit: self.ell_fill_limit,
+            bcsr_fill_limit: self.bcsr_fill_limit,
             budget_bytes: self.conversion_budget_bytes,
         }
     }
@@ -167,8 +183,10 @@ mod tests {
         assert_eq!(c.tailor_tolerance, 0.01);
         assert_eq!(c.fallback_formats, vec![Format::Csr, Format::Coo]);
         assert_eq!(GROUP_ORDER[0], Format::Dia);
-        assert_eq!(GROUP_ORDER[4], Format::Coo);
+        assert_eq!(GROUP_ORDER[3], Format::Bcsr4);
+        assert_eq!(GROUP_ORDER[6], Format::Coo);
         assert_eq!(GROUP_ORDER.len(), Format::COUNT);
+        assert_eq!(c.simd_backend, smat_kernels::SimdBackend::Auto);
         assert!(c.confidence_threshold > 0.0 && c.confidence_threshold < 1.0);
     }
 
@@ -188,6 +206,7 @@ mod tests {
         let limits = c.conversion_limits();
         assert_eq!(limits.dia_fill_limit, c.dia_fill_limit);
         assert_eq!(limits.ell_fill_limit, c.ell_fill_limit);
+        assert_eq!(limits.bcsr_fill_limit, c.bcsr_fill_limit);
         assert_eq!(limits.budget_bytes, Some(1 << 20));
         assert!(c.screen_inputs);
     }

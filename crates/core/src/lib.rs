@@ -58,7 +58,7 @@ mod train;
 pub use cache::CacheStats;
 pub use config::{SmatConfig, GROUP_ORDER};
 pub use error::{Result, SmatError};
-pub use install::Installation;
+pub use install::{Installation, INSTALL_SCHEMA_VERSION};
 pub use interface::{smat_dcsr_spmv, smat_scsr_spmv};
 pub use model::{class_names, group_class_order, FormatDecision, TrainStats, TrainedModel};
 pub use runtime::{DecisionPath, Smat, TunedSpmv};

@@ -152,7 +152,7 @@ mod tests {
                 tailored_accuracy: 0.9,
                 rules_total: 1,
                 rules_kept: 1,
-                label_counts: [10, 0, 0, 0, 0],
+                label_counts: [10, 0, 0, 0, 0, 0, 0],
             },
         }
     }
@@ -201,7 +201,10 @@ mod tests {
 
     #[test]
     fn class_order_matches_paper_plus_extension() {
-        assert_eq!(group_class_order(), vec![0, 1, 4, 2, 3]);
-        assert_eq!(class_names(), vec!["DIA", "ELL", "CSR", "COO", "HYB"]);
+        assert_eq!(group_class_order(), vec![0, 1, 4, 6, 5, 2, 3]);
+        assert_eq!(
+            class_names(),
+            vec!["DIA", "ELL", "CSR", "COO", "HYB", "BCSR2", "BCSR4"]
+        );
     }
 }

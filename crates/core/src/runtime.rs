@@ -275,6 +275,11 @@ impl<T: Scalar> Smat<T> {
         if let Some(n) = config.pool_threads {
             smat_kernels::exec::set_thread_target(n);
         }
+        // Process-global like the pool target: the Simd-tagged kernels
+        // read the policy at dispatch time, so the last engine built
+        // wins. Both backends are bit-identical, so a race here can
+        // never change results.
+        smat_kernels::simd::set_backend(config.simd_backend);
         let mut installation = None;
         let mut installation_from_disk = false;
         if let Some(path) = &config.install_path {
@@ -638,6 +643,11 @@ impl<T: Scalar> Smat<T> {
         let structure = extract_structure(csr);
         let mut features = structure.features;
         let mut r_computed = false;
+        // One planner per tuning run: the predicted and measured exits
+        // below may plan for different kernels that share a chunk
+        // policy, and the partition bounds are computed once per
+        // (policy, thread count) rather than once per request.
+        let mut planner = smat_kernels::Planner::new();
 
         // Consult groups in order with the optimistic early exit.
         let mut first_match: Option<(Format, f64)> = None;
@@ -662,7 +672,7 @@ impl<T: Scalar> Smat<T> {
                 if let Ok(matrix) = AnyMatrix::convert_from_csr_with(csr, format, &limits) {
                     let kernel = self.model.kernel_choice.kernel(format);
                     return TunedSpmv {
-                        plan: self.lib.plan_for(&matrix, kernel),
+                        plan: planner.plan_for(&self.lib, &matrix, kernel),
                         kernel,
                         matrix,
                         features,
@@ -728,7 +738,7 @@ impl<T: Scalar> Smat<T> {
             Some((format, _, matrix)) => {
                 let kernel = self.model.kernel_choice.kernel(format);
                 TunedSpmv {
-                    plan: self.lib.plan_for(&matrix, kernel),
+                    plan: planner.plan_for(&self.lib, &matrix, kernel),
                     kernel,
                     matrix,
                     features,
@@ -888,7 +898,7 @@ mod tests {
                 tailored_accuracy: 0.93,
                 rules_total: 2,
                 rules_kept: 2,
-                label_counts: [20, 0, 0, 10, 0],
+                label_counts: [20, 0, 0, 10, 0, 0, 0],
             },
         }
     }

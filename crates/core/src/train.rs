@@ -9,7 +9,9 @@ use smat_features::{extract_features, ATTRIBUTE_NAMES};
 use smat_kernels::timing::{gflops, measure_guarded};
 use smat_kernels::{measure_format, KernelChoice, KernelLibrary, PerfTable};
 use smat_learn::{order_by_contribution, tailor, Dataset, DecisionTree, RuleGroups, RuleSet};
-use smat_matrix::gen::{banded, fixed_degree, power_law, random_skewed, random_uniform};
+use smat_matrix::gen::{
+    banded, block_sparse, fixed_degree, power_law, random_skewed, random_uniform,
+};
 use smat_matrix::{AnyMatrix, Csr, Format, Scalar};
 use std::time::Duration;
 
@@ -112,6 +114,11 @@ impl Trainer {
                 Format::Csr => random_uniform(n, n, 16.min(n / 4).max(1), 0xC59),
                 Format::Coo => power_law(n, (n / 8).clamp(8, 4096), 2.0, 0xC00),
                 Format::Hyb => random_skewed(n, n, 12.min(n / 8).max(1), 0.04, 16, 0x44B),
+                // Dense 2x2 / 4x4 block structure: the access pattern the
+                // register-blocked tier is built for. Dimensions snapped
+                // down to a block multiple (generator requirement).
+                Format::Bcsr2 => block_sparse(n - n % 2, 2, 8.min(n / 4).max(1), 0xBC52),
+                Format::Bcsr4 => block_sparse(n - n % 4, 4, 4.min(n / 8).max(1), 0xBC54),
             };
             let any = AnyMatrix::convert_from_csr(&probe, format)
                 .expect("probe matrices convert to their own format");

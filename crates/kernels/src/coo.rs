@@ -152,6 +152,11 @@ pub(crate) fn run_planned<T: Scalar>(
         Some(eb) if eb.last() == Some(&m.nnz()) && eb.len() == plan.bounds.len() => {
             run_chunks(m, x, y, eb, &plan.bounds, unroll);
         }
+        // A single-chunk plan is the whole entry range: keep it on the
+        // serial fast path instead of re-partitioning onto the pool.
+        _ if plan.bounds.len() == 2 => {
+            run_chunks(m, x, y, &[0, m.nnz()], &[0, y.len()], unroll);
+        }
         _ => run_parallel(m, x, y, unroll),
     }
 }

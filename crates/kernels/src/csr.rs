@@ -1,16 +1,16 @@
 //! CSR SpMV kernel variants.
 //!
-//! Six implementations spanning the strategy lattice `{}`, `{unroll}`,
-//! `{parallel}`, `{parallel, unroll}`, `{parallel, balance}` and
-//! `{parallel, balance, unroll}`. All compute `y = A * x` and assume the
-//! vector lengths were validated by the caller (they `assert!` in debug
-//! and release).
+//! Implementations spanning the strategy lattice from the basic loop
+//! through unrolling (4- and 8-way), register blocking, explicit SIMD
+//! (see [`crate::simd`]), threading and nonzero balancing. All compute
+//! `y = A * x` and assume the vector lengths were validated by the
+//! caller (they `assert!` in debug and release).
 
 use crate::exec;
 use crate::partition::{default_parts, equal_row_bounds, nnz_balanced_bounds};
 use crate::plan::ExecPlan;
 use crate::registry::{KernelEntry, KernelFn};
-use crate::strategy::{Strategy, StrategySet};
+use crate::strategy::{InnerLoop, Strategy, StrategySet};
 use smat_matrix::{Csr, Scalar};
 
 #[inline]
@@ -37,8 +37,13 @@ pub fn basic<T: Scalar>(m: &Csr<T>, x: &[T], y: &mut [T]) {
 
 /// One row's dot product with 4-way unrolled, split-accumulator inner
 /// loop (auto-vectorization friendly).
+///
+/// Reduction-order contract (shared with the AVX2 backend, see
+/// [`crate::simd`]): accumulator `j` sums positions `k ≡ j (mod 4)` in
+/// row order, the tail folds into accumulator 0, and the final
+/// reduction is `(a0 + a1) + (a2 + a3)`.
 #[inline]
-fn row_unrolled<T: Scalar>(idx: &[usize], val: &[T], x: &[T]) -> T {
+pub(crate) fn row_unrolled<T: Scalar>(idx: &[usize], val: &[T], x: &[T]) -> T {
     let n = val.len();
     let mut acc0 = T::ZERO;
     let mut acc1 = T::ZERO;
@@ -58,6 +63,51 @@ fn row_unrolled<T: Scalar>(idx: &[usize], val: &[T], x: &[T]) -> T {
     (acc0 + acc1) + (acc2 + acc3)
 }
 
+/// One row's dot product with 8-way unrolled, split-accumulator inner
+/// loop — twice the independent FP-add chains of [`row_unrolled`].
+///
+/// Reduction order: accumulator `j` sums positions `k ≡ j (mod 8)`, the
+/// tail folds into accumulator 0, and the final reduction is
+/// `((a0 + a1) + (a2 + a3)) + ((a4 + a5) + (a6 + a7))`.
+#[inline]
+pub(crate) fn row_unrolled8<T: Scalar>(idx: &[usize], val: &[T], x: &[T]) -> T {
+    let n = val.len();
+    let mut acc = [T::ZERO; 8];
+    let chunks = n / 8;
+    for c in 0..chunks {
+        let k = 8 * c;
+        acc[0] += val[k] * x[idx[k]];
+        acc[1] += val[k + 1] * x[idx[k + 1]];
+        acc[2] += val[k + 2] * x[idx[k + 2]];
+        acc[3] += val[k + 3] * x[idx[k + 3]];
+        acc[4] += val[k + 4] * x[idx[k + 4]];
+        acc[5] += val[k + 5] * x[idx[k + 5]];
+        acc[6] += val[k + 6] * x[idx[k + 6]];
+        acc[7] += val[k + 7] * x[idx[k + 7]];
+    }
+    for k in 8 * chunks..n {
+        acc[0] += val[k] * x[idx[k]];
+    }
+    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]))
+}
+
+/// One row's dot product through the selected inner loop.
+#[inline]
+fn row_dot<T: Scalar>(idx: &[usize], val: &[T], x: &[T], inner: InnerLoop) -> T {
+    match inner {
+        InnerLoop::Scalar => {
+            let mut acc = T::ZERO;
+            for (&c, &v) in idx.iter().zip(val) {
+                acc += v * x[c];
+            }
+            acc
+        }
+        InnerLoop::Unroll4 => row_unrolled(idx, val, x),
+        InnerLoop::Unroll8 => row_unrolled8(idx, val, x),
+        InnerLoop::Simd => crate::simd::row_dot(idx, val, x),
+    }
+}
+
 /// Serial CSR SpMV with 4-way unrolled rows.
 pub fn unrolled<T: Scalar>(m: &Csr<T>, x: &[T], y: &mut [T]) {
     check_dims(m, x, y);
@@ -67,21 +117,32 @@ pub fn unrolled<T: Scalar>(m: &Csr<T>, x: &[T], y: &mut [T]) {
     }
 }
 
+/// Serial CSR SpMV with 8-way unrolled rows.
+pub fn unrolled8<T: Scalar>(m: &Csr<T>, x: &[T], y: &mut [T]) {
+    check_dims(m, x, y);
+    for (r, yr) in y.iter_mut().enumerate() {
+        let (idx, val) = m.row(r);
+        *yr = row_unrolled8(idx, val, x);
+    }
+}
+
+/// Serial CSR SpMV through the runtime-dispatched vector backend
+/// (bit-identical to [`unrolled`], see [`crate::simd`]).
+pub fn simd<T: Scalar>(m: &Csr<T>, x: &[T], y: &mut [T]) {
+    check_dims(m, x, y);
+    for (r, yr) in y.iter_mut().enumerate() {
+        let (idx, val) = m.row(r);
+        *yr = crate::simd::row_dot(idx, val, x);
+    }
+}
+
 #[inline]
-fn run_chunks<T: Scalar>(m: &Csr<T>, x: &[T], y: &mut [T], bounds: &[usize], unroll: bool) {
+fn run_chunks<T: Scalar>(m: &Csr<T>, x: &[T], y: &mut [T], bounds: &[usize], inner: InnerLoop) {
     exec::for_each_row_chunk(y, bounds, |ci, chunk| {
         let r0 = bounds[ci];
         for (i, yr) in chunk.iter_mut().enumerate() {
             let (idx, val) = m.row(r0 + i);
-            *yr = if unroll {
-                row_unrolled(idx, val, x)
-            } else {
-                let mut acc = T::ZERO;
-                for (&c, &v) in idx.iter().zip(val) {
-                    acc += v * x[c];
-                }
-                acc
-            };
+            *yr = row_dot(idx, val, x, inner);
         }
     });
 }
@@ -93,24 +154,39 @@ pub(crate) fn run_planned<T: Scalar>(
     x: &[T],
     y: &mut [T],
     plan: &ExecPlan,
-    unroll: bool,
+    inner: InnerLoop,
 ) {
     check_dims(m, x, y);
-    run_chunks(m, x, y, &plan.bounds, unroll);
+    run_chunks(m, x, y, &plan.bounds, inner);
 }
 
 /// Row-parallel CSR SpMV with equal-row chunks.
 pub fn parallel<T: Scalar>(m: &Csr<T>, x: &[T], y: &mut [T]) {
     check_dims(m, x, y);
     let bounds = equal_row_bounds(m.rows(), default_parts());
-    run_chunks(m, x, y, &bounds, false);
+    run_chunks(m, x, y, &bounds, InnerLoop::Scalar);
 }
 
 /// Row-parallel CSR SpMV with equal-row chunks and unrolled rows.
 pub fn parallel_unrolled<T: Scalar>(m: &Csr<T>, x: &[T], y: &mut [T]) {
     check_dims(m, x, y);
     let bounds = equal_row_bounds(m.rows(), default_parts());
-    run_chunks(m, x, y, &bounds, true);
+    run_chunks(m, x, y, &bounds, InnerLoop::Unroll4);
+}
+
+/// Row-parallel CSR SpMV with equal-row chunks and 8-way unrolled rows.
+pub fn parallel_unrolled8<T: Scalar>(m: &Csr<T>, x: &[T], y: &mut [T]) {
+    check_dims(m, x, y);
+    let bounds = equal_row_bounds(m.rows(), default_parts());
+    run_chunks(m, x, y, &bounds, InnerLoop::Unroll8);
+}
+
+/// Row-parallel CSR SpMV with equal-row chunks through the vector
+/// backend.
+pub fn parallel_simd<T: Scalar>(m: &Csr<T>, x: &[T], y: &mut [T]) {
+    check_dims(m, x, y);
+    let bounds = equal_row_bounds(m.rows(), default_parts());
+    run_chunks(m, x, y, &bounds, InnerLoop::Simd);
 }
 
 /// Row-parallel CSR SpMV with nonzero-balanced chunks — the winner on
@@ -118,14 +194,14 @@ pub fn parallel_unrolled<T: Scalar>(m: &Csr<T>, x: &[T], y: &mut [T]) {
 pub fn parallel_balanced<T: Scalar>(m: &Csr<T>, x: &[T], y: &mut [T]) {
     check_dims(m, x, y);
     let bounds = nnz_balanced_bounds(m, default_parts());
-    run_chunks(m, x, y, &bounds, false);
+    run_chunks(m, x, y, &bounds, InnerLoop::Scalar);
 }
 
 /// Nonzero-balanced parallel CSR SpMV with unrolled rows.
 pub fn parallel_balanced_unrolled<T: Scalar>(m: &Csr<T>, x: &[T], y: &mut [T]) {
     check_dims(m, x, y);
     let bounds = nnz_balanced_bounds(m, default_parts());
-    run_chunks(m, x, y, &bounds, true);
+    run_chunks(m, x, y, &bounds, InnerLoop::Unroll4);
 }
 
 /// Serial CSR SpMV with two-row register blocking: adjacent rows are
@@ -177,12 +253,28 @@ pub fn kernels<T: Scalar>() -> Vec<KernelEntry<T, Csr<T>>> {
             basic as KernelFn<T, Csr<T>>,
         ),
         ("csr_unroll", [Unroll].into_iter().collect(), unrolled),
+        (
+            "csr_unroll8",
+            [Unroll, Wide].into_iter().collect(),
+            unrolled8,
+        ),
+        ("csr_simd", [Unroll, Simd].into_iter().collect(), simd),
         ("csr_block2", [Block].into_iter().collect(), blocked2),
         ("csr_parallel", [Parallel].into_iter().collect(), parallel),
         (
             "csr_parallel_unroll",
             [Parallel, Unroll].into_iter().collect(),
             parallel_unrolled,
+        ),
+        (
+            "csr_parallel_unroll8",
+            [Parallel, Unroll, Wide].into_iter().collect(),
+            parallel_unrolled8,
+        ),
+        (
+            "csr_parallel_simd",
+            [Parallel, Unroll, Simd].into_iter().collect(),
+            parallel_simd,
         ),
         (
             "csr_parallel_balanced",

@@ -10,7 +10,7 @@ use crate::exec;
 use crate::partition::{default_parts, equal_row_bounds};
 use crate::plan::ExecPlan;
 use crate::registry::{KernelEntry, KernelFn};
-use crate::strategy::{Strategy, StrategySet};
+use crate::strategy::{InnerLoop, Strategy, StrategySet};
 use smat_matrix::{Dia, Scalar};
 
 #[inline]
@@ -38,9 +38,54 @@ pub fn basic<T: Scalar>(m: &Dia<T>, x: &[T], y: &mut [T]) {
     }
 }
 
-/// Serial DIA SpMV with a 4-way unrolled segment loop.
-pub fn unrolled<T: Scalar>(m: &Dia<T>, x: &[T], y: &mut [T]) {
-    check_dims(m, x, y);
+/// One diagonal segment `ys[i] += data[i] * xs[i]` through the selected
+/// inner loop. Element-wise independent, so all four bodies are
+/// bit-identical (see [`crate::simd`]).
+#[inline]
+fn segment_step<T: Scalar>(data: &[T], xs: &[T], ys: &mut [T], inner: InnerLoop) {
+    let n = ys.len();
+    match inner {
+        InnerLoop::Scalar => {
+            for i in 0..n {
+                ys[i] += data[i] * xs[i];
+            }
+        }
+        InnerLoop::Unroll4 => {
+            let quads = n / 4;
+            for q in 0..quads {
+                let i = 4 * q;
+                ys[i] += data[i] * xs[i];
+                ys[i + 1] += data[i + 1] * xs[i + 1];
+                ys[i + 2] += data[i + 2] * xs[i + 2];
+                ys[i + 3] += data[i + 3] * xs[i + 3];
+            }
+            for i in 4 * quads..n {
+                ys[i] += data[i] * xs[i];
+            }
+        }
+        InnerLoop::Unroll8 => {
+            let octs = n / 8;
+            for q in 0..octs {
+                let i = 8 * q;
+                ys[i] += data[i] * xs[i];
+                ys[i + 1] += data[i + 1] * xs[i + 1];
+                ys[i + 2] += data[i + 2] * xs[i + 2];
+                ys[i + 3] += data[i + 3] * xs[i + 3];
+                ys[i + 4] += data[i + 4] * xs[i + 4];
+                ys[i + 5] += data[i + 5] * xs[i + 5];
+                ys[i + 6] += data[i + 6] * xs[i + 6];
+                ys[i + 7] += data[i + 7] * xs[i + 7];
+            }
+            for i in 8 * octs..n {
+                ys[i] += data[i] * xs[i];
+            }
+        }
+        InnerLoop::Simd => crate::simd::axpy_pointwise(data, xs, ys),
+    }
+}
+
+#[inline]
+fn run_serial<T: Scalar>(m: &Dia<T>, x: &[T], y: &mut [T], inner: InnerLoop) {
     y.fill(T::ZERO);
     let stride = m.rows();
     let data = m.data();
@@ -51,18 +96,27 @@ pub fn unrolled<T: Scalar>(m: &Dia<T>, x: &[T], y: &mut [T]) {
         let diag = &data[d * stride + i_start..d * stride + i_start + n];
         let xs = &x[j_start..j_start + n];
         let ys = &mut y[i_start..i_start + n];
-        let quads = n / 4;
-        for q in 0..quads {
-            let i = 4 * q;
-            ys[i] += diag[i] * xs[i];
-            ys[i + 1] += diag[i + 1] * xs[i + 1];
-            ys[i + 2] += diag[i + 2] * xs[i + 2];
-            ys[i + 3] += diag[i + 3] * xs[i + 3];
-        }
-        for i in 4 * quads..n {
-            ys[i] += diag[i] * xs[i];
-        }
+        segment_step(diag, xs, ys, inner);
     }
+}
+
+/// Serial DIA SpMV with a 4-way unrolled segment loop.
+pub fn unrolled<T: Scalar>(m: &Dia<T>, x: &[T], y: &mut [T]) {
+    check_dims(m, x, y);
+    run_serial(m, x, y, InnerLoop::Unroll4);
+}
+
+/// Serial DIA SpMV with an 8-way unrolled segment loop.
+pub fn unrolled8<T: Scalar>(m: &Dia<T>, x: &[T], y: &mut [T]) {
+    check_dims(m, x, y);
+    run_serial(m, x, y, InnerLoop::Unroll8);
+}
+
+/// Serial DIA SpMV through the runtime-dispatched vector backend
+/// (bit-identical to [`unrolled`], see [`crate::simd`]).
+pub fn simd<T: Scalar>(m: &Dia<T>, x: &[T], y: &mut [T]) {
+    check_dims(m, x, y);
+    run_serial(m, x, y, InnerLoop::Simd);
 }
 
 /// Adds diagonal `d`'s contribution to rows `[r0, r1)` of `y_chunk`
@@ -77,7 +131,7 @@ fn diag_segment<T: Scalar>(
     y_chunk: &mut [T],
     r0: usize,
     r1: usize,
-    unroll: bool,
+    inner: InnerLoop,
 ) {
     let stride = m.rows();
     // Global row range covered by this diagonal.
@@ -90,40 +144,24 @@ fn diag_segment<T: Scalar>(
     let data = &m.data()[d * stride + lo..d * stride + lo + n];
     let xs = &x[(lo as isize + off) as usize..(lo as isize + off) as usize + n];
     let ys = &mut y_chunk[lo - r0..lo - r0 + n];
-    if unroll {
-        let quads = n / 4;
-        for q in 0..quads {
-            let i = 4 * q;
-            ys[i] += data[i] * xs[i];
-            ys[i + 1] += data[i + 1] * xs[i + 1];
-            ys[i + 2] += data[i + 2] * xs[i + 2];
-            ys[i + 3] += data[i + 3] * xs[i + 3];
-        }
-        for i in 4 * quads..n {
-            ys[i] += data[i] * xs[i];
-        }
-    } else {
-        for i in 0..n {
-            ys[i] += data[i] * xs[i];
-        }
-    }
+    segment_step(data, xs, ys, inner);
 }
 
 #[inline]
-fn run_chunks<T: Scalar>(m: &Dia<T>, x: &[T], y: &mut [T], bounds: &[usize], unroll: bool) {
+fn run_chunks<T: Scalar>(m: &Dia<T>, x: &[T], y: &mut [T], bounds: &[usize], inner: InnerLoop) {
     exec::for_each_row_chunk(y, bounds, |ci, y_chunk| {
         y_chunk.fill(T::ZERO);
         let (r0, r1) = (bounds[ci], bounds[ci + 1]);
         for (d, &off) in m.offsets().iter().enumerate() {
-            diag_segment(m, d, off, x, y_chunk, r0, r1, unroll);
+            diag_segment(m, d, off, x, y_chunk, r0, r1, inner);
         }
     });
 }
 
 #[inline]
-fn run_parallel<T: Scalar>(m: &Dia<T>, x: &[T], y: &mut [T], unroll: bool) {
+fn run_parallel<T: Scalar>(m: &Dia<T>, x: &[T], y: &mut [T], inner: InnerLoop) {
     let bounds = equal_row_bounds(m.rows(), default_parts());
-    run_chunks(m, x, y, &bounds, unroll);
+    run_chunks(m, x, y, &bounds, inner);
 }
 
 /// Runs a parallel DIA variant with precomputed row chunk bounds.
@@ -132,22 +170,34 @@ pub(crate) fn run_planned<T: Scalar>(
     x: &[T],
     y: &mut [T],
     plan: &ExecPlan,
-    unroll: bool,
+    inner: InnerLoop,
 ) {
     check_dims(m, x, y);
-    run_chunks(m, x, y, &plan.bounds, unroll);
+    run_chunks(m, x, y, &plan.bounds, inner);
 }
 
 /// Row-parallel DIA SpMV.
 pub fn parallel<T: Scalar>(m: &Dia<T>, x: &[T], y: &mut [T]) {
     check_dims(m, x, y);
-    run_parallel(m, x, y, false);
+    run_parallel(m, x, y, InnerLoop::Scalar);
 }
 
 /// Row-parallel DIA SpMV with unrolled segments.
 pub fn parallel_unrolled<T: Scalar>(m: &Dia<T>, x: &[T], y: &mut [T]) {
     check_dims(m, x, y);
-    run_parallel(m, x, y, true);
+    run_parallel(m, x, y, InnerLoop::Unroll4);
+}
+
+/// Row-parallel DIA SpMV with 8-way unrolled segments.
+pub fn parallel_unrolled8<T: Scalar>(m: &Dia<T>, x: &[T], y: &mut [T]) {
+    check_dims(m, x, y);
+    run_parallel(m, x, y, InnerLoop::Unroll8);
+}
+
+/// Row-parallel DIA SpMV through the vector backend.
+pub fn parallel_simd<T: Scalar>(m: &Dia<T>, x: &[T], y: &mut [T]) {
+    check_dims(m, x, y);
+    run_parallel(m, x, y, InnerLoop::Simd);
 }
 
 /// Adds one diagonal's contribution over the global row range
@@ -264,6 +314,12 @@ pub fn kernels<T: Scalar>() -> Vec<KernelEntry<T, Dia<T>>> {
             basic as KernelFn<T, Dia<T>>,
         ),
         ("dia_unroll", [Unroll].into_iter().collect(), unrolled),
+        (
+            "dia_unroll8",
+            [Unroll, Wide].into_iter().collect(),
+            unrolled8,
+        ),
+        ("dia_simd", [Unroll, Simd].into_iter().collect(), simd),
         ("dia_block2", [Block].into_iter().collect(), blocked2),
         (
             "dia_block2_unroll",
@@ -275,6 +331,16 @@ pub fn kernels<T: Scalar>() -> Vec<KernelEntry<T, Dia<T>>> {
             "dia_parallel_unroll",
             [Parallel, Unroll].into_iter().collect(),
             parallel_unrolled,
+        ),
+        (
+            "dia_parallel_unroll8",
+            [Parallel, Unroll, Wide].into_iter().collect(),
+            parallel_unrolled8,
+        ),
+        (
+            "dia_parallel_simd",
+            [Parallel, Unroll, Simd].into_iter().collect(),
+            parallel_simd,
         ),
     ]
 }

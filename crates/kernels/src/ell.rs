@@ -9,7 +9,7 @@ use crate::exec;
 use crate::partition::{default_parts, equal_row_bounds};
 use crate::plan::ExecPlan;
 use crate::registry::{KernelEntry, KernelFn};
-use crate::strategy::{Strategy, StrategySet};
+use crate::strategy::{InnerLoop, Strategy, StrategySet};
 use smat_matrix::{Ell, Scalar};
 
 #[inline]
@@ -34,9 +34,55 @@ pub fn basic<T: Scalar>(m: &Ell<T>, x: &[T], y: &mut [T]) {
     }
 }
 
-/// Serial ELL SpMV with a 4-way unrolled row sweep per packed slot.
-pub fn unrolled<T: Scalar>(m: &Ell<T>, x: &[T], y: &mut [T]) {
-    check_dims(m, x, y);
+/// One packed slot's sweep `y[r] += d[r] * x[i[r]]` through the
+/// selected inner loop. Every element is an independent mul + add, so
+/// all four bodies are bit-identical — the unroll depth and vector
+/// width are pure throughput knobs here.
+#[inline]
+fn slab_step<T: Scalar>(dcol: &[T], icol: &[usize], x: &[T], y: &mut [T], inner: InnerLoop) {
+    let n = y.len();
+    match inner {
+        InnerLoop::Scalar => {
+            for r in 0..n {
+                y[r] += dcol[r] * x[icol[r]];
+            }
+        }
+        InnerLoop::Unroll4 => {
+            let quads = n / 4;
+            for q in 0..quads {
+                let r = 4 * q;
+                y[r] += dcol[r] * x[icol[r]];
+                y[r + 1] += dcol[r + 1] * x[icol[r + 1]];
+                y[r + 2] += dcol[r + 2] * x[icol[r + 2]];
+                y[r + 3] += dcol[r + 3] * x[icol[r + 3]];
+            }
+            for r in 4 * quads..n {
+                y[r] += dcol[r] * x[icol[r]];
+            }
+        }
+        InnerLoop::Unroll8 => {
+            let octs = n / 8;
+            for q in 0..octs {
+                let r = 8 * q;
+                y[r] += dcol[r] * x[icol[r]];
+                y[r + 1] += dcol[r + 1] * x[icol[r + 1]];
+                y[r + 2] += dcol[r + 2] * x[icol[r + 2]];
+                y[r + 3] += dcol[r + 3] * x[icol[r + 3]];
+                y[r + 4] += dcol[r + 4] * x[icol[r + 4]];
+                y[r + 5] += dcol[r + 5] * x[icol[r + 5]];
+                y[r + 6] += dcol[r + 6] * x[icol[r + 6]];
+                y[r + 7] += dcol[r + 7] * x[icol[r + 7]];
+            }
+            for r in 8 * octs..n {
+                y[r] += dcol[r] * x[icol[r]];
+            }
+        }
+        InnerLoop::Simd => crate::simd::axpy_gather(dcol, icol, x, y),
+    }
+}
+
+#[inline]
+fn run_serial<T: Scalar>(m: &Ell<T>, x: &[T], y: &mut [T], inner: InnerLoop) {
     y.fill(T::ZERO);
     let rows = m.rows();
     let data = m.data();
@@ -44,69 +90,73 @@ pub fn unrolled<T: Scalar>(m: &Ell<T>, x: &[T], y: &mut [T]) {
     for p in 0..m.width() {
         let dcol = &data[p * rows..(p + 1) * rows];
         let icol = &idx[p * rows..(p + 1) * rows];
-        let quads = rows / 4;
-        for q in 0..quads {
-            let r = 4 * q;
-            y[r] += dcol[r] * x[icol[r]];
-            y[r + 1] += dcol[r + 1] * x[icol[r + 1]];
-            y[r + 2] += dcol[r + 2] * x[icol[r + 2]];
-            y[r + 3] += dcol[r + 3] * x[icol[r + 3]];
-        }
-        for r in 4 * quads..rows {
-            y[r] += dcol[r] * x[icol[r]];
-        }
+        slab_step(dcol, icol, x, y, inner);
     }
 }
 
+/// Serial ELL SpMV with a 4-way unrolled row sweep per packed slot.
+pub fn unrolled<T: Scalar>(m: &Ell<T>, x: &[T], y: &mut [T]) {
+    check_dims(m, x, y);
+    run_serial(m, x, y, InnerLoop::Unroll4);
+}
+
+/// Serial ELL SpMV with an 8-way unrolled row sweep per packed slot.
+pub fn unrolled8<T: Scalar>(m: &Ell<T>, x: &[T], y: &mut [T]) {
+    check_dims(m, x, y);
+    run_serial(m, x, y, InnerLoop::Unroll8);
+}
+
+/// Serial ELL SpMV through the runtime-dispatched vector backend
+/// (bit-identical to [`unrolled`], see [`crate::simd`]).
+pub fn simd<T: Scalar>(m: &Ell<T>, x: &[T], y: &mut [T]) {
+    check_dims(m, x, y);
+    run_serial(m, x, y, InnerLoop::Simd);
+}
+
 #[inline]
-fn run_chunks<T: Scalar>(m: &Ell<T>, x: &[T], y: &mut [T], bounds: &[usize], unroll: bool) {
+fn run_chunks<T: Scalar>(m: &Ell<T>, x: &[T], y: &mut [T], bounds: &[usize], inner: InnerLoop) {
     let rows = m.rows();
     let data = m.data();
     let idx = m.indices();
     exec::for_each_row_chunk(y, bounds, |ci, y_chunk| {
         y_chunk.fill(T::ZERO);
         let (r0, r1) = (bounds[ci], bounds[ci + 1]);
-        let n = r1 - r0;
         for p in 0..m.width() {
             let dcol = &data[p * rows + r0..p * rows + r1];
             let icol = &idx[p * rows + r0..p * rows + r1];
-            if unroll {
-                let quads = n / 4;
-                for q in 0..quads {
-                    let r = 4 * q;
-                    y_chunk[r] += dcol[r] * x[icol[r]];
-                    y_chunk[r + 1] += dcol[r + 1] * x[icol[r + 1]];
-                    y_chunk[r + 2] += dcol[r + 2] * x[icol[r + 2]];
-                    y_chunk[r + 3] += dcol[r + 3] * x[icol[r + 3]];
-                }
-                for r in 4 * quads..n {
-                    y_chunk[r] += dcol[r] * x[icol[r]];
-                }
-            } else {
-                for r in 0..n {
-                    y_chunk[r] += dcol[r] * x[icol[r]];
-                }
-            }
+            slab_step(dcol, icol, x, y_chunk, inner);
         }
     });
 }
 
 #[inline]
-fn run_parallel<T: Scalar>(m: &Ell<T>, x: &[T], y: &mut [T], unroll: bool) {
+fn run_parallel<T: Scalar>(m: &Ell<T>, x: &[T], y: &mut [T], inner: InnerLoop) {
     let bounds = equal_row_bounds(m.rows(), default_parts());
-    run_chunks(m, x, y, &bounds, unroll);
+    run_chunks(m, x, y, &bounds, inner);
 }
 
 /// Row-parallel ELL SpMV.
 pub fn parallel<T: Scalar>(m: &Ell<T>, x: &[T], y: &mut [T]) {
     check_dims(m, x, y);
-    run_parallel(m, x, y, false);
+    run_parallel(m, x, y, InnerLoop::Scalar);
 }
 
 /// Row-parallel ELL SpMV with unrolled sweeps.
 pub fn parallel_unrolled<T: Scalar>(m: &Ell<T>, x: &[T], y: &mut [T]) {
     check_dims(m, x, y);
-    run_parallel(m, x, y, true);
+    run_parallel(m, x, y, InnerLoop::Unroll4);
+}
+
+/// Row-parallel ELL SpMV with 8-way unrolled sweeps.
+pub fn parallel_unrolled8<T: Scalar>(m: &Ell<T>, x: &[T], y: &mut [T]) {
+    check_dims(m, x, y);
+    run_parallel(m, x, y, InnerLoop::Unroll8);
+}
+
+/// Row-parallel ELL SpMV through the vector backend.
+pub fn parallel_simd<T: Scalar>(m: &Ell<T>, x: &[T], y: &mut [T]) {
+    check_dims(m, x, y);
+    run_parallel(m, x, y, InnerLoop::Simd);
 }
 
 /// Serial ELL SpMV with slot-pair register blocking: two packed slots
@@ -217,7 +267,7 @@ pub fn parallel_blocked2<T: Scalar>(m: &Ell<T>, x: &[T], y: &mut [T]) {
 
 /// Runs a parallel ELL variant with precomputed row chunk bounds. The
 /// strategy set picks the chunk body: `Block` selects the slot-pair
-/// fused sweep, otherwise `Unroll` selects the 4-way unrolled one.
+/// fused sweep, otherwise the [`InnerLoop`] it maps to.
 pub(crate) fn run_planned<T: Scalar>(
     m: &Ell<T>,
     x: &[T],
@@ -229,7 +279,7 @@ pub(crate) fn run_planned<T: Scalar>(
     if strategies.contains(Strategy::Block) {
         run_chunks_blocked2(m, x, y, &plan.bounds);
     } else {
-        run_chunks(m, x, y, &plan.bounds, strategies.contains(Strategy::Unroll));
+        run_chunks(m, x, y, &plan.bounds, InnerLoop::of(strategies));
     }
 }
 
@@ -243,6 +293,12 @@ pub fn kernels<T: Scalar>() -> Vec<KernelEntry<T, Ell<T>>> {
             basic as KernelFn<T, Ell<T>>,
         ),
         ("ell_unroll", [Unroll].into_iter().collect(), unrolled),
+        (
+            "ell_unroll8",
+            [Unroll, Wide].into_iter().collect(),
+            unrolled8,
+        ),
+        ("ell_simd", [Unroll, Simd].into_iter().collect(), simd),
         ("ell_block2", [Block].into_iter().collect(), blocked2),
         (
             "ell_block2_unroll",
@@ -254,6 +310,16 @@ pub fn kernels<T: Scalar>() -> Vec<KernelEntry<T, Ell<T>>> {
             "ell_parallel_unroll",
             [Parallel, Unroll].into_iter().collect(),
             parallel_unrolled,
+        ),
+        (
+            "ell_parallel_unroll8",
+            [Parallel, Unroll, Wide].into_iter().collect(),
+            parallel_unrolled8,
+        ),
+        (
+            "ell_parallel_simd",
+            [Parallel, Unroll, Simd].into_iter().collect(),
+            parallel_simd,
         ),
         (
             "ell_parallel_block2",

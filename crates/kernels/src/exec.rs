@@ -38,6 +38,13 @@ mod backend {
     pub fn spawn_count() -> u64 {
         smat_pool::spawn_count()
     }
+
+    /// Pool fan-outs performed (inline-serial fallbacks not counted).
+    /// Flat across serial planned dispatches — the serial fast path in
+    /// `for_each_row_chunk` never touches the pool.
+    pub fn dispatch_count() -> u64 {
+        smat_pool::dispatch_count()
+    }
 }
 
 #[cfg(not(feature = "pool"))]
@@ -82,9 +89,14 @@ mod backend {
     pub fn spawn_count() -> u64 {
         0
     }
+
+    /// The fallback backend does not track fan-outs; reported as 0.
+    pub fn dispatch_count() -> u64 {
+        0
+    }
 }
 
-pub use backend::{for_each_chunk, num_threads, set_thread_target, spawn_count};
+pub use backend::{dispatch_count, for_each_chunk, num_threads, set_thread_target, spawn_count};
 
 /// Validates a chunk boundary list against an output slice: starts at
 /// 0, ends at `len`, non-decreasing.
@@ -126,6 +138,13 @@ where
     F: Fn(usize, &mut [T]) + Sync,
 {
     validate_bounds(bounds, y.len());
+    // Serial fast path: a single-chunk plan is the whole output slice,
+    // so call the body directly instead of paying the pool's wake/park
+    // handshake (or the fallback's scoped-thread spawn) for no
+    // parallelism. Keeps `dispatch_count` flat for serial plans.
+    if bounds.len() == 2 {
+        return f(0, y);
+    }
     let base = y.as_mut_ptr() as usize;
     for_each_chunk(bounds.len() - 1, &|ci| {
         let (b0, b1) = (bounds[ci], bounds[ci + 1]);

@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod bcsr;
 pub mod coo;
 pub mod csr;
 pub mod dia;
@@ -46,15 +47,20 @@ pub mod partition;
 pub mod plan;
 pub mod reference;
 pub mod registry;
+mod scalar_cast;
 pub mod search;
+pub mod simd;
 pub mod strategy;
 pub mod timing;
 
 pub use plan::ExecPlan;
-pub use registry::{KernelEntry, KernelFn, KernelId, KernelInfo, KernelLibrary};
+pub use registry::{
+    ChunkPolicy, KernelEntry, KernelFn, KernelId, KernelInfo, KernelLibrary, Planner,
+};
 pub use search::{
     measure_format, search_kernels, KernelChoice, PerfRecord, PerfTable, RecordStatus, Scoreboard,
     DEFAULT_CANDIDATE_DEADLINE,
 };
+pub use simd::SimdBackend;
 pub use strategy::{Strategy, StrategySet};
 pub use timing::{measure_guarded, panic_message, MeasureOutcome};

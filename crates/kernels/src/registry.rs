@@ -8,10 +8,10 @@
 
 use crate::partition::{default_parts, equal_row_bounds, nnz_balanced_bounds};
 use crate::plan::ExecPlan;
-use crate::strategy::{Strategy, StrategySet};
-use crate::{coo, csr, dia, ell, exec, hyb};
+use crate::strategy::{InnerLoop, Strategy, StrategySet};
+use crate::{bcsr, coo, csr, dia, ell, exec, hyb};
 use serde::{Deserialize, Serialize};
-use smat_matrix::{AnyMatrix, Coo, Csr, Dia, Ell, Format, Hyb, Scalar};
+use smat_matrix::{AnyMatrix, Bcsr, Coo, Csr, Dia, Ell, Format, Hyb, Scalar};
 
 /// Signature of every SpMV kernel: `run(matrix, x, y)` computing
 /// `y = A * x`.
@@ -70,10 +70,12 @@ pub struct KernelLibrary<T: Scalar> {
     dia: Vec<KernelEntry<T, Dia<T>>>,
     ell: Vec<KernelEntry<T, Ell<T>>>,
     hyb: Vec<KernelEntry<T, Hyb<T>>>,
+    bcsr2: Vec<KernelEntry<T, Bcsr<T>>>,
+    bcsr4: Vec<KernelEntry<T, Bcsr<T>>>,
     /// Variant counts at construction. Only builtin variants have
     /// planned execution paths; user-registered ones (appended past
     /// these counts) always dispatch through their raw fn pointer.
-    builtin: [usize; 5],
+    builtin: [usize; 7],
 }
 
 impl<T: Scalar> std::fmt::Debug for KernelLibrary<T> {
@@ -84,6 +86,8 @@ impl<T: Scalar> std::fmt::Debug for KernelLibrary<T> {
             .field("dia_variants", &self.dia.len())
             .field("ell_variants", &self.ell.len())
             .field("hyb_variants", &self.hyb.len())
+            .field("bcsr2_variants", &self.bcsr2.len())
+            .field("bcsr4_variants", &self.bcsr4.len())
             .finish()
     }
 }
@@ -104,13 +108,24 @@ impl<T: Scalar> KernelLibrary<T> {
             ell::kernels(),
             hyb::kernels(),
         );
-        let builtin = [csr.len(), coo.len(), dia.len(), ell.len(), hyb.len()];
+        let (bcsr2, bcsr4) = (bcsr::kernels2(), bcsr::kernels4());
+        let builtin = [
+            csr.len(),
+            coo.len(),
+            dia.len(),
+            ell.len(),
+            hyb.len(),
+            bcsr2.len(),
+            bcsr4.len(),
+        ];
         Self {
             csr,
             coo,
             dia,
             ell,
             hyb,
+            bcsr2,
+            bcsr4,
             builtin,
         }
     }
@@ -124,6 +139,8 @@ impl<T: Scalar> KernelLibrary<T> {
             Format::Dia => 2,
             Format::Ell => 3,
             Format::Hyb => 4,
+            Format::Bcsr2 => 5,
+            Format::Bcsr4 => 6,
         };
         id.variant < self.builtin[slot]
     }
@@ -142,6 +159,8 @@ impl<T: Scalar> KernelLibrary<T> {
             Format::Dia => self.dia[id.variant].1,
             Format::Ell => self.ell[id.variant].1,
             Format::Hyb => self.hyb[id.variant].1,
+            Format::Bcsr2 => self.bcsr2[id.variant].1,
+            Format::Bcsr4 => self.bcsr4[id.variant].1,
         }
     }
 
@@ -153,6 +172,8 @@ impl<T: Scalar> KernelLibrary<T> {
             Format::Dia => self.dia.len(),
             Format::Ell => self.ell.len(),
             Format::Hyb => self.hyb.len(),
+            Format::Bcsr2 => self.bcsr2.len(),
+            Format::Bcsr4 => self.bcsr4.len(),
         }
     }
 
@@ -177,6 +198,8 @@ impl<T: Scalar> KernelLibrary<T> {
             Format::Dia => infos!(self.dia),
             Format::Ell => infos!(self.ell),
             Format::Hyb => infos!(self.hyb),
+            Format::Bcsr2 => infos!(self.bcsr2),
+            Format::Bcsr4 => infos!(self.bcsr4),
         }
     }
 
@@ -263,6 +286,34 @@ impl<T: Scalar> KernelLibrary<T> {
         }
     }
 
+    /// Registers an additional BCSR 2x2 kernel variant, returning its id.
+    pub fn register_bcsr2(
+        &mut self,
+        name: &'static str,
+        strategies: StrategySet,
+        f: KernelFn<T, Bcsr<T>>,
+    ) -> KernelId {
+        self.bcsr2.push((name, strategies, f));
+        KernelId {
+            format: Format::Bcsr2,
+            variant: self.bcsr2.len() - 1,
+        }
+    }
+
+    /// Registers an additional BCSR 4x4 kernel variant, returning its id.
+    pub fn register_bcsr4(
+        &mut self,
+        name: &'static str,
+        strategies: StrategySet,
+        f: KernelFn<T, Bcsr<T>>,
+    ) -> KernelId {
+        self.bcsr4.push((name, strategies, f));
+        KernelId {
+            format: Format::Bcsr4,
+            variant: self.bcsr4.len() - 1,
+        }
+    }
+
     /// Runs variant `variant` of the matrix's own format: `y = A * x`.
     ///
     /// # Panics
@@ -276,6 +327,8 @@ impl<T: Scalar> KernelLibrary<T> {
             AnyMatrix::Dia(m) => (self.dia[variant].2)(m, x, y),
             AnyMatrix::Ell(m) => (self.ell[variant].2)(m, x, y),
             AnyMatrix::Hyb(m) => (self.hyb[variant].2)(m, x, y),
+            AnyMatrix::Bcsr2(m) => (self.bcsr2[variant].2)(m, x, y),
+            AnyMatrix::Bcsr4(m) => (self.bcsr4[variant].2)(m, x, y),
         }
     }
 
@@ -288,6 +341,75 @@ impl<T: Scalar> KernelLibrary<T> {
         (self.csr[variant].2)(m, x, y)
     }
 
+    /// Classifies how kernel `id` partitions `m` — the memoizable
+    /// "shape" of its [`ExecPlan`]. Two kernels with the same policy
+    /// (at the same thread count) share identical plans, which is what
+    /// lets [`Planner`] reuse bounds across a whole variant sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id.variant` is out of range for `id.format`.
+    pub fn chunk_policy(&self, m: &AnyMatrix<T>, id: KernelId) -> ChunkPolicy {
+        if !self.is_builtin(id)
+            || !self.strategies_of(id).contains(Strategy::Parallel)
+            || id.format != m.format()
+        {
+            return ChunkPolicy::Serial;
+        }
+        match m {
+            AnyMatrix::Csr(_) => {
+                if self.strategies_of(id).contains(Strategy::Balance) {
+                    ChunkPolicy::NnzBalanced
+                } else {
+                    ChunkPolicy::EqualRows
+                }
+            }
+            AnyMatrix::Coo(_) => ChunkPolicy::EntryAligned,
+            AnyMatrix::Dia(_) | AnyMatrix::Ell(_) | AnyMatrix::Hyb(_) => ChunkPolicy::EqualRows,
+            AnyMatrix::Bcsr2(m) | AnyMatrix::Bcsr4(m) => ChunkPolicy::BlockAligned(m.br()),
+        }
+    }
+
+    /// Materializes the [`ExecPlan`] for a given chunk policy on `m`.
+    ///
+    /// Policies that don't apply to the matrix's physical format (for
+    /// example [`ChunkPolicy::NnzBalanced`] on a non-CSR matrix) fall
+    /// back to equal row chunks, so a stale policy can never produce
+    /// bounds that fail validation.
+    pub fn build_plan(&self, m: &AnyMatrix<T>, policy: ChunkPolicy) -> ExecPlan {
+        let rows = m.rows();
+        if policy == ChunkPolicy::Serial {
+            return ExecPlan::serial(rows);
+        }
+        let threads = exec::num_threads();
+        let parts = default_parts();
+        match (policy, m) {
+            (ChunkPolicy::NnzBalanced, AnyMatrix::Csr(m)) => ExecPlan {
+                bounds: nnz_balanced_bounds(m, parts),
+                entry_bounds: None,
+                threads,
+            },
+            (ChunkPolicy::EntryAligned, AnyMatrix::Coo(m)) => {
+                let (entry_bounds, bounds) = coo::row_aligned_chunks(m, parts);
+                ExecPlan {
+                    bounds,
+                    entry_bounds: Some(entry_bounds),
+                    threads,
+                }
+            }
+            (ChunkPolicy::BlockAligned(_), AnyMatrix::Bcsr2(m) | AnyMatrix::Bcsr4(m)) => ExecPlan {
+                bounds: bcsr::block_aligned_bounds(m, parts),
+                entry_bounds: None,
+                threads,
+            },
+            _ => ExecPlan {
+                bounds: equal_row_bounds(rows, parts),
+                entry_bounds: None,
+                threads,
+            },
+        }
+    }
+
     /// Builds the execution plan for running kernel `id` on `m`: the
     /// chunk boundaries the parallel variants would otherwise recompute
     /// on every call, frozen once.
@@ -296,46 +418,15 @@ impl<T: Scalar> KernelLibrary<T> {
     /// format/matrix pairings get the trivial single-chunk plan — the
     /// planned dispatch then behaves exactly like [`run`](Self::run).
     ///
+    /// When planning many variants for one matrix (e.g. during
+    /// `prepare()`), use a [`Planner`] to avoid recomputing identical
+    /// bounds.
+    ///
     /// # Panics
     ///
     /// Panics if `id.variant` is out of range for `id.format`.
     pub fn plan_for(&self, m: &AnyMatrix<T>, id: KernelId) -> ExecPlan {
-        let rows = m.rows();
-        if !self.is_builtin(id)
-            || !self.strategies_of(id).contains(Strategy::Parallel)
-            || id.format != m.format()
-        {
-            return ExecPlan::serial(rows);
-        }
-        let threads = exec::num_threads();
-        let parts = default_parts();
-        match m {
-            AnyMatrix::Csr(m) => {
-                let bounds = if self.strategies_of(id).contains(Strategy::Balance) {
-                    nnz_balanced_bounds(m, parts)
-                } else {
-                    equal_row_bounds(rows, parts)
-                };
-                ExecPlan {
-                    bounds,
-                    entry_bounds: None,
-                    threads,
-                }
-            }
-            AnyMatrix::Coo(m) => {
-                let (entry_bounds, bounds) = coo::row_aligned_chunks(m, parts);
-                ExecPlan {
-                    bounds,
-                    entry_bounds: Some(entry_bounds),
-                    threads,
-                }
-            }
-            AnyMatrix::Dia(_) | AnyMatrix::Ell(_) | AnyMatrix::Hyb(_) => ExecPlan {
-                bounds: equal_row_bounds(rows, parts),
-                entry_bounds: None,
-                threads,
-            },
-        }
+        self.build_plan(m, self.chunk_policy(m, id))
     }
 
     /// Runs variant `variant` with a precomputed [`ExecPlan`] — the
@@ -369,13 +460,84 @@ impl<T: Scalar> KernelLibrary<T> {
             return self.run(m, variant, x, y);
         }
         let unroll = strategies.contains(Strategy::Unroll);
+        let inner = InnerLoop::of(strategies);
         match m {
-            AnyMatrix::Csr(m) => csr::run_planned(m, x, y, plan, unroll),
+            AnyMatrix::Csr(m) => csr::run_planned(m, x, y, plan, inner),
             AnyMatrix::Coo(m) => coo::run_planned(m, x, y, plan, unroll),
-            AnyMatrix::Dia(m) => dia::run_planned(m, x, y, plan, unroll),
+            AnyMatrix::Dia(m) => dia::run_planned(m, x, y, plan, inner),
             AnyMatrix::Ell(m) => ell::run_planned(m, x, y, plan, strategies),
             AnyMatrix::Hyb(m) => hyb::run_planned(m, x, y, plan),
+            AnyMatrix::Bcsr2(m) | AnyMatrix::Bcsr4(m) => bcsr::run_planned(m, x, y, plan, unroll),
         }
+    }
+}
+
+/// The memoizable "shape" of an [`ExecPlan`]: how rows are split into
+/// chunks, independent of which specific kernel asked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChunkPolicy {
+    /// Single chunk covering all rows (serial variants and fallbacks).
+    Serial,
+    /// Rows split evenly across chunks.
+    EqualRows,
+    /// Row chunks balanced by nonzero count (CSR `Balance` variants).
+    NnzBalanced,
+    /// Entry-aligned chunks with matching row spans (COO variants).
+    EntryAligned,
+    /// Row bounds snapped to block-row boundaries; the payload is the
+    /// block height (BCSR variants).
+    BlockAligned(usize),
+}
+
+/// Memoizes [`ExecPlan`]s by ([`ChunkPolicy`], thread count) for one
+/// matrix.
+///
+/// A variant sweep over a 47-kernel library would otherwise recompute
+/// the same equal-row bounds a dozen times; the planner computes each
+/// distinct partition once and clones it afterwards. Scope a planner
+/// to a single matrix — the cache key does not include the matrix
+/// identity.
+#[derive(Debug, Default)]
+pub struct Planner {
+    cache: Vec<(ChunkPolicy, usize, ExecPlan)>,
+    computed: usize,
+}
+
+impl Planner {
+    /// Creates an empty planner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Memoized equivalent of [`KernelLibrary::plan_for`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id.variant` is out of range for `id.format`.
+    pub fn plan_for<T: Scalar>(
+        &mut self,
+        lib: &KernelLibrary<T>,
+        m: &AnyMatrix<T>,
+        id: KernelId,
+    ) -> ExecPlan {
+        let policy = lib.chunk_policy(m, id);
+        let threads = exec::num_threads();
+        if let Some((_, _, plan)) = self
+            .cache
+            .iter()
+            .find(|(p, t, _)| *p == policy && *t == threads)
+        {
+            return plan.clone();
+        }
+        let plan = lib.build_plan(m, policy);
+        self.computed += 1;
+        self.cache.push((policy, threads, plan.clone()));
+        plan
+    }
+
+    /// How many plans were actually computed (cache misses).
+    pub fn computed(&self) -> usize {
+        self.computed
     }
 }
 
@@ -389,13 +551,15 @@ mod tests {
     fn library_is_well_formed() {
         let lib = KernelLibrary::<f64>::new();
         // The paper: "up to 24 in current SMAT system" for the four
-        // basic formats; the HYB extension adds three more.
+        // basic formats; this implementation's wide-unroll and SIMD
+        // tiers push the basic-format count to 36, and the HYB plus
+        // BCSR extensions bring the library total to 47.
         let basic_four: usize = Format::BASIC
             .into_iter()
             .map(|f| lib.variant_count(f))
             .sum();
-        assert_eq!(basic_four, 24);
-        assert_eq!(lib.total_variants(), 27);
+        assert_eq!(basic_four, 36);
+        assert_eq!(lib.total_variants(), 47);
         for f in Format::ALL {
             let infos = lib.variants(f);
             assert!(!infos.is_empty());
@@ -417,7 +581,14 @@ mod tests {
         let mut expect = vec![0.0; 120];
         csr.spmv(&x, &mut expect).unwrap();
         for f in Format::ALL {
-            let any = AnyMatrix::convert_from_csr(&csr, f).unwrap();
+            // Unlimited conversion limits: the scattered random pattern
+            // would trip the BCSR fill-ratio guard under defaults.
+            let any = AnyMatrix::convert_from_csr_with(
+                &csr,
+                f,
+                &smat_matrix::ConversionLimits::unlimited(),
+            )
+            .unwrap();
             for v in 0..lib.variant_count(f) {
                 let mut y = vec![f64::NAN; 120];
                 lib.run(&any, v, &x, &mut y);
@@ -478,6 +649,64 @@ mod tests {
             m.spmv(x, y).expect("sized vectors");
         });
         assert_eq!(id.variant, lib.variant_count(Format::Hyb) - 1);
+        let id = lib.register_bcsr2("bcsr2_x", StrategySet::default(), |m, x, y| {
+            m.spmv(x, y).expect("sized vectors");
+        });
+        assert_eq!(id.variant, lib.variant_count(Format::Bcsr2) - 1);
+        let id = lib.register_bcsr4("bcsr4_x", StrategySet::default(), |m, x, y| {
+            m.spmv(x, y).expect("sized vectors");
+        });
+        assert_eq!(id.variant, lib.variant_count(Format::Bcsr4) - 1);
+    }
+
+    #[test]
+    fn planner_memoizes_by_policy() {
+        let lib = KernelLibrary::<f64>::new();
+        let csr = random_uniform::<f64>(64, 64, 4, 9);
+        let any = AnyMatrix::Csr(csr);
+        let mut planner = Planner::new();
+        let mut distinct = std::collections::HashSet::new();
+        for v in 0..lib.variant_count(Format::Csr) {
+            let id = KernelId {
+                format: Format::Csr,
+                variant: v,
+            };
+            let plan = planner.plan_for(&lib, &any, id);
+            let direct = lib.plan_for(&any, id);
+            assert_eq!(plan.bounds, direct.bounds, "variant {v}");
+            distinct.insert(lib.chunk_policy(&any, id));
+        }
+        // One computation per distinct policy, not per variant.
+        assert_eq!(planner.computed(), distinct.len());
+        assert!(planner.computed() < lib.variant_count(Format::Csr));
+    }
+
+    #[test]
+    fn bcsr_plans_are_block_aligned() {
+        let lib = KernelLibrary::<f64>::new();
+        let csr = random_uniform::<f64>(130, 130, 5, 11);
+        for f in [Format::Bcsr2, Format::Bcsr4] {
+            let any = AnyMatrix::convert_from_csr_with(
+                &csr,
+                f,
+                &smat_matrix::ConversionLimits::unlimited(),
+            )
+            .unwrap();
+            let br = if f == Format::Bcsr2 { 2 } else { 4 };
+            for v in 0..lib.variant_count(f) {
+                let id = KernelId {
+                    format: f,
+                    variant: v,
+                };
+                let plan = lib.plan_for(&any, id);
+                for &b in &plan.bounds {
+                    assert!(
+                        b % br == 0 || b == 130,
+                        "{f} variant {v}: bound {b} not aligned to {br}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,57 @@
+//! `TypeId`-checked casts between a generic [`smat_matrix::Scalar`] and
+//! the concrete float type an intrinsics body is written for.
+//!
+//! `Scalar` is sealed over `f32`/`f64` and `'static`, so a runtime
+//! `TypeId` comparison is a complete dispatch: when it matches, `T` and
+//! `U` are the same type and the casts below are identity conversions.
+
+use std::any::TypeId;
+
+/// Whether `T` is `f64`.
+#[inline]
+pub(crate) fn is_f64<T: 'static>() -> bool {
+    TypeId::of::<T>() == TypeId::of::<f64>()
+}
+
+/// Whether `T` is `f32`.
+#[inline]
+pub(crate) fn is_f32<T: 'static>() -> bool {
+    TypeId::of::<T>() == TypeId::of::<f32>()
+}
+
+/// Reinterprets `&[T]` as `&[U]`.
+///
+/// # Panics
+///
+/// Panics if `T` and `U` are not the same type.
+#[inline]
+pub(crate) fn cast_ref<T: 'static, U: 'static>(s: &[T]) -> &[U] {
+    assert_eq!(TypeId::of::<T>(), TypeId::of::<U>());
+    // SAFETY: T and U are the identical type, so layout and validity
+    // are trivially preserved.
+    unsafe { std::slice::from_raw_parts(s.as_ptr() as *const U, s.len()) }
+}
+
+/// Reinterprets `&mut [T]` as `&mut [U]`.
+///
+/// # Panics
+///
+/// Panics if `T` and `U` are not the same type.
+#[inline]
+pub(crate) fn cast_mut<T: 'static, U: 'static>(s: &mut [T]) -> &mut [U] {
+    assert_eq!(TypeId::of::<T>(), TypeId::of::<U>());
+    // SAFETY: T and U are the identical type.
+    unsafe { std::slice::from_raw_parts_mut(s.as_mut_ptr() as *mut U, s.len()) }
+}
+
+/// Converts a value of `T` to `U` where both are the same type.
+///
+/// # Panics
+///
+/// Panics if `T` and `U` are not the same type.
+#[inline]
+pub(crate) fn cast_val<T: Copy + 'static, U: Copy + 'static>(v: T) -> U {
+    assert_eq!(TypeId::of::<T>(), TypeId::of::<U>());
+    // SAFETY: T and U are the identical type.
+    unsafe { std::mem::transmute_copy(&v) }
+}

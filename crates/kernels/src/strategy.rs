@@ -11,9 +11,10 @@ use std::fmt;
 /// A single kernel optimization strategy.
 ///
 /// These are the architecture-level techniques the paper's kernel library
-/// composes. SIMD is not a separate strategy here because the unrolled
-/// kernels are written to auto-vectorize — the Rust analogue of the
-/// paper's hand-placed SSE intrinsics.
+/// composes: unrolling depth, threading and partitioning policies, row /
+/// slot / diagonal blocking, and explicit SIMD intrinsics (the paper's
+/// hand-placed SSE; here a runtime-dispatched AVX2 backend, see
+/// [`crate::simd`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum Strategy {
     /// Inner-loop unrolling with split accumulators (enables
@@ -28,15 +29,25 @@ pub enum Strategy {
     /// iteration for instruction-level parallelism and fewer output
     /// sweeps (the paper's "blocking methods").
     Block,
+    /// Deeper 8-way unrolling (twice the split accumulators of
+    /// [`Strategy::Unroll`]) — wins when the FP-add latency chain, not
+    /// bandwidth, is the bottleneck.
+    Wide,
+    /// Explicit vector intrinsics behind runtime CPU-feature dispatch,
+    /// falling back to the portable unrolled loop bit-for-bit (see
+    /// [`crate::simd`] for the reduction-order contract).
+    Simd,
 }
 
 impl Strategy {
     /// All strategies, in bit order.
-    pub const ALL: [Strategy; 4] = [
+    pub const ALL: [Strategy; 6] = [
         Strategy::Unroll,
         Strategy::Parallel,
         Strategy::Balance,
         Strategy::Block,
+        Strategy::Wide,
+        Strategy::Simd,
     ];
 
     fn bit(self) -> u8 {
@@ -45,6 +56,8 @@ impl Strategy {
             Strategy::Parallel => 2,
             Strategy::Balance => 4,
             Strategy::Block => 8,
+            Strategy::Wide => 16,
+            Strategy::Simd => 32,
         }
     }
 
@@ -55,6 +68,8 @@ impl Strategy {
             Strategy::Parallel => "parallel",
             Strategy::Balance => "balance",
             Strategy::Block => "block",
+            Strategy::Wide => "wide",
+            Strategy::Simd => "simd",
         }
     }
 }
@@ -152,6 +167,38 @@ impl FromIterator<Strategy> for StrategySet {
     }
 }
 
+/// The inner-loop body a variant's strategy set selects, shared by the
+/// planned and unplanned dispatch paths so both execute the identical
+/// floating-point operation order (the bitwise plan-differential
+/// contract).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum InnerLoop {
+    /// Sequential accumulation.
+    Scalar,
+    /// 4-way split accumulators.
+    Unroll4,
+    /// 8-way split accumulators.
+    Unroll8,
+    /// Runtime-dispatched vector backend (bit-identical to `Unroll4`).
+    Simd,
+}
+
+impl InnerLoop {
+    /// Maps a strategy set to its inner loop: `Simd` and `Wide` refine
+    /// `Unroll`, with `Simd` taking precedence.
+    pub(crate) fn of(set: StrategySet) -> Self {
+        if set.contains(Strategy::Simd) {
+            InnerLoop::Simd
+        } else if set.contains(Strategy::Wide) {
+            InnerLoop::Unroll8
+        } else if set.contains(Strategy::Unroll) {
+            InnerLoop::Unroll4
+        } else {
+            InnerLoop::Scalar
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,6 +239,24 @@ mod tests {
         let s: StrategySet = Strategy::ALL.into_iter().collect();
         let back: StrategySet = s.iter().collect();
         assert_eq!(s, back);
-        assert_eq!(s.len(), 4);
+        assert_eq!(s.len(), 6);
+    }
+
+    #[test]
+    fn inner_loop_precedence() {
+        use Strategy::*;
+        assert_eq!(InnerLoop::of(StrategySet::EMPTY), InnerLoop::Scalar);
+        assert_eq!(
+            InnerLoop::of([Unroll].into_iter().collect()),
+            InnerLoop::Unroll4
+        );
+        assert_eq!(
+            InnerLoop::of([Unroll, Wide].into_iter().collect()),
+            InnerLoop::Unroll8
+        );
+        assert_eq!(
+            InnerLoop::of([Unroll, Simd].into_iter().collect()),
+            InnerLoop::Simd
+        );
     }
 }

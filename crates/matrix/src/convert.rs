@@ -5,10 +5,11 @@
 //! value that decision produces: the same logical matrix, physically stored
 //! in whichever format the tuner picked.
 
+use crate::bcsr::DEFAULT_BCSR_FILL_LIMIT;
 use crate::dia::DEFAULT_DIA_FILL_LIMIT;
 use crate::ell::DEFAULT_ELL_FILL_LIMIT;
 use crate::error::Result;
-use crate::{Coo, Csr, Dia, Ell, Hyb, Scalar};
+use crate::{Bcsr, Coo, Csr, Dia, Ell, Hyb, Scalar};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
@@ -30,6 +31,11 @@ pub struct ConversionLimits {
     /// Cap on ELL fill as a multiple of `nnz` (see
     /// [`DEFAULT_ELL_FILL_LIMIT`]).
     pub ell_fill_limit: usize,
+    /// Cap on BCSR stored block elements as a multiple of `nnz` (see
+    /// [`DEFAULT_BCSR_FILL_LIMIT`]). Limits serialized before the BCSR
+    /// tier fail to deserialize and fall back to the regenerate path
+    /// (the vendored serde stub has no `#[serde(default)]`).
+    pub bcsr_fill_limit: usize,
     /// Hard cap on the bytes a single conversion may allocate; `None`
     /// disables the check.
     pub budget_bytes: Option<usize>,
@@ -40,6 +46,7 @@ impl Default for ConversionLimits {
         Self {
             dia_fill_limit: DEFAULT_DIA_FILL_LIMIT,
             ell_fill_limit: DEFAULT_ELL_FILL_LIMIT,
+            bcsr_fill_limit: DEFAULT_BCSR_FILL_LIMIT,
             budget_bytes: None,
         }
     }
@@ -52,6 +59,7 @@ impl ConversionLimits {
         Self {
             dia_fill_limit: usize::MAX,
             ell_fill_limit: usize::MAX,
+            bcsr_fill_limit: usize::MAX,
             budget_bytes: None,
         }
     }
@@ -91,11 +99,15 @@ pub enum Format {
     /// Hybrid ELL+COO — the extension format demonstrating the paper's
     /// "add new formats" claim.
     Hyb,
+    /// Block CSR with 2x2 register blocks.
+    Bcsr2,
+    /// Block CSR with 4x4 register blocks.
+    Bcsr4,
 }
 
 impl Format {
     /// Number of formats.
-    pub const COUNT: usize = 5;
+    pub const COUNT: usize = 7;
 
     /// The paper's four basic formats, in rule-group evaluation order
     /// (§6): DIA first because it wins by the largest margin when
@@ -110,6 +122,8 @@ impl Format {
         Format::Csr,
         Format::Coo,
         Format::Hyb,
+        Format::Bcsr2,
+        Format::Bcsr4,
     ];
 
     /// Short uppercase name as used in the paper's tables.
@@ -120,6 +134,8 @@ impl Format {
             Format::Csr => "CSR",
             Format::Coo => "COO",
             Format::Hyb => "HYB",
+            Format::Bcsr2 => "BCSR2",
+            Format::Bcsr4 => "BCSR4",
         }
     }
 
@@ -131,6 +147,8 @@ impl Format {
             Format::Csr => 2,
             Format::Coo => 3,
             Format::Hyb => 4,
+            Format::Bcsr2 => 5,
+            Format::Bcsr4 => 6,
         }
     }
 
@@ -172,6 +190,8 @@ impl FromStr for Format {
             "CSR" => Ok(Format::Csr),
             "COO" => Ok(Format::Coo),
             "HYB" => Ok(Format::Hyb),
+            "BCSR2" => Ok(Format::Bcsr2),
+            "BCSR4" => Ok(Format::Bcsr4),
             _ => Err(ParseFormatError(s.to_string())),
         }
     }
@@ -204,6 +224,10 @@ pub enum AnyMatrix<T> {
     Coo(Coo<T>),
     /// HYB-stored matrix.
     Hyb(Hyb<T>),
+    /// 2x2 block-CSR-stored matrix.
+    Bcsr2(Bcsr<T>),
+    /// 4x4 block-CSR-stored matrix.
+    Bcsr4(Bcsr<T>),
 }
 
 impl<T: Scalar> AnyMatrix<T> {
@@ -243,6 +267,8 @@ impl<T: Scalar> AnyMatrix<T> {
             Format::Csr => AnyMatrix::Csr(csr.clone()),
             Format::Coo => AnyMatrix::Coo(Coo::from_csr(csr)),
             Format::Hyb => AnyMatrix::Hyb(Hyb::from_csr_with(csr, limits)?),
+            Format::Bcsr2 => AnyMatrix::Bcsr2(Bcsr::from_csr_with(csr, 2, 2, limits)?),
+            Format::Bcsr4 => AnyMatrix::Bcsr4(Bcsr::from_csr_with(csr, 4, 4, limits)?),
         })
     }
 
@@ -254,6 +280,8 @@ impl<T: Scalar> AnyMatrix<T> {
             AnyMatrix::Csr(_) => Format::Csr,
             AnyMatrix::Coo(_) => Format::Coo,
             AnyMatrix::Hyb(_) => Format::Hyb,
+            AnyMatrix::Bcsr2(_) => Format::Bcsr2,
+            AnyMatrix::Bcsr4(_) => Format::Bcsr4,
         }
     }
 
@@ -265,6 +293,7 @@ impl<T: Scalar> AnyMatrix<T> {
             AnyMatrix::Csr(m) => m.rows(),
             AnyMatrix::Coo(m) => m.rows(),
             AnyMatrix::Hyb(m) => m.rows(),
+            AnyMatrix::Bcsr2(m) | AnyMatrix::Bcsr4(m) => m.rows(),
         }
     }
 
@@ -276,6 +305,7 @@ impl<T: Scalar> AnyMatrix<T> {
             AnyMatrix::Csr(m) => m.cols(),
             AnyMatrix::Coo(m) => m.cols(),
             AnyMatrix::Hyb(m) => m.cols(),
+            AnyMatrix::Bcsr2(m) | AnyMatrix::Bcsr4(m) => m.cols(),
         }
     }
 
@@ -287,6 +317,7 @@ impl<T: Scalar> AnyMatrix<T> {
             AnyMatrix::Csr(m) => m.nnz(),
             AnyMatrix::Coo(m) => m.nnz(),
             AnyMatrix::Hyb(m) => m.nnz(),
+            AnyMatrix::Bcsr2(m) | AnyMatrix::Bcsr4(m) => m.nnz(),
         }
     }
 
@@ -298,6 +329,7 @@ impl<T: Scalar> AnyMatrix<T> {
             AnyMatrix::Csr(m) => m.clone(),
             AnyMatrix::Coo(m) => m.to_csr(),
             AnyMatrix::Hyb(m) => m.to_csr(),
+            AnyMatrix::Bcsr2(m) | AnyMatrix::Bcsr4(m) => m.to_csr(),
         }
     }
 
@@ -314,6 +346,7 @@ impl<T: Scalar> AnyMatrix<T> {
             AnyMatrix::Csr(m) => m.spmv(x, y),
             AnyMatrix::Coo(m) => m.spmv(x, y),
             AnyMatrix::Hyb(m) => m.spmv(x, y),
+            AnyMatrix::Bcsr2(m) | AnyMatrix::Bcsr4(m) => m.spmv(x, y),
         }
     }
 }
@@ -385,7 +418,10 @@ mod tests {
         );
         assert_eq!(Format::ALL.len(), Format::COUNT);
         assert_eq!(Format::from_index(4), Format::Hyb);
+        assert_eq!(Format::from_index(5), Format::Bcsr2);
+        assert_eq!(Format::from_index(6), Format::Bcsr4);
         assert_eq!("hyb".parse::<Format>().unwrap(), Format::Hyb);
+        assert_eq!("bcsr2".parse::<Format>().unwrap(), Format::Bcsr2);
     }
 
     #[test]
@@ -426,7 +462,13 @@ mod tests {
         // CSR is a clone of the input, COO is the same size as the input.
         assert!(AnyMatrix::convert_from_csr_with(&csr, Format::Csr, &tight).is_ok());
         assert!(AnyMatrix::convert_from_csr_with(&csr, Format::Coo, &tight).is_ok());
-        for f in [Format::Dia, Format::Ell, Format::Hyb] {
+        for f in [
+            Format::Dia,
+            Format::Ell,
+            Format::Hyb,
+            Format::Bcsr2,
+            Format::Bcsr4,
+        ] {
             assert!(
                 matches!(
                     AnyMatrix::convert_from_csr_with(&csr, f, &tight),

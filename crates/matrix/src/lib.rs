@@ -31,6 +31,7 @@
 #![warn(missing_debug_implementations)]
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+mod bcsr;
 mod convert;
 mod coo;
 mod csr;
@@ -45,6 +46,7 @@ pub mod gen;
 pub mod io;
 pub mod utils;
 
+pub use bcsr::{Bcsr, DEFAULT_BCSR_FILL_LIMIT};
 pub use convert::{AnyMatrix, ConversionLimits, Format, ParseFormatError};
 pub use coo::Coo;
 pub use csr::{Csr, Iter as CsrIter};

@@ -187,6 +187,192 @@ fn registered_kernels_ignore_the_plan() {
     assert!(y == expect, "registered kernel must run its raw fn pointer");
 }
 
+/// Quantizes a matrix's values to multiples of 0.25. Together with an
+/// `x` of multiples of 0.5, every product is a small dyadic rational
+/// and every partial sum is exactly representable in both precisions —
+/// so *any* accumulation order (4-way, 8-way, AVX2 lanes, register
+/// blocks) must produce bit-for-bit the reference result. This is what
+/// lets the sweep below compare unrolled/SIMD/BCSR variants against
+/// `reference::csrgemv_seq` with `==` instead of a tolerance.
+fn dyadic<T: Scalar>(mut m: Csr<T>) -> Csr<T> {
+    for v in m.values_mut() {
+        let q = (v.to_f64() * 4.0).round().clamp(-32.0, 32.0) / 4.0;
+        *v = T::from_f64(if q == 0.0 { 0.25 } else { q });
+    }
+    m
+}
+
+fn dyadic_vector<T: Scalar>(cols: usize) -> Vec<T> {
+    (0..cols)
+        .map(|i| T::from_f64(((i % 9) as f64 - 4.0) * 0.5))
+        .collect()
+}
+
+/// Every variant of every format — including the wide-unroll, SIMD and
+/// register-blocked BCSR tiers added for the implementation-variant
+/// scoreboard — is bitwise identical to the sequential CSR reference
+/// on exactly-representable inputs, both planned and unplanned.
+///
+/// This is the reduction-order contract made testable: the split
+/// accumulators sum *disjoint* subsets whose partial sums are exact
+/// here, so a variant that reassociated into a different (rounding)
+/// order, or an AVX2 path that used FMA, would diverge bitwise.
+fn sweep_bitwise_vs_reference<T: Scalar>() {
+    let lib = KernelLibrary::<T>::new();
+    let shapes: Vec<(&'static str, Csr<T>)> = vec![
+        ("tridiagonal", dyadic(tridiagonal(97))),
+        ("banded", dyadic(banded(120, &[-5, -1, 0, 1, 5], 0.9, 31))),
+        ("fixed_degree", dyadic(fixed_degree(96, 90, 5, 1, 32))),
+        // nnz per row not a multiple of 4 or 8: exercises the scalar
+        // tails of every unrolled and vector inner loop.
+        ("tail_3", dyadic(fixed_degree(64, 64, 3, 0, 33))),
+        ("tail_7", dyadic(fixed_degree(64, 64, 7, 0, 34))),
+        ("tail_9", dyadic(fixed_degree(64, 64, 9, 0, 35))),
+        ("random", dyadic(random_uniform(130, 130, 6, 36))),
+        ("power_law", dyadic(power_law(150, 40, 2.0, 37))),
+        ("skewed", dyadic(random_skewed(110, 110, 4, 0.05, 20, 38))),
+        ("block2", dyadic(block_sparse(96, 2, 6, 39))),
+        ("block4", dyadic(block_sparse(96, 4, 3, 40))),
+        // Degenerate shapes: single row, single column, empty rows.
+        ("one_by_n", dyadic(fixed_degree(1, 300, 11, 0, 41))),
+        (
+            "n_by_one",
+            dyadic(
+                Csr::from_triplets(
+                    300,
+                    1,
+                    &[
+                        (0, 0, T::from_f64(1.0)),
+                        (7, 0, T::from_f64(1.0)),
+                        (299, 0, T::from_f64(1.0)),
+                    ],
+                )
+                .expect("in-bounds"),
+            ),
+        ),
+        (
+            "empty_rows",
+            dyadic(
+                Csr::from_triplets(
+                    50,
+                    50,
+                    &[
+                        (0, 3, T::from_f64(1.0)),
+                        (10, 10, T::from_f64(2.0)),
+                        (10, 40, T::from_f64(1.5)),
+                        (49, 0, T::from_f64(0.5)),
+                    ],
+                )
+                .expect("in-bounds"),
+            ),
+        ),
+    ];
+    let mut new_tier_checked = 0usize;
+    for (name, m) in shapes {
+        let x = dyadic_vector::<T>(m.cols());
+        let mut reference = vec![T::from_f64(f64::NAN); m.rows()];
+        smat_kernels::reference::csrgemv_seq(&m, &x, &mut reference);
+        for format in Format::ALL {
+            let Ok(any) = AnyMatrix::convert_from_csr_with(
+                &m,
+                format,
+                &smat_matrix::ConversionLimits::unlimited(),
+            ) else {
+                continue;
+            };
+            for (v, info) in lib.variants(format).into_iter().enumerate() {
+                let mut y = vec![T::from_f64(f64::NAN); m.rows()];
+                lib.run(&any, v, &x, &mut y);
+                assert!(
+                    y == reference,
+                    "{name}: {} not bitwise-equal to the sequential reference",
+                    info.name
+                );
+                let plan = lib.plan_for(&any, KernelId { format, variant: v });
+                let mut planned = vec![T::from_f64(f64::NAN); m.rows()];
+                lib.run_planned(&any, v, &plan, &x, &mut planned);
+                assert!(
+                    planned == reference,
+                    "{name}: {} planned diverges",
+                    info.name
+                );
+                if info.strategies.contains(Strategy::Wide)
+                    || info.strategies.contains(Strategy::Simd)
+                    || matches!(format, Format::Bcsr2 | Format::Bcsr4)
+                {
+                    new_tier_checked += 1;
+                }
+            }
+        }
+    }
+    assert!(
+        new_tier_checked >= 100,
+        "the sweep must cover the new variant tier, got {new_tier_checked}"
+    );
+}
+
+#[test]
+fn all_variants_bitwise_match_reference_f64() {
+    sweep_bitwise_vs_reference::<f64>();
+}
+
+#[test]
+fn all_variants_bitwise_match_reference_f32() {
+    sweep_bitwise_vs_reference::<f32>();
+}
+
+/// The AVX2 backend must be bit-identical to the portable unrolled
+/// fallback on *arbitrary* values, not just dyadic ones — the documented
+/// reduction-order contract (same four partial sums, mul+add instead of
+/// FMA, scalar tail into lane 0). On hardware without AVX2 both
+/// configurations take the portable path and the test degenerates to a
+/// tautology, which is exactly the guarantee callers get there.
+fn sweep_simd_backends_agree<T: Scalar>() {
+    use smat_kernels::{simd, SimdBackend};
+    let lib = KernelLibrary::<T>::new();
+    for (name, m) in corpus::<T>() {
+        let x: Vec<T> = (0..m.cols())
+            .map(|i| T::from_f64((i as f64 * 0.7312).sin() * 3.0))
+            .collect();
+        for format in Format::ALL {
+            let Ok(any) = AnyMatrix::convert_from_csr_with(
+                &m,
+                format,
+                &smat_matrix::ConversionLimits::unlimited(),
+            ) else {
+                continue;
+            };
+            for (v, info) in lib.variants(format).into_iter().enumerate() {
+                if !info.strategies.contains(Strategy::Simd) {
+                    continue;
+                }
+                simd::set_backend(SimdBackend::Portable);
+                let mut portable = vec![T::from_f64(f64::NAN); m.rows()];
+                lib.run(&any, v, &x, &mut portable);
+                simd::set_backend(SimdBackend::Auto);
+                let mut auto = vec![T::from_f64(f64::NAN); m.rows()];
+                lib.run(&any, v, &x, &mut auto);
+                assert!(
+                    auto == portable,
+                    "{name}: {} diverges between AVX2 and portable (active: {})",
+                    info.name,
+                    simd::active_backend()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn simd_backend_is_bit_identical_to_portable_f64() {
+    sweep_simd_backends_agree::<f64>();
+}
+
+#[test]
+fn simd_backend_is_bit_identical_to_portable_f32() {
+    sweep_simd_backends_agree::<f32>();
+}
+
 /// Strategy: an arbitrary small sparse matrix.
 fn arb_matrix() -> impl PropStrategy<Value = Csr<f64>> {
     (1usize..36, 1usize..36).prop_flat_map(|(rows, cols)| {
@@ -218,6 +404,35 @@ proptest! {
                 prop_assert!(
                     planned == unplanned,
                     "{format} variant {v} diverges on {}x{} nnz={}",
+                    m.rows(), m.cols(), m.nnz()
+                );
+            }
+        }
+    }
+
+    /// Arbitrary shapes with dyadic values: every variant — unrolled
+    /// tails, SIMD lanes, BCSR edge blocks — stays bitwise equal to the
+    /// sequential reference on the shapes proptest likes to find
+    /// (empty rows, 1-row / 1-column matrices, nnz % 4 != 0 tails).
+    #[test]
+    fn variants_bitwise_match_reference_on_arbitrary_matrices(m in arb_matrix()) {
+        let lib = KernelLibrary::<f64>::new();
+        let m = dyadic(m);
+        let x = dyadic_vector::<f64>(m.cols());
+        let mut reference = vec![f64::NAN; m.rows()];
+        smat_kernels::reference::csrgemv_seq(&m, &x, &mut reference);
+        for format in Format::ALL {
+            let Ok(any) = AnyMatrix::convert_from_csr_with(
+                &m,
+                format,
+                &smat_matrix::ConversionLimits::unlimited(),
+            ) else { continue };
+            for v in 0..lib.variant_count(format) {
+                let mut y = vec![f64::NAN; m.rows()];
+                lib.run(&any, v, &x, &mut y);
+                prop_assert!(
+                    y == reference,
+                    "{format} variant {v} not bitwise on {}x{} nnz={}",
                     m.rows(), m.cols(), m.nnz()
                 );
             }

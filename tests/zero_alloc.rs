@@ -89,6 +89,38 @@ fn warm_planned_spmv_allocates_nothing_and_spawns_nothing() {
         }
     }
 
+    // --- Serial fast path: a single-chunk plan must never touch the
+    // pool. `run_planned` calls the kernel directly (no wake/park
+    // handshake), so the pool's fan-out counter stays flat across the
+    // whole sweep — for every variant of every format.
+    let serial_probe = random_uniform::<f64>(300, 300, 7, 43);
+    let xs: Vec<f64> = (0..serial_probe.cols())
+        .map(|i| (i % 7) as f64 * 0.25)
+        .collect();
+    let mut ys = vec![0.0f64; serial_probe.rows()];
+    for format in Format::ALL {
+        let Ok(any) = AnyMatrix::convert_from_csr_with(
+            &serial_probe,
+            format,
+            &smat_matrix::ConversionLimits::unlimited(),
+        ) else {
+            continue;
+        };
+        let serial = smat_kernels::ExecPlan::serial(serial_probe.rows());
+        for (v, info) in lib.variants(format).into_iter().enumerate() {
+            let d0 = smat_kernels::exec::dispatch_count();
+            let (allocs, spawns) = audit(2, 20, || lib.run_planned(&any, v, &serial, &xs, &mut ys));
+            assert_eq!(allocs, 0, "{}: allocations under a serial plan", info.name);
+            assert_eq!(spawns, 0, "{}: spawns under a serial plan", info.name);
+            assert_eq!(
+                smat_kernels::exec::dispatch_count() - d0,
+                0,
+                "{}: pool dispatches under a serial plan",
+                info.name
+            );
+        }
+    }
+
     // --- Engine level: a prepared handle replayed through `Smat::spmv`.
     let corpus = generate_corpus::<f64>(&CorpusSpec::small(100, 31));
     let matrices: Vec<&Csr<f64>> = corpus.iter().map(|e| &e.matrix).collect();
