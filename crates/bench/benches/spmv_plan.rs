@@ -81,6 +81,14 @@ fn time_series(name: &'static str, samples: usize, iters: u32, mut f: impl FnMut
 
 fn main() {
     let quick = std::env::var_os("SMAT_BENCH_QUICK").is_some();
+    // Must run before the first pool use: the worker pool is sized
+    // exactly once, so a target set any later is silently ignored.
+    if let Some(t) = std::env::var("SMAT_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        smat_kernels::exec::set_thread_target(t);
+    }
     let n = if quick { 2_000 } else { 20_000 };
     let (samples, iters) = if quick { (7, 3) } else { (15, 10) };
 
@@ -120,10 +128,13 @@ fn main() {
         }),
     ];
 
+    // Resolved *after* the series ran, so this is the pool width the
+    // measurements actually used — not the pre-build request.
     let threads = smat_kernels::exec::num_threads();
     let spawns = smat_kernels::exec::spawn_count();
+    let policy = plan.policy.name();
     println!(
-        "spmv_plan: csr_parallel on {n}x{n} nnz={} | threads={threads} pool_spawns={spawns} quick={quick}",
+        "spmv_plan: csr_parallel on {n}x{n} nnz={} | threads={threads} chunk_policy={policy} pool_spawns={spawns} quick={quick}",
         m.nnz()
     );
     if threads == 1 {
@@ -146,7 +157,8 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"bench\": \"spmv_plan\",\n  \"kernel\": \"csr_parallel\",\n  \"unit\": \"ns_per_call_median\",\n  \"threads\": {threads},\n  \"pool_spawns\": {spawns},\n  \"quick\": {quick},\n  \"matrix\": {{\"rows\": {n}, \"cols\": {n}, \"nnz\": {}}},\n  \"series\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"spmv_plan\",\n  \"kernel\": \"csr_parallel\",\n  \"unit\": \"ns_per_call_median\",\n  \"threads\": {threads},\n  \"chunk_policy\": \"{policy}\",\n  \"plan_chunks\": {},\n  \"pool_spawns\": {spawns},\n  \"quick\": {quick},\n  \"matrix\": {{\"rows\": {n}, \"cols\": {n}, \"nnz\": {}}},\n  \"series\": [\n{}\n  ]\n}}\n",
+        plan.chunks(),
         m.nnz(),
         rows.join(",\n")
     );

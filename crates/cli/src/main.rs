@@ -415,6 +415,59 @@ fn bench_variants(m: &Csr<f64>) -> Result<(), String> {
                         }
                     }
                 }
+                // The plan-search grid for CSR: the (chunk policy,
+                // fan-out width) candidates the runtime races when the
+                // R feature reports a skewed matrix, with the winner
+                // the tuning cache would replay. Shown for the
+                // scoreboard pick, or — when that pick is serial and
+                // has no plan dimension — for the fastest parallel
+                // variant, so the grid stays visible on boxes where
+                // serial kernels win the scoreboard.
+                if format == Format::Csr {
+                    let subject = if table.records[best]
+                        .strategies
+                        .contains(smat_kernels::Strategy::Parallel)
+                    {
+                        Some(best)
+                    } else {
+                        table
+                            .records
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, r)| {
+                                matches!(r.status, smat_kernels::RecordStatus::Measured)
+                                    && r.strategies.contains(smat_kernels::Strategy::Parallel)
+                            })
+                            .max_by(|a, b| a.1.gflops.total_cmp(&b.1.gflops))
+                            .map(|(v, _)| v)
+                    };
+                    if let Some(v) = subject {
+                        let id = smat_kernels::KernelId { format, variant: v };
+                        if let Some(found) = smat_kernels::search_plan(
+                            &lib,
+                            &any,
+                            id,
+                            Duration::from_millis(2),
+                            config.candidate_deadline,
+                        ) {
+                            println!("  plan search for {}:", table.records[v].name);
+                            for (i, s) in found.samples.iter().enumerate() {
+                                println!(
+                                    "    {:<13} width {:>3} -> {:>3} chunks  {:>8.2} GFLOPS{}",
+                                    s.policy.name(),
+                                    s.parts,
+                                    s.chunks,
+                                    s.gflops,
+                                    if i == found.best {
+                                        "  <= plan pick"
+                                    } else {
+                                        ""
+                                    }
+                                );
+                            }
+                        }
+                    }
+                }
             }
             Err(e) => println!(
                 "{format}: skipped — {}",

@@ -115,6 +115,16 @@ pub struct SmatConfig {
     /// an earlier direct kernel call) can influence it — a later,
     /// different request is ignored.
     pub pool_threads: Option<usize>,
+    /// When `true` (the default), tuning extends the kernel scoreboard
+    /// with a *plan* search over chunk policy and fan-out width for the
+    /// chosen parallel CSR kernel — but only when the R feature reports
+    /// a scale-free (power-law) row-degree distribution, the structures
+    /// where uniform row splits lose. Near-uniform matrices skip the
+    /// extra candidates entirely.
+    pub plan_search: bool,
+    /// Measurement budget per (policy, width) candidate during the plan
+    /// search.
+    pub plan_search_budget: Duration,
 }
 
 impl Default for SmatConfig {
@@ -143,6 +153,8 @@ impl Default for SmatConfig {
             persist_backoff: Duration::from_millis(20),
             single_flight_wait: Duration::from_secs(30),
             pool_threads: None,
+            plan_search: true,
+            plan_search_budget: Duration::from_millis(2),
         }
     }
 }
@@ -157,6 +169,7 @@ impl SmatConfig {
             candidate_deadline: Duration::from_millis(250),
             probe_dim: 1_500,
             persist_backoff: Duration::from_millis(1),
+            plan_search_budget: Duration::from_micros(100),
             ..Self::default()
         }
     }

@@ -508,8 +508,10 @@ impl<T: Scalar> Smat<T> {
                     // A plan sized for a different thread count (e.g. a
                     // snapshot written on another machine) is rebuilt
                     // for this backend and the entry refreshed in place.
+                    // The rebuild keeps the recorded chunk policy, so a
+                    // plan-searched decision survives the resize.
                     let plan = if hit.plan.is_stale() {
-                        let rebuilt = self.lib.plan_for(&matrix, hit.kernel);
+                        let rebuilt = self.lib.build_plan(&matrix, hit.plan.policy);
                         self.cache.insert(
                             key,
                             CachedDecision {
@@ -619,6 +621,46 @@ impl<T: Scalar> Smat<T> {
         }
     }
 
+    /// Upgrades the default plan for `kernel` on `matrix` by searching
+    /// chunk policy and fan-out width ([`smat_kernels::search_plan`]).
+    /// The search only runs where it can pay: the knob is on, the
+    /// kernel has a parallel planned path on a physical CSR matrix, and
+    /// the R feature (computed lazily here if no rule group already
+    /// forced it) reports a scale-free row-degree distribution — the
+    /// structures where uniform row splits lose. Near-uniform matrices
+    /// keep the default plan with zero extra measurements.
+    fn refine_plan(
+        &self,
+        matrix: &AnyMatrix<T>,
+        kernel: KernelId,
+        row_degrees: &[usize],
+        features: &mut FeatureVector,
+        r_computed: &mut bool,
+        planner: &mut smat_kernels::Planner,
+    ) -> ExecPlan {
+        let default_plan = planner.plan_for(&self.lib, matrix, kernel);
+        if !self.config.plan_search || default_plan.is_serial() || matrix.format() != Format::Csr {
+            return default_plan;
+        }
+        if !*r_computed {
+            features.r = smat_features::fit_power_law_of_degrees(row_degrees.iter().copied());
+            *r_computed = true;
+        }
+        if features.r >= smat_features::R_NOT_SCALE_FREE {
+            return default_plan;
+        }
+        match smat_kernels::search_plan(
+            &self.lib,
+            matrix,
+            kernel,
+            self.config.plan_search_budget,
+            self.config.candidate_deadline,
+        ) {
+            Some(found) => found.plan,
+            None => default_plan,
+        }
+    }
+
     /// The uncached Figure 7 pipeline.
     fn tune(&self, csr: &Csr<T>) -> TunedSpmv<T> {
         let t0 = Instant::now();
@@ -672,7 +714,14 @@ impl<T: Scalar> Smat<T> {
                 if let Ok(matrix) = AnyMatrix::convert_from_csr_with(csr, format, &limits) {
                     let kernel = self.model.kernel_choice.kernel(format);
                     return TunedSpmv {
-                        plan: planner.plan_for(&self.lib, &matrix, kernel),
+                        plan: self.refine_plan(
+                            &matrix,
+                            kernel,
+                            &structure.row_degrees,
+                            &mut features,
+                            &mut r_computed,
+                            &mut planner,
+                        ),
                         kernel,
                         matrix,
                         features,
@@ -738,7 +787,14 @@ impl<T: Scalar> Smat<T> {
             Some((format, _, matrix)) => {
                 let kernel = self.model.kernel_choice.kernel(format);
                 TunedSpmv {
-                    plan: planner.plan_for(&self.lib, &matrix, kernel),
+                    plan: self.refine_plan(
+                        &matrix,
+                        kernel,
+                        &structure.row_degrees,
+                        &mut features,
+                        &mut r_computed,
+                        &mut planner,
+                    ),
                     kernel,
                     matrix,
                     features,
@@ -950,6 +1006,77 @@ mod tests {
         let tuned = e.prepare(&m);
         // Early exit at the DIA group: R stays at the sentinel.
         assert_eq!(tuned.features().r, smat_features::R_NOT_SCALE_FREE);
+    }
+
+    /// Engine wired for the plan-search tests: no classification rules
+    /// (every input takes the measured path), CSR-only fallback, and a
+    /// parallel CSR kernel choice so there is a plan worth searching.
+    fn plan_search_engine() -> Smat<f64> {
+        let mut m = model();
+        m.ruleset.rules.clear();
+        m.groups = RuleGroups::from_ruleset(&m.ruleset, &group_class_order());
+        let lib = smat_kernels::KernelLibrary::<f64>::new();
+        let v = lib
+            .variants(Format::Csr)
+            .iter()
+            .position(|i| i.name == "csr_parallel")
+            .unwrap();
+        m.kernel_choice.set(Format::Csr, v);
+        let cfg = SmatConfig {
+            fallback_formats: vec![Format::Csr],
+            ..SmatConfig::fast()
+        };
+        Smat::with_config(m, cfg).unwrap()
+    }
+
+    #[test]
+    fn plan_search_refines_skewed_csr_and_replays_from_cache() {
+        use smat_kernels::ChunkPolicy;
+        let e = plan_search_engine();
+        let m = power_law::<f64>(2000, 400, 2.0, 5);
+        let tuned = e.prepare(&m);
+        assert_eq!(tuned.format(), Format::Csr);
+        // The R gate ran (skew detected), so the plan dimensions were
+        // searched: the resulting policy is one of the raced candidates.
+        assert!(tuned.features().r < smat_features::R_NOT_SCALE_FREE);
+        assert!(
+            matches!(
+                tuned.plan().policy,
+                ChunkPolicy::EqualRows | ChunkPolicy::NnzBalanced
+            ),
+            "searched plan has an unexpected policy: {:?}",
+            tuned.plan().policy
+        );
+        // The cached decision replays the searched plan bit-identically.
+        let again = e.prepare(&m);
+        assert!(again.decision().is_cached());
+        assert_eq!(again.plan(), tuned.plan());
+        let x: Vec<f64> = (0..m.cols()).map(|i| (i as f64 * 0.13).sin()).collect();
+        let mut y1 = vec![0.0; m.rows()];
+        let mut y2 = vec![0.0; m.rows()];
+        e.spmv(&tuned, &x, &mut y1).unwrap();
+        e.spmv(&again, &x, &mut y2).unwrap();
+        assert!(
+            y1.iter().zip(&y2).all(|(a, b)| a == b),
+            "cache replay must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn plan_search_skips_near_uniform_matrices() {
+        use smat_kernels::ChunkPolicy;
+        let e = plan_search_engine();
+        // Constant row degree: no scale-free structure to exploit.
+        let m = random_uniform::<f64>(1500, 1500, 8, 3);
+        let tuned = e.prepare(&m);
+        assert_eq!(tuned.format(), Format::Csr);
+        // The gate evaluated R, found no power law, and kept the
+        // default equal-rows plan without measuring extra candidates.
+        assert_eq!(tuned.features().r, smat_features::R_NOT_SCALE_FREE);
+        assert_eq!(tuned.plan().policy, ChunkPolicy::EqualRows);
+        let lib = smat_kernels::KernelLibrary::<f64>::new();
+        let default_plan = lib.plan_for(&AnyMatrix::Csr(m), tuned.kernel());
+        assert_eq!(tuned.plan().bounds, default_plan.bounds);
     }
 
     #[test]

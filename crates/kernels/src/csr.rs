@@ -7,7 +7,9 @@
 //! caller (they `assert!` in debug and release).
 
 use crate::exec;
-use crate::partition::{default_parts, equal_row_bounds, nnz_balanced_bounds};
+use crate::partition::{
+    default_parts, equal_row_bounds, merge_path_bounds, nnz_balanced_bounds, MAX_MERGE_CHUNKS,
+};
 use crate::plan::ExecPlan;
 use crate::registry::{KernelEntry, KernelFn};
 use crate::strategy::{InnerLoop, Strategy, StrategySet};
@@ -204,6 +206,132 @@ pub fn parallel_balanced_unrolled<T: Scalar>(m: &Csr<T>, x: &[T], y: &mut [T]) {
     run_chunks(m, x, y, &bounds, InnerLoop::Unroll4);
 }
 
+/// Dot product of one contiguous entry segment `lo..hi`, accumulated
+/// sequentially in stream order — the same association a row gets in
+/// [`basic`], so a segment covering a whole row is bit-identical to
+/// the basic kernel's value for that row.
+#[inline]
+fn segment_dot<T: Scalar>(m: &Csr<T>, lo: usize, hi: usize, x: &[T]) -> T {
+    let idx = m.col_idx();
+    let val = m.values();
+    let mut acc = T::ZERO;
+    for k in lo..hi {
+        acc += val[k] * x[idx[k]];
+    }
+    acc
+}
+
+/// Merge-path execution over precomputed entry/row bounds.
+///
+/// Reduction-order contract (the bit-stable replay guarantee): chunk
+/// `i` accumulates each owned row's in-range entries sequentially in
+/// stream order and writes the partial straight into `y`; entries
+/// ahead of the first owned row (the tail of a row split by `e_i`) are
+/// accumulated into a per-chunk carry slot. A serial fix-up pass then
+/// adds the carries in ascending chunk order, so a row split across
+/// chunks `i-1, i, i+1` always reduces as
+/// `(partial_{i-1} + carry_i) + carry_{i+1}` regardless of how the
+/// pool scheduled the chunks. Splitting rows reassociates the sum, so
+/// the result matches [`basic`] bitwise only on values where addition
+/// is exact (the dyadic-rational differential corpus) — and matches
+/// any replay of the same plan bitwise on all values.
+fn run_merge_chunks<T: Scalar>(
+    m: &Csr<T>,
+    x: &[T],
+    y: &mut [T],
+    entry_bounds: &[usize],
+    bounds: &[usize],
+) {
+    exec::validate_bounds(bounds, y.len());
+    assert_eq!(
+        entry_bounds.len(),
+        bounds.len(),
+        "entry bounds must align with row bounds"
+    );
+    assert_eq!(entry_bounds[0], 0, "entry bounds must start at 0");
+    assert_eq!(
+        *entry_bounds.last().expect("non-empty"),
+        m.nnz(),
+        "entry bounds must end at nnz"
+    );
+    assert!(
+        entry_bounds.windows(2).all(|w| w[0] <= w[1]),
+        "entry bounds must be non-decreasing"
+    );
+    let chunks = bounds.len() - 1;
+    if chunks == 1 {
+        return basic(m, x, y);
+    }
+    assert!(
+        chunks <= MAX_MERGE_CHUNKS,
+        "merge fan-out exceeds carry capacity"
+    );
+    let ptr = m.row_ptr();
+    let mut carry = [T::ZERO; MAX_MERGE_CHUNKS];
+    let carry_base = carry.as_mut_ptr() as usize;
+    let y_base = y.as_mut_ptr() as usize;
+    exec::for_each_chunk(chunks, &|ci| {
+        let (e0, e1) = (entry_bounds[ci], entry_bounds[ci + 1]);
+        let (w0, w1) = (bounds[ci], bounds[ci + 1]);
+        // Entries ahead of the first owned row belong to a row owned by
+        // an earlier chunk: accumulate them into this chunk's carry slot.
+        let head_end = if w0 < w1 { ptr[w0].min(e1) } else { e1 };
+        if e0 < head_end {
+            let c = segment_dot(m, e0, head_end, x);
+            // SAFETY: each chunk index is claimed exactly once by the
+            // backend and writes only its own carry slot; `ci < chunks
+            // <= MAX_MERGE_CHUNKS` keeps the write in bounds. The carry
+            // array outlives the fan-out because the caller participates
+            // in the pool drain before `for_each_chunk` returns.
+            unsafe { *(carry_base as *mut T).add(ci) = c };
+        }
+        for r in w0..w1 {
+            let lo = ptr[r];
+            let hi = ptr[r + 1].min(e1);
+            let v = segment_dot(m, lo, hi, x);
+            // SAFETY: row ownership is a partition (validated bounds),
+            // so no two chunks write the same y slot; `r < rows` because
+            // bounds end at `y.len()`.
+            unsafe { *(y_base as *mut T).add(r) = v };
+        }
+    });
+    // Serial fix-up in ascending chunk order: fixed association, so
+    // replaying the same plan is bit-identical run to run.
+    for ci in 1..chunks {
+        let (e0, e1) = (entry_bounds[ci], entry_bounds[ci + 1]);
+        let (w0, w1) = (bounds[ci], bounds[ci + 1]);
+        let head_end = if w0 < w1 { ptr[w0].min(e1) } else { e1 };
+        if e0 < head_end {
+            y[w0 - 1] += carry[ci];
+        }
+    }
+}
+
+/// Merge-path CSR SpMV: the nonzero stream is split into equal entry
+/// ranges that may cut rows mid-stream, with carries fixed up serially
+/// — parallel even when one row holds most of the matrix.
+pub fn merge<T: Scalar>(m: &Csr<T>, x: &[T], y: &mut [T]) {
+    check_dims(m, x, y);
+    let (entry_bounds, bounds) = merge_path_bounds(m, default_parts());
+    run_merge_chunks(m, x, y, &entry_bounds, &bounds);
+}
+
+/// Runs the merge-path kernel with a precomputed plan — the
+/// zero-allocation steady-state path for `csr_merge`.
+///
+/// A plan without entry bounds (a serial plan from degraded mode, or a
+/// foreign row-chunk plan) falls back to the serial basic loop, which
+/// is the merge kernel's own single-chunk execution order.
+pub(crate) fn run_merge_planned<T: Scalar>(m: &Csr<T>, x: &[T], y: &mut [T], plan: &ExecPlan) {
+    check_dims(m, x, y);
+    match &plan.entry_bounds {
+        Some(eb) if eb.len() == plan.bounds.len() && plan.chunks() > 1 => {
+            run_merge_chunks(m, x, y, eb, &plan.bounds)
+        }
+        _ => basic(m, x, y),
+    }
+}
+
 /// Serial CSR SpMV with two-row register blocking: adjacent rows are
 /// computed with interleaved accumulators, doubling the independent
 /// dependency chains in flight.
@@ -286,6 +414,7 @@ pub fn kernels<T: Scalar>() -> Vec<KernelEntry<T, Csr<T>>> {
             [Parallel, Balance, Unroll].into_iter().collect(),
             parallel_balanced_unrolled,
         ),
+        ("csr_merge", [Parallel, Merge].into_iter().collect(), merge),
     ]
 }
 
@@ -355,5 +484,43 @@ mod tests {
         let m = Csr::<f64>::identity(3);
         let mut y = [0.0; 3];
         basic(&m, &[1.0; 2], &mut y);
+    }
+
+    #[test]
+    fn merge_splits_a_hot_row_bitwise_on_dyadic_values() {
+        // Row 0 holds 64 of 80 entries; dyadic values make every
+        // association order exact, so merge must equal basic bitwise
+        // even when its chunks cut row 0 mid-stream.
+        let mut triplets: Vec<(usize, usize, f64)> =
+            (0..64).map(|c| (0, c, 0.25 * (1 + c % 5) as f64)).collect();
+        triplets.extend((1..17).map(|r| (r, r % 64, 0.5 * (r % 3) as f64)));
+        let m = Csr::from_triplets(17, 64, &triplets).unwrap();
+        let x: Vec<f64> = (0..64).map(|i| 0.5 * (i % 9) as f64 - 1.0).collect();
+        let mut expect = vec![f64::NAN; 17];
+        basic(&m, &x, &mut expect);
+        for parts in [2, 3, 5, 8] {
+            let (eb, rb) = merge_path_bounds(&m, parts);
+            let mut y = vec![f64::NAN; 17];
+            run_merge_chunks(&m, &x, &mut y, &eb, &rb);
+            assert!(
+                y.iter().zip(&expect).all(|(a, b)| a == b),
+                "merge @ {parts} parts diverges bitwise"
+            );
+        }
+        // The registered entry point agrees too.
+        let mut y = vec![f64::NAN; 17];
+        merge(&m, &x, &mut y);
+        assert!(y.iter().zip(&expect).all(|(a, b)| a == b));
+    }
+
+    #[test]
+    fn merge_planned_without_entry_bounds_falls_back_serially() {
+        let m = random_uniform::<f64>(50, 50, 4, 21);
+        let x = vec![1.0; 50];
+        let mut expect = vec![0.0; 50];
+        basic(&m, &x, &mut expect);
+        let mut y = vec![f64::NAN; 50];
+        run_merge_planned(&m, &x, &mut y, &ExecPlan::serial(50));
+        assert!(y.iter().zip(&expect).all(|(a, b)| a == b));
     }
 }

@@ -6,7 +6,8 @@
 //! for the host architecture; the runtime then dispatches through
 //! [`KernelLibrary::run`].
 
-use crate::partition::{default_parts, equal_row_bounds, nnz_balanced_bounds};
+use crate::partition::{default_parts, equal_row_bounds, merge_path_bounds, nnz_balanced_bounds};
+pub use crate::plan::ChunkPolicy;
 use crate::plan::ExecPlan;
 use crate::strategy::{InnerLoop, Strategy, StrategySet};
 use crate::{bcsr, coo, csr, dia, ell, exec, hyb};
@@ -358,7 +359,10 @@ impl<T: Scalar> KernelLibrary<T> {
         }
         match m {
             AnyMatrix::Csr(_) => {
-                if self.strategies_of(id).contains(Strategy::Balance) {
+                let s = self.strategies_of(id);
+                if s.contains(Strategy::Merge) {
+                    ChunkPolicy::MergePath
+                } else if s.contains(Strategy::Balance) {
                     ChunkPolicy::NnzBalanced
                 } else {
                     ChunkPolicy::EqualRows
@@ -377,35 +381,68 @@ impl<T: Scalar> KernelLibrary<T> {
     /// back to equal row chunks, so a stale policy can never produce
     /// bounds that fail validation.
     pub fn build_plan(&self, m: &AnyMatrix<T>, policy: ChunkPolicy) -> ExecPlan {
+        self.build_plan_sized(m, policy, default_parts())
+    }
+
+    /// [`build_plan`](Self::build_plan) with an explicit chunk count —
+    /// the fan-out width is a searched dimension (see
+    /// [`crate::search::search_plan`]), so callers can size a plan
+    /// narrower or wider than the backend default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts == 0` and the policy is not serial.
+    pub fn build_plan_sized(
+        &self,
+        m: &AnyMatrix<T>,
+        policy: ChunkPolicy,
+        parts: usize,
+    ) -> ExecPlan {
         let rows = m.rows();
         if policy == ChunkPolicy::Serial {
             return ExecPlan::serial(rows);
         }
         let threads = exec::num_threads();
-        let parts = default_parts();
         match (policy, m) {
             (ChunkPolicy::NnzBalanced, AnyMatrix::Csr(m)) => ExecPlan {
                 bounds: nnz_balanced_bounds(m, parts),
                 entry_bounds: None,
                 threads,
+                policy: ChunkPolicy::NnzBalanced,
             },
+            (ChunkPolicy::MergePath, AnyMatrix::Csr(m)) => {
+                let (entry_bounds, bounds) = merge_path_bounds(m, parts);
+                ExecPlan {
+                    bounds,
+                    entry_bounds: Some(entry_bounds),
+                    threads,
+                    policy: ChunkPolicy::MergePath,
+                }
+            }
             (ChunkPolicy::EntryAligned, AnyMatrix::Coo(m)) => {
                 let (entry_bounds, bounds) = coo::row_aligned_chunks(m, parts);
                 ExecPlan {
                     bounds,
                     entry_bounds: Some(entry_bounds),
                     threads,
+                    policy: ChunkPolicy::EntryAligned,
                 }
             }
-            (ChunkPolicy::BlockAligned(_), AnyMatrix::Bcsr2(m) | AnyMatrix::Bcsr4(m)) => ExecPlan {
-                bounds: bcsr::block_aligned_bounds(m, parts),
-                entry_bounds: None,
-                threads,
-            },
+            (ChunkPolicy::BlockAligned(br), AnyMatrix::Bcsr2(m) | AnyMatrix::Bcsr4(m)) => {
+                ExecPlan {
+                    bounds: bcsr::block_aligned_bounds(m, parts),
+                    entry_bounds: None,
+                    threads,
+                    policy: ChunkPolicy::BlockAligned(br),
+                }
+            }
+            // Policies that don't apply to the physical format fall
+            // back to equal rows; record what was actually built.
             _ => ExecPlan {
                 bounds: equal_row_bounds(rows, parts),
                 entry_bounds: None,
                 threads,
+                policy: ChunkPolicy::EqualRows,
             },
         }
     }
@@ -462,6 +499,9 @@ impl<T: Scalar> KernelLibrary<T> {
         let unroll = strategies.contains(Strategy::Unroll);
         let inner = InnerLoop::of(strategies);
         match m {
+            AnyMatrix::Csr(m) if strategies.contains(Strategy::Merge) => {
+                csr::run_merge_planned(m, x, y, plan)
+            }
             AnyMatrix::Csr(m) => csr::run_planned(m, x, y, plan, inner),
             AnyMatrix::Coo(m) => coo::run_planned(m, x, y, plan, unroll),
             AnyMatrix::Dia(m) => dia::run_planned(m, x, y, plan, inner),
@@ -472,27 +512,10 @@ impl<T: Scalar> KernelLibrary<T> {
     }
 }
 
-/// The memoizable "shape" of an [`ExecPlan`]: how rows are split into
-/// chunks, independent of which specific kernel asked.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum ChunkPolicy {
-    /// Single chunk covering all rows (serial variants and fallbacks).
-    Serial,
-    /// Rows split evenly across chunks.
-    EqualRows,
-    /// Row chunks balanced by nonzero count (CSR `Balance` variants).
-    NnzBalanced,
-    /// Entry-aligned chunks with matching row spans (COO variants).
-    EntryAligned,
-    /// Row bounds snapped to block-row boundaries; the payload is the
-    /// block height (BCSR variants).
-    BlockAligned(usize),
-}
-
 /// Memoizes [`ExecPlan`]s by ([`ChunkPolicy`], thread count) for one
 /// matrix.
 ///
-/// A variant sweep over a 47-kernel library would otherwise recompute
+/// A variant sweep over a 48-kernel library would otherwise recompute
 /// the same equal-row bounds a dozen times; the planner computes each
 /// distinct partition once and clones it afterwards. Scope a planner
 /// to a single matrix — the cache key does not include the matrix
@@ -551,15 +574,15 @@ mod tests {
     fn library_is_well_formed() {
         let lib = KernelLibrary::<f64>::new();
         // The paper: "up to 24 in current SMAT system" for the four
-        // basic formats; this implementation's wide-unroll and SIMD
-        // tiers push the basic-format count to 36, and the HYB plus
-        // BCSR extensions bring the library total to 47.
+        // basic formats; this implementation's wide-unroll, SIMD and
+        // merge-path tiers push the basic-format count to 37, and the
+        // HYB plus BCSR extensions bring the library total to 48.
         let basic_four: usize = Format::BASIC
             .into_iter()
             .map(|f| lib.variant_count(f))
             .sum();
-        assert_eq!(basic_four, 36);
-        assert_eq!(lib.total_variants(), 47);
+        assert_eq!(basic_four, 37);
+        assert_eq!(lib.total_variants(), 48);
         for f in Format::ALL {
             let infos = lib.variants(f);
             assert!(!infos.is_empty());
@@ -705,6 +728,62 @@ mod tests {
                         "{f} variant {v}: bound {b} not aligned to {br}"
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn merge_variant_plans_carry_entry_bounds() {
+        let lib = KernelLibrary::<f64>::new();
+        let v = lib
+            .variants(Format::Csr)
+            .iter()
+            .position(|i| i.name == "csr_merge")
+            .expect("csr_merge registered");
+        let m = smat_matrix::gen::power_law::<f64>(600, 150, 2.0, 7);
+        let any = AnyMatrix::Csr(m);
+        let id = KernelId {
+            format: Format::Csr,
+            variant: v,
+        };
+        assert_eq!(lib.chunk_policy(&any, id), ChunkPolicy::MergePath);
+        let plan = lib.plan_for(&any, id);
+        assert_eq!(plan.policy, ChunkPolicy::MergePath);
+        let eb = plan
+            .entry_bounds
+            .as_ref()
+            .expect("merge plans carry entry bounds");
+        assert_eq!(eb.len(), plan.bounds.len());
+        // Planned dispatch through the registry replays deterministically.
+        let csr = match &any {
+            AnyMatrix::Csr(m) => m,
+            _ => unreachable!(),
+        };
+        let x: Vec<f64> = (0..csr.cols()).map(|i| (i as f64 * 0.11).cos()).collect();
+        let mut y1 = vec![f64::NAN; csr.rows()];
+        let mut y2 = vec![f64::NAN; csr.rows()];
+        lib.run_planned(&any, v, &plan, &x, &mut y1);
+        lib.run_planned(&any, v, &plan, &x, &mut y2);
+        assert!(
+            y1.iter().zip(&y2).all(|(a, b)| a == b),
+            "replay not bit-stable"
+        );
+    }
+
+    #[test]
+    fn sized_plans_honor_the_requested_width() {
+        let lib = KernelLibrary::<f64>::new();
+        let m = random_uniform::<f64>(256, 256, 8, 13);
+        let any = AnyMatrix::Csr(m);
+        for parts in [1usize, 2, 4] {
+            for policy in [
+                ChunkPolicy::EqualRows,
+                ChunkPolicy::NnzBalanced,
+                ChunkPolicy::MergePath,
+            ] {
+                let plan = lib.build_plan_sized(&any, policy, parts);
+                assert!(plan.chunks() <= parts, "{policy:?} @ {parts}");
+                assert!(plan.chunks() >= 1);
             }
         }
     }

@@ -9,6 +9,7 @@
 //! *implementation* as the sum of its strategies' scores, and selects the
 //! highest-scoring implementation per format.
 
+use crate::plan::{ChunkPolicy, ExecPlan};
 use crate::registry::{KernelId, KernelLibrary};
 use crate::strategy::{Strategy, StrategySet};
 use crate::timing::{gflops, measure_guarded, MeasureOutcome};
@@ -282,6 +283,104 @@ pub fn search_kernels<T: Scalar>(
     (choice, tables)
 }
 
+/// One measured (chunk policy, fan-out width) candidate from
+/// [`search_plan`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanSample {
+    /// Partitioning policy the candidate plan was built with.
+    pub policy: ChunkPolicy,
+    /// Requested fan-out width (chunk count before policy clamping).
+    pub parts: usize,
+    /// Chunks the plan actually produced.
+    pub chunks: usize,
+    /// Measured throughput replaying the candidate plan.
+    pub gflops: f64,
+}
+
+/// Result of [`search_plan`]: the winning plan plus every candidate
+/// measurement, so callers (the CLI's variant table, bench artifacts)
+/// can show the whole searched grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanSearch {
+    /// The fastest measured plan, ready to cache and replay.
+    pub plan: ExecPlan,
+    /// Index of the winning sample in `samples`.
+    pub best: usize,
+    /// All successfully measured candidates, in search order.
+    pub samples: Vec<PlanSample>,
+}
+
+/// Searches the *plan* dimensions — chunk policy and fan-out width —
+/// for one already-chosen kernel, extending the paper's scoreboard
+/// (which searches implementations) to the partitioning decisions the
+/// implementations replay.
+///
+/// Candidate policies depend on the kernel: merge-path kernels only
+/// re-size their entry split, while plain row-chunk CSR kernels race
+/// `EqualRows` against `NnzBalanced` (both replay through the same
+/// planned dispatch, so the policy is interchangeable). Widths cover
+/// `{1, t, 2t, 4t}` for `t` backend threads — width 1 lets the search
+/// conclude that serial execution wins on small or hopelessly skewed
+/// inputs. Returns `None` for kernels without a parallel planned path
+/// (nothing to search) or when every candidate fails in the guarded
+/// harness.
+pub fn search_plan<T: Scalar>(
+    lib: &KernelLibrary<T>,
+    m: &AnyMatrix<T>,
+    id: KernelId,
+    budget: Duration,
+    deadline: Duration,
+) -> Option<PlanSearch> {
+    let natural = lib.chunk_policy(m, id);
+    let policies: Vec<ChunkPolicy> = match natural {
+        ChunkPolicy::Serial => return None,
+        ChunkPolicy::EqualRows | ChunkPolicy::NnzBalanced if id.format == Format::Csr => {
+            vec![ChunkPolicy::EqualRows, ChunkPolicy::NnzBalanced]
+        }
+        other => vec![other],
+    };
+    let t = crate::exec::num_threads().max(1);
+    let mut widths = vec![1, t, 2 * t, 4 * t];
+    widths.sort_unstable();
+    widths.dedup();
+
+    let x = vec![T::ONE; m.cols()];
+    let mut y = vec![T::ZERO; m.rows()];
+    let nnz = m.nnz();
+    let mut samples = Vec::new();
+    let mut best: Option<(usize, f64, ExecPlan)> = None;
+    for &policy in &policies {
+        for &parts in &widths {
+            let plan = lib.build_plan_sized(m, policy, parts);
+            let outcome = measure_guarded(
+                || lib.run_planned(m, id.variant, &plan, &x, &mut y),
+                budget,
+                deadline,
+                2,
+                16,
+            );
+            let MeasureOutcome::Ok(med) = outcome else {
+                continue;
+            };
+            let g = gflops(nnz, med);
+            samples.push(PlanSample {
+                policy,
+                parts,
+                chunks: plan.chunks(),
+                gflops: g,
+            });
+            if best.as_ref().is_none_or(|(_, bg, _)| g > *bg) {
+                best = Some((samples.len() - 1, g, plan));
+            }
+        }
+    }
+    best.map(|(best, _, plan)| PlanSearch {
+        plan,
+        best,
+        samples,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -440,6 +539,66 @@ mod tests {
         // Every healthy variant still measured, and the winner is sane.
         assert!(table.records[..healthy].iter().all(PerfRecord::is_measured));
         assert_ne!(table.scoreboard().best_variant, healthy);
+    }
+
+    #[test]
+    fn plan_search_races_policies_for_parallel_csr() {
+        let lib = KernelLibrary::<f64>::new();
+        let m = smat_matrix::gen::power_law::<f64>(1500, 300, 2.0, 11);
+        let any = AnyMatrix::Csr(m);
+        let v = lib
+            .variants(Format::Csr)
+            .iter()
+            .position(|i| i.name == "csr_parallel")
+            .unwrap();
+        let id = KernelId {
+            format: Format::Csr,
+            variant: v,
+        };
+        let found = search_plan(
+            &lib,
+            &any,
+            id,
+            Duration::from_micros(200),
+            DEFAULT_CANDIDATE_DEADLINE,
+        )
+        .expect("parallel kernel has a plan to search");
+        // Both policies and the width ladder were actually raced.
+        assert!(found
+            .samples
+            .iter()
+            .any(|s| s.policy == ChunkPolicy::EqualRows));
+        assert!(found
+            .samples
+            .iter()
+            .any(|s| s.policy == ChunkPolicy::NnzBalanced));
+        assert!(found.samples.iter().any(|s| s.parts == 1));
+        let win = &found.samples[found.best];
+        assert_eq!(found.plan.policy, win.policy);
+        assert!(win.gflops > 0.0);
+        // The winning plan replays correctly.
+        let x = vec![1.0; any.cols()];
+        let mut y = vec![0.0; any.rows()];
+        let mut expect = vec![0.0; any.rows()];
+        lib.run(&any, v, &x, &mut expect);
+        lib.run_planned(&any, v, &found.plan, &x, &mut y);
+        assert!(y.iter().zip(&expect).all(|(a, b)| (a - b).abs() < 1e-9));
+    }
+
+    #[test]
+    fn plan_search_skips_serial_kernels() {
+        let lib = KernelLibrary::<f64>::new();
+        let m = random_uniform::<f64>(200, 200, 5, 3);
+        let any = AnyMatrix::Csr(m);
+        let id = KernelId::basic(Format::Csr);
+        assert!(search_plan(
+            &lib,
+            &any,
+            id,
+            Duration::from_micros(50),
+            DEFAULT_CANDIDATE_DEADLINE
+        )
+        .is_none());
     }
 
     #[test]

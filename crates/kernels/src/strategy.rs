@@ -37,17 +37,23 @@ pub enum Strategy {
     /// falling back to the portable unrolled loop bit-for-bit (see
     /// [`crate::simd`] for the reduction-order contract).
     Simd,
+    /// Merge-path decomposition: the nonzero stream is split into equal
+    /// entry ranges regardless of row boundaries, with per-chunk carry
+    /// partials fixed up serially afterwards. Immune to the single-hot-row
+    /// imbalance that defeats every row-granular partition (CSR only).
+    Merge,
 }
 
 impl Strategy {
     /// All strategies, in bit order.
-    pub const ALL: [Strategy; 6] = [
+    pub const ALL: [Strategy; 7] = [
         Strategy::Unroll,
         Strategy::Parallel,
         Strategy::Balance,
         Strategy::Block,
         Strategy::Wide,
         Strategy::Simd,
+        Strategy::Merge,
     ];
 
     fn bit(self) -> u8 {
@@ -58,6 +64,7 @@ impl Strategy {
             Strategy::Block => 8,
             Strategy::Wide => 16,
             Strategy::Simd => 32,
+            Strategy::Merge => 64,
         }
     }
 
@@ -70,6 +77,7 @@ impl Strategy {
             Strategy::Block => "block",
             Strategy::Wide => "wide",
             Strategy::Simd => "simd",
+            Strategy::Merge => "merge",
         }
     }
 }
@@ -239,7 +247,7 @@ mod tests {
         let s: StrategySet = Strategy::ALL.into_iter().collect();
         let back: StrategySet = s.iter().collect();
         assert_eq!(s, back);
-        assert_eq!(s.len(), 6);
+        assert_eq!(s.len(), 7);
     }
 
     #[test]

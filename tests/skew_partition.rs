@@ -1,0 +1,213 @@
+//! Partition-validity suite for the load-balanced planning tier: the
+//! nnz-balanced row splitter and the merge-path decomposition must
+//! produce *valid partitions* — every row owned exactly once, bounds
+//! monotone — and the balanced splitter must actually bound per-chunk
+//! work, on exactly the inputs where uniform row splits fail: empty
+//! rows, a single dense row dominating the nonzero count, and
+//! power-law degree distributions.
+//!
+//! The quantitative contract pinned here: a balanced chunk carries at
+//! most `ideal + max_row_nnz` nonzeros (`ideal = ceil(nnz / parts)`),
+//! which collapses to the "within 2x of ideal" guarantee whenever no
+//! single row exceeds the ideal share.
+
+use proptest::prelude::*;
+use proptest::strategy::Strategy as PropStrategy;
+use smat_kernels::partition::{merge_path_bounds, nnz_balanced_bounds, MAX_MERGE_CHUNKS};
+use smat_matrix::gen::power_law;
+use smat_matrix::Csr;
+
+/// Asserts `bounds` is a monotone cover of `0..rows`.
+fn assert_valid_partition(bounds: &[usize], rows: usize, what: &str) {
+    assert!(bounds.len() >= 2, "{what}: at least [0, rows]");
+    assert_eq!(bounds[0], 0, "{what}: must start at 0");
+    assert_eq!(*bounds.last().unwrap(), rows, "{what}: must end at rows");
+    for w in bounds.windows(2) {
+        assert!(w[0] <= w[1], "{what}: bounds must be non-decreasing");
+    }
+}
+
+/// Per-chunk nonzero counts implied by row bounds.
+fn chunk_nnz(m: &Csr<f64>, bounds: &[usize]) -> Vec<usize> {
+    let ptr = m.row_ptr();
+    bounds.windows(2).map(|w| ptr[w[1]] - ptr[w[0]]).collect()
+}
+
+fn max_row_nnz(m: &Csr<f64>) -> usize {
+    let ptr = m.row_ptr();
+    (0..m.rows())
+        .map(|r| ptr[r + 1] - ptr[r])
+        .max()
+        .unwrap_or(0)
+}
+
+/// Checks the full nnz-balanced contract for one (matrix, parts) pair.
+fn check_nnz_balanced(m: &Csr<f64>, parts: usize, what: &str) {
+    let bounds = nnz_balanced_bounds(m, parts);
+    assert_valid_partition(&bounds, m.rows(), what);
+    let ideal = m.nnz().div_ceil(parts.min(m.rows().max(1)));
+    let cap = ideal + max_row_nnz(m);
+    for (i, c) in chunk_nnz(m, &bounds).into_iter().enumerate() {
+        assert!(
+            c <= cap,
+            "{what}: chunk {i} carries {c} nnz, cap is ideal {ideal} + max row"
+        );
+    }
+    // The headline guarantee: when no row dominates, no chunk is more
+    // than twice the ideal share.
+    if max_row_nnz(m) <= ideal {
+        for c in chunk_nnz(m, &bounds) {
+            assert!(
+                c <= 2 * ideal,
+                "{what}: chunk exceeds 2x ideal ({c} vs {ideal})"
+            );
+        }
+    }
+}
+
+/// Checks the merge-path contract for one (matrix, parts) pair.
+fn check_merge_path(m: &Csr<f64>, parts: usize, what: &str) {
+    let (entry_bounds, row_bounds) = merge_path_bounds(m, parts);
+    assert_eq!(
+        entry_bounds.len(),
+        row_bounds.len(),
+        "{what}: aligned bounds"
+    );
+    assert_valid_partition(&row_bounds, m.rows(), what);
+    assert_eq!(entry_bounds[0], 0, "{what}: entries start at 0");
+    assert_eq!(
+        *entry_bounds.last().unwrap(),
+        m.nnz(),
+        "{what}: entries end at nnz"
+    );
+    let chunks = entry_bounds.len() - 1;
+    assert!(
+        chunks <= parts.min(MAX_MERGE_CHUNKS),
+        "{what}: width respected"
+    );
+    // Entry ranges are equal to within one entry — the whole point of
+    // cutting the stream irrespective of row boundaries.
+    let lo = m.nnz() / chunks;
+    for w in entry_bounds.windows(2) {
+        assert!(w[0] <= w[1], "{what}: entry bounds non-decreasing");
+        let width = w[1] - w[0];
+        assert!(
+            width == lo || width == lo + 1,
+            "{what}: entry chunk width {width} not within 1 of {lo}"
+        );
+    }
+    // Write ownership: a chunk owns exactly the rows whose first entry
+    // falls in its range.
+    let ptr = m.row_ptr();
+    for i in 0..chunks {
+        for (r, &start) in ptr
+            .iter()
+            .enumerate()
+            .take(row_bounds[i + 1])
+            .skip(row_bounds[i])
+        {
+            assert!(
+                (i + 1 == chunks && start >= entry_bounds[i])
+                    || (entry_bounds[i]..entry_bounds[i + 1]).contains(&start),
+                "{what}: row {r} owned by chunk {i} but starts at {start}"
+            );
+        }
+    }
+}
+
+/// A matrix whose *first row* holds well over half the nonzeros — the
+/// regression shape for the pre-balanced planner, where an equal-rows
+/// split serializes the whole hot row into chunk 0 alongside a share
+/// of the tail. The balanced splitter must isolate it.
+fn hot_first_row() -> Csr<f64> {
+    let mut triplets: Vec<(usize, usize, f64)> = (0..60).map(|c| (0usize, c, 1.0)).collect();
+    for r in 1..21 {
+        triplets.push((r, r, 2.0));
+        triplets.push((r, 40 + r, 0.5));
+    }
+    Csr::from_triplets(21, 64, &triplets).expect("in-bounds")
+}
+
+#[test]
+fn hot_first_row_is_isolated() {
+    let m = hot_first_row();
+    assert!(
+        max_row_nnz(&m) * 2 > m.nnz(),
+        "shape premise: row 0 > 50% of nnz"
+    );
+    for parts in [2usize, 4, 8] {
+        let bounds = nnz_balanced_bounds(&m, parts);
+        assert_valid_partition(&bounds, m.rows(), "hot row");
+        assert_eq!(
+            bounds[1], 1,
+            "parts={parts}: the dominant first row must form its own chunk"
+        );
+        check_nnz_balanced(&m, parts, "hot row");
+        // Merge-path goes further: interior chunks that land wholly
+        // inside the hot row own zero rows and contribute carries only.
+        // (At parts=2 each 50-entry range still straddles a row start,
+        // so the zero-row shape first appears at 4 chunks.)
+        if parts >= 4 {
+            let (_, row_bounds) = merge_path_bounds(&m, parts);
+            assert!(
+                row_bounds.windows(2).any(|w| w[0] == w[1]),
+                "parts={parts}: some merge chunk should sit inside the hot row"
+            );
+        }
+        check_merge_path(&m, parts, "hot row");
+    }
+}
+
+#[test]
+fn deterministic_archetypes_partition_validly() {
+    let empty_rows = Csr::<f64>::from_triplets(
+        40,
+        40,
+        &[(3, 1, 1.0), (3, 5, 2.0), (17, 0, 1.0), (39, 39, 4.0)],
+    )
+    .expect("in-bounds");
+    let single_dense = Csr::<f64>::from_triplets(
+        8,
+        200,
+        &(0..150).map(|c| (4usize, c, 1.0)).collect::<Vec<_>>(),
+    )
+    .expect("in-bounds");
+    let all_empty = Csr::<f64>::from_triplets(12, 12, &[]).expect("empty");
+    let skew = power_law::<f64>(500, 120, 2.0, 11);
+    for (name, m) in [
+        ("empty_rows", &empty_rows),
+        ("single_dense_row", &single_dense),
+        ("all_empty", &all_empty),
+        ("power_law", &skew),
+    ] {
+        for parts in [1usize, 2, 3, 4, 7, 16, 1000] {
+            check_nnz_balanced(m, parts, name);
+            check_merge_path(m, parts, name);
+        }
+    }
+}
+
+/// Strategy: an arbitrary small sparse matrix, biased toward skew by
+/// mapping some entries onto a handful of hot rows.
+fn arb_matrix() -> impl PropStrategy<Value = Csr<f64>> {
+    (1usize..40, 1usize..40).prop_flat_map(|(rows, cols)| {
+        let entry = (0..rows, 0..cols, any::<bool>(), -60i32..60)
+            .prop_map(move |(r, c, hot, v)| (if hot { r % 3 } else { r }, c, v as f64 / 7.0));
+        proptest::collection::vec(entry, 0..160).prop_map(move |triplets| {
+            Csr::from_triplets(rows, cols, &triplets).expect("in-bounds triplets")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Both splitters yield valid, bounded partitions on arbitrary
+    /// shapes — including the all-empty, single-row and 1-column
+    /// matrices proptest gravitates to.
+    #[test]
+    fn partitions_stay_valid_on_arbitrary_matrices(m in arb_matrix(), parts in 1usize..12) {
+        check_nnz_balanced(&m, parts, "arbitrary");
+        check_merge_path(&m, parts, "arbitrary");
+    }
+}

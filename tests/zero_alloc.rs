@@ -121,6 +121,39 @@ fn warm_planned_spmv_allocates_nothing_and_spawns_nothing() {
         }
     }
 
+    // --- Skewed tier: the nnz-balanced and merge-path plans that the
+    // plan search hands out on power-law matrices. Both must replay
+    // with the same silence as the uniform plans above — the merge
+    // kernel's per-chunk carries live in a fixed stack array, and the
+    // nnz-balanced bounds were frozen at build time.
+    let skew = smat_matrix::gen::power_law::<f64>(2_000, 400, 2.0, 47);
+    let skew_any = AnyMatrix::Csr(skew.clone());
+    let xk: Vec<f64> = (0..skew.cols()).map(|i| (i % 11) as f64 * 0.125).collect();
+    let mut yk = vec![0.0f64; skew.rows()];
+    for (policy, name) in [
+        (
+            smat_kernels::ChunkPolicy::NnzBalanced,
+            "csr_parallel_balanced",
+        ),
+        (smat_kernels::ChunkPolicy::MergePath, "csr_merge"),
+    ] {
+        let v = lib
+            .variants(Format::Csr)
+            .iter()
+            .position(|info| info.name == name)
+            .expect("builtin CSR variant");
+        let plan = lib.build_plan_sized(&skew_any, policy, 4);
+        assert_eq!(plan.policy, policy);
+        let (allocs, spawns) = audit(5, 100, || {
+            lib.run_planned(&skew_any, v, &plan, &xk, &mut yk)
+        });
+        assert_eq!(
+            allocs, 0,
+            "{name} under {policy}: allocations in warm replay"
+        );
+        assert_eq!(spawns, 0, "{name} under {policy}: spawns in warm replay");
+    }
+
     // --- Engine level: a prepared handle replayed through `Smat::spmv`.
     let corpus = generate_corpus::<f64>(&CorpusSpec::small(100, 31));
     let matrices: Vec<&Csr<f64>> = corpus.iter().map(|e| &e.matrix).collect();
