@@ -10,6 +10,7 @@
 //! smat bench    [--variants] MATRIX.mtx
 //! smat features MATRIX.mtx
 //! smat rules    --model MODEL.json
+//! smat health   --model MODEL.json [--json] [--calls N] [--dim D]
 //! ```
 //!
 //! Matrices are Matrix Market files (the UF/SuiteSparse distribution
@@ -40,6 +41,8 @@ USAGE:
   smat bench    [--variants] MATRIX.mtx
   smat features MATRIX.mtx
   smat rules    --model MODEL.json
+  smat health   --model MODEL.json [--json] [--calls N] [--dim D]
+                [--install INSTALL.json]
 
 COMMANDS:
   train     run the off-line stage on a synthetic corpus and save the model
@@ -56,6 +59,11 @@ COMMANDS:
             format's scoreboard pick
   features  print the 11 structural feature parameters of a matrix
   rules     print the trained IF-THEN ruleset
+  health    exercise the warm SpMV path (--calls times on a --dim synthetic
+            matrix) and report the engine's execution-health counters:
+            contained faults, quarantined kernel variants, pool degradation,
+            cache/concurrency recoveries; --json emits the machine-readable
+            report for monitoring pipelines
 ";
 
 /// Minimal flag parser: `--key value` pairs plus positionals.
@@ -74,7 +82,7 @@ impl Args {
         while i < argv.len() {
             let a = &argv[i];
             if let Some(name) = a.strip_prefix("--") {
-                if matches!(name, "single" | "variants") {
+                if matches!(name, "single" | "variants" | "json") {
                     switches.push(name.to_string());
                 } else if i + 1 < argv.len() {
                     flags.push((name.to_string(), argv[i + 1].clone()));
@@ -140,6 +148,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "bench" => cmd_bench(&args),
         "features" => cmd_features(&args),
         "rules" => cmd_rules(&args),
+        "health" => cmd_health(&args),
         "-h" | "--help" | "help" => {
             print!("{USAGE}");
             Ok(())
@@ -536,6 +545,79 @@ fn cmd_rules(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_health(args: &Args) -> Result<(), String> {
+    let model = load_model(args)?;
+    let calls = args.get_usize("calls", 100)?.max(1);
+    let dim = args.get_usize("dim", 512)?.max(16);
+    let engine = engine_for(model, args)?;
+    // Exercise the warm serving path so the report reflects live
+    // execution, not just construction: one prepare, then `calls`
+    // steady-state multiplies through the containment boundary.
+    let m = smat_matrix::gen::random_uniform::<f64>(dim, dim, 8, 0x5EED);
+    let tuned = engine.prepare(&m);
+    let x = vec![1.0; dim];
+    let mut y = vec![0.0; dim];
+    for _ in 0..calls {
+        engine
+            .spmv(&tuned, &x, &mut y)
+            .map_err(|e| taxonomy_msg(&e))?;
+    }
+    let report = engine.health_report();
+    if args.has("json") {
+        let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+        println!("{json}");
+        return Ok(());
+    }
+    println!("execution health after {} warm calls:", report.calls);
+    println!(
+        "  contained faults: {} ({} breaker trips)",
+        report.exec_faults, report.breaker_trips
+    );
+    if report.quarantined_variants.is_empty() {
+        println!("  quarantined variants: none");
+    } else {
+        println!("  quarantined variants:");
+        for q in &report.quarantined_variants {
+            println!(
+                "    {} variant {} ({}): {:?}, {} incidents, re-probe at call {}",
+                q.kernel.format, q.kernel.variant, q.name, q.state, q.incidents, q.reopen_at
+            );
+        }
+    }
+    println!(
+        "  re-probes: {} readmitted / {} failed",
+        report.reprobe_successes, report.reprobe_failures
+    );
+    println!(
+        "  pool: {} demotion(s), currently {}",
+        report.pool_demotions,
+        if report.pool_demoted {
+            "DEMOTED to the serial rung"
+        } else {
+            "healthy"
+        }
+    );
+    println!(
+        "  prepare: {} degraded, {} quarantine evictions",
+        report.degraded_prepares, report.quarantine_evictions
+    );
+    println!(
+        "  cache: {} hits / {} misses; {} corrupt evictions, {} poison recoveries, {} coalesced waits",
+        report.cache_hits,
+        report.cache_misses,
+        report.corrupt_evictions,
+        report.poison_recoveries,
+        report.coalesced_waits
+    );
+    for incident in &report.recent_incidents {
+        println!(
+            "  incident: {} variant {} {:?}: {}",
+            incident.kernel.format, incident.kernel.variant, incident.kind, incident.payload
+        );
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -567,6 +649,7 @@ mod tests {
         assert!(cmd_train(&Args::parse(&[])).is_err());
         assert!(cmd_predict(&Args::parse(&[])).is_err());
         assert!(cmd_rules(&Args::parse(&[])).is_err());
+        assert!(cmd_health(&Args::parse(&[])).is_err());
     }
 
     #[test]

@@ -262,6 +262,13 @@ impl TuningCache {
         }
     }
 
+    /// Removes one entry (e.g. a decision whose kernel was quarantined
+    /// after it was cached); the next lookup re-tunes. Returns whether
+    /// an entry was resident.
+    pub fn remove(&self, key: &StructuralFingerprint) -> bool {
+        self.lock_map().remove(key).is_some()
+    }
+
     /// Drops every entry; counters are preserved.
     pub fn clear(&self) {
         self.lock_map().clear();
@@ -444,6 +451,19 @@ mod tests {
         assert_eq!(snap.len(), 1, "corrupt entry must not be persisted");
         assert_eq!(snap[0].0, good);
         assert_eq!(cache.stats().corrupt_evictions, 1);
+    }
+
+    #[test]
+    fn remove_evicts_a_single_entry() {
+        let cache = TuningCache::new(4);
+        let k1 = tridiagonal::<f64>(25).fingerprint();
+        let k2 = tridiagonal::<f64>(26).fingerprint();
+        cache.insert(k1, decision(Format::Dia));
+        cache.insert(k2, decision(Format::Ell));
+        assert!(cache.remove(&k1));
+        assert!(!cache.remove(&k1), "already gone");
+        assert!(cache.get(&k1).is_none());
+        assert_eq!(cache.get(&k2).unwrap().format, Format::Ell);
     }
 
     #[test]

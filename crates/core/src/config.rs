@@ -125,6 +125,26 @@ pub struct SmatConfig {
     /// Measurement budget per (policy, width) candidate during the plan
     /// search.
     pub plan_search_budget: Duration,
+    /// When `true`, [`crate::Smat::spmv`] scans the output vector for
+    /// non-finite values after the planned dispatch and, if the inputs
+    /// were finite, treats a poisoned product as a kernel fault:
+    /// re-executed through the reference path and counted against the
+    /// variant's circuit breaker. Off by default — the scan costs one
+    /// pass over `y` per call.
+    pub screen_outputs: bool,
+    /// Consecutive contained execution faults after which a variant's
+    /// circuit breaker trips from `Closed` to `Open` (the variant is
+    /// quarantined and excluded from candidate sets).
+    pub breaker_threshold: u32,
+    /// Initial backoff, counted in engine `spmv` calls, before an open
+    /// breaker half-opens for a guarded re-probe. Each failed re-probe
+    /// doubles the backoff (capped); a successful one closes the
+    /// breaker. The same policy paces pool re-probes after a demotion.
+    pub breaker_backoff_calls: u64,
+    /// Consecutive `spmv` calls observing pool dispatch faults after
+    /// which the engine demotes itself to the serial backend (the
+    /// degradation ladder's last rung before per-call fallback).
+    pub pool_fault_threshold: u32,
 }
 
 impl Default for SmatConfig {
@@ -155,6 +175,10 @@ impl Default for SmatConfig {
             pool_threads: None,
             plan_search: true,
             plan_search_budget: Duration::from_millis(2),
+            screen_outputs: false,
+            breaker_threshold: 3,
+            breaker_backoff_calls: 32,
+            pool_fault_threshold: 3,
         }
     }
 }

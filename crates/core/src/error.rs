@@ -262,6 +262,21 @@ mod tests {
         ];
         for (err, name) in cases {
             assert_eq!(err.taxonomy(), name, "taxonomy of {err:?}");
+            // The operational rendering the CLI emits: "[taxonomy]
+            // message". Pinned so log scrapers can rely on it.
+            let rendered = format!("[{}] {err}", err.taxonomy());
+            assert!(
+                rendered.starts_with(&format!("[{name}] ")),
+                "rendering of {err:?}: {rendered}"
+            );
+            // Transience is narrower than taxonomy: of these cases only
+            // the I/O-backed persist error can clear on retry (the
+            // matrix case here is InvalidStructure, which cannot).
+            assert_eq!(
+                err.is_transient(),
+                name == "persist",
+                "transience of {err:?}"
+            );
         }
     }
 

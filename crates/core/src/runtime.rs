@@ -12,10 +12,14 @@
 use crate::cache::{CacheStats, CachedDecision, TuningCache};
 use crate::config::SmatConfig;
 use crate::error::{Result, SmatError};
+use crate::health::{
+    panic_message, Admission, ExecIncident, FaultKind, HealthReport, HealthState, PoolMode,
+};
 use crate::install::Installation;
 use crate::integrity::fnv1a64;
 use crate::model::TrainedModel;
 use crate::retry::{retry_transient, RetryPolicy};
+use crate::stats::SmatStats;
 use serde::{Deserialize, Serialize};
 use smat_features::{extract_structure, FeatureVector};
 use smat_kernels::timing::{gflops, measure_guarded};
@@ -23,6 +27,7 @@ use smat_kernels::{ExecPlan, KernelId, KernelLibrary};
 use smat_learn::ClassGroup;
 use smat_matrix::{AnyMatrix, Csr, Format, Scalar, StructuralFingerprint};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
@@ -158,6 +163,7 @@ pub struct TunedSpmv<T> {
     features: FeatureVector,
     decision: DecisionPath,
     prepare_time: Duration,
+    fingerprint: StructuralFingerprint,
 }
 
 impl<T: Scalar> TunedSpmv<T> {
@@ -197,6 +203,12 @@ impl<T: Scalar> TunedSpmv<T> {
     /// The tuned matrix.
     pub fn matrix(&self) -> &AnyMatrix<T> {
         &self.matrix
+    }
+
+    /// Structural fingerprint of the tuned matrix, as recorded in any
+    /// [`ExecIncident`] attributed to this preparation.
+    pub fn fingerprint(&self) -> StructuralFingerprint {
+        self.fingerprint
     }
 }
 
@@ -238,6 +250,9 @@ pub struct Smat<T: Scalar> {
     inflight: Mutex<HashMap<StructuralFingerprint, Arc<Inflight>>>,
     installation: Option<Installation>,
     installation_from_disk: bool,
+    /// Execution-time fault containment: incident log, per-variant
+    /// circuit breakers, pool degradation ladder.
+    health: HealthState,
 }
 
 impl<T: Scalar> Smat<T> {
@@ -288,6 +303,17 @@ impl<T: Scalar> Smat<T> {
             installation = Some(installed);
             installation_from_disk = from_disk;
         }
+        let health = HealthState::new(
+            config.breaker_threshold,
+            config.breaker_backoff_calls,
+            config.pool_fault_threshold,
+        );
+        // A reloaded artifact carries the quarantine set a previous
+        // process accumulated: those variants stay benched (behind an
+        // open breaker, so the usual half-open re-probe applies).
+        if let Some(installed) = &installation {
+            health.seed_quarantine(&installed.quarantined);
+        }
         Ok(Self {
             model,
             lib: KernelLibrary::new(),
@@ -296,6 +322,7 @@ impl<T: Scalar> Smat<T> {
             config,
             installation,
             installation_from_disk,
+            health,
         })
     }
 
@@ -321,6 +348,7 @@ impl<T: Scalar> Smat<T> {
         let mut config = config;
         config.install_path = None;
         let mut engine = Self::with_config(model, config)?;
+        engine.health.seed_quarantine(&installation.quarantined);
         engine.installation = Some(installation);
         Ok(engine)
     }
@@ -364,6 +392,43 @@ impl<T: Scalar> Smat<T> {
     /// A snapshot of the tuning cache's hit/miss/latency counters.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// A serializable snapshot of the engine's execution health:
+    /// contained faults, breaker/quarantine state, pool degradation,
+    /// and the concurrency/persistence counters mirrored from the
+    /// tuning cache. The payload of `smat health --json`.
+    pub fn health_report(&self) -> HealthReport {
+        let cache = self.cache.stats();
+        let mut report = self.health.report(|k| {
+            self.lib
+                .variants(k.format)
+                .get(k.variant)
+                .map(|info| info.name.to_string())
+                .unwrap_or_default()
+        });
+        report.coalesced_waits = cache.coalesced_waits;
+        report.poison_recoveries = cache.poison_recoveries;
+        report.corrupt_evictions = cache.corrupt_evictions;
+        report.cache_hits = cache.hits;
+        report.cache_misses = cache.misses;
+        report
+    }
+
+    /// The combined operability snapshot: cache counters plus the
+    /// health report.
+    pub fn stats(&self) -> SmatStats {
+        SmatStats {
+            cache: self.cache.stats(),
+            health: self.health_report(),
+        }
+    }
+
+    /// Whether the degradation ladder currently serves parallel plans
+    /// on the serial rung (repeated pool dispatch faults; see
+    /// [`Smat::health_report`]).
+    pub fn pool_demoted(&self) -> bool {
+        self.health.pool_is_demoted()
     }
 
     /// Drops every cached tuning decision (counters are preserved).
@@ -492,7 +557,7 @@ impl<T: Scalar> Smat<T> {
     /// the call returns a [`DecisionPath::Degraded`] result.
     pub fn prepare(&self, csr: &Csr<T>) -> TunedSpmv<T> {
         if self.config.cache_capacity == 0 {
-            return self.tune(csr);
+            return self.tune(csr, csr.fingerprint());
         }
         let t0 = Instant::now();
         let key = csr.fingerprint();
@@ -500,11 +565,21 @@ impl<T: Scalar> Smat<T> {
         let wait_deadline = t0 + self.config.single_flight_wait;
         loop {
             if let Some(hit) = self.cache.get(&key) {
+                if self.health.quarantined(hit.kernel) {
+                    // The cached decision points at a variant the
+                    // breaker has since benched: evict it and fall
+                    // through to a fresh tuning run, which selects
+                    // around the quarantine.
+                    self.cache.remove(&key);
+                    self.health.note_quarantine_eviction();
+                }
                 // Same structure ⇒ the conversion that succeeded on the
                 // miss succeeds again (fill limits and byte budgets are
                 // structural); fall through defensively if it somehow
                 // does not.
-                if let Ok(matrix) = AnyMatrix::convert_from_csr_with(csr, hit.format, &limits) {
+                else if let Ok(matrix) =
+                    AnyMatrix::convert_from_csr_with(csr, hit.format, &limits)
+                {
                     // A plan sized for a different thread count (e.g. a
                     // snapshot written on another machine) is rebuilt
                     // for this backend and the entry refreshed in place.
@@ -534,6 +609,7 @@ impl<T: Scalar> Smat<T> {
                             source: Box::new(hit.source),
                         },
                         prepare_time: elapsed,
+                        fingerprint: key,
                     };
                 }
             }
@@ -561,7 +637,7 @@ impl<T: Scalar> Smat<T> {
                     inflight: &self.inflight,
                     key,
                 };
-                let tuned = self.tune(csr);
+                let tuned = self.tune(csr, key);
                 // A degraded decision reflects a transient or
                 // input-specific failure (poisoned values, every
                 // candidate failing): never cache it, so a healthy
@@ -595,6 +671,7 @@ impl<T: Scalar> Smat<T> {
                         self.config.single_flight_wait
                     ),
                     t0,
+                    key,
                 );
                 self.cache.record(false, t0.elapsed());
                 return tuned;
@@ -610,7 +687,9 @@ impl<T: Scalar> Smat<T> {
         features: FeatureVector,
         reason: String,
         t0: Instant,
+        fingerprint: StructuralFingerprint,
     ) -> TunedSpmv<T> {
+        self.health.note_degraded_prepare();
         TunedSpmv {
             matrix: AnyMatrix::Csr(csr.clone()),
             kernel: KernelId::basic(Format::Csr),
@@ -618,6 +697,7 @@ impl<T: Scalar> Smat<T> {
             features,
             decision: DecisionPath::Degraded { reason },
             prepare_time: t0.elapsed(),
+            fingerprint,
         }
     }
 
@@ -661,8 +741,23 @@ impl<T: Scalar> Smat<T> {
         }
     }
 
+    /// The kernel the tuner may actually attach for `format`: the
+    /// model's choice unless that variant is quarantined, in which case
+    /// the reference (variant 0) substitutes. The reference serves even
+    /// if it is itself quarantined — there is nothing below it to fall
+    /// to, and it is the same code the containment boundary re-executes
+    /// on a fault.
+    fn effective_kernel(&self, format: Format) -> KernelId {
+        let chosen = self.model.kernel_choice.kernel(format);
+        if self.health.quarantined(chosen) {
+            KernelId::basic(format)
+        } else {
+            chosen
+        }
+    }
+
     /// The uncached Figure 7 pipeline.
-    fn tune(&self, csr: &Csr<T>) -> TunedSpmv<T> {
+    fn tune(&self, csr: &Csr<T>, fingerprint: StructuralFingerprint) -> TunedSpmv<T> {
         let t0 = Instant::now();
         // Input screening: a poisoned matrix (NaN/Inf values) would
         // corrupt every fallback measurement and the tuned result
@@ -678,6 +773,7 @@ impl<T: Scalar> Smat<T> {
                     features,
                     format!("non-finite value at ({row}, {col}); input quarantined"),
                     t0,
+                    fingerprint,
                 );
             }
         }
@@ -712,7 +808,7 @@ impl<T: Scalar> Smat<T> {
         if let Some((format, confidence)) = first_match {
             if confidence >= self.config.confidence_threshold {
                 if let Ok(matrix) = AnyMatrix::convert_from_csr_with(csr, format, &limits) {
-                    let kernel = self.model.kernel_choice.kernel(format);
+                    let kernel = self.effective_kernel(format);
                     return TunedSpmv {
                         plan: self.refine_plan(
                             &matrix,
@@ -727,6 +823,7 @@ impl<T: Scalar> Smat<T> {
                         features,
                         decision: DecisionPath::Predicted { confidence },
                         prepare_time: t0.elapsed(),
+                        fingerprint,
                     };
                 }
                 // Conversion refused (fill blow-up or byte budget):
@@ -759,7 +856,7 @@ impl<T: Scalar> Smat<T> {
                     continue;
                 }
             };
-            let variant = self.model.kernel_choice.kernel(format).variant;
+            let variant = self.effective_kernel(format).variant;
             let outcome = measure_guarded(
                 || self.lib.run(&any, variant, &x, &mut y),
                 self.config.fallback_budget,
@@ -785,7 +882,7 @@ impl<T: Scalar> Smat<T> {
         }
         match best {
             Some((format, _, matrix)) => {
-                let kernel = self.model.kernel_choice.kernel(format);
+                let kernel = self.effective_kernel(format);
                 TunedSpmv {
                     plan: self.refine_plan(
                         &matrix,
@@ -803,6 +900,7 @@ impl<T: Scalar> Smat<T> {
                         failures,
                     },
                     prepare_time: t0.elapsed(),
+                    fingerprint,
                 }
             }
             None => {
@@ -817,16 +915,34 @@ impl<T: Scalar> Smat<T> {
                     features,
                     format!("all fallback candidates failed [{}]", detail.join("; ")),
                     t0,
+                    fingerprint,
                 )
             }
         }
     }
 
-    /// Runs the tuned SpMV: `y = A * x`.
+    /// Runs the tuned SpMV: `y = A * x`, inside the execution-time
+    /// containment boundary.
+    ///
+    /// A kernel panic mid-call is caught here, recorded as an
+    /// [`ExecIncident`], and the call re-executes through the reference
+    /// (variant 0) kernel of the tuned format — so the caller still
+    /// gets `Ok` with a correct product. After
+    /// [`SmatConfig::breaker_threshold`] incidents the variant's
+    /// circuit breaker opens: it is quarantined (served by the
+    /// reference path, excluded from future candidate sets, its cached
+    /// decisions evicted) until a call-counted exponential backoff
+    /// admits one half-open re-probe. With
+    /// [`SmatConfig::screen_outputs`] set, a non-finite product from
+    /// finite inputs counts as an incident too. Repeated pool dispatch
+    /// faults demote the engine to serial plans (see
+    /// [`Smat::health_report`]).
     ///
     /// # Errors
     ///
-    /// Returns [`SmatError::Matrix`] on vector length mismatch.
+    /// Returns [`SmatError::Matrix`] on vector length mismatch, and
+    /// [`SmatError::KernelPanic`] only in the double-fault case where
+    /// the reference re-execution itself panics.
     pub fn spmv(&self, tuned: &TunedSpmv<T>, x: &[T], y: &mut [T]) -> Result<()> {
         if x.len() != tuned.matrix.cols() {
             return Err(SmatError::Matrix(
@@ -846,9 +962,150 @@ impl<T: Scalar> Smat<T> {
                 },
             ));
         }
-        self.lib
-            .run_planned(&tuned.matrix, tuned.kernel.variant, &tuned.plan, x, y);
+        let call = self.health.tick();
+        // Degradation ladder: a demoted engine substitutes a serial
+        // plan for parallel dispatches until a pool re-probe succeeds.
+        // The substitute plan is built per call (demoted rung only —
+        // never the happy path, so the zero-allocation guarantee
+        // holds).
+        let mut watch_pool = false;
+        let mut pool_probe = false;
+        let serial_plan;
+        let mut plan = &tuned.plan;
+        if !plan.is_serial() {
+            match self.health.pool_mode(call) {
+                PoolMode::Normal => watch_pool = true,
+                PoolMode::Probe => {
+                    watch_pool = true;
+                    pool_probe = true;
+                }
+                PoolMode::Demoted => {
+                    serial_plan = ExecPlan::serial(tuned.matrix.rows());
+                    plan = &serial_plan;
+                }
+            }
+        }
+        // Breaker admission. `needs_attention` is one relaxed load, so
+        // a healthy engine takes no lock here.
+        let mut probing = false;
+        if self.health.needs_attention() {
+            match self.health.admit(tuned.kernel, call) {
+                Admission::Run => {}
+                Admission::Probe => probing = true,
+                Admission::Fallback => return self.run_reference(tuned, x, y),
+            }
+        }
+        let faults_before = if watch_pool {
+            smat_kernels::exec::dispatch_fault_count()
+        } else {
+            0
+        };
+        // The containment boundary. Failpoint `exec.kernel`: a
+        // scripted fault inside the guard becomes a contained kernel
+        // panic, exactly like a real one.
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(fault) = smat_failpoints::check("exec.kernel") {
+                std::panic::panic_any(fault.to_string());
+            }
+            self.lib
+                .run_planned(&tuned.matrix, tuned.kernel.variant, plan, x, y);
+        }));
+        if let Err(payload) = run {
+            self.contain_fault(
+                tuned,
+                FaultKind::Panic,
+                panic_message(payload.as_ref()),
+                probing,
+                call,
+            );
+            return self.run_reference(tuned, x, y);
+        }
+        // Output screening: a non-finite product from finite inputs is
+        // a kernel fault (wrong indexing reading poison, a bad
+        // reduction). The reference re-run is the arbiter: if it also
+        // produces non-finite values the data itself is poisoned and no
+        // incident is recorded.
+        if self.config.screen_outputs && y.iter().any(|v| !v.is_finite()) {
+            let inputs_finite = x.iter().all(|v| v.is_finite());
+            if inputs_finite {
+                let reference = self.run_reference(tuned, x, y);
+                if y.iter().all(|v| v.is_finite()) {
+                    self.contain_fault(
+                        tuned,
+                        FaultKind::NonFinite,
+                        "non-finite output from finite inputs".to_string(),
+                        probing,
+                        call,
+                    );
+                    if watch_pool {
+                        let faulted = smat_kernels::exec::dispatch_fault_count() > faults_before;
+                        self.health.pool_outcome(faulted, pool_probe, call);
+                    }
+                    return reference;
+                }
+                // Reference agrees the product is non-finite: poisoned
+                // matrix values, not a kernel fault. Serve it.
+            }
+        }
+        if probing {
+            self.health.on_probe_success(tuned.kernel);
+        }
+        if watch_pool {
+            let faulted = smat_kernels::exec::dispatch_fault_count() > faults_before;
+            self.health.pool_outcome(faulted, pool_probe, call);
+        }
         Ok(())
+    }
+
+    /// Re-executes `tuned` through the reference (variant 0) kernel of
+    /// its format with a serial plan. Every kernel fully overwrites
+    /// `y`, so this also restores output clobbered by a faulted tuned
+    /// run.
+    fn run_reference(&self, tuned: &TunedSpmv<T>, x: &[T], y: &mut [T]) -> Result<()> {
+        match catch_unwind(AssertUnwindSafe(|| {
+            self.lib.run(&tuned.matrix, 0, x, y);
+        })) {
+            Ok(()) => Ok(()),
+            // Double fault: the serial reference itself panicked. At
+            // this point there is nothing left to fall back to.
+            Err(payload) => Err(SmatError::KernelPanic {
+                what: format!("reference {} kernel", tuned.format()),
+                message: panic_message(payload.as_ref()),
+            }),
+        }
+    }
+
+    /// Records one contained execution fault and, when the quarantine
+    /// set changed, re-persists the install artifact so the bench
+    /// survives this process.
+    fn contain_fault(
+        &self,
+        tuned: &TunedSpmv<T>,
+        kind: FaultKind,
+        payload: String,
+        probing: bool,
+        call: u64,
+    ) {
+        let incident = ExecIncident {
+            kernel: tuned.kernel,
+            fingerprint: tuned.fingerprint,
+            kind,
+            payload,
+        };
+        if self.health.on_fault(incident, probing, call) {
+            self.persist_quarantine();
+        }
+    }
+
+    /// Best-effort re-save of the install artifact with the current
+    /// quarantine set. Failures are swallowed: persistence is an
+    /// optimization, the in-memory breakers remain authoritative.
+    fn persist_quarantine(&self) {
+        if let (Some(path), Some(installation)) = (&self.config.install_path, &self.installation) {
+            let mut snapshot = installation.clone();
+            snapshot.quarantined = self.health.quarantined_kernels();
+            let _ = snapshot.save(path);
+        }
     }
 
     /// One-shot unified interface: tune and multiply in one call. For
@@ -1243,6 +1500,222 @@ mod tests {
         let mut expect = vec![0.0; 200];
         m.spmv(&x, &mut expect).unwrap();
         assert_eq!(y, expect);
+    }
+
+    /// A `TunedSpmv` handle pointing at `kernel` on a physical CSR
+    /// matrix — the serve-time analogue of a cached decision whose
+    /// variant has gone bad.
+    fn handle_for(m: &Csr<f64>, kernel: KernelId) -> TunedSpmv<f64> {
+        TunedSpmv {
+            matrix: AnyMatrix::Csr(m.clone()),
+            kernel,
+            plan: ExecPlan::serial(m.rows()),
+            features: extract_structure(m).features,
+            decision: DecisionPath::Predicted { confidence: 1.0 },
+            prepare_time: Duration::ZERO,
+            fingerprint: m.fingerprint(),
+        }
+    }
+
+    #[test]
+    fn contained_panic_serves_reference_and_quarantines() {
+        use smat_kernels::StrategySet;
+        fn bad_csr(_: &Csr<f64>, _: &[f64], _: &mut [f64]) {
+            panic!("kernel exploded at serve time");
+        }
+        let cfg = SmatConfig {
+            breaker_threshold: 2,
+            ..SmatConfig::fast()
+        };
+        let mut e = Smat::<f64>::with_config(model(), cfg).unwrap();
+        let id = e
+            .library_mut()
+            .register_csr("csr_bad", StrategySet::default(), bad_csr);
+        let m = random_uniform::<f64>(200, 200, 6, 3);
+        let tuned = handle_for(&m, id);
+        let x: Vec<f64> = (0..200).map(|i| 1.0 + (i % 5) as f64).collect();
+        let mut expect = vec![0.0; 200];
+        m.spmv(&x, &mut expect).unwrap();
+        let mut y = vec![0.0; 200];
+        // Every call returns Ok with the reference-path product, even
+        // though the tuned kernel panics on each one.
+        for _ in 0..2 {
+            y.fill(f64::NAN);
+            e.spmv(&tuned, &x, &mut y).unwrap();
+            assert_eq!(y, expect);
+        }
+        let report = e.health_report();
+        assert_eq!(report.calls, 2);
+        assert_eq!(report.exec_faults, 2);
+        assert_eq!(report.breaker_trips, 1);
+        assert_eq!(report.quarantined_variants.len(), 1);
+        assert_eq!(report.quarantined_variants[0].kernel, id);
+        assert_eq!(report.quarantined_variants[0].name, "csr_bad");
+        assert_eq!(report.recent_incidents.len(), 2);
+        assert_eq!(report.recent_incidents[0].kind, FaultKind::Panic);
+        assert_eq!(report.recent_incidents[0].fingerprint, m.fingerprint());
+        assert!(report.recent_incidents[0].payload.contains("exploded"));
+        // Quarantined: the breaker diverts to the reference path before
+        // the kernel runs, so no further incidents accrue.
+        e.spmv(&tuned, &x, &mut y).unwrap();
+        assert_eq!(y, expect);
+        assert_eq!(e.health_report().exec_faults, 2);
+    }
+
+    #[test]
+    fn half_open_reprobe_readmits_a_healed_kernel() {
+        use smat_kernels::StrategySet;
+        use std::sync::atomic::{AtomicBool, Ordering};
+        static HEALED: AtomicBool = AtomicBool::new(false);
+        fn flaky_csr(m: &Csr<f64>, x: &[f64], y: &mut [f64]) {
+            if !HEALED.load(Ordering::Relaxed) {
+                panic!("still broken");
+            }
+            smat_kernels::csr::basic(m, x, y);
+        }
+        HEALED.store(false, Ordering::Relaxed);
+        let cfg = SmatConfig {
+            breaker_threshold: 2,
+            breaker_backoff_calls: 4,
+            ..SmatConfig::fast()
+        };
+        let mut e = Smat::<f64>::with_config(model(), cfg).unwrap();
+        let id = e
+            .library_mut()
+            .register_csr("csr_flaky", StrategySet::default(), flaky_csr);
+        let m = tridiagonal::<f64>(150);
+        let tuned = handle_for(&m, id);
+        let x = vec![1.0; 150];
+        let mut y = vec![0.0; 150];
+        let mut expect = vec![0.0; 150];
+        m.spmv(&x, &mut expect).unwrap();
+        // Calls 1-2 fault and trip the breaker (reopen_at = 2 + 4 = 6);
+        // calls 3-5 divert to the reference path.
+        for _ in 0..5 {
+            e.spmv(&tuned, &x, &mut y).unwrap();
+            assert_eq!(y, expect);
+        }
+        assert_eq!(e.health_report().exec_faults, 2);
+        assert!(!e.health_report().quarantined_variants.is_empty());
+        // Call 6 claims the half-open probe; the kernel has healed, so
+        // the breaker closes and the variant is readmitted.
+        HEALED.store(true, Ordering::Relaxed);
+        e.spmv(&tuned, &x, &mut y).unwrap();
+        assert_eq!(y, expect);
+        let report = e.health_report();
+        assert_eq!(report.reprobe_successes, 1);
+        assert!(report.quarantined_variants.is_empty());
+    }
+
+    #[test]
+    fn quarantined_kernel_evicts_cached_decision_and_retunes() {
+        use smat_kernels::StrategySet;
+        fn bad_csr(_: &Csr<f64>, _: &[f64], _: &mut [f64]) {
+            panic!("cached variant gone bad");
+        }
+        let cfg = SmatConfig {
+            breaker_threshold: 1,
+            ..SmatConfig::fast()
+        };
+        let mut e = Smat::<f64>::with_config(model(), cfg).unwrap();
+        let id = e
+            .library_mut()
+            .register_csr("csr_cached_bad", StrategySet::default(), bad_csr);
+        let m = random_uniform::<f64>(180, 180, 5, 8);
+        // Plant a cached decision pointing at the (healthy-looking)
+        // registered variant, as if a previous process had tuned to it.
+        e.cache.insert(
+            m.fingerprint(),
+            CachedDecision {
+                format: Format::Csr,
+                kernel: id,
+                features: extract_structure(&m).features,
+                source: DecisionPath::Predicted { confidence: 1.0 },
+                plan: ExecPlan::serial(m.rows()),
+            },
+        );
+        let hit = e.prepare(&m);
+        assert!(hit.decision().is_cached());
+        assert_eq!(hit.kernel(), id);
+        // One fault quarantines the variant (threshold 1).
+        let x = vec![1.0; 180];
+        let mut y = vec![0.0; 180];
+        e.spmv(&hit, &x, &mut y).unwrap();
+        assert_eq!(e.health_report().quarantined_variants.len(), 1);
+        // The next prepare finds the entry poisoned, evicts it and
+        // re-tunes to a different kernel.
+        let again = e.prepare(&m);
+        assert!(!again.decision().is_cached());
+        assert_ne!(again.kernel(), id);
+        assert_eq!(e.health_report().quarantine_evictions, 1);
+    }
+
+    #[test]
+    fn output_screening_flags_nonfinite_products_from_finite_inputs() {
+        use smat_kernels::StrategySet;
+        fn poisoning_csr(m: &Csr<f64>, x: &[f64], y: &mut [f64]) {
+            smat_kernels::csr::basic(m, x, y);
+            y[0] = f64::NAN;
+        }
+        let cfg = SmatConfig {
+            screen_outputs: true,
+            breaker_threshold: 1,
+            ..SmatConfig::fast()
+        };
+        let mut e = Smat::<f64>::with_config(model(), cfg).unwrap();
+        let id = e
+            .library_mut()
+            .register_csr("csr_poison", StrategySet::default(), poisoning_csr);
+        let m = tridiagonal::<f64>(120);
+        let tuned = handle_for(&m, id);
+        let x = vec![1.0; 120];
+        let mut y = vec![0.0; 120];
+        let mut expect = vec![0.0; 120];
+        m.spmv(&x, &mut expect).unwrap();
+        e.spmv(&tuned, &x, &mut y).unwrap();
+        // Screening caught the NaN, re-ran the reference, and served
+        // the clean product.
+        assert_eq!(y, expect);
+        let report = e.health_report();
+        assert_eq!(report.exec_faults, 1);
+        assert_eq!(report.recent_incidents[0].kind, FaultKind::NonFinite);
+        assert_eq!(report.quarantined_variants.len(), 1);
+    }
+
+    #[test]
+    fn output_screening_blames_poisoned_data_on_nobody() {
+        // A matrix with NaN values produces a non-finite product from
+        // the reference kernel too: that is the data's fault, not the
+        // kernel's, so no incident is recorded.
+        let cfg = SmatConfig {
+            screen_inputs: false,
+            screen_outputs: true,
+            ..SmatConfig::fast()
+        };
+        let e = Smat::<f64>::with_config(model(), cfg).unwrap();
+        let mut m = tridiagonal::<f64>(80);
+        m.values_mut()[0] = f64::NAN;
+        let tuned = e.prepare(&m);
+        let x = vec![1.0; 80];
+        let mut y = vec![0.0; 80];
+        e.spmv(&tuned, &x, &mut y).unwrap();
+        assert!(y.iter().any(|v| !v.is_finite()));
+        assert_eq!(e.health_report().exec_faults, 0);
+    }
+
+    #[test]
+    fn stats_facade_mirrors_cache_counters_into_the_report() {
+        let e = engine();
+        let m = tridiagonal::<f64>(100);
+        e.prepare(&m); // miss
+        e.prepare(&m); // hit
+        let stats = e.stats();
+        assert_eq!(stats.cache.hits, 1);
+        assert_eq!(stats.cache.misses, 1);
+        assert_eq!(stats.health_report().cache_hits, 1);
+        assert_eq!(stats.health_report().cache_misses, 1);
+        assert_eq!(stats.health.exec_faults, 0);
+        assert!(stats.health.quarantined_variants.is_empty());
     }
 
     #[test]

@@ -7,7 +7,7 @@ use crate::error::{Result, SmatError};
 use crate::model::{class_names, group_class_order, TrainStats, TrainedModel};
 use smat_features::{extract_features, ATTRIBUTE_NAMES};
 use smat_kernels::timing::{gflops, measure_guarded};
-use smat_kernels::{measure_format, KernelChoice, KernelLibrary, PerfTable};
+use smat_kernels::{measure_format_excluding, KernelChoice, KernelId, KernelLibrary, PerfTable};
 use smat_learn::{order_by_contribution, tailor, Dataset, DecisionTree, RuleGroups, RuleSet};
 use smat_matrix::gen::{
     banded, block_sparse, fixed_degree, power_law, random_skewed, random_uniform,
@@ -104,6 +104,19 @@ impl Trainer {
         &self,
         lib: &KernelLibrary<T>,
     ) -> (KernelChoice, Vec<PerfTable>) {
+        self.search_kernels_excluding(lib, &[])
+    }
+
+    /// [`Self::search_kernels`] with a quarantine list: the excluded
+    /// variants are recorded on the scoreboard as failed candidates
+    /// (reason `"quarantined"`) and can never win, so a machine whose
+    /// runtime health subsystem has tripped a breaker re-tunes around
+    /// the faulty kernel rather than re-selecting it.
+    pub fn search_kernels_excluding<T: Scalar>(
+        &self,
+        lib: &KernelLibrary<T>,
+        excluded: &[KernelId],
+    ) -> (KernelChoice, Vec<PerfTable>) {
         let n = self.config.probe_dim.max(64);
         let mut choice = KernelChoice::basic();
         let mut tables = Vec::with_capacity(Format::COUNT);
@@ -122,11 +135,12 @@ impl Trainer {
             };
             let any = AnyMatrix::convert_from_csr(&probe, format)
                 .expect("probe matrices convert to their own format");
-            let table = measure_format(
+            let table = measure_format_excluding(
                 lib,
                 &any,
                 self.config.search_budget,
                 self.config.candidate_deadline,
+                excluded,
             );
             choice.set(format, table.scoreboard().best_variant);
             tables.push(table);

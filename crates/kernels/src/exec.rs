@@ -45,6 +45,13 @@ mod backend {
     pub fn dispatch_count() -> u64 {
         smat_pool::dispatch_count()
     }
+
+    /// Dispatches the `pool.dispatch` failpoint diverted to the inline
+    /// fallback; the runtime's degradation ladder samples this around
+    /// every parallel call to detect a faulting pool.
+    pub fn dispatch_fault_count() -> u64 {
+        smat_pool::dispatch_fault_count()
+    }
 }
 
 #[cfg(not(feature = "pool"))]
@@ -94,9 +101,18 @@ mod backend {
     pub fn dispatch_count() -> u64 {
         0
     }
+
+    /// The fallback backend has no failpoint-instrumented dispatch
+    /// path; reported as 0 (the degradation ladder never triggers).
+    pub fn dispatch_fault_count() -> u64 {
+        0
+    }
 }
 
-pub use backend::{dispatch_count, for_each_chunk, num_threads, set_thread_target, spawn_count};
+pub use backend::{
+    dispatch_count, dispatch_fault_count, for_each_chunk, num_threads, set_thread_target,
+    spawn_count,
+};
 
 /// Validates a chunk boundary list against an output slice: starts at
 /// 0, ends at `len`, non-decreasing.

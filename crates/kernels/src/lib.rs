@@ -58,8 +58,9 @@ pub use registry::{
     ChunkPolicy, KernelEntry, KernelFn, KernelId, KernelInfo, KernelLibrary, Planner,
 };
 pub use search::{
-    measure_format, search_kernels, search_plan, KernelChoice, PerfRecord, PerfTable, PlanSample,
-    PlanSearch, RecordStatus, Scoreboard, DEFAULT_CANDIDATE_DEADLINE,
+    measure_format, measure_format_excluding, search_kernels, search_kernels_excluding,
+    search_plan, KernelChoice, PerfRecord, PerfTable, PlanSample, PlanSearch, RecordStatus,
+    Scoreboard, DEFAULT_CANDIDATE_DEADLINE,
 };
 pub use simd::SimdBackend;
 pub use strategy::{Strategy, StrategySet};

@@ -221,12 +221,38 @@ pub fn measure_format<T: Scalar>(
     budget: Duration,
     deadline: Duration,
 ) -> PerfTable {
+    measure_format_excluding(lib, probe, budget, deadline, &[])
+}
+
+/// [`measure_format`] with a quarantine set: variants listed in
+/// `excluded` are never executed — their rows are recorded as
+/// [`RecordStatus::CandidateFailed`] with reason `"quarantined"`, so
+/// the scoreboard treats them exactly like a variant that failed in the
+/// harness (excluded from strategy pairing and from selection).
+pub fn measure_format_excluding<T: Scalar>(
+    lib: &KernelLibrary<T>,
+    probe: &AnyMatrix<T>,
+    budget: Duration,
+    deadline: Duration,
+    excluded: &[KernelId],
+) -> PerfTable {
     let format = probe.format();
     let x = vec![T::ONE; probe.cols()];
     let mut y = vec![T::ZERO; probe.rows()];
     let nnz = probe.nnz();
     let mut records = Vec::with_capacity(lib.variant_count(format));
     for (v, info) in lib.variants(format).into_iter().enumerate() {
+        if excluded.contains(&KernelId { format, variant: v }) {
+            records.push(PerfRecord {
+                name: info.name.to_string(),
+                strategies: info.strategies,
+                gflops: 0.0,
+                status: RecordStatus::CandidateFailed {
+                    reason: "quarantined".into(),
+                },
+            });
+            continue;
+        }
         let outcome = measure_guarded(|| lib.run(probe, v, &x, &mut y), budget, deadline, 3, 64);
         let record = match outcome {
             MeasureOutcome::Ok(med) => PerfRecord {
@@ -262,13 +288,32 @@ pub fn search_kernels<T: Scalar>(
     probe: &Csr<T>,
     budget_per_variant: Duration,
 ) -> (KernelChoice, Vec<PerfTable>) {
+    search_kernels_excluding(lib, probe, budget_per_variant, &[])
+}
+
+/// [`search_kernels`] with a quarantine set: the listed variants are
+/// excluded from every format's scoreboard (recorded as failed
+/// candidates with reason `"quarantined"`), so a kernel benched by the
+/// runtime circuit breaker can never be re-selected by a search run
+/// while its breaker is open.
+pub fn search_kernels_excluding<T: Scalar>(
+    lib: &KernelLibrary<T>,
+    probe: &Csr<T>,
+    budget_per_variant: Duration,
+    excluded: &[KernelId],
+) -> (KernelChoice, Vec<PerfTable>) {
     let mut choice = KernelChoice::basic();
     let mut tables = Vec::with_capacity(Format::COUNT);
     for format in Format::ALL {
         match AnyMatrix::convert_from_csr(probe, format) {
             Ok(any) => {
-                let table =
-                    measure_format(lib, &any, budget_per_variant, DEFAULT_CANDIDATE_DEADLINE);
+                let table = measure_format_excluding(
+                    lib,
+                    &any,
+                    budget_per_variant,
+                    DEFAULT_CANDIDATE_DEADLINE,
+                    excluded,
+                );
                 choice.set(format, table.scoreboard().best_variant);
                 tables.push(table);
             }
@@ -539,6 +584,49 @@ mod tests {
         // Every healthy variant still measured, and the winner is sane.
         assert!(table.records[..healthy].iter().all(PerfRecord::is_measured));
         assert_ne!(table.scoreboard().best_variant, healthy);
+    }
+
+    #[test]
+    fn quarantined_variants_are_excluded_like_failed_candidates() {
+        let lib = KernelLibrary::<f64>::new();
+        let probe = random_uniform::<f64>(300, 300, 6, 5);
+        let any = AnyMatrix::Csr(probe.clone());
+        // First find the winner, then quarantine it: the re-run must
+        // pick someone else, and the benched row must read exactly like
+        // a harness failure.
+        let open = measure_format(
+            &lib,
+            &any,
+            Duration::from_micros(100),
+            DEFAULT_CANDIDATE_DEADLINE,
+        );
+        let winner = open.scoreboard().best_variant;
+        let benched = KernelId {
+            format: Format::Csr,
+            variant: winner,
+        };
+        let table = measure_format_excluding(
+            &lib,
+            &any,
+            Duration::from_micros(100),
+            DEFAULT_CANDIDATE_DEADLINE,
+            &[benched],
+        );
+        let row = &table.records[winner];
+        assert!(!row.is_measured());
+        assert!(matches!(
+            &row.status,
+            RecordStatus::CandidateFailed { reason } if reason == "quarantined"
+        ));
+        assert_ne!(table.scoreboard().best_variant, winner);
+        assert!(table
+            .failures()
+            .iter()
+            .any(|&(v, _, r)| v == winner && r == "quarantined"));
+        // The full multi-format search honors the same set.
+        let (choice, _) =
+            search_kernels_excluding(&lib, &probe, Duration::from_micros(100), &[benched]);
+        assert_ne!(choice.kernel(Format::Csr).variant, winner);
     }
 
     #[test]

@@ -162,6 +162,16 @@ pub fn read_matrix_market<T: Scalar, R: Read>(reader: R) -> Result<Csr<T>> {
                     line: lno,
                     message: format!("bad value {tok:?}"),
                 })?;
+                // Rust's float parser accepts "nan"/"inf" tokens;
+                // admitting them here would poison every downstream
+                // measurement and tuned product, so they are rejected
+                // at the boundary.
+                if !f.is_finite() {
+                    return Err(MatrixError::Parse {
+                        line: lno,
+                        message: format!("non-finite value {tok:?} (matrix values must be finite)"),
+                    });
+                }
                 T::from_f64(f)
             }
         };
@@ -302,6 +312,29 @@ mod tests {
         assert!(read_matrix_market::<f64, _>(short.as_bytes()).is_err());
         let empty = "";
         assert!(read_matrix_market::<f64, _>(empty.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_non_finite_values_at_parse_time() {
+        // Rust's f64 parser accepts all of these tokens; the reader
+        // must not.
+        for tok in ["nan", "NaN", "inf", "-inf", "Infinity", "1e999"] {
+            let text = format!("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 {tok}\n");
+            let err = read_matrix_market::<f64, _>(text.as_bytes()).unwrap_err();
+            match &err {
+                MatrixError::Parse { line, message } => {
+                    assert_eq!(*line, 3, "token {tok:?}");
+                    assert!(message.contains("non-finite"), "token {tok:?}: {message}");
+                }
+                other => panic!("expected Parse for {tok:?}, got {other:?}"),
+            }
+        }
+        // Symmetric expansion cannot smuggle one in either.
+        let sym = "%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n2 1 nan\n";
+        assert!(read_matrix_market::<f64, _>(sym.as_bytes()).is_err());
+        // Integer-typed files go through the same gate.
+        let int = "%%MatrixMarket matrix coordinate integer general\n2 2 1\n1 1 inf\n";
+        assert!(read_matrix_market::<f64, _>(int.as_bytes()).is_err());
     }
 
     #[test]

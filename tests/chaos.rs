@@ -10,7 +10,7 @@
 //! production build carries only inert no-op sites).
 #![cfg(feature = "failpoints")]
 
-use smat::{DecisionPath, Installation, Smat, SmatConfig, Trainer};
+use smat::{BreakerState, DecisionPath, FaultKind, Installation, Smat, SmatConfig, Trainer};
 use smat_kernels::{KernelId, KernelLibrary, Strategy};
 use smat_matrix::gen::{generate_corpus, power_law, random_uniform, tridiagonal, CorpusSpec};
 use smat_matrix::io::read_matrix_market;
@@ -413,6 +413,237 @@ fn pool_dispatch_faults_fall_back_inline_without_corrupting_results() {
     for h in handles {
         h.join().expect("no pipeline thread may panic");
     }
+}
+
+/// The execution-time containment acceptance run: a kernel scripted to
+/// panic on warm calls never propagates. Every `spmv` returns `Ok` with
+/// a reference-correct product, the variant is quarantined after
+/// `breaker_threshold` incidents, excluded from the next `prepare`'s
+/// candidate set (its cached decision evicted), and readmitted by a
+/// successful half-open re-probe once the call-counted backoff elapses.
+#[test]
+fn scripted_kernel_panics_are_contained_quarantined_and_readmitted() {
+    let _serial = exclusive_failpoints();
+    let cfg = SmatConfig {
+        breaker_threshold: 2,
+        breaker_backoff_calls: 4,
+        ..SmatConfig::fast()
+    };
+    let engine = train_engine_with(56, cfg);
+    let m = random_uniform::<f64>(300, 300, 8, 77);
+    let tuned = engine.prepare(&m);
+    let bad = tuned.kernel();
+    let x: Vec<f64> = (0..m.cols()).map(|i| 0.5 - (i % 5) as f64 * 0.2).collect();
+    let mut expect = vec![0.0; m.rows()];
+    m.spmv(&x, &mut expect).expect("reference SpMV runs");
+    let check = |engine: &Smat<f64>, tuned: &smat::TunedSpmv<f64>| {
+        let mut y = vec![f64::NAN; m.rows()];
+        engine
+            .spmv(tuned, &x, &mut y)
+            .expect("a contained fault must still return Ok");
+        assert!(
+            max_abs_diff(&y, &expect) < 1e-10,
+            "contained call diverged from the reference product"
+        );
+    };
+
+    // Calls 1–2: the kernel panics mid-call on a scripted schedule. Both
+    // faults are contained — the caller sees `Ok` and a correct product
+    // served by the reference path — and the second trips the breaker.
+    let _g = smat_failpoints::scoped("exec.kernel", "2*panic(injected kernel fault)->off").unwrap();
+    check(&engine, &tuned);
+    check(&engine, &tuned);
+    let r = engine.health_report();
+    assert_eq!(r.calls, 2);
+    assert_eq!(r.exec_faults, 2);
+    assert_eq!(r.breaker_trips, 1);
+    assert_eq!(r.recent_incidents.len(), 2);
+    assert!(r
+        .recent_incidents
+        .iter()
+        .all(|i| i.kernel == bad && i.kind == FaultKind::Panic));
+    assert!(r.recent_incidents[0]
+        .payload
+        .contains("injected kernel fault"));
+    let q = &r.quarantined_variants;
+    assert_eq!(q.len(), 1, "exactly one variant is benched");
+    assert_eq!(q[0].kernel, bad);
+    assert_eq!(q[0].state, BreakerState::Open);
+    assert_eq!(q[0].incidents, 2);
+    assert_eq!(q[0].reopen_at, 2 + 4, "backoff counts in call-clock units");
+
+    // The next prepare finds the cached decision pointing at the benched
+    // kernel, evicts it, and re-tunes with the variant excluded.
+    let tuned2 = engine.prepare(&m);
+    assert_eq!(engine.health_report().quarantine_evictions, 1);
+    if bad != KernelId::basic(bad.format) {
+        assert_ne!(
+            tuned2.kernel(),
+            bad,
+            "a quarantined variant must not be re-attached"
+        );
+    }
+    check(&engine, &tuned2); // call 3, healthy substitute kernel
+
+    // Calls 4–5 on the original handle sit inside the backoff window:
+    // served by the reference path, no new incidents recorded.
+    check(&engine, &tuned);
+    check(&engine, &tuned);
+    let r = engine.health_report();
+    assert_eq!(r.exec_faults, 2, "fallback service records no incidents");
+    assert_eq!(r.quarantined_variants.len(), 1);
+
+    // Call 6 reaches `reopen_at`: the breaker half-opens, this call
+    // claims the re-probe, the (now healed) kernel runs cleanly, and the
+    // variant is readmitted.
+    check(&engine, &tuned);
+    let r = engine.health_report();
+    assert_eq!(r.reprobe_successes, 1);
+    assert_eq!(r.reprobe_failures, 0);
+    assert!(
+        r.quarantined_variants.is_empty(),
+        "a clean re-probe must close the breaker"
+    );
+    check(&engine, &tuned); // call 7: healthy steady state again
+    assert_eq!(engine.health_report().exec_faults, 2);
+}
+
+/// The pool degradation ladder at engine level: scripted dispatch
+/// faults demote warm serving to serial plans (results stay correct
+/// throughout), and a clean re-probe after the backoff promotes the
+/// engine back to the parallel rung.
+#[test]
+fn pool_fault_storm_demotes_to_serial_and_reprobes_back() {
+    let _serial = exclusive_failpoints();
+    let corpus = generate_corpus::<f64>(&CorpusSpec::small(120, 57));
+    let matrices: Vec<&Csr<f64>> = corpus.iter().map(|e| &e.matrix).collect();
+    let mut out = Trainer::new(SmatConfig::fast())
+        .train(&matrices)
+        .expect("training succeeds");
+    // Pin every format's choice to a parallel variant (where one
+    // exists) so the prepared plan actually fans out through the pool.
+    let lib = KernelLibrary::<f64>::new();
+    for idx in 0..Format::COUNT {
+        let f = Format::from_index(idx);
+        if let Some(v) = lib
+            .variants(f)
+            .iter()
+            .position(|i| i.strategies.contains(Strategy::Parallel))
+        {
+            out.model.kernel_choice.set(f, v);
+        }
+    }
+    let cfg = SmatConfig {
+        pool_fault_threshold: 2,
+        breaker_backoff_calls: 4,
+        ..SmatConfig::fast()
+    };
+    let engine = Smat::with_config(out.model, cfg).expect("precision matches");
+    let m = random_uniform::<f64>(400, 400, 8, 99);
+    let tuned = engine.prepare(&m);
+    assert!(
+        !tuned.plan().is_serial(),
+        "the pinned parallel variant must produce a fanned-out plan"
+    );
+    let x: Vec<f64> = (0..m.cols())
+        .map(|i| 0.25 * ((i % 7) as f64) - 1.0)
+        .collect();
+    let mut expect = vec![0.0; m.rows()];
+    m.spmv(&x, &mut expect).expect("reference SpMV runs");
+    let check = || {
+        let mut y = vec![f64::NAN; m.rows()];
+        engine.spmv(&tuned, &x, &mut y).expect("SpMV stays Ok");
+        assert!(
+            max_abs_diff(&y, &expect) < 1e-10,
+            "a dispatch fault corrupted the product"
+        );
+    };
+
+    // Scripted after prepare so tuning itself never crosses the site.
+    let _g = smat_failpoints::scoped("pool.dispatch", "3*fail(pool offline)->off").unwrap();
+    let mut calls = 0;
+    while !engine.pool_demoted() && calls < 20 {
+        check();
+        calls += 1;
+    }
+    assert!(
+        engine.pool_demoted(),
+        "repeated dispatch faults must demote the engine"
+    );
+    // Demoted serving substitutes serial plans per call — correct, and
+    // off the pool entirely — until the backoff admits a re-probe that
+    // finds the (exhausted) schedule healthy and promotes.
+    let mut more = 0;
+    while engine.pool_demoted() && more < 100 {
+        check();
+        more += 1;
+    }
+    assert!(
+        !engine.pool_demoted(),
+        "a clean re-probe must promote back to the parallel rung"
+    );
+    let r = engine.health_report();
+    assert_eq!(r.pool_demotions, 1);
+    assert!(!r.pool_demoted);
+    assert!(r.reprobe_successes >= 1);
+    assert_eq!(r.exec_faults, 0, "dispatch faults are not kernel incidents");
+    check(); // healthy parallel steady state again
+}
+
+/// Quarantine survives the sealed install artifact: a breaker tripped
+/// at serve time re-persists the installation, and a fresh engine
+/// adopting that artifact starts with the variant already benched.
+#[test]
+fn quarantine_persists_through_the_install_artifact() {
+    let _serial = exclusive_failpoints();
+    let path = tmp("quarantine_install.json");
+    std::fs::remove_file(&path).ok();
+    let cfg = SmatConfig {
+        breaker_threshold: 1,
+        breaker_backoff_calls: 1_000,
+        install_path: Some(path.clone()),
+        ..SmatConfig::fast()
+    };
+    let corpus = generate_corpus::<f64>(&CorpusSpec::small(120, 58));
+    let matrices: Vec<&Csr<f64>> = corpus.iter().map(|e| &e.matrix).collect();
+    let trained = Trainer::new(SmatConfig::fast())
+        .train(&matrices)
+        .expect("training succeeds");
+
+    let engine = Smat::with_config(trained.model.clone(), cfg.clone()).expect("install seals");
+    assert!(engine.installation().is_some());
+    let m = random_uniform::<f64>(250, 250, 8, 41);
+    let tuned = engine.prepare(&m);
+    let bad = tuned.kernel();
+    {
+        let _g = smat_failpoints::scoped("exec.kernel", "1*panic(wedged)->off").unwrap();
+        assert_usable(&engine, &tuned, &m);
+    }
+    assert_eq!(engine.health_report().breaker_trips, 1);
+    // The trip re-persisted the artifact with the quarantine set.
+    let sealed = Installation::load(&path).expect("artifact re-persisted");
+    assert_eq!(sealed.quarantined, vec![bad]);
+
+    // A fresh engine adopting the artifact starts with the variant
+    // benched: served by the reference path, excluded from tuning.
+    drop(engine);
+    let engine2 = Smat::with_config(trained.model, cfg).expect("artifact adopted");
+    assert!(engine2.installation_from_disk());
+    let r = engine2.health_report();
+    assert_eq!(r.quarantined_variants.len(), 1);
+    assert_eq!(r.quarantined_variants[0].kernel, bad);
+    assert_eq!(r.quarantined_variants[0].state, BreakerState::Open);
+    assert_eq!(r.exec_faults, 0, "the incidents themselves do not persist");
+    let tuned2 = engine2.prepare(&m);
+    if bad != KernelId::basic(bad.format) {
+        assert_ne!(
+            tuned2.kernel(),
+            bad,
+            "an adopted quarantine must exclude the variant from tuning"
+        );
+    }
+    assert_usable(&engine2, &tuned2, &m);
+    std::fs::remove_file(&path).ok();
 }
 
 /// The `io.read` site injects at the matrix-market reader: one scripted

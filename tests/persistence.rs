@@ -94,6 +94,81 @@ fn installation_round_trips_through_the_engine() {
 }
 
 #[test]
+fn installation_round_trips_with_a_quarantine_set() {
+    use smat_kernels::KernelId;
+    use smat_matrix::Format;
+
+    let mut install = smat::Installation::run::<f64>(&SmatConfig::fast());
+    let benched = KernelId {
+        format: Format::Csr,
+        variant: 1,
+    };
+    install.quarantined = vec![benched];
+    let path = temp_path("installation_quarantine.json");
+    install.save(&path).unwrap();
+    let back = smat::Installation::load(&path).unwrap();
+    assert_eq!(back, install);
+    assert_eq!(back.quarantined, vec![benched]);
+
+    // An engine adopting the artifact starts with the variant benched.
+    let corpus = generate_corpus::<f64>(&CorpusSpec::small(100, 38));
+    let matrices: Vec<&Csr<f64>> = corpus.iter().map(|e| &e.matrix).collect();
+    let out = Trainer::new(SmatConfig::fast()).train(&matrices).unwrap();
+    let engine = Smat::<f64>::with_installation(out.model, SmatConfig::fast(), back).unwrap();
+    let report = engine.health_report();
+    assert_eq!(report.quarantined_variants.len(), 1);
+    assert_eq!(report.quarantined_variants[0].kernel, benched);
+    assert_eq!(
+        report.quarantined_variants[0].state,
+        smat::BreakerState::Open
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+/// A schema-3 artifact predates the `quarantined` field. The vendored
+/// serde has no `#[serde(default)]`, so such a file fails
+/// deserialization outright and `load_or_run` regenerates it at the
+/// current schema instead of trusting a quarantine-blind table.
+#[test]
+fn schema_3_artifact_missing_the_quarantine_field_regenerates() {
+    let path = temp_path("installation_schema3.json");
+    std::fs::remove_file(&path).ok();
+    let cfg = SmatConfig::fast();
+    let install = smat::Installation::run::<f64>(&cfg);
+    install.save(&path).unwrap();
+
+    // Rewrite the sealed file as its schema-3 ancestor: version stamp
+    // rolled back, `quarantined` field absent (it is the payload's last
+    // field, rendered inline as an empty array at two-space indent).
+    let text = std::fs::read_to_string(&path).unwrap();
+    let surgically = text
+        .replacen(
+            &format!("\"schema\": {}", smat::INSTALL_SCHEMA_VERSION),
+            "\"schema\": 3",
+            1,
+        )
+        .replacen(",\n    \"quarantined\": []", "", 1);
+    assert_ne!(text, surgically, "both surgery targets must exist");
+    assert!(!surgically.contains("quarantined"));
+    std::fs::write(&path, surgically).unwrap();
+
+    assert!(
+        smat::Installation::load(&path).is_err(),
+        "a quarantine-less artifact must fail deserialization"
+    );
+    let (fresh, from_disk) = smat::Installation::load_or_run::<f64>(&path, &cfg).unwrap();
+    assert!(!from_disk, "the schema-3 artifact must regenerate");
+    assert_eq!(fresh.schema, smat::INSTALL_SCHEMA_VERSION);
+    assert!(fresh.quarantined.is_empty());
+    assert_eq!(
+        smat::Installation::load(&path).unwrap().schema,
+        smat::INSTALL_SCHEMA_VERSION,
+        "the regenerated artifact replaces the stale file"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn model_json_is_human_inspectable() {
     let corpus = generate_corpus::<f64>(&CorpusSpec::small(80, 33));
     let matrices: Vec<&Csr<f64>> = corpus.iter().map(|e| &e.matrix).collect();
@@ -167,10 +242,19 @@ mod failpoint_schedules {
         guard
     }
 
-    /// One kernel search shared across every proptest case.
+    /// One kernel search shared across every proptest case. Carries a
+    /// non-empty quarantine set so every torn-artifact case also
+    /// exercises the schema-4 field.
     fn installation() -> &'static Installation {
         static INSTALL: OnceLock<Installation> = OnceLock::new();
-        INSTALL.get_or_init(|| Installation::run::<f64>(&SmatConfig::fast()))
+        INSTALL.get_or_init(|| {
+            let mut install = Installation::run::<f64>(&SmatConfig::fast());
+            install.quarantined = vec![smat_kernels::KernelId {
+                format: smat_matrix::Format::Csr,
+                variant: 1,
+            }];
+            install
+        })
     }
 
     /// One trained engine with two resident cache entries, shared
@@ -246,7 +330,13 @@ mod failpoint_schedules {
                 let _g3 = smat_failpoints::scoped("install.save", &s2).unwrap();
                 let _ = install.save(&path);
             }
-            prop_assert!(Installation::load(&path).is_ok(), "existing artifact destroyed");
+            let survivor = Installation::load(&path);
+            prop_assert!(survivor.is_ok(), "existing artifact destroyed");
+            prop_assert_eq!(
+                &survivor.unwrap().quarantined,
+                &install.quarantined,
+                "the quarantine set must survive a failed re-save"
+            );
             prop_assert!(!tmp_sibling(&path).exists(), "leaked tmp file");
             std::fs::remove_file(&path).ok();
         }

@@ -155,12 +155,17 @@ fn warm_planned_spmv_allocates_nothing_and_spawns_nothing() {
     }
 
     // --- Engine level: a prepared handle replayed through `Smat::spmv`.
+    // This path now crosses the execution-time containment boundary
+    // (`catch_unwind`, the health call clock, the breaker attention
+    // gate, the pool-ladder check): on the happy path all of it must
+    // cost only relaxed atomics — zero allocations, zero spawns.
     let corpus = generate_corpus::<f64>(&CorpusSpec::small(100, 31));
     let matrices: Vec<&Csr<f64>> = corpus.iter().map(|e| &e.matrix).collect();
     let out = Trainer::new(SmatConfig::fast())
         .train(&matrices)
         .expect("training succeeds");
-    let engine = Smat::<f64>::with_config(out.model, SmatConfig::fast()).expect("precision ok");
+    let engine =
+        Smat::<f64>::with_config(out.model.clone(), SmatConfig::fast()).expect("precision ok");
     let m = random_uniform::<f64>(400, 400, 8, 42);
     let tuned = engine.prepare(&m);
     let x: Vec<f64> = (0..m.cols())
@@ -172,6 +177,32 @@ fn warm_planned_spmv_allocates_nothing_and_spawns_nothing() {
     });
     assert_eq!(allocs, 0, "heap allocations in warm prepared-engine SpMV");
     assert_eq!(spawns, 0, "thread spawns in warm prepared-engine SpMV");
+    let report = engine.health_report();
+    assert!(
+        report.calls >= 105,
+        "the containment boundary counted calls"
+    );
+    assert_eq!(report.exec_faults, 0, "no incident on the happy path");
+
+    // --- Output screening enabled: the non-finite scan is a pure read
+    // over `y` and must not change the zero-allocation contract.
+    let screening = Smat::<f64>::with_config(
+        out.model,
+        SmatConfig {
+            screen_outputs: true,
+            ..SmatConfig::fast()
+        },
+    )
+    .expect("precision ok");
+    let tuned = screening.prepare(&m);
+    let (allocs, spawns) = audit(5, 100, || {
+        screening
+            .spmv(&tuned, &x, &mut y)
+            .expect("screened SpMV runs");
+    });
+    assert_eq!(allocs, 0, "heap allocations in warm screened SpMV");
+    assert_eq!(spawns, 0, "thread spawns in warm screened SpMV");
+    assert_eq!(screening.health_report().exec_faults, 0);
 
     // The audit is honest about its environment: record what actually
     // executed so a 1-core CI box (inline fallback, no fan-out) is
