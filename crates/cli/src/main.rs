@@ -11,6 +11,8 @@
 //! smat features MATRIX.mtx
 //! smat rules    --model MODEL.json
 //! smat health   --model MODEL.json [--json] [--calls N] [--dim D]
+//! smat serve    --model MODEL.json [--addr HOST:PORT | --socket PATH]
+//!               [--workers N] [--queue N] [--deadline-ms MS] [--cache CACHE.json]
 //! ```
 //!
 //! Matrices are Matrix Market files (the UF/SuiteSparse distribution
@@ -43,6 +45,11 @@ USAGE:
   smat rules    --model MODEL.json
   smat health   --model MODEL.json [--json] [--calls N] [--dim D]
                 [--install INSTALL.json]
+  smat serve    --model MODEL.json [--addr HOST:PORT | --socket PATH]
+                [--install INSTALL.json] [--cache CACHE.json]
+                [--workers N] [--queue N] [--degrade-watermark N]
+                [--deadline-ms MS] [--max-deadline-ms MS]
+                [--tenant-rate R] [--tenant-burst B]
 
 COMMANDS:
   train     run the off-line stage on a synthetic corpus and save the model
@@ -64,6 +71,14 @@ COMMANDS:
             contained faults, quarantined kernel variants, pool degradation,
             cache/concurrency recoveries; --json emits the machine-readable
             report for monitoring pipelines
+  serve     run the tuning-as-a-service daemon: line-delimited JSON requests
+            (ping/metrics/tune/spmv/shutdown) over TCP (--addr, port 0 picks
+            an ephemeral port printed as `listening on ...`) or a Unix socket
+            (--socket); bounded admission queue with load shedding, per-tenant
+            token buckets, per-request deadlines, and a degradation ladder;
+            --cache preloads the tuning-cache snapshot and persists it back on
+            graceful shutdown ({\"op\":\"shutdown\"}), which drains in-flight
+            work and exits 0
 ";
 
 /// Minimal flag parser: `--key value` pairs plus positionals.
@@ -118,6 +133,15 @@ impl Args {
         }
     }
 
+    fn get_f64(&self, name: &str, default: f64) -> Result<f64, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name} expects a number, got {v:?}")),
+        }
+    }
+
     fn has(&self, name: &str) -> bool {
         self.switches.iter().any(|s| s == name)
     }
@@ -149,6 +173,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "features" => cmd_features(&args),
         "rules" => cmd_rules(&args),
         "health" => cmd_health(&args),
+        "serve" => cmd_serve(&args),
         "-h" | "--help" | "help" => {
             print!("{USAGE}");
             Ok(())
@@ -618,6 +643,60 @@ fn cmd_health(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    use std::io::Write as _;
+    let model = load_model(args)?;
+    let engine = std::sync::Arc::new(engine_for(model, args)?);
+    let mut config = smat_service::ServeConfig::default();
+    config.workers = args.get_usize("workers", config.workers)?;
+    config.queue_capacity = args.get_usize("queue", config.queue_capacity)?;
+    config.degrade_watermark = args.get_usize("degrade-watermark", config.degrade_watermark)?;
+    config.default_deadline = Duration::from_millis(
+        args.get_usize("deadline-ms", config.default_deadline.as_millis() as usize)? as u64,
+    );
+    config.max_deadline = Duration::from_millis(
+        args.get_usize("max-deadline-ms", config.max_deadline.as_millis() as usize)? as u64,
+    );
+    config.tenant_rate = args.get_f64("tenant-rate", config.tenant_rate)?;
+    config.tenant_burst = args.get_f64("tenant-burst", config.tenant_burst)?;
+    config.max_frame_bytes = args.get_usize("max-frame-bytes", config.max_frame_bytes)?;
+    if let Some(path) = args.get("cache") {
+        config.cache_snapshot = Some(path.into());
+    }
+    let server = if let Some(path) = args.get("socket") {
+        let server = smat_service::Server::bind_unix(path, engine, config)
+            .map_err(|e| format!("binding unix socket {path}: {e}"))?;
+        println!("listening on unix:{path}");
+        server
+    } else {
+        let addr = args.get("addr").unwrap_or("127.0.0.1:7411");
+        let server = smat_service::Server::bind_tcp(addr, engine, config)
+            .map_err(|e| format!("binding {addr}: {e}"))?;
+        let bound = server
+            .local_addr()
+            .ok_or("TCP listener lost its local address")?;
+        println!("listening on {bound}");
+        server
+    };
+    // The listening line is the startup handshake scripts scrape for
+    // the ephemeral port; make sure it is out before blocking.
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+    let summary = server.run().map_err(|e| format!("serve loop: {e}"))?;
+    println!(
+        "drained: {} requests ({} ok, {} degraded, {} shed, {} deadline misses, {} errors)",
+        summary.requests_total,
+        summary.requests_ok,
+        summary.requests_degraded,
+        summary.requests_shed,
+        summary.deadline_misses,
+        summary.requests_error
+    );
+    if let Some(entries) = summary.cache_snapshot_entries {
+        println!("cache snapshot persisted ({entries} entries)");
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -650,6 +729,7 @@ mod tests {
         assert!(cmd_predict(&Args::parse(&[])).is_err());
         assert!(cmd_rules(&Args::parse(&[])).is_err());
         assert!(cmd_health(&Args::parse(&[])).is_err());
+        assert!(cmd_serve(&Args::parse(&[])).is_err());
     }
 
     #[test]

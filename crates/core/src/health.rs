@@ -121,6 +121,11 @@ pub struct HealthReport {
     /// The most recent contained incidents (bounded ring, oldest
     /// first).
     pub recent_incidents: Vec<ExecIncident>,
+    /// Mirror of the process-global
+    /// [`smat_kernels::exec::dispatch_fault_count`]: pool chunk
+    /// dispatches that faulted (worker panic transferred to the
+    /// caller). Feeds the pool degradation ladder.
+    pub dispatch_fault_count: u64,
     /// Mirror of [`crate::CacheStats::coalesced_waits`].
     pub coalesced_waits: u64,
     /// Mirror of [`crate::CacheStats::poison_recoveries`].
@@ -475,6 +480,7 @@ impl HealthState {
             quarantine_evictions: self.quarantine_evictions.load(Ordering::Relaxed),
             degraded_prepares: self.degraded_prepares.load(Ordering::Relaxed),
             recent_incidents,
+            dispatch_fault_count: 0,
             coalesced_waits: 0,
             poison_recoveries: 0,
             corrupt_evictions: 0,
@@ -627,6 +633,7 @@ mod tests {
             "quarantine_evictions",
             "degraded_prepares",
             "recent_incidents",
+            "dispatch_fault_count",
             "coalesced_waits",
             "poison_recoveries",
             "corrupt_evictions",

@@ -407,6 +407,7 @@ impl<T: Scalar> Smat<T> {
                 .map(|info| info.name.to_string())
                 .unwrap_or_default()
         });
+        report.dispatch_fault_count = smat_kernels::exec::dispatch_fault_count();
         report.coalesced_waits = cache.coalesced_waits;
         report.poison_recoveries = cache.poison_recoveries;
         report.corrupt_evictions = cache.corrupt_evictions;
@@ -429,6 +430,14 @@ impl<T: Scalar> Smat<T> {
     /// [`Smat::health_report`]).
     pub fn pool_demoted(&self) -> bool {
         self.health.pool_is_demoted()
+    }
+
+    /// Whether any kernel variant's circuit breaker is currently away
+    /// from `Closed`. One relaxed atomic load — cheap enough for a
+    /// serving layer to consult per request when deciding whether to
+    /// shed load or serve degraded.
+    pub fn quarantine_active(&self) -> bool {
+        self.health.needs_attention()
     }
 
     /// Drops every cached tuning decision (counters are preserved).
@@ -556,13 +565,38 @@ impl<T: Scalar> Smat<T> {
     /// [`SmatConfig::single_flight_wait`] from call entry; on timeout
     /// the call returns a [`DecisionPath::Degraded`] result.
     pub fn prepare(&self, csr: &Csr<T>) -> TunedSpmv<T> {
+        self.prepare_opt(csr, None)
+    }
+
+    /// [`Smat::prepare`] under a hard wall-clock deadline, for serving
+    /// layers that promise per-request latency bounds.
+    ///
+    /// The deadline propagates into every blocking or measured stage of
+    /// the tuning pipeline: the single-flight follower wait is clamped
+    /// to it, each execute-and-measure candidate's
+    /// [`smat_kernels::measure_guarded`] deadline is clamped to the
+    /// time remaining, and the plan search is skipped once the budget
+    /// is spent. Like `prepare`, the call never fails: a deadline that
+    /// expires before tuning completes yields a
+    /// [`DecisionPath::Degraded`] result served by the reference CSR
+    /// kernel (and, per the degraded contract, nothing is cached). A
+    /// cache hit is served regardless of the deadline — replay is the
+    /// cheap path the deadline exists to protect.
+    pub fn prepare_with_deadline(&self, csr: &Csr<T>, deadline: Instant) -> TunedSpmv<T> {
+        self.prepare_opt(csr, Some(deadline))
+    }
+
+    fn prepare_opt(&self, csr: &Csr<T>, req_deadline: Option<Instant>) -> TunedSpmv<T> {
         if self.config.cache_capacity == 0 {
-            return self.tune(csr, csr.fingerprint());
+            return self.tune(csr, csr.fingerprint(), req_deadline);
         }
         let t0 = Instant::now();
         let key = csr.fingerprint();
         let limits = self.config.conversion_limits();
-        let wait_deadline = t0 + self.config.single_flight_wait;
+        let mut wait_deadline = t0 + self.config.single_flight_wait;
+        if let Some(d) = req_deadline {
+            wait_deadline = wait_deadline.min(d);
+        }
         loop {
             if let Some(hit) = self.cache.get(&key) {
                 if self.health.quarantined(hit.kernel) {
@@ -637,7 +671,7 @@ impl<T: Scalar> Smat<T> {
                     inflight: &self.inflight,
                     key,
                 };
-                let tuned = self.tune(csr, key);
+                let tuned = self.tune(csr, key, req_deadline);
                 // A degraded decision reflects a transient or
                 // input-specific failure (poisoned values, every
                 // candidate failing): never cache it, so a healthy
@@ -663,16 +697,17 @@ impl<T: Scalar> Smat<T> {
             self.cache.record_coalesced_wait();
             if !marker.wait_until(wait_deadline) {
                 let features = extract_structure(csr).features;
-                let tuned = self.degrade(
-                    csr,
-                    features,
+                let reason = if req_deadline.is_some_and(|d| d <= Instant::now()) {
+                    "request deadline expired while waiting on an in-flight tuning run; \
+                     serving the reference kernel"
+                        .to_string()
+                } else {
                     format!(
                         "single-flight wait exceeded {:?}; serving the reference kernel",
                         self.config.single_flight_wait
-                    ),
-                    t0,
-                    key,
-                );
+                    )
+                };
+                let tuned = self.degrade(csr, features, reason, t0, key);
                 self.cache.record(false, t0.elapsed());
                 return tuned;
             }
@@ -709,6 +744,7 @@ impl<T: Scalar> Smat<T> {
     /// forced it) reports a scale-free row-degree distribution — the
     /// structures where uniform row splits lose. Near-uniform matrices
     /// keep the default plan with zero extra measurements.
+    #[allow(clippy::too_many_arguments)]
     fn refine_plan(
         &self,
         matrix: &AnyMatrix<T>,
@@ -717,6 +753,7 @@ impl<T: Scalar> Smat<T> {
         features: &mut FeatureVector,
         r_computed: &mut bool,
         planner: &mut smat_kernels::Planner,
+        req_deadline: Option<Instant>,
     ) -> ExecPlan {
         let default_plan = planner.plan_for(&self.lib, matrix, kernel);
         if !self.config.plan_search || default_plan.is_serial() || matrix.format() != Format::Csr {
@@ -729,12 +766,19 @@ impl<T: Scalar> Smat<T> {
         if features.r >= smat_features::R_NOT_SCALE_FREE {
             return default_plan;
         }
+        // A request deadline clamps the per-candidate plan-search
+        // deadline; once the budget is spent the search is skipped
+        // outright and the default plan serves.
+        let deadline = clamp_to_deadline(self.config.candidate_deadline, req_deadline);
+        if deadline.is_zero() {
+            return default_plan;
+        }
         match smat_kernels::search_plan(
             &self.lib,
             matrix,
             kernel,
             self.config.plan_search_budget,
-            self.config.candidate_deadline,
+            deadline,
         ) {
             Some(found) => found.plan,
             None => default_plan,
@@ -756,9 +800,26 @@ impl<T: Scalar> Smat<T> {
         }
     }
 
-    /// The uncached Figure 7 pipeline.
-    fn tune(&self, csr: &Csr<T>, fingerprint: StructuralFingerprint) -> TunedSpmv<T> {
+    /// The uncached Figure 7 pipeline. `req_deadline`, when set, is a
+    /// hard wall-clock bound propagated into every measured stage (see
+    /// [`Smat::prepare_with_deadline`]).
+    fn tune(
+        &self,
+        csr: &Csr<T>,
+        fingerprint: StructuralFingerprint,
+        req_deadline: Option<Instant>,
+    ) -> TunedSpmv<T> {
         let t0 = Instant::now();
+        if req_deadline.is_some_and(|d| d <= t0) {
+            let features = extract_structure(csr).features;
+            return self.degrade(
+                csr,
+                features,
+                "request deadline expired before tuning; serving the reference kernel".to_string(),
+                t0,
+                fingerprint,
+            );
+        }
         // Input screening: a poisoned matrix (NaN/Inf values) would
         // corrupt every fallback measurement and the tuned result
         // alike, so it is quarantined to the reference path up front.
@@ -817,6 +878,7 @@ impl<T: Scalar> Smat<T> {
                             &mut features,
                             &mut r_computed,
                             &mut planner,
+                            req_deadline,
                         ),
                         kernel,
                         matrix,
@@ -857,10 +919,16 @@ impl<T: Scalar> Smat<T> {
                 }
             };
             let variant = self.effective_kernel(format).variant;
+            // The request deadline clamps both the measurement budget
+            // and the per-candidate deadline. An exhausted budget fails
+            // the remaining candidates fast (zero-deadline timeout)
+            // instead of blowing through the request's latency bound.
+            let candidate_deadline =
+                clamp_to_deadline(self.config.candidate_deadline, req_deadline);
             let outcome = measure_guarded(
                 || self.lib.run(&any, variant, &x, &mut y),
-                self.config.fallback_budget,
-                self.config.candidate_deadline,
+                clamp_to_deadline(self.config.fallback_budget, req_deadline),
+                candidate_deadline,
                 1,
                 16,
             );
@@ -891,6 +959,7 @@ impl<T: Scalar> Smat<T> {
                         &mut features,
                         &mut r_computed,
                         &mut planner,
+                        req_deadline,
                     ),
                     kernel,
                     matrix,
@@ -1146,6 +1215,15 @@ fn snapshot_checksum(entries: &[(StructuralFingerprint, CachedDecision)]) -> Res
 }
 
 /// Whether any rule in the group tests the power-law attribute `R`.
+/// Clamps a configured budget to the time remaining before an optional
+/// request deadline (zero once the deadline has passed).
+fn clamp_to_deadline(budget: Duration, deadline: Option<Instant>) -> Duration {
+    match deadline {
+        Some(d) => budget.min(d.saturating_duration_since(Instant::now())),
+        None => budget,
+    }
+}
+
 fn group_tests_r(group: &ClassGroup) -> bool {
     group
         .rules
@@ -1393,6 +1471,55 @@ mod tests {
         m.spmv(&x, &mut expect).unwrap();
         assert_eq!(y, expect);
         assert!(tuned.prepare_time() > Duration::ZERO);
+    }
+
+    #[test]
+    fn expired_deadline_degrades_and_is_not_cached() {
+        let e = engine();
+        let m = random_uniform::<f64>(300, 300, 6, 9);
+        let past = Instant::now() - Duration::from_millis(1);
+        let tuned = e.prepare_with_deadline(&m, past);
+        assert!(tuned.decision().is_degraded());
+        assert_eq!(tuned.kernel(), KernelId::basic(Format::Csr));
+        match tuned.decision() {
+            DecisionPath::Degraded { reason } => {
+                assert!(reason.contains("deadline"), "reason: {reason}")
+            }
+            other => panic!("expected Degraded, got {other:?}"),
+        }
+        // The degraded product is still correct.
+        let x = vec![1.0; 300];
+        let mut y = vec![0.0; 300];
+        e.spmv(&tuned, &x, &mut y).unwrap();
+        let mut expect = vec![0.0; 300];
+        m.spmv(&x, &mut expect).unwrap();
+        assert_eq!(y, expect);
+        // Nothing was cached: a later unhurried call really tunes.
+        let tuned2 = e.prepare(&m);
+        assert!(!tuned2.decision().is_degraded());
+        assert!(!tuned2.decision().is_cached());
+    }
+
+    #[test]
+    fn deadline_does_not_block_cache_replay() {
+        let e = engine();
+        let m = random_uniform::<f64>(300, 300, 6, 10);
+        let first = e.prepare(&m);
+        assert!(!first.decision().is_degraded());
+        // An already-expired deadline still serves the cached decision:
+        // replay is the cheap path the deadline exists to protect.
+        let past = Instant::now() - Duration::from_millis(1);
+        let tuned = e.prepare_with_deadline(&m, past);
+        assert!(tuned.decision().is_cached());
+        assert_eq!(tuned.format(), first.format());
+    }
+
+    #[test]
+    fn generous_deadline_tunes_normally() {
+        let e = engine();
+        let m = random_uniform::<f64>(300, 300, 6, 11);
+        let tuned = e.prepare_with_deadline(&m, Instant::now() + Duration::from_secs(30));
+        assert!(!tuned.decision().is_degraded());
     }
 
     #[test]

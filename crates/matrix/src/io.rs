@@ -75,17 +75,21 @@ pub fn read_matrix_market<T: Scalar, R: Read>(reader: R) -> Result<Csr<T>> {
             })
         }
     };
-    let toks: Vec<String> = header
-        .split_whitespace()
-        .map(|t| t.to_ascii_lowercase())
-        .collect();
-    if toks.len() < 5 || toks[0] != "%%matrixmarket" || toks[1] != "matrix" {
+    // The spec prints `%%MatrixMarket` in mixed case and real-world
+    // corpora mix qualifier casings (`Real`/`real`, `SYMMETRIC`), so
+    // every token is matched case-insensitively. Errors quote the
+    // token as written in the file, not a normalized copy.
+    let toks: Vec<&str> = header.split_whitespace().collect();
+    if toks.len() < 5
+        || !toks[0].eq_ignore_ascii_case("%%matrixmarket")
+        || !toks[1].eq_ignore_ascii_case("matrix")
+    {
         return Err(MatrixError::Parse {
             line: lno,
             message: format!("bad header: {header:?}"),
         });
     }
-    if toks[2] != "coordinate" {
+    if !toks[2].eq_ignore_ascii_case("coordinate") {
         return Err(MatrixError::Parse {
             line: lno,
             message: format!(
@@ -94,27 +98,32 @@ pub fn read_matrix_market<T: Scalar, R: Read>(reader: R) -> Result<Csr<T>> {
             ),
         });
     }
-    let field = match toks[3].as_str() {
-        "real" => MmField::Real,
-        "integer" => MmField::Integer,
-        "pattern" => MmField::Pattern,
-        other => {
-            return Err(MatrixError::Parse {
-                line: lno,
-                message: format!("unsupported field {other:?} (complex matrices are excluded)"),
-            })
-        }
+    let field = if toks[3].eq_ignore_ascii_case("real") {
+        MmField::Real
+    } else if toks[3].eq_ignore_ascii_case("integer") {
+        MmField::Integer
+    } else if toks[3].eq_ignore_ascii_case("pattern") {
+        MmField::Pattern
+    } else {
+        return Err(MatrixError::Parse {
+            line: lno,
+            message: format!(
+                "unsupported field {:?} (complex matrices are excluded)",
+                toks[3]
+            ),
+        });
     };
-    let symmetry = match toks[4].as_str() {
-        "general" => MmSymmetry::General,
-        "symmetric" => MmSymmetry::Symmetric,
-        "skew-symmetric" => MmSymmetry::SkewSymmetric,
-        other => {
-            return Err(MatrixError::Parse {
-                line: lno,
-                message: format!("unsupported symmetry {other:?}"),
-            })
-        }
+    let symmetry = if toks[4].eq_ignore_ascii_case("general") {
+        MmSymmetry::General
+    } else if toks[4].eq_ignore_ascii_case("symmetric") {
+        MmSymmetry::Symmetric
+    } else if toks[4].eq_ignore_ascii_case("skew-symmetric") {
+        MmSymmetry::SkewSymmetric
+    } else {
+        return Err(MatrixError::Parse {
+            line: lno,
+            message: format!("unsupported symmetry {:?}", toks[4]),
+        });
     };
 
     // Size line (skipping comments / blanks).
@@ -291,6 +300,55 @@ mod tests {
         let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 2\n2 1\n";
         let m = read_matrix_market::<f32, _>(text.as_bytes()).unwrap();
         assert_eq!(m.get(0, 1), Some(1.0));
+    }
+
+    #[test]
+    fn header_tokens_match_case_insensitively() {
+        // The banner itself is mixed case in the spec, and corpora mix
+        // qualifier casings freely.
+        let mixed = "%%MatrixMarket Matrix Coordinate Real General\n% c\n2 2 2\n1 1 1.0\n2 2 2.0\n";
+        let m = read_matrix_market::<f64, _>(mixed.as_bytes()).unwrap();
+        assert_eq!(m.nnz(), 2);
+        let shouty = "%%MATRIXMARKET MATRIX COORDINATE REAL SYMMETRIC\n2 2 1\n2 1 3.0\n";
+        let m = read_matrix_market::<f64, _>(shouty.as_bytes()).unwrap();
+        assert_eq!(m.get(0, 1), Some(3.0));
+        assert_eq!(m.get(1, 0), Some(3.0));
+        let skew = "%%MatrixMarket matrix coordinate real Skew-Symmetric\n2 2 1\n2 1 3.0\n";
+        let m = read_matrix_market::<f64, _>(skew.as_bytes()).unwrap();
+        assert_eq!(m.get(0, 1), Some(-3.0));
+        let pattern = "%%MatrixMarket matrix coordinate PATTERN General\n2 2 1\n1 2\n";
+        let m = read_matrix_market::<f32, _>(pattern.as_bytes()).unwrap();
+        assert_eq!(m.get(0, 1), Some(1.0));
+    }
+
+    #[test]
+    fn genuine_header_mismatch_quotes_original_token_with_line() {
+        // A real mismatch must still fail, on line 1, quoting the token
+        // as written — not a lowercased copy.
+        let complex = "%%MatrixMarket matrix coordinate Complex general\n1 1 1\n1 1 1 0\n";
+        match read_matrix_market::<f64, _>(complex.as_bytes()).unwrap_err() {
+            MatrixError::Parse { line, message } => {
+                assert_eq!(line, 1);
+                assert!(message.contains("\"Complex\""), "message: {message}");
+            }
+            other => panic!("expected Parse, got {other:?}"),
+        }
+        let array = "%%MatrixMarket matrix Array real general\n2 2\n1\n2\n3\n4\n";
+        match read_matrix_market::<f64, _>(array.as_bytes()).unwrap_err() {
+            MatrixError::Parse { line, message } => {
+                assert_eq!(line, 1);
+                assert!(message.contains("\"Array\""), "message: {message}");
+            }
+            other => panic!("expected Parse, got {other:?}"),
+        }
+        let herm = "%%MatrixMarket matrix coordinate real Hermitian\n1 1 1\n1 1 1\n";
+        match read_matrix_market::<f64, _>(herm.as_bytes()).unwrap_err() {
+            MatrixError::Parse { line, message } => {
+                assert_eq!(line, 1);
+                assert!(message.contains("\"Hermitian\""), "message: {message}");
+            }
+            other => panic!("expected Parse, got {other:?}"),
+        }
     }
 
     #[test]

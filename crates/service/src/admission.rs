@@ -1,0 +1,245 @@
+//! Admission control: per-tenant token buckets and the bounded job
+//! queue.
+//!
+//! Both are deliberately boring. The queue is a `Mutex<VecDeque>` with
+//! a condvar — contention on it is one lock per request, dwarfed by
+//! the tuning work behind it — and the buckets are a lazily-refilled
+//! map. What matters is the *shape*: admission can only ever say yes
+//! (bounded enqueue) or no-with-retry-after; there is no path that
+//! buffers without bound or blocks a client forever.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Per-tenant token buckets: `burst` capacity refilled at `rate`
+/// tokens per second. A request takes one token; an empty bucket
+/// yields the wait until one token will be available, for the
+/// response's `retry_after_ms` hint.
+#[derive(Debug)]
+pub struct TokenBuckets {
+    rate: f64,
+    burst: f64,
+    buckets: Mutex<HashMap<String, Bucket>>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    tokens: f64,
+    refilled: Instant,
+}
+
+impl TokenBuckets {
+    /// Buckets with the given refill rate (tokens/second) and burst
+    /// capacity. Non-positive values disable budgeting: every take
+    /// succeeds.
+    pub fn new(rate: f64, burst: f64) -> Self {
+        TokenBuckets {
+            rate,
+            burst,
+            buckets: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Whether budgeting is enabled at all. NaN rates or bursts
+    /// compare false and land on unlimited.
+    fn unlimited(&self) -> bool {
+        let enabled = self.rate > 0.0 && self.burst >= 1.0;
+        !enabled
+    }
+
+    /// Takes one token from `tenant`'s bucket.
+    ///
+    /// # Errors
+    ///
+    /// Returns the duration after which a retry can succeed when the
+    /// bucket is empty.
+    pub fn try_take(&self, tenant: &str) -> Result<(), Duration> {
+        if self.unlimited() {
+            return Ok(());
+        }
+        let now = Instant::now();
+        let mut map = self.buckets.lock().unwrap_or_else(PoisonError::into_inner);
+        let bucket = map.entry(tenant.to_string()).or_insert(Bucket {
+            tokens: self.burst,
+            refilled: now,
+        });
+        let elapsed = now.saturating_duration_since(bucket.refilled).as_secs_f64();
+        bucket.tokens = (bucket.tokens + elapsed * self.rate).min(self.burst);
+        bucket.refilled = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            Ok(())
+        } else {
+            let deficit = 1.0 - bucket.tokens;
+            Err(Duration::from_secs_f64(deficit / self.rate))
+        }
+    }
+}
+
+/// Bounded FIFO of admitted jobs. `push` never blocks (full = shed);
+/// `pop` blocks until a job arrives or the queue is closed and empty.
+#[derive(Debug)]
+pub struct BoundedQueue<J> {
+    capacity: usize,
+    inner: Mutex<QueueState<J>>,
+    not_empty: Condvar,
+}
+
+#[derive(Debug)]
+struct QueueState<J> {
+    jobs: VecDeque<J>,
+    closed: bool,
+}
+
+impl<J> BoundedQueue<J> {
+    /// A queue holding at most `capacity` jobs.
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            capacity: capacity.max(1),
+            inner: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    /// Current depth.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .jobs
+            .len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues `job`, returning the resulting depth.
+    ///
+    /// # Errors
+    ///
+    /// Hands the job back when the queue is full or closed — the
+    /// caller sheds it; nothing is buffered.
+    pub fn push(&self, job: J) -> Result<usize, J> {
+        let mut state = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        if state.closed || state.jobs.len() >= self.capacity {
+            return Err(job);
+        }
+        state.jobs.push_back(job);
+        let depth = state.jobs.len();
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks until a job is available and dequeues it. Returns `None`
+    /// once the queue is closed *and* drained — the worker-exit
+    /// signal, guaranteeing no admitted job is dropped on shutdown.
+    pub fn pop(&self) -> Option<J> {
+        let mut state = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                return Some(job);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Closes the queue: further pushes shed, and workers exit once
+    /// the backlog is drained.
+    pub fn close(&self) {
+        let mut state = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        state.closed = true;
+        drop(state);
+        self.not_empty.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn bucket_sheds_when_empty_and_refills() {
+        let b = TokenBuckets::new(1000.0, 2.0);
+        assert!(b.try_take("t").is_ok());
+        assert!(b.try_take("t").is_ok());
+        let retry = b.try_take("t").expect_err("burst of 2 exhausted");
+        assert!(retry <= Duration::from_millis(2), "retry hint: {retry:?}");
+        thread::sleep(Duration::from_millis(5));
+        assert!(b.try_take("t").is_ok(), "bucket refills at 1000/s");
+    }
+
+    #[test]
+    fn buckets_are_per_tenant() {
+        let b = TokenBuckets::new(0.001, 1.0);
+        assert!(b.try_take("a").is_ok());
+        assert!(b.try_take("a").is_err());
+        assert!(b.try_take("b").is_ok(), "tenant b has its own budget");
+    }
+
+    #[test]
+    fn zero_rate_disables_budgeting() {
+        let b = TokenBuckets::new(0.0, 0.0);
+        for _ in 0..100 {
+            assert!(b.try_take("t").is_ok());
+        }
+    }
+
+    #[test]
+    fn queue_bounds_depth_and_hands_back_overflow() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.push(1).unwrap(), 1);
+        assert_eq!(q.push(2).unwrap(), 2);
+        assert_eq!(q.push(3).unwrap_err(), 3);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.push(3).unwrap(), 2);
+    }
+
+    #[test]
+    fn closed_queue_drains_then_releases_workers() {
+        let q = Arc::new(BoundedQueue::new(4));
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.close();
+        assert!(q.push(3).is_err(), "closed queue sheds");
+        let worker = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                let mut seen = Vec::new();
+                while let Some(j) = q.pop() {
+                    seen.push(j);
+                }
+                seen
+            })
+        };
+        assert_eq!(worker.join().unwrap(), vec![1, 2]);
+    }
+
+    #[test]
+    fn pop_wakes_on_push() {
+        let q = Arc::new(BoundedQueue::<u32>::new(4));
+        let waiter = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.pop())
+        };
+        thread::sleep(Duration::from_millis(10));
+        q.push(7).unwrap();
+        assert_eq!(waiter.join().unwrap(), Some(7));
+    }
+}

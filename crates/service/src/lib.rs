@@ -1,0 +1,42 @@
+//! `smat-service` — tuning-as-a-service for the SMAT reproduction.
+//!
+//! SMAT (PLDI'13) frames auto-tuning as an online, input-adaptive
+//! decision per matrix; this crate puts that decision behind a
+//! long-lived daemon speaking line-delimited JSON over TCP or a
+//! Unix-domain socket. The serving layer adds what a shared tuner
+//! needs and the engine alone cannot provide:
+//!
+//! - **Admission control**: a bounded queue that sheds with an
+//!   explicit retry-after instead of buffering without bound, and
+//!   per-tenant token-bucket budgets.
+//! - **Deadlines**: per-request deadlines propagated into the
+//!   engine's own cooperative measurement deadlines via
+//!   [`smat::Smat::prepare_with_deadline`], so a hurried request can
+//!   never be held hostage by tuning.
+//! - **Coalescing**: identical structural fingerprints from different
+//!   clients collapse onto one tuning run through the engine's
+//!   single-flight `prepare`.
+//! - **Degradation**: when the engine is unhealthy or the backlog
+//!   deep, requests are answered immediately through the reference
+//!   serial CSR path and counted as degraded — correct now beats
+//!   tuned late.
+//! - **Graceful drain**: shutdown refuses new connections, answers
+//!   in-flight work, persists the tuning-cache snapshot, and exits
+//!   cleanly.
+//!
+//! The wire protocol lives in [`proto`]; the serving loop in
+//! [`server`]; the policies in [`admission`] and [`config`]; the
+//! counters in [`metrics`].
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod config;
+pub mod metrics;
+pub mod proto;
+pub mod server;
+
+pub use config::ServeConfig;
+pub use metrics::ServiceMetrics;
+pub use proto::{Request, Response, Status, WorkOp, WorkRequest};
+pub use server::{DrainSummary, Server, ServerHandle};

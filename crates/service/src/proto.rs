@@ -1,0 +1,440 @@
+//! Wire protocol: one line-delimited JSON object per request and per
+//! response.
+//!
+//! Requests are parsed by hand from the [`serde::Value`] tree rather
+//! than derived: the vendored serde derive requires every struct field
+//! to be present in the input, while real clients omit optional fields
+//! (`deadline_ms`, `tenant`, `x`) freely. Responses are built as
+//! `Value` trees and serialized through [`serde_json`].
+//!
+//! ## Requests
+//!
+//! ```json
+//! {"op": "ping"}
+//! {"op": "metrics"}
+//! {"op": "shutdown"}
+//! {"op": "tune", "matrix": {"rows": R, "cols": C,
+//!   "entries": [[r, c, v], ...]},                // 0-based indices
+//!   "deadline_ms": 250, "tenant": "team-a"}      // both optional
+//! {"op": "spmv", "matrix": {...}, "x": [..],     // x optional (ones)
+//!   "deadline_ms": 250, "tenant": "team-a"}
+//! ```
+//!
+//! ## Responses
+//!
+//! Every response carries `"status"`: `"ok"`, `"degraded"` (correct
+//! product via the reference path), `"shed"` (with `retry_after_ms`),
+//! `"deadline_miss"`, or `"error"`.
+
+use serde::{Serialize, Value};
+use smat_matrix::Csr;
+use std::time::Duration;
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe; answered inline.
+    Ping,
+    /// Metrics snapshot; answered inline.
+    Metrics,
+    /// Graceful shutdown: drain in-flight work, persist snapshots,
+    /// refuse new connections.
+    Shutdown,
+    /// Tuning work (`tune` / `spmv`); goes through admission.
+    Work(Box<WorkRequest>),
+}
+
+/// What a [`Request::Work`] asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkOp {
+    /// Tune only: answer with the chosen format/kernel.
+    Tune,
+    /// Tune then multiply: answer with `y`.
+    Spmv,
+}
+
+impl WorkOp {
+    /// The wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkOp::Tune => "tune",
+            WorkOp::Spmv => "spmv",
+        }
+    }
+}
+
+/// A tune/spmv request after validation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkRequest {
+    /// Which operation.
+    pub op: WorkOp,
+    /// The matrix, already assembled (duplicate entries summed).
+    pub matrix: Csr<f64>,
+    /// Input vector for [`WorkOp::Spmv`]; `None` means all-ones.
+    pub x: Option<Vec<f64>>,
+    /// Client deadline; `None` takes the server default.
+    pub deadline: Option<Duration>,
+    /// Budget account; empty string is the anonymous tenant.
+    pub tenant: String,
+}
+
+/// Outcome class of a response — the single source for outcome
+/// counters, so every answered request is counted exactly once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Tuned result.
+    Ok,
+    /// Correct product via the reference path.
+    Degraded,
+    /// Rejected with a retry hint.
+    Shed,
+    /// Deadline expired before an answer was produced.
+    DeadlineMiss,
+    /// Malformed request or execution failure.
+    Error,
+}
+
+impl Status {
+    /// The wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Status::Ok => "ok",
+            Status::Degraded => "degraded",
+            Status::Shed => "shed",
+            Status::DeadlineMiss => "deadline_miss",
+            Status::Error => "error",
+        }
+    }
+}
+
+/// A response ready to be written: its outcome class plus the JSON
+/// body (which already contains the `status` field).
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Outcome class, for counting at write time.
+    pub status: Status,
+    /// Full JSON body.
+    pub body: Value,
+}
+
+impl Response {
+    /// A response with `status` plus `fields`.
+    pub fn with(status: Status, fields: Vec<(&str, Value)>) -> Self {
+        let mut all = vec![("status", Value::Str(status.name().to_string()))];
+        all.extend(fields);
+        Response {
+            status,
+            body: obj(all),
+        }
+    }
+
+    /// An `"error"` response.
+    pub fn error(message: impl Into<String>) -> Self {
+        Self::with(Status::Error, vec![("message", Value::Str(message.into()))])
+    }
+
+    /// A `"shed"` response with a retry hint and reason.
+    pub fn shed(retry_after: Duration, reason: &str) -> Self {
+        Self::with(
+            Status::Shed,
+            vec![
+                (
+                    "retry_after_ms",
+                    Value::UInt(retry_after.as_millis() as u64),
+                ),
+                ("reason", Value::Str(reason.to_string())),
+            ],
+        )
+    }
+
+    /// A `"deadline_miss"` response.
+    pub fn deadline_miss(stage: &str) -> Self {
+        Self::with(
+            Status::DeadlineMiss,
+            vec![("stage", Value::Str(stage.to_string()))],
+        )
+    }
+
+    /// Serializes the body as one compact line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        serde_json::to_string(&Json(&self.body)).unwrap_or_else(|_| {
+            // The writer is infallible over the Value model; this arm
+            // only guards against future stub changes.
+            format!("{{\"status\":\"{}\"}}", self.status.name())
+        })
+    }
+}
+
+/// Adapter: the vendored serde has no `Serialize` impl for its own
+/// `Value`, so responses wrap theirs in this identity impl.
+pub struct Json<'a>(pub &'a Value);
+
+impl Serialize for Json<'_> {
+    fn to_value(&self) -> Value {
+        self.0.clone()
+    }
+}
+
+/// Builds an object `Value` from `(key, value)` pairs.
+pub fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn get<'a>(fields: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn as_u64(v: &Value) -> Option<u64> {
+    match v {
+        Value::Int(i) if *i >= 0 => Some(*i as u64),
+        Value::UInt(u) => Some(*u),
+        Value::Float(f) if *f >= 0.0 && f.fract() == 0.0 => Some(*f as u64),
+        _ => None,
+    }
+}
+
+fn as_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::Int(i) => Some(*i as f64),
+        Value::UInt(u) => Some(*u as f64),
+        Value::Float(f) => Some(*f),
+        _ => None,
+    }
+}
+
+/// Parses one frame into a [`Request`].
+///
+/// # Errors
+///
+/// Returns a client-facing message describing the first problem (bad
+/// JSON, unknown op, malformed matrix, non-finite values).
+pub fn parse_request(frame: &str) -> Result<Request, String> {
+    let value = serde_json::parse(frame).map_err(|e| format!("invalid JSON: {e}"))?;
+    let fields = value
+        .as_object()
+        .ok_or_else(|| format!("request must be a JSON object, got {}", value.kind()))?;
+    let op = match get(fields, "op") {
+        Some(Value::Str(op)) => op.as_str(),
+        Some(other) => return Err(format!("\"op\" must be a string, got {}", other.kind())),
+        None => return Err("missing \"op\" field".to_string()),
+    };
+    let work_op = match op {
+        "ping" => return Ok(Request::Ping),
+        "metrics" => return Ok(Request::Metrics),
+        "shutdown" => return Ok(Request::Shutdown),
+        "tune" => WorkOp::Tune,
+        "spmv" => WorkOp::Spmv,
+        other => {
+            return Err(format!(
+                "unknown op {other:?} (expected ping, metrics, tune, spmv, or shutdown)"
+            ))
+        }
+    };
+    let matrix = parse_matrix(get(fields, "matrix").ok_or("missing \"matrix\" field")?)?;
+    let x = match get(fields, "x") {
+        None | Some(Value::Null) => None,
+        Some(v) => {
+            let items = v
+                .as_array()
+                .ok_or_else(|| format!("\"x\" must be an array, got {}", v.kind()))?;
+            let mut x = Vec::with_capacity(items.len());
+            for (i, item) in items.iter().enumerate() {
+                let f = as_f64(item).ok_or_else(|| format!("x[{i}] is not a number"))?;
+                if !f.is_finite() {
+                    return Err(format!("x[{i}] is not finite"));
+                }
+                x.push(f);
+            }
+            if x.len() != matrix.cols() {
+                return Err(format!(
+                    "\"x\" has {} entries but the matrix has {} columns",
+                    x.len(),
+                    matrix.cols()
+                ));
+            }
+            Some(x)
+        }
+    };
+    let deadline = match get(fields, "deadline_ms") {
+        None | Some(Value::Null) => None,
+        Some(v) => Some(Duration::from_millis(
+            as_u64(v).ok_or("\"deadline_ms\" must be a non-negative integer")?,
+        )),
+    };
+    let tenant = match get(fields, "tenant") {
+        None | Some(Value::Null) => String::new(),
+        Some(Value::Str(s)) => s.clone(),
+        Some(other) => return Err(format!("\"tenant\" must be a string, got {}", other.kind())),
+    };
+    Ok(Request::Work(Box::new(WorkRequest {
+        op: work_op,
+        matrix,
+        x,
+        deadline,
+        tenant,
+    })))
+}
+
+/// Size guard before assembling a matrix from the wire: triplet count
+/// is already bounded by the frame cap, but dimensions are not — a
+/// 10-byte frame can claim a 10^15-row matrix and a naive assembly
+/// would allocate row pointers for it.
+const MAX_WIRE_DIM: usize = 1 << 24;
+
+fn parse_matrix(v: &Value) -> Result<Csr<f64>, String> {
+    let fields = v
+        .as_object()
+        .ok_or_else(|| format!("\"matrix\" must be an object, got {}", v.kind()))?;
+    let rows = get(fields, "rows")
+        .and_then(as_u64)
+        .ok_or("matrix needs a non-negative integer \"rows\"")? as usize;
+    let cols = get(fields, "cols")
+        .and_then(as_u64)
+        .ok_or("matrix needs a non-negative integer \"cols\"")? as usize;
+    if rows == 0 || cols == 0 {
+        return Err("matrix dimensions must be positive".to_string());
+    }
+    if rows > MAX_WIRE_DIM || cols > MAX_WIRE_DIM {
+        return Err(format!(
+            "matrix dimensions {rows}x{cols} exceed the wire limit of {MAX_WIRE_DIM}"
+        ));
+    }
+    let entries = get(fields, "entries")
+        .and_then(Value::as_array)
+        .ok_or("matrix needs an \"entries\" array of [row, col, value] triplets")?;
+    let mut triplets = Vec::with_capacity(entries.len());
+    for (i, entry) in entries.iter().enumerate() {
+        let triple = entry
+            .as_array()
+            .filter(|t| t.len() == 3)
+            .ok_or_else(|| format!("entries[{i}] must be a [row, col, value] triplet"))?;
+        let r = as_u64(&triple[0]).ok_or_else(|| format!("entries[{i}] row is not an integer"))?
+            as usize;
+        let c = as_u64(&triple[1]).ok_or_else(|| format!("entries[{i}] col is not an integer"))?
+            as usize;
+        let val =
+            as_f64(&triple[2]).ok_or_else(|| format!("entries[{i}] value is not a number"))?;
+        if r >= rows || c >= cols {
+            return Err(format!(
+                "entries[{i}] = ({r}, {c}) outside 0..{rows} x 0..{cols}"
+            ));
+        }
+        if !val.is_finite() {
+            return Err(format!("entries[{i}] value is not finite"));
+        }
+        triplets.push((r, c, val));
+    }
+    Csr::from_triplets(rows, cols, &triplets).map_err(|e| format!("bad matrix: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_ops_without_optional_fields() {
+        assert_eq!(parse_request("{\"op\":\"ping\"}").unwrap(), Request::Ping);
+        assert_eq!(
+            parse_request("{\"op\":\"metrics\"}").unwrap(),
+            Request::Metrics
+        );
+        assert_eq!(
+            parse_request("{\"op\":\"shutdown\"}").unwrap(),
+            Request::Shutdown
+        );
+        let req = parse_request(
+            "{\"op\":\"spmv\",\"matrix\":{\"rows\":2,\"cols\":2,\
+             \"entries\":[[0,0,1.5],[1,1,2.0]]}}",
+        )
+        .unwrap();
+        match req {
+            Request::Work(w) => {
+                assert_eq!(w.op, WorkOp::Spmv);
+                assert_eq!(w.matrix.rows(), 2);
+                assert_eq!(w.matrix.nnz(), 2);
+                assert!(w.x.is_none());
+                assert!(w.deadline.is_none());
+                assert_eq!(w.tenant, "");
+            }
+            other => panic!("expected Work, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_optional_fields() {
+        let req = parse_request(
+            "{\"op\":\"tune\",\"tenant\":\"team-a\",\"deadline_ms\":250,\
+             \"matrix\":{\"rows\":1,\"cols\":3,\"entries\":[[0,2,4]]}}",
+        )
+        .unwrap();
+        match req {
+            Request::Work(w) => {
+                assert_eq!(w.op, WorkOp::Tune);
+                assert_eq!(w.tenant, "team-a");
+                assert_eq!(w.deadline, Some(Duration::from_millis(250)));
+                assert_eq!(w.matrix.get(0, 2), Some(4.0));
+            }
+            other => panic!("expected Work, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_requests_with_messages() {
+        for (frame, needle) in [
+            ("not json", "invalid JSON"),
+            ("[1,2]", "must be a JSON object"),
+            ("{\"x\":1}", "missing \"op\""),
+            ("{\"op\":\"dance\"}", "unknown op"),
+            ("{\"op\":\"tune\"}", "missing \"matrix\""),
+            (
+                "{\"op\":\"tune\",\"matrix\":{\"rows\":0,\"cols\":1,\"entries\":[]}}",
+                "must be positive",
+            ),
+            (
+                "{\"op\":\"tune\",\"matrix\":{\"rows\":2,\"cols\":2,\"entries\":[[5,0,1]]}}",
+                "outside",
+            ),
+            (
+                "{\"op\":\"tune\",\"matrix\":{\"rows\":99999999999,\"cols\":2,\"entries\":[]}}",
+                "wire limit",
+            ),
+            (
+                "{\"op\":\"spmv\",\"x\":[1.0],\"matrix\":{\"rows\":2,\"cols\":2,\
+                 \"entries\":[[0,0,1]]}}",
+                "2 columns",
+            ),
+        ] {
+            let err = parse_request(frame).unwrap_err();
+            assert!(err.contains(needle), "frame {frame:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn responses_serialize_with_status_first() {
+        let shed = Response::shed(Duration::from_millis(120), "queue full");
+        assert_eq!(shed.status, Status::Shed);
+        let line = shed.to_line();
+        assert!(line.starts_with("{\"status\":\"shed\""), "line: {line}");
+        assert!(line.contains("\"retry_after_ms\":120"), "line: {line}");
+        let err = Response::error("nope").to_line();
+        assert!(err.contains("\"message\":\"nope\""), "line: {err}");
+        let dl = Response::deadline_miss("queued").to_line();
+        assert!(dl.contains("\"deadline_miss\""), "line: {dl}");
+    }
+
+    #[test]
+    fn response_lines_round_trip_through_the_parser() {
+        let resp = Response::with(
+            Status::Ok,
+            vec![("y", Value::Array(vec![Value::Float(1.5)]))],
+        );
+        let parsed = serde_json::parse(&resp.to_line()).unwrap();
+        let fields = parsed.as_object().unwrap();
+        assert_eq!(get(fields, "status"), Some(&Value::Str("ok".to_string())));
+    }
+}

@@ -1,0 +1,751 @@
+//! The serving loop: listener, connection threads, admission ladder,
+//! worker pool, and graceful drain.
+//!
+//! ## Thread shape
+//!
+//! One accept loop (the thread that called [`Server::run`]), one
+//! thread per live connection, and a fixed pool of
+//! [`ServeConfig::workers`] tuning workers behind a bounded queue.
+//! Connection threads do everything cheap — framing, parsing,
+//! admission, shedding, the degraded reference product — and only
+//! tuning work crosses the queue. Replies travel back over a per-job
+//! mpsc channel bounded by the request deadline, so a connection
+//! thread can never wedge on a lost worker.
+//!
+//! ## Degradation ladder (per request)
+//!
+//! 1. tenant token bucket empty → shed with retry-after;
+//! 2. deadline already expired → deadline miss;
+//! 3. draining → shed;
+//! 4. engine unhealthy (pool demoted, quarantine active) or backlog at
+//!    the watermark → serve the reference serial CSR product *now*,
+//!    counted degraded — a correct answer immediately instead of a
+//!    queued answer late;
+//! 5. queue full → shed with retry-after;
+//! 6. otherwise queue for tuning; the worker clamps every measurement
+//!    to the request deadline via `prepare_with_deadline`.
+//!
+//! ## Shutdown
+//!
+//! `{"op":"shutdown"}` (the SIGTERM analog in this vendored-std
+//! environment) flips the drain flag: the accept loop closes the
+//! listener, connection threads finish their in-flight frames and
+//! responses, the queue is closed and drained by the workers, and the
+//! tuning-cache snapshot is persisted if configured. [`Server::run`]
+//! then returns a [`DrainSummary`] and the process can exit 0.
+
+use crate::admission::{BoundedQueue, TokenBuckets};
+use crate::config::ServeConfig;
+use crate::metrics::ServiceMetrics;
+use crate::proto::{obj, parse_request, Request, Response, Status, WorkOp, WorkRequest};
+use serde::{Serialize, Value};
+use smat::Smat;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Accept-loop poll granularity while the listener is non-blocking.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// Slack added to the reply wait beyond the request deadline, so a
+/// worker's own deadline-miss answer wins over the connection thread's
+/// local timeout when both fire together.
+const REPLY_GRACE: Duration = Duration::from_millis(250);
+
+/// One admitted tuning job crossing the queue.
+struct Job {
+    work: WorkRequest,
+    deadline: Instant,
+    reply: mpsc::Sender<Response>,
+}
+
+/// State shared by the accept loop, connection threads, and workers.
+struct Shared {
+    engine: Arc<Smat<f64>>,
+    config: ServeConfig,
+    metrics: ServiceMetrics,
+    queue: BoundedQueue<Job>,
+    buckets: TokenBuckets,
+}
+
+impl Shared {
+    fn draining(&self) -> bool {
+        self.metrics.draining.load(Ordering::Relaxed)
+    }
+
+    fn begin_drain(&self) {
+        self.metrics.draining.store(true, Ordering::Relaxed);
+        // Wake any worker parked on an empty queue so it can observe
+        // the eventual close promptly.
+        // (close() itself happens in run() after connections drain.)
+    }
+}
+
+/// What was bound: TCP socket or Unix-domain socket.
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener, PathBuf),
+}
+
+/// One live client connection.
+enum Conn {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Conn {
+    fn set_read_timeout(&self, d: Duration) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_read_timeout(Some(d)),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.set_read_timeout(Some(d)),
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// Final counters reported by [`Server::run`] after a graceful drain.
+#[derive(Debug, Clone)]
+pub struct DrainSummary {
+    /// tune/spmv requests admitted over the server's lifetime.
+    pub requests_total: u64,
+    /// Answered with a tuned result.
+    pub requests_ok: u64,
+    /// Answered through the reference (degraded) path.
+    pub requests_degraded: u64,
+    /// Shed with a retry hint.
+    pub requests_shed: u64,
+    /// Answered with a deadline miss.
+    pub deadline_misses: u64,
+    /// Answered with an error.
+    pub requests_error: u64,
+    /// Entries persisted to the cache snapshot, when configured and
+    /// the write succeeded.
+    pub cache_snapshot_entries: Option<usize>,
+}
+
+/// Control handle onto a running (or about to run) server.
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// Flips the drain flag, as the shutdown op does from the wire.
+    pub fn begin_drain(&self) {
+        self.shared.begin_drain();
+    }
+
+    /// Whether the server is draining.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining()
+    }
+
+    /// Current admission-queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// The metrics JSON served by the `metrics` op.
+    pub fn metrics_snapshot(&self) -> Value {
+        metrics_value(&self.shared)
+    }
+}
+
+/// A bound, not-yet-running tuning service.
+pub struct Server {
+    shared: Arc<Shared>,
+    listener: Listener,
+}
+
+impl Server {
+    /// Binds a TCP listener on `addr` (use port 0 for an ephemeral
+    /// port, then read it back with [`Server::local_addr`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind_tcp(addr: &str, engine: Arc<Smat<f64>>, config: ServeConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Self::with_listener(Listener::Tcp(listener), engine, config))
+    }
+
+    /// Binds a Unix-domain socket at `path`, replacing a stale socket
+    /// file left by a previous run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    #[cfg(unix)]
+    pub fn bind_unix(
+        path: impl Into<PathBuf>,
+        engine: Arc<Smat<f64>>,
+        config: ServeConfig,
+    ) -> io::Result<Self> {
+        let path = path.into();
+        if path.exists() {
+            std::fs::remove_file(&path)?;
+        }
+        let listener = UnixListener::bind(&path)?;
+        Ok(Self::with_listener(
+            Listener::Unix(listener, path),
+            engine,
+            config,
+        ))
+    }
+
+    fn with_listener(listener: Listener, engine: Arc<Smat<f64>>, config: ServeConfig) -> Self {
+        let config = config.normalized();
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(config.queue_capacity),
+            buckets: TokenBuckets::new(config.tenant_rate, config.tenant_burst),
+            metrics: ServiceMetrics::default(),
+            engine,
+            config,
+        });
+        Server { shared, listener }
+    }
+
+    /// The bound TCP address, if TCP-bound.
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        match &self.listener {
+            Listener::Tcp(l) => l.local_addr().ok(),
+            #[cfg(unix)]
+            Listener::Unix(..) => None,
+        }
+    }
+
+    /// A control handle usable from other threads.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Runs the serving loop until a shutdown request (or
+    /// [`ServerHandle::begin_drain`]) flips the drain flag, then
+    /// drains and returns the final counters.
+    ///
+    /// # Errors
+    ///
+    /// Only setup failures (making the listener non-blocking) error;
+    /// per-connection and per-request failures are contained and
+    /// counted.
+    pub fn run(self) -> io::Result<DrainSummary> {
+        let Server { shared, listener } = self;
+        // Preload the cache snapshot, best-effort: a missing or stale
+        // snapshot must never stop the service from starting.
+        if let Some(path) = &shared.config.cache_snapshot {
+            if path.exists() {
+                let _ = shared.engine.load_cache(path);
+            }
+        }
+
+        let workers: Vec<_> = (0..shared.config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("smat-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawning a worker thread")
+            })
+            .collect();
+
+        match &listener {
+            Listener::Tcp(l) => l.set_nonblocking(true)?,
+            #[cfg(unix)]
+            Listener::Unix(l, _) => l.set_nonblocking(true)?,
+        }
+        let mut conns: Vec<thread::JoinHandle<()>> = Vec::new();
+        while !shared.draining() {
+            conns.retain(|h| !h.is_finished());
+            let accepted = match &listener {
+                Listener::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
+                #[cfg(unix)]
+                Listener::Unix(l, _) => l.accept().map(|(s, _)| Conn::Unix(s)),
+            };
+            match accepted {
+                Ok(conn) => {
+                    // Failpoint `service.accept`: the connection is
+                    // dropped as if the handshake failed.
+                    if smat_failpoints::check("service.accept").is_some() {
+                        ServiceMetrics::inc(&shared.metrics.accept_faults);
+                        continue;
+                    }
+                    ServiceMetrics::inc(&shared.metrics.accepted_connections);
+                    shared
+                        .metrics
+                        .open_connections
+                        .fetch_add(1, Ordering::Relaxed);
+                    let shared = Arc::clone(&shared);
+                    let handle = thread::Builder::new()
+                        .name("smat-serve-conn".to_string())
+                        .spawn(move || {
+                            handle_connection(&shared, conn);
+                            shared
+                                .metrics
+                                .open_connections
+                                .fetch_sub(1, Ordering::Relaxed);
+                        })
+                        .expect("spawning a connection thread");
+                    conns.push(handle);
+                }
+                Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock) => {
+                    thread::sleep(ACCEPT_POLL);
+                }
+                Err(_) => {
+                    ServiceMetrics::inc(&shared.metrics.accept_faults);
+                    thread::sleep(ACCEPT_POLL);
+                }
+            }
+        }
+
+        // Refuse new connections, then let the in-flight ones finish:
+        // connection threads observe the drain flag within one read
+        // timeout and complete their pending frame/response first.
+        #[cfg(unix)]
+        if let Listener::Unix(_, path) = &listener {
+            let _ = std::fs::remove_file(path);
+        }
+        drop(listener);
+        for handle in conns {
+            let _ = handle.join();
+        }
+        // No producers remain; close the queue so workers drain the
+        // backlog and exit.
+        shared.queue.close();
+        for handle in workers {
+            let _ = handle.join();
+        }
+
+        let cache_snapshot_entries = shared
+            .config
+            .cache_snapshot
+            .as_ref()
+            .and_then(|path| shared.engine.save_cache(path).ok());
+        let m = &shared.metrics;
+        Ok(DrainSummary {
+            requests_total: ServiceMetrics::get(&m.requests_total),
+            requests_ok: ServiceMetrics::get(&m.requests_ok),
+            requests_degraded: ServiceMetrics::get(&m.requests_degraded),
+            requests_shed: ServiceMetrics::get(&m.requests_shed),
+            deadline_misses: ServiceMetrics::get(&m.deadline_misses),
+            requests_error: ServiceMetrics::get(&m.requests_error),
+            cache_snapshot_entries,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Connection threads
+// ---------------------------------------------------------------------
+
+fn handle_connection(shared: &Arc<Shared>, mut conn: Conn) {
+    let _ = conn.set_read_timeout(shared.config.read_timeout);
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let mut frame_started: Option<Instant> = None;
+    'conn: loop {
+        if shared.draining() && buf.is_empty() {
+            // Idle connection during drain: close; the client
+            // reconnects elsewhere. Mid-frame connections fall through
+            // and get to finish (bounded by the frame timeout).
+            break;
+        }
+        // Failpoint `service.frame`: the read faults as if the
+        // transport died mid-frame.
+        if smat_failpoints::check("service.frame").is_some() {
+            ServiceMetrics::inc(&shared.metrics.torn_frames);
+            break;
+        }
+        match conn.read(&mut chunk) {
+            Ok(0) => {
+                if !buf.is_empty() {
+                    ServiceMetrics::inc(&shared.metrics.torn_frames);
+                }
+                break;
+            }
+            Ok(n) => {
+                if frame_started.is_none() {
+                    frame_started = Some(Instant::now());
+                }
+                buf.extend_from_slice(&chunk[..n]);
+                while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+                    let frame: Vec<u8> = buf.drain(..=pos).collect();
+                    frame_started = if buf.is_empty() {
+                        None
+                    } else {
+                        Some(Instant::now())
+                    };
+                    if !process_frame(shared, &mut conn, &frame[..frame.len() - 1]) {
+                        break 'conn;
+                    }
+                }
+                if buf.len() > shared.config.max_frame_bytes {
+                    ServiceMetrics::inc(&shared.metrics.oversized_frames);
+                    let resp = Response::error(format!(
+                        "frame exceeds {} bytes; closing connection",
+                        shared.config.max_frame_bytes
+                    ));
+                    write_response(shared, &mut conn, &resp, false);
+                    break;
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if let Some(t0) = frame_started {
+                    if t0.elapsed() > shared.config.frame_timeout {
+                        // Slow-loris: a frame has been dribbling for
+                        // longer than any honest client needs.
+                        ServiceMetrics::inc(&shared.metrics.slow_loris_closes);
+                        break;
+                    }
+                }
+            }
+            Err(_) => {
+                if !buf.is_empty() {
+                    ServiceMetrics::inc(&shared.metrics.torn_frames);
+                }
+                break;
+            }
+        }
+    }
+}
+
+/// Handles one complete frame. Returns `false` when the connection
+/// should close (shutdown acknowledged, or the response write failed).
+fn process_frame(shared: &Arc<Shared>, conn: &mut Conn, frame: &[u8]) -> bool {
+    let text = match std::str::from_utf8(frame) {
+        Ok(t) => t,
+        Err(_) => {
+            ServiceMetrics::inc(&shared.metrics.frames_invalid);
+            let resp = Response::error("frame is not valid UTF-8");
+            return write_response(shared, conn, &resp, false);
+        }
+    };
+    if text.trim().is_empty() {
+        return true;
+    }
+    let request = match parse_request(text) {
+        Ok(r) => r,
+        Err(msg) => {
+            ServiceMetrics::inc(&shared.metrics.frames_invalid);
+            let resp = Response::error(msg);
+            return write_response(shared, conn, &resp, false);
+        }
+    };
+    ServiceMetrics::inc(&shared.metrics.frames_valid);
+    match request {
+        Request::Ping => {
+            let resp = Response::with(Status::Ok, vec![("op", Value::Str("ping".to_string()))]);
+            write_response(shared, conn, &resp, false)
+        }
+        Request::Metrics => {
+            let resp = Response {
+                status: Status::Ok,
+                body: metrics_value(shared),
+            };
+            write_response(shared, conn, &resp, false)
+        }
+        Request::Shutdown => {
+            shared.begin_drain();
+            let resp = Response::with(
+                Status::Ok,
+                vec![
+                    ("op", Value::Str("shutdown".to_string())),
+                    ("draining", Value::Bool(true)),
+                ],
+            );
+            write_response(shared, conn, &resp, false);
+            false
+        }
+        Request::Work(work) => {
+            let resp = handle_work(shared, *work);
+            write_response(shared, conn, &resp, true)
+        }
+    }
+}
+
+/// The admission ladder for one tune/spmv request. Always returns a
+/// response; the connection thread writes and counts it.
+fn handle_work(shared: &Arc<Shared>, work: WorkRequest) -> Response {
+    ServiceMetrics::inc(&shared.metrics.requests_total);
+    if let Err(retry) = shared.buckets.try_take(&work.tenant) {
+        ServiceMetrics::inc(&shared.metrics.shed_tenant);
+        return Response::shed(retry, "tenant budget exhausted");
+    }
+    let budget = work
+        .deadline
+        .unwrap_or(shared.config.default_deadline)
+        .min(shared.config.max_deadline);
+    let deadline = Instant::now() + budget;
+    if budget.is_zero() {
+        return Response::deadline_miss("admission");
+    }
+    if shared.draining() {
+        ServiceMetrics::inc(&shared.metrics.shed_draining);
+        return Response::shed(shared.config.shed_retry_after, "server is draining");
+    }
+    // Degradation ladder: an unhealthy engine or a deep backlog means
+    // a correct answer *now* beats a tuned answer late.
+    let depth = shared.queue.len();
+    if shared.engine.pool_demoted()
+        || shared.engine.quarantine_active()
+        || depth >= shared.config.degrade_watermark
+    {
+        let reason = if depth >= shared.config.degrade_watermark {
+            format!(
+                "backlog {depth} at the degrade watermark {}",
+                shared.config.degrade_watermark
+            )
+        } else {
+            "engine health: pool demoted or kernels quarantined".to_string()
+        };
+        return degraded_now(&work, &reason);
+    }
+    let (tx, rx) = mpsc::channel();
+    let job = Job {
+        work,
+        deadline,
+        reply: tx,
+    };
+    match shared.queue.push(job) {
+        Ok(depth) => shared.metrics.observe_queue_depth(depth as u64),
+        Err(_rejected) => {
+            ServiceMetrics::inc(&shared.metrics.shed_queue_full);
+            return Response::shed(shared.config.shed_retry_after, "admission queue full");
+        }
+    }
+    let wait = deadline.saturating_duration_since(Instant::now()) + REPLY_GRACE;
+    match rx.recv_timeout(wait) {
+        Ok(resp) => resp,
+        Err(_) => Response::deadline_miss("in_flight"),
+    }
+}
+
+/// Serves the reference serial CSR product immediately (ladder rung 4).
+fn degraded_now(work: &WorkRequest, reason: &str) -> Response {
+    let mut fields = vec![
+        ("op", Value::Str(work.op.name().to_string())),
+        ("format", Value::Str("csr".to_string())),
+        ("kernel", Value::Str("csr_basic_serial".to_string())),
+        ("reason", Value::Str(reason.to_string())),
+    ];
+    if work.op == WorkOp::Spmv {
+        let ones;
+        let x = match &work.x {
+            Some(x) => x.as_slice(),
+            None => {
+                ones = vec![1.0; work.matrix.cols()];
+                ones.as_slice()
+            }
+        };
+        let mut y = vec![0.0; work.matrix.rows()];
+        if let Err(e) = work.matrix.spmv(x, &mut y) {
+            return Response::error(format!("reference SpMV failed: {e}"));
+        }
+        fields.push(("y", Value::Array(y.into_iter().map(Value::Float).collect())));
+    }
+    Response::with(Status::Degraded, fields)
+}
+
+// ---------------------------------------------------------------------
+// Workers
+// ---------------------------------------------------------------------
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        let reply = job.reply.clone();
+        // Containment boundary: a panic anywhere in tuning becomes an
+        // error *response*; the worker thread itself never dies, so
+        // the pool cannot be wedged by a poisoned request.
+        let resp =
+            catch_unwind(AssertUnwindSafe(|| process_job(shared, job))).unwrap_or_else(|payload| {
+                Response::error(format!("worker panicked: {}", panic_text(&payload)))
+            });
+        // The client may have given up (deadline, disconnect); a dead
+        // channel is not the worker's problem.
+        let _ = reply.send(resp);
+    }
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("opaque panic payload")
+}
+
+fn process_job(shared: &Arc<Shared>, job: Job) -> Response {
+    // Failpoint `service.worker`: scripted worker faults and stalls.
+    if let Some(fault) = smat_failpoints::check("service.worker") {
+        return Response::error(fault.to_string());
+    }
+    if job.deadline <= Instant::now() {
+        return Response::deadline_miss("queued");
+    }
+    let Job { work, deadline, .. } = job;
+    let tuned = shared.engine.prepare_with_deadline(&work.matrix, deadline);
+    let status = if tuned.decision().is_degraded() {
+        Status::Degraded
+    } else {
+        Status::Ok
+    };
+    let kernel = shared.engine.library().info(tuned.kernel()).name;
+    let mut fields = vec![
+        ("op", Value::Str(work.op.name().to_string())),
+        ("format", Value::Str(tuned.format().to_string())),
+        ("kernel", Value::Str(kernel.to_string())),
+        ("cached", Value::Bool(tuned.decision().is_cached())),
+    ];
+    if let smat::DecisionPath::Degraded { reason } = tuned.decision() {
+        fields.push(("reason", Value::Str(reason.clone())));
+    }
+    if work.op == WorkOp::Spmv {
+        let ones;
+        let x = match &work.x {
+            Some(x) => x.as_slice(),
+            None => {
+                ones = vec![1.0; work.matrix.cols()];
+                ones.as_slice()
+            }
+        };
+        let mut y = vec![0.0; work.matrix.rows()];
+        if let Err(e) = shared.engine.spmv(&tuned, x, &mut y) {
+            return Response::error(format!("[{}] {e}", e.taxonomy()));
+        }
+        fields.push(("y", Value::Array(y.into_iter().map(Value::Float).collect())));
+    }
+    Response::with(status, fields)
+}
+
+// ---------------------------------------------------------------------
+// Responses and metrics
+// ---------------------------------------------------------------------
+
+/// Writes `resp` as one line. When `count` is set (admitted work
+/// requests only) the outcome counter is incremented first, so the
+/// quiesced invariant `requests_total == Σ outcomes` holds even if the
+/// client vanished before the write.
+fn write_response(shared: &Arc<Shared>, conn: &mut Conn, resp: &Response, count: bool) -> bool {
+    if count {
+        let m = &shared.metrics;
+        let counter = match resp.status {
+            Status::Ok => &m.requests_ok,
+            Status::Degraded => &m.requests_degraded,
+            Status::Shed => &m.requests_shed,
+            Status::DeadlineMiss => &m.deadline_misses,
+            Status::Error => &m.requests_error,
+        };
+        ServiceMetrics::inc(counter);
+    }
+    // Failpoint `service.respond`: the write faults as if the client
+    // closed its receive side.
+    if smat_failpoints::check("service.respond").is_some() {
+        ServiceMetrics::inc(&shared.metrics.respond_faults);
+        return false;
+    }
+    let mut line = resp.to_line();
+    line.push('\n');
+    match conn.write_all(line.as_bytes()).and_then(|()| conn.flush()) {
+        Ok(()) => true,
+        Err(_) => {
+            ServiceMetrics::inc(&shared.metrics.respond_faults);
+            false
+        }
+    }
+}
+
+/// Builds the metrics JSON: service counters plus the engine's own
+/// health report (breaker states, quarantined kernels, coalesced
+/// waits, dispatch faults, cache traffic).
+fn metrics_value(shared: &Arc<Shared>) -> Value {
+    let m = &shared.metrics;
+    let g = ServiceMetrics::get;
+    let service = obj(vec![
+        ("status", Value::Str("ok".to_string())),
+        (
+            "accepted_connections",
+            Value::UInt(g(&m.accepted_connections)),
+        ),
+        ("open_connections", Value::UInt(g(&m.open_connections))),
+        ("accept_faults", Value::UInt(g(&m.accept_faults))),
+        ("frames_valid", Value::UInt(g(&m.frames_valid))),
+        ("frames_invalid", Value::UInt(g(&m.frames_invalid))),
+        ("oversized_frames", Value::UInt(g(&m.oversized_frames))),
+        ("torn_frames", Value::UInt(g(&m.torn_frames))),
+        ("slow_loris_closes", Value::UInt(g(&m.slow_loris_closes))),
+        ("respond_faults", Value::UInt(g(&m.respond_faults))),
+        ("requests_total", Value::UInt(g(&m.requests_total))),
+        ("requests_ok", Value::UInt(g(&m.requests_ok))),
+        ("requests_degraded", Value::UInt(g(&m.requests_degraded))),
+        ("requests_shed", Value::UInt(g(&m.requests_shed))),
+        ("deadline_misses", Value::UInt(g(&m.deadline_misses))),
+        ("requests_error", Value::UInt(g(&m.requests_error))),
+        ("shed_tenant", Value::UInt(g(&m.shed_tenant))),
+        ("shed_queue_full", Value::UInt(g(&m.shed_queue_full))),
+        ("shed_draining", Value::UInt(g(&m.shed_draining))),
+        ("queue_depth", Value::UInt(shared.queue.len() as u64)),
+        (
+            "queue_capacity",
+            Value::UInt(shared.config.queue_capacity as u64),
+        ),
+        (
+            "queue_high_watermark",
+            Value::UInt(g(&m.queue_high_watermark)),
+        ),
+        (
+            "degrade_watermark",
+            Value::UInt(shared.config.degrade_watermark as u64),
+        ),
+        ("workers", Value::UInt(shared.config.workers as u64)),
+        ("draining", Value::Bool(m.draining.load(Ordering::Relaxed))),
+    ]);
+    let engine = shared.engine.health_report().to_value();
+    obj(vec![
+        ("status", Value::Str("ok".to_string())),
+        ("service", service),
+        ("engine", engine),
+    ])
+}

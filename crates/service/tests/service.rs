@@ -1,0 +1,497 @@
+//! End-to-end tests of the tuning service over real sockets: protocol
+//! round trips, admission policies, client misbehavior, and graceful
+//! drain. Everything here runs without failpoints — the scripted-fault
+//! scenarios live in the workspace chaos suite.
+
+use serde::Value;
+use smat::{Smat, SmatConfig, TrainedModel, Trainer};
+use smat_matrix::gen::{generate_corpus, random_uniform, CorpusSpec};
+use smat_matrix::Csr;
+use smat_service::server::DrainSummary;
+use smat_service::{ServeConfig, Server, ServerHandle};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, OnceLock};
+use std::thread;
+use std::time::{Duration, Instant};
+
+fn model() -> &'static TrainedModel {
+    static MODEL: OnceLock<TrainedModel> = OnceLock::new();
+    MODEL.get_or_init(|| {
+        let corpus = generate_corpus::<f64>(&CorpusSpec::small(120, 0x5E21));
+        let matrices: Vec<&Csr<f64>> = corpus.iter().map(|e| &e.matrix).collect();
+        Trainer::new(SmatConfig::fast())
+            .train(&matrices)
+            .expect("training succeeds")
+            .model
+    })
+}
+
+fn engine() -> Arc<Smat<f64>> {
+    Arc::new(Smat::with_config(model().clone(), SmatConfig::default()).expect("engine builds"))
+}
+
+struct Running {
+    addr: SocketAddr,
+    handle: ServerHandle,
+    join: thread::JoinHandle<DrainSummary>,
+}
+
+fn start(config: ServeConfig) -> Running {
+    let server = Server::bind_tcp("127.0.0.1:0", engine(), config).expect("bind");
+    let addr = server.local_addr().expect("tcp addr");
+    let handle = server.handle();
+    let join = thread::spawn(move || server.run().expect("run"));
+    Running { addr, handle, join }
+}
+
+/// Quick-test config: tight timeouts so misbehavior tests finish fast.
+fn test_config() -> ServeConfig {
+    ServeConfig {
+        workers: 2,
+        read_timeout: Duration::from_millis(10),
+        frame_timeout: Duration::from_millis(400),
+        ..ServeConfig::default()
+    }
+}
+
+struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("read timeout");
+        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        Client { stream, reader }
+    }
+
+    fn send(&mut self, line: &str) {
+        self.stream.write_all(line.as_bytes()).expect("write");
+        self.stream.write_all(b"\n").expect("write newline");
+        self.stream.flush().expect("flush");
+    }
+
+    fn recv(&mut self) -> Value {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("read response");
+        assert!(n > 0, "server closed the connection unexpectedly");
+        serde_json::parse(&line).expect("response is JSON")
+    }
+
+    fn request(&mut self, line: &str) -> Value {
+        self.send(line);
+        self.recv()
+    }
+}
+
+fn one_shot(addr: SocketAddr, line: &str) -> Value {
+    Client::connect(addr).request(line)
+}
+
+fn field<'a>(v: &'a Value, key: &str) -> &'a Value {
+    v.as_object()
+        .and_then(|fields| fields.iter().find(|(k, _)| k == key).map(|(_, val)| val))
+        .unwrap_or_else(|| panic!("missing field {key:?} in {v:?}"))
+}
+
+fn status_of(v: &Value) -> &str {
+    match field(v, "status") {
+        Value::Str(s) => s.as_str(),
+        other => panic!("status is not a string: {other:?}"),
+    }
+}
+
+fn as_u64(v: &Value) -> u64 {
+    match v {
+        Value::UInt(u) => *u,
+        Value::Int(i) if *i >= 0 => *i as u64,
+        other => panic!("not a u64: {other:?}"),
+    }
+}
+
+fn floats(v: &Value) -> Vec<f64> {
+    v.as_array()
+        .expect("array")
+        .iter()
+        .map(|item| match item {
+            Value::Float(f) => *f,
+            Value::Int(i) => *i as f64,
+            Value::UInt(u) => *u as f64,
+            other => panic!("not a number: {other:?}"),
+        })
+        .collect()
+}
+
+/// JSON for a small but non-trivial test matrix plus the x vector and
+/// the reference product.
+fn matrix_fixture(dim: usize, seed: u64) -> (String, Vec<f64>, Vec<f64>) {
+    let m = random_uniform::<f64>(dim, dim, 6, seed);
+    let x: Vec<f64> = (0..dim).map(|i| 0.5 * ((i % 5) as f64) - 1.0).collect();
+    let mut y = vec![0.0; dim];
+    m.spmv(&x, &mut y).expect("reference SpMV");
+    let entries: Vec<String> = m
+        .iter()
+        .map(|(r, c, v)| format!("[{r},{c},{v:?}]"))
+        .collect();
+    let json = format!(
+        "{{\"rows\":{dim},\"cols\":{dim},\"entries\":[{}]}}",
+        entries.join(",")
+    );
+    (json, x, y)
+}
+
+fn x_json(x: &[f64]) -> String {
+    let items: Vec<String> = x.iter().map(|v| format!("{v:?}")).collect();
+    format!("[{}]", items.join(","))
+}
+
+fn shutdown_and_join(running: Running) -> DrainSummary {
+    let resp = one_shot(running.addr, "{\"op\":\"shutdown\"}");
+    assert_eq!(status_of(&resp), "ok");
+    assert_eq!(field(&resp, "draining"), &Value::Bool(true));
+    let summary = running.join.join().expect("server thread");
+    assert!(running.handle.is_draining());
+    summary
+}
+
+fn wait_until(mut cond: impl FnMut() -> bool, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while Instant::now() < deadline {
+        if cond() {
+            return;
+        }
+        thread::sleep(Duration::from_millis(10));
+    }
+    panic!("timed out waiting for {what}");
+}
+
+#[test]
+fn ping_metrics_and_shutdown_round_trip() {
+    let running = start(test_config());
+    let pong = one_shot(running.addr, "{\"op\":\"ping\"}");
+    assert_eq!(status_of(&pong), "ok");
+
+    let metrics = one_shot(running.addr, "{\"op\":\"metrics\"}");
+    assert_eq!(status_of(&metrics), "ok");
+    let service = field(&metrics, "service");
+    for key in [
+        "accepted_connections",
+        "frames_valid",
+        "frames_invalid",
+        "requests_total",
+        "requests_ok",
+        "requests_degraded",
+        "requests_shed",
+        "deadline_misses",
+        "requests_error",
+        "shed_tenant",
+        "shed_queue_full",
+        "queue_depth",
+        "queue_capacity",
+        "queue_high_watermark",
+    ] {
+        as_u64(field(service, key));
+    }
+    assert_eq!(field(service, "draining"), &Value::Bool(false));
+    // The engine block is the full health report, including the
+    // counters the issue calls out by name.
+    let engine = field(&metrics, "engine");
+    as_u64(field(engine, "dispatch_fault_count"));
+    as_u64(field(engine, "coalesced_waits"));
+    field(engine, "quarantined_variants").as_array().unwrap();
+
+    let summary = shutdown_and_join(running);
+    assert_eq!(summary.requests_total, 0);
+}
+
+#[test]
+fn spmv_matches_the_reference_product() {
+    let running = start(test_config());
+    let (matrix, x, expect) = matrix_fixture(120, 11);
+    let resp = one_shot(
+        running.addr,
+        &format!(
+            "{{\"op\":\"spmv\",\"matrix\":{matrix},\"x\":{}}}",
+            x_json(&x)
+        ),
+    );
+    let status = status_of(&resp);
+    assert!(
+        status == "ok" || status == "degraded",
+        "unexpected status {status} in {resp:?}"
+    );
+    let y = floats(field(&resp, "y"));
+    assert_eq!(y.len(), expect.len());
+    for (i, (got, want)) in y.iter().zip(&expect).enumerate() {
+        assert!(
+            (got - want).abs() < 1e-9,
+            "y[{i}] = {got}, reference {want}"
+        );
+    }
+    let summary = shutdown_and_join(running);
+    assert_eq!(summary.requests_total, 1);
+    assert_eq!(summary.requests_ok + summary.requests_degraded, 1);
+}
+
+#[test]
+fn repeat_tune_is_served_from_the_cache() {
+    let running = start(test_config());
+    let (matrix, _, _) = matrix_fixture(100, 12);
+    let mut client = Client::connect(running.addr);
+    let first = client.request(&format!("{{\"op\":\"tune\",\"matrix\":{matrix}}}"));
+    assert!(matches!(status_of(&first), "ok" | "degraded"));
+    let second = client.request(&format!("{{\"op\":\"tune\",\"matrix\":{matrix}}}"));
+    assert_eq!(status_of(&second), "ok");
+    assert_eq!(field(&second, "cached"), &Value::Bool(true));
+    shutdown_and_join(running);
+}
+
+#[test]
+fn invalid_frames_answer_errors_without_dropping_the_connection() {
+    let running = start(test_config());
+    let mut client = Client::connect(running.addr);
+    let garbage = client.request("this is not json");
+    assert_eq!(status_of(&garbage), "error");
+    let unknown = client.request("{\"op\":\"dance\"}");
+    assert_eq!(status_of(&unknown), "error");
+    let bad_matrix = client
+        .request("{\"op\":\"tune\",\"matrix\":{\"rows\":2,\"cols\":2,\"entries\":[[9,9,1]]}}");
+    assert_eq!(status_of(&bad_matrix), "error");
+    // The connection survived all three.
+    let pong = client.request("{\"op\":\"ping\"}");
+    assert_eq!(status_of(&pong), "ok");
+
+    let metrics = one_shot(running.addr, "{\"op\":\"metrics\"}");
+    let service = field(&metrics, "service");
+    // All three — bad JSON, unknown op, and the out-of-range matrix —
+    // are invalid frames, answered as errors and never admitted.
+    assert_eq!(as_u64(field(service, "frames_invalid")), 3);
+    let summary = shutdown_and_join(running);
+    assert_eq!(summary.requests_total, 0);
+}
+
+#[test]
+fn oversized_frames_close_the_connection() {
+    let config = ServeConfig {
+        max_frame_bytes: 256,
+        ..test_config()
+    };
+    let running = start(config);
+    let mut client = Client::connect(running.addr);
+    let blob = "x".repeat(4096);
+    client
+        .stream
+        .write_all(blob.as_bytes())
+        .expect("write blob");
+    client.stream.flush().expect("flush");
+    // The server answers with an error line, then closes.
+    let mut reply = String::new();
+    client
+        .reader
+        .read_line(&mut reply)
+        .expect("read error line");
+    assert!(reply.contains("frame exceeds"), "reply: {reply}");
+    let mut rest = String::new();
+    let n = client.reader.read_to_string(&mut rest).expect("read EOF");
+    assert_eq!(n, 0, "connection should be closed after the error");
+    let metrics = one_shot(running.addr, "{\"op\":\"metrics\"}");
+    assert_eq!(
+        as_u64(field(field(&metrics, "service"), "oversized_frames")),
+        1
+    );
+    shutdown_and_join(running);
+}
+
+#[test]
+fn torn_frames_are_counted_and_do_not_wedge_the_server() {
+    let running = start(test_config());
+    {
+        let mut client = Client::connect(running.addr);
+        client
+            .stream
+            .write_all(b"{\"op\":\"pi")
+            .expect("write half");
+        client.stream.flush().expect("flush");
+        // Drop mid-frame.
+    }
+    let addr = running.addr;
+    wait_until(
+        || {
+            let metrics = one_shot(addr, "{\"op\":\"metrics\"}");
+            as_u64(field(field(&metrics, "service"), "torn_frames")) == 1
+        },
+        "torn_frames == 1",
+    );
+    shutdown_and_join(running);
+}
+
+#[test]
+fn slow_loris_clients_are_disconnected() {
+    let config = ServeConfig {
+        frame_timeout: Duration::from_millis(120),
+        ..test_config()
+    };
+    let running = start(config);
+    let mut client = Client::connect(running.addr);
+    client.stream.write_all(b"{").expect("write first byte");
+    client.stream.flush().expect("flush");
+    thread::sleep(Duration::from_millis(400));
+    // The server must have hung up rather than holding the thread.
+    let mut rest = String::new();
+    let n = client
+        .reader
+        .read_to_string(&mut rest)
+        .expect("read after timeout");
+    assert_eq!(n, 0, "slow-loris connection should be closed");
+    let metrics = one_shot(running.addr, "{\"op\":\"metrics\"}");
+    assert_eq!(
+        as_u64(field(field(&metrics, "service"), "slow_loris_closes")),
+        1
+    );
+    shutdown_and_join(running);
+}
+
+#[test]
+fn tenant_budget_sheds_with_a_retry_hint() {
+    let config = ServeConfig {
+        tenant_rate: 0.001,
+        tenant_burst: 1.0,
+        ..test_config()
+    };
+    let running = start(config);
+    let (matrix, _, _) = matrix_fixture(80, 13);
+    let mut client = Client::connect(running.addr);
+    let first = client.request(&format!(
+        "{{\"op\":\"tune\",\"tenant\":\"team-a\",\"matrix\":{matrix}}}"
+    ));
+    assert!(matches!(status_of(&first), "ok" | "degraded"));
+    let second = client.request(&format!(
+        "{{\"op\":\"tune\",\"tenant\":\"team-a\",\"matrix\":{matrix}}}"
+    ));
+    assert_eq!(status_of(&second), "shed");
+    assert!(as_u64(field(&second, "retry_after_ms")) > 0);
+    // Another tenant is unaffected.
+    let other = client.request(&format!(
+        "{{\"op\":\"tune\",\"tenant\":\"team-b\",\"matrix\":{matrix}}}"
+    ));
+    assert!(matches!(status_of(&other), "ok" | "degraded"));
+    let summary = shutdown_and_join(running);
+    assert_eq!(summary.requests_total, 3);
+    assert_eq!(summary.requests_shed, 1);
+}
+
+#[test]
+fn zero_deadline_is_answered_with_a_deadline_miss() {
+    let running = start(test_config());
+    let (matrix, _, _) = matrix_fixture(80, 14);
+    let resp = one_shot(
+        running.addr,
+        &format!("{{\"op\":\"spmv\",\"deadline_ms\":0,\"matrix\":{matrix}}}"),
+    );
+    assert_eq!(status_of(&resp), "deadline_miss");
+    let summary = shutdown_and_join(running);
+    assert_eq!(summary.deadline_misses, 1);
+}
+
+#[test]
+fn concurrent_clients_are_all_answered_and_counters_balance() {
+    const CLIENTS: usize = 8;
+    let running = start(test_config());
+    let (matrix, x, expect) = matrix_fixture(150, 15);
+    let frame = Arc::new(format!(
+        "{{\"op\":\"spmv\",\"matrix\":{matrix},\"x\":{}}}",
+        x_json(&x)
+    ));
+    let expect = Arc::new(expect);
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let addr = running.addr;
+            let frame = Arc::clone(&frame);
+            let expect = Arc::clone(&expect);
+            thread::spawn(move || {
+                let resp = one_shot(addr, &frame);
+                let status = status_of(&resp).to_string();
+                assert!(
+                    matches!(status.as_str(), "ok" | "degraded"),
+                    "unexpected status in {resp:?}"
+                );
+                let y = floats(field(&resp, "y"));
+                for (got, want) in y.iter().zip(expect.iter()) {
+                    assert!((got - want).abs() < 1e-9);
+                }
+                status
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    let metrics = one_shot(running.addr, "{\"op\":\"metrics\"}");
+    let service = field(&metrics, "service");
+    assert_eq!(as_u64(field(service, "requests_total")), CLIENTS as u64);
+    let outcomes = as_u64(field(service, "requests_ok"))
+        + as_u64(field(service, "requests_degraded"))
+        + as_u64(field(service, "requests_shed"))
+        + as_u64(field(service, "deadline_misses"))
+        + as_u64(field(service, "requests_error"));
+    assert_eq!(outcomes, CLIENTS as u64, "every request counted once");
+    // All eight share one structural fingerprint: at most one tuning
+    // run, the rest answered from cache or coalesced onto the leader.
+    let engine = field(&metrics, "engine");
+    assert_eq!(as_u64(field(engine, "cache_misses")), 1);
+    shutdown_and_join(running);
+}
+
+#[test]
+fn shutdown_drains_and_persists_the_cache_snapshot() {
+    let dir = std::env::temp_dir().join("smat_service_tests");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let snapshot = dir.join(format!("cache_{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&snapshot);
+    let config = ServeConfig {
+        cache_snapshot: Some(snapshot.clone()),
+        ..test_config()
+    };
+    let running = start(config);
+    let (matrix, _, _) = matrix_fixture(90, 16);
+    let resp = one_shot(
+        running.addr,
+        &format!("{{\"op\":\"tune\",\"matrix\":{matrix}}}"),
+    );
+    assert!(matches!(status_of(&resp), "ok" | "degraded"));
+    let summary = shutdown_and_join(running);
+    assert_eq!(summary.cache_snapshot_entries, Some(1));
+    assert!(snapshot.exists(), "snapshot persisted on drain");
+    // The snapshot is a sealed artifact a fresh engine can adopt.
+    let fresh = engine();
+    assert_eq!(fresh.load_cache(&snapshot).expect("load snapshot"), 1);
+    std::fs::remove_file(&snapshot).ok();
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_socket_serves_the_same_protocol() {
+    use std::os::unix::net::UnixStream;
+    let dir = std::env::temp_dir().join("smat_service_tests");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join(format!("serve_{}.sock", std::process::id()));
+    let server = Server::bind_unix(&path, engine(), test_config()).expect("bind unix");
+    let join = thread::spawn(move || server.run().expect("run"));
+    let mut stream = UnixStream::connect(&path).expect("connect unix");
+    stream.write_all(b"{\"op\":\"ping\"}\n").expect("write");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read");
+    assert!(line.contains("\"ok\""), "line: {line}");
+    stream.write_all(b"{\"op\":\"shutdown\"}\n").expect("write");
+    line.clear();
+    reader.read_line(&mut line).expect("read");
+    assert!(line.contains("draining"), "line: {line}");
+    join.join().expect("server thread");
+    assert!(!path.exists(), "socket file removed on drain");
+}
