@@ -88,40 +88,46 @@ fn bench_matrix(
 ) -> (String, Vec<Series>) {
     let any = AnyMatrix::Csr(m.clone());
     let width = smat_kernels::exec::num_threads().max(1) * 2;
-    let series = vec![
-        time_planned(
-            lib,
-            &any,
-            "csr_basic",
-            &ExecPlan::serial(m.rows()),
-            samples,
-            iters,
-        ),
-        time_planned(
-            lib,
-            &any,
+    let pairs: Vec<(&'static str, ExecPlan)> = vec![
+        ("csr_basic", ExecPlan::serial(m.rows())),
+        (
             "csr_parallel",
-            &lib.build_plan_sized(&any, ChunkPolicy::EqualRows, width),
-            samples,
-            iters,
+            lib.build_plan_sized(&any, ChunkPolicy::EqualRows, width),
         ),
-        time_planned(
-            lib,
-            &any,
+        (
             "csr_parallel_balanced",
-            &lib.build_plan_sized(&any, ChunkPolicy::NnzBalanced, width),
-            samples,
-            iters,
+            lib.build_plan_sized(&any, ChunkPolicy::NnzBalanced, width),
         ),
-        time_planned(
-            lib,
-            &any,
+        (
             "csr_merge",
-            &lib.build_plan_sized(&any, ChunkPolicy::MergePath, width),
-            samples,
-            iters,
+            lib.build_plan_sized(&any, ChunkPolicy::MergePath, width),
         ),
     ];
+    // Warmup pass: exercise every kernel/plan pair before any series
+    // is timed. The per-series warm-up inside `time_planned` is not
+    // enough for the last pair measured — by then the pool has parked
+    // between series, and the first merge-path samples on the uniform
+    // control paid the cold wake plus first-touch of the carry
+    // buffers, showing up as a spurious csr_merge outlier in
+    // BENCH_parallel.json's regression gate.
+    {
+        let x = vec![1.0f64; m.cols()];
+        let mut y = vec![0.0f64; m.rows()];
+        for _ in 0..2 {
+            for (kernel, plan) in &pairs {
+                let v = lib
+                    .variants(Format::Csr)
+                    .iter()
+                    .position(|i| i.name == *kernel)
+                    .expect("builtin CSR variant");
+                lib.run_planned(&any, v, plan, &x, &mut y);
+            }
+        }
+    }
+    let series: Vec<Series> = pairs
+        .iter()
+        .map(|(kernel, plan)| time_planned(lib, &any, kernel, plan, samples, iters))
+        .collect();
     println!("  {name}: {}x{} nnz={}", m.rows(), m.cols(), m.nnz());
     for s in &series {
         println!(

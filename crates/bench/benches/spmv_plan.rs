@@ -103,6 +103,7 @@ fn main() {
     let plan: ExecPlan = lib.plan_for(
         &any,
         KernelId {
+            op: smat_kernels::Op::Spmv,
             format: Format::Csr,
             variant,
         },

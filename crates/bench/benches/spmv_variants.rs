@@ -110,7 +110,14 @@ fn main() {
 
         let mut rows: Vec<String> = Vec::new();
         for (v, info) in lib.variants(format).into_iter().enumerate() {
-            let plan: ExecPlan = lib.plan_for(&any, KernelId { format, variant: v });
+            let plan: ExecPlan = lib.plan_for(
+                &any,
+                KernelId {
+                    op: smat_kernels::Op::Spmv,
+                    format,
+                    variant: v,
+                },
+            );
             let t = time_calls(samples, iters, || {
                 lib.run_planned(
                     black_box(&any),

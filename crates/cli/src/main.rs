@@ -476,7 +476,11 @@ fn bench_variants(m: &Csr<f64>) -> Result<(), String> {
                             .map(|(v, _)| v)
                     };
                     if let Some(v) = subject {
-                        let id = smat_kernels::KernelId { format, variant: v };
+                        let id = smat_kernels::KernelId {
+                            op: smat_kernels::Op::Spmv,
+                            format,
+                            variant: v,
+                        };
                         if let Some(found) = smat_kernels::search_plan(
                             &lib,
                             &any,
@@ -498,6 +502,39 @@ fn bench_variants(m: &Csr<f64>) -> Result<(), String> {
                                         ""
                                     }
                                 );
+                            }
+                        }
+                    }
+                }
+                // The batched tier: the SpMM scoreboard at the widest
+                // searched RHS width (k = 8). Formats without tiled
+                // SpMM kernels (COO/DIA/HYB) are served per-column by
+                // the runtime and report nothing here.
+                if lib.spmm_variant_count(format) > 0 {
+                    let table = smat_kernels::measure_spmm(
+                        &lib,
+                        &any,
+                        8,
+                        Duration::from_millis(5),
+                        config.candidate_deadline,
+                    );
+                    let best = table.scoreboard().best_variant;
+                    println!("  spmm (k = 8):");
+                    for (v, rec) in table.records.iter().enumerate() {
+                        match &rec.status {
+                            smat_kernels::RecordStatus::Measured => println!(
+                                "    {:<28} {:>8.2} GFLOPS  [{}]{}",
+                                rec.name,
+                                rec.gflops,
+                                rec.strategies,
+                                if v == best {
+                                    "  <= scoreboard pick"
+                                } else {
+                                    ""
+                                }
+                            ),
+                            smat_kernels::RecordStatus::CandidateFailed { reason } => {
+                                println!("    {:<28} failed: {reason}", rec.name)
                             }
                         }
                     }
@@ -587,6 +624,16 @@ fn cmd_health(args: &Args) -> Result<(), String> {
             .spmv(&tuned, &x, &mut y)
             .map_err(|e| taxonomy_msg(&e))?;
     }
+    // A short batched burst so the op-labeled counters both report
+    // live traffic: one warm SpMM call per eight SpMV calls.
+    let k = 4;
+    let xb = vec![1.0; dim * k];
+    let mut yb = vec![0.0; dim * k];
+    for _ in 0..calls.div_ceil(8) {
+        engine
+            .spmm(&tuned, &xb, &mut yb, k)
+            .map_err(|e| taxonomy_msg(&e))?;
+    }
     let report = engine.health_report();
     if args.has("json") {
         let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
@@ -594,6 +641,10 @@ fn cmd_health(args: &Args) -> Result<(), String> {
         return Ok(());
     }
     println!("execution health after {} warm calls:", report.calls);
+    println!(
+        "  by op: {} spmv / {} spmm",
+        report.spmv_calls, report.spmm_calls
+    );
     println!(
         "  contained faults: {} ({} breaker trips)",
         report.exec_faults, report.breaker_trips

@@ -25,6 +25,20 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard};
 use std::time::Duration;
 
+/// A replayable multi-RHS (SpMM) pick: the winning tiled kernel and its
+/// searched execution plan. Structure-only like the rest of the
+/// decision — the rhs-tile width lives on the kernel's strategy bits
+/// and the plan's chunk bounds depend only on the pattern, so a pick
+/// computed once per fingerprint replays bit-identically for any
+/// matrix sharing it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) struct CachedSpmm {
+    /// The winning SpMM kernel (`op == Op::Spmm`).
+    pub kernel: KernelId,
+    /// The searched chunk plan for that kernel.
+    pub plan: ExecPlan,
+}
+
 /// A replayable tuning decision, everything from a [`crate::TunedSpmv`]
 /// except the matrix payload itself.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -42,6 +56,10 @@ pub(crate) struct CachedDecision {
     /// like the features, so replayable across value changes; rebuilt
     /// on hit when stale (built for a different thread count).
     pub plan: ExecPlan,
+    /// The multi-RHS pick, populated lazily by the first
+    /// [`crate::Smat::spmm`] call on the structure (`None` until then,
+    /// or when the format has no tiled SpMM kernels).
+    pub spmm: Option<CachedSpmm>,
 }
 
 /// Hit/miss/latency counters for the tuning cache, as surfaced by
@@ -314,10 +332,15 @@ mod tests {
     fn decision(format: Format) -> CachedDecision {
         CachedDecision {
             format,
-            kernel: KernelId { format, variant: 0 },
+            kernel: KernelId {
+                op: smat_kernels::Op::Spmv,
+                format,
+                variant: 0,
+            },
             features: FeatureVector::from_array([1.0; 11]),
             source: DecisionPath::Predicted { confidence: 0.9 },
             plan: ExecPlan::serial(50),
+            spmm: None,
         }
     }
 

@@ -96,8 +96,12 @@ pub struct QuarantinedVariant {
 /// serializable snapshot — the payload of `smat health --json`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HealthReport {
-    /// Total `spmv` calls served by the engine.
+    /// Total engine calls served (`spmv` + `spmm`).
     pub calls: u64,
+    /// Single-RHS (`spmv`) calls served.
+    pub spmv_calls: u64,
+    /// Multi-RHS (`spmm`) calls served.
+    pub spmm_calls: u64,
     /// Contained execution faults (panics + screened products).
     pub exec_faults: u64,
     /// Breakers tripped `Closed → Open`.
@@ -176,8 +180,13 @@ struct Breaker {
 /// ring are mutexes touched only off the happy path.
 #[derive(Debug)]
 pub(crate) struct HealthState {
-    /// Monotonic `spmv` call clock; backoffs count in its units.
+    /// Monotonic engine call clock (`spmv` + `spmm`); backoffs count in
+    /// its units.
     calls: AtomicU64,
+    /// Single-RHS calls, for the op-labeled metrics surface.
+    spmv_calls: AtomicU64,
+    /// Multi-RHS calls, for the op-labeled metrics surface.
+    spmm_calls: AtomicU64,
     /// Number of breakers away from `Closed` — the happy-path gate:
     /// zero means no admission check (and no lock) is needed.
     attention: AtomicUsize,
@@ -204,6 +213,8 @@ impl HealthState {
     pub(crate) fn new(threshold: u32, backoff_calls: u64, pool_threshold: u32) -> Self {
         Self {
             calls: AtomicU64::new(0),
+            spmv_calls: AtomicU64::new(0),
+            spmm_calls: AtomicU64::new(0),
             attention: AtomicUsize::new(0),
             breakers: Mutex::new(HashMap::new()),
             incidents: Mutex::new(Vec::new()),
@@ -225,8 +236,13 @@ impl HealthState {
         }
     }
 
-    /// Advances the call clock; returns the current call number.
-    pub(crate) fn tick(&self) -> u64 {
+    /// Advances the call clock for one call of `op`; returns the
+    /// current call number.
+    pub(crate) fn tick(&self, op: smat_kernels::Op) -> u64 {
+        match op {
+            smat_kernels::Op::Spmv => self.spmv_calls.fetch_add(1, Ordering::Relaxed),
+            smat_kernels::Op::Spmm => self.spmm_calls.fetch_add(1, Ordering::Relaxed),
+        };
         self.calls.fetch_add(1, Ordering::Relaxed) + 1
     }
 
@@ -470,6 +486,8 @@ impl HealthState {
             .clone();
         HealthReport {
             calls: self.calls.load(Ordering::Relaxed),
+            spmv_calls: self.spmv_calls.load(Ordering::Relaxed),
+            spmm_calls: self.spmm_calls.load(Ordering::Relaxed),
             exec_faults: self.exec_faults.load(Ordering::Relaxed),
             breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
             quarantined_variants,
@@ -509,6 +527,7 @@ mod tests {
 
     fn kid(variant: usize) -> KernelId {
         KernelId {
+            op: smat_kernels::Op::Spmv,
             format: Format::Csr,
             variant,
         }
@@ -623,6 +642,8 @@ mod tests {
         let json = serde_json::to_string(&r).unwrap();
         for key in [
             "calls",
+            "spmv_calls",
+            "spmm_calls",
             "exec_faults",
             "breaker_trips",
             "quarantined_variants",

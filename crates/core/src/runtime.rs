@@ -9,7 +9,7 @@
 //! prediction or falls back to execute-and-measure over the candidate
 //! formats.
 
-use crate::cache::{CacheStats, CachedDecision, TuningCache};
+use crate::cache::{CacheStats, CachedDecision, CachedSpmm, TuningCache};
 use crate::config::SmatConfig;
 use crate::error::{Result, SmatError};
 use crate::health::{
@@ -23,13 +23,13 @@ use crate::stats::SmatStats;
 use serde::{Deserialize, Serialize};
 use smat_features::{extract_structure, FeatureVector};
 use smat_kernels::timing::{gflops, measure_guarded};
-use smat_kernels::{ExecPlan, KernelId, KernelLibrary};
+use smat_kernels::{ExecPlan, KernelId, KernelLibrary, Op};
 use smat_learn::ClassGroup;
 use smat_matrix::{AnyMatrix, Csr, Format, Scalar, StructuralFingerprint};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
-use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Index of the power-law attribute `R` in the feature vector.
@@ -153,9 +153,28 @@ impl Drop for InflightGuard<'_> {
     }
 }
 
+/// The multi-RHS execution pick attached lazily to a [`TunedSpmv`] by
+/// the first [`Smat::spmm`] call on the handle (or pre-populated from
+/// the tuning cache).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum SpmmPick {
+    /// A tiled SpMM kernel with its searched chunk plan: the warm
+    /// zero-allocation path.
+    Tiled {
+        /// The winning SpMM kernel (`op == Op::Spmm`).
+        kernel: KernelId,
+        /// The searched chunk plan, row-granular and k-agnostic.
+        plan: ExecPlan,
+    },
+    /// The format has no tiled SpMM kernels (COO/DIA/HYB) or none
+    /// survived measurement: serve column by column through the
+    /// reference SpMV kernel (the degraded, allocating tier).
+    PerColumn,
+}
+
 /// A matrix prepared for repeated SpMV: physically stored in the tuned
 /// format, with the architecture-searched kernel attached.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct TunedSpmv<T> {
     matrix: AnyMatrix<T>,
     kernel: KernelId,
@@ -164,6 +183,24 @@ pub struct TunedSpmv<T> {
     decision: DecisionPath,
     prepare_time: Duration,
     fingerprint: StructuralFingerprint,
+    /// The lazily-tuned multi-RHS pick (see [`Smat::spmm`]). A
+    /// `OnceLock` so the first `spmm` call can attach it through a
+    /// shared reference; cloning carries the resolved pick along.
+    spmm: OnceLock<SpmmPick>,
+}
+
+/// Equality ignores the lazily-attached SpMM pick: it is a tuning
+/// cache keyed by the same decision, not part of the decision itself.
+impl<T: PartialEq> PartialEq for TunedSpmv<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.matrix == other.matrix
+            && self.kernel == other.kernel
+            && self.plan == other.plan
+            && self.features == other.features
+            && self.decision == other.decision
+            && self.prepare_time == other.prepare_time
+            && self.fingerprint == other.fingerprint
+    }
 }
 
 impl<T: Scalar> TunedSpmv<T> {
@@ -209,6 +246,24 @@ impl<T: Scalar> TunedSpmv<T> {
     /// [`ExecIncident`] attributed to this preparation.
     pub fn fingerprint(&self) -> StructuralFingerprint {
         self.fingerprint
+    }
+
+    /// The tiled multi-RHS kernel attached by the first [`Smat::spmm`]
+    /// call on this handle (or replayed from the tuning cache). `None`
+    /// before that call, and for formats served per-column.
+    pub fn spmm_kernel(&self) -> Option<KernelId> {
+        match self.spmm.get() {
+            Some(SpmmPick::Tiled { kernel, .. }) => Some(*kernel),
+            _ => None,
+        }
+    }
+
+    /// The searched SpMM chunk plan, when a tiled pick is attached.
+    pub fn spmm_plan(&self) -> Option<&ExecPlan> {
+        match self.spmm.get() {
+            Some(SpmmPick::Tiled { plan, .. }) => Some(plan),
+            _ => None,
+        }
     }
 }
 
@@ -401,8 +456,11 @@ impl<T: Scalar> Smat<T> {
     pub fn health_report(&self) -> HealthReport {
         let cache = self.cache.stats();
         let mut report = self.health.report(|k| {
-            self.lib
-                .variants(k.format)
+            let infos = match k.op {
+                Op::Spmv => self.lib.variants(k.format),
+                Op::Spmm => self.lib.spmm_variants(k.format),
+            };
+            infos
                 .get(k.variant)
                 .map(|info| info.name.to_string())
                 .unwrap_or_default()
@@ -632,6 +690,26 @@ impl<T: Scalar> Smat<T> {
                     } else {
                         hit.plan
                     };
+                    // Replay the cached multi-RHS pick alongside the
+                    // SpMV decision, so the first `spmm` call on this
+                    // handle skips measurement entirely. A stale plan
+                    // is rebuilt for this backend (same policy, so the
+                    // searched decision survives the resize); a
+                    // quarantined kernel is dropped and re-tuned.
+                    let spmm = OnceLock::new();
+                    if let Some(cached) = &hit.spmm {
+                        if !self.health.quarantined(cached.kernel) {
+                            let spmm_plan = if cached.plan.is_stale() {
+                                self.lib.build_plan(&matrix, cached.plan.policy)
+                            } else {
+                                cached.plan.clone()
+                            };
+                            let _ = spmm.set(SpmmPick::Tiled {
+                                kernel: cached.kernel,
+                                plan: spmm_plan,
+                            });
+                        }
+                    }
                     let elapsed = t0.elapsed();
                     self.cache.record(true, elapsed);
                     return TunedSpmv {
@@ -644,6 +722,7 @@ impl<T: Scalar> Smat<T> {
                         },
                         prepare_time: elapsed,
                         fingerprint: key,
+                        spmm,
                     };
                 }
             }
@@ -685,6 +764,7 @@ impl<T: Scalar> Smat<T> {
                             features: tuned.features,
                             source: tuned.decision.clone(),
                             plan: tuned.plan.clone(),
+                            spmm: None,
                         },
                     );
                 }
@@ -733,6 +813,7 @@ impl<T: Scalar> Smat<T> {
             decision: DecisionPath::Degraded { reason },
             prepare_time: t0.elapsed(),
             fingerprint,
+            spmm: OnceLock::new(),
         }
     }
 
@@ -886,6 +967,7 @@ impl<T: Scalar> Smat<T> {
                         decision: DecisionPath::Predicted { confidence },
                         prepare_time: t0.elapsed(),
                         fingerprint,
+                        spmm: OnceLock::new(),
                     };
                 }
                 // Conversion refused (fill blow-up or byte budget):
@@ -970,6 +1052,7 @@ impl<T: Scalar> Smat<T> {
                     },
                     prepare_time: t0.elapsed(),
                     fingerprint,
+                    spmm: OnceLock::new(),
                 }
             }
             None => {
@@ -1031,7 +1114,7 @@ impl<T: Scalar> Smat<T> {
                 },
             ));
         }
-        let call = self.health.tick();
+        let call = self.health.tick(Op::Spmv);
         // Degradation ladder: a demoted engine substitutes a serial
         // plan for parallel dispatches until a pool re-probe succeeds.
         // The substitute plan is built per call (demoted rung only —
@@ -1082,6 +1165,7 @@ impl<T: Scalar> Smat<T> {
         if let Err(payload) = run {
             self.contain_fault(
                 tuned,
+                tuned.kernel,
                 FaultKind::Panic,
                 panic_message(payload.as_ref()),
                 probing,
@@ -1101,6 +1185,7 @@ impl<T: Scalar> Smat<T> {
                 if y.iter().all(|v| v.is_finite()) {
                     self.contain_fault(
                         tuned,
+                        tuned.kernel,
                         FaultKind::NonFinite,
                         "non-finite output from finite inputs".to_string(),
                         probing,
@@ -1144,19 +1229,21 @@ impl<T: Scalar> Smat<T> {
         }
     }
 
-    /// Records one contained execution fault and, when the quarantine
-    /// set changed, re-persists the install artifact so the bench
-    /// survives this process.
+    /// Records one contained execution fault against `kernel` (the
+    /// tuned SpMV variant or an SpMM pick) and, when the quarantine set
+    /// changed, re-persists the install artifact so the bench survives
+    /// this process.
     fn contain_fault(
         &self,
         tuned: &TunedSpmv<T>,
+        kernel: KernelId,
         kind: FaultKind,
         payload: String,
         probing: bool,
         call: u64,
     ) {
         let incident = ExecIncident {
-            kernel: tuned.kernel,
+            kernel,
             fingerprint: tuned.fingerprint,
             kind,
             payload,
@@ -1174,6 +1261,283 @@ impl<T: Scalar> Smat<T> {
             let mut snapshot = installation.clone();
             snapshot.quarantined = self.health.quarantined_kernels();
             let _ = snapshot.save(path);
+        }
+    }
+
+    /// Runs the tuned multi-RHS product `Y = A * X` for `k`
+    /// right-hand sides, inside the same execution-time containment
+    /// boundary as [`Smat::spmv`].
+    ///
+    /// `x` and `y` are dense row-major blocks: `x.len() == cols * k`
+    /// with element `(c, j)` at `x[c * k + j]`, and `y.len() == rows *
+    /// k` likewise. The first call on a [`TunedSpmv`] handle tunes the
+    /// multi-RHS dimension — it measures the format's register-tiled
+    /// SpMM variants (quarantined ones excluded), picks the winner via
+    /// the scoreboard, searches its chunk plan, and attaches the pick
+    /// to the handle and to the structural-fingerprint cache — so a
+    /// later `prepare` of the same structure replays it without
+    /// re-measuring. Every subsequent call is the warm path:
+    /// zero-allocation replay of the attached kernel and plan.
+    ///
+    /// Row-granular picks are bitwise identical to `k` independent
+    /// [`Smat::spmv`] reference calls gathered per column; merge-path
+    /// picks reassociate row segments exactly like their SpMV
+    /// counterparts. Formats without tiled SpMM kernels (COO, DIA,
+    /// HYB) serve column by column through the reference SpMV kernel —
+    /// correct but allocating, the degraded tier.
+    ///
+    /// A kernel panic or screened non-finite product is contained
+    /// exactly as in `spmv`: the incident is recorded against the SpMM
+    /// variant (its circuit breaker trips independently of the SpMV
+    /// pick), and the call re-executes through the reference SpMM
+    /// path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmatError::Matrix`] on block length mismatch, and
+    /// [`SmatError::KernelPanic`] only when the reference re-execution
+    /// itself panics.
+    pub fn spmm(&self, tuned: &TunedSpmv<T>, x: &[T], y: &mut [T], k: usize) -> Result<()> {
+        if x.len() != tuned.matrix.cols() * k {
+            return Err(SmatError::Matrix(
+                smat_matrix::MatrixError::DimensionMismatch {
+                    context: "smat spmm x",
+                    expected: tuned.matrix.cols() * k,
+                    found: x.len(),
+                },
+            ));
+        }
+        if y.len() != tuned.matrix.rows() * k {
+            return Err(SmatError::Matrix(
+                smat_matrix::MatrixError::DimensionMismatch {
+                    context: "smat spmm y",
+                    expected: tuned.matrix.rows() * k,
+                    found: y.len(),
+                },
+            ));
+        }
+        if k == 0 {
+            return Ok(());
+        }
+        let pick = tuned.spmm.get_or_init(|| self.tune_spmm(tuned, k));
+        let call = self.health.tick(Op::Spmm);
+        let (kernel, plan) = match pick {
+            SpmmPick::PerColumn => return self.run_spmm_fallback(tuned, x, y, k),
+            SpmmPick::Tiled { kernel, plan } => (*kernel, plan),
+        };
+        // Degradation ladder: a demoted engine substitutes a serial
+        // plan for parallel dispatches, exactly as in `spmv`.
+        let mut watch_pool = false;
+        let mut pool_probe = false;
+        let serial_plan;
+        let mut plan = plan;
+        if !plan.is_serial() {
+            match self.health.pool_mode(call) {
+                PoolMode::Normal => watch_pool = true,
+                PoolMode::Probe => {
+                    watch_pool = true;
+                    pool_probe = true;
+                }
+                PoolMode::Demoted => {
+                    serial_plan = ExecPlan::serial(tuned.matrix.rows());
+                    plan = &serial_plan;
+                }
+            }
+        }
+        // Breaker admission, keyed by the SpMM kernel id — the SpMM
+        // pick quarantines independently of the handle's SpMV kernel.
+        let mut probing = false;
+        if self.health.needs_attention() {
+            match self.health.admit(kernel, call) {
+                Admission::Run => {}
+                Admission::Probe => probing = true,
+                Admission::Fallback => return self.run_spmm_reference(tuned, x, y, k),
+            }
+        }
+        let faults_before = if watch_pool {
+            smat_kernels::exec::dispatch_fault_count()
+        } else {
+            0
+        };
+        // The containment boundary; failpoint `exec.kernel` scripts a
+        // fault here exactly as for `spmv`.
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(fault) = smat_failpoints::check("exec.kernel") {
+                std::panic::panic_any(fault.to_string());
+            }
+            self.lib
+                .run_spmm_planned(&tuned.matrix, kernel.variant, plan, x, y, k);
+        }));
+        if let Err(payload) = run {
+            self.contain_fault(
+                tuned,
+                kernel,
+                FaultKind::Panic,
+                panic_message(payload.as_ref()),
+                probing,
+                call,
+            );
+            return self.run_spmm_reference(tuned, x, y, k);
+        }
+        // Output screening with the reference re-run as arbiter, as in
+        // `spmv`.
+        if self.config.screen_outputs && y.iter().any(|v| !v.is_finite()) {
+            let inputs_finite = x.iter().all(|v| v.is_finite());
+            if inputs_finite {
+                let reference = self.run_spmm_reference(tuned, x, y, k);
+                if y.iter().all(|v| v.is_finite()) {
+                    self.contain_fault(
+                        tuned,
+                        kernel,
+                        FaultKind::NonFinite,
+                        "non-finite output from finite inputs".to_string(),
+                        probing,
+                        call,
+                    );
+                    if watch_pool {
+                        let faulted = smat_kernels::exec::dispatch_fault_count() > faults_before;
+                        self.health.pool_outcome(faulted, pool_probe, call);
+                    }
+                    return reference;
+                }
+            }
+        }
+        if probing {
+            self.health.on_probe_success(kernel);
+        }
+        if watch_pool {
+            let faulted = smat_kernels::exec::dispatch_fault_count() > faults_before;
+            self.health.pool_outcome(faulted, pool_probe, call);
+        }
+        Ok(())
+    }
+
+    /// First-call SpMM tuning: measure the format's tiled variants
+    /// (quarantined ones excluded from the candidate set, like any
+    /// `CandidateFailed` row), pick the winner via the scoreboard, then
+    /// search its chunk plan. The resulting pick is written back to the
+    /// structural-fingerprint cache so later `prepare` calls replay it.
+    /// The pick itself is k-agnostic — the rhs-tile width lives on the
+    /// winning variant's strategy bits and the plan's chunk bounds are
+    /// row-granular — so it serves every later `k` bit-identically.
+    fn tune_spmm(&self, tuned: &TunedSpmv<T>, k: usize) -> SpmmPick {
+        let format = tuned.matrix.format();
+        if self.lib.spmm_variant_count(format) == 0 {
+            return SpmmPick::PerColumn;
+        }
+        // Measure at a genuinely multi-RHS width even when the first
+        // call is the k = 1 degenerate, so the tile dimension has
+        // something to win on.
+        let probe_k = k.max(4);
+        let excluded = self.health.quarantined_kernels();
+        let table = smat_kernels::measure_spmm_excluding(
+            &self.lib,
+            &tuned.matrix,
+            probe_k,
+            self.config.fallback_budget,
+            self.config.candidate_deadline,
+            &excluded,
+        );
+        let best = table.scoreboard().best_variant;
+        if !table.records.get(best).is_some_and(|r| r.is_measured()) {
+            return SpmmPick::PerColumn;
+        }
+        let kernel = KernelId {
+            op: Op::Spmm,
+            format,
+            variant: best,
+        };
+        let mut plan = self.lib.plan_for(&tuned.matrix, kernel);
+        if self.config.plan_search && !plan.is_serial() {
+            if let Some(found) = smat_kernels::search_spmm_plan(
+                &self.lib,
+                &tuned.matrix,
+                kernel,
+                probe_k,
+                self.config.plan_search_budget,
+                self.config.candidate_deadline,
+            ) {
+                plan = found.plan;
+            }
+        }
+        // Attach the pick to the cached decision (if one is resident)
+        // so the next `prepare` of this structure replays it.
+        if let Some(hit) = self.cache.get(&tuned.fingerprint) {
+            if hit.spmm.is_none() {
+                self.cache.insert(
+                    tuned.fingerprint,
+                    CachedDecision {
+                        spmm: Some(CachedSpmm {
+                            kernel,
+                            plan: plan.clone(),
+                        }),
+                        ..hit
+                    },
+                );
+            }
+        }
+        SpmmPick::Tiled { kernel, plan }
+    }
+
+    /// Re-executes a multi-RHS product through the reference (variant
+    /// 0) SpMM kernel of the tuned format with its default serial
+    /// dispatch; formats without SpMM kernels take the per-column
+    /// path. Every SpMM kernel fully overwrites `y`, so this also
+    /// restores output clobbered by a faulted tuned run.
+    fn run_spmm_reference(
+        &self,
+        tuned: &TunedSpmv<T>,
+        x: &[T],
+        y: &mut [T],
+        k: usize,
+    ) -> Result<()> {
+        if self.lib.spmm_variant_count(tuned.matrix.format()) == 0 {
+            return self.run_spmm_fallback(tuned, x, y, k);
+        }
+        match catch_unwind(AssertUnwindSafe(|| {
+            self.lib.run_spmm(&tuned.matrix, 0, x, y, k);
+        })) {
+            Ok(()) => Ok(()),
+            // Double fault: nothing left to fall back to.
+            Err(payload) => Err(SmatError::KernelPanic {
+                what: format!("reference {} spmm kernel", tuned.format()),
+                message: panic_message(payload.as_ref()),
+            }),
+        }
+    }
+
+    /// The per-column SpMM tier for formats without tiled kernels:
+    /// gather each right-hand side out of the row-major block, run the
+    /// reference SpMV, scatter the product back. Correct and contained,
+    /// but allocating — the degraded tier by construction.
+    fn run_spmm_fallback(
+        &self,
+        tuned: &TunedSpmv<T>,
+        x: &[T],
+        y: &mut [T],
+        k: usize,
+    ) -> Result<()> {
+        let rows = tuned.matrix.rows();
+        let cols = tuned.matrix.cols();
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            let mut xj = vec![T::ZERO; cols];
+            let mut yj = vec![T::ZERO; rows];
+            for j in 0..k {
+                for (c, slot) in xj.iter_mut().enumerate() {
+                    *slot = x[c * k + j];
+                }
+                self.lib.run(&tuned.matrix, 0, &xj, &mut yj);
+                for (r, &v) in yj.iter().enumerate() {
+                    y[r * k + j] = v;
+                }
+            }
+        }));
+        match run {
+            Ok(()) => Ok(()),
+            Err(payload) => Err(SmatError::KernelPanic {
+                what: format!("per-column {} spmm fallback", tuned.format()),
+                message: panic_message(payload.as_ref()),
+            }),
         }
     }
 
@@ -1473,6 +1837,120 @@ mod tests {
         assert!(tuned.prepare_time() > Duration::ZERO);
     }
 
+    /// Per-column reference product gathered out of / scattered into
+    /// row-major blocks, for checking `Smat::spmm` against `k`
+    /// independent SpMV calls on the *original* CSR matrix.
+    fn per_column_reference(m: &Csr<f64>, x: &[f64], k: usize) -> Vec<f64> {
+        let mut y = vec![0.0; m.rows() * k];
+        let mut xj = vec![0.0; m.cols()];
+        let mut yj = vec![0.0; m.rows()];
+        for j in 0..k {
+            for c in 0..m.cols() {
+                xj[c] = x[c * k + j];
+            }
+            m.spmv(&xj, &mut yj).unwrap();
+            for r in 0..m.rows() {
+                y[r * k + j] = yj[r];
+            }
+        }
+        y
+    }
+
+    #[test]
+    fn spmm_attaches_a_tiled_pick_and_matches_per_column_spmv() {
+        let e = plan_search_engine();
+        let m = random_uniform::<f64>(600, 600, 8, 11);
+        let tuned = e.prepare(&m);
+        assert_eq!(tuned.format(), Format::Csr);
+        assert!(tuned.spmm_kernel().is_none(), "pick attaches lazily");
+        let k = 4;
+        let x: Vec<f64> = (0..m.cols() * k).map(|i| (i as f64 * 0.11).cos()).collect();
+        let mut y = vec![0.0; m.rows() * k];
+        e.spmm(&tuned, &x, &mut y, k).unwrap();
+        let kernel = tuned.spmm_kernel().expect("first call attaches the pick");
+        assert_eq!(kernel.op, smat_kernels::Op::Spmm);
+        assert_eq!(kernel.format, Format::Csr);
+        let expect = per_column_reference(&m, &x, k);
+        for (a, b) in y.iter().zip(&expect) {
+            assert!(
+                (a - b).abs() <= 1e-9 * b.abs().max(1.0),
+                "spmm diverged from per-column spmv: {a} vs {b}"
+            );
+        }
+        let report = e.health_report();
+        assert_eq!(report.spmm_calls, 1);
+        assert_eq!(report.spmv_calls, 0);
+    }
+
+    #[test]
+    fn spmm_pick_replays_bitwise_from_the_tuning_cache() {
+        let e = plan_search_engine();
+        let m = power_law::<f64>(900, 200, 2.0, 7);
+        let tuned = e.prepare(&m);
+        let k = 8;
+        let x: Vec<f64> = (0..m.cols() * k).map(|i| (i as f64 * 0.07).sin()).collect();
+        let mut y1 = vec![0.0; m.rows() * k];
+        e.spmm(&tuned, &x, &mut y1, k).unwrap();
+        let kernel = tuned.spmm_kernel().unwrap();
+        // A later prepare of the same structure replays the pick from
+        // the cache: it is attached before any spmm call runs …
+        let again = e.prepare(&m);
+        assert!(again.decision().is_cached());
+        assert_eq!(again.spmm_kernel(), Some(kernel));
+        assert_eq!(again.spmm_plan(), tuned.spmm_plan());
+        // … and the replayed product is bit-identical (same kernel,
+        // same plan, same reduction order).
+        let mut y2 = vec![0.0; m.rows() * k];
+        e.spmm(&again, &x, &mut y2, k).unwrap();
+        assert!(
+            y1.iter().zip(&y2).all(|(a, b)| a == b),
+            "cache replay must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn spmm_serves_per_column_for_formats_without_tiled_kernels() {
+        let e = engine();
+        let m = tridiagonal::<f64>(400);
+        let tuned = e.prepare(&m);
+        assert_eq!(tuned.format(), Format::Dia, "DIA rule should fire");
+        let k = 3;
+        let x: Vec<f64> = (0..m.cols() * k).map(|i| 1.0 + (i % 7) as f64).collect();
+        let mut y = vec![f64::NAN; m.rows() * k];
+        e.spmm(&tuned, &x, &mut y, k).unwrap();
+        assert!(tuned.spmm_kernel().is_none(), "per-column tier has no pick");
+        let expect = per_column_reference(&m, &x, k);
+        for (a, b) in y.iter().zip(&expect) {
+            assert!((a - b).abs() <= 1e-12 * b.abs().max(1.0), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn spmm_rejects_mismatched_blocks_and_accepts_k1() {
+        let e = plan_search_engine();
+        let m = random_uniform::<f64>(120, 90, 5, 2);
+        let tuned = e.prepare(&m);
+        let x = vec![1.0; 90 * 2];
+        let mut y = vec![0.0; 120 * 2];
+        assert!(matches!(
+            e.spmm(&tuned, &x[..10], &mut y, 2),
+            Err(SmatError::Matrix(_))
+        ));
+        assert!(matches!(
+            e.spmm(&tuned, &x, &mut y[..10], 2),
+            Err(SmatError::Matrix(_))
+        ));
+        // The k = 1 degenerate matches plain spmv.
+        let x1 = vec![1.5; 90];
+        let mut y1 = vec![0.0; 120];
+        e.spmm(&tuned, &x1, &mut y1, 1).unwrap();
+        let mut expect = vec![0.0; 120];
+        m.spmv(&x1, &mut expect).unwrap();
+        for (a, b) in y1.iter().zip(&expect) {
+            assert!((a - b).abs() <= 1e-12 * b.abs().max(1.0), "{a} vs {b}");
+        }
+    }
+
     #[test]
     fn expired_deadline_degrades_and_is_not_cached() {
         let e = engine();
@@ -1641,6 +2119,7 @@ mod tests {
             decision: DecisionPath::Predicted { confidence: 1.0 },
             prepare_time: Duration::ZERO,
             fingerprint: m.fingerprint(),
+            spmm: OnceLock::new(),
         }
     }
 
@@ -1759,6 +2238,7 @@ mod tests {
                 features: extract_structure(&m).features,
                 source: DecisionPath::Predicted { confidence: 1.0 },
                 plan: ExecPlan::serial(m.rows()),
+                spmm: None,
             },
         );
         let hit = e.prepare(&m);

@@ -172,6 +172,39 @@ where
     });
 }
 
+/// [`for_each_row_chunk`] for row-major multi-RHS outputs: `bounds`
+/// are *row* boundaries, and chunk `i` receives
+/// `&mut y[bounds[i] * k..bounds[i + 1] * k]` — the `k` output columns
+/// of its rows, carved from the flat `rows * k` buffer without
+/// allocating scaled boundary lists.
+///
+/// # Panics
+///
+/// Panics when `k == 0`, `y.len()` is not `rows * k` for the bounds'
+/// row count, or the bounds are malformed; re-throws any panic from
+/// `f` on the calling thread.
+pub fn for_each_row_chunk_scaled<T, F>(y: &mut [T], bounds: &[usize], k: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(k >= 1, "at least one RHS column required");
+    assert_eq!(y.len() % k, 0, "y length must be a multiple of k");
+    validate_bounds(bounds, y.len() / k);
+    if bounds.len() == 2 {
+        return f(0, y);
+    }
+    let base = y.as_mut_ptr() as usize;
+    for_each_chunk(bounds.len() - 1, &|ci| {
+        let (b0, b1) = (bounds[ci] * k, bounds[ci + 1] * k);
+        // SAFETY: row bounds are validated non-decreasing within
+        // `0..=rows`, so the scaled ranges stay within `0..=y.len()`
+        // and disjoint; the backend claims each chunk index once.
+        let chunk = unsafe { std::slice::from_raw_parts_mut((base as *mut T).add(b0), b1 - b0) };
+        f(ci, chunk);
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,6 +233,30 @@ mod tests {
             };
             assert_eq!(v, 1000 * (ci + 1) + (r - bounds[ci]), "row {r}");
         }
+    }
+
+    #[test]
+    fn scaled_row_chunks_cover_the_buffer_disjointly() {
+        let k = 3;
+        let mut y = vec![0usize; 10 * k];
+        let bounds = [0, 4, 4, 10];
+        for_each_row_chunk_scaled(&mut y, &bounds, k, |ci, chunk| {
+            assert_eq!(chunk.len() % k, 0);
+            for (i, slot) in chunk.iter_mut().enumerate() {
+                *slot = 100 * (ci + 1) + i;
+            }
+        });
+        for (e, &v) in y.iter().enumerate() {
+            let ci = if e < 4 * k { 0 } else { 2 };
+            assert_eq!(v, 100 * (ci + 1) + (e - bounds[ci] * k), "element {e}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of k")]
+    fn scaled_chunks_reject_ragged_buffers() {
+        let mut y = [0u8; 7];
+        for_each_row_chunk_scaled(&mut y, &[0, 3], 2, |_, _| {});
     }
 
     #[test]

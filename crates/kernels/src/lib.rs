@@ -50,17 +50,19 @@ pub mod registry;
 mod scalar_cast;
 pub mod search;
 pub mod simd;
+pub mod spmm;
 pub mod strategy;
 pub mod timing;
 
 pub use plan::ExecPlan;
 pub use registry::{
-    ChunkPolicy, KernelEntry, KernelFn, KernelId, KernelInfo, KernelLibrary, Planner,
+    ChunkPolicy, KernelEntry, KernelFn, KernelId, KernelInfo, KernelLibrary, Op, Planner,
+    SpmmEntry, SpmmFn,
 };
 pub use search::{
-    measure_format, measure_format_excluding, search_kernels, search_kernels_excluding,
-    search_plan, KernelChoice, PerfRecord, PerfTable, PlanSample, PlanSearch, RecordStatus,
-    Scoreboard, DEFAULT_CANDIDATE_DEADLINE,
+    measure_format, measure_format_excluding, measure_spmm, measure_spmm_excluding, search_kernels,
+    search_kernels_excluding, search_plan, search_spmm_plan, KernelChoice, PerfRecord, PerfTable,
+    PlanSample, PlanSearch, RecordStatus, Scoreboard, DEFAULT_CANDIDATE_DEADLINE,
 };
 pub use simd::SimdBackend;
 pub use strategy::{Strategy, StrategySet};

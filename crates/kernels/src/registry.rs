@@ -10,7 +10,7 @@ use crate::partition::{default_parts, equal_row_bounds, merge_path_bounds, nnz_b
 pub use crate::plan::ChunkPolicy;
 use crate::plan::ExecPlan;
 use crate::strategy::{InnerLoop, Strategy, StrategySet};
-use crate::{bcsr, coo, csr, dia, ell, exec, hyb};
+use crate::{bcsr, coo, csr, dia, ell, exec, hyb, spmm};
 use serde::{Deserialize, Serialize};
 use smat_matrix::{AnyMatrix, Bcsr, Coo, Csr, Dia, Ell, Format, Hyb, Scalar};
 
@@ -21,20 +21,58 @@ pub type KernelFn<T, M> = fn(&M, &[T], &mut [T]);
 /// One registered kernel: name, strategy set and entry point.
 pub type KernelEntry<T, M> = (&'static str, StrategySet, KernelFn<T, M>);
 
-/// Identifies one kernel implementation: a format plus the index of a
-/// variant within that format's library.
+/// Signature of every SpMM kernel: `run(matrix, x, y, k)` computing
+/// `Y = A * X` for `k` right-hand sides, with `X` (`cols * k`) and `Y`
+/// (`rows * k`) stored row-major.
+pub type SpmmFn<T, M> = fn(&M, &[T], &mut [T], usize);
+
+/// One registered SpMM kernel: name, strategy set and entry point.
+pub type SpmmEntry<T, M> = (&'static str, StrategySet, SpmmFn<T, M>);
+
+/// The operation a kernel computes. SpMV and SpMM variants live in
+/// separate per-format tables (their signatures differ by the RHS
+/// count), but share one id space so the decision cache, health
+/// breakers and install artifact address both uniformly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Op {
+    /// Sparse matrix–vector product `y = A * x`.
+    Spmv,
+    /// Sparse matrix–multi-vector product `Y = A * X` (k RHS columns).
+    Spmm,
+}
+
+/// Identifies one kernel implementation: an operation, a format, and
+/// the index of a variant within that format's library for that op.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct KernelId {
+    /// Operation the kernel computes.
+    pub op: Op,
     /// Storage format the kernel operates on.
     pub format: Format,
-    /// Index into [`KernelLibrary::variants`] for that format.
+    /// Index into [`KernelLibrary::variants`] (or
+    /// [`KernelLibrary::spmm_variants`]) for that format.
     pub variant: usize,
 }
 
 impl KernelId {
-    /// The basic (unoptimized) kernel of a format — always variant 0.
+    /// The basic (unoptimized) SpMV kernel of a format — always
+    /// variant 0.
     pub fn basic(format: Format) -> Self {
-        KernelId { format, variant: 0 }
+        KernelId {
+            op: Op::Spmv,
+            format,
+            variant: 0,
+        }
+    }
+
+    /// The basic (column-at-a-time) SpMM kernel of a format — always
+    /// variant 0 of the SpMM table.
+    pub fn spmm_basic(format: Format) -> Self {
+        KernelId {
+            op: Op::Spmm,
+            format,
+            variant: 0,
+        }
     }
 }
 
@@ -73,6 +111,13 @@ pub struct KernelLibrary<T: Scalar> {
     hyb: Vec<KernelEntry<T, Hyb<T>>>,
     bcsr2: Vec<KernelEntry<T, Bcsr<T>>>,
     bcsr4: Vec<KernelEntry<T, Bcsr<T>>>,
+    /// Multi-RHS (SpMM) tables. Formats without an entry here (COO,
+    /// DIA, HYB) have no batched kernels; the engine falls back to
+    /// per-column SpMV for them.
+    csr_spmm: Vec<SpmmEntry<T, Csr<T>>>,
+    ell_spmm: Vec<SpmmEntry<T, Ell<T>>>,
+    bcsr2_spmm: Vec<SpmmEntry<T, Bcsr<T>>>,
+    bcsr4_spmm: Vec<SpmmEntry<T, Bcsr<T>>>,
     /// Variant counts at construction. Only builtin variants have
     /// planned execution paths; user-registered ones (appended past
     /// these counts) always dispatch through their raw fn pointer.
@@ -89,6 +134,7 @@ impl<T: Scalar> std::fmt::Debug for KernelLibrary<T> {
             .field("hyb_variants", &self.hyb.len())
             .field("bcsr2_variants", &self.bcsr2.len())
             .field("bcsr4_variants", &self.bcsr4.len())
+            .field("spmm_variants", &self.total_spmm_variants())
             .finish()
     }
 }
@@ -127,13 +173,22 @@ impl<T: Scalar> KernelLibrary<T> {
             hyb,
             bcsr2,
             bcsr4,
+            csr_spmm: spmm::csr_kernels(),
+            ell_spmm: spmm::ell_kernels(),
+            bcsr2_spmm: spmm::bcsr_kernels2(),
+            bcsr4_spmm: spmm::bcsr_kernels4(),
             builtin,
         }
     }
 
     /// Whether `id` names a builtin variant (one with a planned
     /// execution path), as opposed to a user-registered extension.
+    /// Every SpMM variant is builtin — there is no SpMM registration
+    /// extension point.
     fn is_builtin(&self, id: KernelId) -> bool {
+        if id.op == Op::Spmm {
+            return id.variant < self.spmm_variant_count(id.format);
+        }
         let slot = match id.format {
             Format::Csr => 0,
             Format::Coo => 1,
@@ -154,6 +209,15 @@ impl<T: Scalar> KernelLibrary<T> {
     ///
     /// Panics if `id.variant` is out of range for `id.format`.
     fn strategies_of(&self, id: KernelId) -> StrategySet {
+        if id.op == Op::Spmm {
+            return match id.format {
+                Format::Csr => self.csr_spmm[id.variant].1,
+                Format::Ell => self.ell_spmm[id.variant].1,
+                Format::Bcsr2 => self.bcsr2_spmm[id.variant].1,
+                Format::Bcsr4 => self.bcsr4_spmm[id.variant].1,
+                other => panic!("format {other} has no SpMM kernels"),
+            };
+        }
         match id.format {
             Format::Csr => self.csr[id.variant].1,
             Format::Coo => self.coo[id.variant].1,
@@ -184,6 +248,45 @@ impl<T: Scalar> KernelLibrary<T> {
         Format::ALL.into_iter().map(|f| self.variant_count(f)).sum()
     }
 
+    /// Number of SpMM (multi-RHS) variants for `format`; 0 for formats
+    /// without a batched tier (COO, DIA, HYB).
+    pub fn spmm_variant_count(&self, format: Format) -> usize {
+        match format {
+            Format::Csr => self.csr_spmm.len(),
+            Format::Ell => self.ell_spmm.len(),
+            Format::Bcsr2 => self.bcsr2_spmm.len(),
+            Format::Bcsr4 => self.bcsr4_spmm.len(),
+            Format::Coo | Format::Dia | Format::Hyb => 0,
+        }
+    }
+
+    /// Total number of SpMM implementations across all formats.
+    pub fn total_spmm_variants(&self) -> usize {
+        Format::ALL
+            .into_iter()
+            .map(|f| self.spmm_variant_count(f))
+            .sum()
+    }
+
+    /// Metadata for every SpMM variant of `format`, indexed by variant
+    /// id (empty for formats without a batched tier).
+    pub fn spmm_variants(&self, format: Format) -> Vec<KernelInfo> {
+        macro_rules! infos {
+            ($v:expr) => {
+                $v.iter()
+                    .map(|&(name, strategies, _)| KernelInfo { name, strategies })
+                    .collect()
+            };
+        }
+        match format {
+            Format::Csr => infos!(self.csr_spmm),
+            Format::Ell => infos!(self.ell_spmm),
+            Format::Bcsr2 => infos!(self.bcsr2_spmm),
+            Format::Bcsr4 => infos!(self.bcsr4_spmm),
+            Format::Coo | Format::Dia | Format::Hyb => Vec::new(),
+        }
+    }
+
     /// Metadata for every variant of `format`, indexed by variant id.
     pub fn variants(&self, format: Format) -> Vec<KernelInfo> {
         macro_rules! infos {
@@ -204,13 +307,18 @@ impl<T: Scalar> KernelLibrary<T> {
         }
     }
 
-    /// Metadata for a specific kernel.
+    /// Metadata for a specific kernel, dispatching on the id's op so
+    /// SpMM ids resolve names like SpMV ids do (health reports, the
+    /// serve daemon's kernel field).
     ///
     /// # Panics
     ///
     /// Panics if the variant index is out of range.
     pub fn info(&self, id: KernelId) -> KernelInfo {
-        self.variants(id.format)[id.variant]
+        match id.op {
+            Op::Spmv => self.variants(id.format)[id.variant],
+            Op::Spmm => self.spmm_variants(id.format)[id.variant],
+        }
     }
 
     /// Registers an additional CSR kernel variant, returning its id.
@@ -226,6 +334,7 @@ impl<T: Scalar> KernelLibrary<T> {
     ) -> KernelId {
         self.csr.push((name, strategies, f));
         KernelId {
+            op: Op::Spmv,
             format: Format::Csr,
             variant: self.csr.len() - 1,
         }
@@ -240,6 +349,7 @@ impl<T: Scalar> KernelLibrary<T> {
     ) -> KernelId {
         self.coo.push((name, strategies, f));
         KernelId {
+            op: Op::Spmv,
             format: Format::Coo,
             variant: self.coo.len() - 1,
         }
@@ -254,6 +364,7 @@ impl<T: Scalar> KernelLibrary<T> {
     ) -> KernelId {
         self.dia.push((name, strategies, f));
         KernelId {
+            op: Op::Spmv,
             format: Format::Dia,
             variant: self.dia.len() - 1,
         }
@@ -268,6 +379,7 @@ impl<T: Scalar> KernelLibrary<T> {
     ) -> KernelId {
         self.ell.push((name, strategies, f));
         KernelId {
+            op: Op::Spmv,
             format: Format::Ell,
             variant: self.ell.len() - 1,
         }
@@ -282,6 +394,7 @@ impl<T: Scalar> KernelLibrary<T> {
     ) -> KernelId {
         self.hyb.push((name, strategies, f));
         KernelId {
+            op: Op::Spmv,
             format: Format::Hyb,
             variant: self.hyb.len() - 1,
         }
@@ -296,6 +409,7 @@ impl<T: Scalar> KernelLibrary<T> {
     ) -> KernelId {
         self.bcsr2.push((name, strategies, f));
         KernelId {
+            op: Op::Spmv,
             format: Format::Bcsr2,
             variant: self.bcsr2.len() - 1,
         }
@@ -310,6 +424,7 @@ impl<T: Scalar> KernelLibrary<T> {
     ) -> KernelId {
         self.bcsr4.push((name, strategies, f));
         KernelId {
+            op: Op::Spmv,
             format: Format::Bcsr4,
             variant: self.bcsr4.len() - 1,
         }
@@ -351,10 +466,28 @@ impl<T: Scalar> KernelLibrary<T> {
     ///
     /// Panics if `id.variant` is out of range for `id.format`.
     pub fn chunk_policy(&self, m: &AnyMatrix<T>, id: KernelId) -> ChunkPolicy {
-        if !self.is_builtin(id)
-            || !self.strategies_of(id).contains(Strategy::Parallel)
-            || id.format != m.format()
-        {
+        if !self.is_builtin(id) || id.format != m.format() {
+            return ChunkPolicy::Serial;
+        }
+        if id.op == Op::Spmm {
+            let s = self.strategies_of(id);
+            if !s.contains(Strategy::Parallel) {
+                return ChunkPolicy::Serial;
+            }
+            return match m {
+                AnyMatrix::Csr(_) => {
+                    if s.contains(Strategy::Merge) {
+                        ChunkPolicy::MergePath
+                    } else {
+                        ChunkPolicy::EqualRows
+                    }
+                }
+                AnyMatrix::Ell(_) => ChunkPolicy::EqualRows,
+                AnyMatrix::Bcsr2(m) | AnyMatrix::Bcsr4(m) => ChunkPolicy::BlockAligned(m.br()),
+                _ => ChunkPolicy::Serial,
+            };
+        }
+        if !self.strategies_of(id).contains(Strategy::Parallel) {
             return ChunkPolicy::Serial;
         }
         match m {
@@ -486,6 +619,7 @@ impl<T: Scalar> KernelLibrary<T> {
         y: &mut [T],
     ) {
         let id = KernelId {
+            op: Op::Spmv,
             format: m.format(),
             variant,
         };
@@ -508,6 +642,64 @@ impl<T: Scalar> KernelLibrary<T> {
             AnyMatrix::Ell(m) => ell::run_planned(m, x, y, plan, strategies),
             AnyMatrix::Hyb(m) => hyb::run_planned(m, x, y, plan),
             AnyMatrix::Bcsr2(m) | AnyMatrix::Bcsr4(m) => bcsr::run_planned(m, x, y, plan, unroll),
+        }
+    }
+
+    /// Runs SpMM variant `variant` of the matrix's own format:
+    /// `Y = A * X` for `k` row-major RHS columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `variant` is out of range, the matrix's format has no
+    /// SpMM tier (COO, DIA, HYB), or the buffer lengths don't equal
+    /// `cols * k` / `rows * k`.
+    pub fn run_spmm(&self, m: &AnyMatrix<T>, variant: usize, x: &[T], y: &mut [T], k: usize) {
+        match m {
+            AnyMatrix::Csr(m) => (self.csr_spmm[variant].2)(m, x, y, k),
+            AnyMatrix::Ell(m) => (self.ell_spmm[variant].2)(m, x, y, k),
+            AnyMatrix::Bcsr2(m) => (self.bcsr2_spmm[variant].2)(m, x, y, k),
+            AnyMatrix::Bcsr4(m) => (self.bcsr4_spmm[variant].2)(m, x, y, k),
+            other => panic!("format {} has no SpMM kernels", other.format()),
+        }
+    }
+
+    /// Runs an SpMM variant with a precomputed [`ExecPlan`] — the
+    /// zero-allocation steady-state dispatch for the batched tier.
+    /// Serial variants fall through to their plain fn pointer.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`run_spmm`](Self::run_spmm), plus malformed
+    /// plan bounds.
+    pub fn run_spmm_planned(
+        &self,
+        m: &AnyMatrix<T>,
+        variant: usize,
+        plan: &ExecPlan,
+        x: &[T],
+        y: &mut [T],
+        k: usize,
+    ) {
+        let id = KernelId {
+            op: Op::Spmm,
+            format: m.format(),
+            variant,
+        };
+        let strategies = self.strategies_of(id);
+        if !strategies.contains(Strategy::Parallel) {
+            return self.run_spmm(m, variant, x, y, k);
+        }
+        let width = strategies.tile_width();
+        match m {
+            AnyMatrix::Csr(m) if strategies.contains(Strategy::Merge) => {
+                spmm::run_csr_merge_planned(m, x, y, k, plan, width)
+            }
+            AnyMatrix::Csr(m) => spmm::run_csr_planned(m, x, y, k, plan, strategies),
+            AnyMatrix::Ell(m) => spmm::run_ell_planned(m, x, y, k, plan, width),
+            AnyMatrix::Bcsr2(m) | AnyMatrix::Bcsr4(m) => {
+                spmm::run_bcsr_planned(m, x, y, k, plan, width)
+            }
+            other => panic!("format {} has no SpMM kernels", other.format()),
         }
     }
 }
@@ -691,6 +883,7 @@ mod tests {
         let mut distinct = std::collections::HashSet::new();
         for v in 0..lib.variant_count(Format::Csr) {
             let id = KernelId {
+                op: Op::Spmv,
                 format: Format::Csr,
                 variant: v,
             };
@@ -718,6 +911,7 @@ mod tests {
             let br = if f == Format::Bcsr2 { 2 } else { 4 };
             for v in 0..lib.variant_count(f) {
                 let id = KernelId {
+                    op: Op::Spmv,
                     format: f,
                     variant: v,
                 };
@@ -743,6 +937,7 @@ mod tests {
         let m = smat_matrix::gen::power_law::<f64>(600, 150, 2.0, 7);
         let any = AnyMatrix::Csr(m);
         let id = KernelId {
+            op: Op::Spmv,
             format: Format::Csr,
             variant: v,
         };
@@ -792,5 +987,90 @@ mod tests {
     fn debug_impl_is_nonempty() {
         let lib = KernelLibrary::<f32>::new();
         assert!(format!("{lib:?}").contains("csr_variants"));
+    }
+
+    #[test]
+    fn spmm_library_is_well_formed() {
+        let lib = KernelLibrary::<f64>::new();
+        assert_eq!(lib.total_spmm_variants(), 29);
+        for f in [Format::Csr, Format::Ell, Format::Bcsr2, Format::Bcsr4] {
+            let infos = lib.spmm_variants(f);
+            assert!(!infos.is_empty());
+            assert!(
+                infos[0].strategies.is_empty(),
+                "spmm variant 0 of {f} must be basic"
+            );
+            let names: std::collections::HashSet<_> = infos.iter().map(|i| i.name).collect();
+            assert_eq!(names.len(), infos.len());
+            let sets: std::collections::HashSet<_> = infos.iter().map(|i| i.strategies).collect();
+            assert_eq!(sets.len(), infos.len(), "{f} spmm strategy sets not unique");
+        }
+        for f in [Format::Coo, Format::Dia, Format::Hyb] {
+            assert_eq!(lib.spmm_variant_count(f), 0);
+            assert!(lib.spmm_variants(f).is_empty());
+        }
+        let id = KernelId::spmm_basic(Format::Csr);
+        assert_eq!(id.op, Op::Spmm);
+        assert_eq!(lib.info(id).name, "csr_spmm_basic");
+    }
+
+    #[test]
+    fn run_spmm_matches_per_column_spmv() {
+        let lib = KernelLibrary::<f64>::new();
+        let csr = random_uniform::<f64>(90, 70, 5, 3);
+        let k = 5usize;
+        let x: Vec<f64> = (0..70 * k)
+            .map(|i| 0.25 * ((i % 11) as f64) - 0.5)
+            .collect();
+        for f in [Format::Csr, Format::Ell, Format::Bcsr2, Format::Bcsr4] {
+            let any = AnyMatrix::convert_from_csr_with(
+                &csr,
+                f,
+                &smat_matrix::ConversionLimits::unlimited(),
+            )
+            .unwrap();
+            let mut expect = vec![0.0; 90 * k];
+            for j in 0..k {
+                let xj: Vec<f64> = (0..70).map(|c| x[c * k + j]).collect();
+                let mut yj = vec![0.0; 90];
+                lib.run(&any, 0, &xj, &mut yj);
+                for r in 0..90 {
+                    expect[r * k + j] = yj[r];
+                }
+            }
+            for v in 0..lib.spmm_variant_count(f) {
+                let mut y = vec![f64::NAN; 90 * k];
+                lib.run_spmm(&any, v, &x, &mut y, k);
+                assert!(
+                    max_abs_diff(&y, &expect) < 1e-12,
+                    "{f} spmm variant {v} diverges"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spmm_planned_dispatch_replays_bitwise() {
+        let lib = KernelLibrary::<f64>::new();
+        let m = smat_matrix::gen::power_law::<f64>(400, 120, 2.0, 7);
+        let any = AnyMatrix::Csr(m);
+        let k = 6usize;
+        let x: Vec<f64> = (0..400 * k).map(|i| (i as f64 * 0.13).sin()).collect();
+        for v in 0..lib.spmm_variant_count(Format::Csr) {
+            let id = KernelId {
+                op: Op::Spmm,
+                format: Format::Csr,
+                variant: v,
+            };
+            let plan = lib.plan_for(&any, id);
+            let mut y1 = vec![f64::NAN; 400 * k];
+            let mut y2 = vec![f64::NAN; 400 * k];
+            lib.run_spmm_planned(&any, v, &plan, &x, &mut y1, k);
+            lib.run_spmm_planned(&any, v, &plan, &x, &mut y2, k);
+            assert!(
+                y1.iter().zip(&y2).all(|(a, b)| a == b),
+                "spmm variant {v} replay not bit-stable"
+            );
+        }
     }
 }

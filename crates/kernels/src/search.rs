@@ -10,7 +10,7 @@
 //! highest-scoring implementation per format.
 
 use crate::plan::{ChunkPolicy, ExecPlan};
-use crate::registry::{KernelId, KernelLibrary};
+use crate::registry::{KernelId, KernelLibrary, Op};
 use crate::strategy::{Strategy, StrategySet};
 use crate::timing::{gflops, measure_guarded, MeasureOutcome};
 use serde::{Deserialize, Serialize};
@@ -192,6 +192,7 @@ impl KernelChoice {
     /// The chosen kernel for `format`.
     pub fn kernel(&self, format: Format) -> KernelId {
         KernelId {
+            op: Op::Spmv,
             format,
             variant: self.variant[format.index()],
         }
@@ -242,7 +243,11 @@ pub fn measure_format_excluding<T: Scalar>(
     let nnz = probe.nnz();
     let mut records = Vec::with_capacity(lib.variant_count(format));
     for (v, info) in lib.variants(format).into_iter().enumerate() {
-        if excluded.contains(&KernelId { format, variant: v }) {
+        if excluded.contains(&KernelId {
+            op: Op::Spmv,
+            format,
+            variant: v,
+        }) {
             records.push(PerfRecord {
                 name: info.name.to_string(),
                 strategies: info.strategies,
@@ -328,6 +333,82 @@ pub fn search_kernels_excluding<T: Scalar>(
     (choice, tables)
 }
 
+/// Measures every SpMM variant of the probe's format at RHS batch width
+/// `k` and returns the performance record table. The mirror of
+/// [`measure_format`] for the batched tier: throughput counts
+/// `2 * nnz * k` flops per call, rows index the library's SpMM tables,
+/// and a
+/// format with no SpMM kernels (COO/DIA/HYB) yields an empty table.
+pub fn measure_spmm<T: Scalar>(
+    lib: &KernelLibrary<T>,
+    probe: &AnyMatrix<T>,
+    k: usize,
+    budget: Duration,
+    deadline: Duration,
+) -> PerfTable {
+    measure_spmm_excluding(lib, probe, k, budget, deadline, &[])
+}
+
+/// [`measure_spmm`] with a quarantine set, matching
+/// [`measure_format_excluding`]'s contract: excluded SpMM variants are
+/// recorded as failed candidates with reason `"quarantined"`.
+pub fn measure_spmm_excluding<T: Scalar>(
+    lib: &KernelLibrary<T>,
+    probe: &AnyMatrix<T>,
+    k: usize,
+    budget: Duration,
+    deadline: Duration,
+    excluded: &[KernelId],
+) -> PerfTable {
+    let format = probe.format();
+    let x = vec![T::ONE; probe.cols() * k];
+    let mut y = vec![T::ZERO; probe.rows() * k];
+    let nnz = probe.nnz();
+    let mut records = Vec::with_capacity(lib.spmm_variant_count(format));
+    for (v, info) in lib.spmm_variants(format).into_iter().enumerate() {
+        if excluded.contains(&KernelId {
+            op: Op::Spmm,
+            format,
+            variant: v,
+        }) {
+            records.push(PerfRecord {
+                name: info.name.to_string(),
+                strategies: info.strategies,
+                gflops: 0.0,
+                status: RecordStatus::CandidateFailed {
+                    reason: "quarantined".into(),
+                },
+            });
+            continue;
+        }
+        let outcome = measure_guarded(
+            || lib.run_spmm(probe, v, &x, &mut y, k),
+            budget,
+            deadline,
+            3,
+            64,
+        );
+        let record = match outcome {
+            MeasureOutcome::Ok(med) => PerfRecord {
+                name: info.name.to_string(),
+                strategies: info.strategies,
+                gflops: gflops(nnz * k, med),
+                status: RecordStatus::Measured,
+            },
+            failed => PerfRecord {
+                name: info.name.to_string(),
+                strategies: info.strategies,
+                gflops: 0.0,
+                status: RecordStatus::CandidateFailed {
+                    reason: failed.failure().unwrap_or_else(|| "unknown failure".into()),
+                },
+            },
+        };
+        records.push(record);
+    }
+    PerfTable { format, records }
+}
+
 /// One measured (chunk policy, fan-out width) candidate from
 /// [`search_plan`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -408,6 +489,71 @@ pub fn search_plan<T: Scalar>(
                 continue;
             };
             let g = gflops(nnz, med);
+            samples.push(PlanSample {
+                policy,
+                parts,
+                chunks: plan.chunks(),
+                gflops: g,
+            });
+            if best.as_ref().is_none_or(|(_, bg, _)| g > *bg) {
+                best = Some((samples.len() - 1, g, plan));
+            }
+        }
+    }
+    best.map(|(best, _, plan)| PlanSearch {
+        plan,
+        best,
+        samples,
+    })
+}
+
+/// [`search_plan`] for an SpMM kernel at RHS batch width `k`: the same
+/// policy × width grid (merge kernels only re-size their entry split,
+/// plain row-chunk CSR kernels race `EqualRows` against `NnzBalanced`),
+/// replayed through the planned SpMM dispatch and scored at `2 * nnz *
+/// k` flops per call. The *tile* width is not searched here — it lives
+/// on the variant (`Tile2/4/8` strategy bits), chosen by the SpMM
+/// scoreboard; this searches the partitioning the winning tile replays.
+pub fn search_spmm_plan<T: Scalar>(
+    lib: &KernelLibrary<T>,
+    m: &AnyMatrix<T>,
+    id: KernelId,
+    k: usize,
+    budget: Duration,
+    deadline: Duration,
+) -> Option<PlanSearch> {
+    let natural = lib.chunk_policy(m, id);
+    let policies: Vec<ChunkPolicy> = match natural {
+        ChunkPolicy::Serial => return None,
+        ChunkPolicy::EqualRows | ChunkPolicy::NnzBalanced if id.format == Format::Csr => {
+            vec![ChunkPolicy::EqualRows, ChunkPolicy::NnzBalanced]
+        }
+        other => vec![other],
+    };
+    let t = crate::exec::num_threads().max(1);
+    let mut widths = vec![1, t, 2 * t, 4 * t];
+    widths.sort_unstable();
+    widths.dedup();
+
+    let x = vec![T::ONE; m.cols() * k];
+    let mut y = vec![T::ZERO; m.rows() * k];
+    let nnz = m.nnz();
+    let mut samples = Vec::new();
+    let mut best: Option<(usize, f64, ExecPlan)> = None;
+    for &policy in &policies {
+        for &parts in &widths {
+            let plan = lib.build_plan_sized(m, policy, parts);
+            let outcome = measure_guarded(
+                || lib.run_spmm_planned(m, id.variant, &plan, &x, &mut y, k),
+                budget,
+                deadline,
+                2,
+                16,
+            );
+            let MeasureOutcome::Ok(med) = outcome else {
+                continue;
+            };
+            let g = gflops(nnz * k, med);
             samples.push(PlanSample {
                 policy,
                 parts,
@@ -602,6 +748,7 @@ mod tests {
         );
         let winner = open.scoreboard().best_variant;
         let benched = KernelId {
+            op: Op::Spmv,
             format: Format::Csr,
             variant: winner,
         };
@@ -640,6 +787,7 @@ mod tests {
             .position(|i| i.name == "csr_parallel")
             .unwrap();
         let id = KernelId {
+            op: Op::Spmv,
             format: Format::Csr,
             variant: v,
         };
@@ -683,6 +831,97 @@ mod tests {
             &lib,
             &any,
             id,
+            Duration::from_micros(50),
+            DEFAULT_CANDIDATE_DEADLINE
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn spmm_measurement_covers_the_tile_grid() {
+        let lib = KernelLibrary::<f64>::new();
+        let probe = random_uniform::<f64>(400, 400, 6, 21);
+        let any = AnyMatrix::Csr(probe);
+        let table = measure_spmm(
+            &lib,
+            &any,
+            8,
+            Duration::from_micros(100),
+            DEFAULT_CANDIDATE_DEADLINE,
+        );
+        assert_eq!(table.records.len(), lib.spmm_variant_count(Format::Csr));
+        assert!(table.records.iter().all(PerfRecord::is_measured));
+        // The searched grid includes every tile width.
+        for s in [Strategy::Tile2, Strategy::Tile4, Strategy::Tile8] {
+            assert!(
+                table.records.iter().any(|r| r.strategies.contains(s)),
+                "{s} missing from the spmm grid"
+            );
+        }
+        // The scoreboard picks a live row; an excluded winner is skipped.
+        let winner = table.scoreboard().best_variant;
+        let benched = KernelId {
+            op: Op::Spmm,
+            format: Format::Csr,
+            variant: winner,
+        };
+        let again = measure_spmm_excluding(
+            &lib,
+            &any,
+            8,
+            Duration::from_micros(100),
+            DEFAULT_CANDIDATE_DEADLINE,
+            &[benched],
+        );
+        assert!(!again.records[winner].is_measured());
+        assert_ne!(again.scoreboard().best_variant, winner);
+    }
+
+    #[test]
+    fn spmm_plan_search_finds_a_replayable_plan() {
+        let lib = KernelLibrary::<f64>::new();
+        let m = smat_matrix::gen::power_law::<f64>(1200, 250, 2.0, 17);
+        let any = AnyMatrix::Csr(m);
+        let k = 4usize;
+        let v = lib
+            .spmm_variants(Format::Csr)
+            .iter()
+            .position(|i| i.name == "csr_spmm_parallel_t4")
+            .unwrap();
+        let id = KernelId {
+            op: Op::Spmm,
+            format: Format::Csr,
+            variant: v,
+        };
+        let found = search_spmm_plan(
+            &lib,
+            &any,
+            id,
+            k,
+            Duration::from_micros(200),
+            DEFAULT_CANDIDATE_DEADLINE,
+        )
+        .expect("parallel spmm kernel has a plan to search");
+        assert!(found
+            .samples
+            .iter()
+            .any(|s| s.policy == ChunkPolicy::NnzBalanced));
+        // The winning plan replays bitwise.
+        let x: Vec<f64> = (0..any.cols() * k)
+            .map(|i| (i as f64 * 0.17).sin())
+            .collect();
+        let mut y1 = vec![f64::NAN; any.rows() * k];
+        let mut y2 = vec![f64::NAN; any.rows() * k];
+        lib.run_spmm_planned(&any, v, &found.plan, &x, &mut y1, k);
+        lib.run_spmm_planned(&any, v, &found.plan, &x, &mut y2, k);
+        assert!(y1.iter().zip(&y2).all(|(a, b)| a == b));
+        // Serial spmm kernels have nothing to search.
+        let serial = KernelId::spmm_basic(Format::Csr);
+        assert!(search_spmm_plan(
+            &lib,
+            &any,
+            serial,
+            k,
             Duration::from_micros(50),
             DEFAULT_CANDIDATE_DEADLINE
         )

@@ -75,9 +75,9 @@ pub fn active_backend() -> &'static str {
 }
 
 /// Whether the AVX2 path is selected (policy allows it and the CPU
-/// supports it).
+/// supports it). Shared with the SpMM tile kernels in [`crate::spmm`].
 #[inline]
-fn avx2_active() -> bool {
+pub(crate) fn avx2_active() -> bool {
     #[cfg(target_arch = "x86_64")]
     {
         backend() == SimdBackend::Auto && std::arch::is_x86_feature_detected!("avx2")

@@ -42,11 +42,20 @@ pub enum Strategy {
     /// partials fixed up serially afterwards. Immune to the single-hot-row
     /// imbalance that defeats every row-granular partition (CSR only).
     Merge,
+    /// Multi-RHS register tiling over 2 right-hand-side columns per
+    /// matrix sweep (SpMM kernels only). The tile width is a *searched*
+    /// dimension: each width is a separate registry entry, so the
+    /// scoreboard scores tiling like any other strategy.
+    Tile2,
+    /// Multi-RHS register tiling over 4 columns per sweep.
+    Tile4,
+    /// Multi-RHS register tiling over 8 columns per sweep.
+    Tile8,
 }
 
 impl Strategy {
     /// All strategies, in bit order.
-    pub const ALL: [Strategy; 7] = [
+    pub const ALL: [Strategy; 10] = [
         Strategy::Unroll,
         Strategy::Parallel,
         Strategy::Balance,
@@ -54,9 +63,12 @@ impl Strategy {
         Strategy::Wide,
         Strategy::Simd,
         Strategy::Merge,
+        Strategy::Tile2,
+        Strategy::Tile4,
+        Strategy::Tile8,
     ];
 
-    fn bit(self) -> u8 {
+    fn bit(self) -> u16 {
         match self {
             Strategy::Unroll => 1,
             Strategy::Parallel => 2,
@@ -65,6 +77,9 @@ impl Strategy {
             Strategy::Wide => 16,
             Strategy::Simd => 32,
             Strategy::Merge => 64,
+            Strategy::Tile2 => 128,
+            Strategy::Tile4 => 256,
+            Strategy::Tile8 => 512,
         }
     }
 
@@ -78,6 +93,9 @@ impl Strategy {
             Strategy::Wide => "wide",
             Strategy::Simd => "simd",
             Strategy::Merge => "merge",
+            Strategy::Tile2 => "tile2",
+            Strategy::Tile4 => "tile4",
+            Strategy::Tile8 => "tile8",
         }
     }
 }
@@ -101,7 +119,7 @@ impl fmt::Display for Strategy {
 /// assert_eq!(s.len(), 2);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
-pub struct StrategySet(u8);
+pub struct StrategySet(u16);
 
 impl StrategySet {
     /// The basic implementation: no optimization strategies.
@@ -148,6 +166,20 @@ impl StrategySet {
             Strategy::ALL.into_iter().find(|s| s.bit() == diff)
         } else {
             None
+        }
+    }
+
+    /// The multi-RHS register-tile width this set encodes: 2/4/8 for the
+    /// `Tile*` strategies, 1 when none is present (column-at-a-time).
+    pub fn tile_width(self) -> usize {
+        if self.contains(Strategy::Tile8) {
+            8
+        } else if self.contains(Strategy::Tile4) {
+            4
+        } else if self.contains(Strategy::Tile2) {
+            2
+        } else {
+            1
         }
     }
 }
@@ -247,7 +279,21 @@ mod tests {
         let s: StrategySet = Strategy::ALL.into_iter().collect();
         let back: StrategySet = s.iter().collect();
         assert_eq!(s, back);
-        assert_eq!(s.len(), 7);
+        assert_eq!(s.len(), 10);
+    }
+
+    #[test]
+    fn tile_width_decodes() {
+        assert_eq!(StrategySet::EMPTY.tile_width(), 1);
+        assert_eq!(StrategySet::EMPTY.with(Strategy::Tile2).tile_width(), 2);
+        assert_eq!(StrategySet::EMPTY.with(Strategy::Tile4).tile_width(), 4);
+        assert_eq!(
+            StrategySet::EMPTY
+                .with(Strategy::Tile8)
+                .with(Strategy::Parallel)
+                .tile_width(),
+            8
+        );
     }
 
     #[test]

@@ -2,10 +2,11 @@
 //!
 //! Usage: `smoke_clients <host:port> [metrics-out.json]`
 //!
-//! Drives nine concurrent clients against the daemon — seven
+//! Drives ten concurrent clients against the daemon — seven
 //! well-behaved SpMV requests on a shared fingerprint, one tune
-//! request, and one hostile client sending garbage and an oversized
-//! frame — then cross-checks the service counters for consistency,
+//! request, one multi-RHS SpMM request, and one hostile client
+//! sending garbage and an oversized frame — then cross-checks the
+//! service counters for consistency,
 //! writes the raw metrics JSON to the output path for external schema
 //! validation, and asks the daemon to drain. Exits nonzero on any
 //! violated invariant, so CI can gate on it directly.
@@ -18,7 +19,7 @@ use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
-const WELL_BEHAVED: u64 = 8; // 7 spmv + 1 tune, all counted as work
+const WELL_BEHAVED: u64 = 9; // 7 spmv + 1 tune + 1 spmm, all counted as work
 
 fn connect(addr: &str) -> (TcpStream, BufReader<TcpStream>) {
     let stream = TcpStream::connect(addr).expect("connect to daemon");
@@ -136,7 +137,26 @@ fn main() {
         xs.join(",")
     ));
     let tune = format!("{{\"op\":\"tune\",\"deadline_ms\":30000,\"matrix\":{matrix}}}");
+    // Multi-RHS block: three scaled copies of x, column-major on the
+    // wire, checked against per-column reference products.
+    let spmm_k = 3usize;
+    let mut block = Vec::with_capacity(dim * spmm_k);
+    let mut expect_mm = Vec::with_capacity(dim * spmm_k);
+    for j in 0..spmm_k {
+        let scale = 1.0 + j as f64;
+        let col: Vec<f64> = x.iter().map(|v| v * scale).collect();
+        let mut y = vec![0.0; dim];
+        m.spmv(&col, &mut y).expect("reference SpMM column");
+        block.extend(col);
+        expect_mm.extend(y);
+    }
+    let blocks: Vec<String> = block.iter().map(|v| format!("{v:?}")).collect();
+    let spmm = format!(
+        "{{\"op\":\"spmm\",\"k\":{spmm_k},\"deadline_ms\":30000,\"matrix\":{matrix},\"x\":[{}]}}",
+        blocks.join(",")
+    );
     let expect = Arc::new(expect);
+    let expect_mm = Arc::new(expect_mm);
 
     let mut clients = Vec::new();
     for _ in 0..7 {
@@ -173,6 +193,32 @@ fn main() {
                 matches!(status.as_str(), "ok" | "degraded" | "shed"),
                 "unexpected tune status: {reply:?}"
             );
+            status
+        }));
+    }
+    {
+        let addr = addr.clone();
+        let expect_mm = Arc::clone(&expect_mm);
+        clients.push(thread::spawn(move || {
+            let reply = request(&addr, &spmm);
+            let status = status_of(&reply);
+            match status.as_str() {
+                "ok" | "degraded" => {
+                    assert_eq!(as_u64(field(&reply, "k")), spmm_k as u64);
+                    let y = floats(field(&reply, "y"));
+                    assert_eq!(y.len(), expect_mm.len(), "spmm block shape");
+                    for (i, (got, want)) in y.iter().zip(expect_mm.iter()).enumerate() {
+                        assert!(
+                            (got - want).abs() < 1e-9,
+                            "spmm y[{i}] = {got}, reference {want}"
+                        );
+                    }
+                }
+                "shed" => {
+                    assert!(as_u64(field(&reply, "retry_after_ms")) > 0);
+                }
+                other => panic!("unexpected spmm status {other}: {reply:?}"),
+            }
             status
         }));
     }
@@ -219,7 +265,13 @@ fn main() {
     // The engine block must carry the fault-containment counters the
     // health schema pins.
     let engine = field(&metrics, "engine");
-    for key in ["dispatch_fault_count", "coalesced_waits", "cache_misses"] {
+    for key in [
+        "dispatch_fault_count",
+        "coalesced_waits",
+        "cache_misses",
+        "spmv_calls",
+        "spmm_calls",
+    ] {
         let _ = as_u64(field(engine, key));
     }
 

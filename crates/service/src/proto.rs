@@ -18,7 +18,16 @@
 //!   "deadline_ms": 250, "tenant": "team-a"}      // both optional
 //! {"op": "spmv", "matrix": {...}, "x": [..],     // x optional (ones)
 //!   "deadline_ms": 250, "tenant": "team-a"}
+//! {"op": "spmm", "matrix": {...}, "k": 4,        // k >= 1 RHS columns
+//!   "x": [..]}                                   // x optional (ones);
+//!                                                // cols*k, column-major
 //! ```
+//!
+//! Multi-RHS blocks travel column-major on the wire — `x` is `k`
+//! concatenated columns of length `cols`, the response `y` is `k`
+//! concatenated columns of length `rows` — matching how clients
+//! naturally batch independent right-hand sides. The server converts
+//! to the engine's row-major layout internally.
 //!
 //! ## Responses
 //!
@@ -51,6 +60,9 @@ pub enum WorkOp {
     Tune,
     /// Tune then multiply: answer with `y`.
     Spmv,
+    /// Tune then multiply `k` right-hand sides: answer with the
+    /// column-major `y` block and `k`.
+    Spmm,
 }
 
 impl WorkOp {
@@ -59,19 +71,25 @@ impl WorkOp {
         match self {
             WorkOp::Tune => "tune",
             WorkOp::Spmv => "spmv",
+            WorkOp::Spmm => "spmm",
         }
     }
 }
 
-/// A tune/spmv request after validation.
+/// A tune/spmv/spmm request after validation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WorkRequest {
     /// Which operation.
     pub op: WorkOp,
     /// The matrix, already assembled (duplicate entries summed).
     pub matrix: Csr<f64>,
-    /// Input vector for [`WorkOp::Spmv`]; `None` means all-ones.
+    /// Input vector(s) for [`WorkOp::Spmv`] / [`WorkOp::Spmm`]; `None`
+    /// means all-ones. For `Spmm` this is the column-major wire block
+    /// of length `cols * k`.
     pub x: Option<Vec<f64>>,
+    /// Right-hand-side count: 1 for `Tune`/`Spmv`, the client's `k`
+    /// for `Spmm`.
+    pub k: usize,
     /// Client deadline; `None` takes the server default.
     pub deadline: Option<Duration>,
     /// Budget account; empty string is the anonymous tenant.
@@ -229,13 +247,31 @@ pub fn parse_request(frame: &str) -> Result<Request, String> {
         "shutdown" => return Ok(Request::Shutdown),
         "tune" => WorkOp::Tune,
         "spmv" => WorkOp::Spmv,
+        "spmm" => WorkOp::Spmm,
         other => {
             return Err(format!(
-                "unknown op {other:?} (expected ping, metrics, tune, spmv, or shutdown)"
+                "unknown op {other:?} (expected ping, metrics, tune, spmv, spmm, or shutdown)"
             ))
         }
     };
     let matrix = parse_matrix(get(fields, "matrix").ok_or("missing \"matrix\" field")?)?;
+    let k = match (work_op, get(fields, "k")) {
+        (WorkOp::Spmm, Some(v)) => {
+            let k = as_u64(v).ok_or("\"k\" must be a positive integer")? as usize;
+            if k == 0 {
+                return Err("\"k\" must be at least 1".to_string());
+            }
+            if k > MAX_WIRE_RHS {
+                return Err(format!(
+                    "\"k\" = {k} exceeds the wire limit of {MAX_WIRE_RHS}"
+                ));
+            }
+            k
+        }
+        (WorkOp::Spmm, None) => return Err("spmm needs a positive integer \"k\"".to_string()),
+        (_, Some(_)) => return Err(format!("\"k\" is only valid for spmm, not {op}")),
+        (_, None) => 1,
+    };
     let x = match get(fields, "x") {
         None | Some(Value::Null) => None,
         Some(v) => {
@@ -250,12 +286,20 @@ pub fn parse_request(frame: &str) -> Result<Request, String> {
                 }
                 x.push(f);
             }
-            if x.len() != matrix.cols() {
-                return Err(format!(
-                    "\"x\" has {} entries but the matrix has {} columns",
-                    x.len(),
-                    matrix.cols()
-                ));
+            if x.len() != matrix.cols() * k {
+                return Err(if work_op == WorkOp::Spmm {
+                    format!(
+                        "\"x\" has {} entries but an spmm block needs cols*k = {}",
+                        x.len(),
+                        matrix.cols() * k
+                    )
+                } else {
+                    format!(
+                        "\"x\" has {} entries but the matrix has {} columns",
+                        x.len(),
+                        matrix.cols()
+                    )
+                });
             }
             Some(x)
         }
@@ -275,10 +319,16 @@ pub fn parse_request(frame: &str) -> Result<Request, String> {
         op: work_op,
         matrix,
         x,
+        k,
         deadline,
         tenant,
     })))
 }
+
+/// Cap on right-hand-side columns per spmm request: keeps the dense
+/// block allocation bounded by the frame cap rather than a tiny frame
+/// claiming a huge implicit all-ones block.
+const MAX_WIRE_RHS: usize = 1 << 12;
 
 /// Size guard before assembling a matrix from the wire: triplet count
 /// is already bounded by the frame cap, but dimensions are not — a
@@ -384,6 +434,36 @@ mod tests {
     }
 
     #[test]
+    fn parses_spmm_with_column_major_block() {
+        let req = parse_request(
+            "{\"op\":\"spmm\",\"k\":2,\"x\":[1,2,3,4,5,6],\
+             \"matrix\":{\"rows\":2,\"cols\":3,\"entries\":[[0,0,1],[1,2,2]]}}",
+        )
+        .unwrap();
+        match req {
+            Request::Work(w) => {
+                assert_eq!(w.op, WorkOp::Spmm);
+                assert_eq!(w.k, 2);
+                assert_eq!(w.x.as_deref(), Some(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0][..]));
+            }
+            other => panic!("expected Work, got {other:?}"),
+        }
+        // Implicit all-ones block is fine: x stays None, k carries.
+        let req = parse_request(
+            "{\"op\":\"spmm\",\"k\":4,\
+             \"matrix\":{\"rows\":2,\"cols\":3,\"entries\":[[0,0,1]]}}",
+        )
+        .unwrap();
+        match req {
+            Request::Work(w) => {
+                assert_eq!(w.k, 4);
+                assert!(w.x.is_none());
+            }
+            other => panic!("expected Work, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn rejects_malformed_requests_with_messages() {
         for (frame, needle) in [
             ("not json", "invalid JSON"),
@@ -407,6 +487,31 @@ mod tests {
                 "{\"op\":\"spmv\",\"x\":[1.0],\"matrix\":{\"rows\":2,\"cols\":2,\
                  \"entries\":[[0,0,1]]}}",
                 "2 columns",
+            ),
+            (
+                "{\"op\":\"spmm\",\"matrix\":{\"rows\":2,\"cols\":2,\
+                 \"entries\":[[0,0,1]]}}",
+                "spmm needs a positive integer",
+            ),
+            (
+                "{\"op\":\"spmm\",\"k\":0,\"matrix\":{\"rows\":2,\"cols\":2,\
+                 \"entries\":[[0,0,1]]}}",
+                "at least 1",
+            ),
+            (
+                "{\"op\":\"spmm\",\"k\":99999999,\"matrix\":{\"rows\":2,\"cols\":2,\
+                 \"entries\":[[0,0,1]]}}",
+                "wire limit",
+            ),
+            (
+                "{\"op\":\"spmv\",\"k\":2,\"matrix\":{\"rows\":2,\"cols\":2,\
+                 \"entries\":[[0,0,1]]}}",
+                "only valid for spmm",
+            ),
+            (
+                "{\"op\":\"spmm\",\"k\":3,\"x\":[1.0,2.0],\"matrix\":{\"rows\":2,\
+                 \"cols\":2,\"entries\":[[0,0,1]]}}",
+                "cols*k",
             ),
         ] {
             let err = parse_request(frame).unwrap_err();

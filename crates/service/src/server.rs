@@ -585,6 +585,28 @@ fn degraded_now(work: &WorkRequest, reason: &str) -> Response {
             return Response::error(format!("reference SpMV failed: {e}"));
         }
         fields.push(("y", Value::Array(y.into_iter().map(Value::Float).collect())));
+    } else if work.op == WorkOp::Spmm {
+        // Column-by-column over the wire block: the degraded rung
+        // never touches the tiled tier, just the reference product.
+        let (rows, cols, k) = (work.matrix.rows(), work.matrix.cols(), work.k);
+        let ones;
+        let block = match &work.x {
+            Some(x) => x.as_slice(),
+            None => {
+                ones = vec![1.0; cols * k];
+                ones.as_slice()
+            }
+        };
+        let mut out = Vec::with_capacity(rows * k);
+        let mut y = vec![0.0; rows];
+        for column in block.chunks_exact(cols) {
+            if let Err(e) = work.matrix.spmv(column, &mut y) {
+                return Response::error(format!("reference SpMV failed: {e}"));
+            }
+            out.extend(y.iter().copied().map(Value::Float));
+        }
+        fields.push(("k", Value::UInt(k as u64)));
+        fields.push(("y", Value::Array(out)));
     }
     Response::with(Status::Degraded, fields)
 }
@@ -656,6 +678,33 @@ fn process_job(shared: &Arc<Shared>, job: Job) -> Response {
             return Response::error(format!("[{}] {e}", e.taxonomy()));
         }
         fields.push(("y", Value::Array(y.into_iter().map(Value::Float).collect())));
+    } else if work.op == WorkOp::Spmm {
+        let (rows, cols, k) = (work.matrix.rows(), work.matrix.cols(), work.k);
+        // The wire carries column-major blocks; the engine wants the
+        // interleaved row-major layout. Convert both ways here so the
+        // warm engine path stays allocation-free for embedded callers.
+        let mut x = vec![1.0; cols * k];
+        if let Some(wire) = &work.x {
+            for (j, column) in wire.chunks_exact(cols).enumerate() {
+                for (c, &v) in column.iter().enumerate() {
+                    x[c * k + j] = v;
+                }
+            }
+        }
+        let mut y = vec![0.0; rows * k];
+        if let Err(e) = shared.engine.spmm(&tuned, &x, &mut y, k) {
+            return Response::error(format!("[{}] {e}", e.taxonomy()));
+        }
+        let mut out = Vec::with_capacity(rows * k);
+        for j in 0..k {
+            out.extend((0..rows).map(|r| Value::Float(y[r * k + j])));
+        }
+        if let Some(spmm_kernel) = tuned.spmm_kernel() {
+            let name = shared.engine.library().info(spmm_kernel).name;
+            fields.push(("spmm_kernel", Value::Str(name.to_string())));
+        }
+        fields.push(("k", Value::UInt(k as u64)));
+        fields.push(("y", Value::Array(out)));
     }
     Response::with(status, fields)
 }

@@ -346,6 +346,7 @@ fn pool_dispatch_faults_fall_back_inline_without_corrupting_results() {
     let plan = Arc::new(lib.plan_for(
         &any,
         KernelId {
+            op: smat_kernels::Op::Spmv,
             format: Format::Csr,
             variant: v,
         },

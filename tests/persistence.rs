@@ -100,6 +100,7 @@ fn installation_round_trips_with_a_quarantine_set() {
 
     let mut install = smat::Installation::run::<f64>(&SmatConfig::fast());
     let benched = KernelId {
+        op: smat_kernels::Op::Spmv,
         format: Format::Csr,
         variant: 1,
     };
@@ -250,6 +251,7 @@ mod failpoint_schedules {
         INSTALL.get_or_init(|| {
             let mut install = Installation::run::<f64>(&SmatConfig::fast());
             install.quarantined = vec![smat_kernels::KernelId {
+                op: smat_kernels::Op::Spmv,
                 format: smat_matrix::Format::Csr,
                 variant: 1,
             }];

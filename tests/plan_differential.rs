@@ -54,7 +54,14 @@ fn sweep_planned_equals_unplanned<T: Scalar>() {
                 continue; // conversion refused (fill limits)
             };
             for v in 0..lib.variant_count(format) {
-                let plan = lib.plan_for(&any, KernelId { format, variant: v });
+                let plan = lib.plan_for(
+                    &any,
+                    KernelId {
+                        op: smat_kernels::Op::Spmv,
+                        format,
+                        variant: v,
+                    },
+                );
                 let mut unplanned = vec![T::from_f64(f64::NAN); m.rows()];
                 lib.run(&any, v, &x, &mut unplanned);
                 let mut planned = vec![T::from_f64(f64::NAN); m.rows()];
@@ -108,7 +115,14 @@ fn plain_parallel_variants_are_bit_identical_to_serial_basic() {
                 {
                     continue;
                 }
-                let plan = lib.plan_for(&any, KernelId { format, variant: v });
+                let plan = lib.plan_for(
+                    &any,
+                    KernelId {
+                        op: smat_kernels::Op::Spmv,
+                        format,
+                        variant: v,
+                    },
+                );
                 let mut planned = vec![f64::NAN; m.rows()];
                 lib.run_planned(&any, v, &plan, &x, &mut planned);
                 assert!(
@@ -136,6 +150,7 @@ fn stale_plans_stay_correct() {
     let x = test_vector::<f64>(m.cols());
     for v in 0..lib.variant_count(Format::Csr) {
         let id = KernelId {
+            op: smat_kernels::Op::Spmv,
             format: Format::Csr,
             variant: v,
         };
@@ -294,7 +309,14 @@ fn sweep_bitwise_vs_reference<T: Scalar>() {
                     "{name}: {} not bitwise-equal to the sequential reference",
                     info.name
                 );
-                let plan = lib.plan_for(&any, KernelId { format, variant: v });
+                let plan = lib.plan_for(
+                    &any,
+                    KernelId {
+                        op: smat_kernels::Op::Spmv,
+                        format,
+                        variant: v,
+                    },
+                );
                 let mut planned = vec![T::from_f64(f64::NAN); m.rows()];
                 lib.run_planned(&any, v, &plan, &x, &mut planned);
                 assert!(
@@ -490,7 +512,7 @@ proptest! {
         for format in Format::ALL {
             let Ok(any) = AnyMatrix::convert_from_csr(&m, format) else { continue };
             for v in 0..lib.variant_count(format) {
-                let plan = lib.plan_for(&any, KernelId { format, variant: v });
+                let plan = lib.plan_for(&any, KernelId { op: smat_kernels::Op::Spmv, format, variant: v });
                 let mut unplanned = vec![f64::NAN; m.rows()];
                 lib.run(&any, v, &x, &mut unplanned);
                 let mut planned = vec![f64::NAN; m.rows()];

@@ -72,7 +72,14 @@ fn warm_planned_spmv_allocates_nothing_and_spawns_nothing() {
             if !info.strategies.contains(Strategy::Parallel) {
                 continue;
             }
-            let plan = lib.plan_for(&any, KernelId { format, variant: v });
+            let plan = lib.plan_for(
+                &any,
+                KernelId {
+                    op: smat_kernels::Op::Spmv,
+                    format,
+                    variant: v,
+                },
+            );
             assert!(
                 !plan.is_stale(),
                 "a freshly built plan must match the live backend"
@@ -183,6 +190,43 @@ fn warm_planned_spmv_allocates_nothing_and_spawns_nothing() {
         "the containment boundary counted calls"
     );
     assert_eq!(report.exec_faults, 0, "no incident on the happy path");
+
+    // --- Batched tier: warm `Smat::spmm` replays the frozen SpMM pick
+    // borrowed straight from the handle — no clone of the plan, no
+    // per-call gather buffers on the tiled path — through the same
+    // containment boundary as SpMV. Forced onto the measured CSR path
+    // (threshold above 1.0 disables rule shortcuts) so the pick is a
+    // real tiled kernel, not the allocating per-column fallback.
+    let spmm_engine = Smat::<f64>::with_config(
+        out.model.clone(),
+        SmatConfig {
+            confidence_threshold: 1.1,
+            fallback_formats: vec![Format::Csr],
+            ..SmatConfig::fast()
+        },
+    )
+    .expect("precision ok");
+    let tuned = spmm_engine.prepare(&m);
+    let k = 4;
+    let xb: Vec<f64> = (0..m.cols() * k)
+        .map(|i| 0.5 - (i % 9) as f64 * 0.0625)
+        .collect();
+    let mut yb = vec![0.0f64; m.rows() * k];
+    let (allocs, spawns) = audit(5, 100, || {
+        spmm_engine
+            .spmm(&tuned, &xb, &mut yb, k)
+            .expect("prepared SpMM runs");
+    });
+    assert_eq!(allocs, 0, "heap allocations in warm prepared-engine SpMM");
+    assert_eq!(spawns, 0, "thread spawns in warm prepared-engine SpMM");
+    assert!(
+        tuned.spmm_kernel().is_some(),
+        "the CSR pick is a tiled SpMM kernel, not the per-column fallback"
+    );
+    assert!(
+        spmm_engine.health_report().spmm_calls >= 105,
+        "the op-labeled call clock counted the batched calls"
+    );
 
     // --- Output screening enabled: the non-finite scan is a pure read
     // over `y` and must not change the zero-allocation contract.
