@@ -1,0 +1,236 @@
+//! Warm-handle serving payoff: the daemon's handle-based SpMV hot
+//! path against the triplet cold path, measured end to end over a
+//! real TCP socket.
+//!
+//! The bench starts an in-process `smat-service` daemon, tunes one
+//! matrix through the wire once to mint a handle, then times two
+//! request shapes on the same connection:
+//!
+//! - **triplet**: the full `{"op":"spmv","matrix":{...},"x":[...]}`
+//!   frame — every call re-parses the triplet list, converts it, and
+//!   goes through the admission queue (the decision itself is cached,
+//!   so this isolates the per-request wire-matrix overhead the handle
+//!   path deletes, not tuning time);
+//! - **handle**: `{"op":"spmv","handle":"h1:...","x":[...]}` — the
+//!   registry replays the server-resident prepared matrix inline on
+//!   the connection thread.
+//!
+//! Both shapes pay the same x/y serialization, so the measured gap is
+//! exactly the parse + convert + queue-hop work the handle skips. The
+//! target is a >= 5x lower median for the warm path on the full-size
+//! 20k x 20k (~250k nnz) run, gated in CI via `BENCH_serve.json`.
+//!
+//! Results go to `BENCH_serve.json` at the workspace root.
+//! `SMAT_BENCH_QUICK=1` shrinks the matrix and sample counts;
+//! `SMAT_BENCH_THREADS=N` requests the pool width before first use.
+
+use serde::Value;
+use smat::{Smat, SmatConfig, Trainer};
+use smat_matrix::gen::random_uniform;
+use smat_service::{ServeConfig, Server};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn engine() -> Arc<Smat<f64>> {
+    // Tiny training corpus with tight measurement budgets: the bench
+    // measures serving overhead, not tuning quality, so the one tune
+    // on the wire must be quick.
+    let a = random_uniform::<f64>(600, 600, 8, 1);
+    let b = random_uniform::<f64>(700, 700, 6, 2);
+    let out = Trainer::new(SmatConfig::fast())
+        .train(&[&a, &b])
+        .expect("non-empty corpus");
+    Arc::new(Smat::with_config(out.model, SmatConfig::fast()).expect("precision matches"))
+}
+
+fn field<'a>(v: &'a Value, key: &str) -> &'a Value {
+    v.as_object()
+        .and_then(|fields| fields.iter().find(|(k, _)| k == key).map(|(_, val)| val))
+        .unwrap_or_else(|| panic!("missing field {key:?} in {v:?}"))
+}
+
+fn as_u64(v: &Value) -> u64 {
+    match v {
+        Value::UInt(u) => *u,
+        Value::Int(i) if *i >= 0 => *i as u64,
+        other => panic!("not a u64: {other:?}"),
+    }
+}
+
+struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).expect("connect to bench daemon");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(120)))
+            .expect("read timeout");
+        stream.set_nodelay(true).expect("nodelay");
+        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        Client { stream, reader }
+    }
+
+    fn request(&mut self, frame: &str) -> Value {
+        self.stream
+            .write_all(frame.as_bytes())
+            .expect("write frame");
+        self.stream.write_all(b"\n").expect("write newline");
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("read reply");
+        assert!(n > 0, "daemon closed the connection");
+        serde_json::parse(&line).expect("reply is JSON")
+    }
+}
+
+fn median_ns(mut samples: Vec<u128>) -> u128 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Times `samples` round trips of one frame, asserting each is Ok.
+fn measure(client: &mut Client, frame: &str, samples: usize) -> u128 {
+    median_ns(
+        (0..samples)
+            .map(|_| {
+                let t = Instant::now();
+                let reply = client.request(frame);
+                let elapsed = t.elapsed().as_nanos();
+                match field(&reply, "status") {
+                    Value::Str(s) if s == "ok" => {}
+                    other => panic!("bench request not ok: {other:?}"),
+                }
+                elapsed
+            })
+            .collect(),
+    )
+}
+
+fn main() {
+    let quick = std::env::var_os("SMAT_BENCH_QUICK").is_some();
+    if let Some(t) = std::env::var("SMAT_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        smat_kernels::exec::set_thread_target(t);
+    }
+    let n = if quick { 4_000 } else { 20_000 };
+    let (triplet_samples, handle_samples) = if quick { (7, 21) } else { (9, 31) };
+
+    let m = random_uniform::<f64>(n, n, 13, 0x5EE0);
+    println!("serve_warm: quick={quick} matrix {n}x{n} nnz={}", m.nnz());
+    let x: Vec<f64> = (0..n).map(|i| 0.25 * ((i % 7) as f64) - 0.5).collect();
+    let mut expect = vec![0.0f64; n];
+    m.spmv(&x, &mut expect).expect("reference SpMV");
+
+    let entries: Vec<String> = m
+        .iter()
+        .map(|(r, c, v)| format!("[{r},{c},{v:?}]"))
+        .collect();
+    let xs: Vec<String> = x.iter().map(|v| format!("{v:?}")).collect();
+    let matrix = format!(
+        "{{\"rows\":{n},\"cols\":{n},\"nnz\":{},\"entries\":[{}]}}",
+        m.nnz(),
+        entries.join(",")
+    );
+    let triplet_frame = format!(
+        "{{\"op\":\"spmv\",\"deadline_ms\":60000,\"matrix\":{matrix},\"x\":[{}]}}",
+        xs.join(",")
+    );
+    drop(entries);
+
+    let config = ServeConfig {
+        // The triplet frame for the full-size matrix runs ~10 MB.
+        max_frame_bytes: 64 << 20,
+        default_deadline: Duration::from_secs(60),
+        max_deadline: Duration::from_secs(120),
+        frame_timeout: Duration::from_secs(60),
+        // The bench is one very chatty tenant; don't shed it.
+        tenant_rate: 1e9,
+        tenant_burst: 1e9,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind_tcp("127.0.0.1:0", engine(), config).expect("bind bench daemon");
+    let addr = server.local_addr().expect("tcp addr");
+    let join = std::thread::spawn(move || server.run().expect("serve loop"));
+    let mut client = Client::connect(addr);
+
+    // First triplet call tunes the matrix and mints the handle; the
+    // second confirms the decision replays from the cache so the
+    // triplet series below measures wire overhead, not tuning.
+    let first = client.request(&triplet_frame);
+    let handle = match field(&first, "handle") {
+        Value::Str(h) => h.clone(),
+        other => panic!("handle is not a string: {other:?}"),
+    };
+    let second = client.request(&triplet_frame);
+    assert!(
+        matches!(field(&second, "cached"), Value::Bool(true)),
+        "second triplet call must replay the cached decision"
+    );
+
+    let handle_frame = format!(
+        "{{\"op\":\"spmv\",\"deadline_ms\":60000,\"handle\":\"{handle}\",\"x\":[{}]}}",
+        xs.join(",")
+    );
+    // Correctness of the warm path before timing it.
+    let warm = client.request(&handle_frame);
+    assert!(matches!(field(&warm, "warm"), Value::Bool(true)));
+    let y = field(&warm, "y").as_array().expect("y array");
+    assert_eq!(y.len(), n, "warm y shape");
+    for (i, (got, want)) in y.iter().zip(expect.iter()).enumerate() {
+        let got = match got {
+            Value::Float(f) => *f,
+            Value::Int(v) => *v as f64,
+            Value::UInt(v) => *v as f64,
+            other => panic!("y[{i}] not a number: {other:?}"),
+        };
+        assert!(
+            (got - want).abs() < 1e-9,
+            "warm y[{i}] = {got}, reference {want}"
+        );
+    }
+
+    let triplet_ns = measure(&mut client, &triplet_frame, triplet_samples);
+    let handle_ns = measure(&mut client, &handle_frame, handle_samples);
+    let speedup = triplet_ns as f64 / handle_ns as f64;
+    println!("  triplet median: {triplet_ns} ns/call");
+    println!("  handle  median: {handle_ns} ns/call");
+    println!("  warm speedup: {speedup:.2}x (target >= 5x)");
+    if speedup < 5.0 {
+        println!(
+            "  NOTE: below the 5x target{}",
+            if quick { " (quick mode)" } else { "" }
+        );
+    }
+
+    // The registry must have served every warm call; the service-side
+    // counters go into the artifact so the CI gate can pin them.
+    let metrics = client.request("{\"op\":\"metrics\"}");
+    let service = field(&metrics, "service");
+    let handle_hits = as_u64(field(service, "handle_hits"));
+    let parses = as_u64(field(service, "wire_matrix_parses"));
+    assert!(
+        handle_hits > handle_samples as u64,
+        "warm calls served from the registry (hits = {handle_hits})"
+    );
+
+    let bye = client.request("{\"op\":\"shutdown\"}");
+    assert!(matches!(field(&bye, "status"), Value::Str(s) if s == "ok"));
+    drop(client);
+    let summary = join.join().expect("serve thread");
+    assert_eq!(summary.requests_handle_miss, 0, "no warm call missed");
+
+    let threads = smat_kernels::exec::num_threads();
+    let json = format!(
+        "{{\n  \"bench\": \"serve_warm\",\n  \"unit\": \"ns_per_call_median\",\n  \"quick\": {quick},\n  \"threads\": {threads},\n  \"matrix\": {{\"rows\": {n}, \"cols\": {n}, \"nnz\": {}}},\n  \"triplet_samples\": {triplet_samples},\n  \"handle_samples\": {handle_samples},\n  \"triplet_median_ns\": {triplet_ns},\n  \"handle_median_ns\": {handle_ns},\n  \"speedup\": {speedup:.4},\n  \"handle_hits\": {handle_hits},\n  \"wire_matrix_parses\": {parses}\n}}\n",
+        m.nnz()
+    );
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json");
+    std::fs::write(&out, json).expect("write BENCH_serve.json");
+    println!("wrote {}", out.display());
+}

@@ -12,7 +12,8 @@
 //! smat rules    --model MODEL.json
 //! smat health   --model MODEL.json [--json] [--calls N] [--dim D]
 //! smat serve    --model MODEL.json [--addr HOST:PORT | --socket PATH]
-//!               [--workers N] [--queue N] [--deadline-ms MS] [--cache CACHE.json]
+//!               [--workers N] [--shards N] [--queue N] [--deadline-ms MS]
+//!               [--cache CACHE.json] [--handle-capacity N] [--handle-budget-bytes B]
 //! ```
 //!
 //! Matrices are Matrix Market files (the UF/SuiteSparse distribution
@@ -47,9 +48,10 @@ USAGE:
                 [--install INSTALL.json]
   smat serve    --model MODEL.json [--addr HOST:PORT | --socket PATH]
                 [--install INSTALL.json] [--cache CACHE.json]
-                [--workers N] [--queue N] [--degrade-watermark N]
+                [--workers N] [--shards N] [--queue N] [--degrade-watermark N]
                 [--deadline-ms MS] [--max-deadline-ms MS]
                 [--tenant-rate R] [--tenant-burst B]
+                [--handle-capacity N] [--handle-budget-bytes B]
 
 COMMANDS:
   train     run the off-line stage on a synthetic corpus and save the model
@@ -69,14 +71,19 @@ COMMANDS:
   health    exercise the warm SpMV path (--calls times on a --dim synthetic
             matrix) and report the engine's execution-health counters:
             contained faults, quarantined kernel variants, pool degradation,
-            cache/concurrency recoveries; --json emits the machine-readable
-            report for monitoring pipelines
+            cache/concurrency recoveries, and the warm handle-registry
+            counters; --json emits the machine-readable report (with a
+            per-shard `shards` breakdown) for monitoring pipelines
   serve     run the tuning-as-a-service daemon: line-delimited JSON requests
-            (ping/metrics/tune/spmv/shutdown) over TCP (--addr, port 0 picks
-            an ephemeral port printed as `listening on ...`) or a Unix socket
-            (--socket); bounded admission queue with load shedding, per-tenant
-            token buckets, per-request deadlines, and a degradation ladder;
-            --cache preloads the tuning-cache snapshot and persists it back on
+            (ping/metrics/tune/spmv/spmm/shutdown) over TCP (--addr, port 0
+            picks an ephemeral port printed as `listening on ...`) or a Unix
+            socket (--socket); bounded admission queue with load shedding,
+            per-tenant token buckets, per-request deadlines, and a degradation
+            ladder; tuned matrices are parked in a fingerprint-sharded handle
+            registry (--shards engines, --handle-capacity entries per shard
+            under --handle-budget-bytes) so follow-up requests that send the
+            returned handle skip parsing and tuning entirely; --cache preloads
+            the tuning-cache snapshot and persists the merged shards back on
             graceful shutdown ({\"op\":\"shutdown\"}), which drains in-flight
             work and exits 0
 ";
@@ -634,9 +641,80 @@ fn cmd_health(args: &Args) -> Result<(), String> {
             .spmm(&tuned, &xb, &mut yb, k)
             .map_err(|e| taxonomy_msg(&e))?;
     }
+    // Exercise the handle registry the daemon's warm path rides:
+    // park the prepared matrix under its fingerprint, replay `calls`
+    // hit lookups, and probe one perturbed fingerprint so the miss
+    // counter also reports live traffic rather than zeros.
+    let registry = smat::HandleRegistry::new(32, 0);
+    let fp = tuned.fingerprint();
+    registry.insert(tuned);
+    for _ in 0..calls {
+        registry
+            .lookup(&fp)
+            .ok_or("handle registry lost a resident entry")?;
+    }
+    let mut missing = fp;
+    missing.digest[0] ^= 1;
+    assert!(registry.lookup(&missing).is_none());
+    let handles = registry.stats();
     let report = engine.health_report();
     if args.has("json") {
-        let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+        use serde::{Serialize as _, Value};
+        let cache = engine.cache_stats();
+        let mut fields = match report.to_value() {
+            Value::Object(fields) => fields,
+            other => return Err(format!("health report is not an object: {}", other.kind())),
+        };
+        let push = |fields: &mut Vec<(String, Value)>, k: &str, v: Value| {
+            fields.push((k.to_string(), v));
+        };
+        push(&mut fields, "handle_hits", Value::UInt(handles.hits));
+        push(&mut fields, "handle_misses", Value::UInt(handles.misses));
+        push(
+            &mut fields,
+            "handle_evictions",
+            Value::UInt(handles.evictions),
+        );
+        // One engine in the CLI means one shard, but the entry mirrors
+        // the daemon's `shards[i]` schema so the same jq gates apply.
+        let shard = smat_service::proto::obj(vec![
+            ("index", Value::UInt(0)),
+            (
+                "cache",
+                smat_service::proto::obj(vec![
+                    ("hits", Value::UInt(cache.hits)),
+                    ("misses", Value::UInt(cache.misses)),
+                    ("entries", Value::UInt(cache.entries as u64)),
+                    ("capacity", Value::UInt(cache.capacity as u64)),
+                    ("corrupt_evictions", Value::UInt(cache.corrupt_evictions)),
+                    ("poison_recoveries", Value::UInt(cache.poison_recoveries)),
+                    ("coalesced_waits", Value::UInt(cache.coalesced_waits)),
+                ]),
+            ),
+            (
+                "quarantined",
+                Value::Array(
+                    report
+                        .quarantined_variants
+                        .iter()
+                        .map(|q| Value::Str(q.name.clone()))
+                        .collect(),
+                ),
+            ),
+            ("pool_demoted", Value::Bool(report.pool_demoted)),
+            ("handle_hits", Value::UInt(handles.hits)),
+            ("handle_misses", Value::UInt(handles.misses)),
+            ("handle_evictions", Value::UInt(handles.evictions)),
+            ("handle_entries", Value::UInt(handles.entries as u64)),
+            (
+                "handle_resident_bytes",
+                Value::UInt(handles.resident_bytes as u64),
+            ),
+        ]);
+        push(&mut fields, "shards", Value::Array(vec![shard]));
+        let merged = Value::Object(fields);
+        let json = serde_json::to_string_pretty(&smat_service::proto::Json(&merged))
+            .map_err(|e| e.to_string())?;
         println!("{json}");
         return Ok(());
     }
@@ -678,6 +756,10 @@ fn cmd_health(args: &Args) -> Result<(), String> {
         report.degraded_prepares, report.quarantine_evictions
     );
     println!(
+        "  handles: {} hits / {} misses / {} evictions; {} resident ({} bytes)",
+        handles.hits, handles.misses, handles.evictions, handles.entries, handles.resident_bytes
+    );
+    println!(
         "  cache: {} hits / {} misses; {} corrupt evictions, {} poison recoveries, {} coalesced waits",
         report.cache_hits,
         report.cache_misses,
@@ -711,6 +793,10 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     config.tenant_rate = args.get_f64("tenant-rate", config.tenant_rate)?;
     config.tenant_burst = args.get_f64("tenant-burst", config.tenant_burst)?;
     config.max_frame_bytes = args.get_usize("max-frame-bytes", config.max_frame_bytes)?;
+    config.shards = args.get_usize("shards", config.shards)?;
+    config.handle_capacity = args.get_usize("handle-capacity", config.handle_capacity)?;
+    config.handle_budget_bytes =
+        args.get_usize("handle-budget-bytes", config.handle_budget_bytes)?;
     if let Some(path) = args.get("cache") {
         config.cache_snapshot = Some(path.into());
     }
@@ -734,12 +820,13 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     std::io::stdout().flush().map_err(|e| e.to_string())?;
     let summary = server.run().map_err(|e| format!("serve loop: {e}"))?;
     println!(
-        "drained: {} requests ({} ok, {} degraded, {} shed, {} deadline misses, {} errors)",
+        "drained: {} requests ({} ok, {} degraded, {} shed, {} deadline misses, {} handle misses, {} errors)",
         summary.requests_total,
         summary.requests_ok,
         summary.requests_degraded,
         summary.requests_shed,
         summary.deadline_misses,
+        summary.requests_handle_miss,
         summary.requests_error
     );
     if let Some(entries) = summary.cache_snapshot_entries {

@@ -1,0 +1,228 @@
+//! Server-side prepared-matrix registry: the warm half of
+//! tuning-as-a-service.
+//!
+//! SMAT's premise is that the tuning cost is paid once and amortized
+//! over many executions — but a daemon only amortizes anything if the
+//! *matrix* stays resident between requests. This registry keeps
+//! frozen [`TunedSpmv`] handles keyed by their structural fingerprint,
+//! so a serving layer can answer `{"op":"spmv","handle":...,"x":[..]}`
+//! without re-parsing triplets, re-converting formats, or re-running
+//! `prepare` at all.
+//!
+//! The registry is deliberately *not* the tuning cache: the cache
+//! stores decisions (format + kernel + plan — a few hundred bytes),
+//! while the registry stores the converted matrices themselves, whose
+//! footprint is `O(nnz)`. It is therefore bounded twice — by entry
+//! count and by an estimated resident-byte budget — and evicts in LRU
+//! order, counting every eviction so a serving layer can surface
+//! `handle_{hits,misses,evictions}` in its metrics.
+//!
+//! Lookups hand out `Arc` clones, so an entry evicted mid-request
+//! stays alive until the in-flight calls that hold it finish; eviction
+//! only severs the registry's own reference.
+
+use crate::runtime::TunedSpmv;
+use smat_matrix::{Scalar, StructuralFingerprint};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Counter snapshot of one [`HandleRegistry`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HandleStats {
+    /// Lookups that found a resident handle.
+    pub hits: u64,
+    /// Lookups for unknown (never registered or already evicted)
+    /// fingerprints.
+    pub misses: u64,
+    /// Entries evicted by the capacity or byte-budget bound.
+    pub evictions: u64,
+    /// Handles currently resident.
+    pub entries: usize,
+    /// Estimated bytes held by the resident handles (dominant arrays
+    /// only; see [`TunedSpmv::resident_bytes`]).
+    pub resident_bytes: usize,
+    /// Configured entry-count bound (0 disables the registry).
+    pub capacity: usize,
+    /// Configured resident-byte budget (0 means unbounded).
+    pub budget_bytes: usize,
+}
+
+/// One resident handle plus its LRU stamp.
+struct Slot<T> {
+    tuned: Arc<TunedSpmv<T>>,
+    bytes: usize,
+    stamp: u64,
+}
+
+/// Map plus the byte gauge it must stay consistent with, under one
+/// lock.
+struct Inner<T> {
+    map: HashMap<StructuralFingerprint, Slot<T>>,
+    resident_bytes: usize,
+}
+
+/// A bounded, byte-budgeted LRU of prepared matrices.
+///
+/// `capacity` bounds the entry count (`0` disables the registry:
+/// inserts are not retained and every lookup misses). `budget_bytes`
+/// bounds the estimated resident footprint (`0` means unbounded).
+/// When either bound is exceeded the least-recently-used entries are
+/// evicted — except the entry just inserted, which is always retained:
+/// a registry that cannot hold its newest handle would make the warm
+/// path unreachable for exactly the matrix the client just shipped.
+pub struct HandleRegistry<T> {
+    inner: Mutex<Inner<T>>,
+    capacity: usize,
+    budget_bytes: usize,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl<T: Scalar> HandleRegistry<T> {
+    /// An empty registry with the given bounds.
+    pub fn new(capacity: usize, budget_bytes: usize) -> Self {
+        HandleRegistry {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                resident_bytes: 0,
+            }),
+            capacity,
+            budget_bytes,
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Recovers the map from a panicked insert/lookup instead of
+    /// propagating poison: the registry is a cache, and a torn entry
+    /// set is strictly better than a wedged serving layer.
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Registers a prepared matrix under its fingerprint, returning
+    /// the shared handle (also usable directly by the caller). An
+    /// existing entry for the same structure is *replaced* — same
+    /// pattern, fresh values — so the registry never holds two copies
+    /// of one fingerprint and re-tuned values win deterministically.
+    pub fn insert(&self, tuned: TunedSpmv<T>) -> Arc<TunedSpmv<T>> {
+        let key = tuned.fingerprint();
+        let bytes = tuned.resident_bytes();
+        let arc = Arc::new(tuned);
+        if self.capacity == 0 {
+            return arc;
+        }
+        let stamp = self.tick();
+        let mut inner = self.lock();
+        if let Some(old) = inner.map.remove(&key) {
+            inner.resident_bytes = inner.resident_bytes.saturating_sub(old.bytes);
+        }
+        inner.resident_bytes += bytes;
+        inner.map.insert(
+            key,
+            Slot {
+                tuned: Arc::clone(&arc),
+                bytes,
+                stamp,
+            },
+        );
+        // Enforce both bounds, never evicting the entry just inserted.
+        while inner.map.len() > 1
+            && (inner.map.len() > self.capacity
+                || (self.budget_bytes > 0 && inner.resident_bytes > self.budget_bytes))
+        {
+            let victim = inner
+                .map
+                .iter()
+                .filter(|(k, _)| **k != key)
+                .min_by_key(|(_, slot)| slot.stamp)
+                .map(|(k, _)| *k);
+            match victim {
+                Some(v) => {
+                    if let Some(slot) = inner.map.remove(&v) {
+                        inner.resident_bytes = inner.resident_bytes.saturating_sub(slot.bytes);
+                    }
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                None => break,
+            }
+        }
+        arc
+    }
+
+    /// Looks up a resident handle by fingerprint, refreshing its LRU
+    /// stamp. Counts a hit or a miss either way.
+    pub fn lookup(&self, key: &StructuralFingerprint) -> Option<Arc<TunedSpmv<T>>> {
+        let stamp = self.tick();
+        let mut inner = self.lock();
+        match inner.map.get_mut(key) {
+            Some(slot) => {
+                slot.stamp = stamp;
+                let arc = Arc::clone(&slot.tuned);
+                drop(inner);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(arc)
+            }
+            None => {
+                drop(inner);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Drops one resident handle. Returns whether it was present.
+    /// Not counted as an eviction — this is the caller's decision,
+    /// not a bound firing.
+    pub fn remove(&self, key: &StructuralFingerprint) -> bool {
+        let mut inner = self.lock();
+        if let Some(slot) = inner.map.remove(key) {
+            inner.resident_bytes = inner.resident_bytes.saturating_sub(slot.bytes);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drops every resident handle (counters are preserved).
+    pub fn clear(&self) {
+        let mut inner = self.lock();
+        inner.map.clear();
+        inner.resident_bytes = 0;
+    }
+
+    /// Handles currently resident.
+    pub fn len(&self) -> usize {
+        self.lock().map.len()
+    }
+
+    /// Whether the registry holds no handles.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A snapshot of the registry's counters and bounds.
+    pub fn stats(&self) -> HandleStats {
+        let inner = self.lock();
+        HandleStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: inner.map.len(),
+            resident_bytes: inner.resident_bytes,
+            capacity: self.capacity,
+            budget_bytes: self.budget_bytes,
+        }
+    }
+}

@@ -94,7 +94,7 @@ pub struct QuarantinedVariant {
 
 /// Everything the runtime knows about its own execution health, in one
 /// serializable snapshot — the payload of `smat health --json`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct HealthReport {
     /// Total engine calls served (`spmv` + `spmm`).
     pub calls: u64,

@@ -265,6 +265,19 @@ impl<T: Scalar> TunedSpmv<T> {
             _ => None,
         }
     }
+
+    /// Estimated resident footprint of the prepared matrix, in bytes:
+    /// the dominant index/value arrays (`nnz` stored entries plus the
+    /// row structure), used by [`crate::HandleRegistry`] to enforce
+    /// its byte budget. An estimate, not an allocator audit — padded
+    /// formats (DIA/ELL slabs) can hold fill beyond `nnz`, but the
+    /// conversion fill limits already bound that fill to a small
+    /// multiple of this figure.
+    pub fn resident_bytes(&self) -> usize {
+        let elem = std::mem::size_of::<T>();
+        let idx = std::mem::size_of::<usize>();
+        self.matrix.nnz() * (elem + idx) + (self.matrix.rows() + 1) * idx
+    }
 }
 
 /// The SMAT runtime engine: a trained model bound to the kernel library.
@@ -520,8 +533,44 @@ impl<T: Scalar> Smat<T> {
     /// Returns [`SmatError::Persist`] when writing fails after
     /// exhausting the retries.
     pub fn save_cache(&self, path: impl AsRef<Path>) -> Result<usize> {
+        self.save_cache_snapshot(path, &self.export_cache())
+    }
+
+    /// Copies the resident tuning-cache entries out as an opaque,
+    /// transferable [`CacheSnapshot`] — for serving layers that run
+    /// several fingerprint-sharded engines and merge their caches
+    /// into one drain artifact.
+    pub fn export_cache(&self) -> CacheSnapshot {
+        CacheSnapshot {
+            entries: self.cache.snapshot(),
+        }
+    }
+
+    /// Feeds a [`CacheSnapshot`]'s entries into this engine's cache
+    /// through normal LRU insertion (capacity still applies). Returns
+    /// the number of entries offered.
+    pub fn absorb_cache(&self, snap: CacheSnapshot) -> usize {
+        let count = snap.entries.len();
+        self.cache.absorb(snap.entries);
+        count
+    }
+
+    /// Persists an explicit [`CacheSnapshot`] to `path` under the same
+    /// sealed, checksummed envelope as [`Smat::save_cache`]. Lets a
+    /// sharded serving layer write the *merged* cache of all its
+    /// engines as one artifact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmatError::Persist`] when writing fails after
+    /// exhausting the retries.
+    pub fn save_cache_snapshot(
+        &self,
+        path: impl AsRef<Path>,
+        snap: &CacheSnapshot,
+    ) -> Result<usize> {
         let path = path.as_ref();
-        let entries = self.cache.snapshot();
+        let entries = snap.entries.clone();
         let count = entries.len();
         let sealed = SealedCacheSnapshot {
             checksum: snapshot_checksum(&entries)?,
@@ -562,6 +611,20 @@ impl<T: Scalar> Smat<T> {
     /// [`SmatError::PrecisionMismatch`] when the snapshot was taken by
     /// an engine of the other precision.
     pub fn load_cache(&self, path: impl AsRef<Path>) -> Result<usize> {
+        Ok(self.absorb_cache(self.load_cache_snapshot(path)?))
+    }
+
+    /// Reads and verifies a snapshot written by [`Smat::save_cache`]
+    /// (or [`Smat::save_cache_snapshot`]) *without* absorbing it, so a
+    /// sharded serving layer can route each entry to the engine that
+    /// owns its fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// The same taxonomy as [`Smat::load_cache`]: [`SmatError::Persist`]
+    /// after exhausted retries, [`SmatError::Corrupt`] on checksum
+    /// mismatch, [`SmatError::PrecisionMismatch`] across precisions.
+    pub fn load_cache_snapshot(&self, path: impl AsRef<Path>) -> Result<CacheSnapshot> {
         let path = path.as_ref();
         let sealed: SealedCacheSnapshot =
             retry_transient(RetryPolicy::from_config(&self.config), "cache.load", || {
@@ -590,9 +653,9 @@ impl<T: Scalar> Smat<T> {
                 data: T::PRECISION_NAME,
             });
         }
-        let count = sealed.entries.len();
-        self.cache.absorb(sealed.entries);
-        Ok(count)
+        Ok(CacheSnapshot {
+            entries: sealed.entries,
+        })
     }
 
     /// Tunes a matrix: Figure 7's runtime procedure, fronted by the
@@ -1559,6 +1622,69 @@ impl<T: Scalar> Smat<T> {
 /// FNV-1a checksum of their canonical (compact JSON) serialization and
 /// the precision they were tuned under — the same sealing scheme as
 /// [`crate::Installation`] artifacts.
+/// An opaque, transferable set of tuning-cache entries.
+///
+/// Produced by [`Smat::export_cache`] / [`Smat::load_cache_snapshot`]
+/// and consumed by [`Smat::absorb_cache`] /
+/// [`Smat::save_cache_snapshot`]. A sharded serving layer merges the
+/// per-shard exports into one drain artifact with
+/// [`CacheSnapshot::merge`] and routes a loaded artifact back to the
+/// owning shards with [`CacheSnapshot::split_by`]; the entry payload
+/// stays private to the engine.
+#[derive(Debug, Clone, Default)]
+pub struct CacheSnapshot {
+    entries: Vec<(StructuralFingerprint, CachedDecision)>,
+}
+
+impl CacheSnapshot {
+    /// Number of entries carried.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the snapshot carries no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Merges several snapshots, deduplicating by fingerprint (later
+    /// parts win — callers pass shards in a fixed order, so the result
+    /// is deterministic).
+    pub fn merge(parts: Vec<CacheSnapshot>) -> CacheSnapshot {
+        let mut seen: HashMap<StructuralFingerprint, usize> = HashMap::new();
+        let mut entries: Vec<(StructuralFingerprint, CachedDecision)> = Vec::new();
+        for part in parts {
+            for (key, decision) in part.entries {
+                match seen.get(&key) {
+                    Some(&i) => entries[i] = (key, decision),
+                    None => {
+                        seen.insert(key, entries.len());
+                        entries.push((key, decision));
+                    }
+                }
+            }
+        }
+        CacheSnapshot { entries }
+    }
+
+    /// Partitions the entries into `buckets` snapshots by the routing
+    /// function (its result is taken modulo `buckets`). The inverse of
+    /// [`CacheSnapshot::merge`] for a fingerprint-sharded cache.
+    pub fn split_by(
+        self,
+        buckets: usize,
+        route: impl Fn(&StructuralFingerprint) -> usize,
+    ) -> Vec<CacheSnapshot> {
+        let buckets = buckets.max(1);
+        let mut parts: Vec<CacheSnapshot> =
+            (0..buckets).map(|_| CacheSnapshot::default()).collect();
+        for (key, decision) in self.entries {
+            parts[route(&key) % buckets].entries.push((key, decision));
+        }
+        parts
+    }
+}
+
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct SealedCacheSnapshot {
     /// FNV-1a over the compact-JSON serialization of `entries`.
@@ -2410,5 +2536,147 @@ mod tests {
             .unwrap_err();
         assert_eq!(err.taxonomy(), "persist");
         assert!(err.is_transient());
+    }
+
+    #[test]
+    fn cache_snapshot_merge_dedups_and_split_routes() {
+        let e = engine();
+        e.prepare(&tridiagonal::<f64>(150));
+        e.prepare(&random_uniform::<f64>(80, 80, 6, 3));
+        let snap = e.export_cache();
+        assert_eq!(snap.len(), 2);
+        // Merging a snapshot with itself keeps one copy per key.
+        let merged = CacheSnapshot::merge(vec![snap.clone(), snap.clone()]);
+        assert_eq!(merged.len(), 2);
+        // Splitting routes every entry to exactly one bucket, and
+        // re-merging the parts restores the full set.
+        let parts = merged.split_by(3, |fp| fp.digest[0] as usize);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts.iter().map(CacheSnapshot::len).sum::<usize>(), 2);
+        assert_eq!(CacheSnapshot::merge(parts).len(), 2);
+    }
+
+    // -----------------------------------------------------------------
+    // Handle registry
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn handle_registry_serves_hits_and_counts_misses() {
+        let e = engine();
+        let reg = crate::HandleRegistry::new(8, 0);
+        let a = tridiagonal::<f64>(200);
+        let tuned = e.prepare(&a);
+        let fp = tuned.fingerprint();
+        let arc = reg.insert(tuned);
+        assert_eq!(reg.len(), 1);
+        let hit = reg.lookup(&fp).expect("registered handle resolves");
+        assert!(Arc::ptr_eq(&arc, &hit));
+        let other = e.prepare(&tridiagonal::<f64>(201)).fingerprint();
+        assert!(reg.lookup(&other).is_none());
+        let stats = reg.stats();
+        assert_eq!((stats.hits, stats.misses, stats.evictions), (1, 1, 0));
+        assert_eq!(stats.resident_bytes, arc.resident_bytes());
+    }
+
+    #[test]
+    fn handle_registry_evicts_lru_at_capacity() {
+        let e = engine();
+        let reg = crate::HandleRegistry::new(2, 0);
+        let fps: Vec<_> = [200, 300, 400]
+            .iter()
+            .map(|&n| {
+                let tuned = e.prepare(&tridiagonal::<f64>(n));
+                let fp = tuned.fingerprint();
+                reg.insert(tuned);
+                fp
+            })
+            .collect();
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.stats().evictions, 1);
+        // Oldest insert went first; the newer two are resident.
+        assert!(reg.lookup(&fps[0]).is_none());
+        assert!(reg.lookup(&fps[1]).is_some());
+        assert!(reg.lookup(&fps[2]).is_some());
+    }
+
+    #[test]
+    fn handle_registry_lookup_refreshes_lru_order() {
+        let e = engine();
+        let reg = crate::HandleRegistry::new(2, 0);
+        let a = e.prepare(&tridiagonal::<f64>(200));
+        let b = e.prepare(&tridiagonal::<f64>(300));
+        let (fa, fb) = (a.fingerprint(), b.fingerprint());
+        reg.insert(a);
+        reg.insert(b);
+        // Touch `a`, then overflow: `b` is now the least recent.
+        assert!(reg.lookup(&fa).is_some());
+        reg.insert(e.prepare(&tridiagonal::<f64>(400)));
+        assert!(reg.lookup(&fa).is_some());
+        assert!(reg.lookup(&fb).is_none());
+    }
+
+    #[test]
+    fn handle_registry_enforces_byte_budget_but_keeps_newest() {
+        let e = engine();
+        let small = e.prepare(&tridiagonal::<f64>(100));
+        let budget = small.resident_bytes() + 1;
+        let reg = crate::HandleRegistry::new(64, budget);
+        let f_small = small.fingerprint();
+        reg.insert(small);
+        // A second matrix overflows the budget: the older one goes.
+        let big = e.prepare(&tridiagonal::<f64>(5_000));
+        let f_big = big.fingerprint();
+        reg.insert(big);
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.stats().evictions, 1);
+        assert!(reg.lookup(&f_small).is_none());
+        // The newest entry survives even though it alone exceeds the
+        // budget — otherwise the warm path could never warm up.
+        assert!(reg.lookup(&f_big).is_some());
+        assert!(reg.stats().resident_bytes > budget);
+    }
+
+    #[test]
+    fn handle_registry_replaces_same_fingerprint_in_place() {
+        let e = engine();
+        let reg = crate::HandleRegistry::new(4, 0);
+        let a = tridiagonal::<f64>(250);
+        reg.insert(e.prepare(&a));
+        let before = reg.stats();
+        let fresh = reg.insert(e.prepare(&a));
+        let after = reg.stats();
+        assert_eq!(after.entries, 1);
+        assert_eq!(after.resident_bytes, before.resident_bytes);
+        assert_eq!(after.evictions, 0);
+        let resolved = reg.lookup(&fresh.fingerprint()).unwrap();
+        assert!(Arc::ptr_eq(&resolved, &fresh), "replacement wins");
+    }
+
+    #[test]
+    fn handle_registry_capacity_zero_disables_retention() {
+        let e = engine();
+        let reg = crate::HandleRegistry::new(0, 0);
+        let tuned = e.prepare(&tridiagonal::<f64>(150));
+        let fp = tuned.fingerprint();
+        let arc = reg.insert(tuned);
+        // The caller still gets a usable handle, but nothing resides.
+        assert_eq!(arc.fingerprint(), fp);
+        assert!(reg.is_empty());
+        assert!(reg.lookup(&fp).is_none());
+        assert_eq!(reg.stats().misses, 1);
+    }
+
+    #[test]
+    fn evicted_handles_stay_alive_for_inflight_calls() {
+        let e = engine();
+        let reg = crate::HandleRegistry::new(1, 0);
+        let held = reg.insert(e.prepare(&tridiagonal::<f64>(200)));
+        reg.insert(e.prepare(&tridiagonal::<f64>(300)));
+        assert_eq!(reg.stats().evictions, 1);
+        // The Arc handed out before eviction still executes.
+        let x = vec![1.0; 200];
+        let mut y = vec![0.0; 200];
+        e.spmv(&held, &x, &mut y).unwrap();
+        assert!(y.iter().all(|v| v.is_finite()));
     }
 }

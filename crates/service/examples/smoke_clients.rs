@@ -5,11 +5,14 @@
 //! Drives ten concurrent clients against the daemon — seven
 //! well-behaved SpMV requests on a shared fingerprint, one tune
 //! request, one multi-RHS SpMM request, and one hostile client
-//! sending garbage and an oversized frame — then cross-checks the
-//! service counters for consistency,
-//! writes the raw metrics JSON to the output path for external schema
-//! validation, and asks the daemon to drain. Exits nonzero on any
-//! violated invariant, so CI can gate on it directly.
+//! sending garbage and an oversized frame — then runs the warm-path
+//! phase (tune once for a handle, ride it through 50 handle-only SpMV
+//! calls, and assert the registry served every one without a single
+//! tune re-entry or wire-matrix parse), cross-checks the service
+//! counters for consistency, writes the raw metrics JSON to the
+//! output path for external schema validation, and asks the daemon to
+//! drain. Exits nonzero on any violated invariant, so CI can gate on
+//! it directly.
 
 use serde::Value;
 use smat_matrix::gen::random_uniform;
@@ -19,7 +22,10 @@ use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
-const WELL_BEHAVED: u64 = 9; // 7 spmv + 1 tune + 1 spmm, all counted as work
+const FLEET: u64 = 9; // 7 spmv + 1 tune + 1 spmm, all counted as work
+const WARM_CALLS: u64 = 50;
+// Fleet, plus the warm-phase tune, plus the handle-only replays.
+const WELL_BEHAVED: u64 = FLEET + 1 + WARM_CALLS;
 
 fn connect(addr: &str) -> (TcpStream, BufReader<TcpStream>) {
     let stream = TcpStream::connect(addr).expect("connect to daemon");
@@ -186,6 +192,7 @@ fn main() {
     }
     {
         let addr = addr.clone();
+        let tune = tune.clone();
         clients.push(thread::spawn(move || {
             let reply = request(&addr, &tune);
             let status = status_of(&reply);
@@ -236,6 +243,50 @@ fn main() {
         "at least one request tuned to Ok: {statuses:?}"
     );
 
+    // Warm-path phase: tune once for a handle, then ride that handle
+    // through WARM_CALLS handle-only SpMV replays on one persistent
+    // connection. The registry must serve every call without a tune
+    // re-entry (engine cache counters flat) or a wire-matrix parse.
+    let baseline = request(&addr, "{\"op\":\"metrics\"}");
+    let warm_tune = request(&addr, &tune);
+    assert_eq!(
+        status_of(&warm_tune),
+        "ok",
+        "warm-phase tune: {warm_tune:?}"
+    );
+    let handle = match field(&warm_tune, "handle") {
+        Value::Str(h) => h.clone(),
+        other => panic!("handle is not a string: {other:?}"),
+    };
+    let warm_frame = format!(
+        "{{\"op\":\"spmv\",\"deadline_ms\":30000,\"handle\":\"{handle}\",\"x\":[{}]}}",
+        xs.join(",")
+    );
+    let (mut warm_stream, mut warm_reader) = connect(&addr);
+    for call in 0..WARM_CALLS {
+        warm_stream
+            .write_all(warm_frame.as_bytes())
+            .expect("write warm frame");
+        warm_stream.write_all(b"\n").expect("write newline");
+        let mut line = String::new();
+        let n = warm_reader.read_line(&mut line).expect("read warm reply");
+        assert!(n > 0, "daemon closed the warm connection at call {call}");
+        let reply = serde_json::parse(&line).expect("warm reply is JSON");
+        assert_eq!(status_of(&reply), "ok", "warm call {call}: {reply:?}");
+        assert!(
+            matches!(field(&reply, "warm"), Value::Bool(true)),
+            "warm call {call} not marked warm: {reply:?}"
+        );
+        let y = floats(field(&reply, "y"));
+        for (i, (got, want)) in y.iter().zip(expect.iter()).enumerate() {
+            assert!(
+                (got - want).abs() < 1e-9,
+                "warm y[{i}] = {got}, reference {want}"
+            );
+        }
+    }
+    drop(warm_stream);
+
     // Counter consistency once the fleet has quiesced. Keep the raw
     // reply line: it is written verbatim for external jq validation.
     let raw_metrics = request_raw(&addr, "{\"op\":\"metrics\"}");
@@ -247,8 +298,37 @@ fn main() {
         + as_u64(field(service, "requests_degraded"))
         + as_u64(field(service, "requests_shed"))
         + as_u64(field(service, "deadline_misses"))
+        + as_u64(field(service, "requests_handle_miss"))
         + as_u64(field(service, "requests_error"));
     assert_eq!(outcomes, total, "every request counted exactly once");
+    // The warm phase must have been served entirely from the handle
+    // registry: handle hits advanced by exactly WARM_CALLS while the
+    // engine's decision cache and the wire-matrix parser stood still
+    // (the one parse is the warm-phase tune itself, which reuses the
+    // fleet's fingerprint and therefore hits the decision cache).
+    let base_service = field(&baseline, "service");
+    let base_engine = field(&baseline, "engine");
+    let engine = field(&metrics, "engine");
+    assert_eq!(
+        as_u64(field(service, "handle_hits")),
+        as_u64(field(base_service, "handle_hits")) + WARM_CALLS,
+        "every warm call served from the handle registry"
+    );
+    assert_eq!(
+        as_u64(field(service, "handle_misses")),
+        as_u64(field(base_service, "handle_misses")),
+        "no warm call missed the registry"
+    );
+    assert_eq!(
+        as_u64(field(service, "wire_matrix_parses")),
+        as_u64(field(base_service, "wire_matrix_parses")) + 1,
+        "only the warm-phase tune parsed a wire matrix"
+    );
+    assert_eq!(
+        as_u64(field(engine, "cache_misses")),
+        as_u64(field(base_engine, "cache_misses")),
+        "zero tune re-entries during the warm phase"
+    );
     assert!(
         as_u64(field(service, "frames_invalid")) >= 2,
         "hostile garbage counted"
@@ -264,7 +344,6 @@ fn main() {
     );
     // The engine block must carry the fault-containment counters the
     // health schema pins.
-    let engine = field(&metrics, "engine");
     for key in [
         "dispatch_fault_count",
         "coalesced_waits",

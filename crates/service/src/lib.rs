@@ -20,9 +20,20 @@
 //!   deep, requests are answered immediately through the reference
 //!   serial CSR path and counted as degraded — correct now beats
 //!   tuned late.
+//! - **Warm handles**: a successful tune/spmv response carries a
+//!   `handle` (structural fingerprint + server generation); follow-up
+//!   requests that send the handle instead of triplets skip parsing,
+//!   conversion, and prepare entirely and replay the server-resident
+//!   prepared matrix from per-connection preallocated buffers.
+//!   Unknown or evicted handles answer `handle_miss` so clients fall
+//!   back to the triplet path deterministically.
+//! - **Sharding**: the decision cache, health state, and handle
+//!   registry are split across fingerprint-routed engine shards
+//!   (`serve.shards`, default one per worker), so concurrent tuning
+//!   of distinct matrices never serializes on one cache lock.
 //! - **Graceful drain**: shutdown refuses new connections, answers
-//!   in-flight work, persists the tuning-cache snapshot, and exits
-//!   cleanly.
+//!   in-flight work, persists the merged tuning-cache snapshot, and
+//!   exits cleanly.
 //!
 //! The wire protocol lives in [`proto`]; the serving loop in
 //! [`server`]; the policies in [`admission`] and [`config`]; the
@@ -38,5 +49,5 @@ pub mod server;
 
 pub use config::ServeConfig;
 pub use metrics::ServiceMetrics;
-pub use proto::{Request, Response, Status, WorkOp, WorkRequest};
+pub use proto::{MatrixSource, Request, Response, Status, WireHandle, WorkOp, WorkRequest};
 pub use server::{DrainSummary, Server, ServerHandle};

@@ -6,8 +6,9 @@
 //! consistency. The one invariant the suite pins is *quiesced*
 //! consistency: once no request is in flight,
 //! `requests_total == requests_ok + requests_degraded + requests_shed +
-//! deadline_misses + requests_error` — every admitted request is
-//! answered exactly once, by exactly one outcome. To keep that
+//! deadline_misses + requests_handle_miss + requests_error` — every
+//! admitted request is answered exactly once, by exactly one outcome.
+//! To keep that
 //! bookkeeping single-writer, outcome counters are incremented at
 //! response-write time in the connection thread, never in workers.
 
@@ -46,8 +47,15 @@ pub struct ServiceMetrics {
     pub requests_shed: AtomicU64,
     /// Requests answered with a deadline miss.
     pub deadline_misses: AtomicU64,
+    /// Handle requests answered `handle_miss` (unknown, evicted, or
+    /// stale-generation handle).
+    pub requests_handle_miss: AtomicU64,
     /// Requests answered with an error (bad matrix, worker fault).
     pub requests_error: AtomicU64,
+    /// Inline wire matrices parsed and assembled (triplet path). The
+    /// warm handle path never increments this — the zero-matrix-work
+    /// audit pins that.
+    pub wire_matrix_parses: AtomicU64,
     /// Shed subtotal: tenant token bucket empty.
     pub shed_tenant: AtomicU64,
     /// Shed subtotal: admission queue full.
@@ -77,13 +85,14 @@ impl ServiceMetrics {
             .fetch_max(depth, Ordering::Relaxed);
     }
 
-    /// Sum of the five outcome counters; equals `requests_total` once
+    /// Sum of the six outcome counters; equals `requests_total` once
     /// the server is quiesced.
     pub fn outcomes_total(&self) -> u64 {
         Self::get(&self.requests_ok)
             + Self::get(&self.requests_degraded)
             + Self::get(&self.requests_shed)
             + Self::get(&self.deadline_misses)
+            + Self::get(&self.requests_handle_miss)
             + Self::get(&self.requests_error)
     }
 }
@@ -99,8 +108,9 @@ mod tests {
         ServiceMetrics::inc(&m.requests_degraded);
         ServiceMetrics::inc(&m.requests_shed);
         ServiceMetrics::inc(&m.deadline_misses);
+        ServiceMetrics::inc(&m.requests_handle_miss);
         ServiceMetrics::inc(&m.requests_error);
-        assert_eq!(m.outcomes_total(), 5);
+        assert_eq!(m.outcomes_total(), 6);
     }
 
     #[test]

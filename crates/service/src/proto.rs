@@ -13,15 +13,24 @@
 //! {"op": "ping"}
 //! {"op": "metrics"}
 //! {"op": "shutdown"}
-//! {"op": "tune", "matrix": {"rows": R, "cols": C,
-//!   "entries": [[r, c, v], ...]},                // 0-based indices
+//! {"op": "tune", "matrix": {"rows": R, "cols": C, "nnz": N,
+//!   "entries": [[r, c, v], ...]},                // 0-based indices;
+//!                                                // "nnz" optional hint
 //!   "deadline_ms": 250, "tenant": "team-a"}      // both optional
 //! {"op": "spmv", "matrix": {...}, "x": [..],     // x optional (ones)
 //!   "deadline_ms": 250, "tenant": "team-a"}
 //! {"op": "spmm", "matrix": {...}, "k": 4,        // k >= 1 RHS columns
 //!   "x": [..]}                                   // x optional (ones);
 //!                                                // cols*k, column-major
+//! {"op": "spmv", "handle": "h1:...", "x": [..]}  // warm path: replay a
+//!                                                // server-resident matrix
 //! ```
+//!
+//! Matrix `entries` must be duplicate-free: a repeated `(row, col)`
+//! coordinate is rejected with an error naming both entry indices,
+//! instead of the silent last-write-wins a client almost never means.
+//! The optional `"nnz"` field preallocates the assembly buffers and
+//! doubles as an integrity check — it must equal the entry count.
 //!
 //! Multi-RHS blocks travel column-major on the wire — `x` is `k`
 //! concatenated columns of length `cols`, the response `y` is `k`
@@ -29,14 +38,28 @@
 //! naturally batch independent right-hand sides. The server converts
 //! to the engine's row-major layout internally.
 //!
+//! ## Handles (the warm path)
+//!
+//! A successful `tune`/`spmv`/`spmm` response carries a `"handle"`
+//! string: the matrix's structural fingerprint plus the server's
+//! generation tag. Subsequent `spmv`/`spmm` requests may send that
+//! handle *instead of* the `matrix` object — the server replays its
+//! resident prepared matrix with zero triplet parsing, zero format
+//! conversion and zero `prepare` work. A handle the server no longer
+//! recognizes (evicted, or minted by a previous server generation) is
+//! answered with status `"handle_miss"` carrying the fingerprint, so
+//! the client deterministically falls back to the triplet path and
+//! collects a fresh handle.
+//!
 //! ## Responses
 //!
 //! Every response carries `"status"`: `"ok"`, `"degraded"` (correct
 //! product via the reference path), `"shed"` (with `retry_after_ms`),
-//! `"deadline_miss"`, or `"error"`.
+//! `"deadline_miss"`, `"handle_miss"` (unknown/evicted handle; retry
+//! with triplets), or `"error"`.
 
 use serde::{Serialize, Value};
-use smat_matrix::Csr;
+use smat_matrix::{Csr, StructuralFingerprint};
 use std::time::Duration;
 
 /// A parsed client request.
@@ -76,13 +99,77 @@ impl WorkOp {
     }
 }
 
+/// A wire handle: the structural fingerprint of a server-resident
+/// prepared matrix plus the generation tag of the server that minted
+/// it. Stable for the server's lifetime; a restarted server mints a
+/// fresh generation, so stale handles miss deterministically instead
+/// of silently replaying another process's registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireHandle {
+    /// Structural identity of the resident matrix.
+    pub fingerprint: StructuralFingerprint,
+    /// Generation tag of the minting server instance.
+    pub generation: u64,
+}
+
+impl WireHandle {
+    /// Renders the wire form:
+    /// `h1:<gen>:<rows>:<cols>:<nnz>:<digest0>:<digest1>` (hex fields).
+    pub fn encode(&self) -> String {
+        let f = &self.fingerprint;
+        format!(
+            "h1:{:x}:{:x}:{:x}:{:x}:{:016x}:{:016x}",
+            self.generation, f.rows, f.cols, f.nnz, f.digest[0], f.digest[1]
+        )
+    }
+
+    /// Parses the wire form produced by [`WireHandle::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a client-facing message on any malformed field.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let parts: Vec<&str> = s.split(':').collect();
+        if parts.len() != 7 || parts[0] != "h1" {
+            return Err(format!(
+                "\"handle\" must look like h1:<gen>:<rows>:<cols>:<nnz>:<d0>:<d1>, got {s:?}"
+            ));
+        }
+        let hex = |i: usize, what: &str| -> Result<u64, String> {
+            u64::from_str_radix(parts[i], 16)
+                .map_err(|_| format!("handle field {what} is not hexadecimal: {:?}", parts[i]))
+        };
+        Ok(WireHandle {
+            generation: hex(1, "gen")?,
+            fingerprint: StructuralFingerprint {
+                rows: hex(2, "rows")? as usize,
+                cols: hex(3, "cols")? as usize,
+                nnz: hex(4, "nnz")? as usize,
+                digest: [hex(5, "digest[0]")?, hex(6, "digest[1]")?],
+            },
+        })
+    }
+}
+
+/// What a work request identifies its matrix by: an inline triplet
+/// object (the cold path) or a handle onto the server's prepared
+/// registry (the warm path).
+#[derive(Debug, Clone, PartialEq)]
+pub enum MatrixSource {
+    /// Full matrix shipped in the request.
+    Inline(Csr<f64>),
+    /// Fingerprint + generation of a server-resident prepared matrix.
+    Handle(WireHandle),
+}
+
 /// A tune/spmv/spmm request after validation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WorkRequest {
     /// Which operation.
     pub op: WorkOp,
-    /// The matrix, already assembled (duplicate entries summed).
-    pub matrix: Csr<f64>,
+    /// The matrix: inline triplets (already assembled, duplicates
+    /// rejected at parse time) or a warm-path handle.
+    pub source: MatrixSource,
     /// Input vector(s) for [`WorkOp::Spmv`] / [`WorkOp::Spmm`]; `None`
     /// means all-ones. For `Spmm` this is the column-major wire block
     /// of length `cols * k`.
@@ -94,6 +181,17 @@ pub struct WorkRequest {
     pub deadline: Option<Duration>,
     /// Budget account; empty string is the anonymous tenant.
     pub tenant: String,
+}
+
+impl WorkRequest {
+    /// Column count implied by the source (inline dimensions or the
+    /// handle's fingerprint), for `x` length validation.
+    pub fn cols(&self) -> usize {
+        match &self.source {
+            MatrixSource::Inline(m) => m.cols(),
+            MatrixSource::Handle(h) => h.fingerprint.cols,
+        }
+    }
 }
 
 /// Outcome class of a response — the single source for outcome
@@ -108,6 +206,10 @@ pub enum Status {
     Shed,
     /// Deadline expired before an answer was produced.
     DeadlineMiss,
+    /// The request named a handle the server does not hold (evicted,
+    /// or minted by another server generation). The client retries
+    /// with inline triplets.
+    HandleMiss,
     /// Malformed request or execution failure.
     Error,
 }
@@ -120,6 +222,7 @@ impl Status {
             Status::Degraded => "degraded",
             Status::Shed => "shed",
             Status::DeadlineMiss => "deadline_miss",
+            Status::HandleMiss => "handle_miss",
             Status::Error => "error",
         }
     }
@@ -161,6 +264,36 @@ impl Response {
                     Value::UInt(retry_after.as_millis() as u64),
                 ),
                 ("reason", Value::Str(reason.to_string())),
+            ],
+        )
+    }
+
+    /// A `"handle_miss"` response: echoes the handle and spells the
+    /// fingerprint out, so the client can degrade to the triplet path
+    /// deterministically (and re-associate the fresh handle it gets
+    /// back with the right local matrix).
+    pub fn handle_miss(handle: &WireHandle, reason: &str) -> Self {
+        let f = &handle.fingerprint;
+        Self::with(
+            Status::HandleMiss,
+            vec![
+                ("handle", Value::Str(handle.encode())),
+                ("reason", Value::Str(reason.to_string())),
+                (
+                    "fingerprint",
+                    obj(vec![
+                        ("rows", Value::UInt(f.rows as u64)),
+                        ("cols", Value::UInt(f.cols as u64)),
+                        ("nnz", Value::UInt(f.nnz as u64)),
+                        (
+                            "digest",
+                            Value::Array(vec![
+                                Value::Str(format!("{:016x}", f.digest[0])),
+                                Value::Str(format!("{:016x}", f.digest[1])),
+                            ]),
+                        ),
+                    ]),
+                ),
             ],
         )
     }
@@ -254,7 +387,25 @@ pub fn parse_request(frame: &str) -> Result<Request, String> {
             ))
         }
     };
-    let matrix = parse_matrix(get(fields, "matrix").ok_or("missing \"matrix\" field")?)?;
+    let source = match (get(fields, "matrix"), get(fields, "handle")) {
+        (Some(_), Some(_)) => {
+            return Err("request carries both \"matrix\" and \"handle\"; send exactly one".into())
+        }
+        (Some(m), None) => MatrixSource::Inline(parse_matrix(m)?),
+        (None, Some(Value::Str(h))) => {
+            if work_op == WorkOp::Tune {
+                return Err(
+                    "tune needs an inline \"matrix\"; handles identify already-tuned matrices"
+                        .to_string(),
+                );
+            }
+            MatrixSource::Handle(WireHandle::parse(h)?)
+        }
+        (None, Some(other)) => {
+            return Err(format!("\"handle\" must be a string, got {}", other.kind()))
+        }
+        (None, None) => return Err("missing \"matrix\" field (or a \"handle\")".to_string()),
+    };
     let k = match (work_op, get(fields, "k")) {
         (WorkOp::Spmm, Some(v)) => {
             let k = as_u64(v).ok_or("\"k\" must be a positive integer")? as usize;
@@ -286,18 +437,21 @@ pub fn parse_request(frame: &str) -> Result<Request, String> {
                 }
                 x.push(f);
             }
-            if x.len() != matrix.cols() * k {
+            let cols = match &source {
+                MatrixSource::Inline(m) => m.cols(),
+                MatrixSource::Handle(h) => h.fingerprint.cols,
+            };
+            if x.len() != cols * k {
                 return Err(if work_op == WorkOp::Spmm {
                     format!(
                         "\"x\" has {} entries but an spmm block needs cols*k = {}",
                         x.len(),
-                        matrix.cols() * k
+                        cols * k
                     )
                 } else {
                     format!(
-                        "\"x\" has {} entries but the matrix has {} columns",
-                        x.len(),
-                        matrix.cols()
+                        "\"x\" has {} entries but the matrix has {cols} columns",
+                        x.len()
                     )
                 });
             }
@@ -317,7 +471,7 @@ pub fn parse_request(frame: &str) -> Result<Request, String> {
     };
     Ok(Request::Work(Box::new(WorkRequest {
         op: work_op,
-        matrix,
+        source,
         x,
         k,
         deadline,
@@ -357,7 +511,27 @@ fn parse_matrix(v: &Value) -> Result<Csr<f64>, String> {
     let entries = get(fields, "entries")
         .and_then(Value::as_array)
         .ok_or("matrix needs an \"entries\" array of [row, col, value] triplets")?;
-    let mut triplets = Vec::with_capacity(entries.len());
+    // Optional preallocation hint; when present it must agree with the
+    // entry count, so a truncated or mis-assembled frame is rejected
+    // instead of silently building a smaller matrix.
+    let nnz_hint = match get(fields, "nnz") {
+        None | Some(Value::Null) => None,
+        Some(v) => {
+            Some(as_u64(v).ok_or("matrix \"nnz\" hint must be a non-negative integer")? as usize)
+        }
+    };
+    if let Some(hint) = nnz_hint {
+        if hint != entries.len() {
+            return Err(format!(
+                "matrix \"nnz\" hint {hint} disagrees with {} entries",
+                entries.len()
+            ));
+        }
+    }
+    let capacity = nnz_hint.unwrap_or(entries.len());
+    let mut triplets = Vec::with_capacity(capacity);
+    let mut seen: std::collections::HashMap<(usize, usize), usize> =
+        std::collections::HashMap::with_capacity(capacity);
     for (i, entry) in entries.iter().enumerate() {
         let triple = entry
             .as_array()
@@ -376,6 +550,14 @@ fn parse_matrix(v: &Value) -> Result<Csr<f64>, String> {
         }
         if !val.is_finite() {
             return Err(format!("entries[{i}] value is not finite"));
+        }
+        if let Some(first) = seen.insert((r, c), i) {
+            // Reject rather than sum or last-write-wins: a duplicate
+            // coordinate on the wire is almost always an assembly bug,
+            // and the entry indices point straight at it.
+            return Err(format!(
+                "entries[{i}] duplicates ({r}, {c}) first given at entries[{first}]"
+            ));
         }
         triplets.push((r, c, val));
     }
@@ -405,8 +587,13 @@ mod tests {
         match req {
             Request::Work(w) => {
                 assert_eq!(w.op, WorkOp::Spmv);
-                assert_eq!(w.matrix.rows(), 2);
-                assert_eq!(w.matrix.nnz(), 2);
+                match &w.source {
+                    MatrixSource::Inline(m) => {
+                        assert_eq!(m.rows(), 2);
+                        assert_eq!(m.nnz(), 2);
+                    }
+                    other => panic!("expected inline matrix, got {other:?}"),
+                }
                 assert!(w.x.is_none());
                 assert!(w.deadline.is_none());
                 assert_eq!(w.tenant, "");
@@ -427,7 +614,10 @@ mod tests {
                 assert_eq!(w.op, WorkOp::Tune);
                 assert_eq!(w.tenant, "team-a");
                 assert_eq!(w.deadline, Some(Duration::from_millis(250)));
-                assert_eq!(w.matrix.get(0, 2), Some(4.0));
+                match &w.source {
+                    MatrixSource::Inline(m) => assert_eq!(m.get(0, 2), Some(4.0)),
+                    other => panic!("expected inline matrix, got {other:?}"),
+                }
             }
             other => panic!("expected Work, got {other:?}"),
         }
@@ -517,6 +707,136 @@ mod tests {
             let err = parse_request(frame).unwrap_err();
             assert!(err.contains(needle), "frame {frame:?}: {err}");
         }
+    }
+
+    #[test]
+    fn handles_encode_and_parse_round_trip() {
+        let fp = StructuralFingerprint {
+            rows: 20_000,
+            cols: 20_000,
+            nnz: 250_000,
+            digest: [0xdead_beef_cafe_f00d, 0x0123_4567_89ab_cdef],
+        };
+        let handle = WireHandle {
+            fingerprint: fp,
+            generation: 0x2a1_00007,
+        };
+        let encoded = handle.encode();
+        assert!(encoded.starts_with("h1:"), "encoded: {encoded}");
+        assert_eq!(WireHandle::parse(&encoded).unwrap(), handle);
+        for bad in [
+            "",
+            "h1:",
+            "h2:1:1:1:1:0:0",
+            "h1:1:1:1:1:0",
+            "h1:1:1:1:1:0:zz",
+        ] {
+            assert!(WireHandle::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parses_handle_requests() {
+        let fp = StructuralFingerprint {
+            rows: 4,
+            cols: 3,
+            nnz: 5,
+            digest: [7, 9],
+        };
+        let handle = WireHandle {
+            fingerprint: fp,
+            generation: 1,
+        };
+        let frame = format!(
+            "{{\"op\":\"spmv\",\"handle\":\"{}\",\"x\":[1,2,3]}}",
+            handle.encode()
+        );
+        match parse_request(&frame).unwrap() {
+            Request::Work(w) => {
+                assert_eq!(w.op, WorkOp::Spmv);
+                assert_eq!(w.source, MatrixSource::Handle(handle));
+                assert_eq!(w.x.as_deref(), Some(&[1.0, 2.0, 3.0][..]));
+            }
+            other => panic!("expected Work, got {other:?}"),
+        }
+        // x length is validated against the handle's fingerprint cols.
+        let short = format!(
+            "{{\"op\":\"spmv\",\"handle\":\"{}\",\"x\":[1]}}",
+            handle.encode()
+        );
+        assert!(parse_request(&short).unwrap_err().contains("3 columns"));
+        // A handle and an inline matrix in one frame is ambiguous.
+        let both = format!(
+            "{{\"op\":\"spmv\",\"handle\":\"{}\",\"matrix\":{{\"rows\":1,\
+             \"cols\":1,\"entries\":[[0,0,1]]}}}}",
+            handle.encode()
+        );
+        assert!(parse_request(&both).unwrap_err().contains("both"));
+        // Tuning needs the matrix itself; a handle identifies one that
+        // was already tuned.
+        let tune = format!("{{\"op\":\"tune\",\"handle\":\"{}\"}}", handle.encode());
+        assert!(parse_request(&tune).unwrap_err().contains("inline"));
+        assert!(parse_request("{\"op\":\"spmv\",\"handle\":\"junk\"}")
+            .unwrap_err()
+            .contains("handle"));
+    }
+
+    #[test]
+    fn nnz_hint_must_match_entry_count() {
+        let ok = parse_request(
+            "{\"op\":\"tune\",\"matrix\":{\"rows\":2,\"cols\":2,\"nnz\":2,\
+             \"entries\":[[0,0,1],[1,1,2]]}}",
+        )
+        .unwrap();
+        match ok {
+            Request::Work(w) => match &w.source {
+                MatrixSource::Inline(m) => assert_eq!(m.nnz(), 2),
+                other => panic!("expected inline matrix, got {other:?}"),
+            },
+            other => panic!("expected Work, got {other:?}"),
+        }
+        let err = parse_request(
+            "{\"op\":\"tune\",\"matrix\":{\"rows\":2,\"cols\":2,\"nnz\":3,\
+             \"entries\":[[0,0,1],[1,1,2]]}}",
+        )
+        .unwrap_err();
+        assert!(err.contains("disagrees"), "err: {err}");
+        let err = parse_request(
+            "{\"op\":\"tune\",\"matrix\":{\"rows\":2,\"cols\":2,\"nnz\":-1,\
+             \"entries\":[]}}",
+        )
+        .unwrap_err();
+        assert!(err.contains("non-negative"), "err: {err}");
+    }
+
+    #[test]
+    fn duplicate_entries_are_rejected_with_indices() {
+        let err = parse_request(
+            "{\"op\":\"tune\",\"matrix\":{\"rows\":2,\"cols\":2,\
+             \"entries\":[[0,0,1],[1,1,2],[0,0,9]]}}",
+        )
+        .unwrap_err();
+        assert!(
+            err.contains("entries[2]") && err.contains("entries[0]"),
+            "err: {err}"
+        );
+    }
+
+    #[test]
+    fn handle_miss_responses_carry_the_fingerprint() {
+        let handle = WireHandle {
+            fingerprint: StructuralFingerprint {
+                rows: 8,
+                cols: 8,
+                nnz: 16,
+                digest: [1, 2],
+            },
+            generation: 42,
+        };
+        let line = Response::handle_miss(&handle, "unknown or evicted handle").to_line();
+        assert!(line.contains("\"handle_miss\""), "line: {line}");
+        assert!(line.contains(&handle.encode()), "line: {line}");
+        assert!(line.contains("\"nnz\":16"), "line: {line}");
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! The serving loop: listener, connection threads, admission ladder,
-//! worker pool, and graceful drain.
+//! fingerprint-sharded engines, worker pool, and graceful drain.
 //!
 //! ## Thread shape
 //!
@@ -7,10 +7,28 @@
 //! thread per live connection, and a fixed pool of
 //! [`ServeConfig::workers`] tuning workers behind a bounded queue.
 //! Connection threads do everything cheap — framing, parsing,
-//! admission, shedding, the degraded reference product — and only
-//! tuning work crosses the queue. Replies travel back over a per-job
-//! mpsc channel bounded by the request deadline, so a connection
-//! thread can never wedge on a lost worker.
+//! admission, shedding, the degraded reference product, and the warm
+//! handle path — and only tuning work crosses the queue. Replies
+//! travel back over a per-job mpsc channel bounded by the request
+//! deadline, so a connection thread can never wedge on a lost worker.
+//!
+//! ## Shards and the warm path
+//!
+//! The engine is split into [`ServeConfig::shards`] independent
+//! shards, each with its own decision cache, health/quarantine state,
+//! and [`HandleRegistry`] of prepared matrices, selected by structural
+//! fingerprint (`digest[0] % shards`). Concurrent tuning for distinct
+//! matrices therefore never serializes on one cache lock, and a
+//! quarantine on one shard leaves the others fast.
+//!
+//! A successful tune/spmv/spmm response carries a `handle` — the
+//! fingerprint plus this server's generation tag. A follow-up
+//! `{"op":"spmv","handle":...,"x":[...]}` is served *inline on the
+//! connection thread*: no triplet parse, no conversion, no prepare,
+//! no queue hop — just a registry lookup and the frozen kernel replay
+//! into per-connection preallocated buffers. Unknown, evicted, or
+//! other-generation handles answer `handle_miss` with the fingerprint
+//! echoed, so clients fall back to the triplet path deterministically.
 //!
 //! ## Degradation ladder (per request)
 //!
@@ -37,16 +55,19 @@
 use crate::admission::{BoundedQueue, TokenBuckets};
 use crate::config::ServeConfig;
 use crate::metrics::ServiceMetrics;
-use crate::proto::{obj, parse_request, Request, Response, Status, WorkOp, WorkRequest};
+use crate::proto::{
+    obj, parse_request, MatrixSource, Request, Response, Status, WireHandle, WorkOp, WorkRequest,
+};
 use serde::{Serialize, Value};
-use smat::Smat;
+use smat::{CacheSnapshot, HandleRegistry, HealthReport, Smat, TunedSpmv};
+use smat_matrix::{Csr, StructuralFingerprint};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -59,16 +80,38 @@ const ACCEPT_POLL: Duration = Duration::from_millis(5);
 /// local timeout when both fire together.
 const REPLY_GRACE: Duration = Duration::from_millis(250);
 
-/// One admitted tuning job crossing the queue.
+/// Distinguishes handles minted by different server incarnations (the
+/// low bits) in different processes (the pid in the high bits), so a
+/// handle can never silently resolve against a registry that did not
+/// mint it.
+static GENERATION_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn next_generation() -> u64 {
+    ((std::process::id() as u64) << 20)
+        | (GENERATION_SEQ.fetch_add(1, Ordering::Relaxed) & 0xf_ffff)
+}
+
+/// One admitted tuning job crossing the queue. The source is always
+/// inline: handle requests are served on the connection thread and
+/// never queue.
 struct Job {
     work: WorkRequest,
+    shard: usize,
     deadline: Instant,
     reply: mpsc::Sender<Response>,
 }
 
+/// One engine shard: its own decision cache and health state (inside
+/// the [`Smat`]) plus its slice of the prepared-matrix registry.
+struct Shard {
+    engine: Arc<Smat<f64>>,
+    handles: HandleRegistry<f64>,
+}
+
 /// State shared by the accept loop, connection threads, and workers.
 struct Shared {
-    engine: Arc<Smat<f64>>,
+    shards: Vec<Shard>,
+    generation: u64,
     config: ServeConfig,
     metrics: ServiceMetrics,
     queue: BoundedQueue<Job>,
@@ -86,6 +129,21 @@ impl Shared {
         // the eventual close promptly.
         // (close() itself happens in run() after connections drain.)
     }
+
+    /// The shard a fingerprint routes to. Pure function of the digest,
+    /// so clients, the cache splitter, and the workers always agree.
+    fn shard_for(&self, fp: &StructuralFingerprint) -> usize {
+        fp.digest[0] as usize % self.shards.len()
+    }
+}
+
+/// Per-connection reusable buffers for the warm path: sized on first
+/// use, reused for every subsequent handle call on this connection, so
+/// a warm `spmv` allocates nothing but its reply frame.
+#[derive(Default)]
+struct Scratch {
+    x: Vec<f64>,
+    y: Vec<f64>,
 }
 
 /// What was bound: TCP socket or Unix-domain socket.
@@ -153,6 +211,8 @@ pub struct DrainSummary {
     pub requests_shed: u64,
     /// Answered with a deadline miss.
     pub deadline_misses: u64,
+    /// Answered `handle_miss` (unknown, evicted, or stale handle).
+    pub requests_handle_miss: u64,
     /// Answered with an error.
     pub requests_error: u64,
     /// Entries persisted to the cache snapshot, when configured and
@@ -203,7 +263,7 @@ impl Server {
     /// Propagates the bind failure.
     pub fn bind_tcp(addr: &str, engine: Arc<Smat<f64>>, config: ServeConfig) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
-        Ok(Self::with_listener(Listener::Tcp(listener), engine, config))
+        Self::with_listener(Listener::Tcp(listener), engine, config)
     }
 
     /// Binds a Unix-domain socket at `path`, replacing a stale socket
@@ -223,23 +283,54 @@ impl Server {
             std::fs::remove_file(&path)?;
         }
         let listener = UnixListener::bind(&path)?;
-        Ok(Self::with_listener(
-            Listener::Unix(listener, path),
-            engine,
-            config,
-        ))
+        Self::with_listener(Listener::Unix(listener, path), engine, config)
     }
 
-    fn with_listener(listener: Listener, engine: Arc<Smat<f64>>, config: ServeConfig) -> Self {
+    /// Wraps the caller's engine as shard 0 and clones sibling shards
+    /// off its model and installation, so every shard runs the same
+    /// kernel choices but owns its own cache and health state.
+    fn with_listener(
+        listener: Listener,
+        engine: Arc<Smat<f64>>,
+        config: ServeConfig,
+    ) -> io::Result<Self> {
         let config = config.normalized();
+        let mut shards = Vec::with_capacity(config.shards);
+        let registry = || HandleRegistry::new(config.handle_capacity, config.handle_budget_bytes);
+        shards.push(Shard {
+            engine,
+            handles: registry(),
+        });
+        for _ in 1..config.shards {
+            let model = shards[0].engine.model().clone();
+            // Don't touch the installation file again: shard 0 already
+            // loaded (or generated) it; siblings adopt the result.
+            let mut sib_config = shards[0].engine.config().clone();
+            sib_config.install_path = None;
+            let sibling = match shards[0].engine.installation().cloned() {
+                Some(inst) => Smat::with_installation(model, sib_config, inst),
+                None => Smat::with_config(model, sib_config),
+            }
+            .map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("building engine shard: {e}"),
+                )
+            })?;
+            shards.push(Shard {
+                engine: Arc::new(sibling),
+                handles: registry(),
+            });
+        }
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(config.queue_capacity),
             buckets: TokenBuckets::new(config.tenant_rate, config.tenant_burst),
             metrics: ServiceMetrics::default(),
-            engine,
+            shards,
+            generation: next_generation(),
             config,
         });
-        Server { shared, listener }
+        Ok(Server { shared, listener })
     }
 
     /// The bound TCP address, if TCP-bound.
@@ -270,10 +361,17 @@ impl Server {
     pub fn run(self) -> io::Result<DrainSummary> {
         let Server { shared, listener } = self;
         // Preload the cache snapshot, best-effort: a missing or stale
-        // snapshot must never stop the service from starting.
+        // snapshot must never stop the service from starting. The one
+        // on-disk snapshot is split across shards by the same
+        // fingerprint route the request path uses.
         if let Some(path) = &shared.config.cache_snapshot {
             if path.exists() {
-                let _ = shared.engine.load_cache(path);
+                if let Ok(snap) = shared.shards[0].engine.load_cache_snapshot(path) {
+                    let parts = snap.split_by(shared.shards.len(), |fp| fp.digest[0] as usize);
+                    for (shard, part) in shared.shards.iter().zip(parts) {
+                        shard.engine.absorb_cache(part);
+                    }
+                }
             }
         }
 
@@ -354,11 +452,21 @@ impl Server {
             let _ = handle.join();
         }
 
-        let cache_snapshot_entries = shared
-            .config
-            .cache_snapshot
-            .as_ref()
-            .and_then(|path| shared.engine.save_cache(path).ok());
+        // One merged snapshot on disk regardless of shard count: the
+        // shard layout is a runtime choice, not a persistence format.
+        let cache_snapshot_entries = shared.config.cache_snapshot.as_ref().and_then(|path| {
+            let merged = CacheSnapshot::merge(
+                shared
+                    .shards
+                    .iter()
+                    .map(|s| s.engine.export_cache())
+                    .collect(),
+            );
+            shared.shards[0]
+                .engine
+                .save_cache_snapshot(path, &merged)
+                .ok()
+        });
         let m = &shared.metrics;
         Ok(DrainSummary {
             requests_total: ServiceMetrics::get(&m.requests_total),
@@ -366,6 +474,7 @@ impl Server {
             requests_degraded: ServiceMetrics::get(&m.requests_degraded),
             requests_shed: ServiceMetrics::get(&m.requests_shed),
             deadline_misses: ServiceMetrics::get(&m.deadline_misses),
+            requests_handle_miss: ServiceMetrics::get(&m.requests_handle_miss),
             requests_error: ServiceMetrics::get(&m.requests_error),
             cache_snapshot_entries,
         })
@@ -381,6 +490,7 @@ fn handle_connection(shared: &Arc<Shared>, mut conn: Conn) {
     let mut buf: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 4096];
     let mut frame_started: Option<Instant> = None;
+    let mut scratch = Scratch::default();
     'conn: loop {
         if shared.draining() && buf.is_empty() {
             // Idle connection during drain: close; the client
@@ -413,7 +523,7 @@ fn handle_connection(shared: &Arc<Shared>, mut conn: Conn) {
                     } else {
                         Some(Instant::now())
                     };
-                    if !process_frame(shared, &mut conn, &frame[..frame.len() - 1]) {
+                    if !process_frame(shared, &mut conn, &mut scratch, &frame[..frame.len() - 1]) {
                         break 'conn;
                     }
                 }
@@ -454,7 +564,12 @@ fn handle_connection(shared: &Arc<Shared>, mut conn: Conn) {
 
 /// Handles one complete frame. Returns `false` when the connection
 /// should close (shutdown acknowledged, or the response write failed).
-fn process_frame(shared: &Arc<Shared>, conn: &mut Conn, frame: &[u8]) -> bool {
+fn process_frame(
+    shared: &Arc<Shared>,
+    conn: &mut Conn,
+    scratch: &mut Scratch,
+    frame: &[u8],
+) -> bool {
     let text = match std::str::from_utf8(frame) {
         Ok(t) => t,
         Err(_) => {
@@ -500,7 +615,13 @@ fn process_frame(shared: &Arc<Shared>, conn: &mut Conn, frame: &[u8]) -> bool {
             false
         }
         Request::Work(work) => {
-            let resp = handle_work(shared, *work);
+            if matches!(work.source, MatrixSource::Inline(_)) {
+                // The audit counter for the triplet path: warm handle
+                // frames never pass through here, which is exactly
+                // what the zero-matrix-work assertion pins.
+                ServiceMetrics::inc(&shared.metrics.wire_matrix_parses);
+            }
+            let resp = handle_work(shared, *work, scratch);
             write_response(shared, conn, &resp, true)
         }
     }
@@ -508,7 +629,7 @@ fn process_frame(shared: &Arc<Shared>, conn: &mut Conn, frame: &[u8]) -> bool {
 
 /// The admission ladder for one tune/spmv request. Always returns a
 /// response; the connection thread writes and counts it.
-fn handle_work(shared: &Arc<Shared>, work: WorkRequest) -> Response {
+fn handle_work(shared: &Arc<Shared>, work: WorkRequest, scratch: &mut Scratch) -> Response {
     ServiceMetrics::inc(&shared.metrics.requests_total);
     if let Err(retry) = shared.buckets.try_take(&work.tenant) {
         ServiceMetrics::inc(&shared.metrics.shed_tenant);
@@ -526,11 +647,32 @@ fn handle_work(shared: &Arc<Shared>, work: WorkRequest) -> Response {
         ServiceMetrics::inc(&shared.metrics.shed_draining);
         return Response::shed(shared.config.shed_retry_after, "server is draining");
     }
+    // Warm path: a handle request never queues, never parses, never
+    // prepares. The registry lookup and the frozen kernel replay both
+    // happen right here on the connection thread.
+    let matrix = match work.source {
+        MatrixSource::Handle(handle) => {
+            if handle.generation != shared.generation {
+                return Response::handle_miss(
+                    &handle,
+                    "stale generation: handle was minted by another server instance",
+                );
+            }
+            let shard = &shared.shards[shared.shard_for(&handle.fingerprint)];
+            return match shard.handles.lookup(&handle.fingerprint) {
+                Some(tuned) => warm_call(shard, &tuned, &handle, &work, scratch),
+                None => Response::handle_miss(&handle, "unknown or evicted handle"),
+            };
+        }
+        MatrixSource::Inline(ref m) => m,
+    };
+    let shard_idx = shared.shard_for(&matrix.fingerprint());
+    let engine = &shared.shards[shard_idx].engine;
     // Degradation ladder: an unhealthy engine or a deep backlog means
     // a correct answer *now* beats a tuned answer late.
     let depth = shared.queue.len();
-    if shared.engine.pool_demoted()
-        || shared.engine.quarantine_active()
+    if engine.pool_demoted()
+        || engine.quarantine_active()
         || depth >= shared.config.degrade_watermark
     {
         let reason = if depth >= shared.config.degrade_watermark {
@@ -546,6 +688,7 @@ fn handle_work(shared: &Arc<Shared>, work: WorkRequest) -> Response {
     let (tx, rx) = mpsc::channel();
     let job = Job {
         work,
+        shard: shard_idx,
         deadline,
         reply: tx,
     };
@@ -563,8 +706,94 @@ fn handle_work(shared: &Arc<Shared>, work: WorkRequest) -> Response {
     }
 }
 
+/// Replays a registered prepared matrix for a warm handle request —
+/// zero matrix work, zero allocation beyond the reply frame (the
+/// scratch buffers grow once per connection and are reused).
+fn warm_call(
+    shard: &Shard,
+    tuned: &TunedSpmv<f64>,
+    handle: &WireHandle,
+    work: &WorkRequest,
+    scratch: &mut Scratch,
+) -> Response {
+    let fp = tuned.fingerprint();
+    let (rows, cols) = (fp.rows, fp.cols);
+    let kernel = shard.engine.library().info(tuned.kernel()).name;
+    let mut fields = vec![
+        ("op", Value::Str(work.op.name().to_string())),
+        ("handle", Value::Str(handle.encode())),
+        ("format", Value::Str(tuned.format().to_string())),
+        ("kernel", Value::Str(kernel.to_string())),
+        ("warm", Value::Bool(true)),
+    ];
+    match work.op {
+        WorkOp::Tune => {
+            // Tune never reaches here (parse rejects tune-by-handle),
+            // but answering the metadata alone is still correct.
+        }
+        WorkOp::Spmv => {
+            let x = match &work.x {
+                Some(x) => x.as_slice(),
+                None => {
+                    scratch.x.clear();
+                    scratch.x.resize(cols, 1.0);
+                    scratch.x.as_slice()
+                }
+            };
+            scratch.y.clear();
+            scratch.y.resize(rows, 0.0);
+            if let Err(e) = shard.engine.spmv(tuned, x, &mut scratch.y) {
+                return Response::error(format!("[{}] {e}", e.taxonomy()));
+            }
+            fields.push((
+                "y",
+                Value::Array(scratch.y.iter().copied().map(Value::Float).collect()),
+            ));
+        }
+        WorkOp::Spmm => {
+            let k = work.k;
+            // Same wire contract as the cold path: column-major block
+            // in, column-major block out; the engine wants row-major.
+            scratch.x.clear();
+            scratch.x.resize(cols * k, 1.0);
+            if let Some(wire) = &work.x {
+                for (j, column) in wire.chunks_exact(cols).enumerate() {
+                    for (c, &v) in column.iter().enumerate() {
+                        scratch.x[c * k + j] = v;
+                    }
+                }
+            }
+            scratch.y.clear();
+            scratch.y.resize(rows * k, 0.0);
+            if let Err(e) = shard.engine.spmm(tuned, &scratch.x, &mut scratch.y, k) {
+                return Response::error(format!("[{}] {e}", e.taxonomy()));
+            }
+            let mut out = Vec::with_capacity(rows * k);
+            for j in 0..k {
+                out.extend((0..rows).map(|r| Value::Float(scratch.y[r * k + j])));
+            }
+            if let Some(spmm_kernel) = tuned.spmm_kernel() {
+                let name = shard.engine.library().info(spmm_kernel).name;
+                fields.push(("spmm_kernel", Value::Str(name.to_string())));
+            }
+            fields.push(("k", Value::UInt(k as u64)));
+            fields.push(("y", Value::Array(out)));
+        }
+    }
+    Response::with(Status::Ok, fields)
+}
+
 /// Serves the reference serial CSR product immediately (ladder rung 4).
+/// Only inline requests reach this rung — a handle request either hits
+/// the registry or answers `handle_miss`; there is no matrix to degrade
+/// onto.
 fn degraded_now(work: &WorkRequest, reason: &str) -> Response {
+    let matrix: &Csr<f64> = match &work.source {
+        MatrixSource::Inline(m) => m,
+        MatrixSource::Handle(_) => {
+            return Response::error("internal: handle request reached the degraded rung")
+        }
+    };
     let mut fields = vec![
         ("op", Value::Str(work.op.name().to_string())),
         ("format", Value::Str("csr".to_string())),
@@ -576,19 +805,19 @@ fn degraded_now(work: &WorkRequest, reason: &str) -> Response {
         let x = match &work.x {
             Some(x) => x.as_slice(),
             None => {
-                ones = vec![1.0; work.matrix.cols()];
+                ones = vec![1.0; matrix.cols()];
                 ones.as_slice()
             }
         };
-        let mut y = vec![0.0; work.matrix.rows()];
-        if let Err(e) = work.matrix.spmv(x, &mut y) {
+        let mut y = vec![0.0; matrix.rows()];
+        if let Err(e) = matrix.spmv(x, &mut y) {
             return Response::error(format!("reference SpMV failed: {e}"));
         }
         fields.push(("y", Value::Array(y.into_iter().map(Value::Float).collect())));
     } else if work.op == WorkOp::Spmm {
         // Column-by-column over the wire block: the degraded rung
         // never touches the tiled tier, just the reference product.
-        let (rows, cols, k) = (work.matrix.rows(), work.matrix.cols(), work.k);
+        let (rows, cols, k) = (matrix.rows(), matrix.cols(), work.k);
         let ones;
         let block = match &work.x {
             Some(x) => x.as_slice(),
@@ -600,7 +829,7 @@ fn degraded_now(work: &WorkRequest, reason: &str) -> Response {
         let mut out = Vec::with_capacity(rows * k);
         let mut y = vec![0.0; rows];
         for column in block.chunks_exact(cols) {
-            if let Err(e) = work.matrix.spmv(column, &mut y) {
+            if let Err(e) = matrix.spmv(column, &mut y) {
                 return Response::error(format!("reference SpMV failed: {e}"));
             }
             out.extend(y.iter().copied().map(Value::Float));
@@ -647,14 +876,28 @@ fn process_job(shared: &Arc<Shared>, job: Job) -> Response {
     if job.deadline <= Instant::now() {
         return Response::deadline_miss("queued");
     }
-    let Job { work, deadline, .. } = job;
-    let tuned = shared.engine.prepare_with_deadline(&work.matrix, deadline);
+    let Job {
+        work,
+        shard: shard_idx,
+        deadline,
+        ..
+    } = job;
+    let shard = &shared.shards[shard_idx];
+    let matrix: &Csr<f64> = match &work.source {
+        MatrixSource::Inline(m) => m,
+        MatrixSource::Handle(_) => {
+            // Handle requests are answered inline on the connection
+            // thread and never queue; this arm is a contract guard.
+            return Response::error("internal: handle request crossed the tuning queue");
+        }
+    };
+    let tuned = shard.engine.prepare_with_deadline(matrix, deadline);
     let status = if tuned.decision().is_degraded() {
         Status::Degraded
     } else {
         Status::Ok
     };
-    let kernel = shared.engine.library().info(tuned.kernel()).name;
+    let kernel = shard.engine.library().info(tuned.kernel()).name;
     let mut fields = vec![
         ("op", Value::Str(work.op.name().to_string())),
         ("format", Value::Str(tuned.format().to_string())),
@@ -664,22 +907,33 @@ fn process_job(shared: &Arc<Shared>, job: Job) -> Response {
     if let smat::DecisionPath::Degraded { reason } = tuned.decision() {
         fields.push(("reason", Value::Str(reason.clone())));
     }
+    // Mint the warm-path handle: register the prepared matrix in the
+    // shard's registry and echo the fingerprint + generation to the
+    // client. Degraded decisions are not registered — the point of the
+    // warm path is replaying a *tuned* plan.
+    if status == Status::Ok {
+        let wire = WireHandle {
+            fingerprint: tuned.fingerprint(),
+            generation: shared.generation,
+        };
+        fields.push(("handle", Value::Str(wire.encode())));
+    }
     if work.op == WorkOp::Spmv {
         let ones;
         let x = match &work.x {
             Some(x) => x.as_slice(),
             None => {
-                ones = vec![1.0; work.matrix.cols()];
+                ones = vec![1.0; matrix.cols()];
                 ones.as_slice()
             }
         };
-        let mut y = vec![0.0; work.matrix.rows()];
-        if let Err(e) = shared.engine.spmv(&tuned, x, &mut y) {
+        let mut y = vec![0.0; matrix.rows()];
+        if let Err(e) = shard.engine.spmv(&tuned, x, &mut y) {
             return Response::error(format!("[{}] {e}", e.taxonomy()));
         }
         fields.push(("y", Value::Array(y.into_iter().map(Value::Float).collect())));
     } else if work.op == WorkOp::Spmm {
-        let (rows, cols, k) = (work.matrix.rows(), work.matrix.cols(), work.k);
+        let (rows, cols, k) = (matrix.rows(), matrix.cols(), work.k);
         // The wire carries column-major blocks; the engine wants the
         // interleaved row-major layout. Convert both ways here so the
         // warm engine path stays allocation-free for embedded callers.
@@ -692,7 +946,7 @@ fn process_job(shared: &Arc<Shared>, job: Job) -> Response {
             }
         }
         let mut y = vec![0.0; rows * k];
-        if let Err(e) = shared.engine.spmm(&tuned, &x, &mut y, k) {
+        if let Err(e) = shard.engine.spmm(&tuned, &x, &mut y, k) {
             return Response::error(format!("[{}] {e}", e.taxonomy()));
         }
         let mut out = Vec::with_capacity(rows * k);
@@ -700,11 +954,14 @@ fn process_job(shared: &Arc<Shared>, job: Job) -> Response {
             out.extend((0..rows).map(|r| Value::Float(y[r * k + j])));
         }
         if let Some(spmm_kernel) = tuned.spmm_kernel() {
-            let name = shared.engine.library().info(spmm_kernel).name;
+            let name = shard.engine.library().info(spmm_kernel).name;
             fields.push(("spmm_kernel", Value::Str(name.to_string())));
         }
         fields.push(("k", Value::UInt(k as u64)));
         fields.push(("y", Value::Array(out)));
+    }
+    if status == Status::Ok {
+        shard.handles.insert(tuned);
     }
     Response::with(status, fields)
 }
@@ -725,6 +982,7 @@ fn write_response(shared: &Arc<Shared>, conn: &mut Conn, resp: &Response, count:
             Status::Degraded => &m.requests_degraded,
             Status::Shed => &m.requests_shed,
             Status::DeadlineMiss => &m.deadline_misses,
+            Status::HandleMiss => &m.requests_handle_miss,
             Status::Error => &m.requests_error,
         };
         ServiceMetrics::inc(counter);
@@ -746,12 +1004,56 @@ fn write_response(shared: &Arc<Shared>, conn: &mut Conn, resp: &Response, count:
     }
 }
 
-/// Builds the metrics JSON: service counters plus the engine's own
+/// Sums the shard health reports into one fleet-wide report, so the
+/// `engine` block of the metrics op keeps its schema no matter how
+/// many shards are configured.
+fn aggregate_health(reports: &[HealthReport]) -> HealthReport {
+    let mut total = HealthReport::default();
+    for r in reports {
+        total.calls += r.calls;
+        total.spmv_calls += r.spmv_calls;
+        total.spmm_calls += r.spmm_calls;
+        total.exec_faults += r.exec_faults;
+        total.breaker_trips += r.breaker_trips;
+        total
+            .quarantined_variants
+            .extend(r.quarantined_variants.iter().cloned());
+        total.reprobe_successes += r.reprobe_successes;
+        total.reprobe_failures += r.reprobe_failures;
+        total.pool_demotions += r.pool_demotions;
+        total.pool_demoted |= r.pool_demoted;
+        total.quarantine_evictions += r.quarantine_evictions;
+        total.degraded_prepares += r.degraded_prepares;
+        total
+            .recent_incidents
+            .extend(r.recent_incidents.iter().cloned());
+        total.dispatch_fault_count += r.dispatch_fault_count;
+        total.coalesced_waits += r.coalesced_waits;
+        total.poison_recoveries += r.poison_recoveries;
+        total.corrupt_evictions += r.corrupt_evictions;
+        total.cache_hits += r.cache_hits;
+        total.cache_misses += r.cache_misses;
+    }
+    total
+}
+
+/// Builds the metrics JSON: service counters, the aggregated engine
 /// health report (breaker states, quarantined kernels, coalesced
-/// waits, dispatch faults, cache traffic).
+/// waits, dispatch faults, cache traffic), and a per-shard breakdown
+/// with the handle-registry counters.
 fn metrics_value(shared: &Arc<Shared>) -> Value {
     let m = &shared.metrics;
     let g = ServiceMetrics::get;
+    let reports: Vec<HealthReport> = shared
+        .shards
+        .iter()
+        .map(|s| s.engine.health_report())
+        .collect();
+    let handle_stats: Vec<smat::HandleStats> =
+        shared.shards.iter().map(|s| s.handles.stats()).collect();
+    let handle_hits: u64 = handle_stats.iter().map(|h| h.hits).sum();
+    let handle_misses: u64 = handle_stats.iter().map(|h| h.misses).sum();
+    let handle_evictions: u64 = handle_stats.iter().map(|h| h.evictions).sum();
     let service = obj(vec![
         ("status", Value::Str("ok".to_string())),
         (
@@ -771,7 +1073,15 @@ fn metrics_value(shared: &Arc<Shared>) -> Value {
         ("requests_degraded", Value::UInt(g(&m.requests_degraded))),
         ("requests_shed", Value::UInt(g(&m.requests_shed))),
         ("deadline_misses", Value::UInt(g(&m.deadline_misses))),
+        (
+            "requests_handle_miss",
+            Value::UInt(g(&m.requests_handle_miss)),
+        ),
         ("requests_error", Value::UInt(g(&m.requests_error))),
+        ("wire_matrix_parses", Value::UInt(g(&m.wire_matrix_parses))),
+        ("handle_hits", Value::UInt(handle_hits)),
+        ("handle_misses", Value::UInt(handle_misses)),
+        ("handle_evictions", Value::UInt(handle_evictions)),
         ("shed_tenant", Value::UInt(g(&m.shed_tenant))),
         ("shed_queue_full", Value::UInt(g(&m.shed_queue_full))),
         ("shed_draining", Value::UInt(g(&m.shed_draining))),
@@ -789,12 +1099,60 @@ fn metrics_value(shared: &Arc<Shared>) -> Value {
             Value::UInt(shared.config.degrade_watermark as u64),
         ),
         ("workers", Value::UInt(shared.config.workers as u64)),
+        ("shard_count", Value::UInt(shared.shards.len() as u64)),
+        ("generation", Value::UInt(shared.generation)),
         ("draining", Value::Bool(m.draining.load(Ordering::Relaxed))),
     ]);
-    let engine = shared.engine.health_report().to_value();
+    let engine = aggregate_health(&reports).to_value();
+    let shards = Value::Array(
+        reports
+            .iter()
+            .zip(&handle_stats)
+            .zip(&shared.shards)
+            .enumerate()
+            .map(|(i, ((report, hs), shard))| {
+                let cache = shard.engine.cache_stats();
+                obj(vec![
+                    ("index", Value::UInt(i as u64)),
+                    (
+                        "cache",
+                        obj(vec![
+                            ("hits", Value::UInt(cache.hits)),
+                            ("misses", Value::UInt(cache.misses)),
+                            ("entries", Value::UInt(cache.entries as u64)),
+                            ("capacity", Value::UInt(cache.capacity as u64)),
+                            ("corrupt_evictions", Value::UInt(cache.corrupt_evictions)),
+                            ("poison_recoveries", Value::UInt(cache.poison_recoveries)),
+                            ("coalesced_waits", Value::UInt(cache.coalesced_waits)),
+                        ]),
+                    ),
+                    (
+                        "quarantined",
+                        Value::Array(
+                            report
+                                .quarantined_variants
+                                .iter()
+                                .map(|q| Value::Str(q.name.clone()))
+                                .collect(),
+                        ),
+                    ),
+                    ("pool_demoted", Value::Bool(report.pool_demoted)),
+                    ("handle_hits", Value::UInt(hs.hits)),
+                    ("handle_misses", Value::UInt(hs.misses)),
+                    ("handle_evictions", Value::UInt(hs.evictions)),
+                    ("handle_entries", Value::UInt(hs.entries as u64)),
+                    (
+                        "handle_resident_bytes",
+                        Value::UInt(hs.resident_bytes as u64),
+                    ),
+                ])
+            })
+            .collect(),
+    );
     obj(vec![
         ("status", Value::Str("ok".to_string())),
         ("service", service),
         ("engine", engine),
+        ("shards", shards),
     ])
 }

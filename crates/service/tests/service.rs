@@ -438,6 +438,7 @@ fn concurrent_clients_are_all_answered_and_counters_balance() {
         + as_u64(field(service, "requests_degraded"))
         + as_u64(field(service, "requests_shed"))
         + as_u64(field(service, "deadline_misses"))
+        + as_u64(field(service, "requests_handle_miss"))
         + as_u64(field(service, "requests_error"));
     assert_eq!(outcomes, CLIENTS as u64, "every request counted once");
     // All eight share one structural fingerprint: at most one tuning
@@ -471,6 +472,316 @@ fn shutdown_drains_and_persists_the_cache_snapshot() {
     let fresh = engine();
     assert_eq!(fresh.load_cache(&snapshot).expect("load snapshot"), 1);
     std::fs::remove_file(&snapshot).ok();
+}
+
+fn handle_of(v: &Value) -> String {
+    match field(v, "handle") {
+        Value::Str(s) => s.clone(),
+        other => panic!("handle is not a string: {other:?}"),
+    }
+}
+
+#[test]
+fn warm_handle_path_does_zero_matrix_work() {
+    const WARM_CALLS: usize = 100;
+    let running = start(test_config());
+    let (matrix, x, expect) = matrix_fixture(120, 21);
+    let mut client = Client::connect(running.addr);
+    let tuned = client.request(&format!("{{\"op\":\"tune\",\"matrix\":{matrix}}}"));
+    assert_eq!(status_of(&tuned), "ok");
+    let handle = handle_of(&tuned);
+
+    // Audit baseline after the tune: the warm loop must not move any
+    // of the matrix-work counters.
+    let before = one_shot(running.addr, "{\"op\":\"metrics\"}");
+    let parses_before = as_u64(field(field(&before, "service"), "wire_matrix_parses"));
+    let engine_before = field(&before, "engine");
+    let prepares_before =
+        as_u64(field(engine_before, "cache_hits")) + as_u64(field(engine_before, "cache_misses"));
+    let hits_before = as_u64(field(field(&before, "service"), "handle_hits"));
+
+    let warm_frame = format!(
+        "{{\"op\":\"spmv\",\"handle\":\"{handle}\",\"x\":{}}}",
+        x_json(&x)
+    );
+    for i in 0..WARM_CALLS {
+        let resp = client.request(&warm_frame);
+        assert_eq!(status_of(&resp), "ok", "warm call {i}: {resp:?}");
+        assert_eq!(field(&resp, "warm"), &Value::Bool(true));
+        assert_eq!(handle_of(&resp), handle, "handle echoed");
+        let y = floats(field(&resp, "y"));
+        for (got, want) in y.iter().zip(&expect) {
+            assert!((got - want).abs() < 1e-9, "warm call {i} diverged");
+        }
+    }
+
+    let after = one_shot(running.addr, "{\"op\":\"metrics\"}");
+    let service = field(&after, "service");
+    // Zero matrix parses, zero conversions/prepares (cache untouched),
+    // one registry hit per warm call.
+    assert_eq!(
+        as_u64(field(service, "wire_matrix_parses")),
+        parses_before,
+        "warm calls must not parse wire matrices"
+    );
+    let engine_after = field(&after, "engine");
+    assert_eq!(
+        as_u64(field(engine_after, "cache_hits")) + as_u64(field(engine_after, "cache_misses")),
+        prepares_before,
+        "warm calls must not reach prepare"
+    );
+    assert_eq!(
+        as_u64(field(service, "handle_hits")),
+        hits_before + WARM_CALLS as u64
+    );
+    let summary = shutdown_and_join(running);
+    assert_eq!(summary.requests_total, (WARM_CALLS + 1) as u64);
+    assert_eq!(summary.requests_handle_miss, 0);
+}
+
+#[test]
+fn warm_spmm_replays_the_block_product() {
+    let running = start(test_config());
+    let (matrix, _, _) = matrix_fixture(60, 22);
+    let mut client = Client::connect(running.addr);
+    let tuned = client.request(&format!("{{\"op\":\"tune\",\"matrix\":{matrix}}}"));
+    assert_eq!(status_of(&tuned), "ok");
+    let handle = handle_of(&tuned);
+    // Reference: the cold spmm on the inline matrix.
+    let cold = client.request(&format!("{{\"op\":\"spmm\",\"k\":3,\"matrix\":{matrix}}}"));
+    assert_eq!(status_of(&cold), "ok");
+    let want = floats(field(&cold, "y"));
+    let warm = client.request(&format!(
+        "{{\"op\":\"spmm\",\"k\":3,\"handle\":\"{handle}\"}}"
+    ));
+    assert_eq!(status_of(&warm), "ok", "warm spmm: {warm:?}");
+    assert_eq!(field(&warm, "warm"), &Value::Bool(true));
+    let got = floats(field(&warm, "y"));
+    assert_eq!(got.len(), want.len());
+    for (g, w) in got.iter().zip(&want) {
+        assert!((g - w).abs() < 1e-9);
+    }
+    shutdown_and_join(running);
+}
+
+#[test]
+fn unknown_handles_answer_handle_miss_with_the_fingerprint() {
+    let running = start(test_config());
+    let (matrix, x, _) = matrix_fixture(80, 23);
+    let mut client = Client::connect(running.addr);
+    let tuned = client.request(&format!("{{\"op\":\"tune\",\"matrix\":{matrix}}}"));
+    assert_eq!(status_of(&tuned), "ok");
+    let handle = handle_of(&tuned);
+    // Same generation, perturbed digest: a handle the server never
+    // minted. The reply must carry handle_miss and echo the structure.
+    let mut parts: Vec<String> = handle.split(':').map(str::to_string).collect();
+    parts[5] = format!("{:016x}", u64::from_str_radix(&parts[5], 16).unwrap() ^ 1);
+    let forged = parts.join(":");
+    let resp = client.request(&format!(
+        "{{\"op\":\"spmv\",\"handle\":\"{forged}\",\"x\":{}}}",
+        x_json(&x)
+    ));
+    assert_eq!(status_of(&resp), "handle_miss", "resp: {resp:?}");
+    assert_eq!(handle_of(&resp), forged);
+    let fp = field(&resp, "fingerprint");
+    assert_eq!(as_u64(field(fp, "rows")), 80);
+    assert_eq!(as_u64(field(fp, "cols")), 80);
+    assert_eq!(field(fp, "digest").as_array().map(|d| d.len()), Some(2));
+    let metrics = one_shot(running.addr, "{\"op\":\"metrics\"}");
+    let service = field(&metrics, "service");
+    assert_eq!(as_u64(field(service, "requests_handle_miss")), 1);
+    assert!(as_u64(field(service, "handle_misses")) >= 1);
+    let summary = shutdown_and_join(running);
+    assert_eq!(summary.requests_handle_miss, 1);
+}
+
+#[test]
+fn handles_are_evicted_under_the_byte_budget() {
+    // One shard with a 1-byte budget: every insert immediately evicts
+    // the previous resident (the newest entry is always kept).
+    let config = ServeConfig {
+        shards: 1,
+        handle_budget_bytes: 1,
+        ..test_config()
+    };
+    let running = start(config);
+    let (matrix_a, x_a, _) = matrix_fixture(70, 24);
+    let (matrix_b, _, _) = matrix_fixture(90, 25);
+    let mut client = Client::connect(running.addr);
+    let first = client.request(&format!("{{\"op\":\"tune\",\"matrix\":{matrix_a}}}"));
+    assert_eq!(status_of(&first), "ok");
+    let handle_a = handle_of(&first);
+    let second = client.request(&format!("{{\"op\":\"tune\",\"matrix\":{matrix_b}}}"));
+    assert_eq!(status_of(&second), "ok");
+    let handle_b = handle_of(&second);
+    // A was evicted to make room for B.
+    let miss = client.request(&format!(
+        "{{\"op\":\"spmv\",\"handle\":\"{handle_a}\",\"x\":{}}}",
+        x_json(&x_a)
+    ));
+    assert_eq!(status_of(&miss), "handle_miss", "resp: {miss:?}");
+    let warm = client.request(&format!("{{\"op\":\"spmv\",\"handle\":\"{handle_b}\"}}"));
+    assert_eq!(status_of(&warm), "ok", "resp: {warm:?}");
+    let metrics = one_shot(running.addr, "{\"op\":\"metrics\"}");
+    let service = field(&metrics, "service");
+    assert!(as_u64(field(service, "handle_evictions")) >= 1);
+    let shards = field(&metrics, "shards").as_array().unwrap();
+    assert_eq!(shards.len(), 1);
+    assert_eq!(as_u64(field(&shards[0], "handle_entries")), 1);
+    shutdown_and_join(running);
+}
+
+#[test]
+fn handles_do_not_survive_a_restart_but_the_decision_cache_does() {
+    let dir = std::env::temp_dir().join("smat_service_tests");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let snapshot = dir.join(format!("handles_gen_{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&snapshot);
+    let config = || ServeConfig {
+        cache_snapshot: Some(snapshot.clone()),
+        ..test_config()
+    };
+    let (matrix, x, expect) = matrix_fixture(100, 26);
+
+    let first_run = start(config());
+    let tuned = one_shot(
+        first_run.addr,
+        &format!("{{\"op\":\"tune\",\"matrix\":{matrix}}}"),
+    );
+    assert_eq!(status_of(&tuned), "ok");
+    let old_handle = handle_of(&tuned);
+    let summary = shutdown_and_join(first_run);
+    assert_eq!(summary.cache_snapshot_entries, Some(1));
+
+    // Same process, new server: the generation tag differs, so the old
+    // handle misses deterministically instead of resolving against a
+    // registry that never held it.
+    let second_run = start(config());
+    let stale = one_shot(
+        second_run.addr,
+        &format!(
+            "{{\"op\":\"spmv\",\"handle\":\"{old_handle}\",\"x\":{}}}",
+            x_json(&x)
+        ),
+    );
+    assert_eq!(status_of(&stale), "handle_miss", "resp: {stale:?}");
+    // Falling back to the triplet path hits the reloaded decision
+    // cache (no re-tune) and mints a fresh-generation handle.
+    let mut client = Client::connect(second_run.addr);
+    let retuned = client.request(&format!("{{\"op\":\"tune\",\"matrix\":{matrix}}}"));
+    assert_eq!(status_of(&retuned), "ok");
+    assert_eq!(field(&retuned, "cached"), &Value::Bool(true));
+    let new_handle = handle_of(&retuned);
+    assert_ne!(new_handle, old_handle, "generation tag must differ");
+    let warm = client.request(&format!(
+        "{{\"op\":\"spmv\",\"handle\":\"{new_handle}\",\"x\":{}}}",
+        x_json(&x)
+    ));
+    assert_eq!(status_of(&warm), "ok", "resp: {warm:?}");
+    let y = floats(field(&warm, "y"));
+    for (got, want) in y.iter().zip(&expect) {
+        assert!((got - want).abs() < 1e-9);
+    }
+    shutdown_and_join(second_run);
+    std::fs::remove_file(&snapshot).ok();
+}
+
+#[test]
+fn stampede_on_one_matrix_coalesces_to_one_tune_and_one_handle() {
+    const CLIENTS: usize = 16;
+    let running = start(test_config());
+    let (matrix, x, expect) = matrix_fixture(130, 27);
+    let frame = Arc::new(format!("{{\"op\":\"tune\",\"matrix\":{matrix}}}"));
+    let x = Arc::new(x);
+    let expect = Arc::new(expect);
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let addr = running.addr;
+            let frame = Arc::clone(&frame);
+            let x = Arc::clone(&x);
+            let expect = Arc::clone(&expect);
+            thread::spawn(move || {
+                let mut client = Client::connect(addr);
+                let tuned = client.request(&frame);
+                assert_eq!(status_of(&tuned), "ok", "resp: {tuned:?}");
+                let handle = handle_of(&tuned);
+                // Immediately ride the handle warm.
+                let warm = client.request(&format!(
+                    "{{\"op\":\"spmv\",\"handle\":\"{handle}\",\"x\":{}}}",
+                    x_json(&x)
+                ));
+                assert_eq!(status_of(&warm), "ok", "resp: {warm:?}");
+                let y = floats(field(&warm, "y"));
+                for (got, want) in y.iter().zip(expect.iter()) {
+                    assert!((got - want).abs() < 1e-9);
+                }
+                handle
+            })
+        })
+        .collect();
+    let handles: Vec<String> = workers.into_iter().map(|h| h.join().unwrap()).collect();
+    assert!(
+        handles.iter().all(|h| h == &handles[0]),
+        "one matrix, one handle: {handles:?}"
+    );
+    let metrics = one_shot(running.addr, "{\"op\":\"metrics\"}");
+    // Single-flight coalescing still holds across the shard split: one
+    // structural fingerprint routes to one shard, and that shard tunes
+    // exactly once.
+    assert_eq!(as_u64(field(field(&metrics, "engine"), "cache_misses")), 1);
+    let summary = shutdown_and_join(running);
+    assert_eq!(summary.requests_total, 2 * CLIENTS as u64);
+    assert_eq!(summary.requests_handle_miss, 0);
+}
+
+#[test]
+fn metrics_expose_per_shard_breakdowns() {
+    let config = ServeConfig {
+        shards: 2,
+        ..test_config()
+    };
+    let running = start(config);
+    let (matrix, _, _) = matrix_fixture(75, 28);
+    let tuned = one_shot(
+        running.addr,
+        &format!("{{\"op\":\"tune\",\"matrix\":{matrix}}}"),
+    );
+    assert_eq!(status_of(&tuned), "ok");
+    let metrics = one_shot(running.addr, "{\"op\":\"metrics\"}");
+    let service = field(&metrics, "service");
+    assert_eq!(as_u64(field(service, "shard_count")), 2);
+    assert!(as_u64(field(service, "generation")) > 0);
+    for key in ["handle_hits", "handle_misses", "handle_evictions"] {
+        as_u64(field(service, key));
+    }
+    let shards = field(&metrics, "shards").as_array().expect("shards array");
+    assert_eq!(shards.len(), 2);
+    let mut tuned_shards = 0;
+    for (i, shard) in shards.iter().enumerate() {
+        assert_eq!(as_u64(field(shard, "index")), i as u64);
+        let cache = field(shard, "cache");
+        for key in ["hits", "misses", "entries", "capacity", "corrupt_evictions"] {
+            as_u64(field(cache, key));
+        }
+        field(shard, "quarantined").as_array().expect("array");
+        for key in [
+            "handle_hits",
+            "handle_misses",
+            "handle_evictions",
+            "handle_entries",
+            "handle_resident_bytes",
+        ] {
+            as_u64(field(shard, key));
+        }
+        if as_u64(field(cache, "misses")) > 0 {
+            tuned_shards += 1;
+            assert_eq!(as_u64(field(shard, "handle_entries")), 1);
+        }
+    }
+    assert_eq!(tuned_shards, 1, "one matrix tunes on exactly one shard");
+    // The aggregated engine block sums the shard caches.
+    assert_eq!(as_u64(field(field(&metrics, "engine"), "cache_misses")), 1);
+    shutdown_and_join(running);
 }
 
 #[cfg(unix)]

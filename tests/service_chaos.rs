@@ -257,6 +257,7 @@ fn stampede_on_one_fingerprint_tunes_once_and_answers_everyone() {
         + as_u64(field(service, "requests_degraded"))
         + as_u64(field(service, "requests_shed"))
         + as_u64(field(service, "deadline_misses"))
+        + as_u64(field(service, "requests_handle_miss"))
         + as_u64(field(service, "requests_error"));
     assert_eq!(
         outcomes, CLIENTS as u64,
@@ -396,6 +397,7 @@ fn respond_faults_keep_outcome_accounting_consistent() {
         + as_u64(field(service, "requests_degraded"))
         + as_u64(field(service, "requests_shed"))
         + as_u64(field(service, "deadline_misses"))
+        + as_u64(field(service, "requests_handle_miss"))
         + as_u64(field(service, "requests_error"));
     assert_eq!(outcomes, 1, "outcome counted despite the lost write");
     shutdown_and_join(running);
@@ -468,6 +470,73 @@ fn deep_backlog_degrades_immediately_with_a_correct_product() {
     let summary = shutdown_and_join(running);
     assert_eq!(summary.requests_total, 4);
     assert!(summary.requests_degraded >= 1);
+}
+
+/// The warm handle path never crosses the tuning queue: with the sole
+/// worker stalled by a scripted delay and inline work piling up behind
+/// it, handle requests are still answered promptly from the connection
+/// thread.
+#[test]
+fn warm_handles_bypass_a_stalled_worker_pool() {
+    let _guard = exclusive_failpoints();
+    let config = ServeConfig {
+        workers: 1,
+        queue_capacity: 8,
+        ..base_config()
+    };
+    let running = start(config);
+    let (frame, _, expect) = matrix_fixture(110, 27);
+    // Tune while the pool is healthy to mint the handle.
+    let tuned = request(running.addr, &frame);
+    assert_eq!(status_of(&tuned), "ok", "resp: {tuned:?}");
+    let handle = match field(&tuned, "handle") {
+        Value::Str(s) => s.clone(),
+        other => panic!("handle is not a string: {other:?}"),
+    };
+    // Now stall every queued job and occupy the sole worker with a
+    // fresh structural fingerprint (a different seed).
+    let _fp = smat_failpoints::scoped("service.worker", "delay(1500)").unwrap();
+    let (slow_frame, _, _) = matrix_fixture(115, 28);
+    let slow = Arc::new(format!(
+        "{},\"deadline_ms\":15000}}",
+        slow_frame
+            .strip_suffix('}')
+            .expect("frame ends with a brace")
+    ));
+    let background = {
+        let addr = running.addr;
+        let slow = Arc::clone(&slow);
+        thread::spawn(move || {
+            let resp = request(addr, &slow);
+            assert!(matches!(status_of(&resp), "ok" | "degraded"), "{resp:?}");
+        })
+    };
+    thread::sleep(Duration::from_millis(100));
+    // The worker is mid-delay; a warm call answers anyway, fast.
+    let items: Vec<String> = (0..110)
+        .map(|i| format!("{:?}", 0.5 * ((i % 5) as f64) - 1.0))
+        .collect();
+    let warm_frame = format!(
+        "{{\"op\":\"spmv\",\"handle\":\"{handle}\",\"x\":[{}]}}",
+        items.join(",")
+    );
+    let t0 = Instant::now();
+    let warm = request(running.addr, &warm_frame);
+    let elapsed = t0.elapsed();
+    assert_eq!(status_of(&warm), "ok", "resp: {warm:?}");
+    assert_eq!(field(&warm, "warm"), &Value::Bool(true));
+    let y = floats(field(&warm, "y"));
+    for (got, want) in y.iter().zip(expect.iter()) {
+        assert!((got - want).abs() < 1e-9);
+    }
+    assert!(
+        elapsed < Duration::from_millis(1000),
+        "warm call waited on the stalled queue: {elapsed:?}"
+    );
+    background.join().expect("background client answered");
+    let summary = shutdown_and_join(running);
+    assert_eq!(summary.requests_total, 3);
+    assert_eq!(summary.requests_handle_miss, 0);
 }
 
 /// Pipelined frames during a drain: the in-flight request is answered,
